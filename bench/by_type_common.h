@@ -1,0 +1,56 @@
+#ifndef BRIQ_BENCH_BY_TYPE_COMMON_H_
+#define BRIQ_BENCH_BY_TYPE_COMMON_H_
+
+#include <iostream>
+#include <map>
+
+#include "bench/harness.h"
+#include "util/table_printer.h"
+
+namespace briq::bench {
+
+/// Paper reference values for one by-type results table (Tables III-V):
+/// rows recall/precision/F1, columns sum/diff/percent/ratio/single-cell.
+struct ByTypePaper {
+  double recall[5];
+  double precision[5];
+  double f1[5];
+};
+
+/// Prints a Tables-III/IV/V-style by-mention-type result table for the
+/// given aligner, with the paper's numbers in parentheses.
+inline void PrintByType(const char* title, const core::Aligner& aligner,
+                        const std::vector<core::PreparedDocument>& test,
+                        const ByTypePaper& paper) {
+  core::EvalResult r = core::EvaluateCorpus(aligner, test);
+
+  const table::AggregateFunction funcs[] = {
+      table::AggregateFunction::kSum, table::AggregateFunction::kDiff,
+      table::AggregateFunction::kPercentage,
+      table::AggregateFunction::kChangeRatio,
+      table::AggregateFunction::kNone};
+
+  util::TablePrinter printer(title);
+  printer.SetHeader(
+      {"metric", "sum", "diff.", "percent", "change ratio", "single-cell"});
+  auto row = [&](const char* name, auto metric, const double* paper_vals) {
+    std::vector<std::string> cells = {name};
+    for (int i = 0; i < 5; ++i) {
+      ml::BinaryCounts c;
+      auto it = r.by_type.find(funcs[i]);
+      if (it != r.by_type.end()) c = it->second;
+      cells.push_back(Fmt2(metric(c)) + " (" + Fmt2(paper_vals[i]) + ")");
+    }
+    printer.AddRow(cells);
+  };
+  row("recall", [](const ml::BinaryCounts& c) { return c.Recall(); },
+      paper.recall);
+  row("prec.", [](const ml::BinaryCounts& c) { return c.Precision(); },
+      paper.precision);
+  row("F1", [](const ml::BinaryCounts& c) { return c.F1(); }, paper.f1);
+  std::cout << printer.ToString() << std::endl;
+}
+
+}  // namespace briq::bench
+
+#endif  // BRIQ_BENCH_BY_TYPE_COMMON_H_

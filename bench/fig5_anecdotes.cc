@@ -1,0 +1,59 @@
+// Reproduces Figure 5 of the paper: three anecdotal success cases —
+// (a) a change ratio ("increase of 33.65%") aligned to the correct cell
+// pair, (b) percentages of a census total, and (c) an approximate
+// difference of net earnings. Prints each mention with its gold target
+// and BriQ's decision.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "core/gt_matching.h"
+#include "corpus/paper_examples.h"
+#include "util/table_printer.h"
+
+namespace briq::bench {
+namespace {
+
+void RunExample(const ExperimentSetup& setup, const corpus::Document& doc,
+                const char* label) {
+  core::PreparedDocument prepared = core::PrepareDocument(doc, setup.config);
+  core::DocumentAlignment alignment = setup.system->Align(prepared);
+  auto matched = core::MatchGroundTruth(prepared);
+
+  util::TablePrinter printer(std::string("Figure 5") + label + ": " + doc.id);
+  printer.SetHeader({"mention", "gold target", "BriQ decision", "correct?"});
+  int correct = 0;
+  for (const auto& m : matched) {
+    std::string gold =
+        m.table_idx >= 0
+            ? prepared.table_mentions[m.table_idx].DebugString()
+            : "(target not generated)";
+    std::string decision = "(no alignment)";
+    bool ok = false;
+    if (m.text_idx >= 0) {
+      if (const auto* d = alignment.ForTextMention(m.text_idx)) {
+        decision = prepared.table_mentions[d->table_idx].DebugString();
+        ok = d->table_idx == m.table_idx;
+      }
+    }
+    if (ok) ++correct;
+    printer.AddRow({m.gt->surface, gold, decision, ok ? "yes" : "no"});
+  }
+  std::cout << printer.ToString();
+  std::cout << "correct: " << correct << "/" << matched.size() << "\n\n";
+}
+
+void Run() {
+  ExperimentSetup setup = BuildSetup(/*num_documents=*/300, /*seed=*/2024);
+  RunExample(setup, corpus::Figure5aCarSales(), "a");
+  RunExample(setup, corpus::Figure5bCensus(), "b");
+  RunExample(setup, corpus::Figure5cEarnings(), "c");
+}
+
+}  // namespace
+}  // namespace briq::bench
+
+int main() {
+  briq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace briq::bench {
+
+std::vector<const core::PreparedDocument*> ExperimentSetup::TrainPointers()
+    const {
+  std::vector<const core::PreparedDocument*> out;
+  out.reserve(train.size());
+  for (const auto& d : train) out.push_back(&d);
+  return out;
+}
+
+std::vector<core::PreparedDocument> PrepareAll(
+    const corpus::Corpus& corpus, const core::BriqConfig& config) {
+  std::vector<core::PreparedDocument> out;
+  out.reserve(corpus.size());
+  for (const corpus::Document& d : corpus.documents) {
+    out.push_back(core::PrepareDocument(d, config));
+  }
+  return out;
+}
+
+ExperimentSetup BuildSetup(size_t num_documents, uint64_t seed,
+                           const core::BriqConfig* config) {
+  ExperimentSetup setup;
+  if (config != nullptr) setup.config = *config;
+
+  corpus::CorpusOptions options;
+  options.num_documents = num_documents;
+  options.seed = seed;
+  setup.corpus = corpus::GenerateCorpus(options);
+
+  const size_t n = setup.corpus.size();
+  const size_t train_end = n * 8 / 10;
+  const size_t val_end = n * 9 / 10;
+  for (size_t i = 0; i < n; ++i) {
+    auto prepared = core::PrepareDocument(setup.corpus.documents[i],
+                                          setup.config);
+    if (i < train_end) {
+      setup.train.push_back(std::move(prepared));
+    } else if (i < val_end) {
+      setup.validation.push_back(std::move(prepared));
+    } else {
+      setup.test.push_back(std::move(prepared));
+    }
+  }
+
+  setup.system = std::make_unique<core::BriqSystem>(setup.config);
+  BRIQ_CHECK_OK(setup.system->Train(setup.TrainPointers()));
+  return setup;
+}
+
+std::string Fmt2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+std::string FmtCount(size_t v) {
+  return util::WithThousandsSeparators(static_cast<int64_t>(v));
+}
+
+}  // namespace briq::bench

@@ -1,0 +1,45 @@
+#ifndef BRIQ_BENCH_HARNESS_H_
+#define BRIQ_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "corpus/generator.h"
+
+namespace briq::bench {
+
+/// Shared experiment fixture: a tableS-style corpus split 80/10/10 into
+/// train/validation/test (paper §VII-B), with a trained BriQ system.
+struct ExperimentSetup {
+  corpus::Corpus corpus;
+  core::BriqConfig config;
+  std::vector<core::PreparedDocument> train;
+  std::vector<core::PreparedDocument> validation;
+  std::vector<core::PreparedDocument> test;
+  std::unique_ptr<core::BriqSystem> system;
+
+  std::vector<const core::PreparedDocument*> TrainPointers() const;
+};
+
+/// Builds the corpus, prepares all documents, and trains BriQ.
+/// Deterministic in `seed`.
+ExperimentSetup BuildSetup(size_t num_documents = 300, uint64_t seed = 2024,
+                           const core::BriqConfig* config = nullptr);
+
+/// Prepares every document of a corpus under `config`.
+std::vector<core::PreparedDocument> PrepareAll(
+    const corpus::Corpus& corpus, const core::BriqConfig& config);
+
+/// "0.73"-style fixed two-decimal formatting for result tables.
+std::string Fmt2(double v);
+
+/// Thousands-separated count.
+std::string FmtCount(size_t v);
+
+}  // namespace briq::bench
+
+#endif  // BRIQ_BENCH_HARNESS_H_

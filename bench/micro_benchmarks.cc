@@ -1,0 +1,139 @@
+// Engineering micro-benchmarks (google-benchmark): quantity extraction,
+// numeric parsing, feature computation, virtual-cell generation, random
+// walks, Random-Forest inference, and string similarity. Not from the
+// paper — these quantify the cost of each pipeline stage and back the
+// design-choice ablations in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "core/features.h"
+#include "core/pipeline.h"
+#include "corpus/generator.h"
+#include "graph/random_walk.h"
+#include "ml/random_forest.h"
+#include "quantity/numeric_literal.h"
+#include "quantity/quantity_parser.h"
+#include "table/virtual_cell.h"
+#include "util/random.h"
+#include "util/similarity.h"
+
+namespace briq {
+namespace {
+
+const corpus::Document& SampleDocument() {
+  static const corpus::Document& kDoc = *new corpus::Document([] {
+    util::Rng rng(7);
+    return corpus::GenerateDocument(corpus::GetDomainProfile("finance"),
+                                    "bench-doc", &rng);
+  }());
+  return kDoc;
+}
+
+const core::BriqConfig& Config() {
+  static const core::BriqConfig& kConfig = *new core::BriqConfig();
+  return kConfig;
+}
+
+void BM_ParseNumericLiteral(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantity::ParseNumericLiteral("1,234,567.89"));
+    benchmark::DoNotOptimize(quantity::ParseNumericLiteral("2,29,866"));
+    benchmark::DoNotOptimize(quantity::ParseNumericLiteral("0,877"));
+  }
+}
+BENCHMARK(BM_ParseNumericLiteral);
+
+void BM_ExtractQuantities(benchmark::State& state) {
+  const std::string text =
+      "In 2013 revenue of $3.26 billion CDN was up $70 million CDN or 2% "
+      "from the previous year. The net income of 2013 was $0.9 billion CDN. "
+      "Compared to the revenue of 2012, it increased by 1.5%.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantity::ExtractQuantities(text));
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_ExtractQuantities);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::JaroWinklerSimilarity("26.65$", "26.7$"));
+    benchmark::DoNotOptimize(
+        util::JaroWinklerSimilarity("1,144,716", "1,285,015"));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_VirtualCellGeneration(benchmark::State& state) {
+  const corpus::Document& doc = SampleDocument();
+  table::VirtualCellOptions options;
+  for (auto _ : state) {
+    for (const table::Table& t : doc.tables) {
+      benchmark::DoNotOptimize(table::GenerateTableMentions(t, 0, options));
+    }
+  }
+}
+BENCHMARK(BM_VirtualCellGeneration);
+
+void BM_PrepareDocument(benchmark::State& state) {
+  const corpus::Document& doc = SampleDocument();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PrepareDocument(doc, Config()));
+  }
+}
+BENCHMARK(BM_PrepareDocument);
+
+void BM_FeatureVector(benchmark::State& state) {
+  core::PreparedDocument prepared =
+      core::PrepareDocument(SampleDocument(), Config());
+  core::FeatureComputer features(prepared, Config());
+  if (prepared.text_mentions.empty() || prepared.table_mentions.empty()) {
+    state.SkipWithError("sample document has no mentions");
+    return;
+  }
+  size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        features.ComputeAll(0, t++ % prepared.table_mentions.size()));
+  }
+}
+BENCHMARK(BM_FeatureVector);
+
+void BM_RandomWalk(benchmark::State& state) {
+  // A two-block graph shaped like a document graph.
+  const int n = static_cast<int>(state.range(0));
+  graph::Graph g(n);
+  util::Rng rng(13);
+  for (int i = 0; i < 3 * n; ++i) {
+    int u = static_cast<int>(rng.UniformInt(n));
+    int v = static_cast<int>(rng.UniformInt(n));
+    if (u != v) g.AddEdge(u, v, rng.UniformDouble(0.1, 1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::RandomWalkWithRestart(g, 0));
+  }
+}
+BENCHMARK(BM_RandomWalk)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ForestInference(benchmark::State& state) {
+  util::Rng rng(29);
+  ml::Dataset data(12);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> x(12);
+    for (double& v : x) v = rng.UniformDouble();
+    data.Add(x, x[0] + x[5] > 1.0 ? 1 : 0);
+  }
+  ml::RandomForest forest;
+  ml::ForestConfig config;
+  forest.Fit(data, config);
+  std::vector<double> probe(12, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.PredictProba(probe.data()));
+  }
+}
+BENCHMARK(BM_ForestInference);
+
+}  // namespace
+}  // namespace briq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Reproduces Table II of the paper: precision / recall / F1 for original,
+// truncated, and rounded text mentions, for the RF and RWR baselines and
+// for BriQ. Expected shape: BriQ >> RWR >> RF in every condition; quality
+// degrades from original to truncated to rounded.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "corpus/perturb.h"
+#include "util/table_printer.h"
+
+namespace briq::bench {
+namespace {
+
+struct PaperRow {
+  const char* metric;
+  double rf, rwr, briq;
+};
+
+// Paper values for reference printing (Table II).
+constexpr PaperRow kPaperOriginal[] = {{"recall", 0.43, 0.52, 0.68},
+                                       {"prec.", 0.37, 0.53, 0.79},
+                                       {"F1", 0.40, 0.53, 0.73}};
+constexpr PaperRow kPaperTruncated[] = {{"recall", 0.27, 0.42, 0.58},
+                                        {"prec.", 0.25, 0.44, 0.63},
+                                        {"F1", 0.26, 0.43, 0.60}};
+constexpr PaperRow kPaperRounded[] = {{"recall", 0.13, 0.34, 0.49},
+                                      {"prec.", 0.10, 0.35, 0.52},
+                                      {"F1", 0.11, 0.34, 0.51}};
+
+void Run() {
+  ExperimentSetup setup = BuildSetup(/*num_documents=*/400, /*seed=*/2024);
+
+  core::RfOnlyAligner rf(setup.system.get());
+  core::RwrOnlyAligner rwr(&setup.config);
+
+  auto evaluate = [&](const std::vector<core::PreparedDocument>& docs) {
+    struct Triple {
+      core::EvalResult rf, rwr, briq;
+    } r;
+    r.rf = core::EvaluateCorpus(rf, docs);
+    r.rwr = core::EvaluateCorpus(rwr, docs);
+    r.briq = core::EvaluateCorpus(*setup.system, docs);
+    return r;
+  };
+
+  // Perturbed copies of the *test* documents only (models stay fixed).
+  const size_t n = setup.corpus.size();
+  corpus::Corpus test_truncated;
+  corpus::Corpus test_rounded;
+  for (size_t i = n * 9 / 10; i < n; ++i) {
+    test_truncated.documents.push_back(corpus::PerturbDocument(
+        setup.corpus.documents[i], corpus::PerturbMode::kTruncate));
+    test_rounded.documents.push_back(corpus::PerturbDocument(
+        setup.corpus.documents[i], corpus::PerturbMode::kRound));
+  }
+
+  auto original = evaluate(setup.test);
+  auto truncated = evaluate(PrepareAll(test_truncated, setup.config));
+  auto rounded = evaluate(PrepareAll(test_rounded, setup.config));
+
+  util::TablePrinter printer(
+      "Table II: results for original, truncated and rounded text mentions\n"
+      "(measured on the synthetic tableS corpus; paper values in "
+      "parentheses)");
+  printer.SetHeader({"condition", "metric", "RF", "RWR", "BriQ"});
+
+  auto add_block = [&](const char* label, const auto& measured,
+                       const PaperRow (&paper)[3]) {
+    auto row = [&](const char* metric, double m_rf, double m_rwr,
+                   double m_briq, const PaperRow& p) {
+      printer.AddRow({label, metric, Fmt2(m_rf) + " (" + Fmt2(p.rf) + ")",
+                      Fmt2(m_rwr) + " (" + Fmt2(p.rwr) + ")",
+                      Fmt2(m_briq) + " (" + Fmt2(p.briq) + ")"});
+    };
+    row("recall", measured.rf.Recall(), measured.rwr.Recall(),
+        measured.briq.Recall(), paper[0]);
+    row("prec.", measured.rf.Precision(), measured.rwr.Precision(),
+        measured.briq.Precision(), paper[1]);
+    row("F1", measured.rf.F1(), measured.rwr.F1(), measured.briq.F1(),
+        paper[2]);
+    printer.AddSeparator();
+  };
+
+  add_block("original", original, kPaperOriginal);
+  add_block("truncated", truncated, kPaperTruncated);
+  add_block("rounded", rounded, kPaperRounded);
+
+  std::cout << printer.ToString() << std::endl;
+}
+
+}  // namespace
+}  // namespace briq::bench
+
+int main() {
+  briq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Table III: results by mention type for the RF-only baseline.
+// Expected shape: single-cell is the only type RF handles decently;
+// aggregates (sum especially) collapse without joint inference.
+
+#include "bench/by_type_common.h"
+
+int main() {
+  using namespace briq::bench;
+  ExperimentSetup setup = BuildSetup(/*num_documents=*/400, /*seed=*/2024);
+  briq::core::RfOnlyAligner rf(setup.system.get());
+  // Paper Table III.
+  ByTypePaper paper = {{0.00, 0.27, 0.03, 0.06, 0.48},
+                       {0.00, 0.04, 0.02, 0.01, 0.70},
+                       {0.00, 0.06, 0.03, 0.02, 0.57}};
+  PrintByType(
+      "Table III: results by mention type, RF baseline (paper values in "
+      "parentheses)",
+      rf, setup.test, paper);
+  return 0;
+}

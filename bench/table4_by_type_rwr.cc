@@ -1,0 +1,20 @@
+// Reproduces Table IV: results by mention type for the RWR-only baseline.
+// Expected shape: better than RF on aggregates (graph structure helps sums
+// and diffs) while percent/ratio remain hard.
+
+#include "bench/by_type_common.h"
+
+int main() {
+  using namespace briq::bench;
+  ExperimentSetup setup = BuildSetup(/*num_documents=*/400, /*seed=*/2024);
+  briq::core::RwrOnlyAligner rwr(&setup.config);
+  // Paper Table IV.
+  ByTypePaper paper = {{0.61, 0.33, 0.09, 0.18, 0.57},
+                       {0.52, 0.22, 0.43, 0.27, 0.57},
+                       {0.56, 0.26, 0.15, 0.21, 0.57}};
+  PrintByType(
+      "Table IV: results by mention type, RWR baseline (paper values in "
+      "parentheses)",
+      rwr, setup.test, paper);
+  return 0;
+}

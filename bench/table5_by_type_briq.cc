@@ -1,0 +1,19 @@
+// Reproduces Table V: results by mention type for full BriQ. Expected
+// shape: single-cell best (~0.79 F1 in the paper), sum strong, diff
+// moderate, percent and change ratio weakest (rare classes get weak
+// priors).
+
+#include "bench/by_type_common.h"
+
+int main() {
+  using namespace briq::bench;
+  ExperimentSetup setup = BuildSetup(/*num_documents=*/400, /*seed=*/2024);
+  // Paper Table V.
+  ByTypePaper paper = {{0.74, 0.62, 0.10, 0.20, 0.75},
+                       {0.71, 0.33, 0.75, 0.30, 0.84},
+                       {0.72, 0.43, 0.17, 0.24, 0.79}};
+  PrintByType(
+      "Table V: results by mention type, BriQ (paper values in parentheses)",
+      *setup.system, setup.test, paper);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces Table VIII: BriQ inference throughput (documents per minute)
+// by thematic domain, on a scaled-down tableL corpus, plus the BriQ vs
+// RWR-only speed comparison (the paper reports BriQ ~30x faster because
+// RWR-only runs the walk over the unpruned pair space).
+//
+// Absolute numbers are not comparable to the paper's 10-executor Spark
+// cluster; the shape to verify is (a) sports slowest (largest tables, most
+// virtual cells), and (b) BriQ >> RWR-only throughput.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace briq::bench {
+namespace {
+
+struct PaperRow {
+  const char* domain;
+  int docs_per_min;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"environment", 2935}, {"finance", 5029}, {"health", 4604},
+    {"politics", 6223},    {"sports", 863},   {"others", 2588},
+};
+
+void Run() {
+  // Train once on a mixed corpus.
+  ExperimentSetup setup = BuildSetup(/*num_documents=*/250, /*seed=*/2024);
+
+  util::TablePrinter printer(
+      "Table VIII: BriQ throughput by domain (single core; paper numbers —\n"
+      "from a 10-executor Spark cluster — in parentheses for shape "
+      "comparison)");
+  printer.SetHeader(
+      {"domain", "docs", "mentions", "docs/min", "(paper docs/min)"});
+
+  const size_t kDocsPerDomain = 120;
+  double total_docs = 0;
+  double total_seconds = 0;
+  for (const PaperRow& row : kPaper) {
+    corpus::CorpusOptions options;
+    options.num_documents = kDocsPerDomain;
+    options.seed = 31337;
+    options.domain_weights = {{row.domain, 1.0}};
+    corpus::Corpus domain_corpus = corpus::GenerateCorpus(options);
+    std::vector<core::PreparedDocument> docs =
+        PrepareAll(domain_corpus, setup.config);
+
+    size_t mentions = 0;
+    for (const auto& d : docs) mentions += d.text_mentions.size();
+
+    util::Stopwatch watch;
+    for (const auto& d : docs) setup.system->Align(d);
+    double seconds = watch.ElapsedSeconds();
+    total_docs += static_cast<double>(docs.size());
+    total_seconds += seconds;
+
+    double per_min = static_cast<double>(docs.size()) / seconds * 60.0;
+    printer.AddRow({row.domain, FmtCount(docs.size()), FmtCount(mentions),
+                    FmtCount(static_cast<size_t>(per_min)),
+                    "(" + FmtCount(row.docs_per_min) + ")"});
+  }
+  printer.AddSeparator();
+  printer.AddRow({"total", FmtCount(static_cast<size_t>(total_docs)), "",
+                  FmtCount(static_cast<size_t>(total_docs / total_seconds *
+                                               60.0)),
+                  "(2,478)"});
+  std::cout << printer.ToString() << std::endl;
+
+  // BriQ vs RWR-only speed (paper: 30x, RWR at 76 docs/min).
+  {
+    corpus::CorpusOptions options;
+    options.num_documents = 40;
+    options.seed = 5150;
+    corpus::Corpus small = corpus::GenerateCorpus(options);
+    std::vector<core::PreparedDocument> docs =
+        PrepareAll(small, setup.config);
+
+    util::Stopwatch watch;
+    for (const auto& d : docs) setup.system->Align(d);
+    double briq_rate = docs.size() / watch.ElapsedSeconds() * 60.0;
+
+    core::RwrOnlyAligner rwr(&setup.config);
+    watch.Reset();
+    for (const auto& d : docs) rwr.Align(d);
+    double rwr_rate = docs.size() / watch.ElapsedSeconds() * 60.0;
+
+    std::cout << "BriQ vs RWR-only speedup: " << Fmt2(briq_rate / rwr_rate)
+              << "x  (paper: ~30x; RWR-only at 76 docs/min)\n";
+  }
+}
+
+}  // namespace
+}  // namespace briq::bench
+
+int main() {
+  briq::bench::Run();
+  return 0;
+}

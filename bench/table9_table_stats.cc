@@ -1,0 +1,95 @@
+// Reproduces Table IX: table statistics by domain — average rows, columns,
+// single cells, and virtual cells per table. The generator profiles are
+// calibrated against these numbers; the shape to verify is the relative
+// ordering (sports has by far the most virtual cells, health by far the
+// fewest).
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "table/virtual_cell.h"
+#include "util/table_printer.h"
+
+namespace briq::bench {
+namespace {
+
+struct PaperRow {
+  const char* domain;
+  int rows, cols, single_cells, virtual_cells;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"environment", 7, 4, 21, 243}, {"finance", 7, 4, 16, 142},
+    {"health", 3, 2, 4, 26},        {"politics", 8, 3, 17, 137},
+    {"sports", 8, 6, 35, 523},      {"others", 7, 4, 21, 252},
+};
+
+void Run() {
+  util::TablePrinter printer(
+      "Table IX: table statistics by domain — averages per table\n"
+      "(measured; paper values in parentheses)");
+  printer.SetHeader({"domain", "rows", "columns", "single cells",
+                     "virtual cells"});
+
+  core::BriqConfig config;
+  double sum_rows = 0, sum_cols = 0, sum_single = 0, sum_virtual = 0;
+  size_t total_tables = 0;
+
+  for (const PaperRow& row : kPaper) {
+    corpus::CorpusOptions options;
+    options.num_documents = 150;
+    options.seed = 4711;
+    options.domain_weights = {{row.domain, 1.0}};
+    corpus::Corpus domain_corpus = corpus::GenerateCorpus(options);
+
+    double rows_acc = 0, cols_acc = 0, single_acc = 0, virtual_acc = 0;
+    size_t tables = 0;
+    for (const corpus::Document& d : domain_corpus.documents) {
+      for (const table::Table& t : d.tables) {
+        table::VirtualCellStats stats;
+        table::GenerateTableMentions(t, 0, config.virtual_cells, &stats);
+        rows_acc += t.num_rows();
+        cols_acc += t.num_cols();
+        single_acc += static_cast<double>(stats.single_cells);
+        virtual_acc += static_cast<double>(stats.virtual_total());
+        ++tables;
+      }
+    }
+    sum_rows += rows_acc;
+    sum_cols += cols_acc;
+    sum_single += single_acc;
+    sum_virtual += virtual_acc;
+    total_tables += tables;
+
+    auto avg = [&](double acc) {
+      return FmtCount(static_cast<size_t>(acc / tables + 0.5));
+    };
+    printer.AddRow({row.domain,
+                    avg(rows_acc) + " (" + std::to_string(row.rows) + ")",
+                    avg(cols_acc) + " (" + std::to_string(row.cols) + ")",
+                    avg(single_acc) + " (" + std::to_string(row.single_cells) + ")",
+                    avg(virtual_acc) + " (" + std::to_string(row.virtual_cells) +
+                        ")"});
+  }
+  printer.AddSeparator();
+  auto avg_all = [&](double acc) {
+    return FmtCount(static_cast<size_t>(acc / total_tables + 0.5));
+  };
+  printer.AddRow({"average", avg_all(sum_rows) + " (7)",
+                  avg_all(sum_cols) + " (4)", avg_all(sum_single) + " (19)",
+                  avg_all(sum_virtual) + " (220)"});
+  std::cout << printer.ToString() << std::endl;
+  std::cout << "Note: virtual cells counted as generated aggregate mentions "
+               "(sum/diff/pct/ratio over\nordered pairs); the paper's "
+               "convention appears to count pairs once, so absolute counts\n"
+               "run higher here while the cross-domain ordering is the "
+               "reproduced shape.\n";
+}
+
+}  // namespace
+}  // namespace briq::bench
+
+int main() {
+  briq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Hyperparameter tuning on the withheld validation split (paper §VII-C:
+// "We use grid search to choose the best values for the hyper-parameters").
+// Tunes the global-resolution knobs (alpha, beta, epsilon) and the filter's
+// value-pruning threshold, then reports validation-vs-test F1 for the best
+// point against the shipped defaults.
+
+#include <iostream>
+
+#include "bench/harness.h"
+#include "ml/grid_search.h"
+#include "util/table_printer.h"
+
+namespace briq::bench {
+namespace {
+
+void Run() {
+  ExperimentSetup setup = BuildSetup(/*num_documents=*/300, /*seed=*/2024);
+
+  // The expensive parts (classifier + tagger training) do not depend on
+  // the filtering/resolution knobs, so one trained system serves the whole
+  // grid: mutate its live config per point and restore afterwards.
+  const core::BriqConfig defaults = setup.system->config();
+  auto evaluate_with = [&](const ml::ParamMap& params,
+                           const std::vector<core::PreparedDocument>& docs) {
+    core::BriqConfig* config = setup.system->mutable_config();
+    config->alpha = params.at("alpha");
+    config->beta = 1.0 - params.at("alpha");
+    config->epsilon = params.at("epsilon");
+    config->prune_value_diff = params.at("prune_value_diff");
+    double f1 = core::EvaluateCorpus(*setup.system, docs).F1();
+    *config = defaults;
+    return f1;
+  };
+
+  ml::ParamGrid grid = {
+      {"alpha", {0.4, 0.6, 0.8}},
+      {"epsilon", {0.02, 0.05, 0.1}},
+      {"prune_value_diff", {0.15, 0.25}},
+  };
+
+  std::cout << "grid searching " << ml::ExpandGrid(grid).size()
+            << " configurations on the validation split...\n";
+  ml::GridSearchResult result =
+      ml::GridSearch(grid, [&](const ml::ParamMap& p) {
+        return evaluate_with(p, setup.validation);
+      });
+
+  util::TablePrinter printer("validation grid search (Algorithm 1 knobs)");
+  printer.SetHeader({"parameter", "best value"});
+  for (const auto& [name, value] : result.best_params) {
+    printer.AddRow({name, Fmt2(value)});
+  }
+  printer.AddRow({"validation F1", Fmt2(result.best_score)});
+  std::cout << printer.ToString();
+
+  // Compare defaults vs tuned on the untouched test split.
+  double default_test =
+      core::EvaluateCorpus(*setup.system, setup.test).F1();
+  double tuned_test = evaluate_with(result.best_params, setup.test);
+  std::cout << "test F1: defaults " << Fmt2(default_test) << ", tuned "
+            << Fmt2(tuned_test) << "\n";
+}
+
+}  // namespace
+}  // namespace briq::bench
+
+int main() {
+  briq::bench::Run();
+  return 0;
+}

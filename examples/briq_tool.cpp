@@ -1,0 +1,193 @@
+// briq_tool — command-line front end for the library.
+//
+//   briq_tool generate <n_docs> <out.json> [seed]   synthesize a corpus
+//   briq_tool stats <corpus.json>                   corpus statistics
+//   briq_tool eval <corpus.json>                    train/test split + metrics
+//   briq_tool align <corpus.json> <doc_index>       print one document's
+//                                                   alignments (trained on
+//                                                   the rest of the corpus)
+
+#include <iostream>
+#include <string>
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "corpus/generator.h"
+#include "corpus/serialization.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace briq;
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  briq_tool generate <n_docs> <out.json> [seed]\n"
+      "  briq_tool stats <corpus.json>\n"
+      "  briq_tool eval <corpus.json>\n"
+      "  briq_tool align <corpus.json> <doc_index>\n";
+  return 2;
+}
+
+int Generate(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  corpus::CorpusOptions options;
+  options.num_documents = std::stoul(argv[2]);
+  if (argc > 4) options.seed = std::stoull(argv[4]);
+  corpus::Corpus corpus = corpus::GenerateCorpus(options);
+  util::Status status = corpus::SaveCorpus(corpus, argv[3]);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << corpus.size() << " documents to " << argv[3]
+            << "\n";
+  return 0;
+}
+
+util::Result<corpus::Corpus> Load(const char* path) {
+  return corpus::LoadCorpus(path);
+}
+
+int Stats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto corpus = Load(argv[2]);
+  if (!corpus.ok()) {
+    std::cerr << corpus.status().ToString() << "\n";
+    return 1;
+  }
+  size_t paragraphs = 0;
+  size_t tables = 0;
+  size_t gt = 0;
+  std::map<std::string, size_t> by_domain;
+  std::map<std::string, size_t> by_type;
+  for (const corpus::Document& d : corpus->documents) {
+    paragraphs += d.paragraphs.size();
+    tables += d.tables.size();
+    gt += d.ground_truth.size();
+    ++by_domain[d.domain];
+    for (const auto& g : d.ground_truth) {
+      ++by_type[table::AggregateFunctionName(g.target.func)];
+    }
+  }
+  util::TablePrinter printer("corpus statistics");
+  printer.SetHeader({"metric", "value"});
+  printer.AddRow({"documents", std::to_string(corpus->size())});
+  printer.AddRow({"paragraphs", std::to_string(paragraphs)});
+  printer.AddRow({"tables", std::to_string(tables)});
+  printer.AddRow({"annotated alignments", std::to_string(gt)});
+  for (const auto& [domain, n] : by_domain) {
+    printer.AddRow({"domain: " + domain, std::to_string(n)});
+  }
+  for (const auto& [type, n] : by_type) {
+    printer.AddRow({"mention type: " + type, std::to_string(n)});
+  }
+  std::cout << printer.ToString();
+  return 0;
+}
+
+// Trains on all documents except `holdout` (or the first 90% when
+// holdout < 0) and returns the trained system with the prepared docs.
+struct Trained {
+  core::BriqConfig config;
+  std::vector<core::PreparedDocument> prepared;
+  std::unique_ptr<core::BriqSystem> system;
+};
+
+Trained TrainOn(const corpus::Corpus& corpus, int holdout) {
+  Trained t;
+  for (const auto& d : corpus.documents) {
+    t.prepared.push_back(core::PrepareDocument(d, t.config));
+  }
+  std::vector<const core::PreparedDocument*> train;
+  size_t limit = holdout < 0 ? corpus.size() * 9 / 10 : corpus.size();
+  for (size_t i = 0; i < limit; ++i) {
+    if (static_cast<int>(i) == holdout) continue;
+    train.push_back(&t.prepared[i]);
+  }
+  t.system = std::make_unique<core::BriqSystem>(t.config);
+  BRIQ_CHECK_OK(t.system->Train(train));
+  return t;
+}
+
+int Eval(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto corpus = Load(argv[2]);
+  if (!corpus.ok()) {
+    std::cerr << corpus.status().ToString() << "\n";
+    return 1;
+  }
+  Trained t = TrainOn(*corpus, /*holdout=*/-1);
+  std::vector<core::PreparedDocument> test(
+      t.prepared.begin() + corpus->size() * 9 / 10, t.prepared.end());
+  if (test.empty()) {
+    std::cerr << "corpus too small for a test split\n";
+    return 1;
+  }
+  core::RfOnlyAligner rf(t.system.get());
+  core::RwrOnlyAligner rwr(&t.config);
+
+  util::TablePrinter printer("evaluation on the held-out 10%");
+  printer.SetHeader({"system", "precision", "recall", "F1"});
+  auto row = [&](const char* name, const core::EvalResult& r) {
+    auto fmt = [](double v) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.3f", v);
+      return std::string(buf);
+    };
+    printer.AddRow({name, fmt(r.Precision()), fmt(r.Recall()), fmt(r.F1())});
+  };
+  row("BriQ", core::EvaluateCorpus(*t.system, test));
+  row("RF-only", core::EvaluateCorpus(rf, test));
+  row("RWR-only", core::EvaluateCorpus(rwr, test));
+  std::cout << printer.ToString();
+  return 0;
+}
+
+int AlignOne(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto corpus = Load(argv[2]);
+  if (!corpus.ok()) {
+    std::cerr << corpus.status().ToString() << "\n";
+    return 1;
+  }
+  int index = std::stoi(argv[3]);
+  if (index < 0 || static_cast<size_t>(index) >= corpus->size()) {
+    std::cerr << "doc_index out of range (corpus has " << corpus->size()
+              << " documents)\n";
+    return 1;
+  }
+  Trained t = TrainOn(*corpus, index);
+  const core::PreparedDocument& doc = t.prepared[index];
+  core::DocumentAlignment alignment = t.system->Align(doc);
+
+  std::cout << "document " << doc.source->id << " ("
+            << doc.text_mentions.size() << " text mentions, "
+            << doc.table_mentions.size() << " table mentions incl. virtual "
+            << "cells)\n";
+  for (const auto& p : doc.source->paragraphs) {
+    std::cout << "  | " << p << "\n";
+  }
+  std::cout << "\nalignments:\n";
+  for (const auto& d : alignment.decisions) {
+    std::cout << "  \"" << doc.text_mentions[d.text_idx].surface()
+              << "\"  ->  " << doc.table_mentions[d.table_idx].DebugString()
+              << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "generate") return Generate(argc, argv);
+  if (cmd == "stats") return Stats(argc, argv);
+  if (cmd == "eval") return Eval(argc, argv);
+  if (cmd == "align") return AlignOne(argc, argv);
+  return Usage();
+}

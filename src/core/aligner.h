@@ -1,0 +1,46 @@
+#ifndef BRIQ_CORE_ALIGNER_H_
+#define BRIQ_CORE_ALIGNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/extraction.h"
+
+namespace briq::core {
+
+/// One alignment decision: text mention -> table mention, with the score
+/// that justified it.
+struct AlignmentDecision {
+  int text_idx = -1;
+  int table_idx = -1;
+  double score = 0.0;
+};
+
+/// The (partial) alignment of one document.
+struct DocumentAlignment {
+  std::vector<AlignmentDecision> decisions;
+
+  /// The decision for a text mention, or nullptr.
+  const AlignmentDecision* ForTextMention(int text_idx) const {
+    for (const auto& d : decisions) {
+      if (d.text_idx == text_idx) return &d;
+    }
+    return nullptr;
+  }
+};
+
+/// Common interface of BriQ and the two baselines, so the evaluation
+/// harness and the benches treat them uniformly.
+class Aligner {
+ public:
+  virtual ~Aligner() = default;
+
+  /// Computes the alignment of a prepared document.
+  virtual DocumentAlignment Align(const PreparedDocument& doc) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_ALIGNER_H_

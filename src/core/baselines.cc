@@ -1,0 +1,49 @@
+#include "core/baselines.h"
+
+#include "core/features.h"
+#include "core/resolution.h"
+
+namespace briq::core {
+
+DocumentAlignment RfOnlyAligner::Align(const PreparedDocument& doc) const {
+  DocumentAlignment alignment;
+  FeatureComputer features(doc, system_->config());
+  const auto& classifier = system_->classifier();
+
+  for (size_t x = 0; x < doc.text_mentions.size(); ++x) {
+    int best = -1;
+    double best_score = 0.0;
+    for (size_t t = 0; t < doc.table_mentions.size(); ++t) {
+      double s = classifier.Score(features, x, t);
+      if (best < 0 || s > best_score) {
+        best = static_cast<int>(t);
+        best_score = s;
+      }
+    }
+    if (best >= 0) {
+      alignment.decisions.push_back(
+          AlignmentDecision{static_cast<int>(x), best, best_score});
+    }
+  }
+  return alignment;
+}
+
+DocumentAlignment RwrOnlyAligner::Align(const PreparedDocument& doc) const {
+  // Every mention pair is a candidate, scored by the uniform feature
+  // combination (no trained prior, no pruning).
+  FeatureComputer features(doc, *config_);
+  std::vector<std::vector<Candidate>> candidates(doc.text_mentions.size());
+  for (size_t x = 0; x < doc.text_mentions.size(); ++x) {
+    candidates[x].reserve(doc.table_mentions.size());
+    for (size_t t = 0; t < doc.table_mentions.size(); ++t) {
+      double s = features.UniformSimilarity(x, t);
+      if (s > 0.0) {
+        candidates[x].push_back(Candidate{x, t, s});
+      }
+    }
+  }
+  GlobalResolver resolver(config_);
+  return resolver.Resolve(doc, candidates);
+}
+
+}  // namespace briq::core

@@ -1,0 +1,47 @@
+#ifndef BRIQ_CORE_BASELINES_H_
+#define BRIQ_CORE_BASELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/aligner.h"
+#include "core/classifier.h"
+#include "core/config.h"
+#include "core/pipeline.h"
+
+namespace briq::core {
+
+/// Classifier-only baseline (paper §VII-D): for each text mention, the
+/// table mention of the classifier's top-ranked pair is chosen as output —
+/// no filtering, no joint inference.
+class RfOnlyAligner : public Aligner {
+ public:
+  /// Borrows the trained system's classifier and config.
+  explicit RfOnlyAligner(const BriqSystem* system) : system_(system) {}
+
+  DocumentAlignment Align(const PreparedDocument& doc) const override;
+  std::string name() const override { return "RF"; }
+
+ private:
+  const BriqSystem* system_;
+};
+
+/// Random-walk-only baseline (paper §VII-D): the same graph algorithm as
+/// BriQ's second stage, but with text-table edges weighted by the
+/// *untrained* uniform combination of all features instead of classifier
+/// priors, and without any candidate pruning (every mention pair is an
+/// edge — deliberately expensive, as in the paper).
+class RwrOnlyAligner : public Aligner {
+ public:
+  explicit RwrOnlyAligner(const BriqConfig* config) : config_(config) {}
+
+  DocumentAlignment Align(const PreparedDocument& doc) const override;
+  std::string name() const override { return "RWR"; }
+
+ private:
+  const BriqConfig* config_;
+};
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_BASELINES_H_

@@ -1,0 +1,70 @@
+#include "core/classifier.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/gt_matching.h"
+#include "ml/dataset.h"
+#include "util/logging.h"
+
+namespace briq::core {
+
+void MentionPairClassifier::Train(
+    const std::vector<const PreparedDocument*>& docs, util::Rng* rng) {
+  stats_ = TrainingStats();
+  ml::Dataset data(0);
+  bool sized = false;
+
+  for (const PreparedDocument* doc : docs) {
+    FeatureComputer features(*doc, *config_);
+    if (!sized) {
+      data = ml::Dataset(features.NumActive());
+      sized = true;
+    }
+    for (const MatchedGroundTruth& m : MatchGroundTruth(*doc)) {
+      if (m.text_idx < 0 || m.table_idx < 0) continue;
+      const size_t x = static_cast<size_t>(m.text_idx);
+      const size_t t_pos = static_cast<size_t>(m.table_idx);
+
+      data.Add(features.Compute(x, t_pos), /*label=*/1);
+      const auto func = doc->table_mentions[t_pos].func;
+      ++stats_.positives[func];
+      ++stats_.total_positives;
+
+      // Hard negatives: the numerically closest non-matching table
+      // mentions ("approximately the same values and similar context").
+      const double xv = doc->text_mentions[x].q.value;
+      std::vector<size_t> order(doc->table_mentions.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return quantity::RelativeDifference(xv, doc->table_mentions[a].value) <
+               quantity::RelativeDifference(xv, doc->table_mentions[b].value);
+      });
+      int taken = 0;
+      for (size_t j : order) {
+        if (taken >= config_->negatives_per_positive) break;
+        if (j == t_pos) continue;
+        data.Add(features.Compute(x, j), /*label=*/0);
+        ++stats_.negatives[doc->table_mentions[j].func];
+        ++stats_.total_negatives;
+        ++taken;
+      }
+      (void)rng;
+    }
+  }
+
+  if (data.empty() || data.num_classes() < 2) {
+    BRIQ_LOG(Warning) << "classifier training data is empty or single-class; "
+                         "forest not fitted";
+    return;
+  }
+  forest_.Fit(data, config_->forest);
+}
+
+double MentionPairClassifier::Score(const FeatureComputer& features,
+                                    size_t text_idx, size_t table_idx) const {
+  BRIQ_CHECK(trained()) << "classifier not trained";
+  return forest_.PredictPositiveProba(features.Compute(text_idx, table_idx));
+}
+
+}  // namespace briq::core

@@ -1,0 +1,57 @@
+#ifndef BRIQ_CORE_CLASSIFIER_H_
+#define BRIQ_CORE_CLASSIFIER_H_
+
+#include <map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/extraction.h"
+#include "core/features.h"
+#include "ml/random_forest.h"
+#include "util/random.h"
+
+namespace briq::core {
+
+/// Stage-2 mention-pair classifier (paper §IV): a Random Forest over the
+/// 12 pair features that scores each (text mention, table mention)
+/// candidate in isolation. Scores serve as pruning signal for the adaptive
+/// filter and as the prior sigma for global resolution.
+class MentionPairClassifier {
+ public:
+  /// Per-type positive/negative sample counts of the last Train call
+  /// (reproduces the paper's Table I).
+  struct TrainingStats {
+    std::map<table::AggregateFunction, size_t> positives;
+    std::map<table::AggregateFunction, size_t> negatives;
+    size_t total_positives = 0;
+    size_t total_negatives = 0;
+  };
+
+  explicit MentionPairClassifier(const BriqConfig* config)
+      : config_(config) {}
+
+  /// Trains on ground-truth pairs of the prepared documents. Each positive
+  /// pair is complemented with config.negatives_per_positive hard negatives
+  /// — the non-matching table mentions numerically closest to the text
+  /// mention (paper §VII-B). Class imbalance is countered by balanced
+  /// sample weights inside the forest.
+  void Train(const std::vector<const PreparedDocument*>& docs,
+             util::Rng* rng);
+
+  /// P(pair is related) in [0, 1].
+  double Score(const FeatureComputer& features, size_t text_idx,
+               size_t table_idx) const;
+
+  bool trained() const { return forest_.fitted(); }
+  const TrainingStats& stats() const { return stats_; }
+  const ml::RandomForest& forest() const { return forest_; }
+
+ private:
+  const BriqConfig* config_;
+  ml::RandomForest forest_;
+  TrainingStats stats_;
+};
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_CLASSIFIER_H_

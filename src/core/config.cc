@@ -1,0 +1,39 @@
+#include "core/config.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace briq::core {
+
+FeatureGroup FeatureGroupOf(int feature_index) {
+  BRIQ_CHECK(feature_index >= 0 && feature_index < kNumPairFeatures)
+      << "feature index out of range: " << feature_index;
+  switch (feature_index) {
+    case 0:  // f1 surface similarity
+      return FeatureGroup::kSurface;
+    case 1:  // f2 local word overlap
+    case 2:  // f3 global word overlap
+    case 3:  // f4 local phrase overlap
+    case 4:  // f5 global phrase overlap
+      return FeatureGroup::kContext;
+    case 5:  // f6 relative difference (normalized)
+    case 6:  // f7 relative difference (unnormalized)
+    case 7:  // f8 unit match
+    case 8:  // f9 scale difference
+    case 9:  // f10 precision difference
+      return FeatureGroup::kQuantity;
+    case 10:  // f11 approximation indicator
+    case 11:  // f12 aggregate function match
+      return FeatureGroup::kContext;
+  }
+  return FeatureGroup::kSurface;
+}
+
+bool BriqConfig::FeatureActive(int f) const {
+  if (active_features.empty()) return true;
+  return std::find(active_features.begin(), active_features.end(), f) !=
+         active_features.end();
+}
+
+}  // namespace briq::core

@@ -1,0 +1,117 @@
+#ifndef BRIQ_CORE_CONFIG_H_
+#define BRIQ_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/random_walk.h"
+#include "ml/random_forest.h"
+#include "quantity/quantity_parser.h"
+#include "table/virtual_cell.h"
+
+namespace briq::core {
+
+/// Feature-group membership for the ablation study (paper Table VII).
+enum class FeatureGroup {
+  kSurface,   // f1
+  kContext,   // f2-f5, f11, f12
+  kQuantity,  // f6-f10
+};
+
+/// Number of mention-pair features (f1..f12).
+inline constexpr int kNumPairFeatures = 12;
+
+/// Group of each feature index (0-based f1..f12).
+FeatureGroup FeatureGroupOf(int feature_index);
+
+/// All hyperparameters of the BriQ pipeline. Defaults are the values tuned
+/// on the withheld validation split (see bench/ and tests); every knob the
+/// paper tunes by grid search is exposed here.
+struct BriqConfig {
+  // --- Stage 1: extraction --------------------------------------------------
+  quantity::ExtractionOptions extraction;
+  table::VirtualCellOptions virtual_cells;
+
+  // --- Features --------------------------------------------------------------
+  /// Local-context window: n words before/after the text mention (f2).
+  int context_window = 8;
+  /// Distance discount of the weighted overlap: weight(e) = 1 - (d /
+  /// step_size) * step_weight, floored at min_word_weight.
+  int step_size = 2;
+  double step_weight = 0.15;
+  double min_word_weight = 0.1;
+  /// Window (words) for aggregate-function cue lookup around a mention
+  /// (f12 / tagger immediate context).
+  int agg_cue_window = 5;
+  /// Active feature indices (ablation support); empty means all 12.
+  std::vector<int> active_features;
+
+  // --- Stage 2: mention-pair classifier --------------------------------------
+  ml::ForestConfig forest;
+  /// Hard negatives sampled per positive during training (paper §VII-B).
+  int negatives_per_positive = 5;
+
+  // --- Text-mention tagger ----------------------------------------------------
+  ml::ForestConfig tagger_forest;
+  /// Aggregate pairs are pruned only when the tagger is at least this
+  /// confident (precision-oriented tagging, paper §V-A).
+  double tagger_min_confidence = 0.5;
+
+  // --- Stage 3: adaptive filtering --------------------------------------------
+  /// Prune pairs whose relative value difference exceeds `prune_value_diff`
+  /// when the classifier score is below `prune_score_threshold` (§V-B).
+  double prune_value_diff = 0.25;
+  double prune_score_threshold = 0.35;
+  /// Top-k per mention by type: exact mentions keep fewer candidates.
+  int top_k_exact = 4;
+  int top_k_approx = 8;
+  /// Entropy-adaptive k: distributions below the (normalized) entropy
+  /// threshold keep top_k_low_entropy, above keep top_k_high_entropy.
+  double entropy_threshold = 0.55;
+  int top_k_low_entropy = 2;
+  int top_k_high_entropy = 10;
+
+  // --- Stage 4: global resolution ----------------------------------------------
+  /// Text-text edge weight Wxx = lambda_proximity * fprox + lambda_strsim *
+  /// fstrsim. fprox is 1 - (token distance / document length): the paper
+  /// words it as the raw separation count, but a *similarity* is required
+  /// for edge weights, so nearer mentions weigh more.
+  double lambda_proximity = 0.5;
+  double lambda_strsim = 0.5;
+  /// Token-distance cutoff for text-text edges.
+  int text_edge_max_distance = 60;
+  /// Surface-similarity cutoff that also creates a text-text edge.
+  double text_edge_min_strsim = 0.85;
+  /// Uniform weight of table-table edges (same row / same column, and
+  /// virtual cell <-> constituent cells).
+  double table_edge_weight = 0.5;
+  graph::RwrConfig rwr;
+  /// OverallScore(t|x) = alpha * pi(t|x) + beta * sigma(t|x)  (Eq. 1).
+  double alpha = 0.5;
+  double beta = 0.5;
+  /// Acceptance threshold epsilon on the overall score.
+  double epsilon = 0.03;
+  /// Design-choice ablations of Algorithm 1: process mentions in
+  /// increasing-entropy order (vs. document order), and delete resolved
+  /// mentions' edges so later walks see the decisions.
+  bool entropy_ordering = true;
+  bool edge_deletion = true;
+
+  uint64_t seed = 1234;
+
+  BriqConfig() {
+    forest.num_trees = 48;
+    forest.tree.max_depth = 14;
+    forest.seed = 4242;
+    tagger_forest.num_trees = 32;
+    tagger_forest.tree.max_depth = 10;
+    tagger_forest.seed = 777;
+  }
+
+  /// True if feature f (0-based) participates given the ablation mask.
+  bool FeatureActive(int f) const;
+};
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_CONFIG_H_

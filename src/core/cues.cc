@@ -1,0 +1,109 @@
+#include "core/cues.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace briq::core {
+
+namespace {
+
+using table::AggregateFunction;
+
+const std::unordered_map<std::string, AggregateFunction>& CueMap() {
+  static const auto& kMap =
+      *new std::unordered_map<std::string, AggregateFunction>{
+          // Sum cues.
+          {"total", AggregateFunction::kSum},
+          {"totals", AggregateFunction::kSum},
+          {"totaled", AggregateFunction::kSum},
+          {"summed", AggregateFunction::kSum},
+          {"sum", AggregateFunction::kSum},
+          {"overall", AggregateFunction::kSum},
+          {"together", AggregateFunction::kSum},
+          {"combined", AggregateFunction::kSum},
+          {"altogether", AggregateFunction::kSum},
+          {"aggregate", AggregateFunction::kSum},
+          // Difference cues.
+          {"difference", AggregateFunction::kDiff},
+          {"up", AggregateFunction::kDiff},
+          {"down", AggregateFunction::kDiff},
+          {"rose", AggregateFunction::kDiff},
+          {"fell", AggregateFunction::kDiff},
+          {"gained", AggregateFunction::kDiff},
+          {"lost", AggregateFunction::kDiff},
+          {"exceeded", AggregateFunction::kDiff},
+          {"cheaper", AggregateFunction::kDiff},
+          {"dearer", AggregateFunction::kDiff},
+          {"gap", AggregateFunction::kDiff},
+          {"widened", AggregateFunction::kDiff},
+          // Percentage cues.
+          {"share", AggregateFunction::kPercentage},
+          {"proportion", AggregateFunction::kPercentage},
+          {"accounted", AggregateFunction::kPercentage},
+          {"among", AggregateFunction::kPercentage},
+          {"fraction", AggregateFunction::kPercentage},
+          // Change-ratio cues.
+          {"increased", AggregateFunction::kChangeRatio},
+          {"decreased", AggregateFunction::kChangeRatio},
+          {"grew", AggregateFunction::kChangeRatio},
+          {"declined", AggregateFunction::kChangeRatio},
+          {"shrank", AggregateFunction::kChangeRatio},
+          {"growth", AggregateFunction::kChangeRatio},
+          {"change", AggregateFunction::kChangeRatio},
+          {"rate", AggregateFunction::kChangeRatio},
+      };
+  return kMap;
+}
+
+int CueIndex(AggregateFunction f) {
+  for (int i = 0; i < kNumCueFunctions; ++i) {
+    if (kCueFunctions[i] == f) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+AggregateFunction CueFunctionOf(std::string_view word) {
+  auto it = CueMap().find(util::ToLower(word));
+  return it == CueMap().end() ? AggregateFunction::kNone : it->second;
+}
+
+std::vector<int> CountCues(const std::vector<text::Token>& tokens,
+                           size_t begin, size_t end) {
+  std::vector<int> counts(kNumCueFunctions, 0);
+  end = std::min(end, tokens.size());
+  for (size_t i = begin; i < end; ++i) {
+    if (tokens[i].kind != text::TokenKind::kWord) continue;
+    AggregateFunction f = CueFunctionOf(tokens[i].textual);
+    int idx = CueIndex(f);
+    if (idx >= 0) ++counts[idx];
+  }
+  return counts;
+}
+
+AggregateFunction InferAggregateFunction(
+    const std::vector<text::Token>& tokens, size_t pos, int window) {
+  size_t begin = pos >= static_cast<size_t>(window) ? pos - window : 0;
+  size_t end = std::min(tokens.size(), pos + window + 1);
+  std::vector<int> counts = CountCues(tokens, begin, end);
+  int best = -1;
+  int best_count = 0;
+  bool tie = false;
+  for (int i = 0; i < kNumCueFunctions; ++i) {
+    if (counts[i] > best_count) {
+      best_count = counts[i];
+      best = i;
+      tie = false;
+    } else if (counts[i] == best_count && counts[i] > 0) {
+      tie = true;
+    }
+  }
+  if (best < 0 || best_count == 0 || tie) return AggregateFunction::kNone;
+  return kCueFunctions[best];
+}
+
+}  // namespace briq::core

@@ -1,0 +1,40 @@
+#ifndef BRIQ_CORE_CUES_H_
+#define BRIQ_CORE_CUES_H_
+
+#include <string_view>
+#include <vector>
+
+#include "table/mention.h"
+#include "text/tokenizer.h"
+
+namespace briq::core {
+
+/// The aggregation functions detectable from textual cues, in tagger label
+/// order. Index 0 is reserved for "single cell" (no cue).
+inline constexpr table::AggregateFunction kCueFunctions[] = {
+    table::AggregateFunction::kSum,
+    table::AggregateFunction::kDiff,
+    table::AggregateFunction::kPercentage,
+    table::AggregateFunction::kChangeRatio,
+};
+inline constexpr int kNumCueFunctions = 4;
+
+/// Maps a word to the aggregate function it cues, or kNone. The manually
+/// compiled cue lists of paper §V-A ("total, summed, overall, together" for
+/// sum, etc.).
+table::AggregateFunction CueFunctionOf(std::string_view word);
+
+/// Counts cue words per function among tokens[begin, end).
+/// Returns kNumCueFunctions counts in kCueFunctions order.
+std::vector<int> CountCues(const std::vector<text::Token>& tokens,
+                           size_t begin, size_t end);
+
+/// The single aggregate function cued within a window of `window` tokens
+/// around position `pos` (exclusive of the mention itself); kNone if no cue
+/// or conflicting weak evidence. Majority of cue counts wins.
+table::AggregateFunction InferAggregateFunction(
+    const std::vector<text::Token>& tokens, size_t pos, int window);
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_CUES_H_

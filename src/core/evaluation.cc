@@ -1,0 +1,71 @@
+#include "core/evaluation.h"
+
+#include "core/gt_matching.h"
+
+namespace briq::core {
+
+void EvalResult::Merge(const EvalResult& other) {
+  overall += other.overall;
+  for (const auto& [func, counts] : other.by_type) {
+    by_type[func] += counts;
+  }
+}
+
+EvalResult EvaluateDocument(const PreparedDocument& doc,
+                            const DocumentAlignment& alignment) {
+  EvalResult result;
+  std::vector<MatchedGroundTruth> matched = MatchGroundTruth(doc);
+
+  // Ground truth per extracted text mention.
+  std::map<int, const MatchedGroundTruth*> gt_by_text;
+  for (const MatchedGroundTruth& m : matched) {
+    if (m.text_idx >= 0) gt_by_text[m.text_idx] = &m;
+  }
+
+  std::map<int, bool> gt_satisfied;  // text_idx -> correctly aligned
+
+  for (const AlignmentDecision& d : alignment.decisions) {
+    auto it = gt_by_text.find(d.text_idx);
+    const auto predicted_func = doc.table_mentions[d.table_idx].func;
+    if (it != gt_by_text.end() && it->second->table_idx == d.table_idx) {
+      ++result.overall.true_positives;
+      ++result.by_type[predicted_func].true_positives;
+      gt_satisfied[d.text_idx] = true;
+    } else {
+      ++result.overall.false_positives;
+      ++result.by_type[predicted_func].false_positives;
+    }
+  }
+
+  // Unsatisfied ground truth: false negatives (extraction misses count
+  // too — text_idx < 0 can never be satisfied).
+  for (const MatchedGroundTruth& m : matched) {
+    const bool satisfied =
+        m.text_idx >= 0 && gt_satisfied.count(m.text_idx) > 0;
+    if (!satisfied) {
+      ++result.overall.false_negatives;
+      ++result.by_type[m.gt->target.func].false_negatives;
+    }
+  }
+  return result;
+}
+
+EvalResult EvaluateCorpus(const Aligner& aligner,
+                          const std::vector<PreparedDocument>& docs) {
+  EvalResult total;
+  for (const PreparedDocument& doc : docs) {
+    total.Merge(EvaluateDocument(doc, aligner.Align(doc)));
+  }
+  return total;
+}
+
+BriqConfig ConfigWithoutGroup(const BriqConfig& base, FeatureGroup group) {
+  BriqConfig config = base;
+  config.active_features.clear();
+  for (int f = 0; f < kNumPairFeatures; ++f) {
+    if (FeatureGroupOf(f) != group) config.active_features.push_back(f);
+  }
+  return config;
+}
+
+}  // namespace briq::core

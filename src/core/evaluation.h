@@ -1,0 +1,47 @@
+#ifndef BRIQ_CORE_EVALUATION_H_
+#define BRIQ_CORE_EVALUATION_H_
+
+#include <map>
+#include <vector>
+
+#include "core/aligner.h"
+#include "core/config.h"
+#include "core/extraction.h"
+#include "ml/metrics.h"
+
+namespace briq::core {
+
+/// Precision/recall/F1 accounting of alignments against ground truth,
+/// overall and per mention type (the type of an alignment is the aggregate
+/// function of its table-mention side; single-cell for plain cells).
+struct EvalResult {
+  ml::BinaryCounts overall;
+  std::map<table::AggregateFunction, ml::BinaryCounts> by_type;
+
+  void Merge(const EvalResult& other);
+  double Precision() const { return overall.Precision(); }
+  double Recall() const { return overall.Recall(); }
+  double F1() const { return overall.F1(); }
+};
+
+/// Scores one document's alignment:
+///  - a decision matching its mention's ground-truth target is a true
+///    positive (under the target's type);
+///  - a decision for a mention with a different (or no) target is a false
+///    positive (under the predicted type), plus a false negative for the
+///    missed target if one existed;
+///  - an unaligned ground-truth mention (including extraction misses) is a
+///    false negative.
+EvalResult EvaluateDocument(const PreparedDocument& doc,
+                            const DocumentAlignment& alignment);
+
+/// Runs `aligner` over all documents and accumulates metrics.
+EvalResult EvaluateCorpus(const Aligner& aligner,
+                          const std::vector<PreparedDocument>& docs);
+
+/// Config copy with one feature group removed (ablation study, Table VII).
+BriqConfig ConfigWithoutGroup(const BriqConfig& base, FeatureGroup group);
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_EVALUATION_H_

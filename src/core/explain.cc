@@ -1,0 +1,92 @@
+#include "core/explain.h"
+
+#include "core/features.h"
+#include "util/string_util.h"
+
+namespace briq::core {
+
+std::string ExplainDecision(const PreparedDocument& doc,
+                            const BriqConfig& config,
+                            const AlignmentDecision& decision) {
+  const table::TextMention& x = doc.text_mentions[decision.text_idx];
+  const table::TableMention& t = doc.table_mentions[decision.table_idx];
+  const table::Table& tbl = doc.source->tables[t.table_index];
+
+  std::string out;
+  out += "\"" + x.surface() + "\" (paragraph " +
+         std::to_string(x.paragraph) + ", sentence " +
+         std::to_string(x.sentence) + ")\n";
+  out += "  -> " + t.DebugString() + "\n";
+
+  // Locate the target in human terms.
+  if (!t.cells.empty()) {
+    const table::CellRef& first = t.cells.front();
+    std::string row_header = tbl.RowHeader(first.row);
+    std::string col_header = tbl.ColumnHeader(first.col);
+    out += "  location: ";
+    if (t.is_virtual()) {
+      out += std::string(table::AggregateFunctionName(t.func)) + " over " +
+             std::to_string(t.cells.size()) + " cell(s)";
+    } else {
+      out += "cell";
+    }
+    if (!row_header.empty()) out += ", row \"" + row_header + "\"";
+    if (!col_header.empty()) out += ", column \"" + col_header + "\"";
+    if (!tbl.caption().empty()) out += ", table \"" + tbl.caption() + "\"";
+    out += "\n";
+  }
+
+  // Feature evidence.
+  FeatureComputer features(doc, config);
+  std::vector<double> f =
+      features.ComputeAll(decision.text_idx, decision.table_idx);
+  std::vector<std::string> names = FeatureComputer::FeatureNames();
+  out += "  evidence:";
+  for (size_t i = 0; i < f.size(); ++i) {
+    out += " " + names[i] + "=" + util::FormatDouble(f[i], 3);
+  }
+  out += "\n  overall score: " + util::FormatDouble(decision.score, 4) + "\n";
+  return out;
+}
+
+std::vector<SentenceHint> SummarizationHints(
+    const PreparedDocument& doc, const DocumentAlignment& alignment) {
+  std::vector<SentenceHint> hints;
+  // One hint per sentence, in document order.
+  for (size_t p = 0; p < doc.sentence_spans.size(); ++p) {
+    const std::string& para = doc.source->paragraphs[p];
+    for (size_t s = 0; s < doc.sentence_spans[p].size(); ++s) {
+      SentenceHint hint;
+      hint.paragraph = static_cast<int>(p);
+      hint.sentence = static_cast<int>(s);
+      const text::Span& span = doc.sentence_spans[p][s];
+      hint.text = para.substr(span.begin, span.length());
+      hints.push_back(std::move(hint));
+    }
+  }
+
+  auto hint_for = [&](int paragraph, int sentence) -> SentenceHint* {
+    for (SentenceHint& h : hints) {
+      if (h.paragraph == paragraph && h.sentence == sentence) return &h;
+    }
+    return nullptr;
+  };
+
+  for (size_t x = 0; x < doc.text_mentions.size(); ++x) {
+    const table::TextMention& m = doc.text_mentions[x];
+    SentenceHint* hint = hint_for(m.paragraph, m.sentence);
+    if (hint == nullptr) continue;
+    const AlignmentDecision* d =
+        alignment.ForTextMention(static_cast<int>(x));
+    if (d == nullptr) {
+      ++hint->unaligned_mentions;
+    } else if (doc.table_mentions[d->table_idx].is_virtual()) {
+      ++hint->aggregate_references;
+    } else {
+      ++hint->single_cell_references;
+    }
+  }
+  return hints;
+}
+
+}  // namespace briq::core

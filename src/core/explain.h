@@ -1,0 +1,49 @@
+#ifndef BRIQ_CORE_EXPLAIN_H_
+#define BRIQ_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/aligner.h"
+#include "core/config.h"
+#include "core/extraction.h"
+
+namespace briq::core {
+
+/// Human-readable justification for one alignment decision: what the
+/// mention is, where the target lives in the table (row/column headers),
+/// and the feature evidence. Supports the paper's navigation use case —
+/// "going from text to tables, the user can drill down on statements in
+/// terms of detailed numbers" (§I).
+std::string ExplainDecision(const PreparedDocument& doc,
+                            const BriqConfig& config,
+                            const AlignmentDecision& decision);
+
+/// Per-sentence summarization hints (§I: "knowing that one sentence
+/// references a row sum, while another discusses individual values in the
+/// same row, the summarization algorithm could decide to include the
+/// former in the summary, but not the latter").
+struct SentenceHint {
+  int paragraph = 0;
+  int sentence = 0;
+  std::string text;
+  size_t aggregate_references = 0;   // aligned aggregate mentions
+  size_t single_cell_references = 0; // aligned single-cell mentions
+  size_t unaligned_mentions = 0;
+
+  /// The paper's heuristic: sentences referencing aggregates summarize
+  /// table content, sentences enumerating individual cells do not.
+  bool PreferForSummary() const {
+    return aggregate_references > 0 &&
+           aggregate_references >= single_cell_references;
+  }
+};
+
+/// Classifies every sentence of the document by what its aligned mentions
+/// reference.
+std::vector<SentenceHint> SummarizationHints(
+    const PreparedDocument& doc, const DocumentAlignment& alignment);
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_EXPLAIN_H_

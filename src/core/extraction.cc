@@ -1,0 +1,169 @@
+#include "core/extraction.h"
+
+#include <algorithm>
+
+#include "quantity/quantity_parser.h"
+#include "text/noun_phrase.h"
+#include "util/similarity.h"
+#include "util/string_util.h"
+
+namespace briq::core {
+
+std::vector<std::string> ContextTokens(std::string_view s) {
+  std::vector<std::string> out;
+  for (const text::Token& t : text::Tokenize(s)) {
+    if (t.kind == text::TokenKind::kWord) {
+      // Light stemming bridges singular/plural between text and headers
+      // ("eye disorder" in text vs "Eye Disorders" in the table).
+      out.push_back(util::StemLight(util::ToLower(t.textual)));
+    } else if (t.kind == text::TokenKind::kNumber) {
+      out.push_back(t.textual);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Noun phrases with per-word light stemming, for the phrase-overlap
+// features.
+std::vector<std::string> StemmedPhrases(std::string_view s) {
+  std::vector<std::string> out;
+  for (const text::NounPhrase& np : text::ExtractNounPhrases(s)) {
+    std::vector<std::string> words;
+    words.reserve(np.words.size());
+    for (const std::string& w : np.words) words.push_back(util::StemLight(w));
+    out.push_back(util::Join(words, " "));
+  }
+  return out;
+}
+
+// Index of the first token whose span overlaps `span`; tokens.size() if none.
+size_t TokenIndexOf(const std::vector<text::Token>& tokens, text::Span span) {
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].span.Overlaps(span)) return i;
+  }
+  return tokens.size();
+}
+
+// Index of the sentence containing position `pos`; 0 if none matches.
+int SentenceIndexOf(const std::vector<text::Span>& sentences, size_t pos) {
+  for (size_t i = 0; i < sentences.size(); ++i) {
+    if (sentences[i].Contains(pos)) return static_cast<int>(i);
+  }
+  return sentences.empty() ? 0 : static_cast<int>(sentences.size()) - 1;
+}
+
+}  // namespace
+
+PreparedDocument PrepareDocument(const corpus::Document& doc,
+                                 const BriqConfig& config) {
+  PreparedDocument out;
+  out.source = &doc;
+
+  // --- Text side -------------------------------------------------------------
+  const size_t num_paragraphs = doc.paragraphs.size();
+  out.paragraph_tokens.resize(num_paragraphs);
+  out.sentence_spans.resize(num_paragraphs);
+  out.paragraph_words.resize(num_paragraphs);
+  out.paragraph_phrases.resize(num_paragraphs);
+  out.sentence_phrases.resize(num_paragraphs);
+  out.paragraph_token_offset.resize(num_paragraphs, 0);
+
+  size_t token_offset = 0;
+  for (size_t p = 0; p < num_paragraphs; ++p) {
+    const std::string& para = doc.paragraphs[p];
+    out.paragraph_tokens[p] = text::Tokenize(para);
+    out.sentence_spans[p] = text::SplitSentences(para);
+    out.paragraph_words[p] = ContextTokens(para);
+    out.paragraph_phrases[p] = StemmedPhrases(para);
+    for (const text::Span& s : out.sentence_spans[p]) {
+      out.sentence_phrases[p].push_back(StemmedPhrases(
+          std::string_view(para).substr(s.begin, s.length())));
+    }
+    out.paragraph_token_offset[p] = token_offset;
+    token_offset += out.paragraph_tokens[p].size();
+
+    for (quantity::ParsedQuantity& q :
+         quantity::ExtractQuantities(para, config.extraction)) {
+      table::TextMention m;
+      m.paragraph = static_cast<int>(p);
+      m.sentence = SentenceIndexOf(out.sentence_spans[p], q.span.begin);
+      m.token_pos = TokenIndexOf(out.paragraph_tokens[p], q.span);
+      m.q = std::move(q);
+      out.text_mentions.push_back(std::move(m));
+    }
+  }
+  out.total_tokens = token_offset;
+
+  // --- Table side ---------------------------------------------------------------
+  out.table_contexts.resize(doc.tables.size());
+  for (size_t t = 0; t < doc.tables.size(); ++t) {
+    const table::Table& tbl = doc.tables[t];
+    table::VirtualCellStats stats;
+    auto mentions = table::GenerateTableMentions(
+        tbl, static_cast<int>(t), config.virtual_cells, &stats);
+    out.vc_stats.single_cells += stats.single_cells;
+    out.vc_stats.group_aggregates += stats.group_aggregates;
+    out.vc_stats.pair_aggregates += stats.pair_aggregates;
+    out.vc_stats.dropped_by_cap += stats.dropped_by_cap;
+    out.vc_stats.skipped_degenerate += stats.skipped_degenerate;
+    out.table_mentions.insert(out.table_mentions.end(),
+                              std::make_move_iterator(mentions.begin()),
+                              std::make_move_iterator(mentions.end()));
+
+    PreparedDocument::TableContext& ctx = out.table_contexts[t];
+    ctx.row_words.resize(tbl.num_rows());
+    ctx.col_words.resize(tbl.num_cols());
+    ctx.row_phrases.resize(tbl.num_rows());
+    ctx.col_phrases.resize(tbl.num_cols());
+    for (int r = 0; r < tbl.num_rows(); ++r) {
+      std::string content = tbl.RowContent(r);
+      ctx.row_words[r] = ContextTokens(content);
+      ctx.row_phrases[r] = StemmedPhrases(content);
+    }
+    for (int c = 0; c < tbl.num_cols(); ++c) {
+      std::string content = tbl.ColumnContent(c);
+      ctx.col_words[c] = ContextTokens(content);
+      ctx.col_phrases[c] = StemmedPhrases(content);
+    }
+    std::string all = tbl.AllContent();
+    ctx.all_words = ContextTokens(all);
+    ctx.all_phrases = StemmedPhrases(all);
+  }
+
+  return out;
+}
+
+std::vector<corpus::Document> BuildDocumentsFromPage(
+    const html::Page& page, double similarity_threshold) {
+  // Gather the tables with their token bags.
+  std::vector<const table::Table*> tables;
+  std::vector<std::vector<std::string>> table_tokens;
+  for (const html::PageBlock& b : page.blocks) {
+    if (b.kind == html::PageBlock::Kind::kTable) {
+      tables.push_back(&b.table);
+      table_tokens.push_back(ContextTokens(b.table.AllContent()));
+    }
+  }
+
+  std::vector<corpus::Document> docs;
+  int paragraph_index = 0;
+  for (const html::PageBlock& b : page.blocks) {
+    if (b.kind != html::PageBlock::Kind::kParagraph) continue;
+    std::vector<std::string> para_tokens = ContextTokens(b.textual);
+    corpus::Document doc;
+    doc.id = page.title + "#p" + std::to_string(paragraph_index++);
+    doc.paragraphs.push_back(b.textual);
+    for (size_t t = 0; t < tables.size(); ++t) {
+      double sim = util::JaccardSimilarity(para_tokens, table_tokens[t]);
+      if (sim >= similarity_threshold) {
+        doc.tables.push_back(*tables[t]);
+      }
+    }
+    if (!doc.tables.empty()) docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+}  // namespace briq::core

@@ -1,0 +1,76 @@
+#ifndef BRIQ_CORE_EXTRACTION_H_
+#define BRIQ_CORE_EXTRACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "corpus/document.h"
+#include "html/page_segmenter.h"
+#include "table/mention.h"
+#include "text/tokenizer.h"
+
+namespace briq::core {
+
+/// A document with everything the pipeline stages need precomputed:
+/// extracted quantity mentions on both sides, virtual cells, tokenized
+/// paragraphs, sentence boundaries, and the word/phrase context bags used
+/// by the features.
+struct PreparedDocument {
+  const corpus::Document* source = nullptr;  // non-owning
+
+  std::vector<table::TextMention> text_mentions;
+  std::vector<table::TableMention> table_mentions;
+  table::VirtualCellStats vc_stats;
+
+  // --- Text-side caches -----------------------------------------------------
+  std::vector<std::vector<text::Token>> paragraph_tokens;
+  std::vector<std::vector<text::Span>> sentence_spans;
+  /// Lowercased word+number tokens per paragraph (global context bags).
+  std::vector<std::vector<std::string>> paragraph_words;
+  /// Normalized noun phrases per paragraph / per sentence.
+  std::vector<std::vector<std::string>> paragraph_phrases;
+  std::vector<std::vector<std::vector<std::string>>> sentence_phrases;
+  /// Cumulative token counts of the paragraphs (for cross-paragraph
+  /// proximity); paragraph_token_offset[p] is the global index of paragraph
+  /// p's first token.
+  std::vector<size_t> paragraph_token_offset;
+  size_t total_tokens = 0;
+
+  // --- Table-side caches ------------------------------------------------------
+  struct TableContext {
+    std::vector<std::vector<std::string>> row_words;
+    std::vector<std::vector<std::string>> col_words;
+    std::vector<std::vector<std::string>> row_phrases;
+    std::vector<std::vector<std::string>> col_phrases;
+    std::vector<std::string> all_words;
+    std::vector<std::string> all_phrases;
+  };
+  std::vector<TableContext> table_contexts;
+
+  size_t GlobalTokenPos(const table::TextMention& m) const {
+    return paragraph_token_offset[m.paragraph] + m.token_pos;
+  }
+};
+
+/// Lowercased word and number tokens of `s` (context vocabulary; numbers
+/// participate so that "2013" in a column header can overlap "in 2013" in
+/// text).
+std::vector<std::string> ContextTokens(std::string_view s);
+
+/// Prepares a corpus document for alignment: extracts text mentions
+/// (quantity parser + filters), generates table mentions (single + virtual
+/// cells), and builds all context caches.
+PreparedDocument PrepareDocument(const corpus::Document& doc,
+                                 const BriqConfig& config);
+
+/// Builds coherent documents from a segmented web page (paper §III): each
+/// paragraph becomes a document together with all tables whose content
+/// similarity to the paragraph exceeds `similarity_threshold`. A paragraph
+/// with no related table yields no document.
+std::vector<corpus::Document> BuildDocumentsFromPage(
+    const html::Page& page, double similarity_threshold = 0.08);
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_EXTRACTION_H_

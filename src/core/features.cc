@@ -1,0 +1,246 @@
+#include "core/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/cues.h"
+#include "util/logging.h"
+#include "util/similarity.h"
+#include "util/string_util.h"
+
+namespace briq::core {
+
+namespace {
+
+using table::AggregateFunction;
+using table::TableMention;
+using table::TextMention;
+
+// Table-mention surface used for f1: the raw cell text for single cells,
+// the formatted value for virtual cells (their synthesized "sum(...)"
+// surface carries no comparable characters).
+std::string SurfaceForSimilarity(const TableMention& m) {
+  if (!m.is_virtual()) return util::ToLower(m.surface);
+  return util::FormatDouble(m.value, std::max(m.precision, 2));
+}
+
+double UnnormalizedValue(const PreparedDocument& doc, const TableMention& m) {
+  if (!m.is_virtual()) {
+    const table::Table& t = doc.source->tables[m.table_index];
+    const auto& q = t.cell(m.cells[0]).quantity;
+    if (q.has_value()) return q->unnormalized;
+  }
+  return m.value;
+}
+
+int TablePrecision(const TableMention& m) { return m.precision; }
+
+int ScaleOf(double v) {
+  if (v == 0.0 || !std::isfinite(v)) return 0;
+  return static_cast<int>(std::floor(std::log10(std::fabs(v))));
+}
+
+// f8 unit match: 3 strong match, 2 weak match (neither has a unit),
+// 1 weak mismatch (one side has a unit), 0 strong mismatch.
+double UnitMatch(const TextMention& x, const TableMention& t) {
+  const bool xu = x.q.has_unit();
+  const bool tu = t.has_unit();
+  if (xu && tu) return x.q.unit == t.unit ? 3.0 : 0.0;
+  if (!xu && !tu) return 2.0;
+  return 1.0;
+}
+
+// f12 aggregate-function match: 3 strong match (cued function equals the
+// virtual cell's), 2 weak match (no cue, single cell), 1 weak mismatch
+// (aggregation evidence on one side only), 0 strong mismatch.
+double AggregateMatch(AggregateFunction inferred, AggregateFunction actual) {
+  const bool x_agg = inferred != AggregateFunction::kNone;
+  const bool t_agg = actual != AggregateFunction::kNone;
+  if (x_agg && t_agg) return inferred == actual ? 3.0 : 0.0;
+  if (!x_agg && !t_agg) return 2.0;
+  return 1.0;
+}
+
+}  // namespace
+
+FeatureComputer::FeatureComputer(const PreparedDocument& doc,
+                                 const BriqConfig& config)
+    : doc_(doc), config_(config) {}
+
+std::vector<std::string> FeatureComputer::FeatureNames() {
+  return {"f1_surface_sim",    "f2_local_word_overlap",
+          "f3_global_word_overlap", "f4_local_phrase_overlap",
+          "f5_global_phrase_overlap", "f6_rel_diff_normalized",
+          "f7_rel_diff_unnormalized", "f8_unit_match",
+          "f9_scale_diff",     "f10_precision_diff",
+          "f11_approx_indicator", "f12_aggregate_match"};
+}
+
+std::vector<std::string> FeatureComputer::LocalTableWords(
+    const TableMention& m) const {
+  const auto& ctx = doc_.table_contexts[m.table_index];
+  std::set<int> rows;
+  std::set<int> cols;
+  for (const auto& c : m.cells) {
+    rows.insert(c.row);
+    cols.insert(c.col);
+  }
+  std::vector<std::string> out;
+  for (int r : rows) {
+    out.insert(out.end(), ctx.row_words[r].begin(), ctx.row_words[r].end());
+  }
+  for (int c : cols) {
+    out.insert(out.end(), ctx.col_words[c].begin(), ctx.col_words[c].end());
+  }
+  return out;
+}
+
+std::vector<std::string> FeatureComputer::LocalTablePhrases(
+    const TableMention& m) const {
+  const auto& ctx = doc_.table_contexts[m.table_index];
+  std::set<int> rows;
+  std::set<int> cols;
+  for (const auto& c : m.cells) {
+    rows.insert(c.row);
+    cols.insert(c.col);
+  }
+  std::vector<std::string> out;
+  for (int r : rows) {
+    out.insert(out.end(), ctx.row_phrases[r].begin(), ctx.row_phrases[r].end());
+  }
+  for (int c : cols) {
+    out.insert(out.end(), ctx.col_phrases[c].begin(), ctx.col_phrases[c].end());
+  }
+  return out;
+}
+
+std::vector<double> FeatureComputer::ComputeAll(size_t text_idx,
+                                                size_t table_idx) const {
+  BRIQ_CHECK(text_idx < doc_.text_mentions.size()) << "bad text index";
+  BRIQ_CHECK(table_idx < doc_.table_mentions.size()) << "bad table index";
+  const TextMention& x = doc_.text_mentions[text_idx];
+  const TableMention& t = doc_.table_mentions[table_idx];
+  const auto& tokens = doc_.paragraph_tokens[x.paragraph];
+
+  std::vector<double> f(kNumPairFeatures, 0.0);
+
+  // f1: surface similarity.
+  f[0] = util::JaroWinklerSimilarity(util::ToLower(x.surface()),
+                                     SurfaceForSimilarity(t));
+
+  // f2: local word overlap, distance-weighted window around the mention.
+  {
+    util::WeightedBag text_bag;
+    const int n = config_.context_window;
+    const size_t pos = x.token_pos;
+    const size_t lo = pos >= static_cast<size_t>(n) ? pos - n : 0;
+    const size_t hi = std::min(tokens.size(), pos + n + 1);
+    for (size_t i = lo; i < hi; ++i) {
+      if (i == pos) continue;
+      if (tokens[i].kind != text::TokenKind::kWord &&
+          tokens[i].kind != text::TokenKind::kNumber) {
+        continue;
+      }
+      const double d = static_cast<double>(i > pos ? i - pos : pos - i);
+      double w = 1.0 - (d / config_.step_size) * config_.step_weight;
+      w = std::max(w, config_.min_word_weight);
+      std::string word = util::ToLower(tokens[i].textual);
+      auto [it, inserted] = text_bag.emplace(std::move(word), w);
+      if (!inserted) it->second = std::max(it->second, w);
+    }
+    util::WeightedBag table_bag;
+    for (const std::string& w : LocalTableWords(t)) table_bag[w] = 1.0;
+    f[1] = util::WeightedOverlapCoefficient(text_bag, table_bag);
+  }
+
+  // f3: global word overlap (paragraph vs whole table).
+  f[2] = util::OverlapCoefficient(doc_.paragraph_words[x.paragraph],
+                                  doc_.table_contexts[t.table_index].all_words);
+
+  // f4: local phrase overlap (sentence vs mention's rows/columns).
+  {
+    const auto& sent_phrases = doc_.sentence_phrases[x.paragraph];
+    const std::vector<std::string>& xs =
+        x.sentence < static_cast<int>(sent_phrases.size())
+            ? sent_phrases[x.sentence]
+            : doc_.paragraph_phrases[x.paragraph];
+    f[3] = util::OverlapCoefficient(xs, LocalTablePhrases(t));
+  }
+
+  // f5: global phrase overlap.
+  f[4] = util::OverlapCoefficient(
+      doc_.paragraph_phrases[x.paragraph],
+      doc_.table_contexts[t.table_index].all_phrases);
+
+  // f6/f7: value compatibility.
+  f[5] = quantity::RelativeDifference(x.q.value, t.value);
+  f[6] = quantity::RelativeDifference(x.q.unnormalized,
+                                      UnnormalizedValue(doc_, t));
+
+  // f8: unit match.
+  f[7] = UnitMatch(x, t);
+
+  // f9/f10: scale and precision difference.
+  f[8] = std::fabs(x.q.Scale() - ScaleOf(t.value));
+  f[9] = std::fabs(x.q.precision - TablePrecision(t));
+
+  // f11: approximation indicator.
+  f[10] = static_cast<double>(x.q.approx);
+
+  // f12: aggregate-function match from cue words.
+  AggregateFunction inferred =
+      InferAggregateFunction(tokens, x.token_pos, config_.agg_cue_window);
+  f[11] = AggregateMatch(inferred, t.func);
+
+  return f;
+}
+
+std::vector<double> FeatureComputer::Compute(size_t text_idx,
+                                             size_t table_idx) const {
+  std::vector<double> all = ComputeAll(text_idx, table_idx);
+  if (config_.active_features.empty()) return all;
+  std::vector<double> masked;
+  masked.reserve(config_.active_features.size());
+  for (int i = 0; i < kNumPairFeatures; ++i) {
+    if (config_.FeatureActive(i)) masked.push_back(all[i]);
+  }
+  return masked;
+}
+
+int FeatureComputer::NumActive() const {
+  if (config_.active_features.empty()) return kNumPairFeatures;
+  int n = 0;
+  for (int i = 0; i < kNumPairFeatures; ++i) {
+    if (config_.FeatureActive(i)) ++n;
+  }
+  return n;
+}
+
+double FeatureComputer::UniformSimilarity(size_t text_idx,
+                                          size_t table_idx) const {
+  std::vector<double> f = ComputeAll(text_idx, table_idx);
+  // Per-feature mapping to [0, 1] similarities. f11 is a modifier, not a
+  // similarity, and is skipped.
+  double total = 0.0;
+  int count = 0;
+  auto add = [&](int idx, double sim) {
+    if (!config_.FeatureActive(idx)) return;
+    total += sim;
+    ++count;
+  };
+  add(0, f[0]);
+  add(1, f[1]);
+  add(2, f[2]);
+  add(3, f[3]);
+  add(4, f[4]);
+  add(5, 1.0 - f[5]);
+  add(6, 1.0 - f[6]);
+  add(7, f[7] / 3.0);
+  add(8, 1.0 / (1.0 + f[8]));
+  add(9, 1.0 / (1.0 + f[9]));
+  add(11, f[11] / 3.0);
+  return count == 0 ? 0.0 : total / count;
+}
+
+}  // namespace briq::core

@@ -1,0 +1,63 @@
+#ifndef BRIQ_CORE_FEATURES_H_
+#define BRIQ_CORE_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/extraction.h"
+
+namespace briq::core {
+
+/// Computes the 12 mention-pair features of paper §IV-B over a prepared
+/// document. Instances cache nothing beyond references; all heavy context
+/// bags live in the PreparedDocument.
+///
+/// Feature order (0-based index -> paper name):
+///   0  f1  surface-form similarity (Jaro-Winkler)
+///   1  f2  local context word overlap (distance-weighted)
+///   2  f3  global context word overlap
+///   3  f4  local context noun-phrase overlap
+///   4  f5  global context noun-phrase overlap
+///   5  f6  relative difference of normalized values
+///   6  f7  relative difference of unnormalized values
+///   7  f8  unit match (0 strong mismatch .. 3 strong match)
+///   8  f9  scale (order-of-magnitude) difference
+///   9  f10 precision difference
+///   10 f11 approximation indicator (0 none, 1 exact, 2 approx, 3 upper,
+///          4 lower)
+///   11 f12 aggregate-function match (0 strong mismatch .. 3 strong match)
+class FeatureComputer {
+ public:
+  FeatureComputer(const PreparedDocument& doc, const BriqConfig& config);
+
+  /// Full 12-feature vector for (text mention i, table mention j).
+  std::vector<double> ComputeAll(size_t text_idx, size_t table_idx) const;
+
+  /// Feature vector restricted to config.active_features (ablation mask).
+  std::vector<double> Compute(size_t text_idx, size_t table_idx) const;
+
+  /// Active feature count (12 when no mask is set).
+  int NumActive() const;
+
+  /// The untrained feature combination used by the RWR-only baseline:
+  /// every feature mapped to a [0, 1] similarity and averaged with uniform
+  /// weights (paper §VII-D). Respects the ablation mask.
+  double UniformSimilarity(size_t text_idx, size_t table_idx) const;
+
+  static std::vector<std::string> FeatureNames();
+
+ private:
+  /// Union of the row/column context words (or phrases) of the cells of a
+  /// table mention.
+  std::vector<std::string> LocalTableWords(const table::TableMention& m) const;
+  std::vector<std::string> LocalTablePhrases(
+      const table::TableMention& m) const;
+
+  const PreparedDocument& doc_;
+  const BriqConfig& config_;
+};
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_FEATURES_H_

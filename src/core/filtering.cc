@@ -1,0 +1,139 @@
+#include "core/filtering.h"
+
+#include <algorithm>
+
+#include "core/gt_matching.h"
+#include "ml/metrics.h"
+#include "util/logging.h"
+
+namespace briq::core {
+
+namespace {
+
+using table::AggregateFunction;
+
+// f8-style strong unit mismatch: both sides specify different units.
+bool StrongUnitMismatch(const table::TextMention& x,
+                        const table::TableMention& t) {
+  return x.q.has_unit() && t.has_unit() && x.q.unit != t.unit;
+}
+
+}  // namespace
+
+std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
+    const PreparedDocument& doc, const FeatureComputer& features,
+    FilterTrace* trace) const {
+  const size_t num_text = doc.text_mentions.size();
+  const size_t num_table = doc.table_mentions.size();
+  std::vector<std::vector<Candidate>> result(num_text);
+
+  // Ground-truth pair lookup for tracing.
+  std::vector<std::pair<int, int>> gt_pairs;
+  if (trace != nullptr) {
+    for (const MatchedGroundTruth& m : MatchGroundTruth(doc)) {
+      if (m.text_idx >= 0 && m.table_idx >= 0) {
+        gt_pairs.emplace_back(m.text_idx, m.table_idx);
+      }
+    }
+  }
+  auto is_gt = [&](size_t x, size_t t) {
+    return std::find(gt_pairs.begin(), gt_pairs.end(),
+                     std::make_pair(static_cast<int>(x),
+                                    static_cast<int>(t))) != gt_pairs.end();
+  };
+
+  for (size_t x = 0; x < num_text; ++x) {
+    // --- Stage A: tagger-based aggregate pruning -------------------------
+    TextMentionTagger::Tag tag = tagger_->Predict(doc, x);
+
+    std::vector<Candidate> kept;
+    kept.reserve(64);
+    for (size_t t = 0; t < num_table; ++t) {
+      const table::TableMention& tm = doc.table_mentions[t];
+      if (trace != nullptr) {
+        ++trace->by_type[tm.func].pairs_before;
+        ++trace->overall.pairs_before;
+        if (is_gt(x, t)) {
+          ++trace->by_type[tm.func].gt_pairs;
+          ++trace->overall.gt_pairs;
+        }
+      }
+      // Keep all single-cell pairs (conservative pruning, §V-A); prune
+      // aggregate pairs whose function differs from the predicted tag —
+      // unless the virtual cell matches the mention's value exactly, which
+      // is evidence strong enough to outlive a missing cue word (the
+      // paper's Table VI reports post-filter sum recall of 1.0).
+      if (tm.is_virtual() && tm.func != tag.func &&
+          quantity::RelativeDifference(doc.text_mentions[x].q.value,
+                                       tm.value) > 1e-9) {
+        continue;
+      }
+
+      double sigma = classifier_->Score(features, x, t);
+
+      // --- Stage B: value-difference and unit pruning ---------------------
+      const double rel_diff = quantity::RelativeDifference(
+          doc.text_mentions[x].q.value, tm.value);
+      if (rel_diff > config_->prune_value_diff &&
+          sigma < config_->prune_score_threshold) {
+        continue;
+      }
+      if (StrongUnitMismatch(doc.text_mentions[x], tm)) continue;
+
+      kept.push_back(Candidate{x, t, sigma});
+    }
+
+    // --- Stage C: type- and entropy-adaptive top-k ------------------------
+    std::sort(kept.begin(), kept.end(), [](const Candidate& a,
+                                           const Candidate& b) {
+      return a.score > b.score;
+    });
+
+    // Mention type: context modifiers first, then majority vote over the
+    // high-confidence candidates' value agreement.
+    bool exact_type;
+    if (doc.text_mentions[x].q.approx != quantity::ApproxIndicator::kNone &&
+        doc.text_mentions[x].q.approx != quantity::ApproxIndicator::kExact) {
+      exact_type = false;
+    } else {
+      size_t vote_n = std::min<size_t>(kept.size(), 5);
+      size_t exact_votes = 0;
+      for (size_t i = 0; i < vote_n; ++i) {
+        double rd = quantity::RelativeDifference(
+            doc.text_mentions[x].q.value,
+            doc.table_mentions[kept[i].table_idx].value);
+        if (rd < 1e-9) ++exact_votes;
+      }
+      exact_type = vote_n == 0 || exact_votes * 2 >= vote_n;
+    }
+    const int k_type = exact_type ? config_->top_k_exact
+                                  : config_->top_k_approx;
+
+    // Entropy of the score distribution: skewed -> keep few, flat -> keep
+    // many.
+    std::vector<double> scores;
+    scores.reserve(kept.size());
+    for (const Candidate& c : kept) scores.push_back(c.score);
+    const double entropy = ml::NormalizedEntropy(scores);
+    int k = entropy < config_->entropy_threshold
+                ? std::min(k_type, config_->top_k_low_entropy)
+                : std::max(k_type, config_->top_k_high_entropy);
+    if (static_cast<int>(kept.size()) > k) kept.resize(k);
+
+    if (trace != nullptr) {
+      for (const Candidate& c : kept) {
+        const auto func = doc.table_mentions[c.table_idx].func;
+        ++trace->by_type[func].pairs_after;
+        ++trace->overall.pairs_after;
+        if (is_gt(c.text_idx, c.table_idx)) {
+          ++trace->by_type[func].gt_survived;
+          ++trace->overall.gt_survived;
+        }
+      }
+    }
+    result[x] = std::move(kept);
+  }
+  return result;
+}
+
+}  // namespace briq::core

@@ -1,0 +1,69 @@
+#ifndef BRIQ_CORE_FILTERING_H_
+#define BRIQ_CORE_FILTERING_H_
+
+#include <map>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/config.h"
+#include "core/extraction.h"
+#include "core/tagger.h"
+
+namespace briq::core {
+
+/// A surviving candidate pair with its classifier prior.
+struct Candidate {
+  size_t text_idx = 0;
+  size_t table_idx = 0;
+  double score = 0.0;  // sigma, the classifier confidence
+};
+
+/// Telemetry of the adaptive filter (reproduces the paper's Table VI:
+/// selectivity and post-filter recall by mention type).
+struct FilterTrace {
+  struct TypeStat {
+    size_t pairs_before = 0;
+    size_t pairs_after = 0;
+    size_t gt_pairs = 0;
+    size_t gt_survived = 0;
+
+    double Selectivity() const {
+      return pairs_before == 0
+                 ? 0.0
+                 : static_cast<double>(pairs_after) / pairs_before;
+    }
+    double Recall() const {
+      return gt_pairs == 0 ? 0.0
+                           : static_cast<double>(gt_survived) / gt_pairs;
+    }
+  };
+  /// Keyed by the table-mention side's aggregate function.
+  std::map<table::AggregateFunction, TypeStat> by_type;
+  TypeStat overall;
+};
+
+/// Stage-3 adaptive filtering (paper §V): tagger-based pruning of
+/// aggregate pairs, value/unit pruning, then mention-type- and
+/// entropy-adaptive top-k selection of candidates per text mention.
+class AdaptiveFilter {
+ public:
+  AdaptiveFilter(const BriqConfig* config, const TextMentionTagger* tagger,
+                 const MentionPairClassifier* classifier)
+      : config_(config), tagger_(tagger), classifier_(classifier) {}
+
+  /// Produces, for each text mention, its surviving candidates sorted by
+  /// descending classifier score. `trace` (optional) accumulates Table-VI
+  /// statistics; tracing requires doc.source ground truth.
+  std::vector<std::vector<Candidate>> Filter(const PreparedDocument& doc,
+                                             const FeatureComputer& features,
+                                             FilterTrace* trace) const;
+
+ private:
+  const BriqConfig* config_;
+  const TextMentionTagger* tagger_;
+  const MentionPairClassifier* classifier_;
+};
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_FILTERING_H_

@@ -1,0 +1,29 @@
+#include "core/gt_matching.h"
+
+namespace briq::core {
+
+std::vector<MatchedGroundTruth> MatchGroundTruth(const PreparedDocument& doc) {
+  std::vector<MatchedGroundTruth> out;
+  if (doc.source == nullptr) return out;
+  for (const corpus::GroundTruthAlignment& gt : doc.source->ground_truth) {
+    MatchedGroundTruth m;
+    m.gt = &gt;
+    for (size_t i = 0; i < doc.text_mentions.size(); ++i) {
+      const table::TextMention& x = doc.text_mentions[i];
+      if (x.paragraph == gt.paragraph && x.q.span.Overlaps(gt.span)) {
+        m.text_idx = static_cast<int>(i);
+        break;
+      }
+    }
+    for (size_t j = 0; j < doc.table_mentions.size(); ++j) {
+      if (gt.target.Matches(doc.table_mentions[j])) {
+        m.table_idx = static_cast<int>(j);
+        break;
+      }
+    }
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace briq::core

@@ -1,0 +1,27 @@
+#ifndef BRIQ_CORE_GT_MATCHING_H_
+#define BRIQ_CORE_GT_MATCHING_H_
+
+#include <vector>
+
+#include "core/extraction.h"
+
+namespace briq::core {
+
+/// A ground-truth alignment resolved against the extraction output.
+/// `text_idx` / `table_idx` are -1 when extraction failed to produce the
+/// corresponding mention (those count as recall losses downstream).
+struct MatchedGroundTruth {
+  int text_idx = -1;
+  int table_idx = -1;
+  const corpus::GroundTruthAlignment* gt = nullptr;
+};
+
+/// Resolves every ground-truth alignment of doc.source against the
+/// prepared document: the text mention whose span overlaps the annotation
+/// (same paragraph) and the table mention with the same target (table,
+/// function, cell set).
+std::vector<MatchedGroundTruth> MatchGroundTruth(const PreparedDocument& doc);
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_GT_MATCHING_H_

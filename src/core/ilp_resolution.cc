@@ -1,0 +1,130 @@
+#include "core/ilp_resolution.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace briq::core {
+
+namespace {
+
+struct SearchState {
+  std::vector<int> choice;          // per mention: candidate index or -1
+  std::set<int> used_single_cells;  // table-mention ids taken (constraint b)
+  std::vector<int> table_counts;    // decisions per table (coherence)
+  double objective = 0.0;
+};
+
+}  // namespace
+
+DocumentAlignment IlpResolver::Resolve(
+    const PreparedDocument& doc,
+    const std::vector<std::vector<Candidate>>& candidates,
+    SearchStats* stats) const {
+  const size_t m = candidates.size();
+  BRIQ_CHECK(m == doc.text_mentions.size()) << "candidate list mismatch";
+
+  // Mentions with candidates, ordered by descending best score so strong
+  // decisions come early and the bound prunes aggressively.
+  std::vector<size_t> order;
+  for (size_t x = 0; x < m; ++x) {
+    if (!candidates[x].empty()) order.push_back(x);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return candidates[a].front().score > candidates[b].front().score;
+  });
+
+  // Upper bound of the remaining objective from position `pos`.
+  std::vector<double> suffix_bound(order.size() + 1, 0.0);
+  for (size_t i = order.size(); i-- > 0;) {
+    double best = 0.0;
+    for (const Candidate& c : candidates[order[i]]) {
+      best = std::max(best, c.score);
+    }
+    suffix_bound[i] = suffix_bound[i + 1] + best +
+                      options_.table_coherence_bonus;
+  }
+
+  const int num_tables = static_cast<int>(doc.source->tables.size());
+
+  SearchState state;
+  state.choice.assign(order.size(), -1);
+  state.table_counts.assign(std::max(num_tables, 1), 0);
+
+  std::vector<int> best_choice = state.choice;
+  double best_objective = 0.0;
+  size_t nodes = 0;
+  bool aborted = false;
+
+  // Depth-first branch and bound.
+  std::function<void(size_t)> search = [&](size_t pos) {
+    if (aborted) return;
+    if (++nodes > options_.max_nodes) {
+      aborted = true;
+      return;
+    }
+    if (state.objective > best_objective) {
+      best_objective = state.objective;
+      best_choice = state.choice;
+    }
+    if (pos >= order.size()) return;
+    if (state.objective + suffix_bound[pos] <= best_objective) return;
+
+    const size_t x = order[pos];
+    const auto& list = candidates[x];
+
+    // Branch on each admissible candidate, best-score first.
+    for (size_t k = 0; k < list.size(); ++k) {
+      const Candidate& c = list[k];
+      if (c.score <= options_.epsilon) break;  // sorted: the rest is worse
+      const auto& tm = doc.table_mentions[c.table_idx];
+      const bool is_single = !tm.is_virtual();
+      if (is_single &&
+          state.used_single_cells.count(static_cast<int>(c.table_idx))) {
+        continue;  // constraint (b)
+      }
+      double gain = c.score;
+      if (state.table_counts[tm.table_index] > 0) {
+        gain += options_.table_coherence_bonus;
+      }
+      // Apply.
+      state.choice[pos] = static_cast<int>(k);
+      if (is_single) state.used_single_cells.insert(c.table_idx);
+      ++state.table_counts[tm.table_index];
+      state.objective += gain;
+      search(pos + 1);
+      // Undo.
+      state.objective -= gain;
+      --state.table_counts[tm.table_index];
+      if (is_single) state.used_single_cells.erase(c.table_idx);
+      state.choice[pos] = -1;
+    }
+    // Branch: leave x unaligned.
+    search(pos + 1);
+  };
+  search(0);
+
+  if (stats != nullptr) {
+    stats->nodes_explored = nodes;
+    stats->optimal = !aborted;
+    stats->objective = best_objective;
+  }
+
+  DocumentAlignment alignment;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (best_choice[i] < 0) continue;
+    const Candidate& c = candidates[order[i]][best_choice[i]];
+    alignment.decisions.push_back(AlignmentDecision{
+        static_cast<int>(order[i]), static_cast<int>(c.table_idx), c.score});
+  }
+  std::sort(alignment.decisions.begin(), alignment.decisions.end(),
+            [](const AlignmentDecision& a, const AlignmentDecision& b) {
+              return a.text_idx < b.text_idx;
+            });
+  return alignment;
+}
+
+}  // namespace briq::core

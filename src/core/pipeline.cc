@@ -1,0 +1,42 @@
+#include "core/pipeline.h"
+
+#include "util/random.h"
+
+namespace briq::core {
+
+BriqSystem::BriqSystem(BriqConfig config)
+    : config_(std::move(config)),
+      tagger_(&config_),
+      classifier_(&config_),
+      filter_(&config_, &tagger_, &classifier_),
+      resolver_(&config_) {}
+
+util::Status BriqSystem::Train(
+    const std::vector<const PreparedDocument*>& docs) {
+  if (docs.empty()) {
+    return util::Status::InvalidArgument("no training documents");
+  }
+  tagger_.Train(docs);
+  util::Rng rng(config_.seed);
+  classifier_.Train(docs, &rng);
+  if (!classifier_.trained()) {
+    return util::Status::FailedPrecondition(
+        "classifier training produced no usable data (no matched "
+        "ground-truth pairs?)");
+  }
+  return util::Status::OK();
+}
+
+DocumentAlignment BriqSystem::Align(const PreparedDocument& doc) const {
+  return AlignWithTrace(doc, nullptr);
+}
+
+DocumentAlignment BriqSystem::AlignWithTrace(const PreparedDocument& doc,
+                                             FilterTrace* trace) const {
+  FeatureComputer features(doc, config_);
+  std::vector<std::vector<Candidate>> candidates =
+      filter_.Filter(doc, features, trace);
+  return resolver_.Resolve(doc, candidates);
+}
+
+}  // namespace briq::core

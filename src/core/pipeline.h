@@ -1,0 +1,59 @@
+#ifndef BRIQ_CORE_PIPELINE_H_
+#define BRIQ_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aligner.h"
+#include "core/classifier.h"
+#include "core/config.h"
+#include "core/extraction.h"
+#include "core/filtering.h"
+#include "core/resolution.h"
+#include "core/tagger.h"
+#include "util/status.h"
+
+namespace briq::core {
+
+/// The full BriQ system (paper Fig. 2): mention-pair classifier + text
+/// mention tagger + adaptive filtering + random-walk global resolution.
+///
+/// Usage:
+///   BriqSystem briq(config);
+///   briq.Train(train_docs);                   // prepared training docs
+///   DocumentAlignment a = briq.Align(doc);    // inference
+class BriqSystem : public Aligner {
+ public:
+  explicit BriqSystem(BriqConfig config);
+
+  /// Trains the tagger and the mention-pair classifier on prepared
+  /// documents carrying ground truth.
+  util::Status Train(const std::vector<const PreparedDocument*>& docs);
+
+  DocumentAlignment Align(const PreparedDocument& doc) const override;
+
+  /// Align and additionally expose the adaptive-filter telemetry
+  /// (Table VI).
+  DocumentAlignment AlignWithTrace(const PreparedDocument& doc,
+                                   FilterTrace* trace) const;
+
+  std::string name() const override { return "BriQ"; }
+
+  bool trained() const { return classifier_.trained(); }
+  const BriqConfig& config() const { return config_; }
+  BriqConfig* mutable_config() { return &config_; }
+  const MentionPairClassifier& classifier() const { return classifier_; }
+  const TextMentionTagger& tagger() const { return tagger_; }
+
+ private:
+  BriqConfig config_;
+  TextMentionTagger tagger_;
+  MentionPairClassifier classifier_;
+  AdaptiveFilter filter_;
+  GlobalResolver resolver_;
+};
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_PIPELINE_H_

@@ -1,0 +1,64 @@
+#include "core/qkb.h"
+
+#include <cmath>
+
+namespace briq::core {
+
+std::optional<QkbAligner::CanonicalQuantity> QkbAligner::Canonicalize(
+    const std::string& unit, quantity::UnitCategory category, double value) {
+  using quantity::UnitCategory;
+  // The KB registers only a handful of measures — deliberately small, like
+  // the "merely small and limited to special domains" KBs the paper
+  // describes (§I).
+  switch (category) {
+    case UnitCategory::kCurrency:
+      if (unit == "USD" || unit == "EUR" || unit == "GBP" || unit == "CDN") {
+        return CanonicalQuantity{"currency:" + unit, value};
+      }
+      return std::nullopt;  // unregistered currency
+    case UnitCategory::kPercent:
+      return CanonicalQuantity{"percent", value};
+    case UnitCategory::kNone:
+      return CanonicalQuantity{"count", value};
+    default:
+      return std::nullopt;  // physical units absent from the KB
+  }
+}
+
+DocumentAlignment QkbAligner::Align(const PreparedDocument& doc) const {
+  DocumentAlignment alignment;
+  for (size_t x = 0; x < doc.text_mentions.size(); ++x) {
+    const auto& q = doc.text_mentions[x].q;
+    auto text_entry = Canonicalize(q.unit, q.unit_category, q.value);
+    if (!text_entry.has_value()) continue;
+
+    // Exact-match lookup over explicit cells only (a KB holds no virtual
+    // aggregates). Ambiguity (several cells with the same canonical value)
+    // defeats the method: it has no disambiguation signal, so it abstains.
+    int match = -1;
+    bool ambiguous = false;
+    for (size_t t = 0; t < doc.table_mentions.size(); ++t) {
+      const auto& tm = doc.table_mentions[t];
+      if (tm.is_virtual()) continue;
+      auto cell_entry = Canonicalize(tm.unit, tm.unit_category, tm.value);
+      if (!cell_entry.has_value()) continue;
+      if (cell_entry->measure != text_entry->measure) continue;
+      if (std::fabs(cell_entry->value - text_entry->value) >
+          1e-9 * std::max(1.0, std::fabs(text_entry->value))) {
+        continue;
+      }
+      if (match >= 0) {
+        ambiguous = true;
+        break;
+      }
+      match = static_cast<int>(t);
+    }
+    if (match >= 0 && !ambiguous) {
+      alignment.decisions.push_back(
+          AlignmentDecision{static_cast<int>(x), match, 1.0});
+    }
+  }
+  return alignment;
+}
+
+}  // namespace briq::core

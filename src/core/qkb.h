@@ -1,0 +1,42 @@
+#ifndef BRIQ_CORE_QKB_H_
+#define BRIQ_CORE_QKB_H_
+
+#include <optional>
+#include <string>
+
+#include "core/aligner.h"
+
+namespace briq::core {
+
+/// The quantity-knowledge-base baseline the paper considers and dismisses
+/// (§VII-D, after [Ibrahim et al., CIKM 2016]): both the text mention and
+/// the table cell are linked to a small, manually crafted KB of canonical
+/// measures and units; a pair aligns iff both link to the same KB entry
+/// with *exactly* matching canonical values.
+///
+/// Its two structural weaknesses are reproduced faithfully:
+///  - only units registered in the KB can be linked at all (here: the
+///    major currencies, percent, and dimensionless counts), and
+///  - approximate or scaled mentions never match exactly, so they are
+///    lost — which is why the paper "did not pursue this possible
+///    baseline any further". The qkb bench quantifies both gaps.
+class QkbAligner : public Aligner {
+ public:
+  QkbAligner() = default;
+
+  DocumentAlignment Align(const PreparedDocument& doc) const override;
+  std::string name() const override { return "QKB"; }
+
+  /// A canonicalized quantity: KB measure id plus value in the measure's
+  /// base unit. Returns nullopt when the unit is not registered.
+  struct CanonicalQuantity {
+    std::string measure;  // "currency:USD", "percent", "count"
+    double value = 0.0;
+  };
+  static std::optional<CanonicalQuantity> Canonicalize(
+      const std::string& unit, quantity::UnitCategory category, double value);
+};
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_QKB_H_

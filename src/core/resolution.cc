@@ -1,0 +1,190 @@
+#include "core/resolution.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "graph/random_walk.h"
+#include "ml/metrics.h"
+#include "util/logging.h"
+#include "util/similarity.h"
+#include "util/string_util.h"
+
+namespace briq::core {
+
+DocumentAlignment GlobalResolver::Resolve(
+    const PreparedDocument& doc,
+    const std::vector<std::vector<Candidate>>& candidates) const {
+  DocumentAlignment alignment;
+  const size_t num_text = doc.text_mentions.size();
+  BRIQ_CHECK(candidates.size() == num_text)
+      << "candidate list / mention count mismatch";
+
+  // ---------------------------------------------------------------------
+  // Graph construction (§VI-A).
+  // ---------------------------------------------------------------------
+  // Nodes: all text mentions, all single-cell table mentions, plus every
+  // virtual cell that survived filtering for some mention.
+  std::vector<bool> table_in_graph(doc.table_mentions.size(), false);
+  for (size_t t = 0; t < doc.table_mentions.size(); ++t) {
+    if (!doc.table_mentions[t].is_virtual()) table_in_graph[t] = true;
+  }
+  for (const auto& list : candidates) {
+    for (const Candidate& c : list) table_in_graph[c.table_idx] = true;
+  }
+
+  graph::Graph g;
+  std::vector<int> text_node(num_text, -1);
+  std::vector<int> table_node(doc.table_mentions.size(), -1);
+  for (size_t x = 0; x < num_text; ++x) text_node[x] = g.AddNode();
+  for (size_t t = 0; t < doc.table_mentions.size(); ++t) {
+    if (table_in_graph[t]) table_node[t] = g.AddNode();
+  }
+
+  // Text-text edges: proximity and/or surface similarity.
+  for (size_t i = 0; i < num_text; ++i) {
+    for (size_t j = i + 1; j < num_text; ++j) {
+      const size_t pi = doc.GlobalTokenPos(doc.text_mentions[i]);
+      const size_t pj = doc.GlobalTokenPos(doc.text_mentions[j]);
+      const size_t dist = pi > pj ? pi - pj : pj - pi;
+      const double strsim = util::JaroWinklerSimilarity(
+          util::ToLower(doc.text_mentions[i].surface()),
+          util::ToLower(doc.text_mentions[j].surface()));
+      if (static_cast<int>(dist) > config_->text_edge_max_distance &&
+          strsim < config_->text_edge_min_strsim) {
+        continue;
+      }
+      const double fprox =
+          doc.total_tokens == 0
+              ? 0.0
+              : 1.0 - std::min(1.0, static_cast<double>(dist) /
+                                        static_cast<double>(doc.total_tokens));
+      const double w = config_->lambda_proximity * fprox +
+                       config_->lambda_strsim * strsim;
+      if (w > 0.0) g.AddEdge(text_node[i], text_node[j], w);
+    }
+  }
+
+  // Table-table edges: single cells sharing a row or column (uniform
+  // weight), and virtual cells linked to their constituent cells.
+  {
+    // Index single-cell mentions by (table, row) and (table, col).
+    std::unordered_map<int64_t, std::vector<size_t>> by_row;
+    std::unordered_map<int64_t, std::vector<size_t>> by_col;
+    auto key = [](int tbl, int rc) {
+      return (static_cast<int64_t>(tbl) << 32) | static_cast<uint32_t>(rc);
+    };
+    std::unordered_map<int64_t, size_t> single_at;  // (tbl, row, col) packed
+    auto cell_key = [](int tbl, int r, int c) {
+      return (static_cast<int64_t>(tbl) << 40) |
+             (static_cast<int64_t>(r) << 20) | c;
+    };
+    for (size_t t = 0; t < doc.table_mentions.size(); ++t) {
+      const table::TableMention& m = doc.table_mentions[t];
+      if (m.is_virtual()) continue;
+      by_row[key(m.table_index, m.cells[0].row)].push_back(t);
+      by_col[key(m.table_index, m.cells[0].col)].push_back(t);
+      single_at[cell_key(m.table_index, m.cells[0].row, m.cells[0].col)] = t;
+    }
+    const double w = config_->table_edge_weight;
+    auto connect_group = [&](const std::vector<size_t>& group) {
+      for (size_t a = 0; a < group.size(); ++a) {
+        for (size_t b = a + 1; b < group.size(); ++b) {
+          if (!g.HasEdge(table_node[group[a]], table_node[group[b]])) {
+            g.AddEdge(table_node[group[a]], table_node[group[b]], w);
+          }
+        }
+      }
+    };
+    for (const auto& [k, group] : by_row) connect_group(group);
+    for (const auto& [k, group] : by_col) connect_group(group);
+
+    for (size_t t = 0; t < doc.table_mentions.size(); ++t) {
+      const table::TableMention& m = doc.table_mentions[t];
+      if (!m.is_virtual() || table_node[t] < 0) continue;
+      for (const table::CellRef& ref : m.cells) {
+        auto it = single_at.find(cell_key(m.table_index, ref.row, ref.col));
+        if (it == single_at.end()) continue;
+        if (!g.HasEdge(table_node[t], table_node[it->second])) {
+          g.AddEdge(table_node[t], table_node[it->second], w);
+        }
+      }
+    }
+  }
+
+  // Text-table edges: the surviving candidates, weighted by the classifier
+  // prior sigma.
+  for (size_t x = 0; x < num_text; ++x) {
+    for (const Candidate& c : candidates[x]) {
+      if (c.score <= 0.0) continue;
+      g.AddEdge(text_node[x], table_node[c.table_idx], c.score);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Entropy-based ordering (§VI-B).
+  // ---------------------------------------------------------------------
+  std::vector<size_t> order;
+  std::vector<double> entropy(num_text, 0.0);
+  for (size_t x = 0; x < num_text; ++x) {
+    if (candidates[x].empty()) continue;
+    std::vector<double> scores;
+    scores.reserve(candidates[x].size());
+    for (const Candidate& c : candidates[x]) scores.push_back(c.score);
+    entropy[x] = ml::NormalizedEntropy(scores);
+    order.push_back(x);
+  }
+  if (config_->entropy_ordering) {
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return entropy[a] < entropy[b]; });
+  }
+
+  // ---------------------------------------------------------------------
+  // Algorithm 1: RWR per mention, best-first decisions, graph updates.
+  // ---------------------------------------------------------------------
+  for (size_t x : order) {
+    int iterations = 0;
+    std::vector<double> pi = graph::RandomWalkWithRestart(
+        g, text_node[x], config_->rwr, &iterations);
+
+    const Candidate* best = nullptr;
+    double best_score = 0.0;
+    for (const Candidate& c : candidates[x]) {
+      // Edges of already-decided mentions were deleted; a candidate whose
+      // text-table edge is gone can still win on its prior (the candidate
+      // list is per-mention, only x's own edges matter here).
+      const double overall = config_->alpha * pi[table_node[c.table_idx]] +
+                             config_->beta * c.score;
+      if (best == nullptr || overall > best_score) {
+        best = &c;
+        best_score = overall;
+      }
+    }
+
+    if (best != nullptr && best_score > config_->epsilon) {
+      alignment.decisions.push_back(AlignmentDecision{
+          static_cast<int>(x), static_cast<int>(best->table_idx), best_score});
+      // Keep only the accepted edge.
+      if (config_->edge_deletion) {
+        for (const Candidate& c : candidates[x]) {
+          if (c.table_idx != best->table_idx &&
+              g.HasEdge(text_node[x], table_node[c.table_idx])) {
+            g.RemoveEdge(text_node[x], table_node[c.table_idx]);
+          }
+        }
+      }
+    } else if (config_->edge_deletion) {
+      // No alignment: drop all of x's text-table edges.
+      for (const Candidate& c : candidates[x]) {
+        if (g.HasEdge(text_node[x], table_node[c.table_idx])) {
+          g.RemoveEdge(text_node[x], table_node[c.table_idx]);
+        }
+      }
+    }
+  }
+
+  return alignment;
+}
+
+}  // namespace briq::core

@@ -1,0 +1,33 @@
+#ifndef BRIQ_CORE_RESOLUTION_H_
+#define BRIQ_CORE_RESOLUTION_H_
+
+#include <vector>
+
+#include "core/aligner.h"
+#include "core/config.h"
+#include "core/extraction.h"
+#include "core/filtering.h"
+
+namespace briq::core {
+
+/// Stage-4 global resolution (paper §VI, Algorithm 1): builds the
+/// candidate alignment graph (text-text, table-table, text-table edges),
+/// then resolves text mentions in increasing order of classifier-score
+/// entropy; each mention runs a Random Walk with Restart and accepts the
+/// argmax of OverallScore = alpha * pi + beta * sigma when it clears
+/// epsilon; decided mentions prune the graph for later walks.
+class GlobalResolver {
+ public:
+  explicit GlobalResolver(const BriqConfig* config) : config_(config) {}
+
+  DocumentAlignment Resolve(
+      const PreparedDocument& doc,
+      const std::vector<std::vector<Candidate>>& candidates) const;
+
+ private:
+  const BriqConfig* config_;
+};
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_RESOLUTION_H_

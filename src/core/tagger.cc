@@ -1,0 +1,163 @@
+#include "core/tagger.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cues.h"
+#include "core/gt_matching.h"
+#include "ml/dataset.h"
+#include "util/logging.h"
+
+namespace briq::core {
+
+namespace {
+
+using table::AggregateFunction;
+
+// Unit feature encoding (paper §V-A lists dollar, euro, percent, pound,
+// unknown; we add a bucket for other known units).
+double UnitFeature(const quantity::ParsedQuantity& q) {
+  if (!q.has_unit()) return 0.0;
+  if (q.unit == "USD") return 1.0;
+  if (q.unit == "EUR") return 2.0;
+  if (q.unit == "percent") return 3.0;
+  if (q.unit == "GBP") return 4.0;
+  return 5.0;
+}
+
+}  // namespace
+
+TextMentionTagger::Label TextMentionTagger::LabelOf(AggregateFunction f) {
+  switch (f) {
+    case AggregateFunction::kSum:
+      return kSum;
+    case AggregateFunction::kDiff:
+      return kDiff;
+    case AggregateFunction::kPercentage:
+      return kPct;
+    case AggregateFunction::kChangeRatio:
+      return kRatio;
+    default:
+      return kSingle;
+  }
+}
+
+AggregateFunction TextMentionTagger::FunctionOf(Label label) {
+  switch (label) {
+    case kSum:
+      return AggregateFunction::kSum;
+    case kDiff:
+      return AggregateFunction::kDiff;
+    case kPct:
+      return AggregateFunction::kPercentage;
+    case kRatio:
+      return AggregateFunction::kChangeRatio;
+    default:
+      return AggregateFunction::kNone;
+  }
+}
+
+std::vector<double> TextMentionTagger::Features(const PreparedDocument& doc,
+                                                size_t text_idx,
+                                                const BriqConfig& config) {
+  const table::TextMention& x = doc.text_mentions[text_idx];
+  const auto& tokens = doc.paragraph_tokens[x.paragraph];
+  std::vector<double> f;
+  f.reserve(kNumFeatures);
+
+  // 1) approximation indicator.
+  f.push_back(static_cast<double>(x.q.approx));
+
+  // 2-13) cue counts per aggregation function in three scopes.
+  const size_t pos = x.token_pos;
+  // Immediate: window of 10 words around the mention.
+  const size_t kImmediate = 10;
+  size_t ib = pos >= kImmediate ? pos - kImmediate : 0;
+  size_t ie = std::min(tokens.size(), pos + kImmediate + 1);
+  std::vector<int> immediate = CountCues(tokens, ib, ie);
+  // Local: the sentence.
+  size_t sb = 0;
+  size_t se = tokens.size();
+  if (x.sentence < static_cast<int>(doc.sentence_spans[x.paragraph].size())) {
+    const text::Span& sent = doc.sentence_spans[x.paragraph][x.sentence];
+    sb = se = 0;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].span.end <= sent.begin) sb = i + 1;
+      if (tokens[i].span.begin < sent.end) se = i + 1;
+    }
+  }
+  std::vector<int> local = CountCues(tokens, sb, se);
+  // Global: the paragraph.
+  std::vector<int> global = CountCues(tokens, 0, tokens.size());
+  for (int i = 0; i < kNumCueFunctions; ++i) f.push_back(immediate[i]);
+  for (int i = 0; i < kNumCueFunctions; ++i) f.push_back(local[i]);
+  for (int i = 0; i < kNumCueFunctions; ++i) f.push_back(global[i]);
+
+  // 14) scale, 15) precision.
+  f.push_back(static_cast<double>(x.q.Scale()));
+  f.push_back(static_cast<double>(x.q.precision));
+
+  // 16) unit.
+  f.push_back(UnitFeature(x.q));
+
+  // 17) exact-match count among single-cell table mentions.
+  int exact = 0;
+  for (const table::TableMention& t : doc.table_mentions) {
+    if (t.is_virtual()) continue;
+    if (quantity::RelativeDifference(x.q.value, t.value) < 1e-9) ++exact;
+  }
+  f.push_back(static_cast<double>(exact));
+
+  (void)config;
+  BRIQ_CHECK(static_cast<int>(f.size()) == kNumFeatures)
+      << "tagger feature count drifted";
+  return f;
+}
+
+void TextMentionTagger::Train(
+    const std::vector<const PreparedDocument*>& docs) {
+  ml::Dataset data(kNumFeatures);
+  for (const PreparedDocument* doc : docs) {
+    // Label extracted mentions from ground truth; unmatched mentions are
+    // single-cell by default (distractors carry no aggregation cues).
+    std::vector<int> label(doc->text_mentions.size(), kSingle);
+    for (const MatchedGroundTruth& m : MatchGroundTruth(*doc)) {
+      if (m.text_idx >= 0) {
+        label[m.text_idx] = LabelOf(m.gt->target.func);
+      }
+    }
+    for (size_t i = 0; i < doc->text_mentions.size(); ++i) {
+      data.Add(Features(*doc, i, *config_), label[i]);
+    }
+  }
+  if (data.empty()) return;
+  forest_.Fit(data, config_->tagger_forest);
+}
+
+TextMentionTagger::Tag TextMentionTagger::Predict(const PreparedDocument& doc,
+                                                  size_t text_idx) const {
+  Tag tag;
+  if (!trained()) {
+    // Cue-word fallback for untrained use.
+    const table::TextMention& x = doc.text_mentions[text_idx];
+    tag.func = InferAggregateFunction(doc.paragraph_tokens[x.paragraph],
+                                      x.token_pos, config_->agg_cue_window);
+    tag.confidence = 0.5;
+    return tag;
+  }
+  std::vector<double> f = Features(doc, text_idx, *config_);
+  std::vector<double> proba = forest_.PredictProba(f.data());
+  int best = static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+  tag.confidence = proba[best];
+  // Precision-first: aggregate predictions need to clear the confidence
+  // floor, otherwise fall back to single-cell (which prunes nothing).
+  if (best != kSingle && tag.confidence < config_->tagger_min_confidence) {
+    best = kSingle;
+    tag.confidence = proba[kSingle];
+  }
+  tag.func = FunctionOf(static_cast<Label>(best));
+  return tag;
+}
+
+}  // namespace briq::core

@@ -1,0 +1,66 @@
+#ifndef BRIQ_CORE_TAGGER_H_
+#define BRIQ_CORE_TAGGER_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/extraction.h"
+#include "ml/random_forest.h"
+
+namespace briq::core {
+
+/// The text-mention tagger of paper §V-A: predicts, from local features
+/// only, whether a text mention denotes a single cell or an aggregate
+/// (sum / difference / percentage / change ratio). Its prediction drives
+/// the first adaptive-filtering prune. Tuned for precision: aggregate
+/// predictions below a confidence floor fall back to "single cell", so
+/// single-cell pairs are never pruned on weak evidence.
+class TextMentionTagger {
+ public:
+  /// Tag labels (RF class ids).
+  enum Label : int {
+    kSingle = 0,
+    kSum = 1,
+    kDiff = 2,
+    kPct = 3,
+    kRatio = 4,
+    kNumLabels = 5,
+  };
+
+  static Label LabelOf(table::AggregateFunction f);
+  static table::AggregateFunction FunctionOf(Label label);
+
+  explicit TextMentionTagger(const BriqConfig* config) : config_(config) {}
+
+  /// Trains on the prepared documents' ground truth: every ground-truth
+  /// mention labeled by its aggregate function, every extracted mention
+  /// without ground truth labeled single-cell.
+  void Train(const std::vector<const PreparedDocument*>& docs);
+
+  struct Tag {
+    table::AggregateFunction func = table::AggregateFunction::kNone;
+    double confidence = 0.0;
+  };
+
+  /// Predicts the tag of a text mention. Untrained taggers fall back to
+  /// cue-word inference with confidence 0.5.
+  Tag Predict(const PreparedDocument& doc, size_t text_idx) const;
+
+  /// The 17 tagger features of §V-A: approximation indicator; cue counts
+  /// per aggregation function in immediate/local/global scopes (4 x 3);
+  /// scale; precision; unit id; exact-match count in tables.
+  static std::vector<double> Features(const PreparedDocument& doc,
+                                      size_t text_idx,
+                                      const BriqConfig& config);
+  static constexpr int kNumFeatures = 17;
+
+  bool trained() const { return forest_.fitted(); }
+
+ private:
+  const BriqConfig* config_;
+  ml::RandomForest forest_;
+};
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_TAGGER_H_

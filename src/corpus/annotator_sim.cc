@@ -1,0 +1,120 @@
+#include "corpus/annotator_sim.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace briq::corpus {
+
+double FleissKappa(const std::vector<std::vector<int>>& ratings) {
+  const size_t n_subjects = ratings.size();
+  BRIQ_CHECK(n_subjects > 0) << "no subjects";
+  const size_t n_categories = ratings[0].size();
+
+  int raters = 0;
+  for (int c : ratings[0]) raters += c;
+  BRIQ_CHECK(raters >= 2) << "need at least two raters";
+
+  // Per-category assignment proportions p_j.
+  std::vector<double> p(n_categories, 0.0);
+  double mean_agreement = 0.0;
+  for (const auto& row : ratings) {
+    BRIQ_CHECK(row.size() == n_categories) << "ragged ratings matrix";
+    int total = 0;
+    double agree = 0.0;
+    for (size_t j = 0; j < n_categories; ++j) {
+      total += row[j];
+      p[j] += row[j];
+      agree += static_cast<double>(row[j]) * (row[j] - 1);
+    }
+    BRIQ_CHECK(total == raters) << "inconsistent rater counts per subject";
+    mean_agreement += agree / (static_cast<double>(raters) * (raters - 1));
+  }
+  mean_agreement /= static_cast<double>(n_subjects);
+
+  double pe = 0.0;
+  for (size_t j = 0; j < n_categories; ++j) {
+    double pj = p[j] / (static_cast<double>(n_subjects) * raters);
+    pe += pj * pj;
+  }
+  if (pe >= 1.0) return 1.0;
+  return (mean_agreement - pe) / (1.0 - pe);
+}
+
+namespace {
+
+// Category ids for the simulated judgment task: the five mention types
+// plus "unrelated".
+constexpr int kNumCategories = 6;
+constexpr int kUnrelated = 5;
+
+int CategoryOf(table::AggregateFunction f) {
+  switch (f) {
+    case table::AggregateFunction::kNone:
+      return 0;
+    case table::AggregateFunction::kSum:
+      return 1;
+    case table::AggregateFunction::kDiff:
+      return 2;
+    case table::AggregateFunction::kPercentage:
+      return 3;
+    case table::AggregateFunction::kChangeRatio:
+      return 4;
+    default:
+      return kUnrelated;
+  }
+}
+
+}  // namespace
+
+AnnotationOutcome SimulateAnnotation(const Corpus& corpus,
+                                     const AnnotatorSimOptions& options) {
+  util::Rng rng(options.seed);
+  AnnotationOutcome outcome;
+  outcome.annotated.documents.reserve(corpus.documents.size());
+
+  std::vector<std::vector<int>> ratings;
+
+  auto judge = [&](int true_category) {
+    std::vector<int> row(kNumCategories, 0);
+    for (int a = 0; a < options.num_annotators; ++a) {
+      int assigned = true_category;
+      if (rng.Bernoulli(options.error_rate)) {
+        // A wrong category, uniformly among the others.
+        assigned = static_cast<int>(rng.UniformInt(kNumCategories - 1));
+        if (assigned >= true_category) ++assigned;
+      }
+      ++row[assigned];
+    }
+    ratings.push_back(row);
+    // Kept if >= min_agreement annotators confirmed the pair as related
+    // with its true type.
+    return ratings.back()[true_category] >= options.min_agreement;
+  };
+
+  for (const Document& doc : corpus.documents) {
+    Document kept = doc;
+    kept.ground_truth.clear();
+    for (const GroundTruthAlignment& gt : doc.ground_truth) {
+      ++outcome.pairs_judged;
+      if (judge(CategoryOf(gt.target.func))) {
+        kept.ground_truth.push_back(gt);
+        ++outcome.pairs_kept;
+      } else {
+        ++outcome.pairs_dropped;
+      }
+      // One unrelated decoy per real pair keeps the category space honest.
+      ++outcome.pairs_judged;
+      judge(kUnrelated);
+    }
+    outcome.annotated.documents.push_back(std::move(kept));
+  }
+
+  if (!ratings.empty()) {
+    outcome.fleiss_kappa = FleissKappa(ratings);
+  }
+  return outcome;
+}
+
+}  // namespace briq::corpus

@@ -1,0 +1,46 @@
+#ifndef BRIQ_CORPUS_ANNOTATOR_SIM_H_
+#define BRIQ_CORPUS_ANNOTATOR_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/document.h"
+
+namespace briq::corpus {
+
+/// Fleiss' kappa for inter-annotator agreement [Fleiss 1971]. `ratings` is
+/// a subjects x categories matrix of assignment counts; every row must sum
+/// to the same number of raters (>= 2). Returns 1 for perfect agreement,
+/// ~0 for chance-level agreement.
+double FleissKappa(const std::vector<std::vector<int>>& ratings);
+
+/// Simulation of the paper's ground-truth construction (§VII-A): 8 hired
+/// annotators judge candidate mention pairs and classify them by type;
+/// pairs confirmed by at least `min_agreement` annotators are kept.
+struct AnnotatorSimOptions {
+  int num_annotators = 8;
+  /// Probability an annotator mislabels a pair (drawing a random wrong
+  /// category). Calibrated so kappa lands near the paper's 0.6854.
+  double error_rate = 0.12;
+  int min_agreement = 2;
+  uint64_t seed = 99;
+};
+
+struct AnnotationOutcome {
+  double fleiss_kappa = 0.0;
+  size_t pairs_judged = 0;
+  size_t pairs_kept = 0;
+  size_t pairs_dropped = 0;
+  /// The corpus with ground truth filtered to kept pairs.
+  Corpus annotated;
+};
+
+/// Runs the simulated annotation over all ground-truth pairs (plus an
+/// equal number of unrelated decoy pairs so the "unrelated" category is
+/// populated) and filters the corpus to agreed pairs.
+AnnotationOutcome SimulateAnnotation(const Corpus& corpus,
+                                     const AnnotatorSimOptions& options = {});
+
+}  // namespace briq::corpus
+
+#endif  // BRIQ_CORPUS_ANNOTATOR_SIM_H_

@@ -1,0 +1,27 @@
+#include "corpus/document.h"
+
+namespace briq::corpus {
+
+const char* RealizationName(Realization r) {
+  switch (r) {
+    case Realization::kExact:
+      return "exact";
+    case Realization::kApproximate:
+      return "approximate";
+    case Realization::kScaled:
+      return "scaled";
+    case Realization::kDisplayRounded:
+      return "display_rounded";
+  }
+  return "?";
+}
+
+size_t Document::CountByFunc(table::AggregateFunction f) const {
+  size_t n = 0;
+  for (const auto& gt : ground_truth) {
+    if (gt.target.func == f) ++n;
+  }
+  return n;
+}
+
+}  // namespace briq::corpus

@@ -1,0 +1,71 @@
+#ifndef BRIQ_CORPUS_DOCUMENT_H_
+#define BRIQ_CORPUS_DOCUMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "table/mention.h"
+#include "table/table.h"
+#include "text/tokenizer.h"
+
+namespace briq::corpus {
+
+/// How the generator surfaced a quantity in text relative to its table
+/// value. Drives by-realization evaluation and the mention-type logic of
+/// the adaptive filter.
+enum class Realization {
+  kExact = 0,       // same numeric value (formatting may differ)
+  kApproximate,     // rounded to few significant digits, with a cue word
+  kScaled,          // exact value expressed with a scale word ("3.26 billion")
+  kDisplayRounded,  // derived aggregate shown at display precision ("1.5%")
+};
+
+const char* RealizationName(Realization r);
+
+/// What a text mention refers to: a single cell or a virtual cell of some
+/// aggregate function over cells of one table.
+struct GroundTruthTarget {
+  int table_index = 0;
+  table::AggregateFunction func = table::AggregateFunction::kNone;
+  std::vector<table::CellRef> cells;
+
+  bool Matches(const table::TableMention& m) const {
+    return m.table_index == table_index && m.func == func && m.cells == cells;
+  }
+};
+
+/// One annotated alignment: the mention's location in the text plus its
+/// target. Mentions with no target (distractors) are not listed here — the
+/// mapping is partial by design (paper §II-A).
+struct GroundTruthAlignment {
+  int paragraph = 0;
+  text::Span span;         // char range of the mention in that paragraph
+  std::string surface;     // the mention text, for debugging
+  GroundTruthTarget target;
+  Realization realization = Realization::kExact;
+};
+
+/// A coherent document (paper §III): one or more paragraphs plus the
+/// table(s) they discuss, with complete ground-truth alignments (tableS
+/// style).
+struct Document {
+  std::string id;
+  std::string domain;
+  std::vector<std::string> paragraphs;
+  std::vector<table::Table> tables;
+  std::vector<GroundTruthAlignment> ground_truth;
+
+  /// Count of ground-truth alignments of the given aggregate function.
+  size_t CountByFunc(table::AggregateFunction f) const;
+};
+
+/// A corpus: documents plus bookkeeping.
+struct Corpus {
+  std::vector<Document> documents;
+
+  size_t size() const { return documents.size(); }
+};
+
+}  // namespace briq::corpus
+
+#endif  // BRIQ_CORPUS_DOCUMENT_H_

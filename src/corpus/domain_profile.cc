@@ -1,0 +1,179 @@
+#include "corpus/domain_profile.h"
+
+#include "util/logging.h"
+
+namespace briq::corpus {
+
+namespace {
+
+DomainProfile MakeFinance() {
+  DomainProfile p;
+  p.name = "finance";
+  p.min_body_rows = 4;
+  p.max_body_rows = 8;
+  p.min_body_cols = 2;
+  p.max_body_cols = 4;
+  p.numeric_density = 0.8;
+  p.two_table_prob = 0.45;
+  p.value_min = 50;
+  p.value_max = 9e6;
+  p.max_decimals = 0;
+  p.unit_style = DomainUnitStyle::kCurrency;
+  p.caption_scale_prob = 0.35;
+  p.row_headers = {"Total Revenue", "Gross income", "Income taxes",
+                   "Net income",    "Operating costs", "Segment Profit",
+                   "Sales",         "Segment Margin",  "EBITDA",
+                   "Cash flow",     "Dividends",       "Net Earnings",
+                   "R&D spending",  "Marketing costs", "Interest expense"};
+  p.col_headers = {"2011", "2012", "2013", "2014", "Q1",   "Q2",
+                   "Q3",   "Q4",   "2Q 2012", "2Q 2013", "YTD 2004",
+                   "YTD 2005", "FY 2012", "FY 2013"};
+  p.captions = {"Income gains", "Transportation Systems",
+                "Automation & Control", "Quarterly results",
+                "Consolidated statement", "Mutual fund inflows"};
+  p.row_noun = {"segments", "quarters", "divisions", "funds"};
+  return p;
+}
+
+DomainProfile MakeEnvironment() {
+  DomainProfile p;
+  p.name = "environment";
+  p.min_body_rows = 5;
+  p.max_body_rows = 8;
+  p.min_body_cols = 3;
+  p.max_body_cols = 5;
+  p.numeric_density = 0.92;
+  p.two_table_prob = 0.3;
+  p.value_min = 0;
+  p.value_max = 60000;
+  p.max_decimals = 1;
+  p.unit_style = DomainUnitStyle::kMixed;
+  p.row_headers = {"German MSRP",    "American MSRP",  "Emission",
+                   "Fuel Economy",   "Final rating",   "Range",
+                   "Battery capacity", "Charge time",  "CO2 footprint",
+                   "Energy consumption", "Recycling rate", "Water usage",
+                   "Solar output",   "Wind output",    "Waste produced"};
+  p.col_headers = {"Focus E", "A3 e-tron", "VW Golf", "Model 3", "Leaf",
+                   "i3",      "Prius",     "Bolt",    "Zoe",     "Kona"};
+  p.captions = {"Electric vehicle comparison", "Emission statistics",
+                "Renewable energy output", "Car efficiency ratings"};
+  p.row_noun = {"vehicles", "models", "plants", "regions"};
+  return p;
+}
+
+DomainProfile MakeHealth() {
+  DomainProfile p;
+  p.name = "health";
+  p.min_body_rows = 2;
+  p.max_body_rows = 4;
+  p.min_body_cols = 1;
+  p.max_body_cols = 3;
+  p.numeric_density = 0.97;
+  p.two_table_prob = 0.35;
+  p.value_min = 1;
+  p.value_max = 500;
+  p.max_decimals = 0;
+  p.unit_style = DomainUnitStyle::kPlainCounts;
+  p.row_headers = {"Rash",        "Depression", "Hypertension", "Nausea",
+                   "Eye Disorders", "Headache", "Fatigue",      "Insomnia",
+                   "Dizziness",   "Fever",      "Anemia",       "Migraine"};
+  p.col_headers = {"male", "female", "total", "placebo", "treated",
+                   "week 1", "week 4", "cohort A", "cohort B"};
+  p.captions = {"Reported side effects", "Drug trial outcomes",
+                "Patient statistics", "Clinical observations"};
+  p.row_noun = {"patients", "participants", "subjects", "cases"};
+  return p;
+}
+
+DomainProfile MakePolitics() {
+  DomainProfile p;
+  p.name = "politics";
+  p.min_body_rows = 5;
+  p.max_body_rows = 9;
+  p.min_body_cols = 1;
+  p.max_body_cols = 3;
+  p.numeric_density = 0.88;
+  p.two_table_prob = 0.3;
+  p.value_min = 100;
+  p.value_max = 2e7;
+  p.max_decimals = 0;
+  p.unit_style = DomainUnitStyle::kPlainCounts;
+  p.row_headers = {"Labor Party",  "Green Party",  "Liberal Party",
+                   "Conservatives", "Independents", "Socialists",
+                   "Democrats",    "Republicans",  "National Front",
+                   "Centre Party", "Reform Party", "Unity Party"};
+  p.col_headers = {"votes", "seats", "2016", "2020", "registered",
+                   "turnout", "district A", "district B"};
+  p.captions = {"Election results", "Parliamentary seats",
+                "Voter registration", "Referendum outcome"};
+  p.row_noun = {"votes", "voters", "ballots", "constituencies"};
+  return p;
+}
+
+DomainProfile MakeSports() {
+  DomainProfile p;
+  p.name = "sports";
+  p.min_body_rows = 6;
+  p.max_body_rows = 9;
+  p.min_body_cols = 4;
+  p.max_body_cols = 6;
+  p.numeric_density = 0.95;
+  p.two_table_prob = 0.4;
+  p.value_min = 0;
+  p.value_max = 120;
+  p.max_decimals = 0;
+  p.unit_style = DomainUnitStyle::kPlainCounts;
+  p.row_headers = {"United",   "City",     "Rovers",  "Athletic", "Wanderers",
+                   "Rangers",  "Albion",   "County",  "Town",     "Harriers",
+                   "Dynamo",   "Olympic",  "Racing",  "Sporting"};
+  p.col_headers = {"played", "won", "drawn", "lost", "goals", "points",
+                   "home",   "away", "season", "streak"};
+  p.captions = {"League standings", "Season statistics",
+                "Tournament results", "Player records"};
+  p.row_noun = {"matches", "games", "teams", "players"};
+  return p;
+}
+
+DomainProfile MakeOthers() {
+  DomainProfile p;
+  p.name = "others";
+  p.min_body_rows = 4;
+  p.max_body_rows = 8;
+  p.min_body_cols = 2;
+  p.max_body_cols = 5;
+  p.numeric_density = 0.9;
+  p.two_table_prob = 0.35;
+  p.value_min = 1;
+  p.value_max = 1e5;
+  p.max_decimals = 1;
+  p.unit_style = DomainUnitStyle::kMixed;
+  p.row_headers = {"1 bedroom",  "2 bedrooms", "3 bedrooms", "4 bedrooms",
+                   "Making cost", "Materials",  "Shipping",  "Packaging",
+                   "Downloads",  "Installs",   "Page views", "Sessions",
+                   "Enrollment", "Graduates"};
+  p.col_headers = {"count", "share", "Queensland", "Australia", "region",
+                   "total", "2019",  "2020",       "units"};
+  p.captions = {"Household statistics", "Cost breakdown",
+                "Usage metrics", "Census summary"};
+  p.row_noun = {"dwellings", "items", "users", "households"};
+  return p;
+}
+
+}  // namespace
+
+const std::vector<DomainProfile>& AllDomainProfiles() {
+  static const auto& kProfiles = *new std::vector<DomainProfile>{
+      MakeEnvironment(), MakeFinance(), MakeHealth(),
+      MakePolitics(),    MakeSports(),  MakeOthers()};
+  return kProfiles;
+}
+
+const DomainProfile& GetDomainProfile(const std::string& name) {
+  for (const DomainProfile& p : AllDomainProfiles()) {
+    if (p.name == name) return p;
+  }
+  BRIQ_CHECK(false) << "unknown domain: " << name;
+  return AllDomainProfiles().front();  // unreachable
+}
+
+}  // namespace briq::corpus

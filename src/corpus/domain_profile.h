@@ -1,0 +1,90 @@
+#ifndef BRIQ_CORPUS_DOMAIN_PROFILE_H_
+#define BRIQ_CORPUS_DOMAIN_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+namespace briq::corpus {
+
+/// How values in a domain carry units.
+enum class DomainUnitStyle {
+  kPlainCounts,   // bare integers (health patients, politics votes)
+  kCurrency,      // $ / EUR amounts
+  kMixed,         // some columns currency, some percent, some plain
+};
+
+/// Per-domain generation parameters, calibrated so the generated corpus
+/// reproduces the shape of the paper's Table IX (rows/columns/single
+/// cells/virtual cells per domain) and the topical variety of tableL
+/// (finance, environment, health, politics, sports, others).
+struct DomainProfile {
+  std::string name;
+
+  // Table shape (body = non-header). Sampled uniformly in [min, max].
+  int min_body_rows = 2;
+  int max_body_rows = 6;
+  int min_body_cols = 1;
+  int max_body_cols = 4;
+  /// Probability that a body cell is numeric (vs. textual annotation).
+  double numeric_density = 0.95;
+  /// Probability a document carries a second table (Figure-3-style
+  /// ambiguity for the global-resolution stage).
+  double two_table_prob = 0.2;
+
+  // Value generation.
+  double value_min = 1.0;
+  double value_max = 1e6;
+  int max_decimals = 0;  // cell precision in digits after the point
+  DomainUnitStyle unit_style = DomainUnitStyle::kPlainCounts;
+  /// Probability the table states a "(in millions)"-style caption scale.
+  double caption_scale_prob = 0.0;
+
+  // Text generation.
+  int min_mentions = 3;
+  int max_mentions = 7;
+  int distractors_per_doc = 3;
+
+  // Mention-type mix (normalized internally). Defaults follow the paper's
+  // Table I positive-sample distribution: single-cell dominates.
+  double p_single = 0.868;
+  double p_sum = 0.053;
+  double p_diff = 0.027;
+  double p_pct = 0.023;
+  double p_ratio = 0.028;
+
+  // Realization mix for single-cell mentions.
+  double p_exact = 0.55;
+  double p_approx = 0.28;
+  double p_scaled = 0.17;
+
+  // --- Ambiguity / hardness knobs (phenomena of the paper's error
+  // analysis, Figures 3 and 6) ---------------------------------------------
+  /// Probability a cell value duplicates another value already in the same
+  /// table (same-value collisions, Fig. 6a).
+  double value_collision_prob = 0.22;
+  /// Probability a cell of a second table duplicates a value of the first
+  /// (cross-table ambiguity, Fig. 3: "11%" appears in both tables).
+  double cross_table_collision_prob = 0.45;
+  /// Probability a single-cell mention uses a vague sentence that names no
+  /// row/column header, leaving only value + graph context.
+  double vague_template_prob = 0.45;
+  /// Probability a distractor exactly copies some table value (unrelated
+  /// numbers that happen to match a cell).
+  double distractor_exact_collision_prob = 0.35;
+
+  // Vocabulary.
+  std::vector<std::string> row_headers;
+  std::vector<std::string> col_headers;
+  std::vector<std::string> captions;
+  std::vector<std::string> row_noun;  // "patients", "vehicles", ...
+};
+
+/// The five major tableL topics plus "others" (paper §VII-A).
+const std::vector<DomainProfile>& AllDomainProfiles();
+
+/// Profile by name; check-fails on unknown names.
+const DomainProfile& GetDomainProfile(const std::string& name);
+
+}  // namespace briq::corpus
+
+#endif  // BRIQ_CORPUS_DOMAIN_PROFILE_H_

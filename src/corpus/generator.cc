@@ -1,0 +1,914 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "quantity/quantity_parser.h"
+#include "table/virtual_cell.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace briq::corpus {
+
+namespace {
+
+using table::AggregateFunction;
+using table::CellRef;
+
+// ---------------------------------------------------------------------------
+// Value formatting
+// ---------------------------------------------------------------------------
+
+double RoundSignificant(double v, int digits) {
+  if (v == 0.0) return 0.0;
+  double mag = std::pow(10.0, digits - 1 - static_cast<int>(std::floor(
+                                               std::log10(std::fabs(v)))));
+  return std::round(v * mag) / mag;
+}
+
+double RoundDecimals(double v, int decimals) {
+  double mag = std::pow(10.0, decimals);
+  return std::round(v * mag) / mag;
+}
+
+// Formats with `decimals` digits and optional thousands separators.
+std::string FormatValue(double v, int decimals, bool separators) {
+  double rounded = RoundDecimals(v, decimals);
+  if (decimals == 0) {
+    int64_t iv = static_cast<int64_t>(std::llround(rounded));
+    return separators ? util::WithThousandsSeparators(iv) : std::to_string(iv);
+  }
+  std::string s = util::FormatDouble(rounded, decimals);
+  if (separators) {
+    // Separate the integer part only.
+    auto dot = s.find('.');
+    std::string int_part = dot == std::string::npos ? s : s.substr(0, dot);
+    std::string frac = dot == std::string::npos ? "" : s.substr(dot);
+    bool neg = !int_part.empty() && int_part[0] == '-';
+    int64_t iv = std::strtoll(int_part.c_str(), nullptr, 10);
+    (void)neg;
+    return util::WithThousandsSeparators(iv) + frac;
+  }
+  return s;
+}
+
+// Expresses v exactly with a scale word ("3.263 billion") when v/scale has
+// at most 3 decimals; returns "" otherwise.
+std::string ScaledForm(double v) {
+  struct Scale {
+    double factor;
+    const char* word;
+  };
+  static constexpr Scale kScales[] = {
+      {1e9, "billion"}, {1e6, "million"}, {1e3, "thousand"}};
+  for (const Scale& s : kScales) {
+    if (std::fabs(v) < s.factor) continue;
+    double x = v / s.factor;
+    double x3 = RoundDecimals(x, 3);
+    if (std::fabs(x3 * s.factor - v) < 1e-6 * std::fabs(v)) {
+      return util::FormatDouble(x3, 3) + " " + s.word;
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Paragraph builder with span tracking
+// ---------------------------------------------------------------------------
+
+class ParagraphBuilder {
+ public:
+  void Append(std::string_view s) { text_ += s; }
+
+  /// Appends mention text and returns its span.
+  text::Span AppendMention(std::string_view s) {
+    text::Span span{text_.size(), text_.size() + s.size()};
+    text_ += s;
+    return span;
+  }
+
+  const std::string& str() const { return text_; }
+  std::string Take() { return std::move(text_); }
+  bool empty() const { return text_.empty(); }
+
+ private:
+  std::string text_;
+};
+
+// ---------------------------------------------------------------------------
+// Table construction
+// ---------------------------------------------------------------------------
+
+enum class ColStyle { kPlain, kCurrency, kPercent };
+
+struct BuiltTable {
+  table::Table t;
+  std::vector<ColStyle> styles;  // per body column (index 1..)
+  bool caption_scaled = false;
+};
+
+std::vector<std::string> SampleDistinct(const std::vector<std::string>& pool,
+                                        size_t n, util::Rng* rng) {
+  std::vector<std::string> copy = pool;
+  rng->Shuffle(&copy);
+  if (copy.size() > n) copy.resize(n);
+  return copy;
+}
+
+// `donor` (optional) is a previously built table whose values may be
+// duplicated into this one, creating Fig.-3-style cross-table ambiguity.
+BuiltTable BuildTable(const DomainProfile& p, const std::string& caption,
+                      const std::vector<std::string>& col_headers,
+                      const std::vector<std::string>& row_headers,
+                      util::Rng* rng, const BuiltTable* donor = nullptr) {
+  const int body_rows = static_cast<int>(row_headers.size());
+  const int body_cols = static_cast<int>(col_headers.size());
+
+  BuiltTable built;
+  built.styles.resize(body_cols, ColStyle::kPlain);
+  bool caption_scaled = false;
+  switch (p.unit_style) {
+    case DomainUnitStyle::kPlainCounts:
+      break;
+    case DomainUnitStyle::kCurrency:
+      for (auto& s : built.styles) s = ColStyle::kCurrency;
+      caption_scaled = rng->Bernoulli(p.caption_scale_prob);
+      break;
+    case DomainUnitStyle::kMixed:
+      for (auto& s : built.styles) {
+        double r = rng->UniformDouble();
+        s = r < 0.40 ? ColStyle::kPlain
+                     : (r < 0.75 ? ColStyle::kCurrency : ColStyle::kPercent);
+      }
+      break;
+  }
+  built.caption_scaled = caption_scaled;
+
+  std::vector<std::vector<std::string>> rows(body_rows + 1);
+  rows[0].push_back("Category");
+  for (const auto& h : col_headers) rows[0].push_back(h);
+
+  const bool use_separators = rng->Bernoulli(0.6);
+  // Previously emitted raw values per style, for same-table collisions.
+  std::vector<std::vector<std::string>> emitted(3);
+  // Donor raw values per style, for cross-table collisions.
+  std::vector<std::vector<std::string>> donor_values(3);
+  if (donor != nullptr) {
+    for (int r = 1; r < donor->t.num_rows(); ++r) {
+      for (int c = 1; c < donor->t.num_cols(); ++c) {
+        const table::Cell& cell = donor->t.cell(r, c);
+        if (!cell.numeric()) continue;
+        donor_values[static_cast<int>(donor->styles[c - 1])].push_back(
+            cell.raw);
+      }
+    }
+  }
+
+  for (int r = 0; r < body_rows; ++r) {
+    rows[r + 1].push_back(row_headers[r]);
+    for (int c = 0; c < body_cols; ++c) {
+      if (!rng->Bernoulli(p.numeric_density)) {
+        rows[r + 1].push_back(rng->Bernoulli(0.5) ? "--" : "n/a");
+        continue;
+      }
+      ColStyle style = built.styles[c];
+      const int style_idx = static_cast<int>(style);
+      std::string raw;
+      // Same-value collisions: duplicate an existing value of the same
+      // style, from this table or (for second tables) from the donor.
+      if (!donor_values[style_idx].empty() &&
+          rng->Bernoulli(p.cross_table_collision_prob)) {
+        raw = rng->Choice(donor_values[style_idx]);
+      } else if (!emitted[style_idx].empty() &&
+                 rng->Bernoulli(p.value_collision_prob)) {
+        raw = rng->Choice(emitted[style_idx]);
+      } else if (style == ColStyle::kPercent) {
+        double v = RoundDecimals(rng->UniformDouble(0.5, 99.5),
+                                 rng->Bernoulli(0.5) ? 1 : 2);
+        raw = util::FormatDouble(v, 2) + "%";
+      } else if (caption_scaled) {
+        // Caption announces "($ Millions)": cells are display-scaled.
+        double v = RoundDecimals(rng->UniformDouble(10, 9000), 0);
+        raw = FormatValue(v, 0, use_separators);
+      } else {
+        double v = RoundDecimals(
+            rng->UniformDouble(p.value_min, p.value_max), p.max_decimals);
+        raw = FormatValue(v, p.max_decimals, use_separators);
+        if (style == ColStyle::kCurrency) raw = "$" + raw;
+      }
+      emitted[style_idx].push_back(raw);
+      rows[r + 1].push_back(std::move(raw));
+    }
+  }
+
+  built.t = table::Table::FromRows(std::move(rows));
+  std::string full_caption = caption;
+  if (caption_scaled) full_caption += " ($ Millions)";
+  built.t.set_caption(full_caption);
+  built.t.set_header_row(true);
+  built.t.set_header_col(true);
+  built.t.AnnotateQuantities();
+  return built;
+}
+
+// ---------------------------------------------------------------------------
+// Mention candidates
+// ---------------------------------------------------------------------------
+
+struct Candidate {
+  GroundTruthTarget target;
+  double value = 0.0;       // normalized value of the target
+  ColStyle style = ColStyle::kPlain;
+  // Context labels used by the sentence templates.
+  std::string row_label;
+  std::string col_label;
+  std::string other_label;  // second row/col for pair aggregates
+};
+
+struct CandidatePools {
+  std::vector<Candidate> singles;
+  std::vector<Candidate> sums;
+  std::vector<Candidate> diffs;
+  std::vector<Candidate> pcts;
+  std::vector<Candidate> ratios;
+};
+
+void CollectCandidates(const BuiltTable& bt, int table_index,
+                       CandidatePools* pools) {
+  const table::Table& t = bt.t;
+  const int rows = t.num_rows();
+  const int cols = t.num_cols();
+
+  auto style_of = [&](int c) { return bt.styles[c - 1]; };
+
+  // Singles.
+  for (int r = 1; r < rows; ++r) {
+    for (int c = 1; c < cols; ++c) {
+      const table::Cell& cell = t.cell(r, c);
+      if (!cell.numeric()) continue;
+      Candidate cand;
+      cand.target = {table_index, AggregateFunction::kNone, {CellRef{r, c}}};
+      cand.value = cell.quantity->value;
+      cand.style = style_of(c);
+      cand.row_label = t.cell(r, 0).raw;
+      cand.col_label = t.cell(0, c).raw;
+      pools->singles.push_back(std::move(cand));
+    }
+  }
+
+  // Column sums (skip percent columns: summing shares reads oddly).
+  for (int c = 1; c < cols; ++c) {
+    if (style_of(c) == ColStyle::kPercent) continue;
+    std::vector<CellRef> cells;
+    double sum = 0.0;
+    for (int r = 1; r < rows; ++r) {
+      if (!t.cell(r, c).numeric()) continue;
+      cells.push_back(CellRef{r, c});
+      sum += t.cell(r, c).quantity->value;
+    }
+    if (cells.size() < 2) continue;
+    Candidate cand;
+    cand.target = {table_index, AggregateFunction::kSum, cells};
+    cand.value = sum;
+    cand.style = style_of(c);
+    cand.col_label = t.cell(0, c).raw;
+    pools->sums.push_back(std::move(cand));
+  }
+  // Row sums (only when all numeric cells in the row share one style).
+  for (int r = 1; r < rows; ++r) {
+    std::vector<CellRef> cells;
+    double sum = 0.0;
+    bool uniform = true;
+    ColStyle first = ColStyle::kPlain;
+    bool any = false;
+    for (int c = 1; c < cols; ++c) {
+      if (!t.cell(r, c).numeric()) continue;
+      if (!any) {
+        first = style_of(c);
+        any = true;
+      } else if (style_of(c) != first) {
+        uniform = false;
+      }
+      cells.push_back(CellRef{r, c});
+      sum += t.cell(r, c).quantity->value;
+    }
+    if (!uniform || first == ColStyle::kPercent || cells.size() < 2) continue;
+    Candidate cand;
+    cand.target = {table_index, AggregateFunction::kSum, cells};
+    cand.value = sum;
+    cand.style = first;
+    cand.row_label = t.cell(r, 0).raw;
+    pools->sums.push_back(std::move(cand));
+  }
+
+  // Same-row pairs across columns: diff and ratio.
+  for (int r = 1; r < rows; ++r) {
+    for (int ca = 1; ca < cols; ++ca) {
+      for (int cb = 1; cb < cols; ++cb) {
+        if (ca == cb) continue;
+        const table::Cell& a = t.cell(r, ca);
+        const table::Cell& b = t.cell(r, cb);
+        if (!a.numeric() || !b.numeric()) continue;
+        if (style_of(ca) != style_of(cb)) continue;
+        double va = a.quantity->value;
+        double vb = b.quantity->value;
+        if (va <= vb) continue;  // positive-direction phrasing only
+        Candidate diff;
+        diff.target = {table_index,
+                       AggregateFunction::kDiff,
+                       {CellRef{r, ca}, CellRef{r, cb}}};
+        diff.value = va - vb;
+        diff.style = style_of(ca);
+        diff.row_label = t.cell(r, 0).raw;
+        diff.col_label = t.cell(0, ca).raw;
+        diff.other_label = t.cell(0, cb).raw;
+        pools->diffs.push_back(diff);
+
+        if (style_of(ca) != ColStyle::kPercent && vb > 1e-9) {
+          double ratio = (va - vb) / vb * 100.0;
+          if (ratio >= 0.5 && ratio <= 60.0) {
+            Candidate cand = diff;
+            cand.target.func = AggregateFunction::kChangeRatio;
+            cand.value = ratio;
+            cand.style = ColStyle::kPercent;
+            pools->ratios.push_back(std::move(cand));
+          }
+        }
+      }
+    }
+  }
+
+  // Same-column pairs across rows: percentage (a of b, a < b).
+  for (int c = 1; c < cols; ++c) {
+    if (style_of(c) == ColStyle::kPercent) continue;
+    for (int ra = 1; ra < rows; ++ra) {
+      for (int rb = 1; rb < rows; ++rb) {
+        if (ra == rb) continue;
+        const table::Cell& a = t.cell(ra, c);
+        const table::Cell& b = t.cell(rb, c);
+        if (!a.numeric() || !b.numeric()) continue;
+        double va = a.quantity->value;
+        double vb = b.quantity->value;
+        if (vb <= 0 || va <= 0 || va >= vb) continue;
+        double pct = va / vb * 100.0;
+        if (pct < 1.0 || pct > 99.0) continue;
+        Candidate cand;
+        cand.target = {table_index,
+                       AggregateFunction::kPercentage,
+                       {CellRef{ra, c}, CellRef{rb, c}}};
+        cand.value = pct;
+        cand.style = ColStyle::kPercent;
+        cand.row_label = t.cell(ra, 0).raw;
+        cand.other_label = t.cell(rb, 0).raw;
+        cand.col_label = t.cell(0, c).raw;
+        pools->pcts.push_back(std::move(cand));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mention surface rendering
+// ---------------------------------------------------------------------------
+
+struct RenderedMention {
+  std::string txt;
+  Realization realization = Realization::kExact;
+};
+
+std::string RenderNumber(double v, ColStyle style, util::Rng* rng,
+                         bool allow_scaled, Realization* realization) {
+  if (style == ColStyle::kPercent) {
+    int decimals = std::fabs(v - std::round(v)) < 1e-9 ? 0 : 2;
+    return util::FormatDouble(RoundDecimals(v, 2), decimals) + "%";
+  }
+  // Scaled exact form ("3.263 billion") when clean and allowed.
+  if (allow_scaled && std::fabs(v) >= 1e4 && rng->Bernoulli(0.5)) {
+    std::string scaled = ScaledForm(v);
+    if (!scaled.empty()) {
+      if (realization) *realization = Realization::kScaled;
+      if (style == ColStyle::kCurrency) return "$" + scaled;
+      return scaled;
+    }
+  }
+  int decimals = std::fabs(v - std::round(v)) < 1e-9
+                     ? 0
+                     : (std::fabs(v * 10 - std::round(v * 10)) < 1e-9 ? 1 : 2);
+  std::string s = FormatValue(v, decimals, rng->Bernoulli(0.7));
+  if (style == ColStyle::kCurrency) {
+    return rng->Bernoulli(0.8) ? "$" + s : s + " USD";
+  }
+  return s;
+}
+
+const char* kApproxCues[] = {"about", "around", "nearly", "roughly",
+                             "approximately", "almost"};
+
+RenderedMention RenderMention(const Candidate& cand, Realization requested,
+                              util::Rng* rng) {
+  RenderedMention out;
+  out.realization = requested;
+  switch (requested) {
+    case Realization::kApproximate: {
+      double v = RoundSignificant(cand.value, 2);
+      std::string cue = kApproxCues[rng->UniformInt(6)];
+      Realization unused = Realization::kExact;
+      out.txt = cue + " " + RenderNumber(v, cand.style, rng,
+                                         /*allow_scaled=*/true, &unused);
+      return out;
+    }
+    case Realization::kScaled:
+    case Realization::kExact: {
+      Realization actual = Realization::kExact;
+      out.txt = RenderNumber(cand.value, cand.style, rng,
+                             /*allow_scaled=*/true, &actual);
+      out.realization = actual;
+      return out;
+    }
+    case Realization::kDisplayRounded: {
+      // Derived aggregates are shown at display precision (the paper's
+      // "increased by 1.5%" vs the exact 1.573).
+      double v = cand.style == ColStyle::kPercent
+                     ? RoundDecimals(cand.value, rng->Bernoulli(0.5) ? 1 : 2)
+                     : RoundSignificant(cand.value, 3);
+      Realization unused = Realization::kExact;
+      out.txt = RenderNumber(v, cand.style, rng, /*allow_scaled=*/true,
+                             &unused);
+      return out;
+    }
+  }
+  return out;
+}
+
+// Percent-unit diffs surface as basis points ("up 60 bps"), like Fig. 3.
+std::string RenderBps(double percent_diff) {
+  double bps = RoundDecimals(percent_diff * 100.0, 0);
+  return util::FormatDouble(bps, 0) + " bps";
+}
+
+// ---------------------------------------------------------------------------
+// Sentence templates
+// ---------------------------------------------------------------------------
+
+struct Sentence {
+  std::string pre;   // text before the mention
+  std::string post;  // text after the mention (includes trailing period)
+};
+
+Sentence SingleTemplate(const Candidate& c, const DomainProfile& p,
+                        util::Rng* rng) {
+  // Vague realizations name no header: the reader (and the system) must
+  // rely on the value and on neighbouring mentions (Fig. 6 error cases).
+  if (rng->Bernoulli(p.vague_template_prob)) {
+    switch (rng->UniformInt(3)) {
+      case 0:
+        return {"The latest figure came to ", "."};
+      case 1:
+        return {"That number reached ", " over the period."};
+      default:
+        return {"By the end, the count stood at ", "."};
+    }
+  }
+  switch (rng->UniformInt(4)) {
+    case 0:
+      return {"The " + c.row_label + " for " + c.col_label + " was ", "."};
+    case 1:
+      return {c.row_label + " reached ", " in " + c.col_label + "."};
+    case 2:
+      return {"In " + c.col_label + ", the " + c.row_label + " stood at ",
+              "."};
+    default:
+      return {"The reported " + c.row_label + " came to ",
+              " for " + c.col_label + "."};
+  }
+}
+
+Sentence SumTemplate(const Candidate& c, const DomainProfile& p,
+                     util::Rng* rng) {
+  std::string noun = p.row_noun.empty() ? "entries" : rng->Choice(p.row_noun);
+  if (!c.col_label.empty()) {
+    switch (rng->UniformInt(3)) {
+      case 0:
+        return {"A total of ",
+                " was recorded for " + c.col_label + " across all " + noun +
+                    "."};
+      case 1:
+        return {"Overall, " + c.col_label + " summed to ",
+                " for the listed " + noun + "."};
+      default:
+        return {"Combined, the " + noun + " account for ",
+                " in " + c.col_label + "."};
+    }
+  }
+  return {"Altogether, " + c.row_label + " amounted to a total of ",
+          " across all periods."};
+}
+
+Sentence DiffTemplate(const Candidate& c, util::Rng* rng) {
+  switch (rng->UniformInt(3)) {
+    case 0:
+      return {"The " + c.row_label + " was up ",
+              " from " + c.other_label + " to " + c.col_label + "."};
+    case 1:
+      return {c.row_label + " rose by ",
+              " compared with " + c.other_label + "."};
+    default:
+      return {"The difference in " + c.row_label + " between " + c.col_label +
+                  " and " + c.other_label + " was ",
+              "."};
+  }
+}
+
+Sentence PctTemplate(const Candidate& c, util::Rng* rng) {
+  switch (rng->UniformInt(3)) {
+    case 0:
+      return {"Of the " + c.other_label + ", ",
+              " were " + c.row_label + " in " + c.col_label + "."};
+    case 1:
+      return {c.row_label + " accounted for ",
+              " of " + c.other_label + " in " + c.col_label + "."};
+    default:
+      return {"In " + c.col_label + ", the share of " + c.row_label +
+                  " among " + c.other_label + " was ",
+              "."};
+  }
+}
+
+Sentence RatioTemplate(const Candidate& c, util::Rng* rng) {
+  switch (rng->UniformInt(3)) {
+    case 0:
+      return {"Compared to " + c.other_label + ", " + c.row_label +
+                  " increased by ",
+              "."};
+    case 1:
+      return {c.row_label + " grew by ",
+              " relative to " + c.other_label + "."};
+    default:
+      return {"The change in " + c.row_label + " from " + c.other_label +
+                  " to " + c.col_label + " came to ",
+              "."};
+  }
+}
+
+const char* kDistractorPre[] = {
+    "The report cites ",      "The article was reviewed by ",
+    "The study surveyed ",    "Analysts expect coverage by ",
+    "The panel interviewed ",
+};
+const char* kDistractorPost[] = {
+    " independent sources.", " external reviewers.", " correspondents.",
+    " industry analysts.",   " local observers.",
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Document generation
+// ---------------------------------------------------------------------------
+
+Document GenerateDocument(const DomainProfile& profile, const std::string& id,
+                          util::Rng* rng) {
+  Document doc;
+  doc.id = id;
+  doc.domain = profile.name;
+
+  // --- Tables -------------------------------------------------------------
+  const int body_rows = static_cast<int>(
+      rng->UniformInt(profile.min_body_rows, profile.max_body_rows));
+  const int body_cols = static_cast<int>(
+      rng->UniformInt(profile.min_body_cols, profile.max_body_cols));
+  std::vector<std::string> captions = SampleDistinct(profile.captions, 2, rng);
+  std::vector<std::string> col_headers =
+      SampleDistinct(profile.col_headers, body_cols, rng);
+  std::vector<std::string> row_pool = profile.row_headers;
+  rng->Shuffle(&row_pool);
+
+  const bool two_tables =
+      rng->Bernoulli(profile.two_table_prob) &&
+      static_cast<int>(row_pool.size()) >= 2 * body_rows && captions.size() >= 2;
+
+  std::vector<BuiltTable> built;
+  {
+    std::vector<std::string> rows_a(row_pool.begin(),
+                                    row_pool.begin() + body_rows);
+    built.push_back(
+        BuildTable(profile, captions[0], col_headers, rows_a, rng));
+    if (two_tables) {
+      std::vector<std::string> rows_b(row_pool.begin() + body_rows,
+                                      row_pool.begin() + 2 * body_rows);
+      built.push_back(BuildTable(profile, captions[1], col_headers, rows_b,
+                                 rng, &built[0]));
+    }
+  }
+
+  // --- Candidates ----------------------------------------------------------
+  CandidatePools pools;
+  for (size_t i = 0; i < built.size(); ++i) {
+    CollectCandidates(built[i], static_cast<int>(i), &pools);
+  }
+
+  // --- Mentions ------------------------------------------------------------
+  const int num_mentions = static_cast<int>(
+      rng->UniformInt(profile.min_mentions, profile.max_mentions));
+
+  struct PlannedSentence {
+    std::string pre, post;
+    std::string mention_txt;  // empty for pure-distractor sentences
+    GroundTruthTarget target;
+    Realization realization = Realization::kExact;
+    bool has_target = false;
+  };
+  std::vector<PlannedSentence> sentences;
+  std::set<std::string> used_targets;
+
+  auto target_key = [](const GroundTruthTarget& t) {
+    std::string k = std::to_string(t.table_index) + ":" +
+                    std::to_string(static_cast<int>(t.func));
+    for (const auto& c : t.cells) {
+      k += "," + std::to_string(c.row) + "." + std::to_string(c.col);
+    }
+    return k;
+  };
+
+  for (int m = 0; m < num_mentions; ++m) {
+    // Pick a mention type per the profile mix; fall back to single when the
+    // pool for the drawn type is empty.
+    std::vector<double> weights = {profile.p_single, profile.p_sum,
+                                   profile.p_diff, profile.p_pct,
+                                   profile.p_ratio};
+    size_t type = rng->Discrete(weights);
+    const std::vector<Candidate>* pool = nullptr;
+    switch (type) {
+      case 0: pool = &pools.singles; break;
+      case 1: pool = &pools.sums; break;
+      case 2: pool = &pools.diffs; break;
+      case 3: pool = &pools.pcts; break;
+      default: pool = &pools.ratios; break;
+    }
+    if (pool->empty()) {
+      pool = &pools.singles;
+      type = 0;
+    }
+    if (pool->empty()) break;
+
+    // Draw an unused candidate (bounded retries).
+    const Candidate* cand = nullptr;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const Candidate& c = rng->Choice(*pool);
+      if (!used_targets.count(target_key(c.target))) {
+        cand = &c;
+        break;
+      }
+    }
+    if (cand == nullptr) continue;
+    used_targets.insert(target_key(cand->target));
+
+    // Realization.
+    Realization realization;
+    if (cand->target.func == AggregateFunction::kNone) {
+      std::vector<double> rw = {profile.p_exact, profile.p_approx,
+                                profile.p_scaled};
+      size_t r = rng->Discrete(rw);
+      realization = r == 0 ? Realization::kExact
+                           : (r == 1 ? Realization::kApproximate
+                                     : Realization::kScaled);
+    } else if (cand->target.func == AggregateFunction::kSum) {
+      realization = rng->Bernoulli(profile.p_approx)
+                        ? Realization::kApproximate
+                        : Realization::kExact;
+    } else {
+      realization = Realization::kDisplayRounded;
+    }
+
+    PlannedSentence ps;
+    // Percent-style diffs render as basis points (Figure 3 fidelity).
+    if (cand->target.func == AggregateFunction::kDiff &&
+        cand->style == ColStyle::kPercent) {
+      ps.mention_txt = RenderBps(cand->value);
+      ps.realization = Realization::kDisplayRounded;
+    } else {
+      RenderedMention rm = RenderMention(*cand, realization, rng);
+      ps.mention_txt = rm.txt;
+      ps.realization = rm.realization;
+    }
+
+    Sentence tmpl;
+    switch (cand->target.func) {
+      case AggregateFunction::kNone:
+        tmpl = SingleTemplate(*cand, profile, rng);
+        break;
+      case AggregateFunction::kSum:
+        tmpl = SumTemplate(*cand, profile, rng);
+        break;
+      case AggregateFunction::kDiff:
+        tmpl = DiffTemplate(*cand, rng);
+        break;
+      case AggregateFunction::kPercentage:
+        tmpl = PctTemplate(*cand, rng);
+        break;
+      case AggregateFunction::kChangeRatio:
+        tmpl = RatioTemplate(*cand, rng);
+        break;
+      default:
+        tmpl = SingleTemplate(*cand, profile, rng);
+        break;
+    }
+    ps.pre = tmpl.pre;
+    ps.post = tmpl.post;
+    ps.target = cand->target;
+    ps.has_target = true;
+
+    // Two-table documents disambiguate most mentions by naming the table.
+    if (built.size() > 1 && rng->Bernoulli(0.7)) {
+      const std::string& cap = captions[cand->target.table_index];
+      ps.pre = "In the " + cap + " figures, " + ps.pre;
+      // Lowercase the original sentence start for readability; optional.
+    }
+    sentences.push_back(std::move(ps));
+  }
+
+  // --- Distractors ----------------------------------------------------------
+  auto collides = [&](double v) {
+    for (const Candidate& c : pools.singles) {
+      if (quantity::RelativeDifference(v, c.value) < 0.05) return true;
+    }
+    for (const Candidate& c : pools.sums) {
+      if (quantity::RelativeDifference(v, c.value) < 0.05) return true;
+    }
+    return false;
+  };
+  for (int d = 0; d < profile.distractors_per_doc; ++d) {
+    PlannedSentence ps;
+    if (!pools.singles.empty() &&
+        rng->Bernoulli(profile.distractor_exact_collision_prob)) {
+      // An unrelated number that exactly matches some cell value — the
+      // hardest kind of distractor (only context can reject it).
+      const Candidate& c = rng->Choice(pools.singles);
+      int decimals = std::fabs(c.value - std::round(c.value)) < 1e-9 ? 0 : 2;
+      ps.mention_txt = FormatValue(c.value, decimals, std::fabs(c.value) >= 1e4);
+    } else {
+      double v = 0;
+      bool ok = false;
+      for (int attempt = 0; attempt < 12; ++attempt) {
+        v = std::round(rng->UniformDouble(20, 900));
+        if (!collides(v)) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) continue;
+      ps.mention_txt = util::FormatDouble(v, 0);
+    }
+    ps.pre = kDistractorPre[rng->UniformInt(5)];
+    ps.post = kDistractorPost[rng->UniformInt(5)];
+    ps.has_target = false;
+    sentences.push_back(std::move(ps));
+  }
+
+  rng->Shuffle(&sentences);
+
+  // --- Paragraph assembly ---------------------------------------------------
+  const int num_paragraphs =
+      1 + static_cast<int>(sentences.size()) / 5;
+  std::vector<ParagraphBuilder> builders(num_paragraphs);
+  int para = 0;
+  for (const PlannedSentence& ps : sentences) {
+    ParagraphBuilder& b = builders[para];
+    if (!b.empty()) b.Append(" ");
+    b.Append(ps.pre);
+    text::Span span = b.AppendMention(ps.mention_txt);
+    b.Append(ps.post);
+    if (ps.has_target) {
+      GroundTruthAlignment gt;
+      gt.paragraph = para;
+      gt.span = span;
+      gt.surface = ps.mention_txt;
+      gt.target = ps.target;
+      gt.realization = ps.realization;
+      doc.ground_truth.push_back(std::move(gt));
+    }
+    para = (para + 1) % num_paragraphs;
+  }
+
+  for (auto& b : builders) {
+    if (!b.empty()) doc.paragraphs.push_back(b.Take());
+  }
+  // Paragraph indices in ground truth assume no empty paragraphs were
+  // skipped; with round-robin filling, builders fill front to back, so an
+  // empty builder implies all later ones are empty too.
+  for (auto& t : built) doc.tables.push_back(std::move(t.t));
+  return doc;
+}
+
+Corpus GenerateCorpus(const CorpusOptions& options) {
+  util::Rng rng(options.seed);
+  Corpus corpus;
+  corpus.documents.reserve(options.num_documents);
+
+  std::vector<double> weights;
+  std::vector<const DomainProfile*> profiles;
+  for (const auto& [name, w] : options.domain_weights) {
+    profiles.push_back(&GetDomainProfile(name));
+    weights.push_back(w);
+  }
+  BRIQ_CHECK(!profiles.empty()) << "no domains configured";
+
+  for (size_t i = 0; i < options.num_documents; ++i) {
+    const DomainProfile& p = *profiles[rng.Discrete(weights)];
+    corpus.documents.push_back(
+        GenerateDocument(p, "doc-" + std::to_string(i), &rng));
+  }
+  return corpus;
+}
+
+// ---------------------------------------------------------------------------
+// HTML rendering & corpus filter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string EscapeHtml(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderHtml(const Document& doc) {
+  std::string html = "<html><head><title>" + EscapeHtml(doc.id) +
+                     "</title></head><body>\n";
+  for (const auto& p : doc.paragraphs) {
+    html += "<p>" + EscapeHtml(p) + "</p>\n";
+  }
+  for (const auto& t : doc.tables) {
+    html += "<table>\n";
+    if (!t.caption().empty()) {
+      html += "  <caption>" + EscapeHtml(t.caption()) + "</caption>\n";
+    }
+    for (int r = 0; r < t.num_rows(); ++r) {
+      html += "  <tr>";
+      for (int c = 0; c < t.num_cols(); ++c) {
+        const char* tag = t.cell(r, c).is_header ? "th" : "td";
+        html += "<" + std::string(tag) + ">" + EscapeHtml(t.cell(r, c).raw) +
+                "</" + tag + ">";
+      }
+      html += "</tr>\n";
+    }
+    html += "</table>\n";
+  }
+  html += "</body></html>\n";
+  return html;
+}
+
+bool PassesCorpusFilter(const Document& doc) {
+  // (1) At least one table with numeric cells.
+  bool numeric_table = false;
+  for (const auto& t : doc.tables) {
+    for (int r = 0; r < t.num_rows() && !numeric_table; ++r) {
+      for (int c = 0; c < t.num_cols(); ++c) {
+        if (t.cell(r, c).numeric()) {
+          numeric_table = true;
+          break;
+        }
+      }
+    }
+  }
+  if (!numeric_table) return false;
+
+  // (2) Numeric mentions in the text.
+  bool numeric_text = false;
+  for (const auto& p : doc.paragraphs) {
+    if (!quantity::ExtractQuantities(p).empty()) {
+      numeric_text = true;
+      break;
+    }
+  }
+  if (!numeric_text) return false;
+
+  // (3) Token overlap between table and text.
+  std::unordered_set<std::string> table_words;
+  for (const auto& t : doc.tables) {
+    for (const auto& w : t.AllWords()) table_words.insert(w);
+  }
+  size_t overlap = 0;
+  for (const auto& p : doc.paragraphs) {
+    for (const auto& w : text::LowercaseWords(p)) {
+      if (table_words.count(w)) ++overlap;
+    }
+  }
+  return overlap >= 2;
+}
+
+}  // namespace briq::corpus

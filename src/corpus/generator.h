@@ -1,0 +1,49 @@
+#ifndef BRIQ_CORPUS_GENERATOR_H_
+#define BRIQ_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+#include "corpus/domain_profile.h"
+#include "util/random.h"
+
+namespace briq::corpus {
+
+/// Options for synthetic corpus generation (the DWTC/Common-Crawl
+/// substitution; see DESIGN.md §2).
+struct CorpusOptions {
+  size_t num_documents = 200;
+  uint64_t seed = 7;
+  /// Domains to draw from with relative weights. Defaults follow the
+  /// per-domain document proportions of the paper's Table VIII.
+  std::vector<std::pair<std::string, double>> domain_weights = {
+      {"environment", 0.074}, {"finance", 0.253}, {"health", 0.066},
+      {"politics", 0.207},    {"sports", 0.163},  {"others", 0.236}};
+};
+
+/// Generates one document of the given domain. Deterministic in `*rng`.
+/// The document's tables are header-marked and quantity-annotated; the
+/// narrative paragraphs reference cells and aggregates with exact /
+/// approximate / scaled surface forms, plus distractor quantities, and
+/// `ground_truth` records every alignment with exact character spans.
+Document GenerateDocument(const DomainProfile& profile, const std::string& id,
+                          util::Rng* rng);
+
+/// Generates a whole corpus.
+Corpus GenerateCorpus(const CorpusOptions& options);
+
+/// Renders a document as a self-contained HTML page (paragraphs as <p>,
+/// tables as <table> with th headers and caption), for exercising the
+/// html module end to end on generator output.
+std::string RenderHtml(const Document& doc);
+
+/// DWTC-style tableL selection filter (paper §VII-A): table(s) with
+/// numerical cells, numerical mentions in the text, and token overlap
+/// between table and text.
+bool PassesCorpusFilter(const Document& doc);
+
+}  // namespace briq::corpus
+
+#endif  // BRIQ_CORPUS_GENERATOR_H_

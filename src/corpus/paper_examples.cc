@@ -1,0 +1,373 @@
+#include "corpus/paper_examples.h"
+
+#include "util/logging.h"
+
+namespace briq::corpus {
+
+namespace {
+
+using table::AggregateFunction;
+using table::CellRef;
+
+/// A paragraph piece: plain text, or a mention with its target.
+struct Piece {
+  std::string txt;
+  bool is_mention = false;
+  GroundTruthTarget target;
+  Realization realization = Realization::kExact;
+};
+
+Piece T(std::string txt) { return Piece{std::move(txt), false, {}, {}}; }
+
+Piece M(std::string txt, int tbl, AggregateFunction func,
+        std::vector<CellRef> cells,
+        Realization realization = Realization::kExact) {
+  Piece p;
+  p.txt = std::move(txt);
+  p.is_mention = true;
+  p.target = GroundTruthTarget{tbl, func, std::move(cells)};
+  p.realization = realization;
+  return p;
+}
+
+/// Assembles pieces into one paragraph, recording mention spans.
+void AddParagraph(Document* doc, const std::vector<Piece>& pieces) {
+  std::string para;
+  int paragraph_index = static_cast<int>(doc->paragraphs.size());
+  for (const Piece& p : pieces) {
+    if (p.is_mention) {
+      GroundTruthAlignment gt;
+      gt.paragraph = paragraph_index;
+      gt.span = text::Span{para.size(), para.size() + p.txt.size()};
+      gt.surface = p.txt;
+      gt.target = p.target;
+      gt.realization = p.realization;
+      doc->ground_truth.push_back(std::move(gt));
+    }
+    para += p.txt;
+  }
+  doc->paragraphs.push_back(std::move(para));
+}
+
+table::Table MakeTable(std::vector<std::vector<std::string>> rows,
+                       std::string caption, bool header_row = true,
+                       bool header_col = true) {
+  table::Table t = table::Table::FromRows(std::move(rows));
+  t.set_caption(std::move(caption));
+  t.set_header_row(header_row);
+  t.set_header_col(header_col);
+  t.AnnotateQuantities();
+  return t;
+}
+
+constexpr auto kNone = AggregateFunction::kNone;
+constexpr auto kSum = AggregateFunction::kSum;
+constexpr auto kDiff = AggregateFunction::kDiff;
+constexpr auto kPct = AggregateFunction::kPercentage;
+constexpr auto kRatio = AggregateFunction::kChangeRatio;
+
+}  // namespace
+
+Document Figure1aHealth() {
+  Document doc;
+  doc.id = "fig1a-health";
+  doc.domain = "health";
+  doc.tables.push_back(MakeTable(
+      {{"side effects", "male", "female", "total"},
+       {"Rash", "15", "20", "35"},
+       {"Depression", "13", "25", "38"},
+       {"Hypertension", "19", "15", "34"},
+       {"Nausea", "5", "6", "11"},
+       {"Eye Disorders", "2", "3", "5"}},
+      "Reported side effects"));
+
+  std::vector<CellRef> total_col = {{1, 3}, {2, 3}, {3, 3}, {4, 3}, {5, 3}};
+  std::vector<CellRef> female_col = {{1, 2}, {2, 2}, {3, 2}, {4, 2}, {5, 2}};
+  std::vector<CellRef> male_col = {{1, 1}, {2, 1}, {3, 1}, {4, 1}, {5, 1}};
+  AddParagraph(
+      &doc,
+      {T("A total of "), M("123", 0, kSum, total_col),
+       T(" patients who undergo the drug trials reported side effects, of "
+         "which there were "),
+       M("69", 0, kSum, female_col), T(" female patients and "),
+       M("54", 0, kSum, male_col),
+       T(" male patients. The most common side affect is depression, "
+         "reported by "),
+       M("38", 0, kNone, {{2, 3}}),
+       T(" patients; and the least common side affect is eye disorder, "
+         "reported by "),
+       M("5", 0, kNone, {{5, 3}}), T(" patients.")});
+  return doc;
+}
+
+Document Figure1bEnvironment() {
+  Document doc;
+  doc.id = "fig1b-environment";
+  doc.domain = "environment";
+  doc.tables.push_back(MakeTable(
+      {{"Category", "Focus E", "A3 e-tron", "VW Golf"},
+       {"German MSRP", "34900", "36900", "33800"},
+       {"American MSRP", "29120", "38900", "29915"},
+       {"Emission (g/km)", "0", "105", "122"},
+       {"Fuel Economy", "105", "70.6", "61.4"},
+       {"Final rating", "1.33", "2.67", "2.67"}},
+      "Electric vehicle comparison"));
+
+  AddParagraph(
+      &doc,
+      {T("The final ratings are dominated by the PHEV from Audi ("),
+       M("2.67", 0, kNone, {{5, 2}}), T(") and ICE from Volkswagen ("),
+       M("2.67", 0, kNone, {{5, 3}}),
+       T("). Audi A3 e-tron is the least affordable option with "),
+       M("37K EUR", 0, kNone, {{1, 2}}, Realization::kApproximate),
+       T(" in Germany and "),
+       M("39K USD", 0, kNone, {{2, 2}}, Realization::kApproximate),
+       T(" in the US. The Ford Focus Electric, lowest rating ("),
+       M("1.33", 0, kNone, {{5, 1}}), T("), is a "),
+       M("2K EUR", 0, kDiff, {{1, 2}, {1, 1}}, Realization::kApproximate),
+       T(" cheaper alternative with "), M("0", 0, kNone, {{3, 1}}),
+       T(" CO2 emission and "), M("105 MPGe", 0, kNone, {{4, 1}}),
+       T(" fuel consumption.")});
+  return doc;
+}
+
+Document Figure1cFinance() {
+  Document doc;
+  doc.id = "fig1c-finance";
+  doc.domain = "finance";
+  doc.tables.push_back(MakeTable(
+      {{"Income gains", "2013", "2012", "2011"},
+       {"Total Revenue", "3,263", "3,193", "2,911"},
+       {"Gross income", "1,069", "1,053", "0,877"},
+       {"Income taxes", "179", "177", "160"},
+       {"Income", "890", "876", "849"}},
+      "Income gains (in Mio)"));
+
+  AddParagraph(
+      &doc,
+      {T("In 2013 revenue of "),
+       M("$3.26 billion CDN", 0, kNone, {{1, 1}}, Realization::kApproximate),
+       T(" was up "),
+       M("$70 million CDN", 0, kDiff, {{1, 1}, {1, 2}},
+         Realization::kScaled),
+       T(" or "),
+       M("2%", 0, kRatio, {{1, 1}, {1, 2}}, Realization::kDisplayRounded),
+       T(" from the previous year. The net income of 2013 was "),
+       M("$0.9 billion CDN", 0, kNone, {{4, 1}}, Realization::kApproximate),
+       T(". Compared to the revenue of 2012, it increased by "),
+       M("1.5%", 0, kRatio, {{4, 1}, {4, 2}}, Realization::kDisplayRounded),
+       T(".")});
+  return doc;
+}
+
+Document Figure3CoupledQuantities() {
+  Document doc;
+  doc.id = "fig3-coupled";
+  doc.domain = "finance";
+  doc.tables.push_back(MakeTable(
+      {{"($ Millions)", "2Q 2012", "2Q 2013", "% Change"},
+       {"Sales", "900", "947", "5%"},
+       {"Segment Profit", "114", "126", "11%"},
+       {"Segment Margin", "12.7%", "13.3%", "60 bps"}},
+      "Table 1: Transportation Systems ($ Millions)"));
+  doc.tables.push_back(MakeTable(
+      {{"($ Millions)", "2Q 2012", "2Q 2013", "% Change"},
+       {"Sales", "3,962", "4,065", "3%"},
+       {"Segment Profit", "525", "585", "11%"},
+       {"Segment Margin", "13.3%", "14.4%", "110 bps"}},
+      "Table 2: Automation & Control ($ Millions)"));
+
+  AddParagraph(
+      &doc,
+      {T("Sales were up "), M("5%", 0, kNone, {{1, 3}}),
+       T(" on both a reported and organic basis, compared with the second "
+         "quarter of 2012. Segment profit was up "),
+       M("11%", 0, kNone, {{2, 3}}), T(" and segment margins increased "),
+       M("60 bps", 0, kNone, {{3, 3}}), T(" to "),
+       M("13.3%", 0, kNone, {{3, 2}}),
+       T(" primarily driven by strong productivity and volume leverage.")});
+  return doc;
+}
+
+Document Figure5aCarSales() {
+  Document doc;
+  doc.id = "fig5a-car-sales";
+  doc.domain = "others";
+  doc.tables.push_back(MakeTable(
+      {{"CATEGORY", "OCTOBER 2011", "OCTOBER 2012"},
+       {"Passenger Vehicles", "184,611", "246,725"},
+       {"Commercial Vehicles", "62,013", "66,722"},
+       {"Three-wheelers", "49,069", "55,241"},
+       {"Two-wheelers", "1,144,716", "1,285,015"}},
+      "Vehicle sales by category"));
+
+  AddParagraph(
+      &doc,
+      {T("Overall, "), M("246,725", 0, kNone, {{1, 2}}),
+       T(" passenger vehicles were sold in the domestic market, which is an "
+         "increase of "),
+       M("33.65%", 0, kRatio, {{1, 2}, {1, 1}}, Realization::kDisplayRounded),
+       T(" over the "), M("184,611", 0, kNone, {{1, 1}}),
+       T(" units sold in the corresponding period last year.")});
+  return doc;
+}
+
+Document Figure5bCensus() {
+  Document doc;
+  doc.id = "fig5b-census";
+  doc.domain = "politics";
+  doc.tables.push_back(MakeTable(
+      {{"People", "Fulham Gardens", "Australia"},
+       {"Total", "5,911", "18,769,249"},
+       {"Male", "2,907", "9,270,466"},
+       {"Female", "3,004", "9,498,783"},
+       {"Aboriginal and Torres Strait Islander people", "23", "410,003"}},
+      "Census 2001"));
+
+  AddParagraph(
+      &doc,
+      {T("On Census Night, "), M("5,911", 0, kNone, {{1, 1}}),
+       T(" people were counted in Fulham Gardens: of these "),
+       M("49.2%", 0, kPct, {{2, 1}, {1, 1}}, Realization::kDisplayRounded),
+       T(" were male and "),
+       M("50.8%", 0, kPct, {{3, 1}, {1, 1}}, Realization::kDisplayRounded),
+       T(" were female. Of the total population "),
+       M("0.4%", 0, kPct, {{4, 1}, {1, 1}}, Realization::kDisplayRounded),
+       T(" were Aboriginal and Torres Strait Islander people.")});
+  return doc;
+}
+
+Document Figure5cEarnings() {
+  Document doc;
+  doc.id = "fig5c-earnings";
+  doc.domain = "finance";
+  doc.tables.push_back(MakeTable(
+      {{"Company Name", "Q3 EPS Estimate", "Q3 Actual EPS",
+        "Q3 FY 2012 Net Earnings", "Q3 FY 2013 Net Earnings"},
+       {"Bed Bath & Beyond", "$1.15", "$1.12", "$232.8 Million",
+        "$237.2 Million"},
+       {"The Container Store Group", "$0.08", "$0.11", "$6.86 Million",
+        "$(9.49) Million"}},
+      "Quarterly results"));
+
+  AddParagraph(
+      &doc,
+      {T("However, the Container Store's net income for the third quarter "
+         "fell "),
+       M("$16.3 million", 0, kDiff, {{2, 3}, {2, 4}},
+         Realization::kApproximate),
+       T(" from the third quarter in fiscal 2012, earning the company a net "
+         "loss of approximately "),
+       M("$9.5 million", 0, kNone, {{2, 4}}, Realization::kApproximate),
+       T(" on account of the company's recent IPO-related expenses. On the "
+         "brighter side, Bed Bath & Beyond gained a profit of "),
+       M("$4 million", 0, kDiff, {{1, 4}, {1, 3}}, Realization::kApproximate),
+       T(" from the same period one year earlier.")});
+  return doc;
+}
+
+Document Figure6aBedrooms() {
+  Document doc;
+  doc.id = "fig6a-bedrooms";
+  doc.domain = "others";
+  doc.tables.push_back(MakeTable(
+      {{"Number of bedrooms", "Scenic Rim", "%", "Queensland", "%q",
+        "Australia", "%a"},
+       {"None (includes bedsitters)", "42", "0.9", "8,676", "0.6", "42,160",
+        "0.5"},
+       {"1 bedroom", "204", "4.5", "64,983", "4.2", "363,129", "4.7"},
+       {"2 bedrooms", "582", "13.0", "260,607", "16.8", "1,481,577", "19.1"},
+       {"3 bedrooms", "1,895", "42.2", "651,208", "42.1", "3,379,930",
+        "43.6"},
+       {"Average number of bedrooms per dwelling", "3.2", "--", "3.2", "--",
+        "3.1", "--"},
+       {"Average number of people per household", "2.6", "--", "2.6", "--",
+        "2.6", "--"}},
+      "Dwelling structure"));
+
+  AddParagraph(
+      &doc,
+      {T("In Scenic Rim, of occupied private dwellings "),
+       M("4.5%", 0, kNone, {{2, 2}}), T(" had 1 bedroom, "),
+       M("13.0%", 0, kNone, {{3, 2}}), T(" had 2 bedrooms and "),
+       M("42.2%", 0, kNone, {{4, 2}}),
+       T(" had 3 bedrooms. The average number of bedrooms per occupied "
+         "private dwelling was "),
+       M("3.2", 0, kNone, {{5, 1}}),
+       T(". The average household size was "),
+       M("2.6", 0, kNone, {{6, 1}}), T(" people.")});
+  return doc;
+}
+
+Document Figure6bPonoko() {
+  Document doc;
+  doc.id = "fig6b-ponoko";
+  doc.domain = "others";
+  doc.tables.push_back(MakeTable(
+      {{"Item", "Cost"},
+       {"Ponoko making cost", "$18"},
+       {"Ponoko materials cost", "$7"},
+       {"Ponoko shipping cost", "$5"},
+       {"Extra parts cost", "$2"},
+       {"Self assembly instructions cost", "$1"},
+       {"Packaging cost", "$1"},
+       {"Misc", "$1"},
+       {"Your cost price", "$35"},
+       {"Your creative fee (30%)", "$15"},
+       {"Your wholesale price", "$50"},
+       {"Your retail fee (50%)", "$50"},
+       {"Your retail price", "$100"}},
+      "Pricing breakdown"));
+
+  AddParagraph(
+      &doc,
+      {T("So, if your cost for an item is "),
+       M("$25", 0, kNone, {{8, 1}}, Realization::kApproximate),
+       T(", and you see similar items selling for "),
+       M("$100", 0, kNone, {{12, 1}}), T(" retail, then a "),
+       M("$50", 0, kNone, {{10, 1}}),
+       T(" wholesale cost gives you a nice profit of "),
+       M("$25", 0, kDiff, {{10, 1}, {8, 1}}, Realization::kApproximate),
+       T(".")});
+  return doc;
+}
+
+Document Figure6cMutualFunds() {
+  Document doc;
+  doc.id = "fig6c-mutual-funds";
+  doc.domain = "finance";
+  // Values are in billions, but the table does not say so (the paper's
+  // "missing scale" error case).
+  doc.tables.push_back(MakeTable(
+      {{"Fund type", "August 2005", "July 2005", "YTD 2005", "YTD 2004"},
+       {"Stock Mutual Funds", "6.31", "9.95", "89.77", "128.69"},
+       {"Taxable Bond Mutual Funds", "5.82", "5.58", "23.50", "-6.94"},
+       {"Municipal Bond Mutual Funds", "1.49", "1.69", "5.72", "-12.83"},
+       {"Hybrid Mutual Funds", "1.77", "1.45", "23.49", "30.14"}},
+      "Mutual fund inflows"));
+
+  AddParagraph(
+      &doc,
+      {T("Bond funds remained about the same. ICI said that fixed-income "
+         "portfolios had an inflow of $7.32 billion in August, compared "
+         "with an inflow of $7.27 billion in July. Taxable bond funds had "
+         "an inflow of "),
+       M("$5.82 billion", 0, kNone, {{2, 1}}, Realization::kScaled),
+       T(" in August, compared with an inflow of "),
+       M("$5.58 billion", 0, kNone, {{2, 2}}, Realization::kScaled),
+       T(" in July. Municipal bond funds had an inflow of "),
+       M("$1.49 billion", 0, kNone, {{3, 1}}, Realization::kScaled),
+       T(" in August, compared with an inflow of "),
+       M("$1.69 billion", 0, kNone, {{3, 2}}, Realization::kScaled),
+       T(" in July.")});
+  return doc;
+}
+
+std::vector<Document> AllPaperExamples() {
+  return {Figure1aHealth(),   Figure1bEnvironment(), Figure1cFinance(),
+          Figure3CoupledQuantities(), Figure5aCarSales(), Figure5bCensus(),
+          Figure5cEarnings(), Figure6aBedrooms(),    Figure6bPonoko(),
+          Figure6cMutualFunds()};
+}
+
+}  // namespace briq::corpus

@@ -1,0 +1,55 @@
+#ifndef BRIQ_CORPUS_PAPER_EXAMPLES_H_
+#define BRIQ_CORPUS_PAPER_EXAMPLES_H_
+
+#include <vector>
+
+#include "corpus/document.h"
+
+namespace briq::corpus {
+
+/// Hand-built replicas of the paper's running examples, with ground-truth
+/// alignments as the paper describes them. Used by the figure benches, the
+/// integration tests, and the example programs.
+
+/// Figure 1a — health: drug-trial side effects; "total of 123 patients"
+/// refers to the sum of the total column.
+Document Figure1aHealth();
+
+/// Figure 1b — environment: electric-car comparison (rotated table);
+/// "37K EUR" approximately matches cell 36900.
+Document Figure1bEnvironment();
+
+/// Figure 1c — finance: income statement "(in Mio)"; "$3.26 billion CDN",
+/// "up $70 million", "increased by 1.5%" (change ratio over 890/876).
+Document Figure1cFinance();
+
+/// Figure 3 — coupled quantities: two tables where "11%" and "13.3%" are
+/// ambiguous in isolation; "60 bps" and "5%" pin everything to Table 1.
+Document Figure3CoupledQuantities();
+
+/// Figure 5a — detected change ratio (car sales, +33.65%).
+Document Figure5aCarSales();
+
+/// Figure 5b — detected percentages (census, 49.2% male).
+Document Figure5bCensus();
+
+/// Figure 5c — detected difference (net earnings fell $16.3 million).
+Document Figure5cEarnings();
+
+/// Figure 6a — error case: same-value collision ("3.2" in two cells of a
+/// row with near-identical contexts).
+Document Figure6aBedrooms();
+
+/// Figure 6b — error case: high ambiguity ("$50" wholesale vs retail).
+Document Figure6bPonoko();
+
+/// Figure 6c — error case: scale missing in the table (values in billions
+/// shown bare).
+Document Figure6cMutualFunds();
+
+/// All ten example documents, in figure order.
+std::vector<Document> AllPaperExamples();
+
+}  // namespace briq::corpus
+
+#endif  // BRIQ_CORPUS_PAPER_EXAMPLES_H_

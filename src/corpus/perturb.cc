@@ -1,0 +1,150 @@
+#include "corpus/perturb.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <string>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace briq::corpus {
+
+const char* PerturbModeName(PerturbMode mode) {
+  switch (mode) {
+    case PerturbMode::kNone:
+      return "original";
+    case PerturbMode::kTruncate:
+      return "truncated";
+    case PerturbMode::kRound:
+      return "rounded";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Perturbs the digit string `digits` (no separators) with an optional
+// decimal point, per the mode. Examples (truncate / round):
+//   "6746" -> "6740" / "6750";  "2.74" -> "2.7" / "2.7";
+//   "0.19" -> "0.1" / "0.2".
+std::string PerturbDigits(const std::string& digits, PerturbMode mode) {
+  auto dot = digits.find('.');
+  if (dot != std::string::npos && dot + 1 < digits.size()) {
+    // Decimal: operate on the last fractional digit.
+    std::string head = digits.substr(0, digits.size() - 1);
+    if (mode == PerturbMode::kTruncate) {
+      if (head.back() == '.') head.pop_back();  // "2.7" -> drop to "2"? No:
+      // "2.74" head="2.7" fine; "2.7" head="2." -> "2".
+      return head;
+    }
+    // Round: use numeric rounding at one fewer decimal.
+    int decimals = static_cast<int>(digits.size() - dot - 1) - 1;
+    double v = std::strtod(digits.c_str(), nullptr);
+    double mag = std::pow(10.0, decimals);
+    double rounded = std::round(v * mag) / mag;
+    return util::FormatDouble(rounded, std::max(decimals, 0));
+  }
+  // Integer: zero out / round the last digit.
+  std::string out = digits;
+  size_t last = out.size() - 1;
+  if (mode == PerturbMode::kTruncate) {
+    out[last] = '0';
+    return out;
+  }
+  double v = std::strtod(out.c_str(), nullptr);
+  double rounded = std::round(v / 10.0) * 10.0;
+  return util::FormatDouble(rounded, 0);
+}
+
+}  // namespace
+
+std::string PerturbSurface(const std::string& surface, PerturbMode mode) {
+  if (mode == PerturbMode::kNone) return surface;
+
+  // Locate the first maximal digit run (with internal separators/decimal
+  // point) in the surface.
+  size_t start = std::string::npos;
+  size_t end = 0;
+  for (size_t i = 0; i < surface.size(); ++i) {
+    if (IsDigit(surface[i])) {
+      start = i;
+      size_t j = i + 1;
+      while (j < surface.size() &&
+             (IsDigit(surface[j]) ||
+              ((surface[j] == ',' || surface[j] == '.') && j + 1 < surface.size() &&
+               IsDigit(surface[j + 1])))) {
+        ++j;
+      }
+      end = j;
+      break;
+    }
+  }
+  if (start == std::string::npos) return surface;
+
+  std::string number = surface.substr(start, end - start);
+  // Strip thousands separators but keep one decimal point: assume US style
+  // (commas group) since the generator emits US style.
+  std::string digits;
+  for (char c : number) {
+    if (c != ',') digits.push_back(c);
+  }
+  std::string perturbed = PerturbDigits(digits, mode);
+
+  // Reinstate separators if the original used them and the result is an
+  // integer string of length > 3.
+  if (number.find(',') != std::string::npos &&
+      perturbed.find('.') == std::string::npos) {
+    int64_t v = std::strtoll(perturbed.c_str(), nullptr, 10);
+    perturbed = util::WithThousandsSeparators(v);
+  }
+  return surface.substr(0, start) + perturbed + surface.substr(end);
+}
+
+Document PerturbDocument(const Document& doc, PerturbMode mode) {
+  if (mode == PerturbMode::kNone) return doc;
+  Document out = doc;
+
+  // Group ground-truth mentions by paragraph, ordered by position.
+  for (size_t p = 0; p < out.paragraphs.size(); ++p) {
+    std::vector<GroundTruthAlignment*> mentions;
+    for (auto& gt : out.ground_truth) {
+      if (static_cast<size_t>(gt.paragraph) == p) mentions.push_back(&gt);
+    }
+    std::sort(mentions.begin(), mentions.end(),
+              [](const auto* a, const auto* b) {
+                return a->span.begin < b->span.begin;
+              });
+
+    const std::string& old_text = out.paragraphs[p];
+    std::string new_text;
+    size_t cursor = 0;
+    for (GroundTruthAlignment* gt : mentions) {
+      BRIQ_CHECK(gt->span.begin >= cursor && gt->span.end <= old_text.size())
+          << "overlapping or out-of-range ground-truth spans";
+      new_text.append(old_text, cursor, gt->span.begin - cursor);
+      std::string perturbed = PerturbSurface(gt->surface, mode);
+      text::Span new_span{new_text.size(), new_text.size() + perturbed.size()};
+      new_text += perturbed;
+      cursor = gt->span.end;
+      gt->span = new_span;
+      gt->surface = std::move(perturbed);
+    }
+    new_text.append(old_text, cursor, old_text.size() - cursor);
+    out.paragraphs[p] = std::move(new_text);
+  }
+  return out;
+}
+
+Corpus PerturbCorpus(const Corpus& corpus, PerturbMode mode) {
+  Corpus out;
+  out.documents.reserve(corpus.documents.size());
+  for (const Document& d : corpus.documents) {
+    out.documents.push_back(PerturbDocument(d, mode));
+  }
+  return out;
+}
+
+}  // namespace briq::corpus

@@ -1,0 +1,38 @@
+#ifndef BRIQ_CORPUS_PERTURB_H_
+#define BRIQ_CORPUS_PERTURB_H_
+
+#include <string>
+
+#include "corpus/document.h"
+
+namespace briq::corpus {
+
+/// Text-mention perturbations of the paper's Table II robustness study.
+enum class PerturbMode {
+  kNone = 0,
+  /// Remove the least significant digit: 6746 -> 6740, 2.74 -> 2.7,
+  /// 0.19 -> 0.1.
+  kTruncate,
+  /// Numerically round the least significant digit: 6746 -> 6750,
+  /// 2.74 -> 2.7, 0.19 -> 0.2.
+  kRound,
+};
+
+const char* PerturbModeName(PerturbMode mode);
+
+/// Applies `mode` to the numeric portion of a single surface string.
+/// Returns the input unchanged if no digits are found.
+std::string PerturbSurface(const std::string& surface, PerturbMode mode);
+
+/// Returns a copy of `doc` with every ground-truth text mention perturbed
+/// in place (paragraph text rewritten, all spans re-aligned). Ground-truth
+/// targets are unchanged: the perturbed mention still refers to the same
+/// cells, it is just harder to align.
+Document PerturbDocument(const Document& doc, PerturbMode mode);
+
+/// Applies PerturbDocument to every document.
+Corpus PerturbCorpus(const Corpus& corpus, PerturbMode mode);
+
+}  // namespace briq::corpus
+
+#endif  // BRIQ_CORPUS_PERTURB_H_

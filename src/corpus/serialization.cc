@@ -1,0 +1,205 @@
+#include "corpus/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace briq::corpus {
+
+namespace {
+
+using util::Json;
+
+const char* FuncName(table::AggregateFunction f) {
+  return table::AggregateFunctionName(f);
+}
+
+util::Result<table::AggregateFunction> FuncFromName(const std::string& name) {
+  using table::AggregateFunction;
+  static const std::pair<const char*, AggregateFunction> kMap[] = {
+      {"single", AggregateFunction::kNone},
+      {"sum", AggregateFunction::kSum},
+      {"diff", AggregateFunction::kDiff},
+      {"percent", AggregateFunction::kPercentage},
+      {"ratio", AggregateFunction::kChangeRatio},
+      {"avg", AggregateFunction::kAverage},
+      {"max", AggregateFunction::kMax},
+      {"min", AggregateFunction::kMin},
+  };
+  for (const auto& [n, f] : kMap) {
+    if (name == n) return f;
+  }
+  return util::Status::ParseError("unknown aggregate function: " + name);
+}
+
+Json TableToJson(const table::Table& t) {
+  Json rows = Json::Array();
+  for (int r = 0; r < t.num_rows(); ++r) {
+    Json row = Json::Array();
+    for (int c = 0; c < t.num_cols(); ++c) {
+      row.Append(t.cell(r, c).raw);
+    }
+    rows.Append(std::move(row));
+  }
+  Json out = Json::Object();
+  out.Set("rows", std::move(rows));
+  out.Set("caption", t.caption());
+  out.Set("header_row", t.has_header_row());
+  out.Set("header_col", t.has_header_col());
+  return out;
+}
+
+util::Result<table::Table> TableFromJson(const Json& json) {
+  if (!json.is_object() || !json.Has("rows")) {
+    return util::Status::ParseError("table: missing rows");
+  }
+  std::vector<std::vector<std::string>> rows;
+  for (const Json& row : json.at("rows").items()) {
+    std::vector<std::string> cells;
+    for (const Json& cell : row.items()) cells.push_back(cell.AsString());
+    rows.push_back(std::move(cells));
+  }
+  table::Table t = table::Table::FromRows(std::move(rows));
+  t.set_caption(json.Get("caption", Json("")).AsString());
+  if (json.Get("header_row", Json(false)).AsBool()) t.set_header_row(true);
+  if (json.Get("header_col", Json(false)).AsBool()) t.set_header_col(true);
+  t.AnnotateQuantities();
+  return t;
+}
+
+Json GroundTruthToJson(const GroundTruthAlignment& gt) {
+  Json cells = Json::Array();
+  for (const table::CellRef& ref : gt.target.cells) {
+    Json cell = Json::Array();
+    cell.Append(ref.row);
+    cell.Append(ref.col);
+    cells.Append(std::move(cell));
+  }
+  Json out = Json::Object();
+  out.Set("paragraph", gt.paragraph);
+  out.Set("begin", gt.span.begin);
+  out.Set("end", gt.span.end);
+  out.Set("surface", gt.surface);
+  out.Set("table", gt.target.table_index);
+  out.Set("func", FuncName(gt.target.func));
+  out.Set("cells", std::move(cells));
+  out.Set("realization", RealizationName(gt.realization));
+  return out;
+}
+
+util::Result<GroundTruthAlignment> GroundTruthFromJson(const Json& json) {
+  GroundTruthAlignment gt;
+  gt.paragraph = json.at("paragraph").AsInt();
+  gt.span.begin = static_cast<size_t>(json.at("begin").AsInt());
+  gt.span.end = static_cast<size_t>(json.at("end").AsInt());
+  gt.surface = json.at("surface").AsString();
+  gt.target.table_index = json.at("table").AsInt();
+  BRIQ_ASSIGN_OR_RETURN(gt.target.func,
+                        FuncFromName(json.at("func").AsString()));
+  for (const Json& cell : json.at("cells").items()) {
+    gt.target.cells.push_back(
+        table::CellRef{cell.at(size_t{0}).AsInt(), cell.at(size_t{1}).AsInt()});
+  }
+  const std::string real = json.Get("realization", Json("exact")).AsString();
+  if (real == "approximate") gt.realization = Realization::kApproximate;
+  else if (real == "scaled") gt.realization = Realization::kScaled;
+  else if (real == "display_rounded") gt.realization = Realization::kDisplayRounded;
+  else gt.realization = Realization::kExact;
+  return gt;
+}
+
+}  // namespace
+
+Json DocumentToJson(const Document& doc) {
+  Json paragraphs = Json::Array();
+  for (const std::string& p : doc.paragraphs) paragraphs.Append(p);
+  Json tables = Json::Array();
+  for (const table::Table& t : doc.tables) tables.Append(TableToJson(t));
+  Json gts = Json::Array();
+  for (const GroundTruthAlignment& gt : doc.ground_truth) {
+    gts.Append(GroundTruthToJson(gt));
+  }
+  Json out = Json::Object();
+  out.Set("id", doc.id);
+  out.Set("domain", doc.domain);
+  out.Set("paragraphs", std::move(paragraphs));
+  out.Set("tables", std::move(tables));
+  out.Set("ground_truth", std::move(gts));
+  return out;
+}
+
+util::Result<Document> DocumentFromJson(const Json& json) {
+  if (!json.is_object()) {
+    return util::Status::ParseError("document: not an object");
+  }
+  Document doc;
+  doc.id = json.Get("id", Json("")).AsString();
+  doc.domain = json.Get("domain", Json("")).AsString();
+  if (json.Has("paragraphs")) {
+    for (const Json& p : json.at("paragraphs").items()) {
+      doc.paragraphs.push_back(p.AsString());
+    }
+  }
+  if (json.Has("tables")) {
+    for (const Json& t : json.at("tables").items()) {
+      BRIQ_ASSIGN_OR_RETURN(table::Table parsed, TableFromJson(t));
+      doc.tables.push_back(std::move(parsed));
+    }
+  }
+  if (json.Has("ground_truth")) {
+    for (const Json& gt : json.at("ground_truth").items()) {
+      BRIQ_ASSIGN_OR_RETURN(GroundTruthAlignment parsed,
+                            GroundTruthFromJson(gt));
+      doc.ground_truth.push_back(std::move(parsed));
+    }
+  }
+  return doc;
+}
+
+Json CorpusToJson(const Corpus& corpus) {
+  Json docs = Json::Array();
+  for (const Document& d : corpus.documents) docs.Append(DocumentToJson(d));
+  Json out = Json::Object();
+  out.Set("format", "briq-corpus-v1");
+  out.Set("documents", std::move(docs));
+  return out;
+}
+
+util::Result<Corpus> CorpusFromJson(const Json& json) {
+  if (!json.is_object() ||
+      json.Get("format", Json("")).AsString() != "briq-corpus-v1") {
+    return util::Status::ParseError("not a briq-corpus-v1 document");
+  }
+  Corpus corpus;
+  for (const Json& d : json.at("documents").items()) {
+    BRIQ_ASSIGN_OR_RETURN(Document doc, DocumentFromJson(d));
+    corpus.documents.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+util::Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::NotFound("cannot open for writing: " + path);
+  }
+  out << CorpusToJson(corpus).Dump(2) << "\n";
+  if (!out.good()) {
+    return util::Status::Internal("write failed: " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Result<Corpus> LoadCorpus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::NotFound("cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  BRIQ_ASSIGN_OR_RETURN(Json json, Json::Parse(buffer.str()));
+  return CorpusFromJson(json);
+}
+
+}  // namespace briq::corpus

@@ -1,0 +1,30 @@
+#ifndef BRIQ_CORPUS_SERIALIZATION_H_
+#define BRIQ_CORPUS_SERIALIZATION_H_
+
+#include <string>
+
+#include "corpus/document.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace briq::corpus {
+
+/// JSON (de)serialization for documents and corpora, so generated datasets
+/// and annotations can be stored, diffed, and exchanged with other tools.
+/// The format is stable and human-readable: tables as row-major string
+/// arrays with header flags, ground truth as (paragraph, span, target)
+/// records.
+
+util::Json DocumentToJson(const Document& doc);
+util::Result<Document> DocumentFromJson(const util::Json& json);
+
+util::Json CorpusToJson(const Corpus& corpus);
+util::Result<Corpus> CorpusFromJson(const util::Json& json);
+
+/// File round trip. Save writes pretty-printed JSON.
+util::Status SaveCorpus(const Corpus& corpus, const std::string& path);
+util::Result<Corpus> LoadCorpus(const std::string& path);
+
+}  // namespace briq::corpus
+
+#endif  // BRIQ_CORPUS_SERIALIZATION_H_

@@ -1,0 +1,79 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace briq::graph {
+
+Graph::Graph(int num_nodes) : adjacency_(num_nodes) {}
+
+int Graph::AddNode() {
+  adjacency_.emplace_back();
+  return num_nodes() - 1;
+}
+
+void Graph::CheckNode(int u) const {
+  BRIQ_CHECK(u >= 0 && u < num_nodes()) << "node " << u << " out of range";
+}
+
+void Graph::AddEdge(int u, int v, double w) {
+  CheckNode(u);
+  CheckNode(v);
+  BRIQ_CHECK(u != v) << "self-loops not supported";
+  BRIQ_CHECK(w > 0.0) << "edge weight must be positive";
+  for (Edge& e : adjacency_[u]) {
+    if (e.to == v) {
+      e.weight += w;
+      for (Edge& r : adjacency_[v]) {
+        if (r.to == u) {
+          r.weight += w;
+          break;
+        }
+      }
+      return;
+    }
+  }
+  adjacency_[u].push_back(Edge{v, w});
+  adjacency_[v].push_back(Edge{u, w});
+  ++num_edges_;
+}
+
+void Graph::RemoveEdge(int u, int v) {
+  CheckNode(u);
+  CheckNode(v);
+  auto erase_from = [](std::vector<Edge>& edges, int target) {
+    auto it = std::find_if(edges.begin(), edges.end(),
+                           [target](const Edge& e) { return e.to == target; });
+    if (it == edges.end()) return false;
+    edges.erase(it);
+    return true;
+  };
+  bool removed = erase_from(adjacency_[u], v);
+  bool removed_rev = erase_from(adjacency_[v], u);
+  BRIQ_CHECK(removed == removed_rev) << "asymmetric adjacency";
+  if (removed) --num_edges_;
+}
+
+double Graph::EdgeWeight(int u, int v) const {
+  CheckNode(u);
+  CheckNode(v);
+  for (const Edge& e : adjacency_[u]) {
+    if (e.to == v) return e.weight;
+  }
+  return 0.0;
+}
+
+const std::vector<Graph::Edge>& Graph::Neighbors(int u) const {
+  CheckNode(u);
+  return adjacency_[u];
+}
+
+double Graph::WeightedDegree(int u) const {
+  CheckNode(u);
+  double total = 0.0;
+  for (const Edge& e : adjacency_[u]) total += e.weight;
+  return total;
+}
+
+}  // namespace briq::graph

@@ -1,0 +1,54 @@
+#ifndef BRIQ_GRAPH_GRAPH_H_
+#define BRIQ_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace briq::graph {
+
+/// An undirected edge-weighted graph with mutable edges, tuned for the
+/// candidate alignment graphs of the global-resolution stage: a few hundred
+/// nodes, edges deleted incrementally as alignment decisions are made
+/// (Algorithm 1 of the paper).
+class Graph {
+ public:
+  struct Edge {
+    int to = 0;
+    double weight = 0.0;
+  };
+
+  explicit Graph(int num_nodes = 0);
+
+  /// Adds a node, returning its id.
+  int AddNode();
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Adds (or increases) the undirected edge {u, v} with weight w > 0.
+  /// Self-loops are rejected.
+  void AddEdge(int u, int v, double w);
+
+  /// Removes the undirected edge {u, v} if present.
+  void RemoveEdge(int u, int v);
+
+  /// Weight of {u, v}; 0 if absent.
+  double EdgeWeight(int u, int v) const;
+
+  bool HasEdge(int u, int v) const { return EdgeWeight(u, v) > 0.0; }
+
+  const std::vector<Edge>& Neighbors(int u) const;
+
+  /// Sum of edge weights incident to u.
+  double WeightedDegree(int u) const;
+
+ private:
+  void CheckNode(int u) const;
+
+  std::vector<std::vector<Edge>> adjacency_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace briq::graph
+
+#endif  // BRIQ_GRAPH_GRAPH_H_

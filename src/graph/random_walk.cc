@@ -1,0 +1,58 @@
+#include "graph/random_walk.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace briq::graph {
+
+std::vector<double> RandomWalkWithRestart(const Graph& g, int source,
+                                          const RwrConfig& config,
+                                          int* iterations_out) {
+  const int n = g.num_nodes();
+  BRIQ_CHECK(source >= 0 && source < n) << "bad source node";
+  BRIQ_CHECK(config.restart_prob > 0.0 && config.restart_prob <= 1.0)
+      << "restart_prob must be in (0, 1]";
+
+  // Cache weighted degrees for the transition probabilities.
+  std::vector<double> degree(n);
+  for (int u = 0; u < n; ++u) degree[u] = g.WeightedDegree(u);
+
+  std::vector<double> pi(n, 0.0);
+  pi[source] = 1.0;
+  std::vector<double> next(n);
+
+  const double c = config.restart_prob;
+  int iter = 0;
+  for (; iter < config.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling_mass = 0.0;
+    for (int u = 0; u < n; ++u) {
+      if (pi[u] == 0.0) continue;
+      if (degree[u] <= 0.0) {
+        dangling_mass += pi[u];
+        continue;
+      }
+      const double share = (1.0 - c) * pi[u] / degree[u];
+      for (const Graph::Edge& e : g.Neighbors(u)) {
+        next[e.to] += share * e.weight;
+      }
+    }
+    // Restart mass returns to the source (every node contributes c * pi[u]
+    // and sum(pi) == 1, hence the single `c` term), as does the mass
+    // stranded on dangling nodes.
+    next[source] += c + (1.0 - c) * dangling_mass;
+
+    double delta = 0.0;
+    for (int u = 0; u < n; ++u) delta += std::fabs(next[u] - pi[u]);
+    pi.swap(next);
+    if (delta < config.tolerance) {
+      ++iter;
+      break;
+    }
+  }
+  if (iterations_out) *iterations_out = iter;
+  return pi;
+}
+
+}  // namespace briq::graph

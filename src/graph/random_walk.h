@@ -1,0 +1,31 @@
+#ifndef BRIQ_GRAPH_RANDOM_WALK_H_
+#define BRIQ_GRAPH_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace briq::graph {
+
+/// Parameters of Random Walk with Restart (personalized PageRank, paper
+/// §VI-B).
+struct RwrConfig {
+  /// Probability of jumping back to the source at each step.
+  double restart_prob = 0.15;
+  /// L1 convergence bound on the stationary vector between iterations.
+  double tolerance = 1e-9;
+  int max_iterations = 200;
+};
+
+/// Computes the stationary visiting probabilities pi(.|source) of a random
+/// walk that follows edges proportionally to their weights and restarts at
+/// `source` with probability restart_prob. Dangling nodes teleport their
+/// mass back to the source. Power iteration; `iterations_out` (optional)
+/// receives the iteration count.
+std::vector<double> RandomWalkWithRestart(const Graph& g, int source,
+                                          const RwrConfig& config = {},
+                                          int* iterations_out = nullptr);
+
+}  // namespace briq::graph
+
+#endif  // BRIQ_GRAPH_RANDOM_WALK_H_

@@ -1,0 +1,153 @@
+#include "html/html_dom.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace briq::html {
+
+std::string Node::Attribute(std::string_view name) const {
+  for (const auto& [k, v] : attributes) {
+    if (util::EqualsIgnoreCase(k, name)) return v;
+  }
+  return "";
+}
+
+namespace {
+
+void CollectText(const Node& node, std::string* out) {
+  if (node.type == Node::Type::kText) {
+    if (!out->empty() && out->back() != ' ') out->push_back(' ');
+    out->append(node.textual);
+    return;
+  }
+  for (const auto& child : node.children) CollectText(*child, out);
+}
+
+}  // namespace
+
+std::string Node::InnerText() const {
+  std::string raw;
+  CollectText(*this, &raw);
+  // Collapse whitespace runs.
+  std::string out;
+  out.reserve(raw.size());
+  bool in_space = true;
+  for (char c : raw) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::vector<const Node*> Node::FindAll(std::string_view name,
+                                       bool nested) const {
+  std::vector<const Node*> out;
+  for (const auto& child : children) {
+    if (child->IsElement(name)) {
+      out.push_back(child.get());
+      if (!nested) continue;
+    }
+    auto sub = child->FindAll(name, nested);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+const Node* Node::FindFirst(std::string_view name) const {
+  for (const auto& child : children) {
+    if (child->IsElement(name)) return child.get();
+    if (const Node* found = child->FindFirst(name)) return found;
+  }
+  return nullptr;
+}
+
+namespace {
+
+bool IsVoidElement(const std::string& tag) {
+  static const auto& kVoid = *new std::unordered_set<std::string>{
+      "br", "hr", "img", "input", "meta", "link", "col", "area", "base",
+      "embed", "source", "track", "wbr"};
+  return kVoid.count(tag) > 0;
+}
+
+// Tags that an opening `tag` implicitly closes when currently open.
+// Approximation of the HTML5 tree-construction rules for the subset of
+// structure that matters for table/paragraph extraction.
+bool ImpliesClose(const std::string& open, const std::string& incoming) {
+  if (open == "p") {
+    static const auto& kBlocks = *new std::unordered_set<std::string>{
+        "p", "div", "table", "ul", "ol", "h1", "h2", "h3", "h4", "h5",
+        "h6", "blockquote", "pre", "section", "article"};
+    return kBlocks.count(incoming) > 0;
+  }
+  if (open == "li") return incoming == "li";
+  if (open == "option") return incoming == "option";
+  if (open == "tr") return incoming == "tr" || incoming == "tbody" ||
+                            incoming == "thead" || incoming == "tfoot";
+  if (open == "td" || open == "th") {
+    return incoming == "td" || incoming == "th" || incoming == "tr" ||
+           incoming == "tbody" || incoming == "thead" || incoming == "tfoot";
+  }
+  if (open == "thead" || open == "tbody" || open == "tfoot") {
+    return incoming == "tbody" || incoming == "tfoot" || incoming == "thead";
+  }
+  return false;
+}
+
+}  // namespace
+
+std::unique_ptr<Node> ParseHtml(std::string_view html) {
+  auto root = std::make_unique<Node>();
+  root->type = Node::Type::kElement;
+  root->tag = "#document";
+
+  std::vector<Node*> stack = {root.get()};
+
+  for (HtmlToken& tok : LexHtml(html)) {
+    switch (tok.kind) {
+      case HtmlTokenKind::kText: {
+        auto node = std::make_unique<Node>();
+        node->type = Node::Type::kText;
+        node->textual = std::move(tok.textual);
+        stack.back()->children.push_back(std::move(node));
+        break;
+      }
+      case HtmlTokenKind::kStartTag: {
+        // Apply implied-close rules.
+        while (stack.size() > 1 && ImpliesClose(stack.back()->tag, tok.tag)) {
+          stack.pop_back();
+        }
+        auto node = std::make_unique<Node>();
+        node->type = Node::Type::kElement;
+        node->tag = tok.tag;
+        node->attributes = std::move(tok.attributes);
+        Node* raw = node.get();
+        stack.back()->children.push_back(std::move(node));
+        if (!tok.self_closing && !IsVoidElement(tok.tag)) {
+          stack.push_back(raw);
+        }
+        break;
+      }
+      case HtmlTokenKind::kEndTag: {
+        // Pop to the nearest matching open element; ignore stray end tags.
+        for (size_t k = stack.size(); k-- > 1;) {
+          if (stack[k]->tag == tok.tag) {
+            stack.resize(k);
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return root;
+}
+
+}  // namespace briq::html

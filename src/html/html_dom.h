@@ -1,0 +1,51 @@
+#ifndef BRIQ_HTML_HTML_DOM_H_
+#define BRIQ_HTML_HTML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "html/html_lexer.h"
+
+namespace briq::html {
+
+/// A node of the lightweight DOM: either an element (tag + attributes +
+/// children) or a text node.
+struct Node {
+  enum class Type { kElement, kText };
+
+  Type type = Type::kElement;
+  std::string tag;      // elements
+  std::string textual;  // text nodes
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::unique_ptr<Node>> children;
+
+  bool IsElement(std::string_view name) const {
+    return type == Type::kElement && tag == name;
+  }
+
+  std::string Attribute(std::string_view name) const;
+
+  /// Concatenated text of this subtree, whitespace-collapsed, with block
+  /// boundaries rendered as single spaces.
+  std::string InnerText() const;
+
+  /// Depth-first search for all descendant elements with the given tag
+  /// (not entering matched subtrees when `nested` is false).
+  std::vector<const Node*> FindAll(std::string_view name,
+                                   bool nested = true) const;
+
+  /// First descendant with the tag, or nullptr.
+  const Node* FindFirst(std::string_view name) const;
+};
+
+/// Parses an HTML document into a DOM tree rooted at a synthetic
+/// "#document" element. Tolerant of missing end tags via HTML5-style
+/// implied-close rules for p/li/tr/td/th/thead/tbody/option and void
+/// elements (br, img, hr, ...).
+std::unique_ptr<Node> ParseHtml(std::string_view html);
+
+}  // namespace briq::html
+
+#endif  // BRIQ_HTML_HTML_DOM_H_

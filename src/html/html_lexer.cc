@@ -1,0 +1,232 @@
+#include "html/html_lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace briq::html {
+
+std::string HtmlToken::Attribute(std::string_view name) const {
+  for (const auto& [k, v] : attributes) {
+    if (util::EqualsIgnoreCase(k, name)) return v;
+  }
+  return "";
+}
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+         c == ':';
+}
+
+// UTF-8 encodes `cp` onto `out`.
+void AppendCodepoint(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+const std::unordered_map<std::string, uint32_t>& NamedEntities() {
+  static const auto& kMap = *new std::unordered_map<std::string, uint32_t>{
+      {"amp", '&'},     {"lt", '<'},      {"gt", '>'},     {"quot", '"'},
+      {"apos", '\''},   {"nbsp", ' '},    {"euro", 0x20AC}, {"pound", 0xA3},
+      {"yen", 0xA5},    {"cent", 0xA2},   {"plusmn", 0xB1}, {"mdash", 0x2014},
+      {"ndash", 0x2013}, {"times", 0xD7}, {"copy", 0xA9},  {"reg", 0xAE},
+      {"deg", 0xB0},    {"middot", 0xB7}, {"hellip", 0x2026},
+      {"lsquo", 0x2018}, {"rsquo", 0x2019}, {"ldquo", 0x201C},
+      {"rdquo", 0x201D},
+  };
+  return kMap;
+}
+
+}  // namespace
+
+std::string DecodeEntities(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] != '&') {
+      out.push_back(s[i]);
+      ++i;
+      continue;
+    }
+    size_t semi = s.find(';', i + 1);
+    // Entities are short; a distant/absent ';' means a literal '&'.
+    if (semi == std::string_view::npos || semi - i > 10) {
+      out.push_back('&');
+      ++i;
+      continue;
+    }
+    std::string_view body = s.substr(i + 1, semi - i - 1);
+    if (!body.empty() && body[0] == '#') {
+      uint32_t cp = 0;
+      bool ok = false;
+      if (body.size() > 1 && (body[1] == 'x' || body[1] == 'X')) {
+        cp = static_cast<uint32_t>(
+            std::strtoul(std::string(body.substr(2)).c_str(), nullptr, 16));
+        ok = body.size() > 2;
+      } else {
+        cp = static_cast<uint32_t>(
+            std::strtoul(std::string(body.substr(1)).c_str(), nullptr, 10));
+        ok = body.size() > 1;
+      }
+      if (ok && cp > 0 && cp <= 0x10FFFF) {
+        AppendCodepoint(cp, &out);
+        i = semi + 1;
+        continue;
+      }
+    } else {
+      auto it = NamedEntities().find(util::ToLower(body));
+      if (it != NamedEntities().end()) {
+        AppendCodepoint(it->second, &out);
+        i = semi + 1;
+        continue;
+      }
+    }
+    out.push_back('&');
+    ++i;
+  }
+  return out;
+}
+
+std::vector<HtmlToken> LexHtml(std::string_view html) {
+  std::vector<HtmlToken> tokens;
+  size_t i = 0;
+  const size_t n = html.size();
+
+  auto emit_text = [&](size_t begin, size_t end) {
+    if (end <= begin) return;
+    std::string decoded = DecodeEntities(html.substr(begin, end - begin));
+    // Skip pure-whitespace runs between tags.
+    if (util::Trim(decoded).empty()) return;
+    HtmlToken t;
+    t.kind = HtmlTokenKind::kText;
+    t.textual = std::move(decoded);
+    tokens.push_back(std::move(t));
+  };
+
+  size_t text_start = 0;
+  while (i < n) {
+    if (html[i] != '<') {
+      ++i;
+      continue;
+    }
+    // Comment?
+    if (html.compare(i, 4, "<!--") == 0) {
+      emit_text(text_start, i);
+      size_t end = html.find("-->", i + 4);
+      i = end == std::string_view::npos ? n : end + 3;
+      text_start = i;
+      continue;
+    }
+    // Doctype / PI?
+    if (i + 1 < n && (html[i + 1] == '!' || html[i + 1] == '?')) {
+      emit_text(text_start, i);
+      size_t end = html.find('>', i);
+      i = end == std::string_view::npos ? n : end + 1;
+      text_start = i;
+      continue;
+    }
+    // Tag?
+    bool closing = i + 1 < n && html[i + 1] == '/';
+    size_t name_start = i + (closing ? 2 : 1);
+    if (name_start >= n ||
+        !std::isalpha(static_cast<unsigned char>(html[name_start]))) {
+      ++i;  // stray '<'
+      continue;
+    }
+    emit_text(text_start, i);
+
+    size_t j = name_start;
+    while (j < n && IsNameChar(html[j])) ++j;
+    std::string tag = util::ToLower(html.substr(name_start, j - name_start));
+
+    HtmlToken t;
+    t.kind = closing ? HtmlTokenKind::kEndTag : HtmlTokenKind::kStartTag;
+    t.tag = tag;
+
+    // Attributes (start tags only).
+    while (j < n && html[j] != '>') {
+      if (html[j] == '/' && j + 1 < n && html[j + 1] == '>') {
+        t.self_closing = true;
+        j += 1;
+        break;
+      }
+      if (std::isspace(static_cast<unsigned char>(html[j]))) {
+        ++j;
+        continue;
+      }
+      if (closing) {  // ignore junk in end tags
+        ++j;
+        continue;
+      }
+      // Attribute name.
+      size_t an = j;
+      while (j < n && IsNameChar(html[j])) ++j;
+      if (j == an) {
+        ++j;
+        continue;
+      }
+      std::string name = util::ToLower(html.substr(an, j - an));
+      std::string value;
+      while (j < n && std::isspace(static_cast<unsigned char>(html[j]))) ++j;
+      if (j < n && html[j] == '=') {
+        ++j;
+        while (j < n && std::isspace(static_cast<unsigned char>(html[j]))) ++j;
+        if (j < n && (html[j] == '"' || html[j] == '\'')) {
+          char quote = html[j];
+          size_t vstart = ++j;
+          while (j < n && html[j] != quote) ++j;
+          value = DecodeEntities(html.substr(vstart, j - vstart));
+          if (j < n) ++j;
+        } else {
+          size_t vstart = j;
+          while (j < n && !std::isspace(static_cast<unsigned char>(html[j])) &&
+                 html[j] != '>') {
+            ++j;
+          }
+          value = DecodeEntities(html.substr(vstart, j - vstart));
+        }
+      }
+      t.attributes.emplace_back(std::move(name), std::move(value));
+    }
+    if (j < n && html[j] == '>') ++j;
+    i = j;
+    text_start = i;
+
+    // Raw-text elements: skip content up to the matching end tag.
+    if (!closing && (tag == "script" || tag == "style")) {
+      std::string close = "</" + tag;
+      size_t end = util::ToLower(html.substr(i)).find(close);
+      if (end == std::string::npos) {
+        i = n;
+      } else {
+        i += end;
+      }
+      text_start = i;
+      continue;  // don't emit the raw content; end tag lexes next round
+    }
+
+    tokens.push_back(std::move(t));
+  }
+  emit_text(text_start, n);
+  return tokens;
+}
+
+}  // namespace briq::html

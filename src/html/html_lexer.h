@@ -1,0 +1,44 @@
+#ifndef BRIQ_HTML_HTML_LEXER_H_
+#define BRIQ_HTML_HTML_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace briq::html {
+
+/// Lexical token kinds of the HTML stream.
+enum class HtmlTokenKind {
+  kStartTag,  // <p ...> or self-closing <br/>
+  kEndTag,    // </p>
+  kText,      // character data with entities decoded
+};
+
+/// One lexed HTML token. Tag names are lowercased; attribute values are
+/// entity-decoded. Comments, doctypes, and processing instructions are
+/// skipped by the lexer.
+struct HtmlToken {
+  HtmlTokenKind kind = HtmlTokenKind::kText;
+  std::string tag;   // for start/end tags
+  std::string textual;  // for text tokens (decoded)
+  std::vector<std::pair<std::string, std::string>> attributes;
+  bool self_closing = false;
+
+  /// Returns the attribute value or "" if absent.
+  std::string Attribute(std::string_view name) const;
+};
+
+/// Tokenizes an HTML document. Tolerant of real-world sloppiness: unquoted
+/// attributes, missing end tags (handled by the parser), stray '<'.
+/// Contents of <script> and <style> are skipped entirely.
+std::vector<HtmlToken> LexHtml(std::string_view html);
+
+/// Decodes HTML character references in `s` (&amp;, &#233;, &#x20AC;, and
+/// the named entities common on data-bearing pages: nbsp, euro, pound,
+/// plusmn, mdash, ndash, times, quot, apos, lt, gt).
+std::string DecodeEntities(std::string_view s);
+
+}  // namespace briq::html
+
+#endif  // BRIQ_HTML_HTML_LEXER_H_

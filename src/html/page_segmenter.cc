@@ -1,0 +1,131 @@
+#include "html/page_segmenter.h"
+
+#include <unordered_set>
+
+#include "html/html_dom.h"
+#include "html/table_extractor.h"
+#include "util/string_util.h"
+
+namespace briq::html {
+
+size_t Page::ParagraphCount() const {
+  size_t n = 0;
+  for (const auto& b : blocks) {
+    if (b.kind == PageBlock::Kind::kParagraph) ++n;
+  }
+  return n;
+}
+
+size_t Page::TableCount() const {
+  size_t n = 0;
+  for (const auto& b : blocks) {
+    if (b.kind == PageBlock::Kind::kTable) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+bool IsHeadingTag(const std::string& tag) {
+  return tag.size() == 2 && tag[0] == 'h' && tag[1] >= '1' && tag[1] <= '6';
+}
+
+// True if the subtree contains block-level structure that we walk into
+// instead of flattening.
+bool HasNestedBlocks(const Node& node) {
+  static const auto& kBlockTags = *new std::unordered_set<std::string>{
+      "p", "div", "table", "ul", "ol", "section", "article", "h1", "h2",
+      "h3", "h4", "h5", "h6", "blockquote"};
+  for (const auto& child : node.children) {
+    if (child->type == Node::Type::kElement &&
+        kBlockTags.count(child->tag) > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Walk(const Node& node, Page* page) {
+  for (const auto& child : node.children) {
+    if (child->type == Node::Type::kText) {
+      // Bare text directly inside body/div containers: its own paragraph.
+      std::string txt(util::Trim(child->textual));
+      if (!txt.empty()) {
+        PageBlock b;
+        b.kind = PageBlock::Kind::kParagraph;
+        b.textual = std::move(txt);
+        page->blocks.push_back(std::move(b));
+      }
+      continue;
+    }
+    const std::string& tag = child->tag;
+    if (tag == "script" || tag == "style" || tag == "head" || tag == "nav" ||
+        tag == "footer") {
+      if (tag == "head") {
+        if (const Node* title = child->FindFirst("title")) {
+          page->title = title->InnerText();
+        }
+      }
+      continue;
+    }
+    if (tag == "table") {
+      auto t = ExtractTable(*child);
+      if (t.ok() && !t->empty()) {
+        PageBlock b;
+        b.kind = PageBlock::Kind::kTable;
+        b.table = std::move(t).value();
+        page->blocks.push_back(std::move(b));
+      }
+      continue;
+    }
+    if (tag == "p" || tag == "li" || tag == "blockquote") {
+      std::string txt = child->InnerText();
+      if (!txt.empty()) {
+        PageBlock b;
+        b.kind = PageBlock::Kind::kParagraph;
+        b.textual = std::move(txt);
+        page->blocks.push_back(std::move(b));
+      }
+      continue;
+    }
+    if (IsHeadingTag(tag)) {
+      std::string txt = child->InnerText();
+      if (!txt.empty()) {
+        PageBlock b;
+        b.kind = PageBlock::Kind::kHeading;
+        b.textual = std::move(txt);
+        page->blocks.push_back(std::move(b));
+      }
+      continue;
+    }
+    if (tag == "div" || tag == "section" || tag == "article" ||
+        tag == "body" || tag == "html" || tag == "main" || tag == "span" ||
+        tag == "ul" || tag == "ol") {
+      if ((tag == "div" || tag == "span") && !HasNestedBlocks(*child)) {
+        std::string txt = child->InnerText();
+        if (!txt.empty()) {
+          PageBlock b;
+          b.kind = PageBlock::Kind::kParagraph;
+          b.textual = std::move(txt);
+          page->blocks.push_back(std::move(b));
+        }
+        continue;
+      }
+      Walk(*child, page);
+      continue;
+    }
+    // Unknown container: recurse.
+    Walk(*child, page);
+  }
+}
+
+}  // namespace
+
+Page SegmentPage(std::string_view html) {
+  Page page;
+  std::unique_ptr<Node> dom = ParseHtml(html);
+  Walk(*dom, &page);
+  return page;
+}
+
+}  // namespace briq::html

@@ -1,0 +1,39 @@
+#ifndef BRIQ_HTML_PAGE_SEGMENTER_H_
+#define BRIQ_HTML_PAGE_SEGMENTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "table/table.h"
+
+namespace briq::html {
+
+/// One content block of a web page, in document order.
+struct PageBlock {
+  enum class Kind { kParagraph, kTable, kHeading };
+  Kind kind = Kind::kParagraph;
+  std::string textual;    // paragraphs & headings
+  table::Table table;  // tables (annotated)
+};
+
+/// A segmented web page: title plus the ordered sequence of paragraphs,
+/// headings, and tables. This is the input to the core table-text
+/// extraction stage (paper §III), which groups paragraphs with their
+/// related tables into coherent documents.
+struct Page {
+  std::string title;
+  std::vector<PageBlock> blocks;
+
+  size_t ParagraphCount() const;
+  size_t TableCount() const;
+};
+
+/// Parses an HTML page and flattens it into blocks. Paragraphs come from
+/// <p>; headings from <h1>-<h6>; tables via ExtractTable. List items and
+/// block-level <div> text with no nested blocks are treated as paragraphs.
+Page SegmentPage(std::string_view html);
+
+}  // namespace briq::html
+
+#endif  // BRIQ_HTML_PAGE_SEGMENTER_H_

@@ -1,0 +1,130 @@
+#include "html/table_extractor.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace briq::html {
+
+namespace {
+
+int SpanAttribute(const Node& cell, const char* name) {
+  std::string v = cell.Attribute(name);
+  if (v.empty()) return 1;
+  int n = std::atoi(v.c_str());
+  // Clamp pathological span values.
+  return std::clamp(n, 1, 100);
+}
+
+struct GridCell {
+  std::string content;
+  bool is_th = false;
+  bool occupied = false;
+};
+
+}  // namespace
+
+util::Result<table::Table> ExtractTable(const Node& table_element) {
+  if (!table_element.IsElement("table")) {
+    return util::Status::InvalidArgument("node is not a <table>");
+  }
+
+  // Collect <tr> in document order (directly under <table> or inside
+  // thead/tbody/tfoot), not descending into nested tables.
+  std::vector<const Node*> rows;
+  std::string caption;
+  for (const auto& child : table_element.children) {
+    if (child->type != Node::Type::kElement) continue;
+    if (child->tag == "caption") caption = child->InnerText();
+    if (child->tag == "tr") rows.push_back(child.get());
+    if (child->tag == "thead" || child->tag == "tbody" ||
+        child->tag == "tfoot") {
+      for (const auto& sub : child->children) {
+        if (sub->IsElement("tr")) rows.push_back(sub.get());
+      }
+    }
+  }
+  if (rows.empty()) {
+    return util::Status::NotFound("table has no rows");
+  }
+
+  // Lay out cells on a grid with rowspan/colspan expansion.
+  std::vector<std::vector<GridCell>> grid(rows.size());
+  size_t max_cols = 0;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    size_t c = 0;
+    for (const auto& child : rows[r]->children) {
+      if (child->type != Node::Type::kElement ||
+          (child->tag != "td" && child->tag != "th")) {
+        continue;
+      }
+      // Find the next unoccupied column in this row.
+      while (c < grid[r].size() && grid[r][c].occupied) ++c;
+      int colspan = SpanAttribute(*child, "colspan");
+      int rowspan = SpanAttribute(*child, "rowspan");
+      std::string content = child->InnerText();
+      bool is_th = child->tag == "th";
+      for (int dr = 0; dr < rowspan && r + dr < rows.size(); ++dr) {
+        auto& row_cells = grid[r + dr];
+        if (row_cells.size() < c + colspan) row_cells.resize(c + colspan);
+        for (int dc = 0; dc < colspan; ++dc) {
+          GridCell& g = row_cells[c + dc];
+          if (!g.occupied) {
+            g.content = content;
+            g.is_th = is_th;
+            g.occupied = true;
+          }
+        }
+      }
+      c += colspan;
+      max_cols = std::max(max_cols, grid[r].size());
+    }
+    max_cols = std::max(max_cols, grid[r].size());
+  }
+  if (max_cols == 0) {
+    return util::Status::NotFound("table has no cells");
+  }
+
+  std::vector<std::vector<std::string>> string_rows(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    string_rows[r].resize(max_cols);
+    for (size_t c = 0; c < grid[r].size() && c < max_cols; ++c) {
+      string_rows[r][c] = grid[r][c].content;
+    }
+  }
+
+  table::Table t = table::Table::FromRows(std::move(string_rows));
+  t.set_caption(std::move(caption));
+
+  // Header detection from <th> placement.
+  bool first_row_th = true;
+  if (grid[0].empty()) first_row_th = false;
+  for (const GridCell& g : grid[0]) {
+    if (g.occupied && !g.is_th) first_row_th = false;
+  }
+  bool first_col_th = grid.size() > 1;
+  for (size_t r = 1; r < grid.size(); ++r) {
+    if (grid[r].empty() || !grid[r][0].occupied || !grid[r][0].is_th) {
+      first_col_th = false;
+    }
+  }
+  if (first_row_th) t.set_header_row(true);
+  if (first_col_th) t.set_header_col(true);
+  if (!first_row_th && !first_col_th) t.DetectHeaders();
+
+  t.AnnotateQuantities();
+  return t;
+}
+
+std::vector<table::Table> ExtractTables(std::string_view html) {
+  std::unique_ptr<Node> dom = ParseHtml(html);
+  std::vector<table::Table> out;
+  for (const Node* node : dom->FindAll("table")) {
+    auto t = ExtractTable(*node);
+    if (t.ok() && !t->empty()) out.push_back(std::move(t).value());
+  }
+  return out;
+}
+
+}  // namespace briq::html

@@ -1,0 +1,27 @@
+#ifndef BRIQ_HTML_TABLE_EXTRACTOR_H_
+#define BRIQ_HTML_TABLE_EXTRACTOR_H_
+
+#include <string_view>
+#include <vector>
+
+#include "html/html_dom.h"
+#include "table/table.h"
+#include "util/result.h"
+
+namespace briq::html {
+
+/// Converts a DOM <table> element into a table::Table: rows from
+/// thead/tbody/tfoot/tr, cells from td/th with rowspan/colspan expansion
+/// (spanned positions receive copies of the content), caption from
+/// <caption>, header row/column from <th> placement with the numeric
+/// heuristic (Table::DetectHeaders) as fallback. The returned table is
+/// already quantity-annotated.
+util::Result<table::Table> ExtractTable(const Node& table_element);
+
+/// All tables in an HTML document, in document order. Tables that end up
+/// empty (no rows/cells) are skipped.
+std::vector<table::Table> ExtractTables(std::string_view html);
+
+}  // namespace briq::html
+
+#endif  // BRIQ_HTML_TABLE_EXTRACTOR_H_

@@ -1,0 +1,92 @@
+#include "ml/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace briq::ml {
+
+std::vector<CalibrationBin> ReliabilityDiagram(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    int num_bins) {
+  BRIQ_CHECK(scores.size() == labels.size()) << "size mismatch";
+  BRIQ_CHECK(num_bins > 0) << "need at least one bin";
+
+  std::vector<CalibrationBin> bins(num_bins);
+  std::vector<double> sum_pred(num_bins, 0.0);
+  std::vector<size_t> positives(num_bins, 0);
+  for (int b = 0; b < num_bins; ++b) {
+    bins[b].lo = static_cast<double>(b) / num_bins;
+    bins[b].hi = static_cast<double>(b + 1) / num_bins;
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    double s = std::clamp(scores[i], 0.0, 1.0);
+    int b = std::min(num_bins - 1, static_cast<int>(s * num_bins));
+    ++bins[b].count;
+    sum_pred[b] += s;
+    if (labels[i] == 1) ++positives[b];
+  }
+  for (int b = 0; b < num_bins; ++b) {
+    if (bins[b].count == 0) continue;
+    bins[b].mean_predicted = sum_pred[b] / bins[b].count;
+    bins[b].fraction_positive =
+        static_cast<double>(positives[b]) / bins[b].count;
+  }
+  return bins;
+}
+
+double ExpectedCalibrationError(const std::vector<double>& scores,
+                                const std::vector<int>& labels,
+                                int num_bins) {
+  auto bins = ReliabilityDiagram(scores, labels, num_bins);
+  double total = 0.0;
+  size_t n = 0;
+  for (const CalibrationBin& b : bins) {
+    if (b.count == 0) continue;
+    total += b.count * std::fabs(b.mean_predicted - b.fraction_positive);
+    n += b.count;
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+double BrierScore(const std::vector<double>& scores,
+                  const std::vector<int>& labels) {
+  BRIQ_CHECK(scores.size() == labels.size()) << "size mismatch";
+  if (scores.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    double diff = scores[i] - static_cast<double>(labels[i]);
+    total += diff * diff;
+  }
+  return total / static_cast<double>(scores.size());
+}
+
+std::string RenderReliabilityDiagram(
+    const std::vector<CalibrationBin>& bins) {
+  std::string out;
+  out += "bin        n     mean_pred  frac_pos\n";
+  for (const CalibrationBin& b : bins) {
+    std::string range = "[" + util::FormatDouble(b.lo, 1) + "," +
+                        util::FormatDouble(b.hi, 1) + "]";
+    range.resize(10, ' ');
+    std::string n = std::to_string(b.count);
+    n.resize(6, ' ');
+    if (b.count == 0) {
+      out += range + " " + n + "-          -\n";
+      continue;
+    }
+    std::string mp = util::FormatDouble(b.mean_predicted, 3);
+    mp.resize(10, ' ');
+    out += range + " " + n + mp + " " +
+           util::FormatDouble(b.fraction_positive, 3);
+    // A crude bar of the empirical rate.
+    out += "  |" +
+           std::string(static_cast<size_t>(b.fraction_positive * 20), '#') +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace briq::ml

@@ -1,0 +1,47 @@
+#ifndef BRIQ_ML_CALIBRATION_H_
+#define BRIQ_ML_CALIBRATION_H_
+
+#include <string>
+#include <vector>
+
+namespace briq::ml {
+
+/// Probability-calibration diagnostics. The BriQ design leans on Random
+/// Forest vote fractions being well calibrated ([Caruana & Niculescu-Mizil
+/// 2006], paper §IV-A) because stage-4 feeds them into OverallScore as
+/// priors; these tools measure whether that assumption holds on held-out
+/// pairs.
+
+/// One reliability-diagram bin: predictions in (lo, hi], their mean
+/// predicted probability, and the empirical positive rate.
+struct CalibrationBin {
+  double lo = 0.0;
+  double hi = 0.0;
+  size_t count = 0;
+  double mean_predicted = 0.0;
+  double fraction_positive = 0.0;
+};
+
+/// Bins (score, label) pairs into `num_bins` equal-width probability bins.
+/// Scores must lie in [0, 1]; labels are 0/1.
+std::vector<CalibrationBin> ReliabilityDiagram(
+    const std::vector<double>& scores, const std::vector<int>& labels,
+    int num_bins = 10);
+
+/// Expected Calibration Error: the count-weighted mean |confidence -
+/// accuracy| over the bins. 0 = perfectly calibrated.
+double ExpectedCalibrationError(const std::vector<double>& scores,
+                                const std::vector<int>& labels,
+                                int num_bins = 10);
+
+/// Brier score: mean squared error of the probabilities. Lower is better;
+/// 0.25 is the score of a constant 0.5 prediction on balanced data.
+double BrierScore(const std::vector<double>& scores,
+                  const std::vector<int>& labels);
+
+/// ASCII rendering of a reliability diagram for bench output.
+std::string RenderReliabilityDiagram(const std::vector<CalibrationBin>& bins);
+
+}  // namespace briq::ml
+
+#endif  // BRIQ_ML_CALIBRATION_H_

@@ -1,0 +1,73 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace briq::ml {
+
+void Dataset::Add(const std::vector<double>& x, int label, double weight) {
+  BRIQ_CHECK(static_cast<int>(x.size()) == num_features_)
+      << "expected " << num_features_ << " features, got " << x.size();
+  BRIQ_CHECK(label >= 0) << "labels must be non-negative";
+  x_.insert(x_.end(), x.begin(), x.end());
+  labels_.push_back(label);
+  weights_.push_back(weight);
+}
+
+int Dataset::num_classes() const {
+  int m = 0;
+  for (int l : labels_) m = std::max(m, l + 1);
+  return m;
+}
+
+std::vector<size_t> Dataset::ClassCounts() const {
+  std::vector<size_t> counts(num_classes(), 0);
+  for (int l : labels_) ++counts[l];
+  return counts;
+}
+
+void Dataset::BalanceClassWeights() {
+  std::vector<size_t> counts = ClassCounts();
+  const double total = static_cast<double>(size());
+  const double k = static_cast<double>(counts.size());
+  for (size_t i = 0; i < size(); ++i) {
+    size_t c = counts[labels_[i]];
+    weights_[i] = c == 0 ? 0.0 : total / (k * static_cast<double>(c));
+  }
+}
+
+Dataset Dataset::Subset(const std::vector<size_t>& indices) const {
+  Dataset out(num_features_);
+  for (size_t idx : indices) {
+    BRIQ_CHECK(idx < size()) << "subset index out of range";
+    std::vector<double> row_copy(row(idx), row(idx) + num_features_);
+    out.Add(row_copy, labels_[idx], weights_[idx]);
+  }
+  return out;
+}
+
+std::vector<Dataset> Dataset::RandomSplit(const std::vector<double>& fractions,
+                                          util::Rng* rng) const {
+  std::vector<size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  std::vector<Dataset> parts;
+  size_t start = 0;
+  for (size_t p = 0; p < fractions.size(); ++p) {
+    size_t count =
+        p + 1 == fractions.size()
+            ? size() - start
+            : std::min(size() - start,
+                       static_cast<size_t>(fractions[p] * size() + 0.5));
+    std::vector<size_t> idx(order.begin() + start,
+                            order.begin() + start + count);
+    parts.push_back(Subset(idx));
+    start += count;
+  }
+  return parts;
+}
+
+}  // namespace briq::ml

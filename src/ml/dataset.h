@@ -1,0 +1,59 @@
+#ifndef BRIQ_ML_DATASET_H_
+#define BRIQ_ML_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.h"
+
+namespace briq::ml {
+
+/// A dense labeled dataset with optional per-sample weights, stored
+/// row-major. Labels are class ids in [0, num_classes).
+class Dataset {
+ public:
+  explicit Dataset(int num_features) : num_features_(num_features) {}
+
+  int num_features() const { return num_features_; }
+  size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+
+  /// Appends a sample. `x` must have exactly num_features entries.
+  void Add(const std::vector<double>& x, int label, double weight = 1.0);
+
+  /// Pointer to the i-th feature row (num_features doubles).
+  const double* row(size_t i) const { return &x_[i * num_features_]; }
+  double feature(size_t i, int f) const { return x_[i * num_features_ + f]; }
+  int label(size_t i) const { return labels_[i]; }
+  double weight(size_t i) const { return weights_[i]; }
+  void set_weight(size_t i, double w) { weights_[i] = w; }
+
+  /// Highest label + 1.
+  int num_classes() const;
+
+  /// Per-class sample counts.
+  std::vector<size_t> ClassCounts() const;
+
+  /// Sets sample weights inversely proportional to class frequency so that
+  /// every class carries equal total weight (the paper's counter to the
+  /// #pos << #neg imbalance, §VII-B).
+  void BalanceClassWeights();
+
+  /// Returns a dataset containing the rows at `indices` (with repetitions).
+  Dataset Subset(const std::vector<size_t>& indices) const;
+
+  /// Splits into `fractions.size()` disjoint random parts with the given
+  /// fractions (must sum to <= 1; remainder goes to the last part).
+  std::vector<Dataset> RandomSplit(const std::vector<double>& fractions,
+                                   util::Rng* rng) const;
+
+ private:
+  int num_features_;
+  std::vector<double> x_;
+  std::vector<int> labels_;
+  std::vector<double> weights_;
+};
+
+}  // namespace briq::ml
+
+#endif  // BRIQ_ML_DATASET_H_

@@ -1,0 +1,170 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace briq::ml {
+
+namespace {
+
+// Gini impurity of a weighted class histogram with total weight `total`.
+double Gini(const std::vector<double>& class_weight, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double w : class_weight) {
+    double p = w / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+void DecisionTree::Fit(const Dataset& data, const TreeConfig& config,
+                       util::Rng* rng) {
+  BRIQ_CHECK(!data.empty()) << "cannot fit on empty dataset";
+  nodes_.clear();
+  depth_ = 0;
+  num_classes_ = data.num_classes();
+  num_features_ = data.num_features();
+  impurity_decrease_.assign(num_features_, 0.0);
+
+  std::vector<size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  Build(&indices, 0, data.size(), 0, data, config, rng);
+}
+
+int DecisionTree::Build(std::vector<size_t>* indices, size_t begin, size_t end,
+                        int level, const Dataset& data,
+                        const TreeConfig& config, util::Rng* rng) {
+  depth_ = std::max(depth_, level);
+  const size_t n = end - begin;
+
+  // Node class histogram.
+  std::vector<double> class_weight(num_classes_, 0.0);
+  double total = 0.0;
+  for (size_t k = begin; k < end; ++k) {
+    size_t i = (*indices)[k];
+    class_weight[data.label(i)] += data.weight(i);
+    total += data.weight(i);
+  }
+  const double node_gini = Gini(class_weight, total);
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.proba.resize(num_classes_);
+    for (int c = 0; c < num_classes_; ++c) {
+      leaf.proba[c] = total > 0.0 ? class_weight[c] / total
+                                  : 1.0 / num_classes_;
+    }
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int>(nodes_.size() - 1);
+  };
+
+  if (level >= config.max_depth || n < config.min_samples_split ||
+      node_gini <= 1e-12) {
+    return make_leaf();
+  }
+
+  // Feature subset for this node.
+  int mtry = config.max_features;
+  if (mtry < 0) {
+    mtry = std::max(1, static_cast<int>(std::lround(std::sqrt(
+                           static_cast<double>(num_features_)))));
+  }
+  std::vector<int> features(num_features_);
+  std::iota(features.begin(), features.end(), 0);
+  if (mtry > 0 && mtry < num_features_) {
+    rng->Shuffle(&features);
+    features.resize(mtry);
+  }
+
+  // Best split search: sort once per candidate feature, sweep thresholds.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_impurity = node_gini;  // must strictly improve
+  std::vector<size_t> local(indices->begin() + begin, indices->begin() + end);
+
+  for (int f : features) {
+    std::sort(local.begin(), local.end(), [&](size_t a, size_t b) {
+      return data.feature(a, f) < data.feature(b, f);
+    });
+    std::vector<double> left_weight(num_classes_, 0.0);
+    double left_total = 0.0;
+    size_t left_count = 0;
+    for (size_t k = 0; k + 1 < n; ++k) {
+      size_t i = local[k];
+      left_weight[data.label(i)] += data.weight(i);
+      left_total += data.weight(i);
+      ++left_count;
+      double v = data.feature(i, f);
+      double v_next = data.feature(local[k + 1], f);
+      if (v_next <= v) continue;  // no threshold between equal values
+      if (left_count < config.min_samples_leaf ||
+          n - left_count < config.min_samples_leaf) {
+        continue;
+      }
+      // Weighted impurity of the split.
+      std::vector<double> right_weight(num_classes_);
+      for (int c = 0; c < num_classes_; ++c) {
+        right_weight[c] = class_weight[c] - left_weight[c];
+      }
+      double right_total = total - left_total;
+      double impurity =
+          (left_total * Gini(left_weight, left_total) +
+           right_total * Gini(right_weight, right_total)) /
+          total;
+      if (impurity + 1e-12 < best_impurity) {
+        best_impurity = impurity;
+        best_feature = f;
+        // Split at v itself ("x <= v goes left"): exact, unlike a midpoint,
+        // which can round to v_next for adjacent doubles and degenerate the
+        // partition.
+        best_threshold = v;
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  impurity_decrease_[best_feature] += total * (node_gini - best_impurity);
+
+  // Partition [begin, end) in place.
+  auto mid_it = std::partition(
+      indices->begin() + begin, indices->begin() + end, [&](size_t i) {
+        return data.feature(i, best_feature) <= best_threshold;
+      });
+  size_t mid = static_cast<size_t>(mid_it - indices->begin());
+  BRIQ_CHECK(mid > begin && mid < end) << "degenerate partition";
+
+  // Reserve this node's slot before building children.
+  nodes_.emplace_back();
+  int self = static_cast<int>(nodes_.size() - 1);
+  int left = Build(indices, begin, mid, level + 1, data, config, rng);
+  int right = Build(indices, mid, end, level + 1, data, config, rng);
+  nodes_[self].feature = best_feature;
+  nodes_[self].threshold = best_threshold;
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+std::vector<double> DecisionTree::PredictProba(const double* x) const {
+  BRIQ_CHECK(!nodes_.empty()) << "tree not fitted";
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    const Node& nd = nodes_[node];
+    node = x[nd.feature] <= nd.threshold ? nd.left : nd.right;
+  }
+  return nodes_[node].proba;
+}
+
+int DecisionTree::Predict(const double* x) const {
+  std::vector<double> p = PredictProba(x);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+}  // namespace briq::ml

@@ -1,0 +1,72 @@
+#ifndef BRIQ_ML_DECISION_TREE_H_
+#define BRIQ_ML_DECISION_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/random.h"
+
+namespace briq::ml {
+
+/// Hyperparameters of a CART tree.
+struct TreeConfig {
+  int max_depth = 16;
+  size_t min_samples_leaf = 1;
+  size_t min_samples_split = 2;
+  /// Number of features considered per split; 0 means all, -1 means
+  /// round(sqrt(num_features)) (the Random-Forest default).
+  int max_features = 0;
+};
+
+/// A CART decision tree for (weighted) multiclass classification using the
+/// gini impurity criterion. Numeric features only; categorical inputs are
+/// ordinal-encoded by the caller (trees split them by threshold, which is
+/// lossless for small cardinalities given enough depth).
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  /// Fits the tree on `data`. `rng` drives the per-node feature
+  /// subsampling (only consulted when config.max_features != 0).
+  void Fit(const Dataset& data, const TreeConfig& config, util::Rng* rng);
+
+  /// Class-probability estimates for a feature row (weighted class
+  /// distribution of the reached leaf). Size = num_classes seen in Fit.
+  std::vector<double> PredictProba(const double* x) const;
+
+  /// argmax of PredictProba.
+  int Predict(const double* x) const;
+
+  int num_classes() const { return num_classes_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  int depth() const { return depth_; }
+
+  /// Total gini-impurity decrease attributed to each feature (for feature
+  /// importance in the forest).
+  const std::vector<double>& impurity_decrease() const {
+    return impurity_decrease_;
+  }
+
+ private:
+  struct Node {
+    int feature = -1;          // -1 for leaves
+    double threshold = 0.0;    // go left if x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    std::vector<double> proba;  // leaves: normalized class distribution
+  };
+
+  int Build(std::vector<size_t>* indices, size_t begin, size_t end, int level,
+            const Dataset& data, const TreeConfig& config, util::Rng* rng);
+
+  std::vector<Node> nodes_;
+  int num_classes_ = 0;
+  int num_features_ = 0;
+  int depth_ = 0;
+  std::vector<double> impurity_decrease_;
+};
+
+}  // namespace briq::ml
+
+#endif  // BRIQ_ML_DECISION_TREE_H_

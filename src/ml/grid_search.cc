@@ -1,0 +1,42 @@
+#include "ml/grid_search.h"
+
+#include "util/logging.h"
+
+namespace briq::ml {
+
+std::vector<ParamMap> ExpandGrid(const ParamGrid& grid) {
+  std::vector<ParamMap> points = {{}};
+  for (const auto& [name, values] : grid) {
+    BRIQ_CHECK(!values.empty()) << "empty grid axis: " << name;
+    std::vector<ParamMap> next;
+    next.reserve(points.size() * values.size());
+    for (const ParamMap& p : points) {
+      for (double v : values) {
+        ParamMap q = p;
+        q[name] = v;
+        next.push_back(std::move(q));
+      }
+    }
+    points = std::move(next);
+  }
+  return points;
+}
+
+GridSearchResult GridSearch(
+    const ParamGrid& grid,
+    const std::function<double(const ParamMap&)>& score_fn) {
+  GridSearchResult result;
+  bool first = true;
+  for (const ParamMap& p : ExpandGrid(grid)) {
+    double score = score_fn(p);
+    ++result.evaluated;
+    if (first || score > result.best_score) {
+      result.best_score = score;
+      result.best_params = p;
+      first = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace briq::ml

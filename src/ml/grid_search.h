@@ -1,0 +1,36 @@
+#ifndef BRIQ_ML_GRID_SEARCH_H_
+#define BRIQ_ML_GRID_SEARCH_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace briq::ml {
+
+/// A single hyperparameter assignment, by name.
+using ParamMap = std::map<std::string, double>;
+
+/// Axes of the grid: parameter name -> candidate values.
+using ParamGrid = std::map<std::string, std::vector<double>>;
+
+/// Expands a grid into the full cross product of assignments, in
+/// deterministic (lexicographic by parameter name) order.
+std::vector<ParamMap> ExpandGrid(const ParamGrid& grid);
+
+/// Result of a grid search.
+struct GridSearchResult {
+  ParamMap best_params;
+  double best_score = 0.0;
+  size_t evaluated = 0;
+};
+
+/// Evaluates `score_fn` (higher is better) on every grid point and returns
+/// the argmax. Used for all hyperparameter tuning on the withheld
+/// validation split (paper §VII-C).
+GridSearchResult GridSearch(const ParamGrid& grid,
+                            const std::function<double(const ParamMap&)>& score_fn);
+
+}  // namespace briq::ml
+
+#endif  // BRIQ_ML_GRID_SEARCH_H_

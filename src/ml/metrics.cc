@@ -1,0 +1,139 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace briq::ml {
+
+BinaryCounts& BinaryCounts::operator+=(const BinaryCounts& other) {
+  true_positives += other.true_positives;
+  false_positives += other.false_positives;
+  false_negatives += other.false_negatives;
+  true_negatives += other.true_negatives;
+  return *this;
+}
+
+double BinaryCounts::Precision() const {
+  size_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+}
+
+double BinaryCounts::Recall() const {
+  size_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+}
+
+double BinaryCounts::F1() const {
+  double p = Precision();
+  double r = Recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+BinaryCounts CountBinary(const std::vector<int>& predicted,
+                         const std::vector<int>& gold, int positive_class) {
+  BRIQ_CHECK(predicted.size() == gold.size()) << "size mismatch";
+  BinaryCounts c;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    bool p = predicted[i] == positive_class;
+    bool g = gold[i] == positive_class;
+    if (p && g) ++c.true_positives;
+    else if (p && !g) ++c.false_positives;
+    else if (!p && g) ++c.false_negatives;
+    else ++c.true_negatives;
+  }
+  return c;
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  BRIQ_CHECK(scores.size() == labels.size()) << "size mismatch";
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Average ranks over ties, then Mann-Whitney U.
+  std::vector<double> rank(scores.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    double avg_rank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+
+  double pos_rank_sum = 0.0;
+  size_t num_pos = 0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1) {
+      pos_rank_sum += rank[k];
+      ++num_pos;
+    }
+  }
+  size_t num_neg = labels.size() - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+  double u = pos_rank_sum - static_cast<double>(num_pos) * (num_pos + 1) / 2.0;
+  return u / (static_cast<double>(num_pos) * num_neg);
+}
+
+double Entropy(const std::vector<double>& probs) {
+  double total = 0.0;
+  for (double p : probs) {
+    if (p > 0.0) total += p;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double p : probs) {
+    if (p <= 0.0) continue;
+    double q = p / total;
+    h -= q * std::log(q);
+  }
+  return h;
+}
+
+double NormalizedEntropy(const std::vector<double>& probs) {
+  size_t nonzero = 0;
+  for (double p : probs) {
+    if (p > 0.0) ++nonzero;
+  }
+  if (probs.size() <= 1) return 0.0;
+  if (nonzero <= 1) return 0.0;
+  return Entropy(probs) / std::log(static_cast<double>(probs.size()));
+}
+
+std::vector<std::vector<size_t>> ConfusionMatrix(
+    const std::vector<int>& predicted, const std::vector<int>& gold,
+    int num_classes) {
+  BRIQ_CHECK(predicted.size() == gold.size()) << "size mismatch";
+  std::vector<std::vector<size_t>> m(
+      num_classes, std::vector<size_t>(num_classes, 0));
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (gold[i] >= 0 && gold[i] < num_classes && predicted[i] >= 0 &&
+        predicted[i] < num_classes) {
+      ++m[gold[i]][predicted[i]];
+    }
+  }
+  return m;
+}
+
+BinaryCounts CountForClass(const std::vector<int>& predicted,
+                           const std::vector<int>& gold, int cls) {
+  BinaryCounts c;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    bool p = predicted[i] == cls;
+    bool g = gold[i] == cls;
+    if (p && g) ++c.true_positives;
+    else if (p && !g) ++c.false_positives;
+    else if (!p && g) ++c.false_negatives;
+    else ++c.true_negatives;
+  }
+  return c;
+}
+
+}  // namespace briq::ml

@@ -1,0 +1,55 @@
+#ifndef BRIQ_ML_METRICS_H_
+#define BRIQ_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace briq::ml {
+
+/// Counts underlying binary precision/recall. Aggregate by += over
+/// documents or types.
+struct BinaryCounts {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  size_t true_negatives = 0;
+
+  BinaryCounts& operator+=(const BinaryCounts& other);
+
+  /// tp / (tp + fp); 0 when undefined.
+  double Precision() const;
+  /// tp / (tp + fn); 0 when undefined.
+  double Recall() const;
+  /// Harmonic mean of precision and recall; 0 when undefined.
+  double F1() const;
+};
+
+/// Precision/recall/F1 for a fixed positive class over label vectors.
+BinaryCounts CountBinary(const std::vector<int>& predicted,
+                         const std::vector<int>& gold, int positive_class = 1);
+
+/// Area under the ROC curve for binary labels (1 = positive) given scores.
+/// Ties are handled by the rank-sum (Mann-Whitney) formulation. Returns 0.5
+/// when either class is absent.
+double RocAuc(const std::vector<double>& scores, const std::vector<int>& labels);
+
+/// Shannon entropy (nats) of a discrete distribution; `probs` is normalized
+/// internally. Zero entries contribute 0; returns 0 for empty input.
+double Entropy(const std::vector<double>& probs);
+
+/// Entropy normalized by log(n) into [0, 1]; 0 for n <= 1. The adaptive
+/// filter and the resolution ordering both use this scale-free form.
+double NormalizedEntropy(const std::vector<double>& probs);
+
+/// Multiclass confusion matrix: counts[gold][pred].
+std::vector<std::vector<size_t>> ConfusionMatrix(
+    const std::vector<int>& predicted, const std::vector<int>& gold,
+    int num_classes);
+
+/// Per-class one-vs-rest counts extracted from predictions.
+BinaryCounts CountForClass(const std::vector<int>& predicted,
+                           const std::vector<int>& gold, int cls);
+
+}  // namespace briq::ml
+
+#endif  // BRIQ_ML_METRICS_H_

@@ -1,0 +1,71 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace briq::ml {
+
+void RandomForest::Fit(const Dataset& data, const ForestConfig& config) {
+  BRIQ_CHECK(!data.empty()) << "cannot fit on empty dataset";
+  trees_.clear();
+  num_classes_ = data.num_classes();
+  num_features_ = data.num_features();
+
+  Dataset working = data.Subset([&] {
+    std::vector<size_t> all(data.size());
+    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+    return all;
+  }());
+  if (config.balance_classes) working.BalanceClassWeights();
+
+  util::Rng rng(config.seed);
+  trees_.resize(config.num_trees);
+  for (int t = 0; t < config.num_trees; ++t) {
+    if (config.bootstrap) {
+      std::vector<size_t> sample(working.size());
+      for (auto& idx : sample) idx = rng.UniformInt(working.size());
+      Dataset boot = working.Subset(sample);
+      trees_[t].Fit(boot, config.tree, &rng);
+    } else {
+      trees_[t].Fit(working, config.tree, &rng);
+    }
+  }
+}
+
+std::vector<double> RandomForest::PredictProba(const double* x) const {
+  BRIQ_CHECK(fitted()) << "forest not fitted";
+  std::vector<double> acc(num_classes_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    std::vector<double> p = tree.PredictProba(x);
+    for (size_t c = 0; c < p.size() && c < acc.size(); ++c) acc[c] += p[c];
+  }
+  for (double& v : acc) v /= static_cast<double>(trees_.size());
+  return acc;
+}
+
+int RandomForest::Predict(const double* x) const {
+  std::vector<double> p = PredictProba(x);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+double RandomForest::PredictPositiveProba(const std::vector<double>& x) const {
+  std::vector<double> p = PredictProba(x.data());
+  return p.size() > 1 ? p[1] : 0.0;
+}
+
+std::vector<double> RandomForest::FeatureImportance() const {
+  std::vector<double> total(num_features_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const auto& dec = tree.impurity_decrease();
+    for (int f = 0; f < num_features_; ++f) total[f] += dec[f];
+  }
+  double sum = 0.0;
+  for (double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+}  // namespace briq::ml

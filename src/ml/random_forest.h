@@ -1,0 +1,64 @@
+#ifndef BRIQ_ML_RANDOM_FOREST_H_
+#define BRIQ_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+
+namespace briq::ml {
+
+/// Hyperparameters of the Random Forest.
+struct ForestConfig {
+  int num_trees = 40;
+  TreeConfig tree;
+  /// Train each tree on a bootstrap sample of the training set.
+  bool bootstrap = true;
+  /// Reweight samples so classes carry equal total weight before training
+  /// (paper §VII-B).
+  bool balance_classes = true;
+  uint64_t seed = 42;
+
+  ForestConfig() { tree.max_features = -1; }  // sqrt(d) per split
+};
+
+/// A bagged ensemble of CART trees. Probabilities are the average of the
+/// per-tree leaf distributions (the soft analogue of the vote fraction the
+/// paper relies on; RF vote fractions are well calibrated [Niculescu-Mizil
+/// & Caruana 2005], which matters because stage-2 uses them as priors).
+class RandomForest {
+ public:
+  RandomForest() = default;
+
+  void Fit(const Dataset& data, const ForestConfig& config);
+
+  /// Averaged class probabilities. Size = num_classes at fit time.
+  std::vector<double> PredictProba(const double* x) const;
+  std::vector<double> PredictProba(const std::vector<double>& x) const {
+    return PredictProba(x.data());
+  }
+
+  /// argmax class.
+  int Predict(const double* x) const;
+  int Predict(const std::vector<double>& x) const { return Predict(x.data()); }
+
+  /// Probability of class 1 (binary convenience).
+  double PredictPositiveProba(const std::vector<double>& x) const;
+
+  /// Mean decrease in gini impurity per feature, normalized to sum to 1.
+  std::vector<double> FeatureImportance() const;
+
+  int num_classes() const { return num_classes_; }
+  size_t num_trees() const { return trees_.size(); }
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+  int num_features_ = 0;
+};
+
+}  // namespace briq::ml
+
+#endif  // BRIQ_ML_RANDOM_FOREST_H_

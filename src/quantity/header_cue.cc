@@ -1,0 +1,51 @@
+#include "quantity/header_cue.h"
+
+#include <string>
+#include <vector>
+
+#include "text/number_words.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace briq::quantity {
+
+HeaderCue ParseHeaderCue(std::string_view header_text) {
+  HeaderCue cue;
+  std::vector<text::Token> tokens = text::Tokenize(header_text);
+  std::vector<std::string> words;
+  words.reserve(tokens.size());
+  for (const auto& t : tokens) words.push_back(t.textual);
+
+  for (size_t i = 0; i < words.size(); ++i) {
+    // Scale words ("Millions", "Mio", "in Mio").
+    if (cue.scale == 1.0) {
+      if (auto mult = text::ScaleWordMultiplier(words[i])) {
+        // Ignore bare "k"/"m"/"b"/"t" letters in headers: too ambiguous
+        // ("M" could be "Male"). Require >= 2 chars or a known long form.
+        if (words[i].size() >= 2 || words[i] == "K") {
+          cue.scale = *mult;
+          continue;
+        }
+      }
+    }
+    // Units: symbols and words; multi-token forms like "g / km".
+    if (!cue.unit.has_value()) {
+      size_t consumed = 0;
+      auto unit = LookupUnitSequence(words, i, &consumed);
+      if (unit.has_value()) {
+        // Skip single ambiguous letters as units in headers too ("g" is a
+        // real unit but "G" alone in "G 20" is not; require symbol or len>=2
+        // or slash form).
+        bool symbolish = tokens[i].kind == text::TokenKind::kSymbol;
+        if (symbolish || consumed > 1 || words[i].size() >= 2) {
+          cue.unit = unit;
+          i += consumed - 1;
+          continue;
+        }
+      }
+    }
+  }
+  return cue;
+}
+
+}  // namespace briq::quantity

@@ -1,0 +1,28 @@
+#ifndef BRIQ_QUANTITY_HEADER_CUE_H_
+#define BRIQ_QUANTITY_HEADER_CUE_H_
+
+#include <optional>
+#include <string_view>
+
+#include "quantity/unit.h"
+
+namespace briq::quantity {
+
+/// Unit/scale context extracted from a table header, footer, or caption.
+/// "($ Millions)" yields unit=USD and scale=1e6; "Emission (g/km)" yields
+/// unit=g/km; "Income gains (in Mio)" yields scale=1e6. Paper §III: "we also
+/// attempt to extract information about the unit from each row and column
+/// header, footer, and the caption."
+struct HeaderCue {
+  std::optional<UnitInfo> unit;
+  double scale = 1.0;
+
+  bool empty() const { return !unit.has_value() && scale == 1.0; }
+};
+
+/// Scans header/caption text for unit symbols/words and scale words.
+HeaderCue ParseHeaderCue(std::string_view header_text);
+
+}  // namespace briq::quantity
+
+#endif  // BRIQ_QUANTITY_HEADER_CUE_H_

@@ -1,0 +1,31 @@
+#ifndef BRIQ_QUANTITY_NUMERIC_LITERAL_H_
+#define BRIQ_QUANTITY_NUMERIC_LITERAL_H_
+
+#include <string_view>
+
+#include "util/result.h"
+
+namespace briq::quantity {
+
+/// A parsed numeric literal: value plus surface precision (digits after the
+/// decimal separator).
+struct NumericLiteral {
+  double value = 0.0;
+  int precision = 0;
+  /// True when the literal used grouping separators ("1,234,567").
+  bool had_separators = false;
+};
+
+/// Parses a numeric token as produced by the tokenizer. Handles:
+///  - plain integers/decimals: "890", "3.26"
+///  - US grouping: "1,234.56", "1,144,716"
+///  - Indian grouping: "2,29,866"
+///  - European decimal comma: "0,877" (leading-zero heuristic) and "3,26"
+///    (final group shorter than 3)
+///  - European grouping: "1.234.567"
+/// Returns ParseError for anything else.
+util::Result<NumericLiteral> ParseNumericLiteral(std::string_view token);
+
+}  // namespace briq::quantity
+
+#endif  // BRIQ_QUANTITY_NUMERIC_LITERAL_H_

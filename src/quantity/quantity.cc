@@ -1,0 +1,30 @@
+#include "quantity/quantity.h"
+
+#include <algorithm>
+
+namespace briq::quantity {
+
+const char* ApproxIndicatorName(ApproxIndicator a) {
+  switch (a) {
+    case ApproxIndicator::kNone:
+      return "none";
+    case ApproxIndicator::kExact:
+      return "exact";
+    case ApproxIndicator::kApproximate:
+      return "approximate";
+    case ApproxIndicator::kUpperBound:
+      return "upper_bound";
+    case ApproxIndicator::kLowerBound:
+      return "lower_bound";
+  }
+  return "?";
+}
+
+double RelativeDifference(double a, double b) {
+  const double denom = std::max(std::fabs(a), std::fabs(b));
+  if (denom == 0.0) return 0.0;
+  if (!std::isfinite(a) || !std::isfinite(b)) return 1.0;
+  return std::min(1.0, std::fabs(a - b) / denom);
+}
+
+}  // namespace briq::quantity

@@ -1,0 +1,60 @@
+#ifndef BRIQ_QUANTITY_QUANTITY_H_
+#define BRIQ_QUANTITY_QUANTITY_H_
+
+#include <cmath>
+#include <string>
+
+#include "quantity/unit.h"
+#include "text/tokenizer.h"
+
+namespace briq::quantity {
+
+/// Modifier accompanying a text mention, inferred from cue words ("ca.",
+/// "about", "more than", ...). Feature f11 and a tagger feature.
+enum class ApproxIndicator {
+  kNone = 0,
+  kExact,
+  kApproximate,
+  kUpperBound,  // "less than", "under", "up to"
+  kLowerBound,  // "more than", "over", "at least"
+};
+
+const char* ApproxIndicatorName(ApproxIndicator a);
+
+/// A quantity recognized in text or in a table cell, with both its
+/// normalized value (scale words and bps applied; "0.5 million" -> 500000,
+/// "60 bps" -> 0.6 percent) and the raw surface-form value ("37" for "37K").
+struct ParsedQuantity {
+  double value = 0.0;         ///< normalized numeric value
+  double unnormalized = 0.0;  ///< surface numeric value before scaling
+  std::string unit;           ///< canonical unit name, empty if none
+  UnitCategory unit_category = UnitCategory::kNone;
+  int precision = 0;          ///< digits after the decimal point in surface
+  ApproxIndicator approx = ApproxIndicator::kNone;
+  bool is_complex = false;    ///< came from a complex pattern like "5 ± 1 km"
+  std::string surface;        ///< raw matched text, trimmed
+  text::Span span;            ///< char range in the source string
+
+  bool has_unit() const { return !unit.empty(); }
+
+  /// Order of magnitude of the normalized value: floor(log10 |value|);
+  /// 0 for value == 0.
+  int Scale() const {
+    if (value == 0.0 || !std::isfinite(value)) return 0;
+    return static_cast<int>(std::floor(std::log10(std::fabs(value))));
+  }
+
+  /// Order of magnitude of the surface (unnormalized) value.
+  int UnnormalizedScale() const {
+    if (unnormalized == 0.0 || !std::isfinite(unnormalized)) return 0;
+    return static_cast<int>(std::floor(std::log10(std::fabs(unnormalized))));
+  }
+};
+
+/// Relative difference |a - b| / max(|a|, |b|); 0 when both are 0.
+/// The paper's feature f6/f7 definition extended to handle signs and zeros.
+double RelativeDifference(double a, double b);
+
+}  // namespace briq::quantity
+
+#endif  // BRIQ_QUANTITY_QUANTITY_H_

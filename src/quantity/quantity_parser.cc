@@ -1,0 +1,534 @@
+#include "quantity/quantity_parser.h"
+
+#include <cctype>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "quantity/numeric_literal.h"
+#include "text/number_words.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace briq::quantity {
+
+namespace {
+
+using text::Token;
+using text::TokenKind;
+
+bool Adjacent(const Token& a, const Token& b) {
+  return a.span.end == b.span.begin;
+}
+
+bool IsMonthWord(std::string_view w) {
+  static const auto& kMonths = *new std::unordered_set<std::string>{
+      "january", "february", "march",     "april",   "may",      "june",
+      "july",    "august",   "september", "october", "november", "december",
+      "jan",     "feb",      "mar",       "apr",     "jun",      "jul",
+      "aug",     "sep",      "sept",      "oct",     "nov",      "dec"};
+  return kMonths.count(util::ToLower(w)) > 0;
+}
+
+bool IsHeadingWord(std::string_view w) {
+  static const auto& kWords = *new std::unordered_set<std::string>{
+      "section", "chapter", "figure", "fig", "table", "page", "appendix",
+      "part", "item", "question", "step", "no"};
+  return kWords.count(util::ToLower(w)) > 0;
+}
+
+// Scale suffixes that may be glued to the number ("37K") or follow it.
+std::optional<double> AdjacentScaleSuffix(std::string_view w) {
+  static const auto& kSuffixes = *new std::unordered_map<std::string, double>{
+      {"k", 1e3}, {"m", 1e6}, {"mm", 1e6}, {"b", 1e9},
+      {"bn", 1e9}, {"t", 1e12},
+  };
+  auto it = kSuffixes.find(util::ToLower(w));
+  if (it == kSuffixes.end()) return std::nullopt;
+  return it->second;
+}
+
+// Full scale words usable with a space ("3.26 billion", "70 Mio").
+std::optional<double> SpacedScaleWord(std::string_view w) {
+  static const auto& kWords = *new std::unordered_map<std::string, double>{
+      {"thousand", 1e3}, {"thousands", 1e3}, {"million", 1e6},
+      {"millions", 1e6}, {"mio", 1e6},       {"mln", 1e6},
+      {"billion", 1e9},  {"billions", 1e9},  {"bn", 1e9},
+      {"trillion", 1e12}, {"trillions", 1e12}, {"lakh", 1e5},
+      {"crore", 1e7},
+  };
+  auto it = kWords.find(util::ToLower(w));
+  if (it == kWords.end()) return std::nullopt;
+  return it->second;
+}
+
+bool IsPlusMinus(const Token& t) {
+  return t.textual == "\xC2\xB1";  // ±
+}
+
+}  // namespace
+
+ApproxIndicator ApproxCue(std::string_view word) {
+  static const auto& kCues =
+      *new std::unordered_map<std::string, ApproxIndicator>{
+          {"about", ApproxIndicator::kApproximate},
+          {"around", ApproxIndicator::kApproximate},
+          {"approximately", ApproxIndicator::kApproximate},
+          {"approx", ApproxIndicator::kApproximate},
+          {"nearly", ApproxIndicator::kApproximate},
+          {"almost", ApproxIndicator::kApproximate},
+          {"roughly", ApproxIndicator::kApproximate},
+          {"ca", ApproxIndicator::kApproximate},
+          {"circa", ApproxIndicator::kApproximate},
+          {"some", ApproxIndicator::kApproximate},
+          {"~", ApproxIndicator::kApproximate},
+          {"exactly", ApproxIndicator::kExact},
+          {"precisely", ApproxIndicator::kExact},
+          {"over", ApproxIndicator::kLowerBound},
+          {"above", ApproxIndicator::kLowerBound},
+          {"exceeding", ApproxIndicator::kLowerBound},
+          {"under", ApproxIndicator::kUpperBound},
+          {"below", ApproxIndicator::kUpperBound},
+          {"within", ApproxIndicator::kUpperBound},
+      };
+  auto it = kCues.find(util::ToLower(word));
+  return it == kCues.end() ? ApproxIndicator::kNone : it->second;
+}
+
+namespace {
+
+/// Token-driven extraction shared by text and cell parsing.
+class Extractor {
+ public:
+  Extractor(std::string_view txt, const ExtractionOptions& options,
+            bool cell_mode)
+      : source_(txt),
+        options_(options),
+        cell_mode_(cell_mode),
+        tokens_(text::Tokenize(txt)) {}
+
+  std::vector<ParsedQuantity> Run() {
+    std::vector<ParsedQuantity> out;
+    size_t i = 0;
+    while (i < tokens_.size()) {
+      size_t next = i;
+      std::optional<ParsedQuantity> q = TryExtractAt(i, &next);
+      if (q.has_value()) {
+        out.push_back(std::move(*q));
+        i = next;
+      } else {
+        i = next > i ? next : i + 1;
+      }
+    }
+    return out;
+  }
+
+ private:
+  const Token& tok(size_t i) const { return tokens_[i]; }
+  bool valid(size_t i) const { return i < tokens_.size(); }
+
+  bool IsCurrencyToken(size_t i, UnitInfo* unit) const {
+    if (!valid(i)) return false;
+    auto u = LookupUnit(tok(i).textual);
+    if (u && u->category == UnitCategory::kCurrency) {
+      // Only symbols and all-caps codes act as currency *prefixes*;
+      // words like "pounds" follow the number instead.
+      if (tok(i).kind == TokenKind::kSymbol ||
+          tok(i).textual == util::ToUpper(tok(i).textual)) {
+        *unit = *u;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Returns the mention starting at token i, advancing *next past it.
+  std::optional<ParsedQuantity> TryExtractAt(size_t i, size_t* next) {
+    *next = i + 1;
+    const Token& t = tok(i);
+
+    UnitInfo prefix_unit;
+    if (IsCurrencyToken(i, &prefix_unit) && t.kind != TokenKind::kNumber) {
+      // Currency prefix: "$3.26 billion", "EUR 500", "$(9.49) Million".
+      size_t j = i + 1;
+      bool neg_paren = false;
+      if (valid(j) && tok(j).textual == "(" && valid(j + 1) &&
+          tok(j + 1).kind == TokenKind::kNumber) {
+        neg_paren = true;
+        ++j;
+      }
+      if (!valid(j) || tok(j).kind != TokenKind::kNumber) return std::nullopt;
+      auto q = ParseNumberCore(j, i, &j);
+      if (!q.has_value()) {
+        *next = j;
+        return std::nullopt;
+      }
+      if (neg_paren) {
+        if (valid(j) && tok(j).textual == ")") ++j;
+        q->value = -q->value;
+        q->unnormalized = -q->unnormalized;
+        // Trailing scale/unit words may follow the closing paren.
+        ConsumeScaleAndUnit(&*q, &j);
+      }
+      if (q->unit.empty()) {
+        q->unit = prefix_unit.canonical;
+        q->unit_category = prefix_unit.category;
+      }
+      FinishMention(&*q, i, j);
+      *next = j;
+      return q;
+    }
+
+    if (t.kind == TokenKind::kNumber) {
+      if (ShouldFilterNumber(i, next)) return std::nullopt;
+      size_t j = i;
+      size_t start = i;
+      // Leading sign: "-5" with '-' directly attached.
+      bool negative = false;
+      if (i > 0 && tok(i - 1).textual == "-" && Adjacent(tok(i - 1), t) &&
+          (i < 2 || tok(i - 2).kind != TokenKind::kNumber)) {
+        negative = true;
+        start = i - 1;
+      }
+      // Currency code word right before: "EUR 500".
+      UnitInfo pre_unit;
+      bool has_pre_unit = i > 0 && IsCurrencyToken(i - 1, &pre_unit) &&
+                          tok(i - 1).kind == TokenKind::kWord;
+      if (has_pre_unit) start = i - 1;
+
+      auto q = ParseNumberCore(i, start, &j);
+      if (!q.has_value()) {
+        *next = j;
+        return std::nullopt;
+      }
+      if (negative) {
+        q->value = -q->value;
+        q->unnormalized = -q->unnormalized;
+      }
+      if (q->unit.empty() && has_pre_unit) {
+        q->unit = pre_unit.canonical;
+        q->unit_category = pre_unit.category;
+      }
+      FinishMention(&*q, start, j);
+      *next = j;
+      return q;
+    }
+
+    // Spelled-out numbers: "twenty pounds", "two million".
+    if (options_.spelled_numbers && t.kind == TokenKind::kWord &&
+        text::IsNumberWord(t.textual)) {
+      return TryExtractSpelled(i, next);
+    }
+
+    return std::nullopt;
+  }
+
+  // Parses the numeric core + complex part + scale + unit, starting at the
+  // number token `i`. `mention_start` is the first token of the mention
+  // (may be a sign or currency prefix). Advances *j past consumed tokens.
+  std::optional<ParsedQuantity> ParseNumberCore(size_t i, size_t mention_start,
+                                                size_t* j) {
+    (void)mention_start;
+    auto lit = ParseNumericLiteral(tok(i).textual);
+    *j = i + 1;
+    if (!lit.ok()) return std::nullopt;  // e.g. "1.2.3" heading identifier
+
+    ParsedQuantity q;
+    q.value = lit->value;
+    q.unnormalized = lit->value;
+    q.precision = lit->precision;
+
+    // Identifier glued to the number ("10x", "7th") — but scale suffixes
+    // ("37K") are legitimate.
+    if (valid(*j) && tok(*j).kind == TokenKind::kWord &&
+        Adjacent(tok(*j - 1), tok(*j))) {
+      auto suffix = AdjacentScaleSuffix(tok(*j).textual);
+      if (suffix.has_value()) {
+        q.value *= *suffix;
+        ++*j;
+      } else if (options_.filter_identifiers && !cell_mode_) {
+        return std::nullopt;  // "7th", "10x"
+      } else if (cell_mode_) {
+        // In cells, a glued word is usually an annotation; stop the number.
+      }
+    }
+
+    // Complex quantity: "5 ± 1".
+    if (valid(*j) && IsPlusMinus(tok(*j)) && valid(*j + 1) &&
+        tok(*j + 1).kind == TokenKind::kNumber) {
+      q.is_complex = true;
+      q.approx = ApproxIndicator::kApproximate;
+      *j += 2;
+    }
+
+    ConsumeScaleAndUnit(&q, j);
+    return q;
+  }
+
+  // Consumes optional scale words and unit tokens following the number.
+  void ConsumeScaleAndUnit(ParsedQuantity* q, size_t* j) {
+    // Spaced scale word ("3.26 billion", "70 Mio").
+    if (valid(*j) && tok(*j).kind == TokenKind::kWord) {
+      if (auto mult = SpacedScaleWord(tok(*j).textual)) {
+        q->value *= *mult;
+        ++*j;
+      }
+    }
+    // Unit (symbol, word, or multi-token like "per cent", "g / km").
+    if (valid(*j)) {
+      std::vector<std::string> tail;
+      const size_t kLookahead = 3;
+      for (size_t k = *j; k < tokens_.size() && k < *j + kLookahead; ++k) {
+        tail.push_back(tok(k).textual);
+      }
+      size_t consumed = 0;
+      auto unit = LookupUnitSequence(tail, 0, &consumed);
+      if (unit.has_value()) {
+        // Percent-family normalization: bps -> percent hundredths.
+        if (unit->category == UnitCategory::kPercent) {
+          q->value *= unit->to_base;
+          q->unit = "percent";
+        } else {
+          q->unit = unit->canonical;
+        }
+        q->unit_category = unit->category;
+        *j += consumed;
+        // Currency refinement: "$70 million CDN" — a currency word directly
+        // after another currency assignment narrows it.
+        if (valid(*j)) {
+          auto refine = LookupUnit(tok(*j).textual);
+          if (refine && refine->category == UnitCategory::kCurrency &&
+              q->unit_category == UnitCategory::kCurrency) {
+            q->unit = refine->canonical;
+            ++*j;
+          }
+        }
+      }
+    }
+  }
+
+  std::optional<ParsedQuantity> TryExtractSpelled(size_t i, size_t* next) {
+    std::vector<std::string> words;
+    size_t j = i;
+    while (valid(j) && tok(j).kind == TokenKind::kWord &&
+           (text::IsNumberWord(tok(j).textual) ||
+            (util::EqualsIgnoreCase(tok(j).textual, "and") && !words.empty()))) {
+      words.push_back(tok(j).textual);
+      ++j;
+    }
+    while (!words.empty() && util::EqualsIgnoreCase(words.back(), "and")) {
+      words.pop_back();
+      --j;
+    }
+    *next = j;
+    auto value = text::ParseNumberWords(words);
+    if (!value.has_value()) return std::nullopt;
+
+    ParsedQuantity q;
+    q.value = *value;
+    q.unnormalized = *value;
+    q.precision = 0;
+
+    // Optional unit after the phrase.
+    std::vector<std::string> tail;
+    for (size_t k = j; k < tokens_.size() && k < j + 3; ++k) {
+      tail.push_back(tok(k).textual);
+    }
+    size_t consumed = 0;
+    auto unit = LookupUnitSequence(tail, 0, &consumed);
+    bool has_unit = unit.has_value();
+    if (has_unit) {
+      if (unit->category == UnitCategory::kPercent) {
+        q.value *= unit->to_base;
+        q.unit = "percent";
+      } else {
+        q.unit = unit->canonical;
+      }
+      q.unit_category = unit->category;
+      j += consumed;
+      *next = j;
+    }
+
+    // Acceptance rule: avoid firing on pronoun-like "one"/"no one" uses.
+    if (!has_unit && words.size() < 2 && q.value < 13) return std::nullopt;
+
+    FinishMention(&q, i, j);
+    return q;
+  }
+
+  // Filters for non-informative numbers (text mode only unless noted).
+  bool ShouldFilterNumber(size_t i, size_t* next) {
+    const Token& t = tok(i);
+
+    // Glued previous word: identifiers like "Win10", "CO2", "2Q"-reversed.
+    if (options_.filter_identifiers && i > 0 &&
+        tok(i - 1).kind == TokenKind::kWord && Adjacent(tok(i - 1), t)) {
+      return true;
+    }
+    // Bracketed references "[2]".
+    if (options_.filter_identifiers && i > 0 && valid(i + 1) &&
+        tok(i - 1).textual == "[" && tok(i + 1).textual == "]") {
+      *next = i + 2;
+      return true;
+    }
+    // Heading numbers: "Section 1.1", "Table 2".
+    if (options_.filter_headings && i > 0 &&
+        tok(i - 1).kind == TokenKind::kWord &&
+        IsHeadingWord(tok(i - 1).textual)) {
+      return true;
+    }
+    if (!cell_mode_ && options_.filter_times_dates) {
+      // Times "10:30(:59)".
+      if (valid(i + 2) && tok(i + 1).textual == ":" &&
+          tok(i + 2).kind == TokenKind::kNumber) {
+        size_t j = i + 2;
+        while (valid(j + 2) && tok(j + 1).textual == ":" &&
+               tok(j + 2).kind == TokenKind::kNumber) {
+          j += 2;
+        }
+        *next = j + 1;
+        return true;
+      }
+      if (i > 0 && tok(i - 1).textual == ":" && i > 1 &&
+          tok(i - 2).kind == TokenKind::kNumber) {
+        return true;  // tail of a time already skipped
+      }
+      // Slashed dates "12/05/2014".
+      if (valid(i + 4) && tok(i + 1).textual == "/" &&
+          tok(i + 2).kind == TokenKind::kNumber &&
+          tok(i + 3).textual == "/" &&
+          tok(i + 4).kind == TokenKind::kNumber) {
+        *next = i + 5;
+        return true;
+      }
+      // Day-of-month next to a month word: "18 December", "August 7".
+      if ((i > 0 && IsMonthWord(tok(i - 1).textual)) ||
+          (valid(i + 1) && IsMonthWord(tok(i + 1).textual))) {
+        return true;
+      }
+    }
+    if (!cell_mode_ && options_.filter_phones) {
+      // Chains of >= 3 dash-joined numbers: "555-123-4567".
+      size_t j = i;
+      int parts = 1;
+      while (valid(j + 2) && tok(j + 1).textual == "-" &&
+             tok(j + 2).kind == TokenKind::kNumber) {
+        j += 2;
+        ++parts;
+      }
+      if (parts >= 3) {
+        *next = j + 1;
+        return true;
+      }
+    }
+    if (!cell_mode_ && options_.filter_years) {
+      // Standalone 4-digit year 1900..2100: integer, no separators, no
+      // decimal, not followed by scale/unit.
+      auto lit = ParseNumericLiteral(t.textual);
+      if (lit.ok() && !lit->had_separators && lit->precision == 0 &&
+          lit->value >= 1900 && lit->value <= 2100 &&
+          t.textual.size() == 4) {
+        bool has_follow_unit = false;
+        if (valid(i + 1)) {
+          std::vector<std::string> tail = {tok(i + 1).textual};
+          size_t consumed = 0;
+          has_follow_unit =
+              LookupUnitSequence(tail, 0, &consumed).has_value() ||
+              SpacedScaleWord(tok(i + 1).textual).has_value();
+        }
+        if (!has_follow_unit) return true;
+      }
+    }
+    return false;
+  }
+
+  void FinishMention(ParsedQuantity* q, size_t first_tok, size_t end_tok) {
+    q->span = text::Span{tok(first_tok).span.begin,
+                         tok(end_tok - 1).span.end};
+    q->surface = std::string(
+        source_.substr(q->span.begin, q->span.end - q->span.begin));
+    if (q->approx == ApproxIndicator::kNone && !cell_mode_) {
+      q->approx = LookBackForCue(first_tok);
+    }
+  }
+
+  ApproxIndicator LookBackForCue(size_t mention_start) const {
+    const size_t kWindow = 3;
+    size_t lo = mention_start >= kWindow ? mention_start - kWindow : 0;
+    for (size_t j = mention_start; j-- > lo;) {
+      const Token& t = tok(j);
+      if (t.kind == TokenKind::kPunctuation &&
+          (t.textual == "." || t.textual == ";")) {
+        // Don't cross sentence-ish boundaries — except the dot of an
+        // abbreviated cue like "ca." or "approx.".
+        bool abbreviation_dot =
+            t.textual == "." && j > 0 &&
+            tok(j - 1).kind == TokenKind::kWord &&
+            ApproxCue(tok(j - 1).textual) != ApproxIndicator::kNone;
+        if (!abbreviation_dot) break;
+        continue;
+      }
+      // Two-word cues.
+      if (valid(j + 1) && tok(j).kind == TokenKind::kWord &&
+          tok(j + 1).kind == TokenKind::kWord) {
+        std::string two = util::ToLower(tok(j).textual) + " " +
+                          util::ToLower(tok(j + 1).textual);
+        if (two == "more than" || two == "at least" || two == "no less") {
+          return ApproxIndicator::kLowerBound;
+        }
+        if (two == "less than" || two == "at most" || two == "up to" ||
+            two == "fewer than" || two == "no more") {
+          return ApproxIndicator::kUpperBound;
+        }
+      }
+      ApproxIndicator a = ApproxCue(t.textual);
+      if (a != ApproxIndicator::kNone) return a;
+    }
+    return ApproxIndicator::kNone;
+  }
+
+  std::string_view source_;
+  ExtractionOptions options_;
+  bool cell_mode_;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<ParsedQuantity> ExtractQuantities(std::string_view txt,
+                                              const ExtractionOptions& options) {
+  return Extractor(txt, options, /*cell_mode=*/false).Run();
+}
+
+std::optional<ParsedQuantity> ParseCellQuantity(std::string_view cell) {
+  std::string_view trimmed = util::Trim(cell);
+  if (trimmed.empty()) return std::nullopt;
+
+  // Accounting negatives: "(9.49)" / "$(9.49) Million" handled by the
+  // extractor for the $ form; handle bare "(x)" here.
+  bool negative = false;
+  std::string owned(trimmed);
+  if (owned.size() >= 3 && owned.front() == '(' && owned.back() == ')') {
+    negative = true;
+    owned = owned.substr(1, owned.size() - 2);
+  }
+
+  ExtractionOptions opts;
+  opts.filter_years = false;
+  opts.filter_times_dates = false;
+  opts.filter_phones = false;
+  opts.spelled_numbers = false;
+  auto mentions = Extractor(owned, opts, /*cell_mode=*/true).Run();
+  if (mentions.empty()) return std::nullopt;
+  // A quantity cell holds exactly one number (the extractor may also see
+  // footnote digits; take the first).
+  ParsedQuantity q = std::move(mentions.front());
+  if (negative) {
+    q.value = -q.value;
+    q.unnormalized = -q.unnormalized;
+    q.surface = std::string(trimmed);
+  }
+  return q;
+}
+
+}  // namespace briq::quantity

@@ -1,0 +1,46 @@
+#ifndef BRIQ_QUANTITY_QUANTITY_PARSER_H_
+#define BRIQ_QUANTITY_QUANTITY_PARSER_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "quantity/quantity.h"
+
+namespace briq::quantity {
+
+/// Controls which non-informative numbers are filtered out of text
+/// extraction (paper §II-A: "we eliminated date/time, headings, phone
+/// numbers and references").
+struct ExtractionOptions {
+  bool filter_years = true;        // standalone 1900..2100 integers
+  bool filter_times_dates = true;  // 10:30, 12/05/2014, "December 18"
+  bool filter_identifiers = true;  // Win10, 2Q, [2]
+  bool filter_phones = true;       // 555-123-4567
+  bool filter_headings = true;     // "Section 1.1"
+  bool spelled_numbers = true;     // "twenty pounds"
+};
+
+/// Extracts all quantity mentions from free-running text. Complex
+/// quantities ("5 ± 1 km") are recognized first so they are not split into
+/// multiple mentions; simple quantities (currency-prefixed, percent,
+/// scale-suffixed, spelled-out) are extracted afterwards. Mentions carry
+/// normalized values, units, precision, spans, and approximation indicators
+/// inferred from nearby cue words.
+std::vector<ParsedQuantity> ExtractQuantities(
+    std::string_view txt, const ExtractionOptions& options = {});
+
+/// Parses a table cell expected to hold (at most) one quantity, e.g.
+/// "36900", "$232.8 Million", "$(9.49) Million" (negative), "12.7%",
+/// "60 bps", "1,144,716", "--" (none). Returns nullopt when the cell does
+/// not contain a usable quantity.
+std::optional<ParsedQuantity> ParseCellQuantity(std::string_view cell);
+
+/// Classifies the approximation cue conveyed by `word` ("about" ->
+/// kApproximate, "exactly" -> kExact, "over" -> kLowerBound, ...); kNone if
+/// the word is not a cue.
+ApproxIndicator ApproxCue(std::string_view word);
+
+}  // namespace briq::quantity
+
+#endif  // BRIQ_QUANTITY_QUANTITY_PARSER_H_

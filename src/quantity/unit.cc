@@ -1,0 +1,180 @@
+#include "quantity/unit.h"
+
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace briq::quantity {
+
+const char* UnitCategoryName(UnitCategory c) {
+  switch (c) {
+    case UnitCategory::kNone:
+      return "none";
+    case UnitCategory::kCurrency:
+      return "currency";
+    case UnitCategory::kPercent:
+      return "percent";
+    case UnitCategory::kMass:
+      return "mass";
+    case UnitCategory::kLength:
+      return "length";
+    case UnitCategory::kSpeed:
+      return "speed";
+    case UnitCategory::kEnergy:
+      return "energy";
+    case UnitCategory::kEmission:
+      return "emission";
+    case UnitCategory::kFuelEconomy:
+      return "fuel_economy";
+    case UnitCategory::kData:
+      return "data";
+    case UnitCategory::kTime:
+      return "time";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Entry {
+  const char* surface;
+  const char* canonical;
+  UnitCategory category;
+  double to_base;
+};
+
+// Surface forms are matched lowercased except pure symbols.
+constexpr Entry kEntries[] = {
+    // Currencies.
+    {"$", "USD", UnitCategory::kCurrency, 1.0},
+    {"usd", "USD", UnitCategory::kCurrency, 1.0},
+    {"dollar", "USD", UnitCategory::kCurrency, 1.0},
+    {"dollars", "USD", UnitCategory::kCurrency, 1.0},
+    {"\xE2\x82\xAC", "EUR", UnitCategory::kCurrency, 1.0},  // €
+    {"eur", "EUR", UnitCategory::kCurrency, 1.0},
+    {"euro", "EUR", UnitCategory::kCurrency, 1.0},
+    {"euros", "EUR", UnitCategory::kCurrency, 1.0},
+    {"\xC2\xA3", "GBP", UnitCategory::kCurrency, 1.0},  // £
+    {"gbp", "GBP", UnitCategory::kCurrency, 1.0},
+    {"pound", "GBP", UnitCategory::kCurrency, 1.0},
+    {"pounds", "GBP", UnitCategory::kCurrency, 1.0},
+    {"cdn", "CDN", UnitCategory::kCurrency, 1.0},
+    {"cad", "CDN", UnitCategory::kCurrency, 1.0},
+    {"\xC2\xA5", "JPY", UnitCategory::kCurrency, 1.0},  // ¥
+    {"jpy", "JPY", UnitCategory::kCurrency, 1.0},
+    {"yen", "JPY", UnitCategory::kCurrency, 1.0},
+    {"inr", "INR", UnitCategory::kCurrency, 1.0},
+    {"rs", "INR", UnitCategory::kCurrency, 1.0},
+    {"rupees", "INR", UnitCategory::kCurrency, 1.0},
+    // Percent family (base: percent).
+    {"%", "percent", UnitCategory::kPercent, 1.0},
+    {"percent", "percent", UnitCategory::kPercent, 1.0},
+    {"pct", "percent", UnitCategory::kPercent, 1.0},
+    {"percentage", "percent", UnitCategory::kPercent, 1.0},
+    {"bps", "bps", UnitCategory::kPercent, 0.01},
+    {"bp", "bps", UnitCategory::kPercent, 0.01},
+    // Mass (base: kg).
+    {"kg", "kg", UnitCategory::kMass, 1.0},
+    {"kilogram", "kg", UnitCategory::kMass, 1.0},
+    {"kilograms", "kg", UnitCategory::kMass, 1.0},
+    {"g", "g", UnitCategory::kMass, 1e-3},
+    {"gram", "g", UnitCategory::kMass, 1e-3},
+    {"grams", "g", UnitCategory::kMass, 1e-3},
+    {"mg", "mg", UnitCategory::kMass, 1e-6},
+    {"lb", "lb", UnitCategory::kMass, 0.4536},
+    {"lbs", "lb", UnitCategory::kMass, 0.4536},
+    {"tonne", "tonne", UnitCategory::kMass, 1e3},
+    {"tonnes", "tonne", UnitCategory::kMass, 1e3},
+    {"ton", "tonne", UnitCategory::kMass, 1e3},
+    {"tons", "tonne", UnitCategory::kMass, 1e3},
+    // Length (base: m).
+    {"km", "km", UnitCategory::kLength, 1e3},
+    {"kilometers", "km", UnitCategory::kLength, 1e3},
+    {"kilometres", "km", UnitCategory::kLength, 1e3},
+    {"mi", "mile", UnitCategory::kLength, 1609.34},
+    {"mile", "mile", UnitCategory::kLength, 1609.34},
+    {"miles", "mile", UnitCategory::kLength, 1609.34},
+    {"meters", "m", UnitCategory::kLength, 1.0},
+    {"metres", "m", UnitCategory::kLength, 1.0},
+    // Speed.
+    {"mph", "mph", UnitCategory::kSpeed, 0.447},
+    {"km/h", "km/h", UnitCategory::kSpeed, 0.2778},
+    {"kmh", "km/h", UnitCategory::kSpeed, 0.2778},
+    // Energy.
+    {"kwh", "kWh", UnitCategory::kEnergy, 1.0},
+    {"mwh", "MWh", UnitCategory::kEnergy, 1e3},
+    {"kwh/100km", "kWh/100km", UnitCategory::kEnergy, 1.0},
+    // Emissions.
+    {"g/km", "g/km", UnitCategory::kEmission, 1.0},
+    // Fuel economy.
+    {"mpge", "MPGe", UnitCategory::kFuelEconomy, 1.0},
+    {"mpg", "mpg", UnitCategory::kFuelEconomy, 1.0},
+    // Data.
+    {"gb", "GB", UnitCategory::kData, 1.0},
+    {"mb", "MB", UnitCategory::kData, 1e-3},
+    {"tb", "TB", UnitCategory::kData, 1e3},
+    // Time.
+    {"hours", "hour", UnitCategory::kTime, 1.0},
+    {"hour", "hour", UnitCategory::kTime, 1.0},
+    {"minutes", "minute", UnitCategory::kTime, 1.0 / 60},
+    {"seconds", "second", UnitCategory::kTime, 1.0 / 3600},
+    {"days", "day", UnitCategory::kTime, 24.0},
+    {"years", "year", UnitCategory::kTime, 24.0 * 365},
+};
+
+const std::unordered_map<std::string, UnitInfo>& UnitMap() {
+  static const auto& kMap = [] {
+    auto* m = new std::unordered_map<std::string, UnitInfo>();
+    for (const Entry& e : kEntries) {
+      (*m)[e.surface] = UnitInfo{e.canonical, e.category, e.to_base};
+    }
+    return m;
+  }();
+  return *kMap;
+}
+
+}  // namespace
+
+std::optional<UnitInfo> LookupUnit(std::string_view token) {
+  const auto& map = UnitMap();
+  auto it = map.find(util::ToLower(token));
+  if (it == map.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<UnitInfo> LookupUnitSequence(
+    const std::vector<std::string>& tokens, size_t i, size_t* consumed) {
+  *consumed = 0;
+  if (i >= tokens.size()) return std::nullopt;
+
+  // Multi-token forms first (longest match wins).
+  std::string t0 = util::ToLower(tokens[i]);
+  if (i + 1 < tokens.size()) {
+    std::string t1 = util::ToLower(tokens[i + 1]);
+    // "per cent".
+    if (t0 == "per" && t1 == "cent") {
+      *consumed = 2;
+      return LookupUnit("percent");
+    }
+    // "basis points".
+    if (t0 == "basis" && (t1 == "points" || t1 == "point")) {
+      *consumed = 2;
+      return LookupUnit("bps");
+    }
+    // Slash-separated: "g / km", "km / h".
+    if (i + 2 < tokens.size() && tokens[i + 1] == "/") {
+      std::string joined = t0 + "/" + util::ToLower(tokens[i + 2]);
+      if (auto u = LookupUnit(joined)) {
+        *consumed = 3;
+        return u;
+      }
+    }
+  }
+  if (auto u = LookupUnit(tokens[i])) {
+    *consumed = 1;
+    return u;
+  }
+  return std::nullopt;
+}
+
+}  // namespace briq::quantity

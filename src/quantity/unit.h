@@ -1,0 +1,56 @@
+#ifndef BRIQ_QUANTITY_UNIT_H_
+#define BRIQ_QUANTITY_UNIT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace briq::quantity {
+
+/// Coarse unit families. Two units in the same category are comparable in
+/// principle (e.g., USD and EUR are both currencies) but only identical
+/// canonical units yield a *strong* unit match (feature f8).
+enum class UnitCategory {
+  kNone = 0,
+  kCurrency,
+  kPercent,
+  kMass,
+  kLength,
+  kSpeed,
+  kEnergy,
+  kEmission,     // g/km etc.
+  kFuelEconomy,  // MPGe, mpg
+  kData,         // GB, MB
+  kTime,
+};
+
+const char* UnitCategoryName(UnitCategory c);
+
+/// A resolved unit: canonical name plus category plus the factor that maps
+/// a value expressed in this unit into the category's base unit (percent is
+/// based in "percent", so bps has factor 0.01).
+struct UnitInfo {
+  std::string canonical;  // "USD", "EUR", "percent", "bps", "g/km", ...
+  UnitCategory category = UnitCategory::kNone;
+  double to_base = 1.0;
+
+  bool operator==(const UnitInfo& other) const {
+    return canonical == other.canonical && category == other.category;
+  }
+};
+
+/// Looks up a single token ("$", "EUR", "dollars", "%", "bps", "MPGe").
+/// Case-insensitive for words; symbols matched exactly.
+std::optional<UnitInfo> LookupUnit(std::string_view token);
+
+/// Looks up a multi-token unit starting at `tokens[i]` ("per cent",
+/// "basis points", "g / km", "km / h"). On success sets `*consumed` to the
+/// number of tokens taken (>= 1) and returns the unit; otherwise falls back
+/// to single-token lookup.
+std::optional<UnitInfo> LookupUnitSequence(
+    const std::vector<std::string>& tokens, size_t i, size_t* consumed);
+
+}  // namespace briq::quantity
+
+#endif  // BRIQ_QUANTITY_UNIT_H_

@@ -1,0 +1,48 @@
+#include "table/mention.h"
+
+#include "util/string_util.h"
+
+namespace briq::table {
+
+const char* AggregateFunctionName(AggregateFunction f) {
+  switch (f) {
+    case AggregateFunction::kNone:
+      return "single";
+    case AggregateFunction::kSum:
+      return "sum";
+    case AggregateFunction::kDiff:
+      return "diff";
+    case AggregateFunction::kPercentage:
+      return "percent";
+    case AggregateFunction::kChangeRatio:
+      return "ratio";
+    case AggregateFunction::kAverage:
+      return "avg";
+    case AggregateFunction::kMax:
+      return "max";
+    case AggregateFunction::kMin:
+      return "min";
+  }
+  return "?";
+}
+
+bool TableMention::SameTarget(const TableMention& other) const {
+  return table_index == other.table_index && func == other.func &&
+         cells == other.cells;
+}
+
+std::string TableMention::DebugString() const {
+  std::string s = "t" + std::to_string(table_index) + " ";
+  s += AggregateFunctionName(func);
+  s += "[";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) s += ",";
+    s += "(" + std::to_string(cells[i].row) + "," +
+         std::to_string(cells[i].col) + ")";
+  }
+  s += "] = " + util::FormatDouble(value, 4);
+  if (!unit.empty()) s += " " + unit;
+  return s;
+}
+
+}  // namespace briq::table

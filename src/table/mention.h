@@ -1,0 +1,73 @@
+#ifndef BRIQ_TABLE_MENTION_H_
+#define BRIQ_TABLE_MENTION_H_
+
+#include <string>
+#include <vector>
+
+#include "quantity/quantity.h"
+#include "table/table.h"
+
+namespace briq::table {
+
+/// Aggregation functions over table cells (paper §II-A). kNone marks a
+/// plain single-cell mention; the others are virtual cells. The paper's
+/// experiments restrict to {sum, diff, pct, ratio} (the >= 5% frequency
+/// rule); avg/min/max implement the extended setting.
+enum class AggregateFunction {
+  kNone = 0,
+  kSum,
+  kDiff,        // diff(a, b) = a - b
+  kPercentage,  // pct(a, b) = a / b * 100
+  kChangeRatio, // ratio(a, b) = (a - b) / a, stored as percent
+  kAverage,
+  kMax,
+  kMin,
+};
+
+const char* AggregateFunctionName(AggregateFunction f);
+
+/// A table-side quantity mention: either an explicit single cell or a
+/// virtual cell computed from several cells in the same row or column.
+struct TableMention {
+  int table_index = 0;  ///< index of the table within the document
+  AggregateFunction func = AggregateFunction::kNone;
+  /// Referenced cells. One entry for single-cell mentions; the ordered
+  /// (a, b) pair for diff/pct/ratio; all aggregated cells for sum/avg/etc.
+  std::vector<CellRef> cells;
+  /// Normalized numeric value. Percentage and change-ratio virtual cells
+  /// store percent units (ratio(890, 876) -> 1.573) so they compare
+  /// directly against textual "%" mentions.
+  double value = 0.0;
+  std::string unit;  ///< canonical unit, empty if mixed/unknown
+  quantity::UnitCategory unit_category = quantity::UnitCategory::kNone;
+  int precision = 0;
+  /// Cell surface form for single cells; synthesized for virtual cells
+  /// ("sum(35,38,34,11,5)").
+  std::string surface;
+
+  bool is_virtual() const { return func != AggregateFunction::kNone; }
+  bool has_unit() const { return !unit.empty(); }
+
+  /// Stable identity for alignment comparison: same table, function, and
+  /// cell set (order-sensitive for the ordered pair functions).
+  bool SameTarget(const TableMention& other) const;
+
+  /// Human-readable description, e.g. "t0 sum[(1,3),(2,3)] = 73".
+  std::string DebugString() const;
+};
+
+/// A text-side quantity mention, located within one paragraph of a
+/// document.
+struct TextMention {
+  quantity::ParsedQuantity q;
+  int paragraph = 0;    ///< paragraph index within the document
+  int sentence = 0;     ///< sentence index within the paragraph
+  size_t token_pos = 0; ///< token index within the paragraph (proximity)
+
+  const std::string& surface() const { return q.surface; }
+  double value() const { return q.value; }
+};
+
+}  // namespace briq::table
+
+#endif  // BRIQ_TABLE_MENTION_H_

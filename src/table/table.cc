@@ -1,0 +1,197 @@
+#include "table/table.h"
+
+#include <algorithm>
+
+#include "quantity/header_cue.h"
+#include "quantity/quantity_parser.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace briq::table {
+
+Table Table::FromRows(std::vector<std::vector<std::string>> rows) {
+  Table t;
+  t.num_rows_ = static_cast<int>(rows.size());
+  size_t width = 0;
+  for (const auto& r : rows) width = std::max(width, r.size());
+  t.num_cols_ = static_cast<int>(width);
+  t.cells_.resize(static_cast<size_t>(t.num_rows_) * t.num_cols_);
+  for (int r = 0; r < t.num_rows_; ++r) {
+    for (int c = 0; c < t.num_cols_; ++c) {
+      if (c < static_cast<int>(rows[r].size())) {
+        t.cell(r, c).raw = std::string(util::Trim(rows[r][c]));
+      }
+    }
+  }
+  return t;
+}
+
+const Cell& Table::cell(int r, int c) const {
+  BRIQ_CHECK(r >= 0 && r < num_rows_ && c >= 0 && c < num_cols_)
+      << "cell (" << r << "," << c << ") out of bounds " << num_rows_ << "x"
+      << num_cols_;
+  return cells_[static_cast<size_t>(r) * num_cols_ + c];
+}
+
+Cell& Table::cell(int r, int c) {
+  return const_cast<Cell&>(static_cast<const Table*>(this)->cell(r, c));
+}
+
+void Table::set_header_row(bool v) {
+  has_header_row_ = v;
+  if (num_rows_ == 0) return;
+  for (int c = 0; c < num_cols_; ++c) cell(0, c).is_header = v;
+}
+
+void Table::set_header_col(bool v) {
+  has_header_col_ = v;
+  if (num_cols_ == 0) return;
+  for (int r = 0; r < num_rows_; ++r) cell(r, 0).is_header = v;
+}
+
+namespace {
+
+// Fraction of non-empty cells in the range that parse as quantities.
+double NumericFraction(const Table& t, int r0, int r1, int c0, int c1) {
+  int numeric = 0;
+  int nonempty = 0;
+  for (int r = r0; r < r1; ++r) {
+    for (int c = c0; c < c1; ++c) {
+      const std::string& raw = t.cell(r, c).raw;
+      if (raw.empty()) continue;
+      ++nonempty;
+      if (quantity::ParseCellQuantity(raw).has_value()) ++numeric;
+    }
+  }
+  return nonempty == 0 ? 0.0 : static_cast<double>(numeric) / nonempty;
+}
+
+}  // namespace
+
+void Table::DetectHeaders() {
+  if (num_rows_ < 2 || num_cols_ < 1) return;
+
+  // Header row: first row mostly textual while the rest is more numeric.
+  double first_row_numeric = NumericFraction(*this, 0, 1, 0, num_cols_);
+  double body_numeric = NumericFraction(*this, 1, num_rows_, 0, num_cols_);
+  if (first_row_numeric <= 0.5 && body_numeric > first_row_numeric) {
+    set_header_row(true);
+  }
+
+  // Header column (rotated tables): first column mostly textual.
+  if (num_cols_ >= 2) {
+    int r0 = has_header_row_ ? 1 : 0;
+    double first_col_numeric = NumericFraction(*this, r0, num_rows_, 0, 1);
+    double rest_numeric = NumericFraction(*this, r0, num_rows_, 1, num_cols_);
+    if (first_col_numeric <= 0.5 && rest_numeric > first_col_numeric) {
+      set_header_col(true);
+    }
+  }
+}
+
+void Table::AnnotateQuantities() {
+  // Caption-level cue applies to every cell lacking its own unit.
+  quantity::HeaderCue caption_cue = quantity::ParseHeaderCue(caption_);
+
+  // Per-column and per-row cues from headers.
+  std::vector<quantity::HeaderCue> col_cues(num_cols_);
+  std::vector<quantity::HeaderCue> row_cues(num_rows_);
+  if (has_header_row_) {
+    for (int c = 0; c < num_cols_; ++c) {
+      col_cues[c] = quantity::ParseHeaderCue(cell(0, c).raw);
+    }
+  }
+  if (has_header_col_) {
+    for (int r = 0; r < num_rows_; ++r) {
+      row_cues[r] = quantity::ParseHeaderCue(cell(r, 0).raw);
+    }
+  }
+
+  for (int r = 0; r < num_rows_; ++r) {
+    for (int c = 0; c < num_cols_; ++c) {
+      Cell& cl = cell(r, c);
+      cl.quantity.reset();
+      if (cl.is_header || cl.raw.empty()) continue;
+      auto q = quantity::ParseCellQuantity(cl.raw);
+      if (!q.has_value()) continue;
+
+      // Apply the most specific available cue: column, then row, then
+      // caption. Scale cues multiply only unit-bearing contexts the cell
+      // itself did not already express.
+      auto apply = [&](const quantity::HeaderCue& cue) {
+        if (cue.unit.has_value() && !q->has_unit()) {
+          q->unit = cue.unit->canonical;
+          q->unit_category = cue.unit->category;
+          if (cue.unit->category == quantity::UnitCategory::kPercent) {
+            q->value *= cue.unit->to_base;
+            q->unit = "percent";
+          }
+        }
+        // A header scale ("$ Millions") applies unless the cell already
+        // used its own scale word (value != unnormalized). Percent cells
+        // are never rescaled: "5%" in a "($ Millions)" table is still 5%.
+        if (cue.scale != 1.0 && q->value == q->unnormalized &&
+            q->unit_category != quantity::UnitCategory::kPercent) {
+          q->value *= cue.scale;
+        }
+      };
+      apply(col_cues[c]);
+      apply(row_cues[r]);
+      apply(caption_cue);
+      cl.quantity = std::move(q);
+    }
+  }
+}
+
+std::string Table::ColumnHeader(int c) const {
+  if (!has_header_row_ || num_rows_ == 0) return "";
+  return cell(0, c).raw;
+}
+
+std::string Table::RowHeader(int r) const {
+  if (!has_header_col_ || num_cols_ == 0) return "";
+  return cell(r, 0).raw;
+}
+
+bool Table::IsBodyCell(int r, int c) const {
+  if (r < 0 || r >= num_rows_ || c < 0 || c >= num_cols_) return false;
+  return !cell(r, c).is_header;
+}
+
+std::string Table::RowContent(int r) const {
+  // "Full row content" (paper §IV-B): every cell the row passes through,
+  // which naturally includes the row's header cell in column 0. Column
+  // headers are NOT mixed in — they belong to ColumnContent; mixing them
+  // would give every row the same header vocabulary and wash out the
+  // local-context feature.
+  std::vector<std::string> parts;
+  for (int c = 0; c < num_cols_; ++c) {
+    if (!cell(r, c).raw.empty()) parts.push_back(cell(r, c).raw);
+  }
+  return util::Join(parts, " ");
+}
+
+std::string Table::ColumnContent(int c) const {
+  std::vector<std::string> parts;
+  for (int r = 0; r < num_rows_; ++r) {
+    if (!cell(r, c).raw.empty()) parts.push_back(cell(r, c).raw);
+  }
+  return util::Join(parts, " ");
+}
+
+std::vector<std::string> Table::AllWords() const {
+  return text::LowercaseWords(AllContent());
+}
+
+std::string Table::AllContent() const {
+  std::string all = caption_;
+  for (const Cell& cl : cells_) {
+    if (cl.raw.empty()) continue;
+    all += " ";
+    all += cl.raw;
+  }
+  return all;
+}
+
+}  // namespace briq::table

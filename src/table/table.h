@@ -1,0 +1,103 @@
+#ifndef BRIQ_TABLE_TABLE_H_
+#define BRIQ_TABLE_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "quantity/quantity.h"
+
+namespace briq::table {
+
+/// One table cell: raw textual content plus (after AnnotateQuantities) the
+/// parsed quantity, if the cell holds one.
+struct Cell {
+  std::string raw;
+  std::optional<quantity::ParsedQuantity> quantity;
+  bool is_header = false;
+
+  bool numeric() const { return quantity.has_value(); }
+};
+
+/// Zero-based cell coordinate.
+struct CellRef {
+  int row = 0;
+  int col = 0;
+
+  bool operator==(const CellRef& other) const {
+    return row == other.row && col == other.col;
+  }
+  bool operator<(const CellRef& other) const {
+    return row != other.row ? row < other.row : col < other.col;
+  }
+};
+
+/// A rectangular ad-hoc table as found on the Web: string cells, optional
+/// caption, heuristically detected header row/column, and parsed quantities
+/// per cell. No schema is assumed (paper §I).
+class Table {
+ public:
+  Table() = default;
+
+  /// Builds a table from string rows; ragged rows are padded with empty
+  /// cells to the widest row.
+  static Table FromRows(std::vector<std::vector<std::string>> rows);
+
+  int num_rows() const { return num_rows_; }
+  int num_cols() const { return num_cols_; }
+  bool empty() const { return num_rows_ == 0 || num_cols_ == 0; }
+
+  const Cell& cell(int r, int c) const;
+  Cell& cell(int r, int c);
+  const Cell& cell(CellRef ref) const { return cell(ref.row, ref.col); }
+
+  const std::string& caption() const { return caption_; }
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+
+  bool has_header_row() const { return has_header_row_; }
+  bool has_header_col() const { return has_header_col_; }
+  void set_header_row(bool v);
+  void set_header_col(bool v);
+
+  /// Marks the header row/column using a numeric-density heuristic: a first
+  /// row (column) whose cells are mostly non-numeric while the body is
+  /// mostly numeric is a header. Handles "rotated" tables (Figure 1b) where
+  /// attribute names run down the first column.
+  void DetectHeaders();
+
+  /// Parses every non-header cell with quantity::ParseCellQuantity, applying
+  /// unit/scale cues found in the caption and in the cell's row/column
+  /// headers ("($ Millions)" headers multiply values by 1e6 and set USD).
+  void AnnotateQuantities();
+
+  /// Header text of column c (empty if no header row).
+  std::string ColumnHeader(int c) const;
+  /// Header text of row r (empty if no header column).
+  std::string RowHeader(int r) const;
+
+  /// True if (r, c) addresses a body (non-header) cell.
+  bool IsBodyCell(int r, int c) const;
+
+  /// All raw cell contents of row r / column c (body and header), used as
+  /// the table-side "local context" of features f2/f4.
+  std::string RowContent(int r) const;
+  std::string ColumnContent(int c) const;
+
+  /// Every token of the table (cells + caption), lowercased words only.
+  std::vector<std::string> AllWords() const;
+
+  /// Full concatenated content (cells + caption), for phrase extraction.
+  std::string AllContent() const;
+
+ private:
+  int num_rows_ = 0;
+  int num_cols_ = 0;
+  std::vector<Cell> cells_;  // row-major
+  std::string caption_;
+  bool has_header_row_ = false;
+  bool has_header_col_ = false;
+};
+
+}  // namespace briq::table
+
+#endif  // BRIQ_TABLE_TABLE_H_

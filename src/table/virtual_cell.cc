@@ -1,0 +1,228 @@
+#include "table/virtual_cell.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace briq::table {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Precision (decimal digits) to report for an aggregate over cells.
+int MaxPrecision(const Table& t, const std::vector<CellRef>& cells) {
+  int p = 0;
+  for (const CellRef& ref : cells) {
+    p = std::max(p, t.cell(ref).quantity->precision);
+  }
+  return p;
+}
+
+// Shared unit over cells, empty when mixed.
+void SharedUnit(const Table& t, const std::vector<CellRef>& cells,
+                std::string* unit, quantity::UnitCategory* category) {
+  unit->clear();
+  *category = quantity::UnitCategory::kNone;
+  bool first = true;
+  for (const CellRef& ref : cells) {
+    const auto& q = *t.cell(ref).quantity;
+    if (first) {
+      *unit = q.unit;
+      *category = q.unit_category;
+      first = false;
+    } else if (*unit != q.unit) {
+      unit->clear();
+      *category = quantity::UnitCategory::kNone;
+      return;
+    }
+  }
+}
+
+std::string Synthesize(const Table& t, AggregateFunction func,
+                       const std::vector<CellRef>& cells) {
+  std::string s = AggregateFunctionName(func);
+  s += "(";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) s += ",";
+    s += t.cell(cells[i]).raw;
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace
+
+double EvaluateAggregate(AggregateFunction func,
+                         const std::vector<double>& values) {
+  if (values.empty()) return kNaN;
+  switch (func) {
+    case AggregateFunction::kNone:
+      return values.size() == 1 ? values[0] : kNaN;
+    case AggregateFunction::kSum: {
+      double s = 0.0;
+      for (double v : values) s += v;
+      return s;
+    }
+    case AggregateFunction::kAverage: {
+      double s = 0.0;
+      for (double v : values) s += v;
+      return s / static_cast<double>(values.size());
+    }
+    case AggregateFunction::kMax:
+      return *std::max_element(values.begin(), values.end());
+    case AggregateFunction::kMin:
+      return *std::min_element(values.begin(), values.end());
+    case AggregateFunction::kDiff:
+      if (values.size() != 2) return kNaN;
+      return values[0] - values[1];
+    case AggregateFunction::kPercentage:
+      if (values.size() != 2 || std::fabs(values[1]) < 1e-12) return kNaN;
+      return values[0] / values[1] * 100.0;
+    case AggregateFunction::kChangeRatio:
+      // Change rate of a relative to base b. The paper's formal definition
+      // reads (a-b)/a, but its own worked examples — "increased by 33.65%
+      // over the 184,611 units" (Fig. 5a) and "increased by 1.5%" ~
+      // ratio(890, 876) — are only consistent with the conventional
+      // (a-b)/b. Expressed in percent to compare against "%" mentions.
+      if (values.size() != 2 || std::fabs(values[1]) < 1e-12) return kNaN;
+      return (values[0] - values[1]) / values[1] * 100.0;
+  }
+  return kNaN;
+}
+
+std::vector<TableMention> GenerateTableMentions(
+    const Table& t, int table_index, const VirtualCellOptions& options,
+    VirtualCellStats* stats) {
+  std::vector<TableMention> out;
+  VirtualCellStats local;
+  VirtualCellStats& st = stats ? *stats : local;
+  st = VirtualCellStats();
+
+  // --- Single-cell mentions ---------------------------------------------
+  for (int r = 0; r < t.num_rows(); ++r) {
+    for (int c = 0; c < t.num_cols(); ++c) {
+      const Cell& cl = t.cell(r, c);
+      if (cl.is_header || !cl.numeric()) continue;
+      TableMention m;
+      m.table_index = table_index;
+      m.func = AggregateFunction::kNone;
+      m.cells = {CellRef{r, c}};
+      m.value = cl.quantity->value;
+      m.unit = cl.quantity->unit;
+      m.unit_category = cl.quantity->unit_category;
+      m.precision = cl.quantity->precision;
+      m.surface = cl.raw;
+      out.push_back(std::move(m));
+      ++st.single_cells;
+    }
+  }
+
+  // Numeric body cells per row / per column.
+  std::vector<std::vector<CellRef>> row_cells(t.num_rows());
+  std::vector<std::vector<CellRef>> col_cells(t.num_cols());
+  for (int r = 0; r < t.num_rows(); ++r) {
+    for (int c = 0; c < t.num_cols(); ++c) {
+      const Cell& cl = t.cell(r, c);
+      if (cl.is_header || !cl.numeric()) continue;
+      row_cells[r].push_back(CellRef{r, c});
+      col_cells[c].push_back(CellRef{r, c});
+    }
+  }
+
+  auto add_group = [&](AggregateFunction func,
+                       const std::vector<CellRef>& cells) {
+    std::vector<double> values;
+    values.reserve(cells.size());
+    for (const CellRef& ref : cells) {
+      values.push_back(t.cell(ref).quantity->value);
+    }
+    double value = EvaluateAggregate(func, values);
+    if (!std::isfinite(value)) {
+      ++st.skipped_degenerate;
+      return;
+    }
+    TableMention m;
+    m.table_index = table_index;
+    m.func = func;
+    m.cells = cells;
+    m.value = value;
+    if (func == AggregateFunction::kPercentage ||
+        func == AggregateFunction::kChangeRatio) {
+      m.unit = "percent";
+      m.unit_category = quantity::UnitCategory::kPercent;
+      m.precision = 2;
+    } else {
+      SharedUnit(t, cells, &m.unit, &m.unit_category);
+      m.precision = MaxPrecision(t, cells);
+    }
+    m.surface = Synthesize(t, func, cells);
+    out.push_back(std::move(m));
+  };
+
+  // --- Whole-row / whole-column aggregates -------------------------------
+  auto groups = {&row_cells, &col_cells};
+  for (const auto* group_set : groups) {
+    for (const auto& cells : *group_set) {
+      if (static_cast<int>(cells.size()) < options.min_group_size) continue;
+      if (options.enable_sum) {
+        add_group(AggregateFunction::kSum, cells);
+        ++st.group_aggregates;
+      }
+      if (options.enable_average) {
+        add_group(AggregateFunction::kAverage, cells);
+        ++st.group_aggregates;
+      }
+      if (options.enable_min_max) {
+        add_group(AggregateFunction::kMax, cells);
+        add_group(AggregateFunction::kMin, cells);
+        st.group_aggregates += 2;
+      }
+    }
+  }
+
+  // --- Ordered same-row / same-column pairs ------------------------------
+  const bool any_pairs = options.enable_diff || options.enable_percentage ||
+                         options.enable_change_ratio;
+  if (any_pairs) {
+    auto add_pairs = [&](const std::vector<CellRef>& cells) {
+      for (size_t i = 0; i < cells.size(); ++i) {
+        for (size_t j = 0; j < cells.size(); ++j) {
+          if (i == j) continue;
+          if (st.pair_aggregates >= options.max_pair_mentions) {
+            ++st.dropped_by_cap;
+            continue;
+          }
+          std::vector<CellRef> pair = {cells[i], cells[j]};
+          if (options.enable_diff) {
+            add_group(AggregateFunction::kDiff, pair);
+            ++st.pair_aggregates;
+          }
+          if (st.pair_aggregates >= options.max_pair_mentions) continue;
+          if (options.enable_percentage) {
+            add_group(AggregateFunction::kPercentage, pair);
+            ++st.pair_aggregates;
+          }
+          if (st.pair_aggregates >= options.max_pair_mentions) continue;
+          if (options.enable_change_ratio) {
+            add_group(AggregateFunction::kChangeRatio, pair);
+            ++st.pair_aggregates;
+          }
+        }
+      }
+    };
+    for (const auto& cells : row_cells) {
+      if (static_cast<int>(cells.size()) >= 2) add_pairs(cells);
+    }
+    for (const auto& cells : col_cells) {
+      if (static_cast<int>(cells.size()) >= 2) add_pairs(cells);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace briq::table

@@ -1,0 +1,60 @@
+#ifndef BRIQ_TABLE_VIRTUAL_CELL_H_
+#define BRIQ_TABLE_VIRTUAL_CELL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "table/mention.h"
+#include "table/table.h"
+
+namespace briq::table {
+
+/// Controls virtual-cell generation (paper §II-A). Defaults mirror the
+/// paper's experimental setting: sums restricted to entire rows/columns;
+/// diff/percentage/change-ratio over ordered pairs of cells in the same row
+/// or column; avg/min/max disabled (the extended setting).
+struct VirtualCellOptions {
+  bool enable_sum = true;
+  bool enable_diff = true;
+  bool enable_percentage = true;
+  bool enable_change_ratio = true;
+  bool enable_average = false;
+  bool enable_min_max = false;
+
+  /// Minimum numeric cells for a row/column aggregate.
+  int min_group_size = 2;
+  /// Hard cap on pairwise virtual cells per table; the generator counts
+  /// (never silently hides) what the cap drops.
+  size_t max_pair_mentions = 20000;
+};
+
+/// Generation telemetry so callers can report truncation (DESIGN.md: "no
+/// silent caps").
+struct VirtualCellStats {
+  size_t single_cells = 0;
+  size_t group_aggregates = 0;    // sum/avg/min/max over rows & columns
+  size_t pair_aggregates = 0;     // diff/pct/ratio
+  size_t dropped_by_cap = 0;
+  size_t skipped_degenerate = 0;  // division by ~0, non-finite results
+
+  size_t virtual_total() const { return group_aggregates + pair_aggregates; }
+};
+
+/// Produces every table mention for `t` (which must already be annotated
+/// via Table::AnnotateQuantities): one mention per numeric body cell plus
+/// virtual cells per `options`. `table_index` is stamped on every mention.
+/// `stats` may be null.
+std::vector<TableMention> GenerateTableMentions(
+    const Table& t, int table_index, const VirtualCellOptions& options = {},
+    VirtualCellStats* stats = nullptr);
+
+/// Computes the value a virtual cell of function `func` takes over the
+/// given cell values (in order). Degenerate inputs (pct with b == 0, ratio
+/// with a == 0, empty input) return NaN. diff(a,b) = a-b; pct(a,b) =
+/// a/b*100; ratio(a,b) = (a-b)/a expressed in percent.
+double EvaluateAggregate(AggregateFunction func,
+                         const std::vector<double>& values);
+
+}  // namespace briq::table
+
+#endif  // BRIQ_TABLE_VIRTUAL_CELL_H_

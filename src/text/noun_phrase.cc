@@ -1,0 +1,44 @@
+#include "text/noun_phrase.h"
+
+#include "text/stopwords.h"
+#include "util/string_util.h"
+
+namespace briq::text {
+
+std::vector<NounPhrase> ExtractNounPhrases(std::string_view s) {
+  std::vector<Token> tokens = Tokenize(s);
+  std::vector<NounPhrase> phrases;
+
+  size_t i = 0;
+  while (i < tokens.size()) {
+    // Skip anything that cannot start a phrase.
+    if (tokens[i].kind != TokenKind::kWord || IsStopword(tokens[i].textual) ||
+        IsPhraseBreaker(tokens[i].textual)) {
+      ++i;
+      continue;
+    }
+    // Collect a maximal run of content words.
+    size_t start = i;
+    while (i < tokens.size() && tokens[i].kind == TokenKind::kWord &&
+           !IsStopword(tokens[i].textual) &&
+           !IsPhraseBreaker(tokens[i].textual)) {
+      ++i;
+    }
+    NounPhrase np;
+    np.span = Span{tokens[start].span.begin, tokens[i - 1].span.end};
+    for (size_t j = start; j < i; ++j) {
+      np.words.push_back(util::ToLower(tokens[j].textual));
+    }
+    np.normalized = util::Join(np.words, " ");
+    phrases.push_back(std::move(np));
+  }
+  return phrases;
+}
+
+std::vector<std::string> NounPhraseStrings(std::string_view s) {
+  std::vector<std::string> out;
+  for (auto& np : ExtractNounPhrases(s)) out.push_back(std::move(np.normalized));
+  return out;
+}
+
+}  // namespace briq::text

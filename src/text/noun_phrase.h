@@ -1,0 +1,33 @@
+#ifndef BRIQ_TEXT_NOUN_PHRASE_H_
+#define BRIQ_TEXT_NOUN_PHRASE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace briq::text {
+
+/// A candidate noun phrase: contiguous content words from the source text.
+struct NounPhrase {
+  /// Lowercased, space-joined words, e.g. "segment profit".
+  std::string normalized;
+  /// Individual lowercased words.
+  std::vector<std::string> words;
+  Span span;
+};
+
+/// Extracts heuristic noun phrases: maximal runs of word tokens that are
+/// neither stopwords nor phrase-breaking verbs, with leading/trailing
+/// adjectives kept. This lexicon-driven chunker substitutes for a full POS
+/// tagger; the paper's features f4/f5 only require comparable phrase bags on
+/// the text and table sides, which this provides (see DESIGN.md §2).
+std::vector<NounPhrase> ExtractNounPhrases(std::string_view s);
+
+/// Flattened normalized phrase strings (convenience for overlap features).
+std::vector<std::string> NounPhraseStrings(std::string_view s);
+
+}  // namespace briq::text
+
+#endif  // BRIQ_TEXT_NOUN_PHRASE_H_

@@ -1,0 +1,106 @@
+#include "text/number_words.h"
+
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace briq::text {
+
+namespace {
+
+const std::unordered_map<std::string, double>& UnitWordMap() {
+  static const auto& kMap = *new std::unordered_map<std::string, double>{
+      {"zero", 0},      {"one", 1},       {"two", 2},      {"three", 3},
+      {"four", 4},      {"five", 5},      {"six", 6},      {"seven", 7},
+      {"eight", 8},     {"nine", 9},      {"ten", 10},     {"eleven", 11},
+      {"twelve", 12},   {"thirteen", 13}, {"fourteen", 14}, {"fifteen", 15},
+      {"sixteen", 16},  {"seventeen", 17}, {"eighteen", 18}, {"nineteen", 19},
+      {"twenty", 20},   {"thirty", 30},   {"forty", 40},   {"fifty", 50},
+      {"sixty", 60},    {"seventy", 70},  {"eighty", 80},  {"ninety", 90},
+  };
+  return kMap;
+}
+
+// Multipliers usable inside spelled-out numbers.
+const std::unordered_map<std::string, double>& MultiplierWordMap() {
+  static const auto& kMap = *new std::unordered_map<std::string, double>{
+      {"hundred", 1e2},  {"thousand", 1e3}, {"million", 1e6},
+      {"billion", 1e9},  {"trillion", 1e12},
+  };
+  return kMap;
+}
+
+}  // namespace
+
+bool IsNumberWord(std::string_view word) {
+  std::string w = util::ToLower(word);
+  return UnitWordMap().count(w) > 0 || MultiplierWordMap().count(w) > 0;
+}
+
+std::optional<double> ScaleWordMultiplier(std::string_view word) {
+  static const auto& kScales = *new std::unordered_map<std::string, double>{
+      {"k", 1e3},        {"thousand", 1e3},  {"thousands", 1e3},
+      {"m", 1e6},        {"mm", 1e6},        {"mio", 1e6},
+      {"mln", 1e6},      {"million", 1e6},   {"millions", 1e6},
+      {"b", 1e9},        {"bn", 1e9},        {"billion", 1e9},
+      {"billions", 1e9}, {"trillion", 1e12}, {"trillions", 1e12},
+      {"t", 1e12},       {"lakh", 1e5},      {"crore", 1e7},
+  };
+  auto it = kScales.find(util::ToLower(word));
+  if (it == kScales.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> ParseNumberWords(const std::vector<std::string>& words) {
+  if (words.empty()) return std::nullopt;
+
+  double total = 0.0;    // completed groups (e.g., "two thousand")
+  double current = 0.0;  // group under construction
+  bool saw_any = false;
+
+  for (const std::string& raw : words) {
+    std::string w = util::ToLower(raw);
+    if (w == "and") continue;  // "one hundred and five"
+
+    // Hyphenated compounds: "twenty-five".
+    auto hyphen = w.find('-');
+    if (hyphen != std::string::npos) {
+      auto left = UnitWordMap().find(w.substr(0, hyphen));
+      auto right = UnitWordMap().find(w.substr(hyphen + 1));
+      if (left == UnitWordMap().end() || right == UnitWordMap().end()) {
+        return std::nullopt;
+      }
+      current += left->second + right->second;
+      saw_any = true;
+      continue;
+    }
+
+    auto unit = UnitWordMap().find(w);
+    if (unit != UnitWordMap().end()) {
+      current += unit->second;
+      saw_any = true;
+      continue;
+    }
+    auto mult = MultiplierWordMap().find(w);
+    if (mult != MultiplierWordMap().end()) {
+      if (!saw_any) current = 1.0;  // bare "hundred" == 100
+      if (mult->second == 1e2) {
+        current *= 1e2;  // "three hundred fifty" keeps building the group
+      } else {
+        total += current * mult->second;
+        current = 0.0;
+      }
+      saw_any = true;
+      continue;
+    }
+    return std::nullopt;  // non-number word
+  }
+  if (!saw_any) return std::nullopt;
+  return total + current;
+}
+
+std::optional<double> ParseNumberWords(std::string_view phrase) {
+  return ParseNumberWords(util::SplitWhitespace(phrase));
+}
+
+}  // namespace briq::text

@@ -1,0 +1,30 @@
+#ifndef BRIQ_TEXT_NUMBER_WORDS_H_
+#define BRIQ_TEXT_NUMBER_WORDS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace briq::text {
+
+/// Parses a spelled-out English number ("twenty", "twenty-five",
+/// "three hundred", "two million") into its value. Accepts hyphenated and
+/// space-separated compounds. Returns nullopt when `words` is not a number
+/// phrase.
+std::optional<double> ParseNumberWords(const std::vector<std::string>& words);
+
+/// Convenience overload over a raw phrase ("twenty five").
+std::optional<double> ParseNumberWords(std::string_view phrase);
+
+/// True if `word` (single token, any case) participates in spelled-out
+/// numbers ("seven", "hundred", "million").
+bool IsNumberWord(std::string_view word);
+
+/// Scale multiplier for words like "thousand"/"k"/"million"/"mio"/"bn";
+/// returns nullopt for non-scale words.
+std::optional<double> ScaleWordMultiplier(std::string_view word);
+
+}  // namespace briq::text
+
+#endif  // BRIQ_TEXT_NUMBER_WORDS_H_

@@ -1,0 +1,60 @@
+#include "text/stopwords.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace briq::text {
+
+namespace {
+
+const std::unordered_set<std::string>& StopwordSet() {
+  static const auto& kSet = *new std::unordered_set<std::string>{
+      // Articles & determiners.
+      "a", "an", "the", "this", "that", "these", "those", "some", "any",
+      "each", "every", "no", "such", "both", "either", "neither", "its",
+      "their", "his", "her", "my", "your", "our",
+      // Pronouns.
+      "i", "you", "he", "she", "it", "we", "they", "them", "him", "me", "us",
+      "who", "whom", "which", "what", "whose",
+      // Prepositions.
+      "of", "in", "on", "at", "by", "for", "with", "about", "against",
+      "between", "into", "through", "during", "before", "after", "above",
+      "below", "to", "from", "up", "down", "out", "off", "over", "under",
+      "per", "than", "as", "via",
+      // Conjunctions.
+      "and", "or", "but", "nor", "so", "yet", "if", "because", "while",
+      "when", "where", "whereas", "although", "though",
+      // Auxiliaries / copulas.
+      "is", "are", "was", "were", "be", "been", "being", "am", "do", "does",
+      "did", "have", "has", "had", "will", "would", "can", "could", "shall",
+      "should", "may", "might", "must",
+      // Misc high-frequency.
+      "not", "also", "only", "there", "here", "then", "now", "very", "just",
+      "more", "most", "less", "least", "other", "another", "same",
+  };
+  return kSet;
+}
+
+const std::unordered_set<std::string>& PhraseBreakerSet() {
+  static const auto& kSet = *new std::unordered_set<std::string>{
+      "said",    "says",     "reported", "reports",  "rose",    "fell",
+      "grew",    "declined", "increased", "decreased", "remained", "compared",
+      "reached", "totaled",  "stood",    "came",      "went",    "shows",
+      "showed",  "earned",   "gained",   "lost",      "sold",    "counted",
+  };
+  return kSet;
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return StopwordSet().count(util::ToLower(word)) > 0;
+}
+
+bool IsPhraseBreaker(std::string_view word) {
+  return PhraseBreakerSet().count(util::ToLower(word)) > 0;
+}
+
+}  // namespace briq::text

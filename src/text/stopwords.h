@@ -1,0 +1,19 @@
+#ifndef BRIQ_TEXT_STOPWORDS_H_
+#define BRIQ_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace briq::text {
+
+/// True if `word` (any case) is an English stopword (determiners, pronouns,
+/// prepositions, auxiliaries, conjunctions). Used to filter bag-of-words
+/// features and to delimit heuristic noun phrases.
+bool IsStopword(std::string_view word);
+
+/// True for words that terminate a noun phrase even though they are not
+/// classic stopwords (verbs of being/reporting, comparatives used as cues).
+bool IsPhraseBreaker(std::string_view word);
+
+}  // namespace briq::text
+
+#endif  // BRIQ_TEXT_STOPWORDS_H_

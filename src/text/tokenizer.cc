@@ -1,0 +1,199 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace briq::text {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c));
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)); }
+
+// Returns the byte length of the UTF-8 sequence starting at s[i], or 1 for
+// ASCII / malformed input.
+size_t Utf8Len(std::string_view s, size_t i) {
+  unsigned char c = static_cast<unsigned char>(s[i]);
+  if (c < 0x80) return 1;
+  size_t len = 1;
+  if ((c & 0xE0) == 0xC0) len = 2;
+  else if ((c & 0xF0) == 0xE0) len = 3;
+  else if ((c & 0xF8) == 0xF0) len = 4;
+  if (i + len > s.size()) return 1;
+  return len;
+}
+
+// Symbols meaningful to the quantity parser (kept as kSymbol tokens).
+bool IsAsciiSymbolChar(char c) {
+  switch (c) {
+    case '$':
+    case '%':
+    case '#':
+    case '+':
+    case '^':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view s) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < s.size()) {
+    char c = s[i];
+    if (IsSpace(c)) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsDigit(c)) {
+      // Number: digits with internal ',', '.', or digit-grouping. A ',' or
+      // '.' is internal only if followed by a digit.
+      ++i;
+      while (i < s.size()) {
+        if (IsDigit(s[i])) {
+          ++i;
+        } else if ((s[i] == ',' || s[i] == '.') && i + 1 < s.size() &&
+                   IsDigit(s[i + 1])) {
+          i += 2;
+        } else {
+          break;
+        }
+      }
+      tokens.push_back(Token{std::string(s.substr(start, i - start)),
+                             TokenKind::kNumber, Span{start, i}});
+    } else if (IsWordChar(c)) {
+      // Word: letters with internal hyphens/apostrophes ("e-tron", "don't").
+      ++i;
+      while (i < s.size()) {
+        if (IsWordChar(s[i])) {
+          ++i;
+        } else if ((s[i] == '-' || s[i] == '\'') && i + 1 < s.size() &&
+                   IsWordChar(s[i + 1])) {
+          i += 2;
+        } else {
+          break;
+        }
+      }
+      tokens.push_back(Token{std::string(s.substr(start, i - start)),
+                             TokenKind::kWord, Span{start, i}});
+    } else if (static_cast<unsigned char>(c) >= 0x80) {
+      // Multi-byte UTF-8 char (currency symbols like €, £, ±): one symbol.
+      size_t len = Utf8Len(s, i);
+      i += len;
+      tokens.push_back(Token{std::string(s.substr(start, len)),
+                             TokenKind::kSymbol, Span{start, i}});
+    } else if (IsAsciiSymbolChar(c)) {
+      ++i;
+      tokens.push_back(
+          Token{std::string(1, c), TokenKind::kSymbol, Span{start, i}});
+    } else {
+      // Single punctuation character.
+      ++i;
+      tokens.push_back(
+          Token{std::string(1, c), TokenKind::kPunctuation, Span{start, i}});
+    }
+  }
+  return tokens;
+}
+
+namespace {
+
+// Abbreviations whose trailing '.' does not end a sentence.
+bool IsAbbreviation(std::string_view word) {
+  static const char* kAbbrevs[] = {"ca",  "approx", "e.g", "i.e", "etc", "vs",
+                                   "mr",  "mrs",    "dr",  "no",  "fig", "mio",
+                                   "bn",  "mln",    "st",  "inc", "corp", "q"};
+  std::string lower = util::ToLower(word);
+  for (const char* a : kAbbrevs) {
+    if (lower == a) return true;
+  }
+  // Single letters ("J. Smith") are abbreviations.
+  return word.size() == 1;
+}
+
+}  // namespace
+
+std::vector<Span> SplitSentences(std::string_view s) {
+  std::vector<Span> sentences;
+  size_t start = 0;
+  size_t i = 0;
+  auto flush = [&](size_t end) {
+    // Trim whitespace inside the span.
+    size_t b = start;
+    while (b < end && IsSpace(s[b])) ++b;
+    size_t e = end;
+    while (e > b && IsSpace(s[e - 1])) --e;
+    if (e > b) sentences.push_back(Span{b, e});
+    start = end;
+  };
+  while (i < s.size()) {
+    char c = s[i];
+    if (c == '!' || c == '?' || c == '\n') {
+      flush(i + 1);
+      ++i;
+      continue;
+    }
+    if (c == '.') {
+      // Not a boundary when inside a decimal number: digit '.' digit.
+      bool prev_digit = i > 0 && IsDigit(s[i - 1]);
+      bool next_digit = i + 1 < s.size() && IsDigit(s[i + 1]);
+      if (prev_digit && next_digit) {
+        ++i;
+        continue;
+      }
+      // Not a boundary after a known abbreviation.
+      size_t wend = i;
+      size_t wstart = wend;
+      while (wstart > start && (IsWordChar(s[wstart - 1]) || s[wstart - 1] == '.')) {
+        --wstart;
+      }
+      if (wend > wstart && IsAbbreviation(s.substr(wstart, wend - wstart))) {
+        ++i;
+        continue;
+      }
+      // Boundary only if followed by whitespace+capital/digit or end.
+      size_t j = i + 1;
+      while (j < s.size() && s[j] == '.') ++j;  // ellipsis
+      if (j >= s.size()) {
+        flush(j);
+        i = j;
+        continue;
+      }
+      if (IsSpace(s[j])) {
+        size_t k = j;
+        while (k < s.size() && IsSpace(s[k])) ++k;
+        if (k >= s.size() || std::isupper(static_cast<unsigned char>(s[k])) ||
+            IsDigit(s[k]) || s[k] == '$' ||
+            static_cast<unsigned char>(s[k]) >= 0x80) {
+          flush(j);
+          i = j;
+          continue;
+        }
+      }
+    }
+    ++i;
+  }
+  flush(s.size());
+  return sentences;
+}
+
+std::vector<std::string> LowercaseWords(std::string_view s) {
+  std::vector<std::string> words;
+  for (const Token& t : Tokenize(s)) {
+    if (t.kind == TokenKind::kWord) words.push_back(util::ToLower(t.textual));
+  }
+  return words;
+}
+
+}  // namespace briq::text

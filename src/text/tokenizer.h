@@ -1,0 +1,60 @@
+#ifndef BRIQ_TEXT_TOKENIZER_H_
+#define BRIQ_TEXT_TOKENIZER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace briq::text {
+
+/// A half-open character range [begin, end) into the source string.
+struct Span {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t length() const { return end - begin; }
+  bool Overlaps(const Span& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  bool Contains(size_t pos) const { return pos >= begin && pos < end; }
+  bool operator==(const Span& other) const {
+    return begin == other.begin && end == other.end;
+  }
+};
+
+/// Token kinds distinguish the pieces the quantity extractor cares about.
+enum class TokenKind {
+  kWord,         // alphabetic run, possibly with internal hyphens/apostrophes
+  kNumber,       // digit run, possibly with separators/decimal point
+  kPunctuation,  // single punctuation char
+  kSymbol,       // currency symbols, %, etc.
+};
+
+/// A token with its surface form and source position.
+struct Token {
+  std::string textual;  // surface form as it appears
+  TokenKind kind = TokenKind::kWord;
+  Span span;
+
+  const std::string& str() const { return textual; }
+};
+
+/// Splits `s` into word/number/punctuation/symbol tokens with exact source
+/// offsets. Numbers keep internal thousands separators and decimal points
+/// ("1,144,716", "2.74") as a single token; words keep internal hyphens and
+/// apostrophes ("e-tron", "don't"). Multi-byte UTF-8 currency symbols
+/// (e.g. "€") are emitted as single kSymbol tokens.
+std::vector<Token> Tokenize(std::string_view s);
+
+/// Splits `s` into sentences by ., !, ? boundaries, skipping common
+/// abbreviation traps ("ca.", "e.g.", decimal points). Returns spans into
+/// `s`; every character belongs to at most one sentence span.
+std::vector<Span> SplitSentences(std::string_view s);
+
+/// Lowercased word tokens only (convenience for bag-of-words features).
+std::vector<std::string> LowercaseWords(std::string_view s);
+
+}  // namespace briq::text
+
+#endif  // BRIQ_TEXT_TOKENIZER_H_

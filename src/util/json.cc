@@ -1,0 +1,365 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace briq::util {
+
+bool Json::AsBool() const {
+  BRIQ_CHECK(type_ == Type::kBool) << "not a bool";
+  return bool_;
+}
+
+double Json::AsDouble() const {
+  BRIQ_CHECK(type_ == Type::kNumber) << "not a number";
+  return number_;
+}
+
+int Json::AsInt() const {
+  return static_cast<int>(std::llround(AsDouble()));
+}
+
+const std::string& Json::AsString() const {
+  BRIQ_CHECK(type_ == Type::kString) << "not a string";
+  return string_;
+}
+
+void Json::Append(Json value) {
+  BRIQ_CHECK(type_ == Type::kArray) << "Append on non-array";
+  array_.push_back(std::move(value));
+}
+
+size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  BRIQ_CHECK(false) << "size() on scalar";
+  return 0;
+}
+
+const Json& Json::at(size_t i) const {
+  BRIQ_CHECK(type_ == Type::kArray) << "index on non-array";
+  BRIQ_CHECK(i < array_.size()) << "index out of range";
+  return array_[i];
+}
+
+const std::vector<Json>& Json::items() const {
+  BRIQ_CHECK(type_ == Type::kArray) << "items() on non-array";
+  return array_;
+}
+
+void Json::Set(const std::string& key, Json value) {
+  BRIQ_CHECK(type_ == Type::kObject) << "Set on non-object";
+  object_[key] = std::move(value);
+}
+
+bool Json::Has(const std::string& key) const {
+  return type_ == Type::kObject && object_.count(key) > 0;
+}
+
+const Json& Json::at(const std::string& key) const {
+  BRIQ_CHECK(type_ == Type::kObject) << "key lookup on non-object";
+  auto it = object_.find(key);
+  BRIQ_CHECK(it != object_.end()) << "missing key: " << key;
+  return it->second;
+}
+
+const Json& Json::Get(const std::string& key, const Json& fallback) const {
+  if (!Has(key)) return fallback;
+  return object_.at(key);
+}
+
+const std::map<std::string, Json>& Json::members() const {
+  BRIQ_CHECK(type_ == Type::kObject) << "members() on non-object";
+  return object_;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return number_ == other.number_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return array_ == other.array_;
+    case Type::kObject:
+      return object_ == other.object_;
+  }
+  return false;
+}
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string NumberToString(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent < 0) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent) * d, ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      *out += NumberToString(number_);
+      return;
+    case Type::kString:
+      EscapeInto(string_, out);
+      return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        EscapeInto(key, out);
+        *out += indent < 0 ? ":" : ": ";
+        value.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view txt) : txt_(txt) {}
+
+  Result<Json> Run() {
+    SkipWhitespace();
+    BRIQ_ASSIGN_OR_RETURN(Json value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != txt_.size()) {
+      return Error("trailing content");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) {
+    return Status::ParseError(what + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < txt_.size() &&
+           std::isspace(static_cast<unsigned char>(txt_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < txt_.size() && txt_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    if (pos_ >= txt_.size()) return Error("unexpected end");
+    char c = txt_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      BRIQ_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Json(std::move(s));
+    }
+    if (txt_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return Json(true);
+    }
+    if (txt_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return Json(false);
+    }
+    if (txt_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return Json();
+    }
+    return ParseNumber();
+  }
+
+  Result<Json> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < txt_.size() &&
+           (std::isdigit(static_cast<unsigned char>(txt_[pos_])) ||
+            txt_[pos_] == '.' || txt_[pos_] == 'e' || txt_[pos_] == 'E' ||
+            txt_[pos_] == '+' || txt_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("invalid value");
+    std::string s(txt_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size()) return Error("invalid number");
+    return Json(v);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected string");
+    std::string out;
+    while (pos_ < txt_.size()) {
+      char c = txt_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= txt_.size()) break;
+      char esc = txt_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > txt_.size()) return Error("bad \\u escape");
+          std::string hex(txt_.substr(pos_, 4));
+          pos_ += 4;
+          uint32_t cp =
+              static_cast<uint32_t>(std::strtoul(hex.c_str(), nullptr, 16));
+          // BMP only (sufficient for our own output).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Json> ParseArray() {
+    Consume('[');
+    Json out = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return out;
+    while (true) {
+      SkipWhitespace();
+      BRIQ_ASSIGN_OR_RETURN(Json v, ParseValue());
+      out.Append(std::move(v));
+      SkipWhitespace();
+      if (Consume(']')) return out;
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<Json> ParseObject() {
+    Consume('{');
+    Json out = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return out;
+    while (true) {
+      SkipWhitespace();
+      BRIQ_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipWhitespace();
+      BRIQ_ASSIGN_OR_RETURN(Json v, ParseValue());
+      out.Set(key, std::move(v));
+      SkipWhitespace();
+      if (Consume('}')) return out;
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  std::string_view txt_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view txt) { return Parser(txt).Run(); }
+
+}  // namespace briq::util

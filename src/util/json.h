@@ -1,0 +1,93 @@
+#ifndef BRIQ_UTIL_JSON_H_
+#define BRIQ_UTIL_JSON_H_
+
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace briq::util {
+
+/// A minimal JSON document model with a writer and a strict recursive-
+/// descent parser. Used to serialize corpora, alignments, and experiment
+/// results; deliberately small (no SAX, no comments, UTF-8 passthrough).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Constructors for each type.
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                 // NOLINT
+  Json(double v) : type_(Type::kNumber), number_(v) {}           // NOLINT
+  Json(int v) : Json(static_cast<double>(v)) {}                  // NOLINT
+  Json(int64_t v) : Json(static_cast<double>(v)) {}              // NOLINT
+  Json(size_t v) : Json(static_cast<double>(v)) {}               // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}                  // NOLINT
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  /// Value accessors (check-fail on type mismatch).
+  bool AsBool() const;
+  double AsDouble() const;
+  int AsInt() const;
+  const std::string& AsString() const;
+
+  /// Array operations.
+  void Append(Json value);
+  size_t size() const;
+  const Json& at(size_t i) const;
+  const std::vector<Json>& items() const;
+
+  /// Object operations.
+  void Set(const std::string& key, Json value);
+  bool Has(const std::string& key) const;
+  /// Member lookup; check-fails if absent (use Has first or Get).
+  const Json& at(const std::string& key) const;
+  /// Member lookup with fallback.
+  const Json& Get(const std::string& key, const Json& fallback) const;
+  const std::map<std::string, Json>& members() const;
+
+  /// Serializes; `indent` < 0 means compact single-line output.
+  std::string Dump(int indent = -1) const;
+
+  /// Strict parse of a complete JSON document.
+  static Result<Json> Parse(std::string_view txt);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+}  // namespace briq::util
+
+#endif  // BRIQ_UTIL_JSON_H_

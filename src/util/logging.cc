@@ -1,0 +1,49 @@
+#include "util/logging.h"
+
+namespace briq::util {
+
+namespace {
+LogLevel g_threshold = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogThreshold(LogLevel level) { g_threshold = level; }
+LogLevel GetLogThreshold() { return g_threshold; }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level),
+      enabled_(level >= g_threshold || level == LogLevel::kFatal) {
+  if (enabled_) {
+    // Keep only the basename for readability.
+    std::string f = file;
+    auto pos = f.find_last_of('/');
+    if (pos != std::string::npos) f = f.substr(pos + 1);
+    stream_ << "[" << LevelName(level_) << " " << f << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace briq::util

@@ -1,0 +1,78 @@
+#ifndef BRIQ_UTIL_LOGGING_H_
+#define BRIQ_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace briq::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Minimum level that is actually emitted; messages below are dropped.
+/// Defaults to kInfo. Thread-unsafe setter; call at startup.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+/// Internal: stream-style log sink. Flushes on destruction; aborts the
+/// process for kFatal messages (used by BRIQ_CHECK).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Converts a LogMessage stream chain to void so it can appear on one arm of
+/// a ternary (the glog "voidify" idiom behind BRIQ_CHECK).
+class LogMessageVoidify {
+ public:
+  // operator& binds looser than operator<<, so the whole chain runs first.
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace briq::util
+
+#define BRIQ_LOG(level)                                             \
+  ::briq::util::LogMessage(::briq::util::LogLevel::k##level, __FILE__, \
+                           __LINE__)
+
+/// Fatal-on-failure invariant check. Usage:
+///   BRIQ_CHECK(x > 0) << "x must be positive, got " << x;
+#define BRIQ_CHECK(cond)                                            \
+  (cond) ? (void)0                                                  \
+         : ::briq::util::LogMessageVoidify() &                      \
+               ::briq::util::LogMessage(::briq::util::LogLevel::kFatal, \
+                                        __FILE__, __LINE__)         \
+                   << "Check failed: " #cond " "
+
+#define BRIQ_CHECK_OK(expr)                                         \
+  do {                                                              \
+    ::briq::util::Status _briq_s = (expr);                          \
+    BRIQ_CHECK(_briq_s.ok()) << _briq_s.ToString();                 \
+  } while (false)
+
+#endif  // BRIQ_UTIL_LOGGING_H_

@@ -1,0 +1,76 @@
+#ifndef BRIQ_UTIL_RESULT_H_
+#define BRIQ_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace briq::util {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent. The BriQ analogue of `arrow::Result` / `absl::StatusOr`.
+///
+/// Typical use:
+///
+///     Result<ParsedQuantity> r = ParseQuantity("37K EUR");
+///     if (!r.ok()) return r.status();
+///     Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    BRIQ_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    BRIQ_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    BRIQ_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    BRIQ_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+}  // namespace briq::util
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or returns its
+/// error status from the enclosing function.
+#define BRIQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define BRIQ_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define BRIQ_ASSIGN_OR_RETURN_NAME(a, b) BRIQ_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define BRIQ_ASSIGN_OR_RETURN(lhs, expr) \
+  BRIQ_ASSIGN_OR_RETURN_IMPL(            \
+      BRIQ_ASSIGN_OR_RETURN_NAME(_briq_result_, __LINE__), lhs, expr)
+
+#endif  // BRIQ_UTIL_RESULT_H_

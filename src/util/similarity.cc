@@ -1,0 +1,114 @@
+#include "util/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace briq::util {
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const int la = static_cast<int>(a.size());
+  const int lb = static_cast<int>(b.size());
+  const int match_window = std::max(0, std::max(la, lb) / 2 - 1);
+
+  std::vector<bool> a_matched(la, false);
+  std::vector<bool> b_matched(lb, false);
+
+  int matches = 0;
+  for (int i = 0; i < la; ++i) {
+    int lo = std::max(0, i - match_window);
+    int hi = std::min(lb - 1, i + match_window);
+    for (int j = lo; j <= hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Count transpositions between the matched subsequences.
+  int transpositions = 0;
+  int j = 0;
+  for (int i = 0; i < la; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+
+  const double m = matches;
+  return (m / la + m / lb + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  double jaro = JaroSimilarity(a, b);
+  int prefix = 0;
+  const size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
+  for (size_t i = 0; i < max_prefix; ++i) {
+    if (a[i] != b[i]) break;
+    ++prefix;
+  }
+  return jaro + prefix * prefix_scale * (1.0 - jaro);
+}
+
+namespace {
+std::unordered_set<std::string> ToSet(const std::vector<std::string>& v) {
+  return {v.begin(), v.end()};
+}
+}  // namespace
+
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  auto sa = ToSet(a);
+  auto sb = ToSet(b);
+  size_t inter = 0;
+  for (const auto& w : sa) {
+    if (sb.count(w)) ++inter;
+  }
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  auto sa = ToSet(a);
+  auto sb = ToSet(b);
+  size_t inter = 0;
+  for (const auto& w : sa) {
+    if (sb.count(w)) ++inter;
+  }
+  size_t denom = std::min(sa.size(), sb.size());
+  return denom == 0 ? 0.0 : static_cast<double>(inter) / denom;
+}
+
+double WeightedOverlapCoefficient(const WeightedBag& a, const WeightedBag& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  double total_a = 0.0;
+  double total_b = 0.0;
+  for (const auto& [w, weight] : a) total_a += weight;
+  for (const auto& [w, weight] : b) total_b += weight;
+  const double denom = std::min(total_a, total_b);
+  if (denom <= 0.0) return 0.0;
+
+  double shared = 0.0;
+  // Iterate the smaller map for efficiency.
+  const WeightedBag& small = a.size() <= b.size() ? a : b;
+  const WeightedBag& big = a.size() <= b.size() ? b : a;
+  for (const auto& [word, weight] : small) {
+    auto it = big.find(word);
+    if (it != big.end()) shared += std::min(weight, it->second);
+  }
+  return shared / denom;
+}
+
+}  // namespace briq::util

@@ -1,0 +1,39 @@
+#ifndef BRIQ_UTIL_SIMILARITY_H_
+#define BRIQ_UTIL_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace briq::util {
+
+/// Jaro similarity in [0, 1]; 1 means identical strings.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity in [0, 1]. Boosts matches sharing a common prefix
+/// (up to 4 chars), which the paper adopts because agreement at the start of
+/// a quantity surface form ("26.7$" vs "26.65$") is the strongest signal.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+/// Jaccard similarity |A∩B| / |A∪B| over token multiset supports (sets).
+double JaccardSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Overlap coefficient |A∩B| / min(|A|, |B|) over token sets.
+double OverlapCoefficient(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// A bag of words with per-word non-negative weights.
+using WeightedBag = std::unordered_map<std::string, double>;
+
+/// Weighted overlap coefficient: sum over shared words of min(w_a, w_b),
+/// divided by min(total weight of a, total weight of b). Used by the paper's
+/// local-context feature f2, where word weights decay with distance from the
+/// text mention. Returns 0 when either bag is empty/zero-weight.
+double WeightedOverlapCoefficient(const WeightedBag& a, const WeightedBag& b);
+
+}  // namespace briq::util
+
+#endif  // BRIQ_UTIL_SIMILARITY_H_

@@ -1,0 +1,84 @@
+#ifndef BRIQ_UTIL_STATUS_H_
+#define BRIQ_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace briq::util {
+
+/// Canonical error codes used across the BriQ library. Modeled after the
+/// Arrow/Abseil status vocabulary; only codes the library actually produces
+/// are included.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kParseError,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for a status code (e.g., "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. Functions in BriQ that can fail
+/// return `Status` (or `Result<T>`, see result.h) instead of throwing;
+/// exceptions never cross public API boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace briq::util
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define BRIQ_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::briq::util::Status _briq_status = (expr);      \
+    if (!_briq_status.ok()) return _briq_status;     \
+  } while (false)
+
+#endif  // BRIQ_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef BRIQ_UTIL_STOPWATCH_H_
+#define BRIQ_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace briq::util {
+
+/// Monotonic wall-clock stopwatch for throughput measurements.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace briq::util
+
+#endif  // BRIQ_UTIL_STOPWATCH_H_

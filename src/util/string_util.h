@@ -1,0 +1,56 @@
+#ifndef BRIQ_UTIL_STRING_UTIL_H_
+#define BRIQ_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace briq::util {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits `s` on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if every char is an ASCII digit (and s is non-empty).
+bool IsDigits(std::string_view s);
+
+/// Replaces all occurrences of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Very light English stemmer for context-vocabulary matching: strips a
+/// possessive "'s" and a plural "s" (but not "ss"/"us"/"is" endings) from
+/// words longer than 3 characters. "disorders" -> "disorder",
+/// "patients" -> "patient", "basis" -> "basis".
+std::string StemLight(std::string_view word);
+
+/// Formats a double trimming trailing zeros ("3.50" -> "3.5", "4.0" -> "4").
+std::string FormatDouble(double v, int max_decimals = 6);
+
+/// Formats an integer part with thousands separators ("1234567" ->
+/// "1,234,567"). Negative values keep their sign.
+std::string WithThousandsSeparators(int64_t v);
+
+}  // namespace briq::util
+
+#endif  // BRIQ_UTIL_STRING_UTIL_H_

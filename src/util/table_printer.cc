@@ -1,0 +1,76 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace briq::util {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title)) {}
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    BRIQ_CHECK(row.size() == header_.size())
+        << "row has " << row.size() << " cells, header has " << header_.size();
+  }
+  rows_.push_back(Row{std::move(row), /*separator=*/false});
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back(Row{{}, /*separator=*/true}); }
+
+std::string TablePrinter::ToString() const {
+  // Column widths over header and all rows.
+  size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<size_t> width(ncols, 0);
+  auto account = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      width[i] = std::max(width[i], cells[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& r : rows_) {
+    if (!r.separator) account(r.cells);
+  }
+
+  auto rule = [&]() {
+    std::string s = "+";
+    for (size_t i = 0; i < ncols; ++i) {
+      s += std::string(width[i] + 2, '-');
+      s += "+";
+    }
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t i = 0; i < ncols; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      s += " " + c + std::string(width[i] - c.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule();
+  if (!header_.empty()) {
+    out += line(header_);
+    out += rule();
+  }
+  for (const auto& r : rows_) {
+    out += r.separator ? rule() : line(r.cells);
+  }
+  out += rule();
+  return out;
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+}  // namespace briq::util

@@ -1,0 +1,45 @@
+#ifndef BRIQ_UTIL_TABLE_PRINTER_H_
+#define BRIQ_UTIL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace briq::util {
+
+/// Renders aligned ASCII tables for the experiment harness so every bench
+/// binary prints paper-style rows (paper value next to measured value).
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; may be empty.
+  explicit TablePrinter(std::string title = "");
+
+  /// Sets the header row. Column count is fixed by this call.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Must match the header's column count (checked).
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line between data rows.
+  void AddSeparator();
+
+  /// Renders the full table.
+  std::string ToString() const;
+
+  /// Convenience: renders to a stream.
+  void Print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace briq::util
+
+#endif  // BRIQ_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,94 @@
+#include "corpus/annotator_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+
+namespace briq::corpus {
+namespace {
+
+TEST(FleissKappaTest, PerfectAgreementIsOne) {
+  // 4 subjects, 3 categories, 5 raters all agreeing.
+  std::vector<std::vector<int>> ratings = {
+      {5, 0, 0}, {0, 5, 0}, {0, 0, 5}, {5, 0, 0}};
+  EXPECT_NEAR(FleissKappa(ratings), 1.0, 1e-9);
+}
+
+TEST(FleissKappaTest, WikipediaReferenceValue) {
+  // The classic worked example (Fleiss 1971 / Wikipedia): kappa = 0.210.
+  std::vector<std::vector<int>> ratings = {
+      {0, 0, 0, 0, 14}, {0, 2, 6, 4, 2}, {0, 0, 3, 5, 6},
+      {0, 3, 9, 2, 0},  {2, 2, 8, 1, 1}, {7, 7, 0, 0, 0},
+      {3, 2, 6, 3, 0},  {2, 5, 3, 2, 2}, {6, 5, 2, 1, 0},
+      {0, 2, 2, 3, 7}};
+  EXPECT_NEAR(FleissKappa(ratings), 0.210, 1e-3);
+}
+
+TEST(FleissKappaTest, UniformDisagreementNearZero) {
+  // Every rater picks a different category at random-ish: kappa <= 0.
+  std::vector<std::vector<int>> ratings = {
+      {1, 1, 1}, {1, 1, 1}, {1, 1, 1}, {1, 1, 1}};
+  EXPECT_LE(FleissKappa(ratings), 0.0 + 1e-9);
+}
+
+TEST(SimulateAnnotationTest, KeepsMostPairsAtLowErrorRate) {
+  CorpusOptions options;
+  options.num_documents = 60;
+  options.seed = 8;
+  Corpus corpus = GenerateCorpus(options);
+
+  AnnotatorSimOptions sim;
+  sim.error_rate = 0.05;
+  AnnotationOutcome outcome = SimulateAnnotation(corpus, sim);
+  EXPECT_GT(outcome.pairs_kept, 0u);
+  double kept_frac = static_cast<double>(outcome.pairs_kept) /
+                     (outcome.pairs_kept + outcome.pairs_dropped);
+  EXPECT_GT(kept_frac, 0.95);
+  EXPECT_GT(outcome.fleiss_kappa, 0.8);
+}
+
+TEST(SimulateAnnotationTest, DefaultErrorRateLandsNearPaperKappa) {
+  CorpusOptions options;
+  options.num_documents = 100;
+  options.seed = 9;
+  Corpus corpus = GenerateCorpus(options);
+  AnnotationOutcome outcome = SimulateAnnotation(corpus);
+  // Paper: Fleiss' kappa = 0.6854 ("substantial agreement").
+  EXPECT_GT(outcome.fleiss_kappa, 0.55);
+  EXPECT_LT(outcome.fleiss_kappa, 0.82);
+}
+
+TEST(SimulateAnnotationTest, HighErrorRateDropsPairsAndKappa) {
+  CorpusOptions options;
+  options.num_documents = 40;
+  options.seed = 10;
+  Corpus corpus = GenerateCorpus(options);
+
+  AnnotatorSimOptions noisy;
+  noisy.error_rate = 0.75;
+  AnnotationOutcome outcome = SimulateAnnotation(corpus, noisy);
+  EXPECT_GT(outcome.pairs_dropped, 0u);
+  EXPECT_LT(outcome.fleiss_kappa, 0.2);
+}
+
+TEST(SimulateAnnotationTest, AnnotatedCorpusFiltersGroundTruth) {
+  CorpusOptions options;
+  options.num_documents = 30;
+  options.seed = 11;
+  Corpus corpus = GenerateCorpus(options);
+
+  AnnotatorSimOptions sim;
+  sim.error_rate = 0.4;
+  AnnotationOutcome outcome = SimulateAnnotation(corpus, sim);
+  size_t original_gt = 0;
+  size_t kept_gt = 0;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    original_gt += corpus.documents[i].ground_truth.size();
+    kept_gt += outcome.annotated.documents[i].ground_truth.size();
+  }
+  EXPECT_LT(kept_gt, original_gt);
+  EXPECT_EQ(kept_gt, outcome.pairs_kept);
+}
+
+}  // namespace
+}  // namespace briq::corpus

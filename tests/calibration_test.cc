@@ -1,0 +1,64 @@
+#include "ml/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace briq::ml {
+namespace {
+
+TEST(ReliabilityDiagramTest, BinsPartitionScores) {
+  std::vector<double> scores = {0.05, 0.15, 0.95, 0.55, 1.0, 0.0};
+  std::vector<int> labels = {0, 0, 1, 1, 1, 0};
+  auto bins = ReliabilityDiagram(scores, labels, 10);
+  ASSERT_EQ(bins.size(), 10u);
+  size_t total = 0;
+  for (const auto& b : bins) total += b.count;
+  EXPECT_EQ(total, scores.size());
+  // 1.0 lands in the last bin, 0.0 in the first.
+  EXPECT_EQ(bins[0].count, 2u);   // 0.05 and 0.0
+  EXPECT_EQ(bins[9].count, 2u);   // 0.95 and 1.0
+  EXPECT_DOUBLE_EQ(bins[9].fraction_positive, 1.0);
+}
+
+TEST(EceTest, PerfectCalibrationIsZero) {
+  // Scores equal to the empirical rate in each bin.
+  util::Rng rng(5);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 20000; ++i) {
+    double p = (i % 10) / 10.0 + 0.05;  // bin centers
+    scores.push_back(p);
+    labels.push_back(rng.Bernoulli(p) ? 1 : 0);
+  }
+  EXPECT_LT(ExpectedCalibrationError(scores, labels), 0.02);
+}
+
+TEST(EceTest, OverconfidenceDetected) {
+  // Predicts 0.95 but the true rate is 0.5.
+  util::Rng rng(6);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 5000; ++i) {
+    scores.push_back(0.95);
+    labels.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+  }
+  EXPECT_GT(ExpectedCalibrationError(scores, labels), 0.4);
+}
+
+TEST(BrierScoreTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(BrierScore({1.0, 0.0}, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(BrierScore({0.5, 0.5}, {1, 0}), 0.25);
+  EXPECT_DOUBLE_EQ(BrierScore({0.0}, {1}), 1.0);
+  EXPECT_DOUBLE_EQ(BrierScore({}, {}), 0.0);
+}
+
+TEST(RenderTest, ProducesLinePerBin) {
+  auto bins = ReliabilityDiagram({0.1, 0.9}, {0, 1}, 5);
+  std::string out = RenderReliabilityDiagram(bins);
+  // Header + 5 bins.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+}  // namespace
+}  // namespace briq::ml

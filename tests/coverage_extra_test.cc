@@ -1,0 +1,200 @@
+// Consolidated edge-case coverage across modules: corner cases that the
+// per-module suites don't reach.
+
+#include <gtest/gtest.h>
+
+#include <climits>
+
+#include "corpus/generator.h"
+#include "corpus/paper_examples.h"
+#include "html/html_lexer.h"
+#include "quantity/quantity_parser.h"
+#include "table/mention.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace briq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// util corners
+// ---------------------------------------------------------------------------
+
+TEST(ThousandsSeparatorsEdge, Int64Min) {
+  // INT64_MIN has no positive counterpart; must not overflow.
+  EXPECT_EQ(util::WithThousandsSeparators(INT64_MIN),
+            "-9,223,372,036,854,775,808");
+  EXPECT_EQ(util::WithThousandsSeparators(INT64_MAX),
+            "9,223,372,036,854,775,807");
+}
+
+TEST(FormatDoubleEdge, LargeAndTiny) {
+  EXPECT_EQ(util::FormatDouble(1e6, 0), "1000000");
+  EXPECT_EQ(util::FormatDouble(0.000001, 6), "0.000001");
+  EXPECT_EQ(util::FormatDouble(0.0, 3), "0");
+}
+
+// ---------------------------------------------------------------------------
+// tokenizer / sentence corners
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerEdge, TrailingHyphenNotConsumed) {
+  auto tokens = text::Tokenize("well- spoken");
+  EXPECT_EQ(tokens[0].textual, "well");
+  EXPECT_EQ(tokens[1].textual, "-");
+}
+
+TEST(TokenizerEdge, NumberEndingInSeparatorStops) {
+  auto tokens = text::Tokenize("1,234, and");
+  EXPECT_EQ(tokens[0].textual, "1,234");
+  EXPECT_EQ(tokens[1].textual, ",");
+}
+
+TEST(SentenceSplitEdge, EllipsisAndTrailingSpaces) {
+  auto spans = text::SplitSentences("Wait... Really. ");
+  EXPECT_GE(spans.size(), 1u);
+  // No span extends past the trimmed content.
+  for (const auto& s : spans) EXPECT_LE(s.end, 16u);
+}
+
+TEST(SentenceSplitEdge, EmptyInput) {
+  EXPECT_TRUE(text::SplitSentences("").empty());
+  EXPECT_TRUE(text::SplitSentences("   ").empty());
+}
+
+// ---------------------------------------------------------------------------
+// quantity corners
+// ---------------------------------------------------------------------------
+
+TEST(QuantityEdge, ZeroIsAQuantity) {
+  auto mentions = quantity::ExtractQuantities("with 0 CO2 emission overall");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_DOUBLE_EQ(mentions[0].value, 0.0);
+  EXPECT_EQ(mentions[0].Scale(), 0);  // log10(0) guarded
+}
+
+TEST(QuantityEdge, MultipleCurrenciesInOneSentence) {
+  auto mentions = quantity::ExtractQuantities(
+      "it sells at 37K EUR in Germany and 39K USD in the US");
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(mentions[0].unit, "EUR");
+  EXPECT_DOUBLE_EQ(mentions[0].value, 37000);
+  EXPECT_EQ(mentions[1].unit, "USD");
+  EXPECT_DOUBLE_EQ(mentions[1].value, 39000);
+}
+
+TEST(QuantityEdge, PercentBeforeScaleWordNotScaled) {
+  // "5% million" is nonsense; the parser must not multiply percents.
+  auto mentions = quantity::ExtractQuantities("a fee of 1.5% was charged");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_DOUBLE_EQ(mentions[0].value, 1.5);
+}
+
+TEST(QuantityEdge, MentionSurfaceCoversUnit) {
+  std::string txt = "priced at $3.26 billion CDN there";
+  auto mentions = quantity::ExtractQuantities(txt);
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].surface, "$3.26 billion CDN");
+}
+
+TEST(QuantityEdge, CellWithFootnoteMarker) {
+  auto q = quantity::ParseCellQuantity("1,234 *");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_DOUBLE_EQ(q->value, 1234);
+}
+
+TEST(QuantityEdge, ApproxNameCoverage) {
+  using quantity::ApproxIndicator;
+  EXPECT_STREQ(quantity::ApproxIndicatorName(ApproxIndicator::kNone), "none");
+  EXPECT_STREQ(quantity::ApproxIndicatorName(ApproxIndicator::kUpperBound),
+               "upper_bound");
+  EXPECT_STREQ(quantity::ApproxIndicatorName(ApproxIndicator::kLowerBound),
+               "lower_bound");
+}
+
+// ---------------------------------------------------------------------------
+// table mention corners
+// ---------------------------------------------------------------------------
+
+TEST(MentionEdge, DebugStringFormats) {
+  table::TableMention m;
+  m.table_index = 2;
+  m.func = table::AggregateFunction::kDiff;
+  m.cells = {{1, 3}, {1, 2}};
+  m.value = 70e6;
+  m.unit = "CDN";
+  std::string s = m.DebugString();
+  EXPECT_NE(s.find("t2"), std::string::npos);
+  EXPECT_NE(s.find("diff"), std::string::npos);
+  EXPECT_NE(s.find("(1,3)"), std::string::npos);
+  EXPECT_NE(s.find("CDN"), std::string::npos);
+}
+
+TEST(MentionEdge, AggregateFunctionNames) {
+  using table::AggregateFunction;
+  EXPECT_STREQ(table::AggregateFunctionName(AggregateFunction::kAverage),
+               "avg");
+  EXPECT_STREQ(table::AggregateFunctionName(AggregateFunction::kMax), "max");
+  EXPECT_STREQ(table::AggregateFunctionName(AggregateFunction::kMin), "min");
+}
+
+// ---------------------------------------------------------------------------
+// html corners
+// ---------------------------------------------------------------------------
+
+TEST(HtmlEdge, UppercaseEntityAndHexEntity) {
+  EXPECT_EQ(html::DecodeEntities("&AMP;"), "&");
+  EXPECT_EQ(html::DecodeEntities("&#X41;"), "A");
+}
+
+TEST(HtmlEdge, AttributeWithoutValue) {
+  auto tokens = html::LexHtml("<td nowrap>x</td>");
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens[0].Attribute("nowrap"), "");
+  // The attribute exists even though it has no value.
+  bool found = false;
+  for (const auto& [k, v] : tokens[0].attributes) {
+    if (k == "nowrap") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// corpus / examples corners
+// ---------------------------------------------------------------------------
+
+TEST(RenderHtmlEdge, EscapesSpecialCharacters) {
+  corpus::Document doc;
+  doc.id = "escape-test";
+  doc.paragraphs = {"a < b & c > d"};
+  doc.tables.push_back(table::Table::FromRows({{"A&B", "<tag>"}}));
+  std::string html = corpus::RenderHtml(doc);
+  EXPECT_NE(html.find("a &lt; b &amp; c &gt; d"), std::string::npos);
+  EXPECT_NE(html.find("A&amp;B"), std::string::npos);
+  EXPECT_NE(html.find("&lt;tag&gt;"), std::string::npos);
+}
+
+TEST(PaperExampleEdge, Figure1bRotatedTableAnnotated) {
+  corpus::Document doc = corpus::Figure1bEnvironment();
+  const table::Table& t = doc.tables[0];
+  // Row-header cue "Emission (g/km)" propagates the unit to the row.
+  ASSERT_TRUE(t.cell(3, 2).numeric());
+  EXPECT_EQ(t.cell(3, 2).quantity->unit, "g/km");
+  // Decimal ratings parse with precision.
+  EXPECT_EQ(t.cell(5, 1).quantity->precision, 2);
+}
+
+TEST(GeneratorEdge, SingleDocumentDeterminism) {
+  util::Rng a(99);
+  util::Rng b(99);
+  corpus::Document da = corpus::GenerateDocument(
+      corpus::GetDomainProfile("sports"), "x", &a);
+  corpus::Document db = corpus::GenerateDocument(
+      corpus::GetDomainProfile("sports"), "x", &b);
+  EXPECT_EQ(da.paragraphs, db.paragraphs);
+  ASSERT_EQ(da.tables.size(), db.tables.size());
+  EXPECT_EQ(da.tables[0].AllContent(), db.tables[0].AllContent());
+}
+
+}  // namespace
+}  // namespace briq

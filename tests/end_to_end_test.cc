@@ -1,0 +1,146 @@
+// End-to-end integration tests: generate a corpus, train BriQ, align, and
+// verify the paper's headline shape — BriQ outperforms both baselines, and
+// quality degrades gracefully under mention perturbation (Table II).
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/gt_matching.h"
+#include "core/pipeline.h"
+#include "corpus/generator.h"
+#include "corpus/perturb.h"
+
+namespace briq {
+namespace {
+
+using core::BriqConfig;
+using core::BriqSystem;
+using core::EvalResult;
+using core::PreparedDocument;
+
+std::vector<PreparedDocument> PrepareAll(const corpus::Corpus& corpus,
+                                         const BriqConfig& config) {
+  std::vector<PreparedDocument> out;
+  out.reserve(corpus.size());
+  for (const corpus::Document& d : corpus.documents) {
+    out.push_back(core::PrepareDocument(d, config));
+  }
+  return out;
+}
+
+std::vector<const PreparedDocument*> Pointers(
+    const std::vector<PreparedDocument>& docs) {
+  std::vector<const PreparedDocument*> out;
+  for (const auto& d : docs) out.push_back(&d);
+  return out;
+}
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::CorpusOptions options;
+    options.num_documents = 120;
+    options.seed = 2024;
+    corpus_ = new corpus::Corpus(corpus::GenerateCorpus(options));
+
+    config_ = new BriqConfig();
+    train_docs_ = new std::vector<PreparedDocument>();
+    test_docs_ = new std::vector<PreparedDocument>();
+    // 80/20 split by document.
+    const size_t split = corpus_->size() * 8 / 10;
+    for (size_t i = 0; i < corpus_->size(); ++i) {
+      auto prepared = core::PrepareDocument(corpus_->documents[i], *config_);
+      (i < split ? train_docs_ : test_docs_)->push_back(std::move(prepared));
+    }
+
+    system_ = new BriqSystem(*config_);
+    ASSERT_TRUE(system_->Train(Pointers(*train_docs_)).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete system_;
+    delete test_docs_;
+    delete train_docs_;
+    delete config_;
+    delete corpus_;
+  }
+
+  static corpus::Corpus* corpus_;
+  static BriqConfig* config_;
+  static std::vector<PreparedDocument>* train_docs_;
+  static std::vector<PreparedDocument>* test_docs_;
+  static BriqSystem* system_;
+};
+
+corpus::Corpus* EndToEndTest::corpus_ = nullptr;
+BriqConfig* EndToEndTest::config_ = nullptr;
+std::vector<PreparedDocument>* EndToEndTest::train_docs_ = nullptr;
+std::vector<PreparedDocument>* EndToEndTest::test_docs_ = nullptr;
+BriqSystem* EndToEndTest::system_ = nullptr;
+
+TEST_F(EndToEndTest, CorpusHasGroundTruth) {
+  size_t total_gt = 0;
+  for (const auto& d : corpus_->documents) total_gt += d.ground_truth.size();
+  EXPECT_GT(total_gt, 300u);
+}
+
+TEST_F(EndToEndTest, ExtractionFindsMostGroundTruthMentions) {
+  size_t found = 0;
+  size_t total = 0;
+  for (const auto& doc : *test_docs_) {
+    for (const auto& m : core::MatchGroundTruth(doc)) {
+      ++total;
+      if (m.text_idx >= 0 && m.table_idx >= 0) ++found;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  // Extraction + virtual-cell generation should cover nearly all targets.
+  EXPECT_GT(static_cast<double>(found) / total, 0.9)
+      << "found " << found << " of " << total;
+}
+
+TEST_F(EndToEndTest, BriqReachesUsableQuality) {
+  EvalResult r = core::EvaluateCorpus(*system_, *test_docs_);
+  EXPECT_GT(r.Precision(), 0.55) << "P=" << r.Precision();
+  EXPECT_GT(r.Recall(), 0.45) << "R=" << r.Recall();
+  EXPECT_GT(r.F1(), 0.5) << "F1=" << r.F1();
+}
+
+TEST_F(EndToEndTest, BriqBeatsBothBaselines) {
+  EvalResult briq = core::EvaluateCorpus(*system_, *test_docs_);
+  core::RfOnlyAligner rf(system_);
+  EvalResult rf_result = core::EvaluateCorpus(rf, *test_docs_);
+  core::RwrOnlyAligner rwr(config_);
+  EvalResult rwr_result = core::EvaluateCorpus(rwr, *test_docs_);
+
+  EXPECT_GT(briq.F1(), rf_result.F1());
+  EXPECT_GT(briq.F1(), rwr_result.F1());
+}
+
+TEST_F(EndToEndTest, PerturbationDegradesGracefully) {
+  EvalResult original = core::EvaluateCorpus(*system_, *test_docs_);
+
+  corpus::Corpus truncated;
+  corpus::Corpus rounded;
+  const size_t split = corpus_->size() * 8 / 10;
+  for (size_t i = split; i < corpus_->size(); ++i) {
+    truncated.documents.push_back(corpus::PerturbDocument(
+        corpus_->documents[i], corpus::PerturbMode::kTruncate));
+    rounded.documents.push_back(corpus::PerturbDocument(
+        corpus_->documents[i], corpus::PerturbMode::kRound));
+  }
+  auto truncated_docs = PrepareAll(truncated, *config_);
+  auto rounded_docs = PrepareAll(rounded, *config_);
+
+  EvalResult tr = core::EvaluateCorpus(*system_, truncated_docs);
+  EvalResult ro = core::EvaluateCorpus(*system_, rounded_docs);
+
+  // Perturbed mentions are harder, but the system must keep working.
+  EXPECT_GT(tr.F1(), 0.25);
+  EXPECT_GT(ro.F1(), 0.2);
+  EXPECT_GE(original.F1() + 1e-9, tr.F1());
+}
+
+}  // namespace
+}  // namespace briq

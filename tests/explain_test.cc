@@ -1,0 +1,81 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/gt_matching.h"
+#include "corpus/paper_examples.h"
+
+namespace briq::core {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  ExplainTest()
+      : doc_(corpus::Figure1aHealth()),
+        prepared_(PrepareDocument(doc_, config_)) {
+    // A synthetic "gold" alignment (no trained model needed here).
+    for (const auto& m : MatchGroundTruth(prepared_)) {
+      if (m.text_idx >= 0 && m.table_idx >= 0) {
+        alignment_.decisions.push_back({m.text_idx, m.table_idx, 0.9});
+      }
+    }
+  }
+
+  corpus::Document doc_;
+  BriqConfig config_;
+  PreparedDocument prepared_;
+  DocumentAlignment alignment_;
+};
+
+TEST_F(ExplainTest, ExplanationNamesMentionTargetAndHeaders) {
+  ASSERT_FALSE(alignment_.decisions.empty());
+  // Find the "38" -> Depression/total decision.
+  for (const auto& d : alignment_.decisions) {
+    if (prepared_.text_mentions[d.text_idx].surface() != "38") continue;
+    std::string ex = ExplainDecision(prepared_, config_, d);
+    EXPECT_NE(ex.find("\"38\""), std::string::npos);
+    EXPECT_NE(ex.find("Depression"), std::string::npos);
+    EXPECT_NE(ex.find("total"), std::string::npos);
+    EXPECT_NE(ex.find("f1_surface_sim"), std::string::npos);
+    return;
+  }
+  FAIL() << "no decision for mention '38'";
+}
+
+TEST_F(ExplainTest, AggregateExplanationNamesFunction) {
+  for (const auto& d : alignment_.decisions) {
+    if (prepared_.text_mentions[d.text_idx].surface() != "123") continue;
+    std::string ex = ExplainDecision(prepared_, config_, d);
+    EXPECT_NE(ex.find("sum over 5 cell(s)"), std::string::npos) << ex;
+    return;
+  }
+  FAIL() << "no decision for mention '123'";
+}
+
+TEST_F(ExplainTest, HintsClassifySentences) {
+  std::vector<SentenceHint> hints =
+      SummarizationHints(prepared_, alignment_);
+  ASSERT_GE(hints.size(), 2u);
+
+  // Sentence 0: "A total of 123 ... 69 female ... 54 male" — three sums.
+  EXPECT_EQ(hints[0].aggregate_references, 3u);
+  EXPECT_TRUE(hints[0].PreferForSummary());
+
+  // Sentence 1: "... depression, reported by 38 ... 5 patients." —
+  // individual cells only.
+  EXPECT_EQ(hints[1].aggregate_references, 0u);
+  EXPECT_EQ(hints[1].single_cell_references, 2u);
+  EXPECT_FALSE(hints[1].PreferForSummary());
+}
+
+TEST_F(ExplainTest, UnalignedMentionsCounted) {
+  DocumentAlignment empty;
+  std::vector<SentenceHint> hints = SummarizationHints(prepared_, empty);
+  size_t unaligned = 0;
+  for (const auto& h : hints) unaligned += h.unaligned_mentions;
+  EXPECT_EQ(unaligned, prepared_.text_mentions.size());
+  for (const auto& h : hints) EXPECT_FALSE(h.PreferForSummary());
+}
+
+}  // namespace
+}  // namespace briq::core

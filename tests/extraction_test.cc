@@ -1,0 +1,130 @@
+#include "core/extraction.h"
+
+#include <gtest/gtest.h>
+
+#include "core/gt_matching.h"
+#include "corpus/paper_examples.h"
+#include "html/page_segmenter.h"
+
+namespace briq::core {
+namespace {
+
+TEST(ContextTokensTest, WordsAndNumbersLowercased) {
+  EXPECT_EQ(ContextTokens("Total Revenue 2013 was $3,263"),
+            (std::vector<std::string>{"total", "revenue", "2013", "was",
+                                      "3,263"}));
+}
+
+TEST(PrepareDocumentTest, ExtractsBothSides) {
+  corpus::Document doc = corpus::Figure1aHealth();
+  BriqConfig config;
+  PreparedDocument prepared = PrepareDocument(doc, config);
+
+  // Text side: 123, 69, 54, 38, 5 (years/headings filtered out).
+  EXPECT_EQ(prepared.text_mentions.size(), 5u);
+  // Table side: 15 single cells + virtual cells.
+  EXPECT_EQ(prepared.vc_stats.single_cells, 15u);
+  EXPECT_GT(prepared.vc_stats.virtual_total(), 0u);
+  EXPECT_EQ(prepared.table_mentions.size(),
+            prepared.vc_stats.single_cells +
+                prepared.vc_stats.virtual_total() -
+                prepared.vc_stats.skipped_degenerate);
+}
+
+TEST(PrepareDocumentTest, MentionPositionsFilled) {
+  corpus::Document doc = corpus::Figure1aHealth();
+  BriqConfig config;
+  PreparedDocument prepared = PrepareDocument(doc, config);
+  for (const table::TextMention& m : prepared.text_mentions) {
+    EXPECT_EQ(m.paragraph, 0);
+    ASSERT_LT(m.token_pos, prepared.paragraph_tokens[0].size());
+    // The token at token_pos overlaps the mention span.
+    EXPECT_TRUE(prepared.paragraph_tokens[0][m.token_pos].span.Overlaps(
+        m.q.span));
+  }
+}
+
+TEST(PrepareDocumentTest, ContextCachesPopulated) {
+  corpus::Document doc = corpus::Figure1cFinance();
+  BriqConfig config;
+  PreparedDocument prepared = PrepareDocument(doc, config);
+  ASSERT_EQ(prepared.table_contexts.size(), 1u);
+  const auto& ctx = prepared.table_contexts[0];
+  EXPECT_FALSE(ctx.all_words.empty());
+  EXPECT_FALSE(ctx.all_phrases.empty());
+  ASSERT_EQ(ctx.row_words.size(), 5u);
+  // Row 1 context contains its header and the column headers.
+  auto has = [](const std::vector<std::string>& v, const std::string& w) {
+    return std::find(v.begin(), v.end(), w) != v.end();
+  };
+  EXPECT_TRUE(has(ctx.row_words[1], "revenue"));
+  // Column headers live in the *column* context, not the row's.
+  EXPECT_FALSE(has(ctx.row_words[1], "2013"));
+  EXPECT_TRUE(has(ctx.col_words[1], "2013"));
+}
+
+TEST(GtMatchingTest, AllFigure1aTargetsResolve) {
+  corpus::Document doc = corpus::Figure1aHealth();
+  BriqConfig config;
+  PreparedDocument prepared = PrepareDocument(doc, config);
+  auto matched = MatchGroundTruth(prepared);
+  ASSERT_EQ(matched.size(), 5u);
+  for (const auto& m : matched) {
+    EXPECT_GE(m.text_idx, 0) << m.gt->surface;
+    EXPECT_GE(m.table_idx, 0) << m.gt->surface;
+  }
+}
+
+TEST(GtMatchingTest, UnresolvableTargetReportsMinusOne) {
+  corpus::Document doc = corpus::Figure1aHealth();
+  // Point one annotation at a bogus cell set that no generator produces.
+  doc.ground_truth[0].target.cells = {{1, 1}, {2, 2}};  // cross-diagonal
+  doc.ground_truth[0].target.func = table::AggregateFunction::kDiff;
+  BriqConfig config;
+  PreparedDocument prepared = PrepareDocument(doc, config);
+  auto matched = MatchGroundTruth(prepared);
+  EXPECT_EQ(matched[0].table_idx, -1);
+  EXPECT_GE(matched[0].text_idx, 0);
+}
+
+TEST(BuildDocumentsFromPageTest, ParagraphsPairWithRelatedTables) {
+  // Two topics on one page; each paragraph should pick up its own table.
+  std::string html =
+      "<html><body>"
+      "<p>Depression was reported by 38 patients during the drug trials "
+      "with side effects like rash and nausea.</p>"
+      "<table><tr><th>side effects</th><th>total</th></tr>"
+      "<tr><td>Rash</td><td>35</td></tr>"
+      "<tr><td>Depression</td><td>38</td></tr>"
+      "<tr><td>Nausea</td><td>11</td></tr></table>"
+      "<p>Total revenue reached 3,263 in fiscal 2013 while income taxes "
+      "were 179.</p>"
+      "<table><tr><th>Income</th><th>2013</th></tr>"
+      "<tr><td>Total Revenue</td><td>3,263</td></tr>"
+      "<tr><td>Income taxes</td><td>179</td></tr></table>"
+      "</body></html>";
+  html::Page page = html::SegmentPage(html);
+  ASSERT_EQ(page.TableCount(), 2u);
+
+  auto docs = BuildDocumentsFromPage(page, /*similarity_threshold=*/0.12);
+  ASSERT_EQ(docs.size(), 2u);
+  // Health paragraph pairs with the side-effects table.
+  ASSERT_FALSE(docs[0].tables.empty());
+  EXPECT_EQ(docs[0].tables[0].cell(1, 0).raw, "Rash");
+  ASSERT_FALSE(docs[1].tables.empty());
+  EXPECT_EQ(docs[1].tables[0].cell(1, 0).raw, "Total Revenue");
+}
+
+TEST(BuildDocumentsFromPageTest, UnrelatedParagraphYieldsNoDocument) {
+  std::string html =
+      "<html><body>"
+      "<p>Completely unrelated musings about weather and poetry.</p>"
+      "<table><tr><th>x</th><th>y</th></tr><tr><td>1</td><td>2</td></tr>"
+      "</table></body></html>";
+  html::Page page = html::SegmentPage(html);
+  auto docs = BuildDocumentsFromPage(page, /*similarity_threshold=*/0.2);
+  EXPECT_TRUE(docs.empty());
+}
+
+}  // namespace
+}  // namespace briq::core

@@ -1,0 +1,187 @@
+// Tests of the 12 mention-pair features (paper §IV-B) and the cue-word
+// machinery they share with the tagger.
+
+#include "core/features.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cues.h"
+#include "core/evaluation.h"
+#include "corpus/paper_examples.h"
+
+namespace briq::core {
+namespace {
+
+using table::AggregateFunction;
+
+// Index of the text mention with the given surface; -1 if absent.
+int TextIdx(const PreparedDocument& doc, const std::string& surface) {
+  for (size_t i = 0; i < doc.text_mentions.size(); ++i) {
+    if (doc.text_mentions[i].surface() == surface) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// Index of the table mention matching (func, cells) in table 0.
+int TableIdx(const PreparedDocument& doc, AggregateFunction func,
+             const std::vector<table::CellRef>& cells) {
+  for (size_t j = 0; j < doc.table_mentions.size(); ++j) {
+    if (doc.table_mentions[j].func == func &&
+        doc.table_mentions[j].cells == cells) {
+      return static_cast<int>(j);
+    }
+  }
+  return -1;
+}
+
+class FeatureTest : public ::testing::Test {
+ protected:
+  FeatureTest()
+      : doc_(corpus::Figure1aHealth()),
+        prepared_(PrepareDocument(doc_, config_)),
+        features_(prepared_, config_) {}
+
+  corpus::Document doc_;
+  BriqConfig config_;
+  PreparedDocument prepared_;
+  FeatureComputer features_;
+};
+
+TEST_F(FeatureTest, TwelveFeaturesByDefault) {
+  int x = TextIdx(prepared_, "38");
+  int t = TableIdx(prepared_, AggregateFunction::kNone, {{2, 3}});
+  ASSERT_GE(x, 0);
+  ASSERT_GE(t, 0);
+  EXPECT_EQ(features_.ComputeAll(x, t).size(), 12u);
+  EXPECT_EQ(features_.NumActive(), 12);
+}
+
+TEST_F(FeatureTest, SurfaceSimilarityHighForExactMatch) {
+  int x = TextIdx(prepared_, "38");
+  int correct = TableIdx(prepared_, AggregateFunction::kNone, {{2, 3}});
+  int wrong = TableIdx(prepared_, AggregateFunction::kNone, {{1, 1}});  // 15
+  auto f_good = features_.ComputeAll(x, correct);
+  auto f_bad = features_.ComputeAll(x, wrong);
+  EXPECT_GT(f_good[0], f_bad[0]);  // f1
+  EXPECT_NEAR(f_good[0], 1.0, 1e-9);
+}
+
+TEST_F(FeatureTest, ValueFeaturesZeroForExactMatch) {
+  int x = TextIdx(prepared_, "38");
+  int t = TableIdx(prepared_, AggregateFunction::kNone, {{2, 3}});
+  auto f = features_.ComputeAll(x, t);
+  EXPECT_DOUBLE_EQ(f[5], 0.0);  // f6 normalized rel diff
+  EXPECT_DOUBLE_EQ(f[6], 0.0);  // f7 unnormalized rel diff
+  EXPECT_DOUBLE_EQ(f[8], 0.0);  // f9 scale diff
+  EXPECT_DOUBLE_EQ(f[9], 0.0);  // f10 precision diff
+}
+
+TEST_F(FeatureTest, ContextOverlapPrefersCorrectRow) {
+  // "depression, reported by 38" — the Depression row context should
+  // overlap more than the Rash row's.
+  int x = TextIdx(prepared_, "38");
+  int depression_total = TableIdx(prepared_, AggregateFunction::kNone, {{2, 3}});
+  int rash_row_cell = TableIdx(prepared_, AggregateFunction::kNone, {{1, 2}});
+  auto f_good = features_.ComputeAll(x, depression_total);
+  auto f_bad = features_.ComputeAll(x, rash_row_cell);
+  EXPECT_GT(f_good[1], f_bad[1]);  // f2 local word overlap
+}
+
+TEST_F(FeatureTest, UnitMatchCategories) {
+  // Fig 1a has unitless mentions and cells: weak match (2).
+  int x = TextIdx(prepared_, "38");
+  int t = TableIdx(prepared_, AggregateFunction::kNone, {{2, 3}});
+  EXPECT_DOUBLE_EQ(features_.ComputeAll(x, t)[7], 2.0);
+}
+
+TEST_F(FeatureTest, AggregateMatchStrongForCuedSum) {
+  // "A total of 123" with the sum virtual cell: strong match (3).
+  int x = TextIdx(prepared_, "123");
+  std::vector<table::CellRef> total_col = {
+      {1, 3}, {2, 3}, {3, 3}, {4, 3}, {5, 3}};
+  int t_sum = TableIdx(prepared_, AggregateFunction::kSum, total_col);
+  ASSERT_GE(x, 0);
+  ASSERT_GE(t_sum, 0);
+  EXPECT_DOUBLE_EQ(features_.ComputeAll(x, t_sum)[11], 3.0);
+
+  // Against a single cell: weak mismatch (1) — cue on one side only.
+  int t_single = TableIdx(prepared_, AggregateFunction::kNone, {{2, 3}});
+  EXPECT_DOUBLE_EQ(features_.ComputeAll(x, t_single)[11], 1.0);
+}
+
+TEST_F(FeatureTest, AblationMaskDropsGroup) {
+  BriqConfig masked = ConfigWithoutGroup(config_, FeatureGroup::kQuantity);
+  FeatureComputer fc(prepared_, masked);
+  EXPECT_EQ(fc.NumActive(), 7);  // 12 - 5 quantity features
+  int x = TextIdx(prepared_, "38");
+  int t = TableIdx(prepared_, AggregateFunction::kNone, {{2, 3}});
+  EXPECT_EQ(fc.Compute(x, t).size(), 7u);
+}
+
+TEST_F(FeatureTest, UniformSimilarityFavorsGoldPair) {
+  int x = TextIdx(prepared_, "38");
+  int correct = TableIdx(prepared_, AggregateFunction::kNone, {{2, 3}});
+  int wrong = TableIdx(prepared_, AggregateFunction::kNone, {{4, 1}});  // 5
+  EXPECT_GT(features_.UniformSimilarity(x, correct),
+            features_.UniformSimilarity(x, wrong));
+}
+
+TEST_F(FeatureTest, FeatureNamesMatchCount) {
+  EXPECT_EQ(FeatureComputer::FeatureNames().size(),
+            static_cast<size_t>(kNumPairFeatures));
+}
+
+TEST(FeatureGroupTest, GroupAssignment) {
+  EXPECT_EQ(FeatureGroupOf(0), FeatureGroup::kSurface);
+  for (int f : {1, 2, 3, 4, 10, 11}) {
+    EXPECT_EQ(FeatureGroupOf(f), FeatureGroup::kContext) << f;
+  }
+  for (int f : {5, 6, 7, 8, 9}) {
+    EXPECT_EQ(FeatureGroupOf(f), FeatureGroup::kQuantity) << f;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cue words.
+// ---------------------------------------------------------------------------
+
+TEST(CueTest, CueFunctionOf) {
+  EXPECT_EQ(CueFunctionOf("total"), AggregateFunction::kSum);
+  EXPECT_EQ(CueFunctionOf("Overall"), AggregateFunction::kSum);
+  EXPECT_EQ(CueFunctionOf("difference"), AggregateFunction::kDiff);
+  EXPECT_EQ(CueFunctionOf("rose"), AggregateFunction::kDiff);
+  EXPECT_EQ(CueFunctionOf("share"), AggregateFunction::kPercentage);
+  EXPECT_EQ(CueFunctionOf("increased"), AggregateFunction::kChangeRatio);
+  EXPECT_EQ(CueFunctionOf("patients"), AggregateFunction::kNone);
+}
+
+TEST(CueTest, InferAggregateFunctionFromWindow) {
+  auto tokens = text::Tokenize("A total of 123 patients were treated");
+  // Mention "123" is token index 3.
+  EXPECT_EQ(InferAggregateFunction(tokens, 3, 5), AggregateFunction::kSum);
+
+  tokens = text::Tokenize("revenue increased by 1.5% that year");
+  EXPECT_EQ(InferAggregateFunction(tokens, 3, 5),
+            AggregateFunction::kChangeRatio);
+
+  tokens = text::Tokenize("reported by 38 patients overall nothing");
+  // "overall" within window -> sum.
+  EXPECT_EQ(InferAggregateFunction(tokens, 2, 5), AggregateFunction::kSum);
+
+  tokens = text::Tokenize("the value was 42 yesterday");
+  EXPECT_EQ(InferAggregateFunction(tokens, 3, 5), AggregateFunction::kNone);
+}
+
+TEST(CueTest, CountCuesPerScope) {
+  auto tokens =
+      text::Tokenize("the total rose and the share increased overall");
+  std::vector<int> counts = CountCues(tokens, 0, tokens.size());
+  // kCueFunctions order: sum, diff, pct, ratio.
+  EXPECT_EQ(counts[0], 2);  // total, overall
+  EXPECT_EQ(counts[1], 1);  // rose
+  EXPECT_EQ(counts[2], 1);  // share
+  EXPECT_EQ(counts[3], 1);  // increased
+}
+
+}  // namespace
+}  // namespace briq::core

@@ -1,0 +1,202 @@
+// Tests of the synthetic corpus generator: ground-truth consistency is the
+// critical invariant — every annotated alignment must be recoverable from
+// the generated table by evaluating its aggregate function.
+
+#include "corpus/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corpus/domain_profile.h"
+#include "html/page_segmenter.h"
+#include "quantity/quantity_parser.h"
+#include "table/virtual_cell.h"
+#include "util/random.h"
+
+namespace briq::corpus {
+namespace {
+
+Corpus SmallCorpus(size_t n = 40, uint64_t seed = 77) {
+  CorpusOptions options;
+  options.num_documents = n;
+  options.seed = seed;
+  return GenerateCorpus(options);
+}
+
+TEST(GeneratorTest, ProducesRequestedCount) {
+  EXPECT_EQ(SmallCorpus(25).documents.size(), 25u);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  Corpus a = SmallCorpus(10, 5);
+  Corpus b = SmallCorpus(10, 5);
+  ASSERT_EQ(a.documents.size(), b.documents.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.documents[i].paragraphs, b.documents[i].paragraphs);
+    EXPECT_EQ(a.documents[i].ground_truth.size(),
+              b.documents[i].ground_truth.size());
+  }
+}
+
+TEST(GeneratorTest, DocumentsHaveTablesAndText) {
+  for (const Document& d : SmallCorpus().documents) {
+    EXPECT_FALSE(d.tables.empty()) << d.id;
+    EXPECT_FALSE(d.paragraphs.empty()) << d.id;
+    EXPECT_FALSE(d.ground_truth.empty()) << d.id;
+  }
+}
+
+TEST(GeneratorTest, GroundTruthSpansMatchParagraphs) {
+  for (const Document& d : SmallCorpus().documents) {
+    for (const GroundTruthAlignment& gt : d.ground_truth) {
+      ASSERT_LT(static_cast<size_t>(gt.paragraph), d.paragraphs.size());
+      const std::string& para = d.paragraphs[gt.paragraph];
+      ASSERT_LE(gt.span.end, para.size());
+      EXPECT_EQ(para.substr(gt.span.begin, gt.span.length()), gt.surface);
+    }
+  }
+}
+
+TEST(GeneratorTest, GroundTruthTargetsAreConsistent) {
+  // Property: the annotated target's aggregate value must be close to the
+  // numeric value stated in the text (exact up to the chosen realization).
+  for (const Document& d : SmallCorpus(60).documents) {
+    for (const GroundTruthAlignment& gt : d.ground_truth) {
+      ASSERT_LT(static_cast<size_t>(gt.target.table_index), d.tables.size());
+      const table::Table& t = d.tables[gt.target.table_index];
+      std::vector<double> values;
+      for (const table::CellRef& ref : gt.target.cells) {
+        ASSERT_TRUE(t.cell(ref).numeric())
+            << d.id << " cell (" << ref.row << "," << ref.col << ")";
+        values.push_back(t.cell(ref).quantity->value);
+      }
+      double target_value = table::EvaluateAggregate(
+          gt.target.func == table::AggregateFunction::kNone
+              ? table::AggregateFunction::kNone
+              : gt.target.func,
+          values);
+      ASSERT_TRUE(std::isfinite(target_value)) << d.id;
+
+      // Parse the value back out of the surface.
+      auto mentions = quantity::ExtractQuantities(gt.surface);
+      ASSERT_FALSE(mentions.empty()) << d.id << " '" << gt.surface << "'";
+      double text_value = mentions[0].value;
+      double tolerance =
+          gt.realization == Realization::kExact ? 1e-6 : 0.35;
+      EXPECT_LE(quantity::RelativeDifference(text_value, target_value),
+                tolerance)
+          << d.id << " '" << gt.surface << "' vs " << target_value;
+    }
+  }
+}
+
+TEST(GeneratorTest, GroundTruthTargetsExistAmongGeneratedMentions) {
+  // Every target must correspond to a generatable table mention.
+  table::VirtualCellOptions options;
+  for (const Document& d : SmallCorpus(40, 123).documents) {
+    for (size_t ti = 0; ti < d.tables.size(); ++ti) {
+      // pre-generate per table
+    }
+    for (const GroundTruthAlignment& gt : d.ground_truth) {
+      auto mentions = table::GenerateTableMentions(
+          d.tables[gt.target.table_index], gt.target.table_index, options);
+      bool found = false;
+      for (const auto& m : mentions) {
+        if (gt.target.Matches(m)) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << d.id << " '" << gt.surface << "'";
+    }
+  }
+}
+
+TEST(GeneratorTest, MentionTypeMixMatchesProfileShape) {
+  Corpus corpus = SmallCorpus(300, 9);
+  size_t single = 0;
+  size_t aggregate = 0;
+  for (const Document& d : corpus.documents) {
+    for (const auto& gt : d.ground_truth) {
+      if (gt.target.func == table::AggregateFunction::kNone) {
+        ++single;
+      } else {
+        ++aggregate;
+      }
+    }
+  }
+  // Paper Table I: single-cell ~87% of positives.
+  double frac = static_cast<double>(single) / (single + aggregate);
+  EXPECT_GT(frac, 0.75);
+  EXPECT_LT(frac, 0.97);
+}
+
+TEST(GeneratorTest, DomainsRespectWeights) {
+  CorpusOptions options;
+  options.num_documents = 50;
+  options.seed = 3;
+  options.domain_weights = {{"health", 1.0}};
+  for (const Document& d : GenerateCorpus(options).documents) {
+    EXPECT_EQ(d.domain, "health");
+  }
+}
+
+TEST(GeneratorTest, HtmlRoundTripPreservesStructure) {
+  util::Rng rng(21);
+  Document doc = GenerateDocument(GetDomainProfile("finance"), "x", &rng);
+  std::string html = RenderHtml(doc);
+  html::Page page = html::SegmentPage(html);
+  EXPECT_EQ(page.ParagraphCount(), doc.paragraphs.size());
+  ASSERT_EQ(page.TableCount(), doc.tables.size());
+  // The extracted tables have the same shape and cell content.
+  size_t table_block = 0;
+  for (const auto& block : page.blocks) {
+    if (block.kind != html::PageBlock::Kind::kTable) continue;
+    const table::Table& original = doc.tables[table_block];
+    EXPECT_EQ(block.table.num_rows(), original.num_rows());
+    EXPECT_EQ(block.table.num_cols(), original.num_cols());
+    for (int r = 0; r < original.num_rows(); ++r) {
+      for (int c = 0; c < original.num_cols(); ++c) {
+        EXPECT_EQ(block.table.cell(r, c).raw, original.cell(r, c).raw);
+      }
+    }
+    ++table_block;
+  }
+}
+
+TEST(GeneratorTest, GeneratedDocumentsPassCorpusFilter) {
+  size_t passing = 0;
+  Corpus corpus = SmallCorpus(40, 55);
+  for (const Document& d : corpus.documents) {
+    if (PassesCorpusFilter(d)) ++passing;
+  }
+  // Generated documents discuss their tables, so the vast majority must
+  // pass the DWTC-style selection criteria (vague-template documents can
+  // legitimately miss the token-overlap test).
+  EXPECT_GE(passing, corpus.size() * 85 / 100);
+}
+
+TEST(GeneratorTest, AllDomainProfilesUsable) {
+  util::Rng rng(31);
+  for (const DomainProfile& p : AllDomainProfiles()) {
+    Document d = GenerateDocument(p, "t-" + p.name, &rng);
+    EXPECT_FALSE(d.tables.empty()) << p.name;
+    EXPECT_FALSE(d.ground_truth.empty()) << p.name;
+  }
+}
+
+TEST(CorpusFilterTest, RejectsTablelessAndNumberlessDocs) {
+  Document no_tables;
+  no_tables.paragraphs = {"The value was 42."};
+  EXPECT_FALSE(PassesCorpusFilter(no_tables));
+
+  util::Rng rng(41);
+  Document d = GenerateDocument(GetDomainProfile("health"), "x", &rng);
+  Document no_numbers = d;
+  no_numbers.paragraphs = {"Nothing numeric here at all."};
+  EXPECT_FALSE(PassesCorpusFilter(no_numbers));
+}
+
+}  // namespace
+}  // namespace briq::corpus

@@ -1,0 +1,162 @@
+// Tests of the graph substrate and Random Walk with Restart.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/graph.h"
+#include "graph/random_walk.h"
+
+namespace briq::graph {
+namespace {
+
+TEST(GraphTest, AddAndQueryEdges) {
+  Graph g(3);
+  g.AddEdge(0, 1, 0.5);
+  g.AddEdge(1, 2, 1.5);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 0.5);  // undirected
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 2), 0.0);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, AddEdgeAccumulates) {
+  Graph g(2);
+  g.AddEdge(0, 1, 0.5);
+  g.AddEdge(0, 1, 0.25);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 0.75);
+}
+
+TEST(GraphTest, RemoveEdge) {
+  Graph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.RemoveEdge(0, 1);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  g.RemoveEdge(0, 1);  // idempotent
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphTest, WeightedDegree) {
+  Graph g(3);
+  g.AddEdge(0, 1, 0.5);
+  g.AddEdge(0, 2, 1.5);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 2.0);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(1), 0.5);
+}
+
+TEST(GraphTest, AddNode) {
+  Graph g;
+  EXPECT_EQ(g.AddNode(), 0);
+  EXPECT_EQ(g.AddNode(), 1);
+  EXPECT_EQ(g.num_nodes(), 2);
+}
+
+TEST(RwrTest, IsDistribution) {
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  auto pi = RandomWalkWithRestart(g, 0);
+  double total = std::accumulate(pi.begin(), pi.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  for (double p : pi) EXPECT_GE(p, 0.0);
+}
+
+TEST(RwrTest, SourceHasHighestMassOnSymmetricGraph) {
+  Graph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 2, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  auto pi = RandomWalkWithRestart(g, 0);
+  EXPECT_GT(pi[0], pi[1]);
+  EXPECT_GT(pi[0], pi[2]);
+  EXPECT_NEAR(pi[1], pi[2], 1e-9);  // symmetry
+}
+
+TEST(RwrTest, TwoNodeAnalyticSolution) {
+  // Two nodes, one edge: pi0 = c + (1-c) pi1, pi1 = (1-c) pi0, hence
+  // pi0 = 1/(2-c) and pi1 = (1-c)/(2-c). c = 0.2: 0.5556 / 0.4444.
+  Graph g(2);
+  g.AddEdge(0, 1, 1.0);
+  RwrConfig config;
+  config.restart_prob = 0.2;
+  auto pi = RandomWalkWithRestart(g, 0, config);
+  EXPECT_NEAR(pi[0], 1.0 / 1.8, 1e-6);
+  EXPECT_NEAR(pi[1], 0.8 / 1.8, 1e-6);
+}
+
+TEST(RwrTest, ProximityBeatsDistance) {
+  // Chain 0-1-2-3-4: mass decays with distance from the source.
+  Graph g(5);
+  for (int i = 0; i + 1 < 5; ++i) g.AddEdge(i, i + 1, 1.0);
+  auto pi = RandomWalkWithRestart(g, 0);
+  EXPECT_GT(pi[1], pi[2]);
+  EXPECT_GT(pi[2], pi[3]);
+  EXPECT_GT(pi[3], pi[4]);
+}
+
+TEST(RwrTest, EdgeWeightsSteerTheWalk) {
+  // From 0, a heavy edge to 1 and a light edge to 2.
+  Graph g(3);
+  g.AddEdge(0, 1, 10.0);
+  g.AddEdge(0, 2, 1.0);
+  auto pi = RandomWalkWithRestart(g, 0);
+  EXPECT_GT(pi[1], pi[2]);
+}
+
+TEST(RwrTest, DisconnectedComponentGetsNoMass) {
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  auto pi = RandomWalkWithRestart(g, 0);
+  EXPECT_NEAR(pi[2], 0.0, 1e-12);
+  EXPECT_NEAR(pi[3], 0.0, 1e-12);
+}
+
+TEST(RwrTest, IsolatedSourceKeepsAllMass) {
+  Graph g(3);
+  g.AddEdge(1, 2, 1.0);
+  auto pi = RandomWalkWithRestart(g, 0);
+  EXPECT_NEAR(pi[0], 1.0, 1e-9);
+}
+
+TEST(RwrTest, RestartProbOneConcentratesAtSource) {
+  Graph g(2);
+  g.AddEdge(0, 1, 1.0);
+  RwrConfig config;
+  config.restart_prob = 1.0;
+  auto pi = RandomWalkWithRestart(g, 0, config);
+  EXPECT_NEAR(pi[0], 1.0, 1e-9);
+}
+
+TEST(RwrTest, ConvergesAndReportsIterations) {
+  Graph g(10);
+  for (int i = 0; i + 1 < 10; ++i) g.AddEdge(i, i + 1, 1.0);
+  int iterations = 0;
+  RandomWalkWithRestart(g, 0, {}, &iterations);
+  EXPECT_GT(iterations, 1);
+  EXPECT_LT(iterations, 200);
+}
+
+TEST(RwrTest, EdgeDeletionChangesDistribution) {
+  // The resolution algorithm relies on deletions steering later walks.
+  Graph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 2, 1.0);
+  g.AddEdge(1, 3, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  auto before = RandomWalkWithRestart(g, 0);
+  g.RemoveEdge(0, 2);
+  auto after = RandomWalkWithRestart(g, 0);
+  EXPECT_GT(after[1], before[1]);
+  EXPECT_LT(after[2], before[2]);
+}
+
+}  // namespace
+}  // namespace briq::graph

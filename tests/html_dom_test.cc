@@ -1,0 +1,88 @@
+#include "html/html_dom.h"
+
+#include <gtest/gtest.h>
+
+namespace briq::html {
+namespace {
+
+TEST(DomTest, SimpleTree) {
+  auto dom = ParseHtml("<html><body><p>Hello</p></body></html>");
+  const Node* p = dom->FindFirst("p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->InnerText(), "Hello");
+}
+
+TEST(DomTest, ImpliedParagraphClose) {
+  // Second <p> implicitly closes the first.
+  auto dom = ParseHtml("<p>one<p>two</p>");
+  auto ps = dom->FindAll("p");
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0]->InnerText(), "one");
+  EXPECT_EQ(ps[1]->InnerText(), "two");
+}
+
+TEST(DomTest, TableImpliedCloses) {
+  // Missing </td> and </tr> everywhere — the implied-close rules recover
+  // the row structure.
+  auto dom = ParseHtml("<table><tr><td>a<td>b<tr><td>c<td>d</table>");
+  auto rows = dom->FindAll("tr");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0]->FindAll("td").size(), 2u);
+  EXPECT_EQ(rows[1]->FindAll("td").size(), 2u);
+}
+
+TEST(DomTest, TableClosesOpenParagraph) {
+  auto dom = ParseHtml("<p>text<table><tr><td>1</td></tr></table>");
+  const Node* p = dom->FindFirst("p");
+  ASSERT_NE(p, nullptr);
+  // The table must be a sibling of the paragraph, not its child.
+  EXPECT_EQ(p->FindFirst("table"), nullptr);
+  EXPECT_NE(dom->FindFirst("table"), nullptr);
+}
+
+TEST(DomTest, VoidElementsDoNotNest) {
+  auto dom = ParseHtml("<p>a<br>b</p>");
+  const Node* p = dom->FindFirst("p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->InnerText(), "a b");
+  const Node* br = p->FindFirst("br");
+  ASSERT_NE(br, nullptr);
+  EXPECT_TRUE(br->children.empty());
+}
+
+TEST(DomTest, StrayEndTagIgnored) {
+  auto dom = ParseHtml("<p>text</div></p>");
+  EXPECT_EQ(dom->FindFirst("p")->InnerText(), "text");
+}
+
+TEST(DomTest, InnerTextCollapsesWhitespace) {
+  auto dom = ParseHtml("<p>  a \n\n  b\t c  </p>");
+  EXPECT_EQ(dom->FindFirst("p")->InnerText(), "a b c");
+}
+
+TEST(DomTest, InnerTextJoinsChildren) {
+  auto dom = ParseHtml("<td>Automation <b>&amp;</b> Control</td>");
+  EXPECT_EQ(dom->FindFirst("td")->InnerText(), "Automation & Control");
+}
+
+TEST(DomTest, FindAllDocumentOrder) {
+  auto dom = ParseHtml("<div><p>1</p><div><p>2</p></div><p>3</p></div>");
+  auto ps = dom->FindAll("p");
+  ASSERT_EQ(ps.size(), 3u);
+  EXPECT_EQ(ps[0]->InnerText(), "1");
+  EXPECT_EQ(ps[1]->InnerText(), "2");
+  EXPECT_EQ(ps[2]->InnerText(), "3");
+}
+
+TEST(DomTest, AttributePreserved) {
+  auto dom = ParseHtml("<td colspan=\"3\">x</td>");
+  EXPECT_EQ(dom->FindFirst("td")->Attribute("colspan"), "3");
+}
+
+TEST(DomTest, EmptyInput) {
+  auto dom = ParseHtml("");
+  EXPECT_TRUE(dom->children.empty());
+}
+
+}  // namespace
+}  // namespace briq::html

@@ -1,0 +1,95 @@
+#include "html/html_lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace briq::html {
+namespace {
+
+TEST(DecodeEntitiesTest, NamedEntities) {
+  EXPECT_EQ(DecodeEntities("a &amp; b"), "a & b");
+  EXPECT_EQ(DecodeEntities("&lt;tag&gt;"), "<tag>");
+  EXPECT_EQ(DecodeEntities("5&nbsp;km"), "5 km");
+  EXPECT_EQ(DecodeEntities("&euro;37"), "\xE2\x82\xAC" "37");
+  EXPECT_EQ(DecodeEntities("&pound;5"), "\xC2\xA3" "5");
+  EXPECT_EQ(DecodeEntities("5 &plusmn; 1"), "5 \xC2\xB1 1");
+}
+
+TEST(DecodeEntitiesTest, NumericEntities) {
+  EXPECT_EQ(DecodeEntities("&#65;"), "A");
+  EXPECT_EQ(DecodeEntities("&#x41;"), "A");
+  EXPECT_EQ(DecodeEntities("&#x20AC;"), "\xE2\x82\xAC");
+}
+
+TEST(DecodeEntitiesTest, MalformedStaysLiteral) {
+  EXPECT_EQ(DecodeEntities("AT&T"), "AT&T");
+  EXPECT_EQ(DecodeEntities("a & b"), "a & b");
+  EXPECT_EQ(DecodeEntities("&unknownentity;"), "&unknownentity;");
+  EXPECT_EQ(DecodeEntities("tail &"), "tail &");
+}
+
+TEST(LexerTest, TagsAndText) {
+  auto tokens = LexHtml("<p>Hello</p>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, HtmlTokenKind::kStartTag);
+  EXPECT_EQ(tokens[0].tag, "p");
+  EXPECT_EQ(tokens[1].kind, HtmlTokenKind::kText);
+  EXPECT_EQ(tokens[1].textual, "Hello");
+  EXPECT_EQ(tokens[2].kind, HtmlTokenKind::kEndTag);
+}
+
+TEST(LexerTest, TagNamesLowercased) {
+  auto tokens = LexHtml("<TABLE><TR></TR></TABLE>");
+  EXPECT_EQ(tokens[0].tag, "table");
+  EXPECT_EQ(tokens[1].tag, "tr");
+}
+
+TEST(LexerTest, AttributesQuotedAndUnquoted) {
+  auto tokens = LexHtml("<td colspan=\"2\" rowspan=3 class='x'>v</td>");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].Attribute("colspan"), "2");
+  EXPECT_EQ(tokens[0].Attribute("rowspan"), "3");
+  EXPECT_EQ(tokens[0].Attribute("class"), "x");
+  EXPECT_EQ(tokens[0].Attribute("missing"), "");
+}
+
+TEST(LexerTest, SelfClosingTag) {
+  auto tokens = LexHtml("<br/>text");
+  EXPECT_TRUE(tokens[0].self_closing);
+}
+
+TEST(LexerTest, CommentsAndDoctypeSkipped) {
+  auto tokens = LexHtml("<!DOCTYPE html><!-- note --><p>x</p>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].tag, "p");
+}
+
+TEST(LexerTest, ScriptContentSkipped) {
+  auto tokens = LexHtml("<script>var x = '<p>not a tag</p>';</script><p>y</p>");
+  // Script content must not leak into the token stream.
+  for (const auto& t : tokens) {
+    if (t.kind == HtmlTokenKind::kText) EXPECT_EQ(t.textual, "y");
+  }
+}
+
+TEST(LexerTest, StrayAngleBracket) {
+  auto tokens = LexHtml("a < b and c > d");
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens[0].kind, HtmlTokenKind::kText);
+}
+
+TEST(LexerTest, WhitespaceOnlyTextSkipped) {
+  auto tokens = LexHtml("<tr>\n   <td>1</td>\n</tr>");
+  int text_tokens = 0;
+  for (const auto& t : tokens) {
+    if (t.kind == HtmlTokenKind::kText) ++text_tokens;
+  }
+  EXPECT_EQ(text_tokens, 1);
+}
+
+TEST(LexerTest, EntityInText) {
+  auto tokens = LexHtml("<td>Automation &amp; Control</td>");
+  EXPECT_EQ(tokens[1].textual, "Automation & Control");
+}
+
+}  // namespace
+}  // namespace briq::html

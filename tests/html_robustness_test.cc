@@ -1,0 +1,94 @@
+// Robustness sweep: the HTML pipeline must never crash or hang on
+// malformed, truncated, or adversarial input — web-crawl data guarantees
+// all three.
+
+#include <gtest/gtest.h>
+
+#include "html/page_segmenter.h"
+#include "html/table_extractor.h"
+#include "util/random.h"
+
+namespace briq::html {
+namespace {
+
+class MalformedHtmlTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MalformedHtmlTest, ParsesWithoutCrashing) {
+  // The only requirement: no crash, no check failure, a usable Page.
+  Page page = SegmentPage(GetParam());
+  (void)page.ParagraphCount();
+  (void)page.TableCount();
+  auto tables = ExtractTables(GetParam());
+  for (const auto& t : tables) {
+    EXPECT_GE(t.num_rows(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MalformedHtmlTest,
+    ::testing::Values(
+        "",
+        "<",
+        "<<<>>>",
+        "<table>",
+        "<table><tr>",
+        "<table><tr><td>",
+        "</td></tr></table>",
+        "<p><table><p></table>",
+        "<table><table><table>",
+        "<td colspan=\"999999\">x</td>",
+        "<table><tr><td rowspan=\"-3\">x</td></tr></table>",
+        "<table><tr><td colspan=\"abc\">x</td></tr></table>",
+        "<b><i><u>nested <p> inline </b> chaos</i>",
+        "<script>unterminated",
+        "<!-- unterminated comment <table><tr><td>1",
+        "<p>&#xZZ; &notareal; &#99999999999;</p>",
+        "<p attr=>empty attr</p>",
+        "<p a=\"unterminated>text",
+        "\xFF\xFE binary junk \x01\x02<p>x</p>",
+        "<table><tr><td>1</td><td>2</td></tr><tr><td>3</td></tr><tr></tr>"
+        "</table>"));
+
+TEST(HtmlFuzzTest, RandomByteSoup) {
+  util::Rng rng(2024);
+  const char alphabet[] = "<>/=\"' abtdrphl123&;#x-";
+  for (int round = 0; round < 200; ++round) {
+    std::string soup;
+    size_t len = rng.UniformInt(uint64_t{200});
+    for (size_t i = 0; i < len; ++i) {
+      soup.push_back(alphabet[rng.UniformInt(sizeof(alphabet) - 1)]);
+    }
+    Page page = SegmentPage(soup);  // must not crash
+    (void)page;
+  }
+  SUCCEED();
+}
+
+TEST(HtmlFuzzTest, RandomTagNesting) {
+  util::Rng rng(77);
+  const char* tags[] = {"p", "div", "table", "tr", "td", "th", "span",
+                        "ul", "li", "b", "caption", "thead", "tbody"};
+  for (int round = 0; round < 100; ++round) {
+    std::string html;
+    int n = static_cast<int>(rng.UniformInt(int64_t{5}, int64_t{40}));
+    for (int i = 0; i < n; ++i) {
+      const char* tag = tags[rng.UniformInt(uint64_t{13})];
+      if (rng.Bernoulli(0.45)) {
+        html += "</" + std::string(tag) + ">";
+      } else {
+        html += "<" + std::string(tag) + ">";
+      }
+      if (rng.Bernoulli(0.5)) {
+        html += std::to_string(rng.UniformInt(uint64_t{1000}));
+      }
+    }
+    Page page = SegmentPage(html);
+    auto tables = ExtractTables(html);
+    (void)page;
+    (void)tables;
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace briq::html

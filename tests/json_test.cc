@@ -1,0 +1,147 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "corpus/paper_examples.h"
+#include "corpus/serialization.h"
+
+namespace briq::util {
+namespace {
+
+TEST(JsonTest, ScalarsDump) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(3.5).Dump(), "3.5");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(Json("a\"b\\c\nd").Dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(JsonTest, ArraysAndObjects) {
+  Json arr = Json::Array();
+  arr.Append(1);
+  arr.Append("two");
+  EXPECT_EQ(arr.Dump(), "[1,\"two\"]");
+
+  Json obj = Json::Object();
+  obj.Set("b", 2);
+  obj.Set("a", 1);
+  // Keys are sorted (std::map).
+  EXPECT_EQ(obj.Dump(), "{\"a\":1,\"b\":2}");
+  EXPECT_TRUE(obj.Has("a"));
+  EXPECT_FALSE(obj.Has("z"));
+  EXPECT_EQ(obj.Get("z", Json(9)).AsInt(), 9);
+}
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_EQ(Json::Parse("true")->AsBool(), true);
+  EXPECT_DOUBLE_EQ(Json::Parse("-3.25e2")->AsDouble(), -325);
+  EXPECT_EQ(Json::Parse("\"x\\ny\"")->AsString(), "x\ny");
+}
+
+TEST(JsonTest, ParseNested) {
+  auto r = Json::Parse(R"({"a": [1, 2, {"b": "c"}], "d": null})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->at("a").size(), 3u);
+  EXPECT_EQ(r->at("a").at(2).at("b").AsString(), "c");
+  EXPECT_TRUE(r->at("d").is_null());
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("12abc").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("{} trailing").ok());
+}
+
+TEST(JsonTest, RoundTrip) {
+  const char* txt =
+      R"({"arr":[1,2.5,"x"],"nested":{"t":true,"n":null},"s":"q\"uote"})";
+  auto parsed = Json::Parse(txt);
+  ASSERT_TRUE(parsed.ok());
+  auto reparsed = Json::Parse(parsed->Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(*parsed == *reparsed);
+}
+
+TEST(JsonTest, PrettyPrintParses) {
+  Json obj = Json::Object();
+  Json arr = Json::Array();
+  arr.Append(1);
+  arr.Append(2);
+  obj.Set("list", std::move(arr));
+  std::string pretty = obj.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto r = Json::Parse(pretty);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r == obj);
+}
+
+TEST(JsonTest, UnicodeEscapeDecodes) {
+  auto r = Json::Parse("\"\\u20AC\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsString(), "\xE2\x82\xAC");
+}
+
+// ---------------------------------------------------------------------------
+// Corpus serialization round trips.
+// ---------------------------------------------------------------------------
+
+TEST(SerializationTest, DocumentRoundTrip) {
+  corpus::Document doc = corpus::Figure1cFinance();
+  Json json = corpus::DocumentToJson(doc);
+  auto restored = corpus::DocumentFromJson(json);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->id, doc.id);
+  EXPECT_EQ(restored->paragraphs, doc.paragraphs);
+  ASSERT_EQ(restored->tables.size(), doc.tables.size());
+  EXPECT_EQ(restored->tables[0].caption(), doc.tables[0].caption());
+  EXPECT_EQ(restored->tables[0].cell(1, 1).raw, doc.tables[0].cell(1, 1).raw);
+  // Annotation is recomputed: values survive (incl. caption scaling).
+  EXPECT_DOUBLE_EQ(restored->tables[0].cell(1, 1).quantity->value, 3.263e9);
+  ASSERT_EQ(restored->ground_truth.size(), doc.ground_truth.size());
+  for (size_t i = 0; i < doc.ground_truth.size(); ++i) {
+    EXPECT_EQ(restored->ground_truth[i].surface, doc.ground_truth[i].surface);
+    EXPECT_EQ(restored->ground_truth[i].target.cells,
+              doc.ground_truth[i].target.cells);
+    EXPECT_EQ(restored->ground_truth[i].target.func,
+              doc.ground_truth[i].target.func);
+  }
+}
+
+TEST(SerializationTest, CorpusFileRoundTrip) {
+  corpus::CorpusOptions options;
+  options.num_documents = 6;
+  options.seed = 33;
+  corpus::Corpus corpus = corpus::GenerateCorpus(options);
+
+  std::string path = ::testing::TempDir() + "/briq_corpus_test.json";
+  ASSERT_TRUE(corpus::SaveCorpus(corpus, path).ok());
+  auto loaded = corpus::LoadCorpus(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(loaded->documents[i].paragraphs,
+              corpus.documents[i].paragraphs);
+    EXPECT_EQ(loaded->documents[i].ground_truth.size(),
+              corpus.documents[i].ground_truth.size());
+  }
+}
+
+TEST(SerializationTest, LoadRejectsGarbage) {
+  EXPECT_FALSE(corpus::LoadCorpus("/nonexistent/path.json").ok());
+  auto r = corpus::CorpusFromJson(*Json::Parse("{\"format\":\"other\"}"));
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace briq::util

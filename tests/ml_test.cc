@@ -1,0 +1,320 @@
+// Tests of the ML substrate: dataset, decision tree, random forest,
+// metrics, and grid search.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/grid_search.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "util/random.h"
+
+namespace briq::ml {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Dataset
+// ---------------------------------------------------------------------------
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset d(2);
+  d.Add({1.0, 2.0}, 0);
+  d.Add({3.0, 4.0}, 1, 2.5);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.num_classes(), 2);
+  EXPECT_DOUBLE_EQ(d.feature(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(d.weight(1), 2.5);
+  EXPECT_EQ(d.label(0), 0);
+}
+
+TEST(DatasetTest, BalanceClassWeightsEqualizesTotals) {
+  Dataset d(1);
+  for (int i = 0; i < 90; ++i) d.Add({0.0}, 0);
+  for (int i = 0; i < 10; ++i) d.Add({1.0}, 1);
+  d.BalanceClassWeights();
+  double w0 = 0, w1 = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    (d.label(i) == 0 ? w0 : w1) += d.weight(i);
+  }
+  EXPECT_NEAR(w0, w1, 1e-9);
+  EXPECT_NEAR(w0 + w1, 100.0, 1e-9);
+}
+
+TEST(DatasetTest, SubsetWithRepetition) {
+  Dataset d(1);
+  d.Add({1.0}, 0);
+  d.Add({2.0}, 1);
+  Dataset s = d.Subset({1, 1, 0});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.feature(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(s.feature(2, 0), 1.0);
+}
+
+TEST(DatasetTest, RandomSplitDisjointAndComplete) {
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) d.Add({static_cast<double>(i)}, 0);
+  util::Rng rng(5);
+  auto parts = d.RandomSplit({0.8, 0.1, 0.1}, &rng);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].size(), 80u);
+  EXPECT_EQ(parts[1].size(), 10u);
+  EXPECT_EQ(parts[2].size(), 10u);
+  std::set<double> seen;
+  for (const auto& p : parts) {
+    for (size_t i = 0; i < p.size(); ++i) seen.insert(p.feature(i, 0));
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Decision tree
+// ---------------------------------------------------------------------------
+
+TEST(DecisionTreeTest, LearnsAxisAlignedSplit) {
+  Dataset d(2);
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.UniformDouble();
+    double y = rng.UniformDouble();
+    d.Add({x, y}, x > 0.5 ? 1 : 0);
+  }
+  DecisionTree tree;
+  TreeConfig config;
+  tree.Fit(d, config, &rng);
+  double probe_lo[2] = {0.2, 0.9};
+  double probe_hi[2] = {0.8, 0.1};
+  EXPECT_EQ(tree.Predict(probe_lo), 0);
+  EXPECT_EQ(tree.Predict(probe_hi), 1);
+}
+
+TEST(DecisionTreeTest, PureNodeIsLeaf) {
+  Dataset d(1);
+  d.Add({1.0}, 0);
+  d.Add({2.0}, 0);
+  DecisionTree tree;
+  util::Rng rng(1);
+  tree.Fit(d, {}, &rng);
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  double probe[1] = {1.5};
+  EXPECT_EQ(tree.Predict(probe), 0);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  Dataset d(1);
+  util::Rng rng(9);
+  for (int i = 0; i < 256; ++i) {
+    d.Add({static_cast<double>(i)}, i % 2);
+  }
+  DecisionTree tree;
+  TreeConfig config;
+  config.max_depth = 3;
+  tree.Fit(d, config, &rng);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(DecisionTreeTest, DuplicateFeatureValuesDoNotCrash) {
+  // Regression test: identical values must not produce degenerate splits.
+  Dataset d(1);
+  for (int i = 0; i < 50; ++i) d.Add({1.0}, i % 2);
+  for (int i = 0; i < 50; ++i) d.Add({2.0}, 1);
+  DecisionTree tree;
+  util::Rng rng(2);
+  tree.Fit(d, {}, &rng);
+  double probe[1] = {2.0};
+  EXPECT_EQ(tree.Predict(probe), 1);
+}
+
+TEST(DecisionTreeTest, MulticlassProbabilities) {
+  Dataset d(1);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 30; ++i) d.Add({static_cast<double>(c)}, c);
+  }
+  DecisionTree tree;
+  util::Rng rng(4);
+  tree.Fit(d, {}, &rng);
+  double probe[1] = {2.0};
+  auto proba = tree.PredictProba(probe);
+  ASSERT_EQ(proba.size(), 3u);
+  EXPECT_NEAR(proba[2], 1.0, 1e-9);
+}
+
+TEST(DecisionTreeTest, ClassWeightsShiftLeafProbabilities) {
+  Dataset d(1);
+  // Same feature value, mixed labels 80/20 — weights flip the majority.
+  for (int i = 0; i < 80; ++i) d.Add({1.0}, 0, 1.0);
+  for (int i = 0; i < 20; ++i) d.Add({1.0}, 1, 10.0);
+  DecisionTree tree;
+  util::Rng rng(6);
+  tree.Fit(d, {}, &rng);
+  double probe[1] = {1.0};
+  EXPECT_EQ(tree.Predict(probe), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Random forest
+// ---------------------------------------------------------------------------
+
+TEST(RandomForestTest, BeatsChanceOnNoisyXor) {
+  // XOR with noise: needs depth >= 2 and benefits from ensembling.
+  util::Rng rng(11);
+  Dataset train(2);
+  Dataset test(2);
+  for (int i = 0; i < 800; ++i) {
+    double x = rng.UniformDouble();
+    double y = rng.UniformDouble();
+    int label = (x > 0.5) != (y > 0.5) ? 1 : 0;
+    if (rng.Bernoulli(0.1)) label = 1 - label;
+    (i < 600 ? train : test).Add({x, y}, label);
+  }
+  RandomForest forest;
+  ForestConfig config;
+  config.num_trees = 30;
+  forest.Fit(train, config);
+  int correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    int truth = (test.feature(i, 0) > 0.5) != (test.feature(i, 1) > 0.5);
+    if (forest.Predict(test.row(i)) == truth) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.9);
+}
+
+TEST(RandomForestTest, ProbabilitiesAreDistribution) {
+  util::Rng rng(13);
+  Dataset d(2);
+  for (int i = 0; i < 100; ++i) {
+    d.Add({rng.UniformDouble(), rng.UniformDouble()}, i % 2);
+  }
+  RandomForest forest;
+  forest.Fit(d, {});
+  std::vector<double> p = forest.PredictProba({0.5, 0.5});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+  EXPECT_GE(p[0], 0.0);
+  EXPECT_GE(p[1], 0.0);
+}
+
+TEST(RandomForestTest, DeterministicForSeed) {
+  util::Rng rng(17);
+  Dataset d(2);
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.UniformDouble();
+    d.Add({x, rng.UniformDouble()}, x > 0.3 ? 1 : 0);
+  }
+  ForestConfig config;
+  RandomForest a;
+  RandomForest b;
+  a.Fit(d, config);
+  b.Fit(d, config);
+  for (double x = 0.05; x < 1.0; x += 0.1) {
+    EXPECT_DOUBLE_EQ(a.PredictPositiveProba({x, 0.5}),
+                     b.PredictPositiveProba({x, 0.5}));
+  }
+}
+
+TEST(RandomForestTest, FeatureImportanceFindsSignal) {
+  util::Rng rng(19);
+  Dataset d(3);
+  for (int i = 0; i < 500; ++i) {
+    double signal = rng.UniformDouble();
+    d.Add({rng.UniformDouble(), signal, rng.UniformDouble()},
+          signal > 0.5 ? 1 : 0);
+  }
+  RandomForest forest;
+  forest.Fit(d, {});
+  auto importance = forest.FeatureImportance();
+  ASSERT_EQ(importance.size(), 3u);
+  EXPECT_GT(importance[1], importance[0]);
+  EXPECT_GT(importance[1], importance[2]);
+  EXPECT_NEAR(importance[0] + importance[1] + importance[2], 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, PrecisionRecallF1) {
+  BinaryCounts c;
+  c.true_positives = 6;
+  c.false_positives = 2;
+  c.false_negatives = 4;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.75);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.6);
+  EXPECT_NEAR(c.F1(), 2 * 0.75 * 0.6 / 1.35, 1e-9);
+}
+
+TEST(MetricsTest, EmptyCountsAreZeroNotNan) {
+  BinaryCounts c;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 0.0);
+}
+
+TEST(MetricsTest, CountBinary) {
+  BinaryCounts c = CountBinary({1, 1, 0, 0, 1}, {1, 0, 0, 1, 1});
+  EXPECT_EQ(c.true_positives, 2u);
+  EXPECT_EQ(c.false_positives, 1u);
+  EXPECT_EQ(c.false_negatives, 1u);
+  EXPECT_EQ(c.true_negatives, 1u);
+}
+
+TEST(MetricsTest, RocAucPerfectAndInverted) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.5, 0.5, 0.5}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(MetricsTest, RocAucSingleClassIsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.9}, {1, 1}), 0.5);
+}
+
+TEST(MetricsTest, EntropyCases) {
+  EXPECT_DOUBLE_EQ(Entropy({1.0}), 0.0);
+  EXPECT_NEAR(Entropy({0.5, 0.5}), std::log(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(Entropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(Entropy({0.0, 0.0}), 0.0);
+  // Unnormalized inputs are normalized.
+  EXPECT_NEAR(Entropy({2.0, 2.0}), std::log(2.0), 1e-12);
+}
+
+TEST(MetricsTest, NormalizedEntropyBounds) {
+  EXPECT_DOUBLE_EQ(NormalizedEntropy({1.0}), 0.0);
+  EXPECT_NEAR(NormalizedEntropy({1.0, 1.0, 1.0}), 1.0, 1e-12);
+  double skewed = NormalizedEntropy({0.9, 0.05, 0.05});
+  EXPECT_GT(skewed, 0.0);
+  EXPECT_LT(skewed, 1.0);
+}
+
+TEST(MetricsTest, ConfusionMatrix) {
+  auto m = ConfusionMatrix({0, 1, 2, 1}, {0, 1, 1, 1}, 3);
+  EXPECT_EQ(m[0][0], 1u);
+  EXPECT_EQ(m[1][1], 2u);
+  EXPECT_EQ(m[1][2], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Grid search
+// ---------------------------------------------------------------------------
+
+TEST(GridSearchTest, ExpandsCrossProduct) {
+  ParamGrid grid = {{"a", {1, 2}}, {"b", {10, 20, 30}}};
+  auto points = ExpandGrid(grid);
+  EXPECT_EQ(points.size(), 6u);
+}
+
+TEST(GridSearchTest, FindsArgmax) {
+  ParamGrid grid = {{"x", {0, 1, 2, 3, 4}}, {"y", {0, 1, 2}}};
+  auto result = GridSearch(grid, [](const ParamMap& p) {
+    double x = p.at("x");
+    double y = p.at("y");
+    return -(x - 3) * (x - 3) - (y - 1) * (y - 1);
+  });
+  EXPECT_DOUBLE_EQ(result.best_params.at("x"), 3);
+  EXPECT_DOUBLE_EQ(result.best_params.at("y"), 1);
+  EXPECT_EQ(result.evaluated, 15u);
+}
+
+}  // namespace
+}  // namespace briq::ml

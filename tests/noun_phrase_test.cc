@@ -1,0 +1,62 @@
+#include "text/noun_phrase.h"
+
+#include <gtest/gtest.h>
+
+#include "text/stopwords.h"
+
+namespace briq::text {
+namespace {
+
+TEST(StopwordsTest, CommonWords) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("The"));
+  EXPECT_TRUE(IsStopword("of"));
+  EXPECT_TRUE(IsStopword("was"));
+  EXPECT_FALSE(IsStopword("revenue"));
+  EXPECT_FALSE(IsStopword("segment"));
+}
+
+TEST(StopwordsTest, PhraseBreakers) {
+  EXPECT_TRUE(IsPhraseBreaker("increased"));
+  EXPECT_TRUE(IsPhraseBreaker("reported"));
+  EXPECT_FALSE(IsPhraseBreaker("profit"));
+}
+
+TEST(NounPhraseTest, ExtractsContentRuns) {
+  auto phrases = NounPhraseStrings("The segment profit was up");
+  ASSERT_EQ(phrases.size(), 1u);
+  EXPECT_EQ(phrases[0], "segment profit");
+}
+
+TEST(NounPhraseTest, StopwordsSplitPhrases) {
+  auto phrases =
+      NounPhraseStrings("Total revenue of the previous year");
+  // "of" and "the" split; "previous year" forms its own phrase.
+  ASSERT_EQ(phrases.size(), 2u);
+  EXPECT_EQ(phrases[0], "total revenue");
+  EXPECT_EQ(phrases[1], "previous year");
+}
+
+TEST(NounPhraseTest, NumbersDoNotJoinPhrases) {
+  auto phrases = NounPhraseStrings("reported by 38 patients");
+  ASSERT_EQ(phrases.size(), 1u);
+  EXPECT_EQ(phrases[0], "patients");
+}
+
+TEST(NounPhraseTest, SpansPointIntoSource) {
+  std::string s = "Gross income and Income taxes";
+  auto phrases = ExtractNounPhrases(s);
+  ASSERT_EQ(phrases.size(), 2u);
+  EXPECT_EQ(s.substr(phrases[0].span.begin, phrases[0].span.length()),
+            "Gross income");
+  EXPECT_EQ(s.substr(phrases[1].span.begin, phrases[1].span.length()),
+            "Income taxes");
+}
+
+TEST(NounPhraseTest, EmptyInput) {
+  EXPECT_TRUE(ExtractNounPhrases("").empty());
+  EXPECT_TRUE(ExtractNounPhrases("the of was").empty());
+}
+
+}  // namespace
+}  // namespace briq::text

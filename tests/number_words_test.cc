@@ -1,0 +1,60 @@
+#include "text/number_words.h"
+
+#include <gtest/gtest.h>
+
+namespace briq::text {
+namespace {
+
+struct Case {
+  const char* phrase;
+  double expected;
+};
+
+class NumberWordsTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(NumberWordsTest, ParsesKnownPhrases) {
+  auto v = ParseNumberWords(GetParam().phrase);
+  ASSERT_TRUE(v.has_value()) << GetParam().phrase;
+  EXPECT_DOUBLE_EQ(*v, GetParam().expected) << GetParam().phrase;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Known, NumberWordsTest,
+    ::testing::Values(Case{"zero", 0}, Case{"seven", 7}, Case{"twenty", 20},
+                      Case{"twenty five", 25}, Case{"twenty-five", 25},
+                      Case{"hundred", 100}, Case{"three hundred", 300},
+                      Case{"three hundred and five", 305},
+                      Case{"two thousand", 2000},
+                      Case{"two thousand five hundred", 2500},
+                      Case{"two million", 2e6},
+                      Case{"one hundred twenty three", 123},
+                      Case{"three hundred fifty thousand", 350000},
+                      Case{"one billion", 1e9}));
+
+TEST(NumberWordsTest, RejectsNonNumbers) {
+  EXPECT_FALSE(ParseNumberWords("hello world").has_value());
+  EXPECT_FALSE(ParseNumberWords("").has_value());
+  EXPECT_FALSE(ParseNumberWords("twenty potatoes").has_value());
+  EXPECT_FALSE(ParseNumberWords("and").has_value());
+}
+
+TEST(NumberWordsTest, IsNumberWord) {
+  EXPECT_TRUE(IsNumberWord("seven"));
+  EXPECT_TRUE(IsNumberWord("Million"));
+  EXPECT_TRUE(IsNumberWord("HUNDRED"));
+  EXPECT_FALSE(IsNumberWord("patients"));
+}
+
+TEST(ScaleWordTest, Multipliers) {
+  EXPECT_DOUBLE_EQ(*ScaleWordMultiplier("k"), 1e3);
+  EXPECT_DOUBLE_EQ(*ScaleWordMultiplier("K"), 1e3);
+  EXPECT_DOUBLE_EQ(*ScaleWordMultiplier("Mio"), 1e6);
+  EXPECT_DOUBLE_EQ(*ScaleWordMultiplier("bn"), 1e9);
+  EXPECT_DOUBLE_EQ(*ScaleWordMultiplier("billions"), 1e9);
+  EXPECT_DOUBLE_EQ(*ScaleWordMultiplier("lakh"), 1e5);
+  EXPECT_DOUBLE_EQ(*ScaleWordMultiplier("crore"), 1e7);
+  EXPECT_FALSE(ScaleWordMultiplier("units").has_value());
+}
+
+}  // namespace
+}  // namespace briq::text

@@ -1,0 +1,64 @@
+#include "quantity/numeric_literal.h"
+
+#include <gtest/gtest.h>
+
+namespace briq::quantity {
+namespace {
+
+struct Case {
+  const char* token;
+  double value;
+  int precision;
+};
+
+class NumericLiteralTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(NumericLiteralTest, ParsesKnownForms) {
+  auto r = ParseNumericLiteral(GetParam().token);
+  ASSERT_TRUE(r.ok()) << GetParam().token << ": " << r.status().ToString();
+  EXPECT_DOUBLE_EQ(r->value, GetParam().value) << GetParam().token;
+  EXPECT_EQ(r->precision, GetParam().precision) << GetParam().token;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Known, NumericLiteralTest,
+    ::testing::Values(
+        Case{"890", 890, 0},                 // plain integer
+        Case{"3.26", 3.26, 2},               // decimal
+        Case{"0.19", 0.19, 2},               // leading zero decimal
+        Case{"1,234", 1234, 0},              // US grouping
+        Case{"1,144,716", 1144716, 0},       // US grouping
+        Case{"1,234.56", 1234.56, 2},        // US grouping + decimal
+        Case{"2,29,866", 229866, 0},         // Indian grouping
+        Case{"1,23,45,678", 12345678, 0},    // Indian grouping
+        Case{"0,877", 0.877, 3},             // European decimal comma
+        Case{"3,26", 3.26, 2},               // decimal comma, short group
+        Case{"1.234.567", 1234567, 0},       // European grouping
+        Case{"12.7", 12.7, 1}));
+
+TEST(NumericLiteralTest, RejectsNonNumbers) {
+  EXPECT_FALSE(ParseNumericLiteral("").ok());
+  EXPECT_FALSE(ParseNumericLiteral("abc").ok());
+  EXPECT_FALSE(ParseNumericLiteral("1.2.3").ok());   // heading-like
+  EXPECT_FALSE(ParseNumericLiteral("12,34").ok() &&
+               ParseNumericLiteral("12,34")->had_separators);
+  EXPECT_FALSE(ParseNumericLiteral("1,2,3").ok());   // bad grouping
+  EXPECT_FALSE(ParseNumericLiteral("1..2").ok());
+}
+
+TEST(NumericLiteralTest, SeparatorFlag) {
+  EXPECT_TRUE(ParseNumericLiteral("1,234")->had_separators);
+  EXPECT_FALSE(ParseNumericLiteral("1234")->had_separators);
+  EXPECT_FALSE(ParseNumericLiteral("0,877")->had_separators);
+}
+
+TEST(NumericLiteralTest, DecimalCommaShortFinalGroup) {
+  // "12,34" -> decimal comma reading 12.34 (final group of 2).
+  auto r = ParseNumericLiteral("12,34");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->value, 12.34);
+  EXPECT_EQ(r->precision, 2);
+}
+
+}  // namespace
+}  // namespace briq::quantity

@@ -1,0 +1,133 @@
+// Consistency tests of the hand-built paper-example documents: spans,
+// target existence, and the numeric relationships the paper states.
+
+#include "corpus/paper_examples.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "table/virtual_cell.h"
+
+namespace briq::corpus {
+namespace {
+
+using table::AggregateFunction;
+
+class PaperExampleTest : public ::testing::TestWithParam<int> {
+ protected:
+  Document doc() const { return AllPaperExamples()[GetParam()]; }
+};
+
+TEST_P(PaperExampleTest, SpansMatchSurfaces) {
+  Document d = doc();
+  for (const GroundTruthAlignment& gt : d.ground_truth) {
+    ASSERT_LT(static_cast<size_t>(gt.paragraph), d.paragraphs.size());
+    const std::string& para = d.paragraphs[gt.paragraph];
+    ASSERT_LE(gt.span.end, para.size()) << d.id;
+    EXPECT_EQ(para.substr(gt.span.begin, gt.span.length()), gt.surface)
+        << d.id;
+  }
+}
+
+TEST_P(PaperExampleTest, TargetsReferenceNumericCells) {
+  Document d = doc();
+  for (const GroundTruthAlignment& gt : d.ground_truth) {
+    ASSERT_LT(static_cast<size_t>(gt.target.table_index), d.tables.size());
+    const table::Table& t = d.tables[gt.target.table_index];
+    for (const table::CellRef& ref : gt.target.cells) {
+      ASSERT_GE(ref.row, 0);
+      ASSERT_LT(ref.row, t.num_rows()) << d.id << " '" << gt.surface << "'";
+      ASSERT_LT(ref.col, t.num_cols()) << d.id;
+      EXPECT_TRUE(t.cell(ref).numeric())
+          << d.id << " '" << gt.surface << "' cell(" << ref.row << ","
+          << ref.col << ")='" << t.cell(ref).raw << "'";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExamples, PaperExampleTest,
+                         ::testing::Range(0, 10));
+
+TEST(PaperExamplesTest, Figure1aSumIs123) {
+  Document d = Figure1aHealth();
+  const table::Table& t = d.tables[0];
+  double sum = 0;
+  for (int r = 1; r <= 5; ++r) sum += t.cell(r, 3).quantity->value;
+  EXPECT_DOUBLE_EQ(sum, 123);
+}
+
+TEST(PaperExamplesTest, Figure1cScaleAndRatio) {
+  Document d = Figure1cFinance();
+  const table::Table& t = d.tables[0];
+  // "(in Mio)" caption: 3,263 -> 3.263e9.
+  EXPECT_DOUBLE_EQ(t.cell(1, 1).quantity->value, 3.263e9);
+  // European decimal comma 0,877 -> 877,000 after scaling.
+  EXPECT_DOUBLE_EQ(t.cell(2, 3).quantity->value, 0.877e6);
+  // "increased by 1.5%": ratio(890, 876) ~ 1.6%.
+  double ratio = table::EvaluateAggregate(
+      AggregateFunction::kChangeRatio,
+      {t.cell(4, 1).quantity->value, t.cell(4, 2).quantity->value});
+  EXPECT_NEAR(ratio, 1.5982, 1e-3);
+}
+
+TEST(PaperExamplesTest, Figure3PercentCellsNotRescaled) {
+  Document d = Figure3CoupledQuantities();
+  const table::Table& t = d.tables[0];
+  EXPECT_DOUBLE_EQ(t.cell(1, 1).quantity->value, 900e6);   // $ Millions
+  EXPECT_DOUBLE_EQ(t.cell(1, 3).quantity->value, 5);       // percent cell
+  EXPECT_DOUBLE_EQ(t.cell(3, 3).quantity->value, 0.6);     // 60 bps
+  EXPECT_EQ(t.cell(3, 3).quantity->unit, "percent");
+}
+
+TEST(PaperExamplesTest, Figure3AmbiguityIsReal) {
+  Document d = Figure3CoupledQuantities();
+  // "11%" exists in both tables; "60 bps" only in Table 1.
+  auto value_at = [&](int tbl, int r, int c) {
+    return d.tables[tbl].cell(r, c).quantity->value;
+  };
+  EXPECT_DOUBLE_EQ(value_at(0, 2, 3), value_at(1, 2, 3));  // 11% both
+  EXPECT_DOUBLE_EQ(value_at(0, 3, 2), value_at(1, 3, 1));  // 13.3% both
+}
+
+TEST(PaperExamplesTest, Figure5aRatioMatchesSurface) {
+  Document d = Figure5aCarSales();
+  const table::Table& t = d.tables[0];
+  double ratio = table::EvaluateAggregate(
+      AggregateFunction::kChangeRatio,
+      {t.cell(1, 2).quantity->value, t.cell(1, 1).quantity->value});
+  EXPECT_NEAR(ratio, 33.65, 0.01);
+}
+
+TEST(PaperExamplesTest, Figure5cNegativeEarnings) {
+  Document d = Figure5cEarnings();
+  const table::Table& t = d.tables[0];
+  EXPECT_DOUBLE_EQ(t.cell(2, 4).quantity->value, -9.49e6);
+  double diff = table::EvaluateAggregate(
+      AggregateFunction::kDiff,
+      {t.cell(2, 3).quantity->value, t.cell(2, 4).quantity->value});
+  EXPECT_NEAR(diff, 16.35e6, 1e3);
+}
+
+TEST(PaperExamplesTest, Figure6aCollision) {
+  Document d = Figure6aBedrooms();
+  const table::Table& t = d.tables[0];
+  // "3.2" appears twice in the same row — the collision BriQ can trip on.
+  EXPECT_DOUBLE_EQ(t.cell(5, 1).quantity->value,
+                   t.cell(5, 3).quantity->value);
+}
+
+TEST(PaperExamplesTest, Figure6cScaleGap) {
+  Document d = Figure6cMutualFunds();
+  const table::Table& t = d.tables[0];
+  // The table holds 5.82 (bare), while the text says "$5.82 billion":
+  // normalized values differ by 9 orders of magnitude.
+  EXPECT_DOUBLE_EQ(t.cell(2, 1).quantity->value, 5.82);
+}
+
+TEST(PaperExamplesTest, AllExamplesCount) {
+  EXPECT_EQ(AllPaperExamples().size(), 10u);
+}
+
+}  // namespace
+}  // namespace briq::corpus

@@ -1,0 +1,101 @@
+#include "corpus/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+
+namespace briq::corpus {
+namespace {
+
+struct SurfaceCase {
+  const char* input;
+  const char* truncated;
+  const char* rounded;
+};
+
+class PerturbSurfaceTest : public ::testing::TestWithParam<SurfaceCase> {};
+
+TEST_P(PerturbSurfaceTest, MatchesPaperExamples) {
+  EXPECT_EQ(PerturbSurface(GetParam().input, PerturbMode::kTruncate),
+            GetParam().truncated)
+      << GetParam().input;
+  EXPECT_EQ(PerturbSurface(GetParam().input, PerturbMode::kRound),
+            GetParam().rounded)
+      << GetParam().input;
+}
+
+// The paper's §VIII-A examples: 6746, 2.74, 0.19 become 6740/2.7/0.1
+// (truncated) and 6750/2.7/0.2 (rounded).
+INSTANTIATE_TEST_SUITE_P(
+    PaperExamples, PerturbSurfaceTest,
+    ::testing::Values(SurfaceCase{"6746", "6740", "6750"},
+                      SurfaceCase{"2.74", "2.7", "2.7"},
+                      SurfaceCase{"0.19", "0.1", "0.2"},
+                      SurfaceCase{"$6,746", "$6,740", "$6,750"},
+                      SurfaceCase{"about 123 units", "about 120 units",
+                                  "about 120 units"},
+                      SurfaceCase{"12.35%", "12.3%", "12.4%"}));
+
+TEST(PerturbSurfaceTest, NoDigitsUnchanged) {
+  EXPECT_EQ(PerturbSurface("no numbers", PerturbMode::kTruncate),
+            "no numbers");
+  EXPECT_EQ(PerturbSurface("", PerturbMode::kRound), "");
+}
+
+TEST(PerturbSurfaceTest, NoneModeIsIdentity) {
+  EXPECT_EQ(PerturbSurface("6746", PerturbMode::kNone), "6746");
+}
+
+TEST(PerturbDocumentTest, SpansRemainConsistent) {
+  CorpusOptions options;
+  options.num_documents = 25;
+  options.seed = 14;
+  Corpus corpus = GenerateCorpus(options);
+  for (PerturbMode mode : {PerturbMode::kTruncate, PerturbMode::kRound}) {
+    for (const Document& original : corpus.documents) {
+      Document perturbed = PerturbDocument(original, mode);
+      ASSERT_EQ(perturbed.ground_truth.size(), original.ground_truth.size());
+      for (const GroundTruthAlignment& gt : perturbed.ground_truth) {
+        const std::string& para = perturbed.paragraphs[gt.paragraph];
+        ASSERT_LE(gt.span.end, para.size());
+        EXPECT_EQ(para.substr(gt.span.begin, gt.span.length()), gt.surface);
+      }
+    }
+  }
+}
+
+TEST(PerturbDocumentTest, TargetsUnchanged) {
+  CorpusOptions options;
+  options.num_documents = 5;
+  options.seed = 15;
+  Corpus corpus = GenerateCorpus(options);
+  Document perturbed =
+      PerturbDocument(corpus.documents[0], PerturbMode::kTruncate);
+  for (size_t i = 0; i < perturbed.ground_truth.size(); ++i) {
+    EXPECT_EQ(perturbed.ground_truth[i].target.cells,
+              corpus.documents[0].ground_truth[i].target.cells);
+    EXPECT_EQ(perturbed.ground_truth[i].target.func,
+              corpus.documents[0].ground_truth[i].target.func);
+  }
+  // Tables untouched.
+  EXPECT_EQ(perturbed.tables[0].cell(1, 1).raw,
+            corpus.documents[0].tables[0].cell(1, 1).raw);
+}
+
+TEST(PerturbCorpusTest, AppliesToAllDocuments) {
+  CorpusOptions options;
+  options.num_documents = 8;
+  options.seed = 16;
+  Corpus corpus = GenerateCorpus(options);
+  Corpus perturbed = PerturbCorpus(corpus, PerturbMode::kRound);
+  EXPECT_EQ(perturbed.size(), corpus.size());
+}
+
+TEST(PerturbModeNameTest, Names) {
+  EXPECT_STREQ(PerturbModeName(PerturbMode::kNone), "original");
+  EXPECT_STREQ(PerturbModeName(PerturbMode::kTruncate), "truncated");
+  EXPECT_STREQ(PerturbModeName(PerturbMode::kRound), "rounded");
+}
+
+}  // namespace
+}  // namespace briq::corpus

@@ -1,0 +1,308 @@
+// Stage-level tests of the BriQ pipeline: tagger, classifier, adaptive
+// filter, and global resolution — each trained/exercised on a small
+// synthetic corpus plus the paper's example documents.
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/gt_matching.h"
+#include "core/pipeline.h"
+#include "corpus/generator.h"
+#include "corpus/paper_examples.h"
+
+namespace briq::core {
+namespace {
+
+using table::AggregateFunction;
+
+class StageTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new BriqConfig();
+    corpus::CorpusOptions options;
+    options.num_documents = 80;
+    options.seed = 404;
+    corpus_ = new corpus::Corpus(corpus::GenerateCorpus(options));
+    prepared_ = new std::vector<PreparedDocument>();
+    for (const auto& d : corpus_->documents) {
+      prepared_->push_back(PrepareDocument(d, *config_));
+    }
+    pointers_ = new std::vector<const PreparedDocument*>();
+    for (const auto& d : *prepared_) pointers_->push_back(&d);
+    system_ = new BriqSystem(*config_);
+    ASSERT_TRUE(system_->Train(*pointers_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete system_;
+    delete pointers_;
+    delete prepared_;
+    delete corpus_;
+    delete config_;
+  }
+
+  static BriqConfig* config_;
+  static corpus::Corpus* corpus_;
+  static std::vector<PreparedDocument>* prepared_;
+  static std::vector<const PreparedDocument*>* pointers_;
+  static BriqSystem* system_;
+};
+
+BriqConfig* StageTest::config_ = nullptr;
+corpus::Corpus* StageTest::corpus_ = nullptr;
+std::vector<PreparedDocument>* StageTest::prepared_ = nullptr;
+std::vector<const PreparedDocument*>* StageTest::pointers_ = nullptr;
+BriqSystem* StageTest::system_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Tagger
+// ---------------------------------------------------------------------------
+
+TEST_F(StageTest, TaggerIsTrained) {
+  EXPECT_TRUE(system_->tagger().trained());
+}
+
+TEST_F(StageTest, TaggerRecognizesSumMentions) {
+  corpus::Document doc = corpus::Figure1aHealth();
+  PreparedDocument prepared = PrepareDocument(doc, *config_);
+  auto matched = MatchGroundTruth(prepared);
+  // "123" is a sum mention ("A total of 123 patients").
+  for (const auto& m : matched) {
+    if (m.gt->surface == "123") {
+      ASSERT_GE(m.text_idx, 0);
+      auto tag = system_->tagger().Predict(prepared, m.text_idx);
+      EXPECT_EQ(tag.func, AggregateFunction::kSum);
+    }
+  }
+}
+
+TEST_F(StageTest, TaggerPrecisionOnSingles) {
+  // Mentions without cues must overwhelmingly tag single-cell, because a
+  // wrong aggregate tag prunes the correct single-cell pairs' competitors
+  // only — but a wrongly-tagged aggregate mention loses its target.
+  size_t singles = 0;
+  size_t tagged_single = 0;
+  for (const auto& doc : *prepared_) {
+    for (const auto& m : MatchGroundTruth(doc)) {
+      if (m.text_idx < 0) continue;
+      if (m.gt->target.func != AggregateFunction::kNone) continue;
+      ++singles;
+      auto tag = system_->tagger().Predict(doc, m.text_idx);
+      if (tag.func == AggregateFunction::kNone) ++tagged_single;
+    }
+  }
+  ASSERT_GT(singles, 20u);
+  EXPECT_GT(static_cast<double>(tagged_single) / singles, 0.9);
+}
+
+TEST_F(StageTest, UntrainedTaggerFallsBackToCues) {
+  TextMentionTagger untrained(config_);
+  corpus::Document doc = corpus::Figure1aHealth();
+  PreparedDocument prepared = PrepareDocument(doc, *config_);
+  auto matched = MatchGroundTruth(prepared);
+  for (const auto& m : matched) {
+    if (m.gt->surface == "123" && m.text_idx >= 0) {
+      EXPECT_EQ(untrained.Predict(prepared, m.text_idx).func,
+                AggregateFunction::kSum);
+    }
+  }
+}
+
+TEST_F(StageTest, TaggerFeatureCount) {
+  corpus::Document doc = corpus::Figure1aHealth();
+  PreparedDocument prepared = PrepareDocument(doc, *config_);
+  auto f = TextMentionTagger::Features(prepared, 0, *config_);
+  EXPECT_EQ(f.size(), static_cast<size_t>(TextMentionTagger::kNumFeatures));
+}
+
+// ---------------------------------------------------------------------------
+// Classifier
+// ---------------------------------------------------------------------------
+
+TEST_F(StageTest, ClassifierScoresGoldAboveRandom) {
+  corpus::Document doc = corpus::Figure1aHealth();
+  PreparedDocument prepared = PrepareDocument(doc, *config_);
+  FeatureComputer features(prepared, *config_);
+  const auto& classifier = system_->classifier();
+
+  size_t wins = 0;
+  size_t comparisons = 0;
+  for (const auto& m : MatchGroundTruth(prepared)) {
+    if (m.text_idx < 0 || m.table_idx < 0) continue;
+    double gold = classifier.Score(features, m.text_idx, m.table_idx);
+    for (size_t j = 0; j < prepared.table_mentions.size(); j += 7) {
+      if (static_cast<int>(j) == m.table_idx) continue;
+      ++comparisons;
+      if (gold > classifier.Score(features, m.text_idx, j)) ++wins;
+    }
+  }
+  ASSERT_GT(comparisons, 0u);
+  EXPECT_GT(static_cast<double>(wins) / comparisons, 0.85);
+}
+
+TEST_F(StageTest, TrainingStatsShapeMatchesTableI) {
+  const auto& stats = system_->classifier().stats();
+  EXPECT_GT(stats.total_positives, 0u);
+  // ~5 negatives per positive.
+  EXPECT_GE(stats.total_negatives, 4 * stats.total_positives);
+  // Single-cell dominates positives.
+  auto it = stats.positives.find(AggregateFunction::kNone);
+  ASSERT_NE(it, stats.positives.end());
+  EXPECT_GT(it->second * 2, stats.total_positives);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive filter
+// ---------------------------------------------------------------------------
+
+TEST_F(StageTest, FilterShrinksCandidateSpaceByOrdersOfMagnitude) {
+  FilterTrace trace;
+  for (const auto& doc : *prepared_) {
+    system_->AlignWithTrace(doc, &trace);
+  }
+  ASSERT_GT(trace.overall.pairs_before, 0u);
+  // Paper Table VI: selectivity ~0.01.
+  EXPECT_LT(trace.overall.Selectivity(), 0.05);
+  // ...without losing the gold pairs.
+  EXPECT_GT(trace.overall.Recall(), 0.85);
+}
+
+TEST_F(StageTest, FilterKeepsSortedBoundedCandidates) {
+  FeatureComputer features((*prepared_)[0], *config_);
+  AdaptiveFilter filter(config_, &system_->tagger(), &system_->classifier());
+  auto candidates = filter.Filter((*prepared_)[0], features, nullptr);
+  ASSERT_EQ(candidates.size(), (*prepared_)[0].text_mentions.size());
+  const int max_k =
+      std::max({config_->top_k_exact, config_->top_k_approx,
+                config_->top_k_high_entropy});
+  for (const auto& list : candidates) {
+    EXPECT_LE(list.size(), static_cast<size_t>(max_k));
+    for (size_t i = 1; i < list.size(); ++i) {
+      EXPECT_GE(list[i - 1].score, list[i].score);  // sorted descending
+    }
+  }
+}
+
+TEST_F(StageTest, UnitMismatchPairsPruned) {
+  // Any surviving candidate with both units set must agree on the unit.
+  FeatureComputer features((*prepared_)[0], *config_);
+  AdaptiveFilter filter(config_, &system_->tagger(), &system_->classifier());
+  auto candidates = filter.Filter((*prepared_)[0], features, nullptr);
+  const auto& doc = (*prepared_)[0];
+  for (const auto& list : candidates) {
+    for (const Candidate& c : list) {
+      const auto& x = doc.text_mentions[c.text_idx].q;
+      const auto& t = doc.table_mentions[c.table_idx];
+      if (x.has_unit() && t.has_unit()) {
+        EXPECT_EQ(x.unit, t.unit);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Global resolution
+// ---------------------------------------------------------------------------
+
+TEST_F(StageTest, ResolutionAlignsAtMostOnePerMention) {
+  for (const auto& doc : *prepared_) {
+    DocumentAlignment a = system_->Align(doc);
+    std::set<int> seen;
+    for (const auto& d : a.decisions) {
+      EXPECT_TRUE(seen.insert(d.text_idx).second)
+          << "text mention aligned twice";
+      EXPECT_GE(d.table_idx, 0);
+      EXPECT_LT(d.table_idx,
+                static_cast<int>(doc.table_mentions.size()));
+      EXPECT_GT(d.score, config_->epsilon);
+    }
+  }
+}
+
+TEST_F(StageTest, ResolutionIsDeterministic) {
+  DocumentAlignment a = system_->Align((*prepared_)[0]);
+  DocumentAlignment b = system_->Align((*prepared_)[0]);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].text_idx, b.decisions[i].text_idx);
+    EXPECT_EQ(a.decisions[i].table_idx, b.decisions[i].table_idx);
+  }
+}
+
+TEST_F(StageTest, PaperFigure1aAligned) {
+  corpus::Document doc = corpus::Figure1aHealth();
+  PreparedDocument prepared = PrepareDocument(doc, *config_);
+  EvalResult r = EvaluateDocument(prepared, system_->Align(prepared));
+  // The flagship example: all five mentions (1 sum of a column, 2 more
+  // sums, 2 single cells) — require at least 4 of 5 correct.
+  EXPECT_GE(r.overall.true_positives, 4u);
+}
+
+TEST_F(StageTest, RfBaselineAlwaysOutputsOnePerMention) {
+  const auto& doc = (*prepared_)[0];
+  RfOnlyAligner rf(system_);
+  DocumentAlignment a = rf.Align(doc);
+  EXPECT_EQ(a.decisions.size(), doc.text_mentions.size());
+}
+
+TEST_F(StageTest, RwrBaselineRunsUnsupervised) {
+  RwrOnlyAligner rwr(config_);
+  DocumentAlignment a = rwr.Align((*prepared_)[0]);
+  // Sanity: decisions reference valid mentions.
+  for (const auto& d : a.decisions) {
+    EXPECT_GE(d.text_idx, 0);
+    EXPECT_LT(static_cast<size_t>(d.table_idx),
+              (*prepared_)[0].table_mentions.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation accounting
+// ---------------------------------------------------------------------------
+
+TEST_F(StageTest, EvaluationCountsAddUp) {
+  const auto& doc = (*prepared_)[0];
+  DocumentAlignment a = system_->Align(doc);
+  EvalResult r = EvaluateDocument(doc, a);
+  // TP + FP == decisions; TP + FN == ground truth.
+  EXPECT_EQ(r.overall.true_positives + r.overall.false_positives,
+            a.decisions.size());
+  EXPECT_EQ(r.overall.true_positives + r.overall.false_negatives,
+            doc.source->ground_truth.size());
+}
+
+TEST_F(StageTest, EvaluationMergeAccumulates) {
+  EvalResult a = EvaluateDocument((*prepared_)[0],
+                                  system_->Align((*prepared_)[0]));
+  EvalResult b = EvaluateDocument((*prepared_)[1],
+                                  system_->Align((*prepared_)[1]));
+  EvalResult merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.overall.true_positives,
+            a.overall.true_positives + b.overall.true_positives);
+  EXPECT_EQ(merged.overall.false_negatives,
+            a.overall.false_negatives + b.overall.false_negatives);
+}
+
+TEST(EvaluationTest, PerfectAndEmptyAlignments) {
+  corpus::Document doc = corpus::Figure1aHealth();
+  BriqConfig config;
+  PreparedDocument prepared = PrepareDocument(doc, config);
+  auto matched = MatchGroundTruth(prepared);
+
+  DocumentAlignment perfect;
+  for (const auto& m : matched) {
+    perfect.decisions.push_back({m.text_idx, m.table_idx, 1.0});
+  }
+  EvalResult r = EvaluateDocument(prepared, perfect);
+  EXPECT_DOUBLE_EQ(r.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(r.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(r.F1(), 1.0);
+
+  EvalResult empty = EvaluateDocument(prepared, DocumentAlignment{});
+  EXPECT_DOUBLE_EQ(empty.Recall(), 0.0);
+  EXPECT_EQ(empty.overall.false_negatives, matched.size());
+}
+
+}  // namespace
+}  // namespace briq::core

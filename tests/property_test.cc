@@ -1,0 +1,201 @@
+// Randomized property sweeps across module boundaries: random tables,
+// random quantity strings, and random graphs, checked against invariants
+// rather than fixed expectations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/extraction.h"
+#include "core/gt_matching.h"
+#include "corpus/generator.h"
+#include "graph/random_walk.h"
+#include "quantity/quantity_parser.h"
+#include "table/virtual_cell.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace briq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random tables: virtual-cell invariants.
+// ---------------------------------------------------------------------------
+
+class RandomTableTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  table::Table MakeRandomTable(util::Rng* rng) {
+    int rows = static_cast<int>(rng->UniformInt(2, 7));
+    int cols = static_cast<int>(rng->UniformInt(2, 6));
+    std::vector<std::vector<std::string>> grid(rows + 1);
+    grid[0].push_back("Category");
+    for (int c = 0; c < cols; ++c) {
+      grid[0].push_back("col" + std::to_string(c));
+    }
+    for (int r = 0; r < rows; ++r) {
+      grid[r + 1].push_back("row" + std::to_string(r));
+      for (int c = 0; c < cols; ++c) {
+        if (rng->Bernoulli(0.15)) {
+          grid[r + 1].push_back("--");
+        } else {
+          grid[r + 1].push_back(util::FormatDouble(
+              std::round(rng->UniformDouble(1, 5000)), 0));
+        }
+      }
+    }
+    table::Table t = table::Table::FromRows(std::move(grid));
+    t.set_header_row(true);
+    t.set_header_col(true);
+    t.AnnotateQuantities();
+    return t;
+  }
+};
+
+TEST_P(RandomTableTest, VirtualCellValuesRecomputable) {
+  util::Rng rng(GetParam());
+  table::Table t = MakeRandomTable(&rng);
+  auto mentions = table::GenerateTableMentions(t, 0, {});
+  for (const auto& m : mentions) {
+    std::vector<double> values;
+    for (const auto& ref : m.cells) {
+      ASSERT_TRUE(t.cell(ref).numeric());
+      values.push_back(t.cell(ref).quantity->value);
+    }
+    double expected = table::EvaluateAggregate(
+        m.func == table::AggregateFunction::kNone
+            ? table::AggregateFunction::kNone
+            : m.func,
+        values);
+    ASSERT_TRUE(std::isfinite(m.value));
+    EXPECT_NEAR(m.value, expected, 1e-9 * std::max(1.0, std::fabs(expected)));
+  }
+}
+
+TEST_P(RandomTableTest, PairCellsShareRowOrColumn) {
+  util::Rng rng(GetParam() * 31 + 7);
+  table::Table t = MakeRandomTable(&rng);
+  for (const auto& m : table::GenerateTableMentions(t, 0, {})) {
+    if (m.cells.size() != 2) continue;
+    EXPECT_TRUE(m.cells[0].row == m.cells[1].row ||
+                m.cells[0].col == m.cells[1].col)
+        << m.DebugString();
+  }
+}
+
+TEST_P(RandomTableTest, NoDuplicateTargets) {
+  util::Rng rng(GetParam() * 17 + 3);
+  table::Table t = MakeRandomTable(&rng);
+  auto mentions = table::GenerateTableMentions(t, 0, {});
+  for (size_t i = 0; i < mentions.size(); ++i) {
+    for (size_t j = i + 1; j < mentions.size(); ++j) {
+      EXPECT_FALSE(mentions[i].SameTarget(mentions[j]))
+          << mentions[i].DebugString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTableTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Quantity round trips: formatted values re-extract to the same number.
+// ---------------------------------------------------------------------------
+
+class QuantityRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QuantityRoundTripTest, FormattedValuesReExtract) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    double v = std::round(rng.UniformDouble(1, 5e6));
+    std::string surface =
+        rng.Bernoulli(0.5)
+            ? util::WithThousandsSeparators(static_cast<int64_t>(v))
+            : util::FormatDouble(v, 0);
+    std::string txt = "the figure reached " + surface + " overall";
+    auto mentions = quantity::ExtractQuantities(txt);
+    // Years are filtered by design; skip the collision band.
+    if (v >= 1900 && v <= 2100) continue;
+    ASSERT_EQ(mentions.size(), 1u) << txt;
+    EXPECT_DOUBLE_EQ(mentions[0].value, v) << txt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantityRoundTripTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------------
+// Random graphs: RWR invariants.
+// ---------------------------------------------------------------------------
+
+class RandomGraphTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomGraphTest, StationaryVectorIsDistribution) {
+  util::Rng rng(GetParam());
+  int n = static_cast<int>(rng.UniformInt(2, 40));
+  graph::Graph g(n);
+  int edges = static_cast<int>(rng.UniformInt(1, 3 * n));
+  for (int e = 0; e < edges; ++e) {
+    int u = static_cast<int>(rng.UniformInt(n));
+    int v = static_cast<int>(rng.UniformInt(n));
+    if (u != v && !g.HasEdge(u, v)) {
+      g.AddEdge(u, v, rng.UniformDouble(0.01, 2.0));
+    }
+  }
+  int source = static_cast<int>(rng.UniformInt(n));
+  auto pi = graph::RandomWalkWithRestart(g, source);
+  double total = std::accumulate(pi.begin(), pi.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  for (double p : pi) {
+    EXPECT_GE(p, -1e-12);
+    EXPECT_LE(p, 1.0 + 1e-12);
+  }
+  // Source always retains at least the restart mass.
+  EXPECT_GE(pi[source], 0.15 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// ---------------------------------------------------------------------------
+// Generated documents: extraction coverage property.
+// ---------------------------------------------------------------------------
+
+TEST(ExtractionCoverageProperty, GroundTruthMentionsAreExtracted) {
+  corpus::CorpusOptions options;
+  options.num_documents = 60;
+  options.seed = 777;
+  corpus::Corpus corpus = corpus::GenerateCorpus(options);
+  core::BriqConfig config;
+
+  size_t total = 0;
+  size_t text_found = 0;
+  size_t target_found = 0;
+  for (const auto& doc : corpus.documents) {
+    auto prepared = core::PrepareDocument(doc, config);
+    for (const auto& m : core::MatchGroundTruth(prepared)) {
+      ++total;
+      if (m.text_idx >= 0) ++text_found;
+      if (m.table_idx >= 0) ++target_found;
+    }
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_GT(static_cast<double>(text_found) / total, 0.97);
+  EXPECT_GT(static_cast<double>(target_found) / total, 0.97);
+}
+
+TEST(RelativeDifferenceProperty, BoundsAndSymmetry) {
+  util::Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.UniformDouble(-1e6, 1e6);
+    double b = rng.UniformDouble(-1e6, 1e6);
+    double d = quantity::RelativeDifference(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+    EXPECT_DOUBLE_EQ(d, quantity::RelativeDifference(b, a));
+    EXPECT_DOUBLE_EQ(quantity::RelativeDifference(a, a), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace briq

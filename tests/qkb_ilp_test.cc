@@ -1,0 +1,221 @@
+// Tests of the two extension modules: the QKB exact-match baseline and the
+// ILP-style joint resolver.
+
+#include <gtest/gtest.h>
+
+#include "core/ilp_resolution.h"
+#include "core/qkb.h"
+#include "corpus/paper_examples.h"
+
+namespace briq::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// QKB baseline.
+// ---------------------------------------------------------------------------
+
+TEST(QkbTest, CanonicalizeRegisteredUnits) {
+  auto usd = QkbAligner::Canonicalize("USD", quantity::UnitCategory::kCurrency,
+                                      500);
+  ASSERT_TRUE(usd.has_value());
+  EXPECT_EQ(usd->measure, "currency:USD");
+
+  auto pct = QkbAligner::Canonicalize("percent",
+                                      quantity::UnitCategory::kPercent, 5);
+  ASSERT_TRUE(pct.has_value());
+  EXPECT_EQ(pct->measure, "percent");
+
+  auto count = QkbAligner::Canonicalize("", quantity::UnitCategory::kNone, 7);
+  ASSERT_TRUE(count.has_value());
+  EXPECT_EQ(count->measure, "count");
+}
+
+TEST(QkbTest, UnregisteredUnitsFail) {
+  EXPECT_FALSE(QkbAligner::Canonicalize(
+                   "MPGe", quantity::UnitCategory::kFuelEconomy, 105)
+                   .has_value());
+  EXPECT_FALSE(
+      QkbAligner::Canonicalize("JPY", quantity::UnitCategory::kCurrency, 5)
+          .has_value());
+}
+
+TEST(QkbTest, AlignsExactUnambiguousMatches) {
+  corpus::Document doc = corpus::Figure1aHealth();
+  BriqConfig config;
+  PreparedDocument prepared = PrepareDocument(doc, config);
+  QkbAligner qkb;
+  DocumentAlignment alignment = qkb.Align(prepared);
+
+  // "38" matches exactly one cell -> aligned; "123" (sum) has no explicit
+  // cell; "5" collides (Nausea/male == 5, Eye Disorders/total == 5) ->
+  // abstain.
+  bool found_38 = false;
+  for (const auto& d : alignment.decisions) {
+    const auto& x = prepared.text_mentions[d.text_idx];
+    const auto& t = prepared.table_mentions[d.table_idx];
+    EXPECT_FALSE(t.is_virtual());
+    if (x.surface() == "38") {
+      found_38 = true;
+      EXPECT_EQ(t.cells[0], (table::CellRef{2, 3}));
+    }
+    EXPECT_NE(x.surface(), "5");    // ambiguous -> abstains
+    EXPECT_NE(x.surface(), "123");  // aggregate -> not in KB
+  }
+  EXPECT_TRUE(found_38);
+}
+
+TEST(QkbTest, ApproximateMentionsNeverMatch) {
+  // Figure 1b: "37K EUR" vs cell 36900 — the QKB requires exact values.
+  corpus::Document doc = corpus::Figure1bEnvironment();
+  BriqConfig config;
+  PreparedDocument prepared = PrepareDocument(doc, config);
+  QkbAligner qkb;
+  DocumentAlignment alignment = qkb.Align(prepared);
+  for (const auto& d : alignment.decisions) {
+    EXPECT_NE(prepared.text_mentions[d.text_idx].surface(), "37K EUR");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ILP resolver.
+// ---------------------------------------------------------------------------
+
+// Builds a tiny prepared document skeleton sufficient for the resolver:
+// `n_text` text mentions, table mentions as given.
+struct TinySetup {
+  corpus::Document doc;
+  PreparedDocument prepared;
+};
+
+TinySetup MakeTiny() {
+  TinySetup s;
+  s.doc = corpus::Figure3CoupledQuantities();
+  BriqConfig config;
+  s.prepared = PrepareDocument(s.doc, config);
+  return s;
+}
+
+int TableMentionIn(const PreparedDocument& doc, int table_index) {
+  for (size_t j = 0; j < doc.table_mentions.size(); ++j) {
+    if (doc.table_mentions[j].table_index == table_index &&
+        !doc.table_mentions[j].is_virtual()) {
+      return static_cast<int>(j);
+    }
+  }
+  return -1;
+}
+
+TEST(IlpResolverTest, PicksHighestScoreUnderConstraints) {
+  TinySetup s = MakeTiny();
+  ASSERT_GE(s.prepared.text_mentions.size(), 2u);
+
+  int t0 = TableMentionIn(s.prepared, 0);
+  int t1 = TableMentionIn(s.prepared, 1);
+  ASSERT_GE(t0, 0);
+  ASSERT_GE(t1, 0);
+
+  // Two mentions, both preferring the SAME single cell: constraint (b)
+  // forces the second onto its runner-up.
+  std::vector<std::vector<Candidate>> candidates(
+      s.prepared.text_mentions.size());
+  candidates[0] = {{0, static_cast<size_t>(t0), 0.9},
+                   {0, static_cast<size_t>(t1), 0.2}};
+  candidates[1] = {{1, static_cast<size_t>(t0), 0.8},
+                   {1, static_cast<size_t>(t1), 0.7}};
+
+  IlpResolver::Options options;
+  options.table_coherence_bonus = 0.0;
+  IlpResolver resolver(options);
+  IlpResolver::SearchStats stats;
+  DocumentAlignment a = resolver.Resolve(s.prepared, candidates, &stats);
+
+  ASSERT_EQ(a.decisions.size(), 2u);
+  EXPECT_TRUE(stats.optimal);
+  EXPECT_EQ(a.decisions[0].table_idx, t0);
+  EXPECT_EQ(a.decisions[1].table_idx, t1);  // forced off the taken cell
+}
+
+TEST(IlpResolverTest, CoherenceBonusTipsTheBalance) {
+  TinySetup s = MakeTiny();
+  int t0 = TableMentionIn(s.prepared, 0);
+  int t1 = TableMentionIn(s.prepared, 1);
+  // Find a second, different single cell in table 0.
+  int t0b = -1;
+  for (size_t j = 0; j < s.prepared.table_mentions.size(); ++j) {
+    if (s.prepared.table_mentions[j].table_index == 0 &&
+        !s.prepared.table_mentions[j].is_virtual() &&
+        static_cast<int>(j) != t0) {
+      t0b = static_cast<int>(j);
+      break;
+    }
+  }
+  ASSERT_GE(t0b, 0);
+
+  std::vector<std::vector<Candidate>> candidates(
+      s.prepared.text_mentions.size());
+  // Mention 0 firmly in table 0; mention 1 slightly prefers table 1, but
+  // coherence with mention 0 should pull it into table 0.
+  candidates[0] = {{0, static_cast<size_t>(t0), 0.9}};
+  candidates[1] = {{1, static_cast<size_t>(t1), 0.50},
+                   {1, static_cast<size_t>(t0b), 0.46}};
+
+  IlpResolver::Options with_bonus;
+  with_bonus.table_coherence_bonus = 0.1;
+  DocumentAlignment a =
+      IlpResolver(with_bonus).Resolve(s.prepared, candidates, nullptr);
+  const AlignmentDecision* d1 = a.ForTextMention(1);
+  ASSERT_NE(d1, nullptr);
+  EXPECT_EQ(d1->table_idx, t0b);  // coherence won
+
+  IlpResolver::Options no_bonus;
+  no_bonus.table_coherence_bonus = 0.0;
+  a = IlpResolver(no_bonus).Resolve(s.prepared, candidates, nullptr);
+  d1 = a.ForTextMention(1);
+  ASSERT_NE(d1, nullptr);
+  EXPECT_EQ(d1->table_idx, t1);  // raw score wins without the bonus
+}
+
+TEST(IlpResolverTest, EpsilonLeavesWeakMentionsUnaligned) {
+  TinySetup s = MakeTiny();
+  int t0 = TableMentionIn(s.prepared, 0);
+  std::vector<std::vector<Candidate>> candidates(
+      s.prepared.text_mentions.size());
+  candidates[0] = {{0, static_cast<size_t>(t0), 0.01}};  // below epsilon
+
+  IlpResolver::Options options;
+  options.epsilon = 0.05;
+  DocumentAlignment a =
+      IlpResolver(options).Resolve(s.prepared, candidates, nullptr);
+  EXPECT_EQ(a.ForTextMention(0), nullptr);
+}
+
+TEST(IlpResolverTest, NodeCapReportsNonOptimal) {
+  TinySetup s = MakeTiny();
+  // Many mentions x many near-tie candidates: force the cap.
+  std::vector<std::vector<Candidate>> candidates(
+      s.prepared.text_mentions.size());
+  std::vector<size_t> singles;
+  for (size_t j = 0; j < s.prepared.table_mentions.size(); ++j) {
+    if (!s.prepared.table_mentions[j].is_virtual()) singles.push_back(j);
+  }
+  ASSERT_GE(singles.size(), 6u);
+  for (size_t x = 0; x < candidates.size(); ++x) {
+    for (size_t k = 0; k < 6; ++k) {
+      candidates[x].push_back(
+          {x, singles[k], 0.5 + 0.0001 * static_cast<double>(k + x)});
+    }
+    std::sort(candidates[x].begin(), candidates[x].end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.score > b.score;
+              });
+  }
+  IlpResolver::Options options;
+  options.max_nodes = 50;
+  IlpResolver::SearchStats stats;
+  IlpResolver(options).Resolve(s.prepared, candidates, &stats);
+  EXPECT_FALSE(stats.optimal);
+  EXPECT_LE(stats.nodes_explored, 51u);
+}
+
+}  // namespace
+}  // namespace briq::core

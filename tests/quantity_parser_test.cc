@@ -1,0 +1,225 @@
+#include "quantity/quantity_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace briq::quantity {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Text extraction: surface forms the paper calls out.
+// ---------------------------------------------------------------------------
+
+struct ExtractCase {
+  const char* txt;
+  double value;        // normalized value of the (single) expected mention
+  const char* unit;    // canonical unit or ""
+};
+
+class ExtractOneTest : public ::testing::TestWithParam<ExtractCase> {};
+
+TEST_P(ExtractOneTest, ExtractsOneMention) {
+  auto mentions = ExtractQuantities(GetParam().txt);
+  ASSERT_EQ(mentions.size(), 1u) << GetParam().txt;
+  EXPECT_DOUBLE_EQ(mentions[0].value, GetParam().value) << GetParam().txt;
+  EXPECT_EQ(mentions[0].unit, GetParam().unit) << GetParam().txt;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SurfaceForms, ExtractOneTest,
+    ::testing::Values(
+        ExtractCase{"reported by 38 patients", 38, ""},
+        ExtractCase{"price was $500", 500, "USD"},
+        ExtractCase{"cost of $500 million", 500e6, "USD"},
+        ExtractCase{"about 0.5 million units sold", 500000, ""},
+        ExtractCase{"fee of 1.34% applies", 1.34, "percent"},
+        ExtractCase{"margins rose 60 bps", 0.6, "percent"},
+        ExtractCase{"it was 37K EUR there", 37000, "EUR"},
+        ExtractCase{"revenue of $3.26 billion was high", 3.26e9, "USD"},
+        ExtractCase{"they sold 1,144,716 scooters", 1144716, ""},
+        ExtractCase{"the price EUR 500 was fair", 500, "EUR"},
+        ExtractCase{"weighs twenty pounds fully loaded", 20, "GBP"},
+        ExtractCase{"grew 5 per cent that year", 5, "percent"},
+        ExtractCase{"volume was 2,29,866 units there", 229866, ""},
+        ExtractCase{"emits 105 g / km in town", 105, "g/km"}));
+
+TEST(ExtractTest, CurrencyRefinement) {
+  // "$70 million CDN": the CDN word narrows the $ to Canadian dollars.
+  auto mentions = ExtractQuantities("was up $70 million CDN or so");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_DOUBLE_EQ(mentions[0].value, 70e6);
+  EXPECT_EQ(mentions[0].unit, "CDN");
+}
+
+TEST(ExtractTest, UnnormalizedValueKept) {
+  auto mentions = ExtractQuantities("about 37K EUR in Germany");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_DOUBLE_EQ(mentions[0].value, 37000);
+  EXPECT_DOUBLE_EQ(mentions[0].unnormalized, 37);
+  EXPECT_EQ(mentions[0].approx, ApproxIndicator::kApproximate);
+}
+
+TEST(ExtractTest, PrecisionRecorded) {
+  auto mentions = ExtractQuantities("rate of 1.543 versus 1.5 before");
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(mentions[0].precision, 3);
+  EXPECT_EQ(mentions[1].precision, 1);
+}
+
+TEST(ExtractTest, MultipleMentionsWithSpans) {
+  std::string txt = "there were 69 female patients and 54 male patients";
+  auto mentions = ExtractQuantities(txt);
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(txt.substr(mentions[0].span.begin, mentions[0].span.length()),
+            mentions[0].surface);
+  EXPECT_EQ(mentions[0].surface, "69");
+  EXPECT_EQ(mentions[1].surface, "54");
+}
+
+// ---------------------------------------------------------------------------
+// Complex quantities.
+// ---------------------------------------------------------------------------
+
+TEST(ExtractTest, ComplexQuantityNotSplit) {
+  auto mentions = ExtractQuantities("moving at 5 \xC2\xB1 1 km per hour");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_TRUE(mentions[0].is_complex);
+  EXPECT_DOUBLE_EQ(mentions[0].value, 5);
+  EXPECT_EQ(mentions[0].approx, ApproxIndicator::kApproximate);
+}
+
+// ---------------------------------------------------------------------------
+// Exclusion filters (paper §II-A).
+// ---------------------------------------------------------------------------
+
+TEST(FilterTest, YearsFiltered) {
+  EXPECT_TRUE(ExtractQuantities("In 2013 the company changed course").empty());
+  EXPECT_TRUE(ExtractQuantities("since 1999 it has been so").empty());
+}
+
+TEST(FilterTest, YearWithUnitKept) {
+  // "2013 dollars" is a quantity, not a date.
+  auto mentions = ExtractQuantities("cost 2013 dollars back then");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].unit, "USD");
+}
+
+TEST(FilterTest, TimesFiltered) {
+  EXPECT_TRUE(ExtractQuantities("the call at 10:30 was long").empty());
+  EXPECT_TRUE(ExtractQuantities("arrived at 9:15:59 sharp").empty());
+}
+
+TEST(FilterTest, SlashedDatesFiltered) {
+  EXPECT_TRUE(ExtractQuantities("on 12/05/2014 they met").empty());
+}
+
+TEST(FilterTest, MonthAdjacentDaysFiltered) {
+  EXPECT_TRUE(ExtractQuantities("on 18 December they signed").empty());
+  EXPECT_TRUE(ExtractQuantities("August 2001 was hot").empty());
+}
+
+TEST(FilterTest, PhoneNumbersFiltered) {
+  EXPECT_TRUE(ExtractQuantities("call 555-123-4567 now").empty());
+}
+
+TEST(FilterTest, ReferencesAndIdentifiersFiltered) {
+  EXPECT_TRUE(ExtractQuantities("as shown in [2] earlier").empty());
+  EXPECT_TRUE(ExtractQuantities("runs on Win10 machines").empty());
+  EXPECT_TRUE(ExtractQuantities("see Section 1.1 for details").empty());
+  EXPECT_TRUE(ExtractQuantities("the 7th item was best").empty());
+}
+
+TEST(FilterTest, HeadingNumbersFiltered) {
+  EXPECT_TRUE(ExtractQuantities("Table 2 lists the results").empty());
+  EXPECT_TRUE(ExtractQuantities("Figure 5 shows alignments").empty());
+}
+
+TEST(FilterTest, RangeNumbersKept) {
+  // "from 3,193 to 3,263" are two legitimate mentions, not a date.
+  auto mentions = ExtractQuantities("rose from 3,193 to 3,263 overall");
+  EXPECT_EQ(mentions.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Approximation indicators.
+// ---------------------------------------------------------------------------
+
+struct ApproxCase {
+  const char* txt;
+  ApproxIndicator expected;
+};
+
+class ApproxTest : public ::testing::TestWithParam<ApproxCase> {};
+
+TEST_P(ApproxTest, DetectsIndicator) {
+  auto mentions = ExtractQuantities(GetParam().txt);
+  ASSERT_EQ(mentions.size(), 1u) << GetParam().txt;
+  EXPECT_EQ(mentions[0].approx, GetParam().expected) << GetParam().txt;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cues, ApproxTest,
+    ::testing::Values(
+        ApproxCase{"about 500 units", ApproxIndicator::kApproximate},
+        ApproxCase{"nearly 500 units", ApproxIndicator::kApproximate},
+        ApproxCase{"ca. 500 units", ApproxIndicator::kApproximate},
+        ApproxCase{"exactly 500 units", ApproxIndicator::kExact},
+        ApproxCase{"more than 500 units", ApproxIndicator::kLowerBound},
+        ApproxCase{"at least 500 units", ApproxIndicator::kLowerBound},
+        ApproxCase{"less than 500 units", ApproxIndicator::kUpperBound},
+        ApproxCase{"up to 500 units", ApproxIndicator::kUpperBound},
+        ApproxCase{"over 500 units", ApproxIndicator::kLowerBound},
+        ApproxCase{"under 500 units", ApproxIndicator::kUpperBound},
+        ApproxCase{"precisely 500 units", ApproxIndicator::kExact},
+        ApproxCase{"some 500 units", ApproxIndicator::kApproximate},
+        ApproxCase{"just 500 units", ApproxIndicator::kNone}));
+
+// ---------------------------------------------------------------------------
+// Cell parsing.
+// ---------------------------------------------------------------------------
+
+struct CellCase {
+  const char* cell;
+  double value;
+  const char* unit;
+};
+
+class CellTest : public ::testing::TestWithParam<CellCase> {};
+
+TEST_P(CellTest, ParsesCells) {
+  auto q = ParseCellQuantity(GetParam().cell);
+  ASSERT_TRUE(q.has_value()) << GetParam().cell;
+  EXPECT_DOUBLE_EQ(q->value, GetParam().value) << GetParam().cell;
+  EXPECT_EQ(q->unit, GetParam().unit) << GetParam().cell;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, CellTest,
+    ::testing::Values(CellCase{"36900", 36900, ""},
+                      CellCase{" 35 ", 35, ""},
+                      CellCase{"$232.8 Million", 232.8e6, "USD"},
+                      CellCase{"$(9.49) Million", -9.49e6, "USD"},
+                      CellCase{"(42)", -42, ""},
+                      CellCase{"12.7%", 12.7, "percent"},
+                      CellCase{"60 bps", 0.6, "percent"},
+                      CellCase{"1,144,716", 1144716, ""},
+                      CellCase{"0,877", 0.877, ""},
+                      CellCase{"-6.94", -6.94, ""},
+                      CellCase{"105 MPGe", 105, "MPGe"}));
+
+TEST(CellTest, NonQuantityCells) {
+  EXPECT_FALSE(ParseCellQuantity("Rash").has_value());
+  EXPECT_FALSE(ParseCellQuantity("--").has_value());
+  EXPECT_FALSE(ParseCellQuantity("n/a").has_value());
+  EXPECT_FALSE(ParseCellQuantity("").has_value());
+  EXPECT_FALSE(ParseCellQuantity("   ").has_value());
+}
+
+TEST(CellTest, YearsKeptInCells) {
+  // The date filter applies to text, not cells.
+  auto q = ParseCellQuantity("2013");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_DOUBLE_EQ(q->value, 2013);
+}
+
+}  // namespace
+}  // namespace briq::quantity

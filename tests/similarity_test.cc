@@ -1,0 +1,101 @@
+#include "util/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace briq::util {
+namespace {
+
+TEST(JaroTest, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+}
+
+TEST(JaroTest, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", "abc"), 0.0);
+}
+
+TEST(JaroTest, KnownValue) {
+  // Classic reference pair: JARO("MARTHA", "MARHTA") = 0.944...
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.9444, 1e-3);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  // Jaro-Winkler favours shared prefixes (the paper's rationale: "26.7$"
+  // should be closer to "26.65$" than to "29.75$").
+  double close = JaroWinklerSimilarity("26.7$", "26.65$");
+  double far = JaroWinklerSimilarity("26.7$", "29.75$");
+  EXPECT_GT(close, far);
+}
+
+TEST(JaroWinklerTest, KnownValue) {
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.9611, 1e-3);
+}
+
+// Property sweep: symmetry and bounds over assorted string pairs.
+class SimilarityPropertyTest
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(SimilarityPropertyTest, SymmetricAndBounded) {
+  auto [a, b] = GetParam();
+  double ab = JaroWinklerSimilarity(a, b);
+  double ba = JaroWinklerSimilarity(b, a);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+  EXPECT_GE(JaroSimilarity(a, b), 0.0);
+  EXPECT_LE(JaroSimilarity(a, b), 1.0);
+  // Winkler boost never decreases Jaro.
+  EXPECT_GE(ab + 1e-12, JaroSimilarity(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, SimilarityPropertyTest,
+    ::testing::Values(std::make_pair("36900", "37K"),
+                      std::make_pair("1,144,716", "1144716"),
+                      std::make_pair("0.9", "890"),
+                      std::make_pair("total", "totals"),
+                      std::make_pair("a", "a"),
+                      std::make_pair("", "x"),
+                      std::make_pair("12.7%", "13.3%"),
+                      std::make_pair("3,263", "3.26 billion")));
+
+TEST(JaccardTest, Basics) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  // Duplicates collapse to set semantics.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({"a", "a", "b"}, {"a", "b", "b"}), 1.0);
+}
+
+TEST(OverlapCoefficientTest, Basics) {
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({"a", "b", "c"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({}, {"a"}), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({"a", "x"}, {"a", "y"}), 0.5);
+}
+
+TEST(WeightedOverlapTest, MatchesUnweightedWhenUniform) {
+  WeightedBag a = {{"x", 1.0}, {"y", 1.0}};
+  WeightedBag b = {{"y", 1.0}, {"z", 1.0}};
+  EXPECT_DOUBLE_EQ(WeightedOverlapCoefficient(a, b), 0.5);
+}
+
+TEST(WeightedOverlapTest, UsesMinWeights) {
+  WeightedBag a = {{"x", 1.0}};
+  WeightedBag b = {{"x", 0.2}, {"y", 0.8}};
+  // Shared mass = min(1.0, 0.2) = 0.2; denominator = min(1.0, 1.0) = 1.0.
+  EXPECT_DOUBLE_EQ(WeightedOverlapCoefficient(a, b), 0.2);
+}
+
+TEST(WeightedOverlapTest, EmptyBagsYieldZero) {
+  WeightedBag a;
+  WeightedBag b = {{"x", 1.0}};
+  EXPECT_DOUBLE_EQ(WeightedOverlapCoefficient(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(WeightedOverlapCoefficient(b, a), 0.0);
+}
+
+}  // namespace
+}  // namespace briq::util

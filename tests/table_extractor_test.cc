@@ -1,0 +1,134 @@
+#include "html/table_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "html/page_segmenter.h"
+
+namespace briq::html {
+namespace {
+
+TEST(TableExtractorTest, BasicTable) {
+  auto tables = ExtractTables(
+      "<table><tr><th>a</th><th>b</th></tr>"
+      "<tr><td>1</td><td>2</td></tr></table>");
+  ASSERT_EQ(tables.size(), 1u);
+  const table::Table& t = tables[0];
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.num_cols(), 2);
+  EXPECT_TRUE(t.has_header_row());
+  EXPECT_EQ(t.cell(1, 0).raw, "1");
+  EXPECT_TRUE(t.cell(1, 0).numeric());
+}
+
+TEST(TableExtractorTest, CaptionExtracted) {
+  auto tables = ExtractTables(
+      "<table><caption>Income gains (in Mio)</caption>"
+      "<tr><th>x</th><th>2013</th></tr>"
+      "<tr><th>Total</th><td>3,263</td></tr></table>");
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].caption(), "Income gains (in Mio)");
+  // Caption scale applied during annotation.
+  EXPECT_DOUBLE_EQ(tables[0].cell(1, 1).quantity->value, 3.263e9);
+}
+
+TEST(TableExtractorTest, TheadTbodyRows) {
+  auto tables = ExtractTables(
+      "<table><thead><tr><th>h</th></tr></thead>"
+      "<tbody><tr><td>1</td></tr><tr><td>2</td></tr></tbody></table>");
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0].num_rows(), 3);
+}
+
+TEST(TableExtractorTest, ColspanExpansion) {
+  auto tables = ExtractTables(
+      "<table><tr><td colspan=\"2\">wide</td><td>x</td></tr>"
+      "<tr><td>a</td><td>b</td><td>c</td></tr></table>");
+  ASSERT_EQ(tables.size(), 1u);
+  const table::Table& t = tables[0];
+  EXPECT_EQ(t.num_cols(), 3);
+  EXPECT_EQ(t.cell(0, 0).raw, "wide");
+  EXPECT_EQ(t.cell(0, 1).raw, "wide");  // spanned copy
+  EXPECT_EQ(t.cell(0, 2).raw, "x");
+}
+
+TEST(TableExtractorTest, RowspanExpansion) {
+  auto tables = ExtractTables(
+      "<table><tr><td rowspan=\"2\">tall</td><td>a</td></tr>"
+      "<tr><td>b</td></tr></table>");
+  ASSERT_EQ(tables.size(), 1u);
+  const table::Table& t = tables[0];
+  EXPECT_EQ(t.cell(0, 0).raw, "tall");
+  EXPECT_EQ(t.cell(1, 0).raw, "tall");
+  EXPECT_EQ(t.cell(1, 1).raw, "b");
+}
+
+TEST(TableExtractorTest, FirstColumnThMarksHeaderColumn) {
+  auto tables = ExtractTables(
+      "<table><tr><th>h1</th><th>h2</th></tr>"
+      "<tr><th>German MSRP</th><td>34900</td></tr>"
+      "<tr><th>Emission</th><td>0</td></tr></table>");
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_TRUE(tables[0].has_header_row());
+  EXPECT_TRUE(tables[0].has_header_col());
+}
+
+TEST(TableExtractorTest, HeuristicHeaderWithoutTh) {
+  auto tables = ExtractTables(
+      "<table><tr><td>name</td><td>count</td></tr>"
+      "<tr><td>Rash</td><td>35</td></tr>"
+      "<tr><td>Nausea</td><td>11</td></tr></table>");
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_TRUE(tables[0].has_header_row());
+}
+
+TEST(TableExtractorTest, EmptyTableSkipped) {
+  EXPECT_TRUE(ExtractTables("<table></table>").empty());
+  EXPECT_TRUE(ExtractTables("no tables here").empty());
+}
+
+TEST(TableExtractorTest, NestedTablesExtractedSeparately) {
+  auto tables = ExtractTables(
+      "<table><tr><td><table><tr><td>9</td></tr></table></td>"
+      "<td>1</td></tr></table>");
+  EXPECT_EQ(tables.size(), 2u);
+}
+
+TEST(PageSegmenterTest, ParagraphsTablesHeadingsInOrder) {
+  Page page = SegmentPage(
+      "<html><head><title>Report</title></head><body>"
+      "<h2>Results</h2>"
+      "<p>First paragraph with 42 things.</p>"
+      "<table><tr><th>a</th></tr><tr><td>1</td></tr></table>"
+      "<p>Second paragraph.</p>"
+      "</body></html>");
+  EXPECT_EQ(page.title, "Report");
+  ASSERT_EQ(page.blocks.size(), 4u);
+  EXPECT_EQ(page.blocks[0].kind, PageBlock::Kind::kHeading);
+  EXPECT_EQ(page.blocks[1].kind, PageBlock::Kind::kParagraph);
+  EXPECT_EQ(page.blocks[2].kind, PageBlock::Kind::kTable);
+  EXPECT_EQ(page.blocks[3].kind, PageBlock::Kind::kParagraph);
+  EXPECT_EQ(page.ParagraphCount(), 2u);
+  EXPECT_EQ(page.TableCount(), 1u);
+}
+
+TEST(PageSegmenterTest, LeafDivBecomesParagraph) {
+  Page page = SegmentPage("<div>Loose text block</div>");
+  ASSERT_EQ(page.blocks.size(), 1u);
+  EXPECT_EQ(page.blocks[0].kind, PageBlock::Kind::kParagraph);
+  EXPECT_EQ(page.blocks[0].textual, "Loose text block");
+}
+
+TEST(PageSegmenterTest, NavAndFooterSkipped) {
+  Page page = SegmentPage(
+      "<nav><p>menu</p></nav><p>content</p><footer><p>legal</p></footer>");
+  ASSERT_EQ(page.ParagraphCount(), 1u);
+  EXPECT_EQ(page.blocks[0].textual, "content");
+}
+
+TEST(PageSegmenterTest, ListItemsAreParagraphs) {
+  Page page = SegmentPage("<ul><li>alpha</li><li>beta</li></ul>");
+  EXPECT_EQ(page.ParagraphCount(), 2u);
+}
+
+}  // namespace
+}  // namespace briq::html

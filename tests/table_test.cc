@@ -1,0 +1,133 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+namespace briq::table {
+namespace {
+
+Table HealthTable() {
+  Table t = Table::FromRows({{"side effects", "male", "female", "total"},
+                             {"Rash", "15", "20", "35"},
+                             {"Depression", "13", "25", "38"}});
+  return t;
+}
+
+TEST(TableTest, FromRowsPadsRagged) {
+  Table t = Table::FromRows({{"a", "b", "c"}, {"d"}});
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.num_cols(), 3);
+  EXPECT_EQ(t.cell(1, 0).raw, "d");
+  EXPECT_EQ(t.cell(1, 2).raw, "");
+}
+
+TEST(TableTest, FromRowsTrimsCells) {
+  Table t = Table::FromRows({{"  x  ", "\t42 "}});
+  EXPECT_EQ(t.cell(0, 0).raw, "x");
+  EXPECT_EQ(t.cell(0, 1).raw, "42");
+}
+
+TEST(TableTest, DetectHeadersFindsHeaderRowAndColumn) {
+  Table t = HealthTable();
+  t.DetectHeaders();
+  EXPECT_TRUE(t.has_header_row());
+  EXPECT_TRUE(t.has_header_col());
+  EXPECT_TRUE(t.cell(0, 1).is_header);
+  EXPECT_TRUE(t.cell(1, 0).is_header);
+  EXPECT_FALSE(t.cell(1, 1).is_header);
+}
+
+TEST(TableTest, DetectHeadersAllNumericHasNone) {
+  Table t = Table::FromRows({{"1", "2"}, {"3", "4"}, {"5", "6"}});
+  t.DetectHeaders();
+  EXPECT_FALSE(t.has_header_row());
+  EXPECT_FALSE(t.has_header_col());
+}
+
+TEST(TableTest, AnnotateQuantitiesParsesBodyOnly) {
+  Table t = HealthTable();
+  t.DetectHeaders();
+  t.AnnotateQuantities();
+  EXPECT_FALSE(t.cell(0, 1).numeric());  // header "male"
+  ASSERT_TRUE(t.cell(1, 1).numeric());
+  EXPECT_DOUBLE_EQ(t.cell(1, 1).quantity->value, 15);
+  EXPECT_DOUBLE_EQ(t.cell(2, 3).quantity->value, 38);
+}
+
+TEST(TableTest, CaptionScaleAppliesToCells) {
+  Table t = Table::FromRows(
+      {{"Income", "2013", "2012"}, {"Total Revenue", "3,263", "3,193"}});
+  t.set_caption("Income gains (in Mio)");
+  t.set_header_row(true);
+  t.set_header_col(true);
+  t.AnnotateQuantities();
+  EXPECT_DOUBLE_EQ(t.cell(1, 1).quantity->value, 3.263e9);
+  EXPECT_DOUBLE_EQ(t.cell(1, 1).quantity->unnormalized, 3263);
+}
+
+TEST(TableTest, CaptionScaleDoesNotTouchPercentCells) {
+  Table t = Table::FromRows(
+      {{"x", "2Q 2012", "% Change"}, {"Sales", "900", "5%"}});
+  t.set_caption("Table 1 ($ Millions)");
+  t.set_header_row(true);
+  t.set_header_col(true);
+  t.AnnotateQuantities();
+  EXPECT_DOUBLE_EQ(t.cell(1, 1).quantity->value, 900e6);
+  EXPECT_EQ(t.cell(1, 1).quantity->unit, "USD");
+  EXPECT_DOUBLE_EQ(t.cell(1, 2).quantity->value, 5);
+  EXPECT_EQ(t.cell(1, 2).quantity->unit, "percent");
+}
+
+TEST(TableTest, ColumnHeaderCueSetsUnit) {
+  Table t = Table::FromRows(
+      {{"Model", "Emission (g/km)"}, {"Golf", "122"}});
+  t.set_header_row(true);
+  t.set_header_col(true);
+  t.AnnotateQuantities();
+  EXPECT_EQ(t.cell(1, 1).quantity->unit, "g/km");
+}
+
+TEST(TableTest, RowAndColumnContentAreDisjointContexts) {
+  Table t = HealthTable();
+  t.DetectHeaders();
+  // Row content = the cells the row passes through (incl. its header cell),
+  // but NOT the column headers — those belong to column content only, or
+  // every row would share the same vocabulary.
+  std::string row = t.RowContent(1);
+  EXPECT_NE(row.find("Rash"), std::string::npos);
+  EXPECT_EQ(row.find("male"), std::string::npos);
+  std::string col = t.ColumnContent(3);
+  EXPECT_NE(col.find("total"), std::string::npos);
+  EXPECT_EQ(col.find("Rash"), std::string::npos);
+}
+
+TEST(TableTest, AllWordsLowercased) {
+  Table t = HealthTable();
+  t.set_caption("Drug Trial");
+  auto words = t.AllWords();
+  EXPECT_NE(std::find(words.begin(), words.end(), "rash"), words.end());
+  EXPECT_NE(std::find(words.begin(), words.end(), "drug"), words.end());
+}
+
+TEST(TableTest, IsBodyCell) {
+  Table t = HealthTable();
+  t.DetectHeaders();
+  EXPECT_FALSE(t.IsBodyCell(0, 1));
+  EXPECT_TRUE(t.IsBodyCell(1, 1));
+  EXPECT_FALSE(t.IsBodyCell(-1, 0));
+  EXPECT_FALSE(t.IsBodyCell(0, 99));
+}
+
+TEST(TableTest, EmptyTable) {
+  Table t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.num_rows(), 0);
+}
+
+TEST(CellRefTest, Ordering) {
+  EXPECT_TRUE((CellRef{1, 2} < CellRef{2, 0}));
+  EXPECT_TRUE((CellRef{1, 2} < CellRef{1, 3}));
+  EXPECT_TRUE((CellRef{1, 2} == CellRef{1, 2}));
+}
+
+}  // namespace
+}  // namespace briq::table

@@ -1,0 +1,121 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace briq::text {
+namespace {
+
+std::vector<std::string> Surfaces(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  for (const auto& t : tokens) out.push_back(t.textual);
+  return out;
+}
+
+TEST(TokenizerTest, WordsAndNumbers) {
+  auto tokens = Tokenize("Sales were up 5 percent");
+  EXPECT_EQ(Surfaces(tokens),
+            (std::vector<std::string>{"Sales", "were", "up", "5", "percent"}));
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kWord);
+}
+
+TEST(TokenizerTest, NumberKeepsSeparatorsAndDecimals) {
+  auto tokens = Tokenize("1,144,716 and 2.74 and 2,29,866");
+  EXPECT_EQ(tokens[0].textual, "1,144,716");
+  EXPECT_EQ(tokens[2].textual, "2.74");
+  EXPECT_EQ(tokens[4].textual, "2,29,866");
+  for (auto i : {0, 2, 4}) EXPECT_EQ(tokens[i].kind, TokenKind::kNumber);
+}
+
+TEST(TokenizerTest, TrailingPunctuationNotPartOfNumber) {
+  auto tokens = Tokenize("was 38.");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].textual, "38");
+  EXPECT_EQ(tokens[2].textual, ".");
+}
+
+TEST(TokenizerTest, HyphenatedWordsStayTogether) {
+  // "A3" splits into word "A" + adjacent number "3" (identifier handling
+  // relies on that adjacency); hyphens/apostrophes inside words survive.
+  auto tokens = Tokenize("the A3 e-tron don't");
+  EXPECT_EQ(tokens[1].textual, "A");
+  EXPECT_EQ(tokens[2].textual, "3");
+  EXPECT_EQ(tokens[3].textual, "e-tron");
+  EXPECT_EQ(tokens[4].textual, "don't");
+}
+
+TEST(TokenizerTest, CurrencySymbolsAreSymbols) {
+  auto tokens = Tokenize("$500 and \xE2\x82\xAC" "37 and 5%");
+  EXPECT_EQ(tokens[0].textual, "$");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kSymbol);
+  EXPECT_EQ(tokens[3].textual, "\xE2\x82\xAC");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kSymbol);
+  // '%' after the number.
+  EXPECT_EQ(tokens.back().textual, "%");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kSymbol);
+}
+
+TEST(TokenizerTest, SpansMatchSource) {
+  std::string s = "Rash 15 20 35";
+  for (const Token& t : Tokenize(s)) {
+    EXPECT_EQ(s.substr(t.span.begin, t.span.length()), t.textual);
+  }
+}
+
+TEST(TokenizerTest, PlusMinusSymbol) {
+  auto tokens = Tokenize("5 \xC2\xB1 1 km");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].textual, "\xC2\xB1");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kSymbol);
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t\n ").empty());
+}
+
+TEST(SpanTest, OverlapAndContains) {
+  Span a{2, 5};
+  Span b{4, 8};
+  Span c{5, 9};
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(a.Overlaps(c));
+  EXPECT_TRUE(a.Contains(2));
+  EXPECT_FALSE(a.Contains(5));
+  EXPECT_EQ(a.length(), 3u);
+}
+
+TEST(SentenceSplitTest, BasicSplit) {
+  auto spans = SplitSentences("First sentence. Second one! Third?");
+  ASSERT_EQ(spans.size(), 3u);
+}
+
+TEST(SentenceSplitTest, DecimalPointsDoNotSplit) {
+  std::string s = "The value was 3.26 billion. Next year it fell.";
+  auto spans = SplitSentences(s);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(s.substr(spans[0].begin, spans[0].length()),
+            "The value was 3.26 billion.");
+}
+
+TEST(SentenceSplitTest, AbbreviationsDoNotSplit) {
+  auto spans = SplitSentences("It cost ca. 500 dollars at the time.");
+  EXPECT_EQ(spans.size(), 1u);
+}
+
+TEST(SentenceSplitTest, SentencesCoverTextInOrder) {
+  std::string s = "Alpha beta. Gamma delta. Epsilon.";
+  auto spans = SplitSentences(s);
+  ASSERT_EQ(spans.size(), 3u);
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].begin, spans[i - 1].end);
+  }
+}
+
+TEST(LowercaseWordsTest, OnlyWords) {
+  EXPECT_EQ(LowercaseWords("Total of 123 Patients"),
+            (std::vector<std::string>{"total", "of", "patients"}));
+}
+
+}  // namespace
+}  // namespace briq::text

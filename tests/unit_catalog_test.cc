@@ -1,0 +1,109 @@
+#include "quantity/unit.h"
+
+#include <gtest/gtest.h>
+
+#include "quantity/header_cue.h"
+
+namespace briq::quantity {
+namespace {
+
+TEST(UnitLookupTest, CurrencySymbolsAndWords) {
+  EXPECT_EQ(LookupUnit("$")->canonical, "USD");
+  EXPECT_EQ(LookupUnit("dollars")->canonical, "USD");
+  EXPECT_EQ(LookupUnit("\xE2\x82\xAC")->canonical, "EUR");
+  EXPECT_EQ(LookupUnit("euro")->canonical, "EUR");
+  EXPECT_EQ(LookupUnit("EUR")->canonical, "EUR");
+  EXPECT_EQ(LookupUnit("pounds")->canonical, "GBP");
+  EXPECT_EQ(LookupUnit("CDN")->canonical, "CDN");
+  EXPECT_EQ(LookupUnit("cad")->canonical, "CDN");
+  for (const char* c : {"$", "EUR", "pounds"}) {
+    EXPECT_EQ(LookupUnit(c)->category, UnitCategory::kCurrency);
+  }
+}
+
+TEST(UnitLookupTest, PercentFamily) {
+  EXPECT_EQ(LookupUnit("%")->canonical, "percent");
+  EXPECT_EQ(LookupUnit("pct")->canonical, "percent");
+  auto bps = LookupUnit("bps");
+  ASSERT_TRUE(bps.has_value());
+  EXPECT_EQ(bps->category, UnitCategory::kPercent);
+  EXPECT_DOUBLE_EQ(bps->to_base, 0.01);
+}
+
+TEST(UnitLookupTest, PhysicalUnits) {
+  EXPECT_EQ(LookupUnit("MPGe")->category, UnitCategory::kFuelEconomy);
+  EXPECT_EQ(LookupUnit("g/km")->category, UnitCategory::kEmission);
+  EXPECT_EQ(LookupUnit("kWh")->category, UnitCategory::kEnergy);
+  EXPECT_EQ(LookupUnit("kg")->category, UnitCategory::kMass);
+}
+
+TEST(UnitLookupTest, UnknownTokens) {
+  EXPECT_FALSE(LookupUnit("patients").has_value());
+  EXPECT_FALSE(LookupUnit("").has_value());
+  EXPECT_FALSE(LookupUnit("foo").has_value());
+}
+
+TEST(UnitSequenceTest, MultiTokenForms) {
+  size_t consumed = 0;
+  auto u = LookupUnitSequence({"per", "cent"}, 0, &consumed);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->canonical, "percent");
+  EXPECT_EQ(consumed, 2u);
+
+  u = LookupUnitSequence({"basis", "points"}, 0, &consumed);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->canonical, "bps");
+  EXPECT_EQ(consumed, 2u);
+
+  u = LookupUnitSequence({"g", "/", "km"}, 0, &consumed);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->canonical, "g/km");
+  EXPECT_EQ(consumed, 3u);
+
+  u = LookupUnitSequence({"km", "/", "h"}, 0, &consumed);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->canonical, "km/h");
+}
+
+TEST(UnitSequenceTest, FallsBackToSingleToken) {
+  size_t consumed = 0;
+  auto u = LookupUnitSequence({"EUR", "there"}, 0, &consumed);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->canonical, "EUR");
+  EXPECT_EQ(consumed, 1u);
+}
+
+TEST(HeaderCueTest, CurrencyAndScale) {
+  HeaderCue cue = ParseHeaderCue("($ Millions)");
+  ASSERT_TRUE(cue.unit.has_value());
+  EXPECT_EQ(cue.unit->canonical, "USD");
+  EXPECT_DOUBLE_EQ(cue.scale, 1e6);
+}
+
+TEST(HeaderCueTest, ScaleOnly) {
+  HeaderCue cue = ParseHeaderCue("Income gains (in Mio)");
+  EXPECT_FALSE(cue.unit.has_value());
+  EXPECT_DOUBLE_EQ(cue.scale, 1e6);
+}
+
+TEST(HeaderCueTest, UnitOnly) {
+  HeaderCue cue = ParseHeaderCue("Emission (g/km)");
+  ASSERT_TRUE(cue.unit.has_value());
+  EXPECT_EQ(cue.unit->canonical, "g/km");
+  EXPECT_DOUBLE_EQ(cue.scale, 1.0);
+}
+
+TEST(HeaderCueTest, PlainHeaderHasNoCue) {
+  EXPECT_TRUE(ParseHeaderCue("male").empty());
+  EXPECT_TRUE(ParseHeaderCue("2013").empty());
+  EXPECT_TRUE(ParseHeaderCue("").empty());
+}
+
+TEST(HeaderCueTest, PercentHeader) {
+  HeaderCue cue = ParseHeaderCue("% Change");
+  ASSERT_TRUE(cue.unit.has_value());
+  EXPECT_EQ(cue.unit->canonical, "percent");
+}
+
+}  // namespace
+}  // namespace briq::quantity

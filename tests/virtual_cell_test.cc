@@ -1,0 +1,206 @@
+#include "table/virtual_cell.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace briq::table {
+namespace {
+
+Table AnnotatedHealthTable() {
+  Table t = Table::FromRows({{"side effects", "male", "female", "total"},
+                             {"Rash", "15", "20", "35"},
+                             {"Depression", "13", "25", "38"},
+                             {"Hypertension", "19", "15", "34"},
+                             {"Nausea", "5", "6", "11"},
+                             {"Eye Disorders", "2", "3", "5"}});
+  t.set_header_row(true);
+  t.set_header_col(true);
+  t.AnnotateQuantities();
+  return t;
+}
+
+const TableMention* Find(const std::vector<TableMention>& mentions,
+                         AggregateFunction func,
+                         const std::vector<CellRef>& cells) {
+  for (const auto& m : mentions) {
+    if (m.func == func && m.cells == cells) return &m;
+  }
+  return nullptr;
+}
+
+TEST(EvaluateAggregateTest, AllFunctions) {
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(AggregateFunction::kSum, {1, 2, 3}), 6);
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(AggregateFunction::kAverage, {1, 2, 3}),
+                   2);
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(AggregateFunction::kMax, {1, 5, 3}), 5);
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(AggregateFunction::kMin, {4, 5, 3}), 3);
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(AggregateFunction::kDiff, {947, 900}),
+                   47);
+  EXPECT_DOUBLE_EQ(
+      EvaluateAggregate(AggregateFunction::kPercentage, {2907, 5911}),
+      2907.0 / 5911.0 * 100.0);
+  // Change ratio: (a - b) / b in percent — consistent with the paper's
+  // Fig. 5a (33.65%) and "increased by 1.5%" examples.
+  EXPECT_NEAR(
+      EvaluateAggregate(AggregateFunction::kChangeRatio, {246725, 184611}),
+      33.6460, 1e-3);
+  EXPECT_NEAR(EvaluateAggregate(AggregateFunction::kChangeRatio, {890, 876}),
+              1.5982, 1e-3);
+}
+
+TEST(EvaluateAggregateTest, DegenerateInputs) {
+  EXPECT_TRUE(std::isnan(EvaluateAggregate(AggregateFunction::kSum, {})));
+  EXPECT_TRUE(std::isnan(
+      EvaluateAggregate(AggregateFunction::kPercentage, {1, 0})));
+  EXPECT_TRUE(std::isnan(
+      EvaluateAggregate(AggregateFunction::kChangeRatio, {1, 0})));
+  EXPECT_TRUE(std::isnan(EvaluateAggregate(AggregateFunction::kDiff, {1})));
+  EXPECT_TRUE(
+      std::isnan(EvaluateAggregate(AggregateFunction::kNone, {1, 2})));
+}
+
+TEST(VirtualCellTest, SingleCellMentionsCoverNumericBody) {
+  Table t = AnnotatedHealthTable();
+  VirtualCellStats stats;
+  auto mentions = GenerateTableMentions(t, 0, {}, &stats);
+  EXPECT_EQ(stats.single_cells, 15u);  // 5 rows x 3 numeric columns
+  const TableMention* m =
+      Find(mentions, AggregateFunction::kNone, {CellRef{2, 3}});
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->value, 38);
+  EXPECT_EQ(m->surface, "38");
+}
+
+TEST(VirtualCellTest, ColumnSumMatchesPaperExample) {
+  Table t = AnnotatedHealthTable();
+  auto mentions = GenerateTableMentions(t, 0, {});
+  // "total of 123 patients" = sum of the total column.
+  std::vector<CellRef> total_col = {{1, 3}, {2, 3}, {3, 3}, {4, 3}, {5, 3}};
+  const TableMention* m = Find(mentions, AggregateFunction::kSum, total_col);
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->value, 123);
+  EXPECT_TRUE(m->is_virtual());
+}
+
+TEST(VirtualCellTest, RowSumsGenerated) {
+  Table t = AnnotatedHealthTable();
+  auto mentions = GenerateTableMentions(t, 0, {});
+  std::vector<CellRef> rash_row = {{1, 1}, {1, 2}, {1, 3}};
+  const TableMention* m = Find(mentions, AggregateFunction::kSum, rash_row);
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->value, 70);  // 15 + 20 + 35
+}
+
+TEST(VirtualCellTest, PairAggregatesSameRowAndColumn) {
+  Table t = AnnotatedHealthTable();
+  auto mentions = GenerateTableMentions(t, 0, {});
+  // diff within a row.
+  const TableMention* d =
+      Find(mentions, AggregateFunction::kDiff, {CellRef{1, 2}, CellRef{1, 1}});
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->value, 5);  // 20 - 15
+  // percentage within a column.
+  const TableMention* p = Find(mentions, AggregateFunction::kPercentage,
+                               {CellRef{2, 3}, CellRef{1, 3}});
+  ASSERT_NE(p, nullptr);
+  EXPECT_NEAR(p->value, 38.0 / 35.0 * 100.0, 1e-9);
+  EXPECT_EQ(p->unit, "percent");
+}
+
+TEST(VirtualCellTest, NoCrossRowColumnPairs) {
+  Table t = AnnotatedHealthTable();
+  auto mentions = GenerateTableMentions(t, 0, {});
+  // (1,1) and (2,2) share neither row nor column: no pair mention.
+  EXPECT_EQ(Find(mentions, AggregateFunction::kDiff,
+                 {CellRef{1, 1}, CellRef{2, 2}}),
+            nullptr);
+}
+
+TEST(VirtualCellTest, DisabledFunctionsNotGenerated) {
+  Table t = AnnotatedHealthTable();
+  VirtualCellOptions options;
+  options.enable_sum = false;
+  options.enable_diff = false;
+  options.enable_percentage = false;
+  options.enable_change_ratio = false;
+  VirtualCellStats stats;
+  auto mentions = GenerateTableMentions(t, 0, options, &stats);
+  EXPECT_EQ(stats.virtual_total(), 0u);
+  EXPECT_EQ(mentions.size(), stats.single_cells);
+}
+
+TEST(VirtualCellTest, ExtendedSettingAddsAvgMinMax) {
+  Table t = AnnotatedHealthTable();
+  VirtualCellOptions options;
+  options.enable_average = true;
+  options.enable_min_max = true;
+  auto mentions = GenerateTableMentions(t, 0, options);
+  std::vector<CellRef> total_col = {{1, 3}, {2, 3}, {3, 3}, {4, 3}, {5, 3}};
+  const TableMention* avg =
+      Find(mentions, AggregateFunction::kAverage, total_col);
+  ASSERT_NE(avg, nullptr);
+  EXPECT_DOUBLE_EQ(avg->value, 123.0 / 5);
+  const TableMention* mx = Find(mentions, AggregateFunction::kMax, total_col);
+  ASSERT_NE(mx, nullptr);
+  EXPECT_DOUBLE_EQ(mx->value, 38);
+  const TableMention* mn = Find(mentions, AggregateFunction::kMin, total_col);
+  ASSERT_NE(mn, nullptr);
+  EXPECT_DOUBLE_EQ(mn->value, 5);
+}
+
+TEST(VirtualCellTest, CapCountsDroppedPairs) {
+  Table t = AnnotatedHealthTable();
+  VirtualCellOptions options;
+  options.max_pair_mentions = 10;
+  VirtualCellStats stats;
+  GenerateTableMentions(t, 0, options, &stats);
+  EXPECT_LE(stats.pair_aggregates, 10u);
+  EXPECT_GT(stats.dropped_by_cap, 0u);  // the cap must be *reported*
+}
+
+TEST(VirtualCellTest, MentionCountScalesQuadratically) {
+  // O(r * c^2 + c * r^2) pair space (paper §II-A).
+  Table small = Table::FromRows({{"h", "a", "b"}, {"r", "1", "2"}});
+  small.set_header_row(true);
+  small.set_header_col(true);
+  small.AnnotateQuantities();
+  VirtualCellStats small_stats;
+  GenerateTableMentions(small, 0, {}, &small_stats);
+
+  Table t = AnnotatedHealthTable();
+  VirtualCellStats big_stats;
+  GenerateTableMentions(t, 0, {}, &big_stats);
+  EXPECT_GT(big_stats.pair_aggregates, 10 * small_stats.pair_aggregates);
+}
+
+TEST(VirtualCellTest, SumUnitInheritedWhenUniform) {
+  Table t = Table::FromRows(
+      {{"x", "2012", "2013"}, {"Sales", "$900", "$947"}});
+  t.set_header_row(true);
+  t.set_header_col(true);
+  t.AnnotateQuantities();
+  auto mentions = GenerateTableMentions(t, 0, {});
+  const TableMention* m = Find(mentions, AggregateFunction::kSum,
+                               {CellRef{1, 1}, CellRef{1, 2}});
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->unit, "USD");
+  EXPECT_DOUBLE_EQ(m->value, 1847);
+}
+
+TEST(TableMentionTest, SameTargetSemantics) {
+  TableMention a;
+  a.table_index = 0;
+  a.func = AggregateFunction::kDiff;
+  a.cells = {{1, 1}, {1, 2}};
+  TableMention b = a;
+  EXPECT_TRUE(a.SameTarget(b));
+  b.cells = {{1, 2}, {1, 1}};  // ordered pairs: order matters
+  EXPECT_FALSE(a.SameTarget(b));
+  b = a;
+  b.table_index = 1;
+  EXPECT_FALSE(a.SameTarget(b));
+}
+
+}  // namespace
+}  // namespace briq::table
