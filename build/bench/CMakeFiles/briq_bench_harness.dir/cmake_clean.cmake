@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/briq_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/briq_bench_harness.dir/harness.cc.o.d"
+  "libbriq_bench_harness.a"
+  "libbriq_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/briq_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

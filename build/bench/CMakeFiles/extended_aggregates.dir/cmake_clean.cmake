@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_aggregates.dir/extended_aggregates.cc.o"
+  "CMakeFiles/extended_aggregates.dir/extended_aggregates.cc.o.d"
+  "extended_aggregates"
+  "extended_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_coupled_quantities.dir/fig3_coupled_quantities.cc.o"
+  "CMakeFiles/fig3_coupled_quantities.dir/fig3_coupled_quantities.cc.o.d"
+  "fig3_coupled_quantities"
+  "fig3_coupled_quantities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_coupled_quantities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_anecdotes.dir/fig5_anecdotes.cc.o"
+  "CMakeFiles/fig5_anecdotes.dir/fig5_anecdotes.cc.o.d"
+  "fig5_anecdotes"
+  "fig5_anecdotes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_anecdotes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_errors.dir/fig6_errors.cc.o"
+  "CMakeFiles/fig6_errors.dir/fig6_errors.cc.o.d"
+  "fig6_errors"
+  "fig6_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_training_data.dir/table1_training_data.cc.o"
+  "CMakeFiles/table1_training_data.dir/table1_training_data.cc.o.d"
+  "table1_training_data"
+  "table1_training_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_training_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

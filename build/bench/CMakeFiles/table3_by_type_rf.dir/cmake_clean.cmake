@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_by_type_rf.dir/table3_by_type_rf.cc.o"
+  "CMakeFiles/table3_by_type_rf.dir/table3_by_type_rf.cc.o.d"
+  "table3_by_type_rf"
+  "table3_by_type_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_by_type_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_by_type_rwr.dir/table4_by_type_rwr.cc.o"
+  "CMakeFiles/table4_by_type_rwr.dir/table4_by_type_rwr.cc.o.d"
+  "table4_by_type_rwr"
+  "table4_by_type_rwr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_by_type_rwr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table4_by_type_rwr.
+# This may be replaced when dependencies are built.

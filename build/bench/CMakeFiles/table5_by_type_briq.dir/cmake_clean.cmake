@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_by_type_briq.dir/table5_by_type_briq.cc.o"
+  "CMakeFiles/table5_by_type_briq.dir/table5_by_type_briq.cc.o.d"
+  "table5_by_type_briq"
+  "table5_by_type_briq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_by_type_briq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

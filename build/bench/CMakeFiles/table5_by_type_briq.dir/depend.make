@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_by_type_briq.
+# This may be replaced when dependencies are built.

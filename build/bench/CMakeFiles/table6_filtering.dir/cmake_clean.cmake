@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_filtering.dir/table6_filtering.cc.o"
+  "CMakeFiles/table6_filtering.dir/table6_filtering.cc.o.d"
+  "table6_filtering"
+  "table6_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

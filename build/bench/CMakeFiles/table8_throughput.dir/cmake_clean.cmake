@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_throughput.dir/table8_throughput.cc.o"
+  "CMakeFiles/table8_throughput.dir/table8_throughput.cc.o.d"
+  "table8_throughput"
+  "table8_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_table_stats.dir/table9_table_stats.cc.o"
+  "CMakeFiles/table9_table_stats.dir/table9_table_stats.cc.o.d"
+  "table9_table_stats"
+  "table9_table_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_table_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

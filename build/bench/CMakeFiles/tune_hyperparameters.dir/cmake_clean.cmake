@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_hyperparameters.dir/tune_hyperparameters.cc.o"
+  "CMakeFiles/tune_hyperparameters.dir/tune_hyperparameters.cc.o.d"
+  "tune_hyperparameters"
+  "tune_hyperparameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_hyperparameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

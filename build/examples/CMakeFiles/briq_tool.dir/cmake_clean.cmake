@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/briq_tool.dir/briq_tool.cpp.o"
+  "CMakeFiles/briq_tool.dir/briq_tool.cpp.o.d"
+  "briq_tool"
+  "briq_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/briq_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

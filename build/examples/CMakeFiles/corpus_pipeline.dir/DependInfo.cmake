@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/corpus_pipeline.cpp" "examples/CMakeFiles/corpus_pipeline.dir/corpus_pipeline.cpp.o" "gcc" "examples/CMakeFiles/corpus_pipeline.dir/corpus_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/briq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/briq_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/briq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/briq_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/briq_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/briq_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantity/CMakeFiles/briq_quantity.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/briq_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/briq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finance_report.dir/finance_report.cpp.o"
+  "CMakeFiles/finance_report.dir/finance_report.cpp.o.d"
+  "finance_report"
+  "finance_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finance_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

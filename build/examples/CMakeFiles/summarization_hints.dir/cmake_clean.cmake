@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summarization_hints.dir/summarization_hints.cpp.o"
+  "CMakeFiles/summarization_hints.dir/summarization_hints.cpp.o.d"
+  "summarization_hints"
+  "summarization_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summarization_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

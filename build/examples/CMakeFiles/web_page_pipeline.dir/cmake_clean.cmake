@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_page_pipeline.dir/web_page_pipeline.cpp.o"
+  "CMakeFiles/web_page_pipeline.dir/web_page_pipeline.cpp.o.d"
+  "web_page_pipeline"
+  "web_page_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_page_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/briq_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/briq_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/briq_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/briq_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/briq_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/briq_core.dir/config.cc.o.d"
+  "/root/repo/src/core/cues.cc" "src/core/CMakeFiles/briq_core.dir/cues.cc.o" "gcc" "src/core/CMakeFiles/briq_core.dir/cues.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/briq_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/briq_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/briq_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/briq_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/extraction.cc" "src/core/CMakeFiles/briq_core.dir/extraction.cc.o" "gcc" "src/core/CMakeFiles/briq_core.dir/extraction.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/briq_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/briq_core.dir/features.cc.o.d"
+  "/root/repo/src/core/filtering.cc" "src/core/CMakeFiles/briq_core.dir/filtering.cc.o" "gcc" "src/core/CMakeFiles/briq_core.dir/filtering.cc.o.d"
+  "/root/repo/src/core/gt_matching.cc" "src/core/CMakeFiles/briq_core.dir/gt_matching.cc.o" "gcc" "src/core/CMakeFiles/briq_core.dir/gt_matching.cc.o.d"
+  "/root/repo/src/core/ilp_resolution.cc" "src/core/CMakeFiles/briq_core.dir/ilp_resolution.cc.o" "gcc" "src/core/CMakeFiles/briq_core.dir/ilp_resolution.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/briq_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/briq_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/qkb.cc" "src/core/CMakeFiles/briq_core.dir/qkb.cc.o" "gcc" "src/core/CMakeFiles/briq_core.dir/qkb.cc.o.d"
+  "/root/repo/src/core/resolution.cc" "src/core/CMakeFiles/briq_core.dir/resolution.cc.o" "gcc" "src/core/CMakeFiles/briq_core.dir/resolution.cc.o.d"
+  "/root/repo/src/core/tagger.cc" "src/core/CMakeFiles/briq_core.dir/tagger.cc.o" "gcc" "src/core/CMakeFiles/briq_core.dir/tagger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/briq_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/briq_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/briq_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/briq_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/briq_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantity/CMakeFiles/briq_quantity.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/briq_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/briq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/briq_core.dir/baselines.cc.o"
+  "CMakeFiles/briq_core.dir/baselines.cc.o.d"
+  "CMakeFiles/briq_core.dir/classifier.cc.o"
+  "CMakeFiles/briq_core.dir/classifier.cc.o.d"
+  "CMakeFiles/briq_core.dir/config.cc.o"
+  "CMakeFiles/briq_core.dir/config.cc.o.d"
+  "CMakeFiles/briq_core.dir/cues.cc.o"
+  "CMakeFiles/briq_core.dir/cues.cc.o.d"
+  "CMakeFiles/briq_core.dir/evaluation.cc.o"
+  "CMakeFiles/briq_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/briq_core.dir/explain.cc.o"
+  "CMakeFiles/briq_core.dir/explain.cc.o.d"
+  "CMakeFiles/briq_core.dir/extraction.cc.o"
+  "CMakeFiles/briq_core.dir/extraction.cc.o.d"
+  "CMakeFiles/briq_core.dir/features.cc.o"
+  "CMakeFiles/briq_core.dir/features.cc.o.d"
+  "CMakeFiles/briq_core.dir/filtering.cc.o"
+  "CMakeFiles/briq_core.dir/filtering.cc.o.d"
+  "CMakeFiles/briq_core.dir/gt_matching.cc.o"
+  "CMakeFiles/briq_core.dir/gt_matching.cc.o.d"
+  "CMakeFiles/briq_core.dir/ilp_resolution.cc.o"
+  "CMakeFiles/briq_core.dir/ilp_resolution.cc.o.d"
+  "CMakeFiles/briq_core.dir/pipeline.cc.o"
+  "CMakeFiles/briq_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/briq_core.dir/qkb.cc.o"
+  "CMakeFiles/briq_core.dir/qkb.cc.o.d"
+  "CMakeFiles/briq_core.dir/resolution.cc.o"
+  "CMakeFiles/briq_core.dir/resolution.cc.o.d"
+  "CMakeFiles/briq_core.dir/tagger.cc.o"
+  "CMakeFiles/briq_core.dir/tagger.cc.o.d"
+  "libbriq_core.a"
+  "libbriq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/briq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

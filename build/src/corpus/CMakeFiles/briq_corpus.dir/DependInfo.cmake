@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/annotator_sim.cc" "src/corpus/CMakeFiles/briq_corpus.dir/annotator_sim.cc.o" "gcc" "src/corpus/CMakeFiles/briq_corpus.dir/annotator_sim.cc.o.d"
+  "/root/repo/src/corpus/document.cc" "src/corpus/CMakeFiles/briq_corpus.dir/document.cc.o" "gcc" "src/corpus/CMakeFiles/briq_corpus.dir/document.cc.o.d"
+  "/root/repo/src/corpus/domain_profile.cc" "src/corpus/CMakeFiles/briq_corpus.dir/domain_profile.cc.o" "gcc" "src/corpus/CMakeFiles/briq_corpus.dir/domain_profile.cc.o.d"
+  "/root/repo/src/corpus/generator.cc" "src/corpus/CMakeFiles/briq_corpus.dir/generator.cc.o" "gcc" "src/corpus/CMakeFiles/briq_corpus.dir/generator.cc.o.d"
+  "/root/repo/src/corpus/paper_examples.cc" "src/corpus/CMakeFiles/briq_corpus.dir/paper_examples.cc.o" "gcc" "src/corpus/CMakeFiles/briq_corpus.dir/paper_examples.cc.o.d"
+  "/root/repo/src/corpus/perturb.cc" "src/corpus/CMakeFiles/briq_corpus.dir/perturb.cc.o" "gcc" "src/corpus/CMakeFiles/briq_corpus.dir/perturb.cc.o.d"
+  "/root/repo/src/corpus/serialization.cc" "src/corpus/CMakeFiles/briq_corpus.dir/serialization.cc.o" "gcc" "src/corpus/CMakeFiles/briq_corpus.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/briq_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantity/CMakeFiles/briq_quantity.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/briq_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/briq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

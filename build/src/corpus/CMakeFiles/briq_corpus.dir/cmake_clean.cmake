@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/briq_corpus.dir/annotator_sim.cc.o"
+  "CMakeFiles/briq_corpus.dir/annotator_sim.cc.o.d"
+  "CMakeFiles/briq_corpus.dir/document.cc.o"
+  "CMakeFiles/briq_corpus.dir/document.cc.o.d"
+  "CMakeFiles/briq_corpus.dir/domain_profile.cc.o"
+  "CMakeFiles/briq_corpus.dir/domain_profile.cc.o.d"
+  "CMakeFiles/briq_corpus.dir/generator.cc.o"
+  "CMakeFiles/briq_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/briq_corpus.dir/paper_examples.cc.o"
+  "CMakeFiles/briq_corpus.dir/paper_examples.cc.o.d"
+  "CMakeFiles/briq_corpus.dir/perturb.cc.o"
+  "CMakeFiles/briq_corpus.dir/perturb.cc.o.d"
+  "CMakeFiles/briq_corpus.dir/serialization.cc.o"
+  "CMakeFiles/briq_corpus.dir/serialization.cc.o.d"
+  "libbriq_corpus.a"
+  "libbriq_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/briq_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

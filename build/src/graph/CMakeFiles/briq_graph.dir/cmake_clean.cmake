@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/briq_graph.dir/graph.cc.o"
+  "CMakeFiles/briq_graph.dir/graph.cc.o.d"
+  "CMakeFiles/briq_graph.dir/random_walk.cc.o"
+  "CMakeFiles/briq_graph.dir/random_walk.cc.o.d"
+  "libbriq_graph.a"
+  "libbriq_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/briq_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/html/html_dom.cc" "src/html/CMakeFiles/briq_html.dir/html_dom.cc.o" "gcc" "src/html/CMakeFiles/briq_html.dir/html_dom.cc.o.d"
+  "/root/repo/src/html/html_lexer.cc" "src/html/CMakeFiles/briq_html.dir/html_lexer.cc.o" "gcc" "src/html/CMakeFiles/briq_html.dir/html_lexer.cc.o.d"
+  "/root/repo/src/html/page_segmenter.cc" "src/html/CMakeFiles/briq_html.dir/page_segmenter.cc.o" "gcc" "src/html/CMakeFiles/briq_html.dir/page_segmenter.cc.o.d"
+  "/root/repo/src/html/table_extractor.cc" "src/html/CMakeFiles/briq_html.dir/table_extractor.cc.o" "gcc" "src/html/CMakeFiles/briq_html.dir/table_extractor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/briq_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/briq_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/quantity/CMakeFiles/briq_quantity.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/briq_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/briq_html.dir/html_dom.cc.o"
+  "CMakeFiles/briq_html.dir/html_dom.cc.o.d"
+  "CMakeFiles/briq_html.dir/html_lexer.cc.o"
+  "CMakeFiles/briq_html.dir/html_lexer.cc.o.d"
+  "CMakeFiles/briq_html.dir/page_segmenter.cc.o"
+  "CMakeFiles/briq_html.dir/page_segmenter.cc.o.d"
+  "CMakeFiles/briq_html.dir/table_extractor.cc.o"
+  "CMakeFiles/briq_html.dir/table_extractor.cc.o.d"
+  "libbriq_html.a"
+  "libbriq_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/briq_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

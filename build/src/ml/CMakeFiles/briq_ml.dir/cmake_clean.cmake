@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/briq_ml.dir/calibration.cc.o"
+  "CMakeFiles/briq_ml.dir/calibration.cc.o.d"
+  "CMakeFiles/briq_ml.dir/dataset.cc.o"
+  "CMakeFiles/briq_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/briq_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/briq_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/briq_ml.dir/grid_search.cc.o"
+  "CMakeFiles/briq_ml.dir/grid_search.cc.o.d"
+  "CMakeFiles/briq_ml.dir/metrics.cc.o"
+  "CMakeFiles/briq_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/briq_ml.dir/random_forest.cc.o"
+  "CMakeFiles/briq_ml.dir/random_forest.cc.o.d"
+  "libbriq_ml.a"
+  "libbriq_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/briq_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quantity/header_cue.cc" "src/quantity/CMakeFiles/briq_quantity.dir/header_cue.cc.o" "gcc" "src/quantity/CMakeFiles/briq_quantity.dir/header_cue.cc.o.d"
+  "/root/repo/src/quantity/numeric_literal.cc" "src/quantity/CMakeFiles/briq_quantity.dir/numeric_literal.cc.o" "gcc" "src/quantity/CMakeFiles/briq_quantity.dir/numeric_literal.cc.o.d"
+  "/root/repo/src/quantity/quantity.cc" "src/quantity/CMakeFiles/briq_quantity.dir/quantity.cc.o" "gcc" "src/quantity/CMakeFiles/briq_quantity.dir/quantity.cc.o.d"
+  "/root/repo/src/quantity/quantity_parser.cc" "src/quantity/CMakeFiles/briq_quantity.dir/quantity_parser.cc.o" "gcc" "src/quantity/CMakeFiles/briq_quantity.dir/quantity_parser.cc.o.d"
+  "/root/repo/src/quantity/unit.cc" "src/quantity/CMakeFiles/briq_quantity.dir/unit.cc.o" "gcc" "src/quantity/CMakeFiles/briq_quantity.dir/unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/briq_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/briq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

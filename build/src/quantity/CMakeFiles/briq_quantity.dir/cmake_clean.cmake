@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/briq_quantity.dir/header_cue.cc.o"
+  "CMakeFiles/briq_quantity.dir/header_cue.cc.o.d"
+  "CMakeFiles/briq_quantity.dir/numeric_literal.cc.o"
+  "CMakeFiles/briq_quantity.dir/numeric_literal.cc.o.d"
+  "CMakeFiles/briq_quantity.dir/quantity.cc.o"
+  "CMakeFiles/briq_quantity.dir/quantity.cc.o.d"
+  "CMakeFiles/briq_quantity.dir/quantity_parser.cc.o"
+  "CMakeFiles/briq_quantity.dir/quantity_parser.cc.o.d"
+  "CMakeFiles/briq_quantity.dir/unit.cc.o"
+  "CMakeFiles/briq_quantity.dir/unit.cc.o.d"
+  "libbriq_quantity.a"
+  "libbriq_quantity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/briq_quantity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

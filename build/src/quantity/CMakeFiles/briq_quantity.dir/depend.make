@@ -1,0 +1,2 @@
+# Empty dependencies file for briq_quantity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/mention.cc" "src/table/CMakeFiles/briq_table.dir/mention.cc.o" "gcc" "src/table/CMakeFiles/briq_table.dir/mention.cc.o.d"
+  "/root/repo/src/table/table.cc" "src/table/CMakeFiles/briq_table.dir/table.cc.o" "gcc" "src/table/CMakeFiles/briq_table.dir/table.cc.o.d"
+  "/root/repo/src/table/virtual_cell.cc" "src/table/CMakeFiles/briq_table.dir/virtual_cell.cc.o" "gcc" "src/table/CMakeFiles/briq_table.dir/virtual_cell.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quantity/CMakeFiles/briq_quantity.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/briq_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/briq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

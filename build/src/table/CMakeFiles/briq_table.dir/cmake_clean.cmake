@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/briq_table.dir/mention.cc.o"
+  "CMakeFiles/briq_table.dir/mention.cc.o.d"
+  "CMakeFiles/briq_table.dir/table.cc.o"
+  "CMakeFiles/briq_table.dir/table.cc.o.d"
+  "CMakeFiles/briq_table.dir/virtual_cell.cc.o"
+  "CMakeFiles/briq_table.dir/virtual_cell.cc.o.d"
+  "libbriq_table.a"
+  "libbriq_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/briq_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/briq_text.dir/noun_phrase.cc.o"
+  "CMakeFiles/briq_text.dir/noun_phrase.cc.o.d"
+  "CMakeFiles/briq_text.dir/number_words.cc.o"
+  "CMakeFiles/briq_text.dir/number_words.cc.o.d"
+  "CMakeFiles/briq_text.dir/stopwords.cc.o"
+  "CMakeFiles/briq_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/briq_text.dir/tokenizer.cc.o"
+  "CMakeFiles/briq_text.dir/tokenizer.cc.o.d"
+  "libbriq_text.a"
+  "libbriq_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/briq_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

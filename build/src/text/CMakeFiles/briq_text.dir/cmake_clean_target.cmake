@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbriq_text.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/briq_util.dir/json.cc.o"
+  "CMakeFiles/briq_util.dir/json.cc.o.d"
+  "CMakeFiles/briq_util.dir/logging.cc.o"
+  "CMakeFiles/briq_util.dir/logging.cc.o.d"
+  "CMakeFiles/briq_util.dir/random.cc.o"
+  "CMakeFiles/briq_util.dir/random.cc.o.d"
+  "CMakeFiles/briq_util.dir/similarity.cc.o"
+  "CMakeFiles/briq_util.dir/similarity.cc.o.d"
+  "CMakeFiles/briq_util.dir/status.cc.o"
+  "CMakeFiles/briq_util.dir/status.cc.o.d"
+  "CMakeFiles/briq_util.dir/string_util.cc.o"
+  "CMakeFiles/briq_util.dir/string_util.cc.o.d"
+  "CMakeFiles/briq_util.dir/table_printer.cc.o"
+  "CMakeFiles/briq_util.dir/table_printer.cc.o.d"
+  "libbriq_util.a"
+  "libbriq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/briq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotator_sim_test.dir/annotator_sim_test.cc.o"
+  "CMakeFiles/annotator_sim_test.dir/annotator_sim_test.cc.o.d"
+  "annotator_sim_test"
+  "annotator_sim_test.pdb"
+  "annotator_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotator_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

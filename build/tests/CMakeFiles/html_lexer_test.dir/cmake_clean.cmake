@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_lexer_test.dir/html_lexer_test.cc.o"
+  "CMakeFiles/html_lexer_test.dir/html_lexer_test.cc.o.d"
+  "html_lexer_test"
+  "html_lexer_test.pdb"
+  "html_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

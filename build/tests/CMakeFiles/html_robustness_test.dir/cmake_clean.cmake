@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_robustness_test.dir/html_robustness_test.cc.o"
+  "CMakeFiles/html_robustness_test.dir/html_robustness_test.cc.o.d"
+  "html_robustness_test"
+  "html_robustness_test.pdb"
+  "html_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noun_phrase_test.dir/noun_phrase_test.cc.o"
+  "CMakeFiles/noun_phrase_test.dir/noun_phrase_test.cc.o.d"
+  "noun_phrase_test"
+  "noun_phrase_test.pdb"
+  "noun_phrase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noun_phrase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

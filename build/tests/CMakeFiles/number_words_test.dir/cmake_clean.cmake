@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/number_words_test.dir/number_words_test.cc.o"
+  "CMakeFiles/number_words_test.dir/number_words_test.cc.o.d"
+  "number_words_test"
+  "number_words_test.pdb"
+  "number_words_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/number_words_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_literal_test.dir/numeric_literal_test.cc.o"
+  "CMakeFiles/numeric_literal_test.dir/numeric_literal_test.cc.o.d"
+  "numeric_literal_test"
+  "numeric_literal_test.pdb"
+  "numeric_literal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_literal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

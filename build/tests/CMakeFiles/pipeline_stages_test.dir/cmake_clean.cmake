@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_stages_test.dir/pipeline_stages_test.cc.o"
+  "CMakeFiles/pipeline_stages_test.dir/pipeline_stages_test.cc.o.d"
+  "pipeline_stages_test"
+  "pipeline_stages_test.pdb"
+  "pipeline_stages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_stages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qkb_ilp_test.dir/qkb_ilp_test.cc.o"
+  "CMakeFiles/qkb_ilp_test.dir/qkb_ilp_test.cc.o.d"
+  "qkb_ilp_test"
+  "qkb_ilp_test.pdb"
+  "qkb_ilp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qkb_ilp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantity_parser_test.dir/quantity_parser_test.cc.o"
+  "CMakeFiles/quantity_parser_test.dir/quantity_parser_test.cc.o.d"
+  "quantity_parser_test"
+  "quantity_parser_test.pdb"
+  "quantity_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantity_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

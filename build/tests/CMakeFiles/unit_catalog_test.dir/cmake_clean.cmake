@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_catalog_test.dir/unit_catalog_test.cc.o"
+  "CMakeFiles/unit_catalog_test.dir/unit_catalog_test.cc.o.d"
+  "unit_catalog_test"
+  "unit_catalog_test.pdb"
+  "unit_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_cell_test.dir/virtual_cell_test.cc.o"
+  "CMakeFiles/virtual_cell_test.dir/virtual_cell_test.cc.o.d"
+  "virtual_cell_test"
+  "virtual_cell_test.pdb"
+  "virtual_cell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
