@@ -20,9 +20,10 @@ namespace {
 void Run() {
   ExperimentSetup setup = BuildSetup(/*num_documents=*/300, /*seed=*/2024);
 
-  // Importance ranking.
-  std::vector<double> importance =
-      setup.system->classifier().forest().FeatureImportance();
+  // Importance ranking (buffer-reuse API; one call here, but benches that
+  // recompute importance per configuration share this buffer pattern).
+  std::vector<double> importance;
+  setup.system->classifier().forest().FeatureImportance(&importance);
   std::vector<std::string> names = core::FeatureComputer::FeatureNames();
   std::vector<size_t> order(importance.size());
   std::iota(order.begin(), order.end(), 0);

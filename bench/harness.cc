@@ -1,9 +1,13 @@
 #include "bench/harness.h"
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace briq::bench {
 
@@ -16,12 +20,16 @@ std::vector<const core::PreparedDocument*> ExperimentSetup::TrainPointers()
 }
 
 std::vector<core::PreparedDocument> PrepareAll(
-    const corpus::Corpus& corpus, const core::BriqConfig& config) {
-  std::vector<core::PreparedDocument> out;
-  out.reserve(corpus.size());
-  for (const corpus::Document& d : corpus.documents) {
-    out.push_back(core::PrepareDocument(d, config));
-  }
+    const corpus::Corpus& corpus, const core::BriqConfig& config,
+    int num_threads) {
+  std::vector<core::PreparedDocument> out(corpus.size());
+  util::ParallelFor(num_threads, 0, corpus.size(), /*grain=*/1,
+                    [&](size_t lo, size_t hi) {
+                      for (size_t i = lo; i < hi; ++i) {
+                        out[i] =
+                            core::PrepareDocument(corpus.documents[i], config);
+                      }
+                    });
   return out;
 }
 
@@ -38,15 +46,15 @@ ExperimentSetup BuildSetup(size_t num_documents, uint64_t seed,
   const size_t n = setup.corpus.size();
   const size_t train_end = n * 8 / 10;
   const size_t val_end = n * 9 / 10;
+  std::vector<core::PreparedDocument> prepared =
+      PrepareAll(setup.corpus, setup.config);
   for (size_t i = 0; i < n; ++i) {
-    auto prepared = core::PrepareDocument(setup.corpus.documents[i],
-                                          setup.config);
     if (i < train_end) {
-      setup.train.push_back(std::move(prepared));
+      setup.train.push_back(std::move(prepared[i]));
     } else if (i < val_end) {
-      setup.validation.push_back(std::move(prepared));
+      setup.validation.push_back(std::move(prepared[i]));
     } else {
-      setup.test.push_back(std::move(prepared));
+      setup.test.push_back(std::move(prepared[i]));
     }
   }
 
@@ -63,6 +71,34 @@ std::string Fmt2(double v) {
 
 std::string FmtCount(size_t v) {
   return util::WithThousandsSeparators(static_cast<int64_t>(v));
+}
+
+std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return "";
+}
+
+bool WriteBenchJson(const std::string& path,
+                    const std::vector<BenchRecord>& records) {
+  util::Json array = util::Json::Array();
+  for (const BenchRecord& r : records) {
+    util::Json obj = util::Json::Object();
+    obj.Set("bench", r.bench);
+    obj.Set("domain", r.domain);
+    obj.Set("docs_per_min", r.docs_per_min);
+    obj.Set("threads", r.threads);
+    obj.Set("wall_seconds", r.wall_seconds);
+    array.Append(std::move(obj));
+  }
+  std::ofstream out(path);
+  if (!out) {
+    BRIQ_LOG(Warning) << "cannot open " << path << " for --json output";
+    return false;
+  }
+  out << array.Dump(/*indent=*/2) << "\n";
+  return out.good();
 }
 
 }  // namespace briq::bench

@@ -26,13 +26,37 @@ struct ExperimentSetup {
 };
 
 /// Builds the corpus, prepares all documents, and trains BriQ.
-/// Deterministic in `seed`.
+/// Deterministic in `seed` (document preparation is parallel but each
+/// document is prepared independently into its own slot).
 ExperimentSetup BuildSetup(size_t num_documents = 300, uint64_t seed = 2024,
                            const core::BriqConfig* config = nullptr);
 
-/// Prepares every document of a corpus under `config`.
+/// Prepares every document of a corpus under `config`, fanned out over
+/// `num_threads` workers (0 = hardware concurrency, <= 1 sequential).
+/// Output order matches corpus.documents regardless of thread count.
 std::vector<core::PreparedDocument> PrepareAll(
-    const corpus::Corpus& corpus, const core::BriqConfig& config);
+    const corpus::Corpus& corpus, const core::BriqConfig& config,
+    int num_threads = 0);
+
+/// One machine-readable throughput measurement (see --json below).
+struct BenchRecord {
+  std::string bench;
+  std::string domain;
+  double docs_per_min = 0.0;
+  int threads = 1;
+  double wall_seconds = 0.0;
+};
+
+/// Parses a `--json <path>` flag from argv; returns the path or "" when
+/// the flag is absent. Unrelated arguments are ignored.
+std::string JsonPathFromArgs(int argc, char** argv);
+
+/// Writes `records` to `path` as a JSON array of
+/// {bench, domain, docs_per_min, threads, wall_seconds} objects, so
+/// throughput can be tracked across PRs (e.g. BENCH_throughput.json).
+/// Returns false (with a log line) if the file cannot be written.
+bool WriteBenchJson(const std::string& path,
+                    const std::vector<BenchRecord>& records);
 
 /// "0.73"-style fixed two-decimal formatting for result tables.
 std::string Fmt2(double v);

@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
+#include "bench/harness.h"
 #include "core/features.h"
 #include "core/pipeline.h"
 #include "corpus/generator.h"
@@ -16,6 +19,7 @@
 #include "table/virtual_cell.h"
 #include "util/random.h"
 #include "util/similarity.h"
+#include "util/thread_pool.h"
 
 namespace briq {
 namespace {
@@ -115,7 +119,7 @@ void BM_RandomWalk(benchmark::State& state) {
 }
 BENCHMARK(BM_RandomWalk)->Arg(64)->Arg(256)->Arg(1024);
 
-void BM_ForestInference(benchmark::State& state) {
+ml::Dataset SyntheticDataset() {
   util::Rng rng(29);
   ml::Dataset data(12);
   for (int i = 0; i < 2000; ++i) {
@@ -123,6 +127,11 @@ void BM_ForestInference(benchmark::State& state) {
     for (double& v : x) v = rng.UniformDouble();
     data.Add(x, x[0] + x[5] > 1.0 ? 1 : 0);
   }
+  return data;
+}
+
+void BM_ForestInference(benchmark::State& state) {
+  ml::Dataset data = SyntheticDataset();
   ml::RandomForest forest;
   ml::ForestConfig config;
   forest.Fit(data, config);
@@ -132,6 +141,72 @@ void BM_ForestInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForestInference);
+
+// The allocation-free scoring path: averaged probabilities accumulate into
+// a caller-owned buffer (compare against BM_ForestInference to see the
+// per-call vector cost this removes).
+void BM_ForestInferenceNoAlloc(benchmark::State& state) {
+  ml::Dataset data = SyntheticDataset();
+  ml::RandomForest forest;
+  ml::ForestConfig config;
+  forest.Fit(data, config);
+  std::vector<double> probe(12, 0.4);
+  double out[2];
+  for (auto _ : state) {
+    forest.PredictProba(probe.data(), out);
+    benchmark::DoNotOptimize(out[1]);
+  }
+}
+BENCHMARK(BM_ForestInferenceNoAlloc);
+
+// Forest training across threads; per-tree seeding keeps the result
+// bit-identical to the sequential fit.
+void BM_ForestFit(benchmark::State& state) {
+  ml::Dataset data = SyntheticDataset();
+  ml::ForestConfig config;
+  config.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ml::RandomForest forest;
+    forest.Fit(data, config);
+    benchmark::DoNotOptimize(forest.num_trees());
+  }
+}
+BENCHMARK(BM_ForestFit)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Pool dispatch overhead on near-trivial chunks.
+void BM_ThreadPoolParallelFor(benchmark::State& state) {
+  util::ThreadPool pool(static_cast<int>(state.range(0)));
+  std::vector<double> values(1 << 14, 1.0);
+  std::atomic<double> sink{0.0};
+  for (auto _ : state) {
+    pool.ParallelFor(0, values.size(), /*grain=*/1024,
+                     [&](size_t lo, size_t hi) {
+                       double acc = 0.0;
+                       for (size_t i = lo; i < hi; ++i) acc += values[i];
+                       sink.store(acc, std::memory_order_relaxed);
+                     });
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// End-to-end batch alignment at different worker counts (the Table VIII
+// parallel path). Setup (corpus + training) is amortized across runs.
+void BM_AlignBatch(benchmark::State& state) {
+  static const bench::ExperimentSetup& setup =
+      *new bench::ExperimentSetup(bench::BuildSetup(/*num_documents=*/80,
+                                                    /*seed=*/2024));
+  std::vector<const core::PreparedDocument*> batch;
+  for (const auto& d : setup.test) batch.push_back(&d);
+  for (const auto& d : setup.validation) batch.push_back(&d);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.system->AlignBatch(batch, threads));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_AlignBatch)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace briq

@@ -1,0 +1,21 @@
+#include "core/aligner.h"
+
+#include "util/thread_pool.h"
+
+namespace briq::core {
+
+std::vector<DocumentAlignment> Aligner::AlignBatch(
+    const std::vector<const PreparedDocument*>& docs, int num_threads) const {
+  std::vector<DocumentAlignment> out(docs.size());
+  // Grain 1: documents are coarse units (milliseconds each), so per-doc
+  // scheduling keeps the slowest-document tail short.
+  util::ParallelFor(num_threads, 0, docs.size(), /*grain=*/1,
+                    [&](size_t lo, size_t hi) {
+                      for (size_t i = lo; i < hi; ++i) {
+                        out[i] = Align(*docs[i]);
+                      }
+                    });
+  return out;
+}
+
+}  // namespace briq::core

@@ -38,6 +38,15 @@ class Aligner {
   /// Computes the alignment of a prepared document.
   virtual DocumentAlignment Align(const PreparedDocument& doc) const = 0;
 
+  /// Aligns a batch of documents across `num_threads` workers (<= 1 runs
+  /// sequentially, 0 means hardware concurrency). Documents are
+  /// independent and Align is const, so the default implementation simply
+  /// fans the batch out; results are positionally matched to `docs` and
+  /// identical to per-document Align calls regardless of thread count.
+  virtual std::vector<DocumentAlignment> AlignBatch(
+      const std::vector<const PreparedDocument*>& docs,
+      int num_threads) const;
+
   virtual std::string name() const = 0;
 };
 

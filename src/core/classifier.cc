@@ -64,7 +64,11 @@ void MentionPairClassifier::Train(
 double MentionPairClassifier::Score(const FeatureComputer& features,
                                     size_t text_idx, size_t table_idx) const {
   BRIQ_CHECK(trained()) << "classifier not trained";
-  return forest_.PredictPositiveProba(features.Compute(text_idx, table_idx));
+  // Per-thread scratch keeps the scoring loop allocation-free in steady
+  // state (AlignBatch scores from several threads concurrently).
+  thread_local std::vector<double> scratch;
+  features.Compute(text_idx, table_idx, &scratch);
+  return forest_.PredictPositiveProba(scratch.data());
 }
 
 }  // namespace briq::core

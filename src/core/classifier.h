@@ -38,7 +38,9 @@ class MentionPairClassifier {
   void Train(const std::vector<const PreparedDocument*>& docs,
              util::Rng* rng);
 
-  /// P(pair is related) in [0, 1].
+  /// P(pair is related) in [0, 1]. Allocation-free in steady state (the
+  /// feature vector lives in per-thread scratch) and safe to call from
+  /// concurrent AlignBatch workers.
   double Score(const FeatureComputer& features, size_t text_idx,
                size_t table_idx) const;
 

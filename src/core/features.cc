@@ -77,8 +77,8 @@ std::vector<std::string> FeatureComputer::FeatureNames() {
           "f11_approx_indicator", "f12_aggregate_match"};
 }
 
-std::vector<std::string> FeatureComputer::LocalTableWords(
-    const TableMention& m) const {
+void FeatureComputer::AddLocalTableWords(const TableMention& m,
+                                         util::WeightedBag* bag) const {
   const auto& ctx = doc_.table_contexts[m.table_index];
   std::set<int> rows;
   std::set<int> cols;
@@ -86,18 +86,16 @@ std::vector<std::string> FeatureComputer::LocalTableWords(
     rows.insert(c.row);
     cols.insert(c.col);
   }
-  std::vector<std::string> out;
   for (int r : rows) {
-    out.insert(out.end(), ctx.row_words[r].begin(), ctx.row_words[r].end());
+    for (const std::string& w : ctx.row_words[r]) (*bag)[w] = 1.0;
   }
   for (int c : cols) {
-    out.insert(out.end(), ctx.col_words[c].begin(), ctx.col_words[c].end());
+    for (const std::string& w : ctx.col_words[c]) (*bag)[w] = 1.0;
   }
-  return out;
 }
 
-std::vector<std::string> FeatureComputer::LocalTablePhrases(
-    const TableMention& m) const {
+void FeatureComputer::AppendLocalTablePhrases(
+    const TableMention& m, std::vector<std::string>* out) const {
   const auto& ctx = doc_.table_contexts[m.table_index];
   std::set<int> rows;
   std::set<int> cols;
@@ -105,25 +103,38 @@ std::vector<std::string> FeatureComputer::LocalTablePhrases(
     rows.insert(c.row);
     cols.insert(c.col);
   }
-  std::vector<std::string> out;
   for (int r : rows) {
-    out.insert(out.end(), ctx.row_phrases[r].begin(), ctx.row_phrases[r].end());
+    out->insert(out->end(), ctx.row_phrases[r].begin(),
+                ctx.row_phrases[r].end());
   }
   for (int c : cols) {
-    out.insert(out.end(), ctx.col_phrases[c].begin(), ctx.col_phrases[c].end());
+    out->insert(out->end(), ctx.col_phrases[c].begin(),
+                ctx.col_phrases[c].end());
   }
-  return out;
 }
 
 std::vector<double> FeatureComputer::ComputeAll(size_t text_idx,
                                                 size_t table_idx) const {
+  std::vector<double> f(kNumPairFeatures, 0.0);
+  ComputeAll(text_idx, table_idx, f.data());
+  return f;
+}
+
+void FeatureComputer::ComputeAll(size_t text_idx, size_t table_idx,
+                                 double* f) const {
   BRIQ_CHECK(text_idx < doc_.text_mentions.size()) << "bad text index";
   BRIQ_CHECK(table_idx < doc_.table_mentions.size()) << "bad table index";
   const TextMention& x = doc_.text_mentions[text_idx];
   const TableMention& t = doc_.table_mentions[table_idx];
   const auto& tokens = doc_.paragraph_tokens[x.paragraph];
 
-  std::vector<double> f(kNumPairFeatures, 0.0);
+  // Word/phrase bags are scratch reused across calls; per-thread so the
+  // same FeatureComputer can score pairs from several AlignBatch workers.
+  thread_local util::WeightedBag text_bag;
+  thread_local util::WeightedBag table_bag;
+  thread_local std::vector<std::string> table_phrases;
+
+  std::fill(f, f + kNumPairFeatures, 0.0);
 
   // f1: surface similarity.
   f[0] = util::JaroWinklerSimilarity(util::ToLower(x.surface()),
@@ -131,7 +142,7 @@ std::vector<double> FeatureComputer::ComputeAll(size_t text_idx,
 
   // f2: local word overlap, distance-weighted window around the mention.
   {
-    util::WeightedBag text_bag;
+    text_bag.clear();
     const int n = config_.context_window;
     const size_t pos = x.token_pos;
     const size_t lo = pos >= static_cast<size_t>(n) ? pos - n : 0;
@@ -149,8 +160,8 @@ std::vector<double> FeatureComputer::ComputeAll(size_t text_idx,
       auto [it, inserted] = text_bag.emplace(std::move(word), w);
       if (!inserted) it->second = std::max(it->second, w);
     }
-    util::WeightedBag table_bag;
-    for (const std::string& w : LocalTableWords(t)) table_bag[w] = 1.0;
+    table_bag.clear();
+    AddLocalTableWords(t, &table_bag);
     f[1] = util::WeightedOverlapCoefficient(text_bag, table_bag);
   }
 
@@ -165,7 +176,9 @@ std::vector<double> FeatureComputer::ComputeAll(size_t text_idx,
         x.sentence < static_cast<int>(sent_phrases.size())
             ? sent_phrases[x.sentence]
             : doc_.paragraph_phrases[x.paragraph];
-    f[3] = util::OverlapCoefficient(xs, LocalTablePhrases(t));
+    table_phrases.clear();
+    AppendLocalTablePhrases(t, &table_phrases);
+    f[3] = util::OverlapCoefficient(xs, table_phrases);
   }
 
   // f5: global phrase overlap.
@@ -192,20 +205,27 @@ std::vector<double> FeatureComputer::ComputeAll(size_t text_idx,
   AggregateFunction inferred =
       InferAggregateFunction(tokens, x.token_pos, config_.agg_cue_window);
   f[11] = AggregateMatch(inferred, t.func);
-
-  return f;
 }
 
 std::vector<double> FeatureComputer::Compute(size_t text_idx,
                                              size_t table_idx) const {
-  std::vector<double> all = ComputeAll(text_idx, table_idx);
-  if (config_.active_features.empty()) return all;
-  std::vector<double> masked;
-  masked.reserve(config_.active_features.size());
-  for (int i = 0; i < kNumPairFeatures; ++i) {
-    if (config_.FeatureActive(i)) masked.push_back(all[i]);
+  std::vector<double> out;
+  Compute(text_idx, table_idx, &out);
+  return out;
+}
+
+void FeatureComputer::Compute(size_t text_idx, size_t table_idx,
+                              std::vector<double>* out) const {
+  double all[kNumPairFeatures];
+  ComputeAll(text_idx, table_idx, all);
+  out->clear();
+  if (config_.active_features.empty()) {
+    out->insert(out->end(), all, all + kNumPairFeatures);
+    return;
   }
-  return masked;
+  for (int i = 0; i < kNumPairFeatures; ++i) {
+    if (config_.FeatureActive(i)) out->push_back(all[i]);
+  }
 }
 
 int FeatureComputer::NumActive() const {
@@ -219,7 +239,8 @@ int FeatureComputer::NumActive() const {
 
 double FeatureComputer::UniformSimilarity(size_t text_idx,
                                           size_t table_idx) const {
-  std::vector<double> f = ComputeAll(text_idx, table_idx);
+  double f[kNumPairFeatures];
+  ComputeAll(text_idx, table_idx, f);
   // Per-feature mapping to [0, 1] similarities. f11 is a modifier, not a
   // similarity, and is skipped.
   double total = 0.0;

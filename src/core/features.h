@@ -6,6 +6,7 @@
 
 #include "core/config.h"
 #include "core/extraction.h"
+#include "util/similarity.h"
 
 namespace briq::core {
 
@@ -34,8 +35,19 @@ class FeatureComputer {
   /// Full 12-feature vector for (text mention i, table mention j).
   std::vector<double> ComputeAll(size_t text_idx, size_t table_idx) const;
 
+  /// Allocation-free variant: writes the 12 features into
+  /// out[0 .. kNumPairFeatures). Internal word/phrase bags are per-thread
+  /// scratch, so concurrent calls on the same computer are safe and the
+  /// steady-state scoring loop performs no result allocations.
+  void ComputeAll(size_t text_idx, size_t table_idx, double* out) const;
+
   /// Feature vector restricted to config.active_features (ablation mask).
   std::vector<double> Compute(size_t text_idx, size_t table_idx) const;
+
+  /// Buffer-reuse variant of Compute: clears and refills *out, keeping its
+  /// capacity across calls.
+  void Compute(size_t text_idx, size_t table_idx,
+               std::vector<double>* out) const;
 
   /// Active feature count (12 when no mask is set).
   int NumActive() const;
@@ -49,10 +61,11 @@ class FeatureComputer {
 
  private:
   /// Union of the row/column context words (or phrases) of the cells of a
-  /// table mention.
-  std::vector<std::string> LocalTableWords(const table::TableMention& m) const;
-  std::vector<std::string> LocalTablePhrases(
-      const table::TableMention& m) const;
+  /// table mention, appended into caller-owned (reusable) buffers.
+  void AddLocalTableWords(const table::TableMention& m,
+                          util::WeightedBag* bag) const;
+  void AppendLocalTablePhrases(const table::TableMention& m,
+                               std::vector<std::string>* out) const;
 
   const PreparedDocument& doc_;
   const BriqConfig& config_;

@@ -42,6 +42,9 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
                                     static_cast<int>(t))) != gt_pairs.end();
   };
 
+  // Score buffer for the entropy computation, reused across mentions.
+  std::vector<double> scores;
+
   for (size_t x = 0; x < num_text; ++x) {
     // --- Stage A: tagger-based aggregate pruning -------------------------
     TextMentionTagger::Tag tag = tagger_->Predict(doc, x);
@@ -111,7 +114,7 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
 
     // Entropy of the score distribution: skewed -> keep few, flat -> keep
     // many.
-    std::vector<double> scores;
+    scores.clear();
     scores.reserve(kept.size());
     for (const Candidate& c : kept) scores.push_back(c.score);
     const double entropy = ml::NormalizedEntropy(scores);

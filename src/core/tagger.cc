@@ -146,9 +146,10 @@ TextMentionTagger::Tag TextMentionTagger::Predict(const PreparedDocument& doc,
     return tag;
   }
   std::vector<double> f = Features(doc, text_idx, *config_);
-  std::vector<double> proba = forest_.PredictProba(f.data());
+  double proba[kNumLabels];
+  forest_.PredictProba(f.data(), proba);
   int best = static_cast<int>(
-      std::max_element(proba.begin(), proba.end()) - proba.begin());
+      std::max_element(proba, proba + forest_.num_classes()) - proba);
   tag.confidence = proba[best];
   // Precision-first: aggregate predictions need to clear the confidence
   // floor, otherwise fall back to single-cell (which prunes nothing).

@@ -152,7 +152,7 @@ int DecisionTree::Build(std::vector<size_t>* indices, size_t begin, size_t end,
   return self;
 }
 
-std::vector<double> DecisionTree::PredictProba(const double* x) const {
+const std::vector<double>& DecisionTree::LeafProba(const double* x) const {
   BRIQ_CHECK(!nodes_.empty()) << "tree not fitted";
   int node = 0;
   while (nodes_[node].feature >= 0) {
@@ -162,8 +162,12 @@ std::vector<double> DecisionTree::PredictProba(const double* x) const {
   return nodes_[node].proba;
 }
 
+std::vector<double> DecisionTree::PredictProba(const double* x) const {
+  return LeafProba(x);
+}
+
 int DecisionTree::Predict(const double* x) const {
-  std::vector<double> p = PredictProba(x);
+  const std::vector<double>& p = LeafProba(x);
   return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
 }
 

@@ -35,6 +35,10 @@ class DecisionTree {
   /// distribution of the reached leaf). Size = num_classes seen in Fit.
   std::vector<double> PredictProba(const double* x) const;
 
+  /// The reached leaf's class distribution by reference — the
+  /// allocation-free variant of PredictProba for hot scoring loops.
+  const std::vector<double>& LeafProba(const double* x) const;
+
   /// argmax of PredictProba.
   int Predict(const double* x) const;
 

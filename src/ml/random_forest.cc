@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace briq::ml {
 
@@ -19,53 +20,87 @@ void RandomForest::Fit(const Dataset& data, const ForestConfig& config) {
   }());
   if (config.balance_classes) working.BalanceClassWeights();
 
-  util::Rng rng(config.seed);
+  // Each tree owns an Rng seeded from (config.seed + tree index), so the
+  // forest is bit-identical no matter how trees are scheduled across
+  // threads. `working` is read-only past this point; tree t writes only
+  // trees_[t].
   trees_.resize(config.num_trees);
-  for (int t = 0; t < config.num_trees; ++t) {
-    if (config.bootstrap) {
-      std::vector<size_t> sample(working.size());
-      for (auto& idx : sample) idx = rng.UniformInt(working.size());
-      Dataset boot = working.Subset(sample);
-      trees_[t].Fit(boot, config.tree, &rng);
-    } else {
-      trees_[t].Fit(working, config.tree, &rng);
-    }
+  util::ParallelFor(
+      config.num_threads, 0, trees_.size(), /*grain=*/1,
+      [&](size_t lo, size_t hi) {
+        for (size_t t = lo; t < hi; ++t) {
+          util::Rng rng(config.seed + static_cast<uint64_t>(t));
+          if (config.bootstrap) {
+            std::vector<size_t> sample(working.size());
+            for (auto& idx : sample) idx = rng.UniformInt(working.size());
+            Dataset boot = working.Subset(sample);
+            trees_[t].Fit(boot, config.tree, &rng);
+          } else {
+            trees_[t].Fit(working, config.tree, &rng);
+          }
+        }
+      });
+}
+
+void RandomForest::PredictProba(const double* x, double* out) const {
+  BRIQ_CHECK(fitted()) << "forest not fitted";
+  for (int c = 0; c < num_classes_; ++c) out[c] = 0.0;
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double>& p = tree.LeafProba(x);
+    const size_t n = std::min<size_t>(p.size(), num_classes_);
+    for (size_t c = 0; c < n; ++c) out[c] += p[c];
   }
+  const double inv = 1.0 / static_cast<double>(trees_.size());
+  for (int c = 0; c < num_classes_; ++c) out[c] *= inv;
 }
 
 std::vector<double> RandomForest::PredictProba(const double* x) const {
-  BRIQ_CHECK(fitted()) << "forest not fitted";
   std::vector<double> acc(num_classes_, 0.0);
-  for (const DecisionTree& tree : trees_) {
-    std::vector<double> p = tree.PredictProba(x);
-    for (size_t c = 0; c < p.size() && c < acc.size(); ++c) acc[c] += p[c];
-  }
-  for (double& v : acc) v /= static_cast<double>(trees_.size());
+  PredictProba(x, acc.data());
   return acc;
 }
 
 int RandomForest::Predict(const double* x) const {
+  BRIQ_CHECK(fitted()) << "forest not fitted";
+  constexpr int kStackClasses = 16;
+  double stack[kStackClasses];
+  if (num_classes_ <= kStackClasses) {
+    PredictProba(x, stack);
+    return static_cast<int>(std::max_element(stack, stack + num_classes_) -
+                            stack);
+  }
   std::vector<double> p = PredictProba(x);
   return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
 }
 
-double RandomForest::PredictPositiveProba(const std::vector<double>& x) const {
-  std::vector<double> p = PredictProba(x.data());
-  return p.size() > 1 ? p[1] : 0.0;
+double RandomForest::PredictPositiveProba(const double* x) const {
+  BRIQ_CHECK(fitted()) << "forest not fitted";
+  if (num_classes_ < 2) return 0.0;
+  double acc = 0.0;
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double>& p = tree.LeafProba(x);
+    if (p.size() > 1) acc += p[1];
+  }
+  return acc / static_cast<double>(trees_.size());
 }
 
 std::vector<double> RandomForest::FeatureImportance() const {
-  std::vector<double> total(num_features_, 0.0);
+  std::vector<double> total;
+  FeatureImportance(&total);
+  return total;
+}
+
+void RandomForest::FeatureImportance(std::vector<double>* out) const {
+  out->assign(num_features_, 0.0);
   for (const DecisionTree& tree : trees_) {
     const auto& dec = tree.impurity_decrease();
-    for (int f = 0; f < num_features_; ++f) total[f] += dec[f];
+    for (int f = 0; f < num_features_; ++f) (*out)[f] += dec[f];
   }
   double sum = 0.0;
-  for (double v : total) sum += v;
+  for (double v : *out) sum += v;
   if (sum > 0.0) {
-    for (double& v : total) v /= sum;
+    for (double& v : *out) v /= sum;
   }
-  return total;
 }
 
 }  // namespace briq::ml

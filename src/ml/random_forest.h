@@ -19,6 +19,11 @@ struct ForestConfig {
   /// (paper §VII-B).
   bool balance_classes = true;
   uint64_t seed = 42;
+  /// Worker threads for Fit; <= 1 trains sequentially, 0 is treated as 1.
+  /// Parallel and sequential fits are bit-identical: each tree draws its
+  /// bootstrap sample and split randomness from an Rng seeded with
+  /// `seed + tree_index`, independent of scheduling.
+  int num_threads = 1;
 
   ForestConfig() { tree.max_features = -1; }  // sqrt(d) per split
 };
@@ -39,15 +44,26 @@ class RandomForest {
     return PredictProba(x.data());
   }
 
+  /// Allocation-free variant: accumulates the averaged probabilities into
+  /// out[0 .. num_classes()), which the caller owns.
+  void PredictProba(const double* x, double* out) const;
+
   /// argmax class.
   int Predict(const double* x) const;
   int Predict(const std::vector<double>& x) const { return Predict(x.data()); }
 
-  /// Probability of class 1 (binary convenience).
-  double PredictPositiveProba(const std::vector<double>& x) const;
+  /// Probability of class 1 (binary convenience). The pointer overload is
+  /// allocation-free.
+  double PredictPositiveProba(const double* x) const;
+  double PredictPositiveProba(const std::vector<double>& x) const {
+    return PredictPositiveProba(x.data());
+  }
 
   /// Mean decrease in gini impurity per feature, normalized to sum to 1.
   std::vector<double> FeatureImportance() const;
+
+  /// Buffer-reuse variant: resizes *out to num_features and fills it.
+  void FeatureImportance(std::vector<double>* out) const;
 
   int num_classes() const { return num_classes_; }
   size_t num_trees() const { return trees_.size(); }

@@ -1,9 +1,9 @@
 #ifndef BRIQ_UTIL_SIMILARITY_H_
 #define BRIQ_UTIL_SIMILARITY_H_
 
+#include <map>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 namespace briq::util {
@@ -25,8 +25,12 @@ double JaccardSimilarity(const std::vector<std::string>& a,
 double OverlapCoefficient(const std::vector<std::string>& a,
                           const std::vector<std::string>& b);
 
-/// A bag of words with per-word non-negative weights.
-using WeightedBag = std::unordered_map<std::string, double>;
+/// A bag of words with per-word non-negative weights. Ordered on purpose:
+/// WeightedOverlapCoefficient accumulates floating-point sums in iteration
+/// order, and key order — unlike a hash map's bucket order — does not
+/// depend on the container's rehash history, so scores are bit-identical
+/// whether bags are freshly built or reused scratch across threads.
+using WeightedBag = std::map<std::string, double>;
 
 /// Weighted overlap coefficient: sum over shared words of min(w_a, w_b),
 /// divided by min(total weight of a, total weight of b). Used by the paper's

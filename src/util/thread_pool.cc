@@ -1,0 +1,83 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace briq::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  num_threads = std::max(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<size_t>(grain, 1);
+  if (num_threads() <= 1 || end - begin <= grain) {
+    fn(begin, end);
+    return;
+  }
+
+  std::vector<std::future<void>> chunks;
+  chunks.reserve((end - begin + grain - 1) / grain);
+  for (size_t lo = begin; lo < end; lo += grain) {
+    const size_t hi = std::min(end, lo + grain);
+    chunks.push_back(Submit([&fn, lo, hi] { fn(lo, hi); }));
+  }
+
+  // Wait on every chunk; surface the first failure only after all chunks
+  // finished, so no task is left referencing `fn` when we rethrow.
+  std::exception_ptr first_error;
+  for (std::future<void>& chunk : chunks) {
+    try {
+      chunk.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ParallelFor(int num_threads, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<size_t>(grain, 1);
+  if (num_threads == 1 || end - begin <= grain) {
+    fn(begin, end);
+    return;
+  }
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace briq::util

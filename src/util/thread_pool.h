@@ -1,0 +1,84 @@
+#ifndef BRIQ_UTIL_THREAD_POOL_H_
+#define BRIQ_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace briq::util {
+
+/// A fixed-size worker pool over a single task queue. All intra-process
+/// parallelism in BriQ (batch alignment, forest training, corpus
+/// preparation) flows through this class so that thread creation is
+/// bounded and exception propagation is uniform.
+///
+/// Tasks submitted via Submit() return a std::future; an exception thrown
+/// by the task is captured and rethrown from future::get(). ParallelFor()
+/// blocks until the whole range is processed and rethrows the first chunk
+/// exception on the calling thread.
+///
+/// ParallelFor must not be called from inside a pool task of the same
+/// pool (the caller would block a worker slot it is waiting on).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; values <= 0 mean
+  /// std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its result. The future's
+  /// get() rethrows any exception the task threw.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+  /// Splits [begin, end) into contiguous chunks of at most `grain`
+  /// elements (grain < 1 is clamped to 1), runs fn(chunk_begin, chunk_end)
+  /// across the workers, and blocks until every chunk finished. The first
+  /// exception thrown by any chunk is rethrown here. Ranges that fit into
+  /// a single chunk — and all work on a 1-thread pool — run inline on the
+  /// calling thread.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// One-shot ParallelFor: runs inline when `num_threads` <= 1 (or the range
+/// fits a single chunk), otherwise spins up a transient pool. Use a
+/// long-lived ThreadPool instead when calls are frequent and small.
+void ParallelFor(int num_threads, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace briq::util
+
+#endif  // BRIQ_UTIL_THREAD_POOL_H_

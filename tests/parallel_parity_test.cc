@@ -1,0 +1,180 @@
+// Determinism guarantees of the parallel execution layer: forest training
+// and batch alignment must produce bit-identical results no matter how
+// many worker threads run them.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/pipeline.h"
+#include "corpus/generator.h"
+#include "ml/random_forest.h"
+#include "util/random.h"
+
+namespace briq {
+namespace {
+
+using core::BriqConfig;
+using core::BriqSystem;
+using core::DocumentAlignment;
+using core::PreparedDocument;
+
+ml::Dataset MakeDataset(int num_rows) {
+  util::Rng rng(91);
+  ml::Dataset data(6);
+  for (int i = 0; i < num_rows; ++i) {
+    std::vector<double> x(6);
+    for (double& v : x) v = rng.UniformDouble();
+    data.Add(x, x[0] + 0.3 * x[3] > 0.6 ? 1 : 0);
+  }
+  return data;
+}
+
+// Exact (==, not near) probability equality over a probe grid: with
+// deterministic per-tree seeding, scheduling must not change a single bit.
+void ExpectForestsIdentical(const ml::RandomForest& a,
+                            const ml::RandomForest& b) {
+  ASSERT_EQ(a.num_trees(), b.num_trees());
+  ASSERT_EQ(a.num_classes(), b.num_classes());
+  util::Rng rng(17);
+  for (int probe = 0; probe < 200; ++probe) {
+    std::vector<double> x(6);
+    for (double& v : x) v = rng.UniformDouble();
+    const std::vector<double> pa = a.PredictProba(x.data());
+    const std::vector<double> pb = b.PredictProba(x.data());
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t c = 0; c < pa.size(); ++c) {
+      EXPECT_EQ(pa[c], pb[c]) << "probe " << probe << " class " << c;
+    }
+  }
+  const std::vector<double> ia = a.FeatureImportance();
+  const std::vector<double> ib = b.FeatureImportance();
+  ASSERT_EQ(ia.size(), ib.size());
+  for (size_t f = 0; f < ia.size(); ++f) EXPECT_EQ(ia[f], ib[f]);
+}
+
+TEST(ForestParityTest, ParallelFitMatchesSequentialFit) {
+  ml::Dataset data = MakeDataset(600);
+  ml::ForestConfig sequential;
+  sequential.num_trees = 24;
+  sequential.num_threads = 1;
+  ml::ForestConfig parallel = sequential;
+  parallel.num_threads = 8;
+
+  ml::RandomForest a;
+  ml::RandomForest b;
+  a.Fit(data, sequential);
+  b.Fit(data, parallel);
+  ExpectForestsIdentical(a, b);
+}
+
+TEST(ForestParityTest, ParityHoldsWithoutBootstrap) {
+  ml::Dataset data = MakeDataset(400);
+  ml::ForestConfig sequential;
+  sequential.num_trees = 12;
+  sequential.bootstrap = false;
+  sequential.num_threads = 1;
+  ml::ForestConfig parallel = sequential;
+  parallel.num_threads = 5;
+
+  ml::RandomForest a;
+  ml::RandomForest b;
+  a.Fit(data, sequential);
+  b.Fit(data, parallel);
+  ExpectForestsIdentical(a, b);
+}
+
+void ExpectAlignmentsIdentical(const DocumentAlignment& a,
+                               const DocumentAlignment& b) {
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].text_idx, b.decisions[i].text_idx);
+    EXPECT_EQ(a.decisions[i].table_idx, b.decisions[i].table_idx);
+    EXPECT_EQ(a.decisions[i].score, b.decisions[i].score);
+  }
+}
+
+class AlignBatchParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::CorpusOptions options;
+    options.num_documents = 60;
+    options.seed = 4711;
+    corpus_ = new corpus::Corpus(corpus::GenerateCorpus(options));
+    config_ = new BriqConfig();
+    docs_ = new std::vector<PreparedDocument>();
+    for (const corpus::Document& d : corpus_->documents) {
+      docs_->push_back(core::PrepareDocument(d, *config_));
+    }
+    // Train on the first 40 documents; align the rest.
+    std::vector<const PreparedDocument*> train;
+    for (size_t i = 0; i < 40; ++i) train.push_back(&(*docs_)[i]);
+    system_ = new BriqSystem(*config_);
+    ASSERT_TRUE(system_->Train(train).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete system_;
+    delete docs_;
+    delete config_;
+    delete corpus_;
+  }
+
+  static std::vector<const PreparedDocument*> TestBatch() {
+    std::vector<const PreparedDocument*> batch;
+    for (size_t i = 40; i < docs_->size(); ++i) batch.push_back(&(*docs_)[i]);
+    return batch;
+  }
+
+  static corpus::Corpus* corpus_;
+  static BriqConfig* config_;
+  static std::vector<PreparedDocument>* docs_;
+  static BriqSystem* system_;
+};
+
+corpus::Corpus* AlignBatchParityTest::corpus_ = nullptr;
+BriqConfig* AlignBatchParityTest::config_ = nullptr;
+std::vector<PreparedDocument>* AlignBatchParityTest::docs_ = nullptr;
+BriqSystem* AlignBatchParityTest::system_ = nullptr;
+
+TEST_F(AlignBatchParityTest, BatchMatchesSequentialAlign) {
+  const auto batch = TestBatch();
+  const auto sequential = system_->AlignBatch(batch, /*num_threads=*/1);
+  ASSERT_EQ(sequential.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExpectAlignmentsIdentical(sequential[i], system_->Align(*batch[i]));
+  }
+}
+
+TEST_F(AlignBatchParityTest, EightThreadsMatchSingleThread) {
+  const auto batch = TestBatch();
+  const auto one = system_->AlignBatch(batch, /*num_threads=*/1);
+  const auto eight = system_->AlignBatch(batch, /*num_threads=*/8);
+  ASSERT_EQ(one.size(), eight.size());
+  for (size_t i = 0; i < one.size(); ++i) {
+    ExpectAlignmentsIdentical(one[i], eight[i]);
+  }
+}
+
+TEST_F(AlignBatchParityTest, ParallelTrainingYieldsIdenticalSystem) {
+  // Train a second system with every forest fitted on 8 threads; the
+  // resulting alignments must be bit-identical to the sequential system's.
+  BriqConfig parallel_config = *config_;
+  parallel_config.forest.num_threads = 8;
+  parallel_config.tagger_forest.num_threads = 8;
+  BriqSystem parallel_system(parallel_config);
+  std::vector<const PreparedDocument*> train;
+  for (size_t i = 0; i < 40; ++i) train.push_back(&(*docs_)[i]);
+  ASSERT_TRUE(parallel_system.Train(train).ok());
+
+  const auto batch = TestBatch();
+  const auto a = system_->AlignBatch(batch, 1);
+  const auto b = parallel_system.AlignBatch(batch, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ExpectAlignmentsIdentical(a[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace briq

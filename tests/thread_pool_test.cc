@@ -1,0 +1,142 @@
+// Tests of util::ThreadPool: task completion, result/exception
+// propagation through futures, and ParallelFor coverage across grain and
+// range edge cases.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace briq::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> done;
+  for (int i = 0; i < 100; ++i) {
+    done.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : done) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsTaskResult) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, NonPositiveThreadCountFallsBackToHardware) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+  std::future<int> f = pool.Submit([] { return 1; });
+  EXPECT_EQ(f.get(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }  // ~ThreadPool joins after the queue is drained
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t grain : {1u, 3u, 7u, 100u, 1000u}) {
+    std::vector<std::atomic<int>> hits(257);
+    pool.ParallelFor(0, hits.size(), grain, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) ++hits[i];
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " grain " << grain;
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, 1, [&](size_t, size_t) { called = true; });
+  pool.ParallelFor(7, 3, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, GrainZeroIsClampedToOne) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 10, 0, [&](size_t lo, size_t hi) {
+    count += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id executed;
+  pool.ParallelFor(0, 8, 100, [&](size_t lo, size_t hi) {
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 8u);
+    executed = std::this_thread::get_id();
+  });
+  EXPECT_EQ(executed, caller);
+}
+
+TEST(ParallelForTest, NonzeroBeginIsRespected) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(10, 20, 2, [&](size_t lo, size_t hi) {
+    long acc = 0;
+    for (size_t i = lo; i < hi; ++i) acc += static_cast<long>(i);
+    sum += acc;
+  });
+  EXPECT_EQ(sum.load(), 10 + 11 + 12 + 13 + 14 + 15 + 16 + 17 + 18 + 19);
+}
+
+TEST(ParallelForTest, PropagatesChunkException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [](size_t lo, size_t) {
+                         if (lo == 42) throw std::runtime_error("chunk 42");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, FreeFunctionSingleThreadRunsOnCaller) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  ParallelFor(1, 0, 10, 2, [&](size_t, size_t) {
+    seen.push_back(std::this_thread::get_id());  // safe: inline execution
+  });
+  ASSERT_FALSE(seen.empty());
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelForTest, FreeFunctionMultiThreadCoversRange) {
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(8, 0, hits.size(), 5, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+}  // namespace
+}  // namespace briq::util
