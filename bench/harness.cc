@@ -90,6 +90,7 @@ bool WriteBenchJson(const std::string& path,
     obj.Set("docs_per_min", r.docs_per_min);
     obj.Set("threads", r.threads);
     obj.Set("wall_seconds", r.wall_seconds);
+    obj.Set("mode", r.mode.empty() ? "memory" : r.mode);
     array.Append(std::move(obj));
   }
   std::ofstream out(path);

@@ -45,6 +45,10 @@ struct BenchRecord {
   double docs_per_min = 0.0;
   int threads = 1;
   double wall_seconds = 0.0;
+  /// Execution path: "memory" (fully materialized corpus, AlignBatch) or
+  /// "stream" (sharded ingestion through core::StreamingAligner), so the
+  /// perf trajectory in BENCH_throughput.json distinguishes the two rates.
+  std::string mode = "memory";
 };
 
 /// Parses a `--json <path>` flag from argv; returns the path or "" when

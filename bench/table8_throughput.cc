@@ -10,17 +10,32 @@
 // this reproduction's analogue of the paper's cluster parallelism.
 //
 // Flags:
-//   --threads <n>   worker count for the batch rows (default 8)
-//   --json <path>   machine-readable {bench, domain, docs_per_min,
-//                   threads, wall_seconds} records for cross-PR tracking
+//   --threads <n>      worker count for the batch rows (default 8)
+//   --json <path>      machine-readable {bench, domain, docs_per_min,
+//                      threads, wall_seconds, mode} records for cross-PR
+//                      tracking
+//   --stream           also measure the sharded streaming ingestion path
+//                      (corpus::ShardWriter/Reader + core::StreamingAligner);
+//                      implied by --json so the perf trajectory always
+//                      records both the in-memory and streaming rates
+//   --shard-size <n>   documents per shard for the streaming rows
+//                      (default 32)
+//
+// The streaming rows measure end-to-end ingestion — JSONL parse + prepare
+// + align from disk shards in bounded memory — while the in-memory rows
+// time alignment of pre-prepared documents only, which is why the two
+// modes are recorded separately in BENCH_throughput.json.
 
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench/harness.h"
+#include "core/streaming_aligner.h"
+#include "corpus/shard_io.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 
@@ -37,10 +52,60 @@ constexpr PaperRow kPaper[] = {
     {"politics", 6223},    {"sports", 863},   {"others", 2588},
 };
 
-void Run(int num_threads, const std::string& json_path) {
+// Streams the corpus that the in-memory rows measured, but from disk
+// shards through the bounded-memory pipeline, and appends "stream"-mode
+// records so BENCH_throughput.json tracks both rates side by side.
+void RunStreaming(const ExperimentSetup& setup, const corpus::Corpus& corpus,
+                  int num_threads, size_t shard_size,
+                  std::vector<BenchRecord>* records) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "briq_table8_shards";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir);
+
+  auto paths =
+      corpus::WriteCorpusShards(corpus, dir.string(), "corpus", shard_size);
+  if (!paths.ok()) {
+    std::cerr << "streaming bench skipped: " << paths.status().ToString()
+              << "\n";
+    return;
+  }
+  std::cout << "\nstreaming ingestion (" << corpus.size() << " docs as "
+            << paths->size() << " shards of <= " << shard_size
+            << " docs; rate includes shard parse + prepare + align):\n";
+
+  for (int threads : {1, num_threads}) {
+    core::StreamingOptions options;
+    options.num_threads = threads;
+    size_t streamed = 0;
+    util::Stopwatch watch;
+    util::Status status = core::AlignShardedCorpus(
+        *setup.system, setup.config, dir.string(), "corpus", options,
+        [&streamed](size_t, const corpus::Document&,
+                    const core::DocumentAlignment&) { ++streamed; });
+    const double seconds = watch.ElapsedSeconds();
+    if (!status.ok()) {
+      std::cerr << "streaming bench failed: " << status.ToString() << "\n";
+      break;
+    }
+    const double per_min = static_cast<double>(streamed) / seconds * 60;
+    std::cout << "  " << threads << " thread(s): " << FmtCount(streamed)
+              << " docs in " << Fmt2(seconds) << " s  ("
+              << FmtCount(static_cast<size_t>(per_min)) << " docs/min)\n";
+    records->push_back({"table8_throughput", "total", per_min, threads,
+                        seconds, "stream"});
+    if (threads == num_threads) break;  // avoid a duplicate 1-thread row
+  }
+  fs::remove_all(dir, ec);
+}
+
+void Run(int num_threads, const std::string& json_path, bool stream,
+         size_t shard_size) {
   // Train once on a mixed corpus.
   ExperimentSetup setup = BuildSetup(/*num_documents=*/250, /*seed=*/2024);
   std::vector<BenchRecord> records;
+  corpus::Corpus streaming_corpus;  // per-domain docs, reused by --stream
 
   util::TablePrinter printer(
       "Table VIII: BriQ throughput by domain (single core vs " +
@@ -96,6 +161,14 @@ void Run(int num_threads, const std::string& json_path) {
                        seconds_1});
     records.push_back({"table8_throughput", row.domain, per_min_n,
                        num_threads, seconds_n});
+
+    // The prepared docs die with this iteration; keep the raw documents
+    // so the streaming rows below measure the identical corpus.
+    if (stream) {
+      for (corpus::Document& d : domain_corpus.documents) {
+        streaming_corpus.documents.push_back(std::move(d));
+      }
+    }
   }
   const double total_per_min_1 = total_docs / total_seconds_1 * 60.0;
   const double total_per_min_n = total_docs / total_seconds_n * 60.0;
@@ -112,6 +185,10 @@ void Run(int num_threads, const std::string& json_path) {
       {"table8_throughput", "total", total_per_min_1, 1, total_seconds_1});
   records.push_back({"table8_throughput", "total", total_per_min_n,
                      num_threads, total_seconds_n});
+
+  if (stream) {
+    RunStreaming(setup, streaming_corpus, num_threads, shard_size, &records);
+  }
 
   // BriQ vs RWR-only speed (paper: 30x, RWR at 76 docs/min).
   {
@@ -146,12 +223,23 @@ void Run(int num_threads, const std::string& json_path) {
 
 int main(int argc, char** argv) {
   int num_threads = 8;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0) {
+  size_t shard_size = 32;
+  bool stream = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       num_threads = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--shard-size") == 0 && i + 1 < argc) {
+      shard_size = static_cast<size_t>(std::atol(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      stream = true;
     }
   }
   if (num_threads < 1) num_threads = 1;
-  briq::bench::Run(num_threads, briq::bench::JsonPathFromArgs(argc, argv));
+  if (shard_size < 1) shard_size = 1;
+  const std::string json_path = briq::bench::JsonPathFromArgs(argc, argv);
+  // --json implies the streaming rows: the tracked perf trajectory should
+  // always contain both modes.
+  if (!json_path.empty()) stream = true;
+  briq::bench::Run(num_threads, json_path, stream, shard_size);
   return 0;
 }

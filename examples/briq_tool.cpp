@@ -1,13 +1,22 @@
 // briq_tool — command-line front end for the library.
 //
-//   briq_tool generate <n_docs> <out.json> [seed]   synthesize a corpus
-//   briq_tool stats <corpus.json>                   corpus statistics
-//   briq_tool eval <corpus.json>                    train/test split + metrics
-//   briq_tool align <corpus.json> <doc_index>       print one document's
+//   briq_tool generate <n_docs> <out.json> [seed] [--compact]
+//                                                   synthesize a corpus
+//   briq_tool shard <corpus.json> <out_dir> [shard_size]
+//                                                   convert a legacy single-
+//                                                   file corpus to briq-shard-
+//                                                   v1 JSONL shards
+//   briq_tool stats <corpus.json|shard_dir>         corpus statistics
+//   briq_tool eval <corpus.json|shard_dir>          train/test split + metrics
+//   briq_tool align <corpus.json|shard_dir> <doc_index>
+//                                                   print one document's
 //                                                   alignments (trained on
 //                                                   the rest of the corpus)
 
+#include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/baselines.h"
@@ -15,6 +24,7 @@
 #include "core/pipeline.h"
 #include "corpus/generator.h"
 #include "corpus/serialization.h"
+#include "corpus/shard_io.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
 
@@ -22,23 +32,58 @@ namespace {
 
 using namespace briq;
 
+/// Shard-file stem used by `briq_tool shard` and expected by the corpus
+/// readers below.
+constexpr char kShardStem[] = "corpus";
+
 int Usage() {
   std::cerr <<
       "usage:\n"
-      "  briq_tool generate <n_docs> <out.json> [seed]\n"
-      "  briq_tool stats <corpus.json>\n"
-      "  briq_tool eval <corpus.json>\n"
-      "  briq_tool align <corpus.json> <doc_index>\n";
+      "  briq_tool generate <n_docs> <out.json> [seed] [--compact]\n"
+      "  briq_tool shard <corpus.json> <out_dir> [shard_size]\n"
+      "  briq_tool stats <corpus.json|shard_dir>\n"
+      "  briq_tool eval <corpus.json|shard_dir>\n"
+      "  briq_tool align <corpus.json|shard_dir> <doc_index>\n";
   return 2;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Parses a non-negative integer argument, or returns nullopt (instead of
+/// letting std::stoul terminate the process on malformed input).
+std::optional<size_t> ParseSize(const char* arg) {
+  size_t value = 0;
+  size_t pos = 0;
+  try {
+    value = std::stoul(arg, &pos);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (arg[pos] != '\0') return std::nullopt;
+  return value;
 }
 
 int Generate(int argc, char** argv) {
   if (argc < 4) return Usage();
   corpus::CorpusOptions options;
-  options.num_documents = std::stoul(argv[2]);
-  if (argc > 4) options.seed = std::stoull(argv[4]);
+  const std::optional<size_t> n_docs = ParseSize(argv[2]);
+  if (!n_docs) return Usage();
+  options.num_documents = *n_docs;
+  if (argc > 4 && std::strncmp(argv[4], "--", 2) != 0) {
+    const std::optional<size_t> seed = ParseSize(argv[4]);
+    if (!seed) return Usage();
+    options.seed = *seed;
+  }
+  const corpus::CorpusJsonStyle style =
+      HasFlag(argc, argv, "--compact") ? corpus::CorpusJsonStyle::kCompact
+                                       : corpus::CorpusJsonStyle::kPretty;
   corpus::Corpus corpus = corpus::GenerateCorpus(options);
-  util::Status status = corpus::SaveCorpus(corpus, argv[3]);
+  util::Status status = corpus::SaveCorpus(corpus, argv[3], style);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
@@ -48,7 +93,40 @@ int Generate(int argc, char** argv) {
   return 0;
 }
 
+int Shard(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto corpus = corpus::LoadCorpus(argv[2]);
+  if (!corpus.ok()) {
+    std::cerr << corpus.status().ToString() << "\n";
+    return 1;
+  }
+  size_t shard_size = 128;
+  if (argc > 4) {
+    const std::optional<size_t> parsed = ParseSize(argv[4]);
+    if (!parsed || *parsed == 0) return Usage();
+    shard_size = *parsed;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(argv[3], ec);
+  auto paths =
+      corpus::WriteCorpusShards(*corpus, argv[3], kShardStem, shard_size);
+  if (!paths.ok()) {
+    std::cerr << paths.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << corpus->size() << " documents as " << paths->size()
+            << " shard(s) of <= " << shard_size << " docs under " << argv[3]
+            << "\n";
+  return 0;
+}
+
+/// Loads either a legacy single-file corpus or (when `path` is a
+/// directory) a briq-shard-v1 sharded corpus.
 util::Result<corpus::Corpus> Load(const char* path) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    return corpus::LoadShardedCorpus(path, kShardStem);
+  }
   return corpus::LoadCorpus(path);
 }
 
@@ -154,8 +232,10 @@ int AlignOne(int argc, char** argv) {
     std::cerr << corpus.status().ToString() << "\n";
     return 1;
   }
-  int index = std::stoi(argv[3]);
-  if (index < 0 || static_cast<size_t>(index) >= corpus->size()) {
+  const std::optional<size_t> parsed = ParseSize(argv[3]);
+  if (!parsed) return Usage();
+  const size_t index = *parsed;
+  if (index >= corpus->size()) {
     std::cerr << "doc_index out of range (corpus has " << corpus->size()
               << " documents)\n";
     return 1;
@@ -186,6 +266,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
   if (cmd == "generate") return Generate(argc, argv);
+  if (cmd == "shard") return Shard(argc, argv);
   if (cmd == "stats") return Stats(argc, argv);
   if (cmd == "eval") return Eval(argc, argv);
   if (cmd == "align") return AlignOne(argc, argv);

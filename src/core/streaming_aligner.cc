@@ -1,0 +1,177 @@
+#include "core/streaming_aligner.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/extraction.h"
+#include "corpus/shard_io.h"
+#include "util/bounded_queue.h"
+#include "util/thread_pool.h"
+
+namespace briq::core {
+
+namespace {
+
+struct WorkItem {
+  size_t index = 0;
+  corpus::Document doc;
+};
+
+struct FinishedItem {
+  corpus::Document doc;
+  DocumentAlignment alignment;
+};
+
+/// Shared state of the reordering emitter: finished documents park in
+/// `ready` until every earlier index has been delivered. The emit window
+/// caps how far ahead of `next_emit` a worker may park a result, so the
+/// buffer — like the queue — holds O(queue + threads) documents, never
+/// O(corpus).
+struct EmitState {
+  std::mutex mu;
+  std::condition_variable advanced;
+  std::map<size_t, FinishedItem> ready;
+  size_t next_emit = 0;
+  size_t window = 0;
+  /// Set when any worker threw; releases waiters and stops emission so the
+  /// pipeline drains instead of stalling on the gap the dead worker left.
+  bool failed = false;
+};
+
+/// Parks one finished document and flushes the contiguous prefix to the
+/// sink. Sink calls happen under the emitter mutex: strictly ordered and
+/// never concurrent, as streaming_aligner.h promises.
+void EmitInOrder(EmitState* state, size_t index, FinishedItem item,
+                 const AlignmentSink& sink) {
+  std::unique_lock<std::mutex> lock(state->mu);
+  // Back-pressure on the reorder buffer. The worker holding `next_emit`
+  // never waits (its index is trivially inside the window), so the window
+  // always drains and this cannot deadlock.
+  state->advanced.wait(lock, [state, index] {
+    return state->failed || index < state->next_emit + state->window;
+  });
+  if (state->failed) return;
+  state->ready.emplace(index, std::move(item));
+  while (!state->ready.empty() &&
+         state->ready.begin()->first == state->next_emit) {
+    auto node = state->ready.extract(state->ready.begin());
+    sink(node.key(), node.mapped().doc, node.mapped().alignment);
+    ++state->next_emit;
+  }
+  lock.unlock();
+  state->advanced.notify_all();
+}
+
+}  // namespace
+
+StreamingAligner::StreamingAligner(const Aligner* aligner,
+                                   const BriqConfig* config,
+                                   StreamingOptions options)
+    : aligner_(aligner), config_(config), options_(options) {
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+}
+
+util::Status StreamingAligner::Run(const DocumentSource& source,
+                                   const AlignmentSink& sink) const {
+  int num_threads = options_.num_threads;
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads < 1) num_threads = 1;
+  }
+
+  if (num_threads <= 1) {
+    // Inline path: read -> prepare -> align -> emit, one document live at
+    // a time. Same per-document computation as the pooled path.
+    size_t index = 0;
+    while (true) {
+      BRIQ_ASSIGN_OR_RETURN(std::optional<corpus::Document> doc, source());
+      if (!doc.has_value()) return util::Status::OK();
+      PreparedDocument prepared = PrepareDocument(*doc, *config_);
+      sink(index++, *doc, aligner_->Align(prepared));
+    }
+  }
+
+  util::BoundedQueue<WorkItem> queue(options_.queue_capacity);
+  EmitState emit;
+  emit.window = options_.queue_capacity + static_cast<size_t>(num_threads);
+
+  util::ThreadPool pool(num_threads);
+  std::atomic<bool> failed{false};
+  std::vector<std::future<void>> workers;
+  workers.reserve(static_cast<size_t>(num_threads));
+  for (int w = 0; w < num_threads; ++w) {
+    workers.push_back(pool.Submit([this, &queue, &emit, &sink, &failed] {
+      try {
+        while (std::optional<WorkItem> item = queue.Pop()) {
+          // After a failure elsewhere, keep popping (so the reader never
+          // blocks on a full queue) but skip the work.
+          if (failed.load(std::memory_order_relaxed)) continue;
+          PreparedDocument prepared = PrepareDocument(item->doc, *config_);
+          // `prepared` points into item->doc; align before moving the doc.
+          DocumentAlignment alignment = aligner_->Align(prepared);
+          EmitInOrder(&emit, item->index,
+                      FinishedItem{std::move(item->doc), std::move(alignment)},
+                      sink);
+        }
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(emit.mu);
+          emit.failed = true;
+        }
+        emit.advanced.notify_all();
+        while (queue.Pop().has_value()) {
+        }
+        throw;  // resurfaces from the worker future below
+      }
+    }));
+  }
+
+  // The calling thread is the reader; Push blocks once the queue is full,
+  // which is exactly the back-pressure that bounds peak memory.
+  util::Status status = util::Status::OK();
+  size_t index = 0;
+  while (true) {
+    auto next = source();
+    if (!next.ok()) {
+      status = next.status();
+      break;
+    }
+    if (!next->has_value()) break;
+    queue.Push(WorkItem{index++, std::move(**next)});
+  }
+  queue.Close();
+
+  for (auto& worker : workers) {
+    try {
+      worker.get();
+    } catch (const std::exception& e) {
+      if (status.ok()) {
+        status = util::Status::Internal(
+            std::string("streaming worker failed: ") + e.what());
+      }
+    }
+  }
+  return status;
+}
+
+util::Status AlignShardedCorpus(const Aligner& aligner,
+                                const BriqConfig& config,
+                                const std::string& directory,
+                                const std::string& stem,
+                                const StreamingOptions& options,
+                                const AlignmentSink& sink) {
+  auto reader = corpus::ShardedCorpusReader::Open(directory, stem);
+  if (!reader.ok()) return reader.status();
+  StreamingAligner streaming(&aligner, &config, options);
+  return streaming.Run([&reader] { return reader->Next(); }, sink);
+}
+
+}  // namespace briq::core

@@ -1,0 +1,76 @@
+#ifndef BRIQ_CORE_STREAMING_ALIGNER_H_
+#define BRIQ_CORE_STREAMING_ALIGNER_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/aligner.h"
+#include "core/config.h"
+#include "corpus/document.h"
+#include "util/result.h"
+
+namespace briq::core {
+
+/// Tuning knobs of the streaming alignment pipeline.
+struct StreamingOptions {
+  /// Worker threads (0 = hardware concurrency, <= 1 runs fully inline).
+  int num_threads = 0;
+  /// Capacity of the bounded document queue between the reader and the
+  /// workers; this is the back-pressure valve that keeps peak memory at
+  /// O(queue + threads) documents regardless of corpus size.
+  size_t queue_capacity = 64;
+};
+
+/// Pull-based document source: each call yields the next document, a
+/// std::nullopt at end-of-stream, or an error that aborts the run.
+using DocumentSource =
+    std::function<util::Result<std::optional<corpus::Document>>()>;
+
+/// Result consumer. Called exactly once per document in strictly
+/// increasing `doc_index` order (0-based position in the stream), never
+/// concurrently — callers need no locking of their own.
+using AlignmentSink = std::function<void(size_t doc_index,
+                                         const corpus::Document& doc,
+                                         const DocumentAlignment& alignment)>;
+
+/// Streams documents through prepare + align with bounded memory: a
+/// reader (the calling thread) feeds a BoundedQueue, pool workers prepare
+/// and align, and a reordering emitter hands results to the sink in
+/// document order. Alignments are bit-identical to the in-memory
+/// `Aligner::AlignBatch` path for the same documents, at any thread count
+/// (enforced by tests/streaming_parity_test.cc).
+class StreamingAligner {
+ public:
+  /// Neither `aligner` nor `config` is owned; both must outlive the runs.
+  StreamingAligner(const Aligner* aligner, const BriqConfig* config,
+                   StreamingOptions options = {});
+
+  /// Drains `source`, aligning every document and delivering results to
+  /// `sink` in document order. On a source error the queue is drained,
+  /// already-read documents are still delivered, and the error is
+  /// returned.
+  util::Status Run(const DocumentSource& source,
+                   const AlignmentSink& sink) const;
+
+  const StreamingOptions& options() const { return options_; }
+
+ private:
+  const Aligner* aligner_;
+  const BriqConfig* config_;
+  StreamingOptions options_;
+};
+
+/// Convenience wrapper: streams an entire sharded corpus (see
+/// corpus/shard_io.h) through `aligner`.
+util::Status AlignShardedCorpus(const Aligner& aligner,
+                                const BriqConfig& config,
+                                const std::string& directory,
+                                const std::string& stem,
+                                const StreamingOptions& options,
+                                const AlignmentSink& sink);
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_STREAMING_ALIGNER_H_

@@ -179,12 +179,14 @@ util::Result<Corpus> CorpusFromJson(const Json& json) {
   return corpus;
 }
 
-util::Status SaveCorpus(const Corpus& corpus, const std::string& path) {
+util::Status SaveCorpus(const Corpus& corpus, const std::string& path,
+                        CorpusJsonStyle style) {
   std::ofstream out(path);
   if (!out) {
     return util::Status::NotFound("cannot open for writing: " + path);
   }
-  out << CorpusToJson(corpus).Dump(2) << "\n";
+  const int indent = style == CorpusJsonStyle::kPretty ? 2 : -1;
+  out << CorpusToJson(corpus).Dump(indent) << "\n";
   if (!out.good()) {
     return util::Status::Internal("write failed: " + path);
   }

@@ -21,8 +21,13 @@ util::Result<Document> DocumentFromJson(const util::Json& json);
 util::Json CorpusToJson(const Corpus& corpus);
 util::Result<Corpus> CorpusFromJson(const util::Json& json);
 
-/// File round trip. Save writes pretty-printed JSON.
-util::Status SaveCorpus(const Corpus& corpus, const std::string& path);
+/// On-disk flavor of a single-file corpus: pretty-printed for diffable
+/// fixtures (the historical default), compact single-line for bulk data.
+enum class CorpusJsonStyle { kPretty, kCompact };
+
+/// File round trip. Load accepts either style.
+util::Status SaveCorpus(const Corpus& corpus, const std::string& path,
+                        CorpusJsonStyle style = CorpusJsonStyle::kPretty);
 util::Result<Corpus> LoadCorpus(const std::string& path);
 
 }  // namespace briq::corpus

@@ -1,0 +1,317 @@
+#include "corpus/shard_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "corpus/serialization.h"
+#include "util/json.h"
+
+namespace briq::corpus {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kShardFormat[] = "briq-shard-v1";
+
+std::string ChecksumHex(uint64_t checksum) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(checksum));
+  return buf;
+}
+
+/// Folds one document line (plus a terminating newline, so line boundaries
+/// are part of the hash) into the running shard checksum.
+uint64_t FoldLine(uint64_t state, std::string_view line) {
+  state = Fnv1a64(line, state);
+  return Fnv1a64("\n", state);
+}
+
+util::Result<ShardHeader> ParseShardHeader(const std::string& line,
+                                           const std::string& path) {
+  auto json = util::Json::Parse(line);
+  if (!json.ok()) {
+    return util::Status::ParseError("shard header is not valid JSON: " + path +
+                                    " (" + json.status().message() + ")");
+  }
+  if (!json->is_object() ||
+      json->Get("format", util::Json("")).AsString() != kShardFormat) {
+    return util::Status::ParseError("not a " + std::string(kShardFormat) +
+                                    " header: " + path);
+  }
+  for (const char* key :
+       {"shard_index", "first_document_index", "num_documents", "checksum"}) {
+    if (!json->Has(key)) {
+      return util::Status::ParseError("shard header is missing '" +
+                                      std::string(key) + "': " + path);
+    }
+  }
+  ShardHeader header;
+  header.shard_index = json->at("shard_index").AsInt();
+  header.first_document_index =
+      static_cast<size_t>(json->at("first_document_index").AsInt());
+  header.num_documents = static_cast<size_t>(json->at("num_documents").AsInt());
+  const std::string& hex = json->at("checksum").AsString();
+  char* end = nullptr;
+  header.checksum = std::strtoull(hex.c_str(), &end, 16);
+  if (hex.empty() || end != hex.c_str() + hex.size()) {
+    return util::Status::ParseError("shard header checksum is not a hex " +
+                                    std::string("string: ") + path);
+  }
+  return header;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view data, uint64_t state) {
+  for (unsigned char c : data) {
+    state ^= c;
+    state *= 1099511628211ull;
+  }
+  return state;
+}
+
+// --- ShardWriter ------------------------------------------------------------
+
+ShardWriter::ShardWriter(std::string directory, std::string stem,
+                         size_t shard_size)
+    : directory_(std::move(directory)),
+      stem_(std::move(stem)),
+      shard_size_(shard_size < 1 ? 1 : shard_size) {}
+
+util::Status ShardWriter::Add(const Document& doc) {
+  if (finished_) {
+    return util::Status::FailedPrecondition(
+        "ShardWriter::Add after Finish: " + directory_ + "/" + stem_);
+  }
+  pending_lines_.push_back(DocumentToJson(doc).Dump(/*indent=*/-1));
+  ++num_documents_;
+  if (pending_lines_.size() >= shard_size_) return FlushShard();
+  return util::Status::OK();
+}
+
+util::Status ShardWriter::Finish() {
+  if (finished_) return util::Status::OK();
+  finished_ = true;
+  if (!pending_lines_.empty()) return FlushShard();
+  return util::Status::OK();
+}
+
+util::Status ShardWriter::FlushShard() {
+  const std::string path =
+      ShardPath(directory_, stem_, static_cast<int>(paths_.size()));
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::NotFound("cannot open shard for writing: " + path);
+  }
+
+  uint64_t checksum = Fnv1a64("");  // FNV offset basis
+  for (const std::string& line : pending_lines_) {
+    checksum = FoldLine(checksum, line);
+  }
+
+  util::Json header = util::Json::Object();
+  header.Set("format", kShardFormat);
+  header.Set("shard_index", static_cast<int>(paths_.size()));
+  header.Set("first_document_index", num_documents_ - pending_lines_.size());
+  header.Set("num_documents", pending_lines_.size());
+  header.Set("checksum", ChecksumHex(checksum));
+  out << header.Dump(/*indent=*/-1) << "\n";
+  for (const std::string& line : pending_lines_) out << line << "\n";
+  if (!out.good()) {
+    return util::Status::Internal("shard write failed: " + path);
+  }
+  paths_.push_back(path);
+  pending_lines_.clear();
+  return util::Status::OK();
+}
+
+// --- Shard discovery --------------------------------------------------------
+
+std::string ShardPath(const std::string& directory, const std::string& stem,
+                      int index) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%05d", index);
+  return (fs::path(directory) / (stem + "-" + buf + ".jsonl")).string();
+}
+
+util::Result<std::vector<std::string>> ListShards(const std::string& directory,
+                                                  const std::string& stem) {
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return util::Status::NotFound("shard directory not found: " + directory);
+  }
+  const std::string prefix = stem + "-";
+  const std::string suffix = ".jsonl";
+  std::vector<std::pair<int, std::string>> found;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    found.emplace_back(std::atoi(digits.c_str()), entry.path().string());
+  }
+  if (found.empty()) {
+    return util::Status::NotFound("no " + prefix + "*.jsonl shards in: " +
+                                  directory);
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (size_t i = 0; i < found.size(); ++i) {
+    if (found[i].first != static_cast<int>(i)) {
+      return util::Status::NotFound(
+          "missing shard file: expected " +
+          ShardPath(directory, stem, static_cast<int>(i)) + " but found " +
+          found[i].second);
+    }
+    paths.push_back(found[i].second);
+  }
+  return paths;
+}
+
+// --- ShardReader ------------------------------------------------------------
+
+util::Result<ShardReader> ShardReader::Open(const std::string& path) {
+  ShardReader reader;
+  reader.path_ = path;
+  reader.in_.open(path);
+  if (!reader.in_) {
+    return util::Status::NotFound("cannot open shard: " + path);
+  }
+  std::string line;
+  if (!std::getline(reader.in_, line)) {
+    return util::Status::ParseError("empty shard file (missing header): " +
+                                    path);
+  }
+  BRIQ_ASSIGN_OR_RETURN(reader.header_, ParseShardHeader(line, path));
+  reader.running_checksum_ = Fnv1a64("");
+  return reader;
+}
+
+util::Result<std::optional<Document>> ShardReader::Next() {
+  if (done_) return std::optional<Document>();
+  std::string line;
+  if (!std::getline(in_, line)) {
+    done_ = true;
+    if (docs_read_ < header_.num_documents) {
+      return util::Status::ParseError(
+          "shard truncated: header declares " +
+          std::to_string(header_.num_documents) + " documents, found " +
+          std::to_string(docs_read_) + ": " + path_);
+    }
+    if (running_checksum_ != header_.checksum) {
+      return util::Status::ParseError(
+          "shard checksum mismatch: header says " +
+          ChecksumHex(header_.checksum) + ", content hashes to " +
+          ChecksumHex(running_checksum_) + ": " + path_);
+    }
+    return std::optional<Document>();
+  }
+  if (docs_read_ >= header_.num_documents) {
+    done_ = true;
+    return util::Status::ParseError(
+        "shard has trailing data beyond the " +
+        std::to_string(header_.num_documents) +
+        " documents its header declares: " + path_);
+  }
+  running_checksum_ = FoldLine(running_checksum_, line);
+  auto json = util::Json::Parse(line);
+  if (!json.ok()) {
+    done_ = true;
+    return util::Status::ParseError(
+        "shard document " + std::to_string(docs_read_) +
+        " is not valid JSON: " + path_ + " (" + json.status().message() + ")");
+  }
+  auto doc = DocumentFromJson(*json);
+  if (!doc.ok()) {
+    done_ = true;
+    return util::Status(doc.status().code(),
+                        "shard document " + std::to_string(docs_read_) +
+                            ": " + doc.status().message() + ": " + path_);
+  }
+  ++docs_read_;
+  return std::optional<Document>(std::move(doc).value());
+}
+
+// --- ShardedCorpusReader ----------------------------------------------------
+
+util::Result<ShardedCorpusReader> ShardedCorpusReader::Open(
+    const std::string& directory, const std::string& stem) {
+  ShardedCorpusReader reader;
+  BRIQ_ASSIGN_OR_RETURN(reader.shard_paths_, ListShards(directory, stem));
+  return reader;
+}
+
+util::Result<std::optional<Document>> ShardedCorpusReader::Next() {
+  while (true) {
+    if (!current_.has_value()) {
+      if (next_shard_ >= shard_paths_.size()) {
+        return std::optional<Document>();
+      }
+      const std::string& path = shard_paths_[next_shard_];
+      BRIQ_ASSIGN_OR_RETURN(ShardReader opened, ShardReader::Open(path));
+      if (opened.header().shard_index != static_cast<int>(next_shard_)) {
+        return util::Status::ParseError(
+            "shard header index " +
+            std::to_string(opened.header().shard_index) +
+            " does not match file position " + std::to_string(next_shard_) +
+            ": " + path);
+      }
+      if (opened.header().first_document_index != next_document_index_) {
+        return util::Status::ParseError(
+            "shard declares first_document_index " +
+            std::to_string(opened.header().first_document_index) +
+            " but the corpus has " + std::to_string(next_document_index_) +
+            " documents before it: " + path);
+      }
+      current_.emplace(std::move(opened));
+      ++next_shard_;
+    }
+    BRIQ_ASSIGN_OR_RETURN(std::optional<Document> doc, current_->Next());
+    if (doc.has_value()) {
+      ++next_document_index_;
+      return doc;
+    }
+    current_.reset();  // clean end-of-shard; advance to the next file
+  }
+}
+
+// --- Whole-corpus conveniences ----------------------------------------------
+
+util::Result<std::vector<std::string>> WriteCorpusShards(
+    const Corpus& corpus, const std::string& directory,
+    const std::string& stem, size_t shard_size) {
+  ShardWriter writer(directory, stem, shard_size);
+  for (const Document& doc : corpus.documents) {
+    BRIQ_RETURN_IF_ERROR(writer.Add(doc));
+  }
+  BRIQ_RETURN_IF_ERROR(writer.Finish());
+  return writer.shard_paths();
+}
+
+util::Result<Corpus> LoadShardedCorpus(const std::string& directory,
+                                       const std::string& stem) {
+  BRIQ_ASSIGN_OR_RETURN(ShardedCorpusReader reader,
+                        ShardedCorpusReader::Open(directory, stem));
+  Corpus corpus;
+  while (true) {
+    BRIQ_ASSIGN_OR_RETURN(std::optional<Document> doc, reader.Next());
+    if (!doc.has_value()) break;
+    corpus.documents.push_back(std::move(*doc));
+  }
+  return corpus;
+}
+
+}  // namespace briq::corpus

@@ -1,0 +1,155 @@
+#ifndef BRIQ_CORPUS_SHARD_IO_H_
+#define BRIQ_CORPUS_SHARD_IO_H_
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/document.h"
+#include "util/result.h"
+
+namespace briq::corpus {
+
+/// Sharded on-disk corpus format ("briq-shard-v1") for out-of-core
+/// pipelines. A corpus is split into numbered JSONL files
+///
+///     <stem>-00000.jsonl, <stem>-00001.jsonl, ...
+///
+/// whose first line is a compact JSON header
+///
+///     {"format": "briq-shard-v1", "shard_index": k,
+///      "first_document_index": o, "num_documents": n, "checksum": "<hex>"}
+///
+/// followed by exactly `n` lines, one compact JSON document each (the same
+/// document schema as serialization.h). The checksum is FNV-1a 64 over the
+/// document lines, so truncation, concatenation mistakes, and byte-level
+/// corruption are all detected at read time; `first_document_index` makes
+/// every shard self-describing about its position in the corpus, which the
+/// streaming aligner uses to key results by global document index.
+///
+/// Readers stream line by line: peak memory is one document (plus stdio
+/// buffers), never the shard, never the corpus.
+
+/// Incremental FNV-1a 64-bit hash; pass the previous return value as
+/// `state` to chain calls. Exposed for tests.
+uint64_t Fnv1a64(std::string_view data,
+                 uint64_t state = 14695981039346656037ull);
+
+/// Parsed shard header.
+struct ShardHeader {
+  int shard_index = 0;
+  size_t first_document_index = 0;
+  size_t num_documents = 0;
+  uint64_t checksum = 0;
+};
+
+/// Splits a corpus into shards of at most `shard_size` documents while it
+/// is appended to, writing each shard as soon as it fills. Usage:
+///
+///     ShardWriter writer(dir, "corpus", /*shard_size=*/128);
+///     for (const Document& d : stream) BRIQ_RETURN_IF_ERROR(writer.Add(d));
+///     BRIQ_RETURN_IF_ERROR(writer.Finish());
+class ShardWriter {
+ public:
+  /// `shard_size` < 1 is clamped to 1. The directory must exist.
+  ShardWriter(std::string directory, std::string stem, size_t shard_size);
+
+  /// Buffers one document, flushing a full shard to disk transparently.
+  util::Status Add(const Document& doc);
+
+  /// Flushes the final partial shard. Idempotent; Add must not be called
+  /// afterwards.
+  util::Status Finish();
+
+  size_t num_documents() const { return num_documents_; }
+  const std::vector<std::string>& shard_paths() const { return paths_; }
+
+ private:
+  util::Status FlushShard();
+
+  std::string directory_;
+  std::string stem_;
+  size_t shard_size_;
+  std::vector<std::string> pending_lines_;  // current shard, compact JSON
+  std::vector<std::string> paths_;
+  size_t num_documents_ = 0;
+  bool finished_ = false;
+};
+
+/// Path of shard `index` under `directory`/`stem` (the writer's naming
+/// scheme, exposed so tools and tests can address individual shards).
+std::string ShardPath(const std::string& directory, const std::string& stem,
+                      int index);
+
+/// Lists the shard files of a sharded corpus in index order and verifies
+/// the numbering is contiguous from 0. A missing directory, no matching
+/// shard, or a gap in the numbering is an error.
+util::Result<std::vector<std::string>> ListShards(
+    const std::string& directory, const std::string& stem);
+
+/// Streams the documents of a single shard file, verifying the header on
+/// open and count + checksum at end-of-shard.
+class ShardReader {
+ public:
+  static util::Result<ShardReader> Open(const std::string& path);
+
+  /// Next document, or std::nullopt at (verified) end-of-shard. Truncated
+  /// input, trailing garbage, and checksum mismatches surface here as
+  /// descriptive errors.
+  util::Result<std::optional<Document>> Next();
+
+  const ShardHeader& header() const { return header_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  ShardReader() = default;
+
+  std::string path_;
+  std::ifstream in_;
+  ShardHeader header_;
+  size_t docs_read_ = 0;
+  uint64_t running_checksum_ = 0;
+  bool done_ = false;
+};
+
+/// Streams a whole sharded corpus in document order, opening one shard at
+/// a time and verifying that shard metadata (indices, document offsets)
+/// is mutually consistent.
+class ShardedCorpusReader {
+ public:
+  static util::Result<ShardedCorpusReader> Open(const std::string& directory,
+                                                const std::string& stem);
+
+  /// Next document, or std::nullopt after the last shard is exhausted.
+  util::Result<std::optional<Document>> Next();
+
+  /// Global index of the next document Next() would return.
+  size_t next_document_index() const { return next_document_index_; }
+  size_t num_shards() const { return shard_paths_.size(); }
+
+ private:
+  ShardedCorpusReader() = default;
+
+  std::vector<std::string> shard_paths_;
+  size_t next_shard_ = 0;
+  std::optional<ShardReader> current_;
+  size_t next_document_index_ = 0;
+};
+
+/// Writes `corpus` as shards of at most `shard_size` documents; returns
+/// the shard paths.
+util::Result<std::vector<std::string>> WriteCorpusShards(
+    const Corpus& corpus, const std::string& directory,
+    const std::string& stem, size_t shard_size);
+
+/// Reads a sharded corpus fully into memory (convenience for tools and
+/// tests; the streaming paths never need the whole corpus at once).
+util::Result<Corpus> LoadShardedCorpus(const std::string& directory,
+                                       const std::string& stem);
+
+}  // namespace briq::corpus
+
+#endif  // BRIQ_CORPUS_SHARD_IO_H_

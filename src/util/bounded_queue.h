@@ -1,0 +1,96 @@
+#ifndef BRIQ_UTIL_BOUNDED_QUEUE_H_
+#define BRIQ_UTIL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace briq::util {
+
+/// A blocking FIFO queue with a fixed capacity, the back-pressure primitive
+/// of the streaming ingestion path: a producer that outruns its consumers
+/// blocks in Push() once `capacity` items are buffered, so pipeline memory
+/// stays bounded no matter how large the input stream is.
+///
+/// Shutdown follows the usual channel protocol: Close() wakes everyone,
+/// Push() on a closed queue returns false, and Pop() drains the remaining
+/// items before reporting end-of-stream with std::nullopt. All members are
+/// safe to call from any number of producer and consumer threads.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Queues of capacity < 1 are clamped to 1 (a zero-capacity rendezvous
+  /// channel is not supported).
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room (or the queue is closed). Returns true if
+  /// the value was enqueued, false if the queue was closed first — the
+  /// value is dropped in that case.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained;
+  /// std::nullopt means no item will ever arrive again.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Irreversibly marks the end of the stream and wakes every blocked
+  /// producer and consumer. Already-buffered items remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Snapshot of the current buffer depth (racy by nature; for tests and
+  /// diagnostics only).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace briq::util
+
+#endif  // BRIQ_UTIL_BOUNDED_QUEUE_H_

@@ -1,0 +1,143 @@
+// Tests of util::BoundedQueue, the back-pressure primitive of the
+// streaming ingestion path: FIFO delivery, capacity enforcement, close
+// semantics, and a multi-producer/multi-consumer stress run that the
+// BRIQ_SANITIZE=thread build checks for races alongside thread_pool_test.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/bounded_queue.h"
+
+namespace briq::util {
+namespace {
+
+TEST(BoundedQueueTest, DeliversInFifoOrder) {
+  BoundedQueue<int> queue(10);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.Push(i));
+  for (int i = 0; i < 5; ++i) {
+    std::optional<int> v = queue.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, CapacityIsClampedToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+}
+
+TEST(BoundedQueueTest, PopAfterCloseDrainsThenEnds) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.Push(1));
+  EXPECT_TRUE(queue.Push(2));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.Pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+  EXPECT_EQ(queue.Pop(), std::nullopt);  // stable after end-of-stream
+}
+
+TEST(BoundedQueueTest, PushAfterCloseIsRejected) {
+  BoundedQueue<int> queue(2);
+  queue.Close();
+  EXPECT_FALSE(queue.Push(7));
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilRoomIsMade) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // blocks until the consumer pops
+    second_pushed.store(true);
+  });
+  // The producer must be parked: capacity 1 and the slot is taken.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(queue.Pop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueueTest, CloseReleasesBlockedProducer) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::thread producer([&] { EXPECT_FALSE(queue.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  producer.join();
+  // Only the pre-close item survives.
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CloseReleasesBlockedConsumer) {
+  BoundedQueue<int> queue(1);
+  std::thread consumer([&] { EXPECT_EQ(queue.Pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, SizeNeverExceedsCapacity) {
+  BoundedQueue<int> queue(3);
+  std::thread producer([&] {
+    for (int i = 0; i < 200; ++i) queue.Push(i);
+    queue.Close();
+  });
+  size_t max_seen = 0;
+  while (std::optional<int> v = queue.Pop()) {
+    max_seen = std::max(max_seen, queue.size() + 1);  // +1: the popped item
+  }
+  producer.join();
+  EXPECT_LE(max_seen, queue.capacity() + 1);
+}
+
+// Multi-producer / multi-consumer: every pushed value is popped exactly
+// once and nothing is invented. This is the test the TSan build leans on.
+TEST(BoundedQueueTest, StressManyProducersManyConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(8);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+
+  std::atomic<long> sum{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (std::optional<int> v = queue.Pop()) {
+        sum += *v;
+        ++count;
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace briq::util

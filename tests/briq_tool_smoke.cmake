@@ -1,0 +1,87 @@
+# CLI smoke test for briq_tool's corpus-to-shards pipeline, run by ctest
+# (see tests/CMakeLists.txt). Exercises:
+#   generate --compact  -> single-file corpus in compact JSON
+#   stats <file>        -> the compact file parses
+#   shard               -> legacy single-file corpus converted to shards
+#   stats <dir>         -> the sharded corpus reads back with the same count
+# and one failure path (sharding a missing file must exit non-zero).
+#
+# Expects -DBRIQ_TOOL=<path to binary> and -DWORKDIR=<scratch dir>.
+
+if(NOT BRIQ_TOOL OR NOT WORKDIR)
+  message(FATAL_ERROR "briq_tool_smoke: BRIQ_TOOL and WORKDIR must be set")
+endif()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+# Runs briq_tool with the given arguments; fails the test on a non-zero
+# exit. The combined output is left in RUN_OUTPUT for content checks.
+function(run_tool)
+  execute_process(
+    COMMAND "${BRIQ_TOOL}" ${ARGN}
+    RESULT_VARIABLE rv
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+      "briq_tool ${ARGN} exited with ${rv}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(RUN_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+# 1. Generate a small corpus in compact JSON.
+run_tool(generate 12 "${WORKDIR}/corpus.json" 99 --compact)
+
+# Compact means one line: header + the single JSON line.
+file(STRINGS "${WORKDIR}/corpus.json" corpus_lines)
+list(LENGTH corpus_lines n_lines)
+if(NOT n_lines EQUAL 1)
+  message(FATAL_ERROR
+    "generate --compact wrote ${n_lines} lines, expected a single line")
+endif()
+
+# 2. The compact file must parse and report all 12 documents.
+run_tool(stats "${WORKDIR}/corpus.json")
+if(NOT RUN_OUTPUT MATCHES "documents" OR NOT RUN_OUTPUT MATCHES "12")
+  message(FATAL_ERROR "stats on compact corpus looks wrong:\n${RUN_OUTPUT}")
+endif()
+
+# 3. Convert the legacy single-file corpus to shards of 5 documents.
+run_tool(shard "${WORKDIR}/corpus.json" "${WORKDIR}/shards" 5)
+foreach(idx 00000 00001 00002)
+  if(NOT EXISTS "${WORKDIR}/shards/corpus-${idx}.jsonl")
+    message(FATAL_ERROR "expected shard corpus-${idx}.jsonl was not written")
+  endif()
+endforeach()
+if(EXISTS "${WORKDIR}/shards/corpus-00003.jsonl")
+  message(FATAL_ERROR "too many shards for 12 documents at shard_size 5")
+endif()
+
+# 4. The sharded corpus must read back with the same document count.
+run_tool(stats "${WORKDIR}/shards")
+if(NOT RUN_OUTPUT MATCHES "documents" OR NOT RUN_OUTPUT MATCHES "12")
+  message(FATAL_ERROR "stats on sharded corpus looks wrong:\n${RUN_OUTPUT}")
+endif()
+
+# 5. Failure path: sharding a missing corpus must fail loudly, not crash.
+execute_process(
+  COMMAND "${BRIQ_TOOL}" shard "${WORKDIR}/no-such-corpus.json"
+          "${WORKDIR}/shards2"
+  RESULT_VARIABLE rv
+  OUTPUT_QUIET ERROR_QUIET)
+if(rv EQUAL 0)
+  message(FATAL_ERROR "shard of a missing corpus unexpectedly succeeded")
+endif()
+
+# 6. Failure path: malformed numeric arguments must print usage and exit
+#    non-zero, not terminate on an uncaught std::stoul exception.
+execute_process(
+  COMMAND "${BRIQ_TOOL}" shard "${WORKDIR}/corpus.json" "${WORKDIR}/shards3"
+          not-a-number
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(rv EQUAL 0 OR NOT out MATCHES "usage:")
+  message(FATAL_ERROR
+          "non-numeric shard_size should fail with usage (exit ${rv}):\n${out}")
+endif()

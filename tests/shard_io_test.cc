@@ -1,0 +1,267 @@
+// Round-trip and fault-injection tests of the briq-shard-v1 format
+// (corpus/shard_io.h): a generated corpus written to shards and read back
+// must deep-equal the original, and every corrupted-input case — truncated
+// shard, flipped content bytes, missing shard file, empty shard — must
+// surface as a descriptive util::Status instead of a crash.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "corpus/serialization.h"
+#include "corpus/shard_io.h"
+
+namespace briq::corpus {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test case.
+class ShardIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("shard_io_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Dir() const { return dir_.string(); }
+
+  fs::path dir_;
+};
+
+Corpus SmallCorpus(size_t num_documents = 23, uint64_t seed = 99) {
+  CorpusOptions options;
+  options.num_documents = num_documents;
+  options.seed = seed;
+  return GenerateCorpus(options);
+}
+
+std::string CorpusFingerprint(const Corpus& corpus) {
+  return CorpusToJson(corpus).Dump(/*indent=*/-1);
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void WriteLines(const std::string& path,
+                const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  for (const std::string& line : lines) out << line << "\n";
+}
+
+util::Result<std::vector<Document>> ReadWholeShard(const std::string& path) {
+  BRIQ_ASSIGN_OR_RETURN(ShardReader reader, ShardReader::Open(path));
+  std::vector<Document> docs;
+  while (true) {
+    BRIQ_ASSIGN_OR_RETURN(std::optional<Document> doc, reader.Next());
+    if (!doc.has_value()) return docs;
+    docs.push_back(std::move(*doc));
+  }
+}
+
+// --- Round trip -------------------------------------------------------------
+
+TEST_F(ShardIoTest, RoundTripAcrossShardSizes) {
+  const Corpus corpus = SmallCorpus();
+  const std::string fingerprint = CorpusFingerprint(corpus);
+  for (size_t shard_size : {1u, 5u, 7u, 23u, 100u}) {
+    const std::string dir = Dir() + "/s" + std::to_string(shard_size);
+    fs::create_directories(dir);
+    auto paths = WriteCorpusShards(corpus, dir, "corpus", shard_size);
+    ASSERT_TRUE(paths.ok()) << paths.status().ToString();
+    const size_t expected_shards =
+        (corpus.size() + shard_size - 1) / shard_size;
+    EXPECT_EQ(paths->size(), expected_shards) << "shard_size " << shard_size;
+
+    auto loaded = LoadShardedCorpus(dir, "corpus");
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->size(), corpus.size());
+    EXPECT_EQ(CorpusFingerprint(*loaded), fingerprint)
+        << "shard_size " << shard_size;
+  }
+}
+
+TEST_F(ShardIoTest, HeadersDescribeShardPositions) {
+  const Corpus corpus = SmallCorpus(/*num_documents=*/10);
+  auto paths = WriteCorpusShards(corpus, Dir(), "corpus", /*shard_size=*/4);
+  ASSERT_TRUE(paths.ok()) << paths.status().ToString();
+  ASSERT_EQ(paths->size(), 3u);  // 4 + 4 + 2
+
+  size_t offset = 0;
+  for (size_t k = 0; k < paths->size(); ++k) {
+    auto reader = ShardReader::Open((*paths)[k]);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_EQ(reader->header().shard_index, static_cast<int>(k));
+    EXPECT_EQ(reader->header().first_document_index, offset);
+    EXPECT_EQ(reader->header().num_documents, k < 2 ? 4u : 2u);
+    offset += reader->header().num_documents;
+  }
+}
+
+TEST_F(ShardIoTest, WriterRejectsAddAfterFinish) {
+  const Corpus corpus = SmallCorpus(/*num_documents=*/2);
+  ShardWriter writer(Dir(), "corpus", /*shard_size=*/8);
+  ASSERT_TRUE(writer.Add(corpus.documents[0]).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  ASSERT_TRUE(writer.Finish().ok());  // idempotent
+  util::Status status = writer.Add(corpus.documents[1]);
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ShardIoTest, StreamingReaderYieldsGlobalDocumentOrder) {
+  const Corpus corpus = SmallCorpus(/*num_documents=*/9);
+  ASSERT_TRUE(
+      WriteCorpusShards(corpus, Dir(), "corpus", /*shard_size=*/2).ok());
+  auto reader = ShardedCorpusReader::Open(Dir(), "corpus");
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->num_shards(), 5u);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(reader->next_document_index(), i);
+    auto doc = reader->Next();
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    ASSERT_TRUE(doc->has_value());
+    EXPECT_EQ((*doc)->id, corpus.documents[i].id);
+  }
+  auto end = reader->Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->has_value());
+}
+
+// --- Fault injection --------------------------------------------------------
+
+TEST_F(ShardIoTest, TruncatedShardIsReported) {
+  const Corpus corpus = SmallCorpus(/*num_documents=*/5);
+  auto paths = WriteCorpusShards(corpus, Dir(), "corpus", /*shard_size=*/5);
+  ASSERT_TRUE(paths.ok());
+
+  std::vector<std::string> lines = ReadLines((*paths)[0]);
+  ASSERT_EQ(lines.size(), 6u);  // header + 5 documents
+  lines.pop_back();
+  WriteLines((*paths)[0], lines);
+
+  auto docs = ReadWholeShard((*paths)[0]);
+  ASSERT_FALSE(docs.ok());
+  EXPECT_EQ(docs.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(docs.status().message().find("truncated"), std::string::npos)
+      << docs.status().ToString();
+  EXPECT_NE(docs.status().message().find((*paths)[0]), std::string::npos);
+}
+
+TEST_F(ShardIoTest, CorruptedContentFailsTheChecksum) {
+  const Corpus corpus = SmallCorpus(/*num_documents=*/3);
+  auto paths = WriteCorpusShards(corpus, Dir(), "corpus", /*shard_size=*/3);
+  ASSERT_TRUE(paths.ok());
+
+  // Flip one content byte inside a string value; the line stays valid
+  // JSON, so only the checksum can catch it.
+  std::vector<std::string> lines = ReadLines((*paths)[0]);
+  ASSERT_GE(lines.size(), 2u);
+  const size_t pos = lines[1].find("\"domain\":\"");
+  ASSERT_NE(pos, std::string::npos);
+  char& byte = lines[1][pos + 10];
+  byte = byte == 'X' ? 'Y' : 'X';
+  WriteLines((*paths)[0], lines);
+
+  auto docs = ReadWholeShard((*paths)[0]);
+  ASSERT_FALSE(docs.ok());
+  EXPECT_EQ(docs.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(docs.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << docs.status().ToString();
+}
+
+TEST_F(ShardIoTest, TrailingDataIsReported) {
+  const Corpus corpus = SmallCorpus(/*num_documents=*/2);
+  auto paths = WriteCorpusShards(corpus, Dir(), "corpus", /*shard_size=*/2);
+  ASSERT_TRUE(paths.ok());
+
+  std::vector<std::string> lines = ReadLines((*paths)[0]);
+  lines.push_back(lines.back());  // duplicate the last document line
+  WriteLines((*paths)[0], lines);
+
+  auto docs = ReadWholeShard((*paths)[0]);
+  ASSERT_FALSE(docs.ok());
+  EXPECT_NE(docs.status().message().find("trailing data"), std::string::npos)
+      << docs.status().ToString();
+}
+
+TEST_F(ShardIoTest, MissingShardFileIsReported) {
+  auto reader = ShardReader::Open(Dir() + "/does-not-exist-00000.jsonl");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), util::StatusCode::kNotFound);
+
+  // A gap in a sharded corpus (middle shard deleted) is caught up front.
+  const Corpus corpus = SmallCorpus(/*num_documents=*/6);
+  ASSERT_TRUE(
+      WriteCorpusShards(corpus, Dir(), "corpus", /*shard_size=*/2).ok());
+  fs::remove(ShardPath(Dir(), "corpus", 1));
+  auto sharded = ShardedCorpusReader::Open(Dir(), "corpus");
+  ASSERT_FALSE(sharded.ok());
+  EXPECT_EQ(sharded.status().code(), util::StatusCode::kNotFound);
+  EXPECT_NE(sharded.status().message().find("missing shard"),
+            std::string::npos)
+      << sharded.status().ToString();
+}
+
+TEST_F(ShardIoTest, EmptyShardFileIsReported) {
+  const std::string path = ShardPath(Dir(), "corpus", 0);
+  std::ofstream(path).close();  // zero bytes
+  auto reader = ShardReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(reader.status().message().find("empty shard"), std::string::npos)
+      << reader.status().ToString();
+}
+
+TEST_F(ShardIoTest, HeaderOfWrongFormatIsReported) {
+  const std::string path = ShardPath(Dir(), "corpus", 0);
+  WriteLines(path, {"{\"format\":\"something-else\"}"});
+  auto reader = ShardReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().message().find("briq-shard-v1"),
+            std::string::npos);
+
+  WriteLines(path, {"not json at all"});
+  reader = ShardReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), util::StatusCode::kParseError);
+}
+
+TEST_F(ShardIoTest, EmptyDirectoryIsReported) {
+  auto listed = ListShards(Dir(), "corpus");
+  ASSERT_FALSE(listed.ok());
+  EXPECT_EQ(listed.status().code(), util::StatusCode::kNotFound);
+
+  auto missing_dir = ListShards(Dir() + "/nope", "corpus");
+  ASSERT_FALSE(missing_dir.ok());
+  EXPECT_EQ(missing_dir.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(ShardIoTest, ChecksumIsStableAndOrderSensitive) {
+  const uint64_t a = Fnv1a64("briq");
+  EXPECT_EQ(a, Fnv1a64("briq"));
+  EXPECT_NE(a, Fnv1a64("brib"));
+  EXPECT_NE(Fnv1a64("ab"), Fnv1a64("ba"));
+  // Chaining is equivalent to hashing the concatenation.
+  EXPECT_EQ(Fnv1a64("cd", Fnv1a64("ab")), Fnv1a64("abcd"));
+}
+
+}  // namespace
+}  // namespace briq::corpus

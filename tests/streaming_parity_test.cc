@@ -1,0 +1,219 @@
+// Determinism guarantee of the streaming ingestion path: pulling a
+// sharded corpus through core::StreamingAligner must produce bit-identical
+// DocumentAlignments to the in-memory Aligner::AlignBatch path, for every
+// shard size and thread count, and must deliver them in document order.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/streaming_aligner.h"
+#include "corpus/generator.h"
+#include "corpus/shard_io.h"
+
+namespace briq {
+namespace {
+
+namespace fs = std::filesystem;
+
+using core::AlignShardedCorpus;
+using core::BriqConfig;
+using core::BriqSystem;
+using core::DocumentAlignment;
+using core::PreparedDocument;
+using core::StreamingOptions;
+
+void ExpectAlignmentsIdentical(const DocumentAlignment& a,
+                               const DocumentAlignment& b,
+                               const std::string& context) {
+  ASSERT_EQ(a.decisions.size(), b.decisions.size()) << context;
+  for (size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].text_idx, b.decisions[i].text_idx) << context;
+    EXPECT_EQ(a.decisions[i].table_idx, b.decisions[i].table_idx) << context;
+    // Exact double equality: the streaming path must not perturb a bit.
+    EXPECT_EQ(a.decisions[i].score, b.decisions[i].score) << context;
+  }
+}
+
+class StreamingParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::CorpusOptions options;
+    options.num_documents = 60;
+    options.seed = 4711;
+    corpus::Corpus full = corpus::GenerateCorpus(options);
+
+    config_ = new BriqConfig();
+    // Train on the first 40 documents; the remaining 20 are the corpus
+    // that is streamed and batch-aligned below.
+    std::vector<PreparedDocument> train_docs;
+    std::vector<const PreparedDocument*> train;
+    for (size_t i = 0; i < 40; ++i) {
+      train_docs.push_back(
+          core::PrepareDocument(full.documents[i], *config_));
+    }
+    for (const auto& d : train_docs) train.push_back(&d);
+    system_ = new BriqSystem(*config_);
+    ASSERT_TRUE(system_->Train(train).ok());
+
+    stream_corpus_ = new corpus::Corpus();
+    for (size_t i = 40; i < full.documents.size(); ++i) {
+      stream_corpus_->documents.push_back(std::move(full.documents[i]));
+    }
+
+    // Reference alignments via the in-memory path, computed on the same
+    // bytes the streaming path will read: write shards once, load them
+    // back, AlignBatch the loaded documents.
+    dir_ = new std::string(
+        (fs::path(::testing::TempDir()) / "streaming_parity").string());
+    fs::remove_all(*dir_);
+    fs::create_directories(*dir_);
+    ASSERT_TRUE(corpus::WriteCorpusShards(*stream_corpus_, *dir_, "ref",
+                                          /*shard_size=*/6)
+                    .ok());
+    auto loaded = corpus::LoadShardedCorpus(*dir_, "ref");
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ASSERT_EQ(loaded->size(), stream_corpus_->size());
+
+    loaded_prepared_ = new std::vector<PreparedDocument>();
+    for (const corpus::Document& d : loaded->documents) {
+      loaded_prepared_->push_back(core::PrepareDocument(d, *config_));
+    }
+    std::vector<const PreparedDocument*> batch;
+    for (const auto& d : *loaded_prepared_) batch.push_back(&d);
+    expected_ = new std::vector<DocumentAlignment>(
+        system_->AlignBatch(batch, /*num_threads=*/1));
+  }
+
+  static void TearDownTestSuite() {
+    fs::remove_all(*dir_);
+    delete expected_;
+    delete loaded_prepared_;
+    delete dir_;
+    delete stream_corpus_;
+    delete system_;
+    delete config_;
+  }
+
+  static BriqConfig* config_;
+  static BriqSystem* system_;
+  static corpus::Corpus* stream_corpus_;
+  static std::string* dir_;
+  static std::vector<PreparedDocument>* loaded_prepared_;
+  static std::vector<DocumentAlignment>* expected_;
+};
+
+BriqConfig* StreamingParityTest::config_ = nullptr;
+BriqSystem* StreamingParityTest::system_ = nullptr;
+corpus::Corpus* StreamingParityTest::stream_corpus_ = nullptr;
+std::string* StreamingParityTest::dir_ = nullptr;
+std::vector<PreparedDocument>* StreamingParityTest::loaded_prepared_ =
+    nullptr;
+std::vector<DocumentAlignment>* StreamingParityTest::expected_ = nullptr;
+
+TEST_F(StreamingParityTest, SerializationRoundTripPreservesAlignments) {
+  // The shard round trip itself must not move a bit: aligning the
+  // original in-memory documents equals aligning the reloaded ones.
+  std::vector<PreparedDocument> original_prepared;
+  for (const corpus::Document& d : stream_corpus_->documents) {
+    original_prepared.push_back(core::PrepareDocument(d, *config_));
+  }
+  ASSERT_EQ(original_prepared.size(), expected_->size());
+  for (size_t i = 0; i < original_prepared.size(); ++i) {
+    ExpectAlignmentsIdentical(system_->Align(original_prepared[i]),
+                              (*expected_)[i],
+                              "round-trip doc " + std::to_string(i));
+  }
+}
+
+TEST_F(StreamingParityTest, StreamingMatchesInMemoryAcrossShardSizesAndThreads) {
+  const size_t whole = stream_corpus_->size();
+  for (size_t shard_size : {size_t{1}, size_t{7}, whole}) {
+    const std::string dir = *dir_ + "/s" + std::to_string(shard_size);
+    fs::create_directories(dir);
+    ASSERT_TRUE(corpus::WriteCorpusShards(*stream_corpus_, dir, "corpus",
+                                          shard_size)
+                    .ok());
+    for (int threads : {1, 4}) {
+      const std::string context = "shard_size=" + std::to_string(shard_size) +
+                                  " threads=" + std::to_string(threads);
+      StreamingOptions options;
+      options.num_threads = threads;
+      options.queue_capacity = 5;  // smaller than the corpus: forces
+                                   // back-pressure and reordering
+      std::vector<DocumentAlignment> streamed;
+      std::vector<std::string> ids;
+      util::Status status = AlignShardedCorpus(
+          *system_, *config_, dir, "corpus", options,
+          [&](size_t doc_index, const corpus::Document& doc,
+              const DocumentAlignment& alignment) {
+            EXPECT_EQ(doc_index, streamed.size()) << context;
+            streamed.push_back(alignment);
+            ids.push_back(doc.id);
+          });
+      ASSERT_TRUE(status.ok()) << context << ": " << status.ToString();
+      ASSERT_EQ(streamed.size(), expected_->size()) << context;
+      for (size_t i = 0; i < streamed.size(); ++i) {
+        EXPECT_EQ(ids[i], stream_corpus_->documents[i].id) << context;
+        ExpectAlignmentsIdentical(streamed[i], (*expected_)[i],
+                                  context + " doc " + std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST_F(StreamingParityTest, InMemorySourceStreamsIdentically) {
+  // StreamingAligner is format-agnostic: a plain vector source must give
+  // the same results as the sharded reader.
+  core::StreamingAligner streaming(system_, config_,
+                                   {/*num_threads=*/4, /*queue_capacity=*/3});
+  // Feed copies of the reloaded documents (same bytes as expected_).
+  auto loaded = corpus::LoadShardedCorpus(*dir_, "ref");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  size_t cursor = 0;
+  std::vector<DocumentAlignment> streamed;
+  util::Status status = streaming.Run(
+      [&]() -> util::Result<std::optional<corpus::Document>> {
+        if (cursor >= loaded->documents.size()) {
+          return std::optional<corpus::Document>();
+        }
+        return std::optional<corpus::Document>(loaded->documents[cursor++]);
+      },
+      [&](size_t, const corpus::Document&, const DocumentAlignment& a) {
+        streamed.push_back(a);
+      });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_EQ(streamed.size(), expected_->size());
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    ExpectAlignmentsIdentical(streamed[i], (*expected_)[i],
+                              "vector source doc " + std::to_string(i));
+  }
+}
+
+TEST_F(StreamingParityTest, SourceErrorAbortsWithPartialOrderedResults) {
+  size_t cursor = 0;
+  std::vector<size_t> emitted;
+  core::StreamingAligner streaming(system_, config_,
+                                   {/*num_threads=*/4, /*queue_capacity=*/2});
+  util::Status status = streaming.Run(
+      [&]() -> util::Result<std::optional<corpus::Document>> {
+        if (cursor >= 5) {
+          return util::Status::ParseError("injected source failure");
+        }
+        return std::optional<corpus::Document>(
+            stream_corpus_->documents[cursor++]);
+      },
+      [&](size_t doc_index, const corpus::Document&,
+          const DocumentAlignment&) { emitted.push_back(doc_index); });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kParseError);
+  // Everything read before the failure is still delivered, in order.
+  ASSERT_EQ(emitted.size(), 5u);
+  for (size_t i = 0; i < emitted.size(); ++i) EXPECT_EQ(emitted[i], i);
+}
+
+}  // namespace
+}  // namespace briq
