@@ -91,6 +91,13 @@ bool WriteBenchJson(const std::string& path,
     obj.Set("threads", r.threads);
     obj.Set("wall_seconds", r.wall_seconds);
     obj.Set("mode", r.mode.empty() ? "memory" : r.mode);
+    if (!r.stage_seconds.empty()) {
+      util::Json stages = util::Json::Object();
+      for (const auto& [stage, seconds] : r.stage_seconds) {
+        stages.Set(stage, seconds);
+      }
+      obj.Set("stages", std::move(stages));
+    }
     array.Append(std::move(obj));
   }
   std::ofstream out(path);

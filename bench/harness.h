@@ -1,6 +1,7 @@
 #ifndef BRIQ_BENCH_HARNESS_H_
 #define BRIQ_BENCH_HARNESS_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -49,6 +50,11 @@ struct BenchRecord {
   /// "stream" (sharded ingestion through core::StreamingAligner), so the
   /// perf trajectory in BENCH_throughput.json distinguishes the two rates.
   std::string mode = "memory";
+  /// Per-stage wall-clock breakdown in seconds (stage name -> total), from
+  /// obs::AlignStageSecondsDelta over the run's metrics snapshots. Empty
+  /// when the bench did not capture stages (or metrics are compiled out);
+  /// written as a "stages" object in the JSON record when present.
+  std::map<std::string, double> stage_seconds;
 };
 
 /// Parses a `--json <path>` flag from argv; returns the path or "" when

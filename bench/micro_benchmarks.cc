@@ -14,6 +14,8 @@
 #include "corpus/generator.h"
 #include "graph/random_walk.h"
 #include "ml/random_forest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quantity/numeric_literal.h"
 #include "quantity/quantity_parser.h"
 #include "table/virtual_cell.h"
@@ -207,6 +209,60 @@ void BM_AlignBatch(benchmark::State& state) {
                           static_cast<int64_t>(batch.size()));
 }
 BENCHMARK(BM_AlignBatch)->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// --- Observability instrument costs (the DESIGN.md §5d overhead budget;
+// briq_metrics_overhead asserts the end-to-end <2% bound, these isolate
+// the per-operation prices). Under -DBRIQ_NO_METRICS they measure the
+// compiled-out no-ops.
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  obs::Counter* counter =
+      obs::MetricRegistry::Global().GetCounter("briq.bench.counter");
+  for (auto _ : state) {
+    counter->Add();
+  }
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  obs::Histogram* histogram = obs::MetricRegistry::Global().GetHistogram(
+      "briq.bench.histogram_seconds", obs::DefaultLatencyBuckets());
+  double v = 0.0;
+  for (auto _ : state) {
+    histogram->Observe(v);
+    v += 1e-6;
+  }
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+void BM_MetricsScopedTimer(benchmark::State& state) {
+  obs::Histogram* histogram = obs::MetricRegistry::Global().GetHistogram(
+      "briq.bench.timer_seconds", obs::DefaultLatencyBuckets());
+  for (auto _ : state) {
+    obs::ScopedTimer timer(histogram);
+    benchmark::DoNotOptimize(histogram);
+  }
+}
+BENCHMARK(BM_MetricsScopedTimer);
+
+void BM_MetricsScopedSpan(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_MetricsScopedSpan);
+
+// Counter contention: all threads hammer one counter; the per-thread
+// shards keep this scaling flat instead of collapsing on one cache line.
+void BM_MetricsCounterAddContended(benchmark::State& state) {
+  static obs::Counter* counter =
+      obs::MetricRegistry::Global().GetCounter("briq.bench.contended");
+  for (auto _ : state) {
+    counter->Add();
+  }
+}
+BENCHMARK(BM_MetricsCounterAddContended)->Threads(1)->Threads(4)->Threads(8);
 
 }  // namespace
 }  // namespace briq

@@ -36,6 +36,8 @@
 #include "bench/harness.h"
 #include "core/streaming_aligner.h"
 #include "corpus/shard_io.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
 
@@ -79,6 +81,8 @@ void RunStreaming(const ExperimentSetup& setup, const corpus::Corpus& corpus,
     core::StreamingOptions options;
     options.num_threads = threads;
     size_t streamed = 0;
+    const obs::MetricsSnapshot before =
+        obs::MetricRegistry::Global().Snapshot();
     util::Stopwatch watch;
     util::Status status = core::AlignShardedCorpus(
         *setup.system, setup.config, dir.string(), "corpus", options,
@@ -93,8 +97,11 @@ void RunStreaming(const ExperimentSetup& setup, const corpus::Corpus& corpus,
     std::cout << "  " << threads << " thread(s): " << FmtCount(streamed)
               << " docs in " << Fmt2(seconds) << " s  ("
               << FmtCount(static_cast<size_t>(per_min)) << " docs/min)\n";
-    records->push_back({"table8_throughput", "total", per_min, threads,
-                        seconds, "stream"});
+    BenchRecord record{"table8_throughput", "total", per_min, threads,
+                       seconds, "stream"};
+    record.stage_seconds = obs::AlignStageSecondsDelta(
+        before, obs::MetricRegistry::Global().Snapshot());
+    records->push_back(std::move(record));
     if (threads == num_threads) break;  // avoid a duplicate 1-thread row
   }
   fs::remove_all(dir, ec);
@@ -137,15 +144,23 @@ void Run(int num_threads, const std::string& json_path, bool stream,
       batch.push_back(&d);
     }
 
-    // Single-core row (paper-shape comparison).
+    // Single-core row (paper-shape comparison). The metric snapshots
+    // around each timed region feed the per-stage breakdown ("stages")
+    // embedded in the JSON records.
+    const obs::MetricsSnapshot before_1 =
+        obs::MetricRegistry::Global().Snapshot();
     util::Stopwatch watch;
     for (const auto& d : docs) setup.system->Align(d);
     const double seconds_1 = watch.ElapsedSeconds();
+    const obs::MetricsSnapshot after_1 =
+        obs::MetricRegistry::Global().Snapshot();
 
     // N-thread row over the identical batch.
     watch.Reset();
     setup.system->AlignBatch(batch, num_threads);
     const double seconds_n = watch.ElapsedSeconds();
+    const obs::MetricsSnapshot after_n =
+        obs::MetricRegistry::Global().Snapshot();
 
     total_docs += static_cast<double>(docs.size());
     total_seconds_1 += seconds_1;
@@ -157,10 +172,14 @@ void Run(int num_threads, const std::string& json_path, bool stream,
                     FmtCount(static_cast<size_t>(per_min_1)),
                     FmtCount(static_cast<size_t>(per_min_n)),
                     "(" + FmtCount(row.docs_per_min) + ")"});
-    records.push_back({"table8_throughput", row.domain, per_min_1, 1,
-                       seconds_1});
-    records.push_back({"table8_throughput", row.domain, per_min_n,
-                       num_threads, seconds_n});
+    BenchRecord record_1{"table8_throughput", row.domain, per_min_1, 1,
+                         seconds_1};
+    record_1.stage_seconds = obs::AlignStageSecondsDelta(before_1, after_1);
+    records.push_back(std::move(record_1));
+    BenchRecord record_n{"table8_throughput", row.domain, per_min_n,
+                         num_threads, seconds_n};
+    record_n.stage_seconds = obs::AlignStageSecondsDelta(after_1, after_n);
+    records.push_back(std::move(record_n));
 
     // The prepared docs die with this iteration; keep the raw documents
     // so the streaming rows below measure the identical corpus.

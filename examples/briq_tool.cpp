@@ -12,7 +12,11 @@
 //                                                   print one document's
 //                                                   alignments (trained on
 //                                                   the rest of the corpus)
+//   briq_tool align <shard_dir> --stream            align a whole sharded
+//                                                   corpus through the
+//                                                   streaming pipeline
 
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -22,9 +26,11 @@
 #include "core/baselines.h"
 #include "core/evaluation.h"
 #include "core/pipeline.h"
+#include "core/streaming_aligner.h"
 #include "corpus/generator.h"
 #include "corpus/serialization.h"
 #include "corpus/shard_io.h"
+#include "obs/export.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
 
@@ -36,14 +42,33 @@ using namespace briq;
 /// readers below.
 constexpr char kShardStem[] = "corpus";
 
-int Usage() {
-  std::cerr <<
+void PrintUsage(std::ostream& out) {
+  out <<
       "usage:\n"
       "  briq_tool generate <n_docs> <out.json> [seed] [--compact]\n"
       "  briq_tool shard <corpus.json> <out_dir> [shard_size]\n"
       "  briq_tool stats <corpus.json|shard_dir>\n"
-      "  briq_tool eval <corpus.json|shard_dir>\n"
-      "  briq_tool align <corpus.json|shard_dir> <doc_index>\n";
+      "  briq_tool eval <corpus.json|shard_dir> [--metrics-out <path>]\n"
+      "  briq_tool align <corpus.json|shard_dir> <doc_index>"
+      " [--metrics-out <path>]\n"
+      "  briq_tool align <shard_dir> --stream [--threads <n>]"
+      " [--metrics-out <path>]\n"
+      "\n"
+      "flags:\n"
+      "  --metrics-out <path>  write an observability snapshot (metrics and\n"
+      "                        trace spans) as JSON when the command ends\n"
+      "  --stream              align every document of a sharded corpus\n"
+      "                        through the bounded-memory streaming pipeline\n"
+      "  --threads <n>         worker threads for --stream (default:\n"
+      "                        hardware concurrency)\n"
+      "\n"
+      "environment:\n"
+      "  BRIQ_LOG_LEVEL        debug|info|warning|error — minimum log level\n"
+      "                        emitted to stderr (default: info)\n";
+}
+
+int Usage() {
+  PrintUsage(std::cerr);
   return 2;
 }
 
@@ -52,6 +77,28 @@ bool HasFlag(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+std::optional<std::string> FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::string(argv[i + 1]);
+  }
+  return std::nullopt;
+}
+
+/// Writes the observability snapshot when --metrics-out was given; folds
+/// the write status into the command's exit code.
+int MaybeWriteMetrics(int argc, char** argv, int rc) {
+  const std::optional<std::string> path =
+      FlagValue(argc, argv, "--metrics-out");
+  if (!path) return rc;
+  util::Status status = obs::WriteMetricsJson(*path);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return rc == 0 ? 1 : rc;
+  }
+  std::cout << "wrote metrics to " << *path << "\n";
+  return rc;
 }
 
 /// Parses a non-negative integer argument, or returns nullopt (instead of
@@ -225,6 +272,51 @@ int Eval(int argc, char** argv) {
   return 0;
 }
 
+/// `align <shard_dir> --stream`: aligns every document of a sharded
+/// corpus through the StreamingAligner (training on the first 90% of the
+/// corpus first), printing a one-line summary per run. With --metrics-out
+/// this is the command that exercises the full streaming telemetry:
+/// queue depth/wait gauges, shard read latencies, reorder-window peaks.
+int AlignStream(int argc, char** argv) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(argv[2], ec)) {
+    std::cerr << "align --stream requires a shard directory (see `briq_tool "
+                 "shard`)\n";
+    return 1;
+  }
+  auto corpus = Load(argv[2]);
+  if (!corpus.ok()) {
+    std::cerr << corpus.status().ToString() << "\n";
+    return 1;
+  }
+  Trained t = TrainOn(*corpus, /*holdout=*/-1);
+
+  core::StreamingOptions options;
+  if (const std::optional<std::string> threads =
+          FlagValue(argc, argv, "--threads")) {
+    const std::optional<size_t> parsed = ParseSize(threads->c_str());
+    if (!parsed) return Usage();
+    options.num_threads = static_cast<int>(*parsed);
+  }
+
+  size_t docs = 0;
+  size_t decisions = 0;
+  util::Status status = core::AlignShardedCorpus(
+      *t.system, t.config, argv[2], kShardStem, options,
+      [&](size_t, const corpus::Document&,
+          const core::DocumentAlignment& alignment) {
+        ++docs;
+        decisions += alignment.decisions.size();
+      });
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "streamed " << docs << " documents, " << decisions
+            << " alignment decisions\n";
+  return 0;
+}
+
 int AlignOne(int argc, char** argv) {
   if (argc < 4) return Usage();
   auto corpus = Load(argv[2]);
@@ -260,15 +352,49 @@ int AlignOne(int argc, char** argv) {
   return 0;
 }
 
+/// Applies BRIQ_LOG_LEVEL from the environment. Returns false (after
+/// printing the usage) when the variable is set to an unknown value.
+bool ApplyLogLevelFromEnv() {
+  const char* env = std::getenv("BRIQ_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return true;
+  const std::string level = env;
+  if (level == "debug") {
+    util::SetLogThreshold(util::LogLevel::kDebug);
+  } else if (level == "info") {
+    util::SetLogThreshold(util::LogLevel::kInfo);
+  } else if (level == "warning") {
+    util::SetLogThreshold(util::LogLevel::kWarning);
+  } else if (level == "error") {
+    util::SetLogThreshold(util::LogLevel::kError);
+  } else {
+    std::cerr << "briq_tool: unknown BRIQ_LOG_LEVEL '" << level
+              << "' (expected debug|info|warning|error)\n";
+    PrintUsage(std::cerr);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!ApplyLogLevelFromEnv()) return 2;
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    PrintUsage(std::cout);
+    return 0;
+  }
   if (cmd == "generate") return Generate(argc, argv);
   if (cmd == "shard") return Shard(argc, argv);
   if (cmd == "stats") return Stats(argc, argv);
-  if (cmd == "eval") return Eval(argc, argv);
-  if (cmd == "align") return AlignOne(argc, argv);
+  if (cmd == "eval") return MaybeWriteMetrics(argc, argv, Eval(argc, argv));
+  if (cmd == "align") {
+    const bool stream = HasFlag(argc, argv, "--stream");
+    if (stream && argc < 3) return Usage();
+    const int rc =
+        stream ? AlignStream(argc, argv) : AlignOne(argc, argv);
+    return MaybeWriteMetrics(argc, argv, rc);
+  }
   return Usage();
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quantity/quantity_parser.h"
 #include "text/noun_phrase.h"
 #include "util/similarity.h"
@@ -58,6 +60,12 @@ int SentenceIndexOf(const std::vector<text::Span>& sentences, size_t pos) {
 
 PreparedDocument PrepareDocument(const corpus::Document& doc,
                                  const BriqConfig& config) {
+  static obs::Histogram* prepare_seconds =
+      obs::MetricRegistry::Global().GetHistogram(
+          "briq.align.prepare_seconds", obs::DefaultLatencyBuckets());
+  obs::ScopedSpan span("prepare");
+  obs::ScopedTimer timer(prepare_seconds);
+
   PreparedDocument out;
   out.source = &doc;
 

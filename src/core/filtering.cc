@@ -1,9 +1,12 @@
 #include "core/filtering.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/gt_matching.h"
 #include "ml/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace briq::core {
@@ -26,6 +29,27 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
   const size_t num_text = doc.text_mentions.size();
   const size_t num_table = doc.table_mentions.size();
   std::vector<std::vector<Candidate>> result(num_text);
+
+  // Prune-ratio counters and the entropy distribution (DESIGN.md §5d).
+  // Pair counts accumulate in locals and hit the shared counters once per
+  // document, so the per-pair loop below stays free of atomics.
+  static obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  static obs::Counter* pairs_before_counter =
+      registry.GetCounter("briq.filter.pairs_before");
+  static obs::Counter* pairs_kept_counter =
+      registry.GetCounter("briq.filter.pairs_kept");
+  static obs::Histogram* entropy_histogram = registry.GetHistogram(
+      "briq.filter.classifier_entropy", obs::LinearBuckets(0.1, 0.1, 10));
+  static obs::Histogram* classify_seconds = registry.GetHistogram(
+      "briq.align.classify_seconds", obs::DefaultLatencyBuckets());
+  uint64_t pairs_before = 0;
+  uint64_t pairs_kept = 0;
+#ifndef BRIQ_NO_METRICS
+  // Classifier scoring time, summed over the per-mention loops (two clock
+  // reads per mention, not per pair). This is a subset of the filter
+  // stage's wall time, attached as a synthetic trace leaf at the end.
+  double classify_total_seconds = 0.0;
+#endif
 
   // Ground-truth pair lookup for tracing.
   std::vector<std::pair<int, int>> gt_pairs;
@@ -51,6 +75,10 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
 
     std::vector<Candidate> kept;
     kept.reserve(64);
+    pairs_before += num_table;
+#ifndef BRIQ_NO_METRICS
+    const auto classify_start = std::chrono::steady_clock::now();
+#endif
     for (size_t t = 0; t < num_table; ++t) {
       const table::TableMention& tm = doc.table_mentions[t];
       if (trace != nullptr) {
@@ -85,6 +113,12 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
 
       kept.push_back(Candidate{x, t, sigma});
     }
+#ifndef BRIQ_NO_METRICS
+    classify_total_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      classify_start)
+            .count();
+#endif
 
     // --- Stage C: type- and entropy-adaptive top-k ------------------------
     std::sort(kept.begin(), kept.end(), [](const Candidate& a,
@@ -118,6 +152,7 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
     scores.reserve(kept.size());
     for (const Candidate& c : kept) scores.push_back(c.score);
     const double entropy = ml::NormalizedEntropy(scores);
+    entropy_histogram->Observe(entropy);
     int k = entropy < config_->entropy_threshold
                 ? std::min(k_type, config_->top_k_low_entropy)
                 : std::max(k_type, config_->top_k_high_entropy);
@@ -134,8 +169,16 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
         }
       }
     }
+    pairs_kept += kept.size();
     result[x] = std::move(kept);
   }
+
+  pairs_before_counter->Add(pairs_before);
+  pairs_kept_counter->Add(pairs_kept);
+#ifndef BRIQ_NO_METRICS
+  classify_seconds->Observe(classify_total_seconds);
+  obs::AttachLeafSpan("classify", classify_total_seconds);
+#endif
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "core/pipeline.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/random.h"
 
 namespace briq::core {
@@ -33,9 +35,30 @@ DocumentAlignment BriqSystem::Align(const PreparedDocument& doc) const {
 
 DocumentAlignment BriqSystem::AlignWithTrace(const PreparedDocument& doc,
                                              FilterTrace* trace) const {
+  // Instrument pointers are resolved once; the per-document cost is the
+  // span/timer clock reads plus one counter add.
+  static obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  static obs::Counter* documents = registry.GetCounter("briq.align.documents");
+  static obs::Histogram* align_seconds = registry.GetHistogram(
+      "briq.align.align_seconds", obs::DefaultLatencyBuckets());
+  static obs::Histogram* filter_seconds = registry.GetHistogram(
+      "briq.align.filter_seconds", obs::DefaultLatencyBuckets());
+  static obs::Histogram* resolve_seconds = registry.GetHistogram(
+      "briq.align.resolve_seconds", obs::DefaultLatencyBuckets());
+
+  obs::ScopedSpan document_span("align_document");
+  obs::ScopedTimer document_timer(align_seconds);
+  documents->Add();
+
   FeatureComputer features(doc, config_);
-  std::vector<std::vector<Candidate>> candidates =
-      filter_.Filter(doc, features, trace);
+  std::vector<std::vector<Candidate>> candidates;
+  {
+    obs::ScopedSpan span("filter");
+    obs::ScopedTimer timer(filter_seconds);
+    candidates = filter_.Filter(doc, features, trace);
+  }
+  obs::ScopedSpan span("resolve");
+  obs::ScopedTimer timer(resolve_seconds);
   return resolver_.Resolve(doc, candidates);
 }
 

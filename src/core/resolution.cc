@@ -7,6 +7,7 @@
 #include "graph/graph.h"
 #include "graph/random_walk.h"
 #include "ml/metrics.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/similarity.h"
 #include "util/string_util.h"
@@ -143,10 +144,27 @@ DocumentAlignment GlobalResolver::Resolve(
   // ---------------------------------------------------------------------
   // Algorithm 1: RWR per mention, best-first decisions, graph updates.
   // ---------------------------------------------------------------------
+  // Walk/iteration/convergence tallies accumulate locally and reach the
+  // shared counters once per document.
+  static obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  static obs::Counter* walks_counter = registry.GetCounter("briq.rwr.walks");
+  static obs::Counter* iterations_counter =
+      registry.GetCounter("briq.rwr.iterations");
+  static obs::Counter* converged_counter =
+      registry.GetCounter("briq.rwr.converged");
+  static obs::Counter* decisions_counter =
+      registry.GetCounter("briq.rwr.decisions");
+  uint64_t walks = 0;
+  uint64_t iterations_total = 0;
+  uint64_t converged = 0;
+
   for (size_t x : order) {
     int iterations = 0;
     std::vector<double> pi = graph::RandomWalkWithRestart(
         g, text_node[x], config_->rwr, &iterations);
+    ++walks;
+    iterations_total += static_cast<uint64_t>(iterations);
+    if (iterations < config_->rwr.max_iterations) ++converged;
 
     const Candidate* best = nullptr;
     double best_score = 0.0;
@@ -184,6 +202,10 @@ DocumentAlignment GlobalResolver::Resolve(
     }
   }
 
+  walks_counter->Add(walks);
+  iterations_counter->Add(iterations_total);
+  converged_counter->Add(converged);
+  decisions_counter->Add(alignment.decisions.size());
   return alignment;
 }
 

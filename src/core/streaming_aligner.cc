@@ -12,6 +12,8 @@
 
 #include "core/extraction.h"
 #include "corpus/shard_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/bounded_queue.h"
 #include "util/thread_pool.h"
 
@@ -45,6 +47,28 @@ struct EmitState {
   bool failed = false;
 };
 
+/// Streaming telemetry (DESIGN.md §5d). The queue instruments live under
+/// `briq.stream.*` via QueueTelemetry; the reorder buffer reports its
+/// depth and high-water mark here. Gauges describe the run currently in
+/// flight; run one streaming pipeline at a time when reading them.
+obs::Counter* StreamDocumentsCounter() {
+  static obs::Counter* counter =
+      obs::MetricRegistry::Global().GetCounter("briq.stream.documents");
+  return counter;
+}
+
+obs::Gauge* ReorderBufferedGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricRegistry::Global().GetGauge("briq.stream.reorder_buffered");
+  return gauge;
+}
+
+obs::Gauge* ReorderBufferedPeakGauge() {
+  static obs::Gauge* gauge = obs::MetricRegistry::Global().GetGauge(
+      "briq.stream.reorder_buffered_peak");
+  return gauge;
+}
+
 /// Parks one finished document and flushes the contiguous prefix to the
 /// sink. Sink calls happen under the emitter mutex: strictly ordered and
 /// never concurrent, as streaming_aligner.h promises.
@@ -59,12 +83,15 @@ void EmitInOrder(EmitState* state, size_t index, FinishedItem item,
   });
   if (state->failed) return;
   state->ready.emplace(index, std::move(item));
+  ReorderBufferedPeakGauge()->SetMax(static_cast<int64_t>(state->ready.size()));
   while (!state->ready.empty() &&
          state->ready.begin()->first == state->next_emit) {
     auto node = state->ready.extract(state->ready.begin());
     sink(node.key(), node.mapped().doc, node.mapped().alignment);
     ++state->next_emit;
+    StreamDocumentsCounter()->Add();
   }
+  ReorderBufferedGauge()->Set(static_cast<int64_t>(state->ready.size()));
   lock.unlock();
   state->advanced.notify_all();
 }
@@ -93,14 +120,24 @@ util::Status StreamingAligner::Run(const DocumentSource& source,
     while (true) {
       BRIQ_ASSIGN_OR_RETURN(std::optional<corpus::Document> doc, source());
       if (!doc.has_value()) return util::Status::OK();
+      obs::ScopedSpan document_span("document");
       PreparedDocument prepared = PrepareDocument(*doc, *config_);
       sink(index++, *doc, aligner_->Align(prepared));
+      StreamDocumentsCounter()->Add();
     }
   }
 
-  util::BoundedQueue<WorkItem> queue(options_.queue_capacity);
+  // The queue publishes depth and blocked-time telemetry under
+  // `briq.stream.*`; the telemetry bridge is static because the registry
+  // instruments it resolves are process-wide anyway.
+  static obs::QueueTelemetry queue_telemetry("briq.stream");
+  util::BoundedQueue<WorkItem> queue(options_.queue_capacity,
+                                     queue_telemetry.observer());
   EmitState emit;
   emit.window = options_.queue_capacity + static_cast<size_t>(num_threads);
+  obs::MetricRegistry::Global()
+      .GetGauge("briq.stream.reorder_window")
+      ->Set(static_cast<int64_t>(emit.window));
 
   util::ThreadPool pool(num_threads);
   std::atomic<bool> failed{false};
@@ -113,6 +150,7 @@ util::Status StreamingAligner::Run(const DocumentSource& source,
           // After a failure elsewhere, keep popping (so the reader never
           // blocks on a full queue) but skip the work.
           if (failed.load(std::memory_order_relaxed)) continue;
+          obs::ScopedSpan document_span("document");
           PreparedDocument prepared = PrepareDocument(item->doc, *config_);
           // `prepared` points into item->doc; align before moving the doc.
           DocumentAlignment alignment = aligner_->Align(prepared);

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "corpus/serialization.h"
+#include "obs/metrics.h"
 #include "util/json.h"
 
 namespace briq::corpus {
@@ -14,6 +15,34 @@ namespace briq::corpus {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Shard-layer instruments (DESIGN.md §5d): read/parse latency per
+/// document line, plus lifetime totals for opened shards, documents, and
+/// checksum failures.
+obs::Histogram* ShardParseSeconds() {
+  static obs::Histogram* histogram =
+      obs::MetricRegistry::Global().GetHistogram(
+          "briq.shard.parse_seconds", obs::DefaultLatencyBuckets());
+  return histogram;
+}
+
+obs::Counter* ShardsOpenedCounter() {
+  static obs::Counter* counter =
+      obs::MetricRegistry::Global().GetCounter("briq.shard.shards_opened");
+  return counter;
+}
+
+obs::Counter* DocsReadCounter() {
+  static obs::Counter* counter =
+      obs::MetricRegistry::Global().GetCounter("briq.shard.docs_read");
+  return counter;
+}
+
+obs::Counter* ChecksumFailuresCounter() {
+  static obs::Counter* counter = obs::MetricRegistry::Global().GetCounter(
+      "briq.shard.checksum_failures");
+  return counter;
+}
 
 constexpr char kShardFormat[] = "briq-shard-v1";
 
@@ -197,11 +226,16 @@ util::Result<ShardReader> ShardReader::Open(const std::string& path) {
   }
   BRIQ_ASSIGN_OR_RETURN(reader.header_, ParseShardHeader(line, path));
   reader.running_checksum_ = Fnv1a64("");
+  ShardsOpenedCounter()->Add();
+  // Touch the failure counter so snapshots report an explicit zero; a
+  // dashboard must see "0 failures", not a missing series.
+  ChecksumFailuresCounter();
   return reader;
 }
 
 util::Result<std::optional<Document>> ShardReader::Next() {
   if (done_) return std::optional<Document>();
+  obs::ScopedTimer timer(ShardParseSeconds());
   std::string line;
   if (!std::getline(in_, line)) {
     done_ = true;
@@ -212,6 +246,7 @@ util::Result<std::optional<Document>> ShardReader::Next() {
           std::to_string(docs_read_) + ": " + path_);
     }
     if (running_checksum_ != header_.checksum) {
+      ChecksumFailuresCounter()->Add();
       return util::Status::ParseError(
           "shard checksum mismatch: header says " +
           ChecksumHex(header_.checksum) + ", content hashes to " +
@@ -242,6 +277,7 @@ util::Result<std::optional<Document>> ShardReader::Next() {
                             ": " + doc.status().message() + ": " + path_);
   }
   ++docs_read_;
+  DocsReadCounter()->Add();
   return std::optional<Document>(std::move(doc).value());
 }
 

@@ -1,0 +1,148 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/table_printer.h"
+
+namespace briq::obs {
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+util::Json MetricsToJson(const MetricsSnapshot& snapshot) {
+  util::Json counters = util::Json::Object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.Set(name, value);
+  }
+  util::Json gauges = util::Json::Object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.Set(name, static_cast<double>(value));
+  }
+  util::Json histograms = util::Json::Object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    util::Json bounds = util::Json::Array();
+    for (double b : h.bounds) bounds.Append(b);
+    util::Json counts = util::Json::Array();
+    for (uint64_t c : h.counts) counts.Append(c);
+    util::Json obj = util::Json::Object();
+    obj.Set("bounds", std::move(bounds));
+    obj.Set("counts", std::move(counts));
+    obj.Set("sum", h.sum);
+    obj.Set("count", h.count);
+    histograms.Set(name, std::move(obj));
+  }
+  util::Json out = util::Json::Object();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+util::Json SpanToJson(const SpanNode& span) {
+  util::Json obj = util::Json::Object();
+  obj.Set("name", span.name);
+  obj.Set("start_seconds", span.start_seconds);
+  obj.Set("duration_seconds", span.duration_seconds);
+  util::Json children = util::Json::Array();
+  for (const SpanNode& child : span.children) {
+    children.Append(SpanToJson(child));
+  }
+  obj.Set("children", std::move(children));
+  return obj;
+}
+
+util::Json TracesToJson(const std::vector<SpanNode>& roots) {
+  util::Json out = util::Json::Array();
+  for (const SpanNode& root : roots) out.Append(SpanToJson(root));
+  return out;
+}
+
+util::Result<SpanNode> SpanFromJson(const util::Json& json) {
+  if (!json.is_object()) {
+    return util::Status::ParseError("span is not a JSON object");
+  }
+  for (const char* key :
+       {"name", "start_seconds", "duration_seconds", "children"}) {
+    if (!json.Has(key)) {
+      return util::Status::ParseError("span is missing '" + std::string(key) +
+                                      "'");
+    }
+  }
+  SpanNode span;
+  span.name = json.at("name").AsString();
+  span.start_seconds = json.at("start_seconds").AsDouble();
+  span.duration_seconds = json.at("duration_seconds").AsDouble();
+  for (const util::Json& child : json.at("children").items()) {
+    BRIQ_ASSIGN_OR_RETURN(SpanNode node, SpanFromJson(child));
+    span.children.push_back(std::move(node));
+  }
+  return span;
+}
+
+std::string MetricsTable(const MetricsSnapshot& snapshot) {
+  util::TablePrinter printer("metrics snapshot");
+  printer.SetHeader({"instrument", "type", "count", "value / mean", "sum"});
+  for (const auto& [name, value] : snapshot.counters) {
+    printer.AddRow({name, "counter", "", std::to_string(value), ""});
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    printer.AddRow({name, "gauge", "", std::to_string(value), ""});
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    printer.AddRow({name, "histogram", std::to_string(h.count),
+                    FmtDouble(h.Mean()), FmtDouble(h.sum)});
+  }
+  return printer.ToString();
+}
+
+util::Json ObservabilitySnapshotJson() {
+  util::Json out = util::Json::Object();
+  out.Set("metrics", MetricsToJson(MetricRegistry::Global().Snapshot()));
+  out.Set("traces", TracesToJson(TraceRing::Global().Snapshot()));
+  return out;
+}
+
+util::Status WriteMetricsJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::NotFound("cannot open metrics output: " + path);
+  }
+  out << ObservabilitySnapshotJson().Dump(/*indent=*/2) << "\n";
+  if (!out.good()) {
+    return util::Status::Internal("metrics write failed: " + path);
+  }
+  return util::Status::OK();
+}
+
+std::map<std::string, double> AlignStageSecondsDelta(
+    const MetricsSnapshot& before, const MetricsSnapshot& after) {
+  constexpr char kPrefix[] = "briq.align.";
+  constexpr char kSuffix[] = "_seconds";
+  std::map<std::string, double> stages;
+  for (const auto& [name, h] : after.histograms) {
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    if (name.size() <= sizeof(kPrefix) - 1 + sizeof(kSuffix) - 1 ||
+        name.compare(name.size() - (sizeof(kSuffix) - 1), sizeof(kSuffix) - 1,
+                     kSuffix) != 0) {
+      continue;
+    }
+    const std::string stage = name.substr(
+        sizeof(kPrefix) - 1,
+        name.size() - (sizeof(kPrefix) - 1) - (sizeof(kSuffix) - 1));
+    double delta = h.sum;
+    auto it = before.histograms.find(name);
+    if (it != before.histograms.end()) delta -= it->second.sum;
+    if (delta > 0.0) stages[stage] = delta;
+  }
+  return stages;
+}
+
+}  // namespace briq::obs

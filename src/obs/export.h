@@ -1,0 +1,51 @@
+#ifndef BRIQ_OBS_EXPORT_H_
+#define BRIQ_OBS_EXPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace briq::obs {
+
+/// Serialization of metric and trace snapshots: JSON for machines
+/// (`--metrics-out`, BENCH_throughput.json stage breakdowns) and a
+/// util::TablePrinter view for humans.
+
+/// {"counters": {name: value}, "gauges": {name: value},
+///  "histograms": {name: {"bounds": [...], "counts": [...], "sum": s,
+///                        "count": n}}}
+util::Json MetricsToJson(const MetricsSnapshot& snapshot);
+
+/// {"name": n, "start_seconds": s, "duration_seconds": d,
+///  "children": [...]} — `start_seconds` is -1 for aggregated leaves.
+util::Json SpanToJson(const SpanNode& span);
+util::Json TracesToJson(const std::vector<SpanNode>& roots);
+
+/// Inverse of SpanToJson (strict; used by trace round-trip tests).
+util::Result<SpanNode> SpanFromJson(const util::Json& json);
+
+/// Aligned ASCII table of a snapshot: counters and gauges with their
+/// values, histograms with count / mean / sum.
+std::string MetricsTable(const MetricsSnapshot& snapshot);
+
+/// {"metrics": ..., "traces": [...]} from the global registry and ring.
+util::Json ObservabilitySnapshotJson();
+
+/// Writes ObservabilitySnapshotJson() to `path` (pretty-printed).
+util::Status WriteMetricsJson(const std::string& path);
+
+/// Per-stage wall-clock deltas between two snapshots, keyed by stage name
+/// ("prepare", "filter", "classify", "resolve", ...): the sum delta of
+/// every `briq.align.<stage>_seconds` histogram. Stages that did not move
+/// are omitted.
+std::map<std::string, double> AlignStageSecondsDelta(
+    const MetricsSnapshot& before, const MetricsSnapshot& after);
+
+}  // namespace briq::obs
+
+#endif  // BRIQ_OBS_EXPORT_H_

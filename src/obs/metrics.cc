@@ -1,0 +1,194 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace briq::obs {
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LinearBuckets(double start, double width, size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+std::vector<double> DefaultLatencyBuckets() {
+  return ExponentialBuckets(1e-5, 4.0, 10);
+}
+
+#ifndef BRIQ_NO_METRICS
+
+namespace internal {
+
+size_t ThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal
+
+// --- Counter ----------------------------------------------------------------
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- Gauge ------------------------------------------------------------------
+
+void Gauge::SetMax(int64_t v) {
+  int64_t current = value_.load(std::memory_order_relaxed);
+  while (current < v && !value_.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), shards_(kMetricShards) {
+  for (auto& shard : shards_) {
+    shard.buckets = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double value) {
+  // lower_bound: bounds are inclusive upper edges (value <= bound), the
+  // Prometheus `le` convention.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  Shard& shard = shards_[internal::ThreadShard()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < shard.buckets.size(); ++i) {
+      snapshot.counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snapshot.count += shard.count.load(std::memory_order_relaxed);
+    snapshot.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// --- MetricRegistry ---------------------------------------------------------
+
+MetricRegistry& MetricRegistry::Global() {
+  // Leaked: instrument pointers cached in function-local statics at call
+  // sites must stay valid through static destruction.
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+// --- QueueTelemetry ---------------------------------------------------------
+
+QueueTelemetry::QueueTelemetry(const std::string& prefix)
+    : depth_(MetricRegistry::Global().GetGauge(prefix + ".queue_depth")),
+      depth_peak_(
+          MetricRegistry::Global().GetGauge(prefix + ".queue_depth_peak")),
+      producer_blocked_(MetricRegistry::Global().GetHistogram(
+          prefix + ".producer_blocked_seconds", DefaultLatencyBuckets())),
+      consumer_blocked_(MetricRegistry::Global().GetHistogram(
+          prefix + ".consumer_blocked_seconds", DefaultLatencyBuckets())) {}
+
+void QueueTelemetry::OnDepth(size_t depth) {
+  depth_->Set(static_cast<int64_t>(depth));
+  depth_peak_->SetMax(static_cast<int64_t>(depth));
+}
+
+void QueueTelemetry::OnProducerBlocked(double seconds) {
+  producer_blocked_->Observe(seconds);
+}
+
+void QueueTelemetry::OnConsumerBlocked(double seconds) {
+  consumer_blocked_->Observe(seconds);
+}
+
+#endif  // BRIQ_NO_METRICS
+
+}  // namespace briq::obs

@@ -1,0 +1,286 @@
+#ifndef BRIQ_OBS_METRICS_H_
+#define BRIQ_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/bounded_queue.h"
+
+namespace briq::obs {
+
+/// Process-wide metrics for the BriQ pipeline.
+///
+/// Naming contract (DESIGN.md §5d): every instrument is named
+/// `briq.<layer>.<name>` where <layer> is one of `align`, `filter`, `rwr`,
+/// `stream`, or `shard`; latency histograms end in `_seconds`.
+///
+/// Hot paths pay one relaxed atomic add per event: counters and histogram
+/// buckets are sharded across `kMetricShards` cache-line-padded slots
+/// (threads hash to a slot), so concurrent writers never contend on a
+/// cache line; readers aggregate the shards on Snapshot(). Registry
+/// lookups take a mutex — call sites cache the returned pointer in a
+/// function-local static (instruments live for the process lifetime).
+///
+/// Compiling with -DBRIQ_NO_METRICS reduces every instrument to an inline
+/// no-op (and the registry to an empty shell), for measuring the
+/// instrumentation's own cost and for minimal builds.
+
+/// Shard count of the per-thread sharded instruments (power of two).
+inline constexpr size_t kMetricShards = 16;
+
+/// Exponential histogram bucket upper bounds: start, start*factor, ...
+/// (`count` bounds; values above the last bound land in the overflow
+/// bucket).
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       size_t count);
+
+/// Evenly spaced bucket upper bounds: start, start+width, ...
+std::vector<double> LinearBuckets(double start, double width, size_t count);
+
+/// Default buckets for `*_seconds` latency histograms: 10 exponential
+/// bounds from 10 microseconds to ~2.6 seconds (factor 4).
+std::vector<double> DefaultLatencyBuckets();
+
+/// Aggregated view of one histogram at snapshot time. `counts` has
+/// `bounds.size() + 1` entries; the last is the overflow bucket.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  double sum = 0.0;
+  uint64_t count = 0;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// Point-in-time aggregation of every registered instrument.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+#ifndef BRIQ_NO_METRICS
+
+namespace internal {
+/// One cache line per shard so concurrent writers never false-share.
+struct alignas(64) CounterShard {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Index of the calling thread's shard; threads are assigned round-robin
+/// on first use, which spreads a thread pool evenly across the shards.
+size_t ThreadShard();
+}  // namespace internal
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[internal::ThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards (each read relaxed; exact once writers are
+  /// quiescent).
+  uint64_t Value() const;
+
+  /// Zeroes all shards. Only meaningful while no writer is active.
+  void Reset();
+
+ private:
+  internal::CounterShard shards_[kMetricShards];
+};
+
+/// Current-value instrument (queue depths, window sizes). A single atomic:
+/// Set semantics do not shard, and gauges sit off the per-pair hot paths.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if it is below (CAS loop) — used for peaks.
+  void SetMax(int64_t v);
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Observe() costs one relaxed add on the bucket,
+/// one on the count, and one floating add on the shard's sum.
+class Histogram {
+ public:
+  /// `bounds` must be sorted ascending; an implicit overflow bucket
+  /// catches values above the last bound.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  HistogramSnapshot Snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<uint64_t>> buckets;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::vector<Shard> shards_;
+};
+
+/// Owner of every instrument. Instruments are created on first lookup and
+/// never destroyed; pointers remain valid for the process lifetime.
+class MetricRegistry {
+ public:
+  /// The process-wide registry used by all built-in instrumentation.
+  static MetricRegistry& Global();
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Returns the existing histogram when `name` is already registered
+  /// (its original bounds win); otherwise creates one with `bounds`.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every instrument (names stay registered). For benches and
+  /// tests, between runs; not safe against concurrent writers.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII latency recorder: observes the scope's wall time (seconds) into a
+/// histogram on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    histogram_->Observe(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// util::QueueObserver implementation backed by registry instruments, the
+/// bridge that gives a util::BoundedQueue streaming telemetry without a
+/// util -> obs dependency. Registers, under `prefix` (e.g. "briq.stream"):
+///   <prefix>.queue_depth            gauge, current buffered items
+///   <prefix>.queue_depth_peak       gauge, high-water mark
+///   <prefix>.producer_blocked_seconds  histogram, per blocking Push
+///   <prefix>.consumer_blocked_seconds  histogram, per blocking Pop
+/// Gauges describe the single queue currently observed; run one observed
+/// queue at a time per prefix.
+class QueueTelemetry : public util::QueueObserver {
+ public:
+  explicit QueueTelemetry(const std::string& prefix);
+
+  void OnDepth(size_t depth) override;
+  void OnProducerBlocked(double seconds) override;
+  void OnConsumerBlocked(double seconds) override;
+
+  /// Pass this to the queue: the real observer here, nullptr when metrics
+  /// are compiled out (so the queue skips its wait stopwatches entirely).
+  util::QueueObserver* observer() { return this; }
+
+ private:
+  Gauge* depth_;
+  Gauge* depth_peak_;
+  Histogram* producer_blocked_;
+  Histogram* consumer_blocked_;
+};
+
+#else  // BRIQ_NO_METRICS: every instrument is an inline no-op.
+
+class Counter {
+ public:
+  void Add(uint64_t = 1) {}
+  uint64_t Value() const { return 0; }
+  void Reset() {}
+};
+
+class Gauge {
+ public:
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  void SetMax(int64_t) {}
+  int64_t Value() const { return 0; }
+  void Reset() {}
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> = {}) {}
+  void Observe(double) {}
+  HistogramSnapshot Snapshot() const { return {}; }
+  const std::vector<double>& bounds() const {
+    static const std::vector<double> kEmpty;
+    return kEmpty;
+  }
+  void Reset() {}
+};
+
+class MetricRegistry {
+ public:
+  static MetricRegistry& Global() {
+    static MetricRegistry* registry = new MetricRegistry();
+    return *registry;
+  }
+  Counter* GetCounter(const std::string&) {
+    static Counter counter;
+    return &counter;
+  }
+  Gauge* GetGauge(const std::string&) {
+    static Gauge gauge;
+    return &gauge;
+  }
+  Histogram* GetHistogram(const std::string&, std::vector<double>) {
+    static Histogram histogram;
+    return &histogram;
+  }
+  MetricsSnapshot Snapshot() const { return {}; }
+  void Reset() {}
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram*) {}
+};
+
+class QueueTelemetry : public util::QueueObserver {
+ public:
+  explicit QueueTelemetry(const std::string&) {}
+  /// nullptr: the queue never starts a wait stopwatch when compiled out.
+  util::QueueObserver* observer() { return nullptr; }
+};
+
+#endif  // BRIQ_NO_METRICS
+
+}  // namespace briq::obs
+
+#endif  // BRIQ_OBS_METRICS_H_

@@ -1,0 +1,88 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace briq::obs {
+
+TraceRing& TraceRing::Global() {
+  // Leaked for the same reason as MetricRegistry::Global().
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+TraceRing::TraceRing(size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void TraceRing::Record(SpanNode root) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_ == capacity_) ++dropped_;
+  ring_[next_] = std::move(root);
+  next_ = (next_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+std::vector<SpanNode> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanNode> out;
+  out.reserve(size_);
+  // Oldest element sits at `next_` once the ring has wrapped.
+  const size_t first = size_ == capacity_ ? next_ : 0;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(first + i) % capacity_]);
+  }
+  return out;
+}
+
+size_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SpanNode& node : ring_) node = SpanNode{};
+  next_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+#ifndef BRIQ_NO_METRICS
+
+namespace {
+/// Innermost open span of this thread (nullptr outside any span).
+thread_local ScopedSpan* t_current_span = nullptr;
+}  // namespace
+
+ScopedSpan::ScopedSpan(std::string_view name)
+    : parent_(t_current_span), start_(std::chrono::steady_clock::now()) {
+  node_.name = std::string(name);
+  root_start_ = parent_ == nullptr ? start_ : parent_->root_start_;
+  t_current_span = this;
+}
+
+ScopedSpan::~ScopedSpan() {
+  const auto now = std::chrono::steady_clock::now();
+  node_.start_seconds =
+      std::chrono::duration<double>(start_ - root_start_).count();
+  node_.duration_seconds = std::chrono::duration<double>(now - start_).count();
+  t_current_span = parent_;
+  if (parent_ != nullptr) {
+    parent_->node_.children.push_back(std::move(node_));
+  } else {
+    TraceRing::Global().Record(std::move(node_));
+  }
+}
+
+void AttachLeafSpan(std::string_view name, double duration_seconds) {
+  if (t_current_span == nullptr) return;
+  SpanNode leaf;
+  leaf.name = std::string(name);
+  leaf.start_seconds = -1.0;  // aggregated: no single start offset exists
+  leaf.duration_seconds = duration_seconds;
+  t_current_span->node_.children.push_back(std::move(leaf));
+}
+
+#endif  // BRIQ_NO_METRICS
+
+}  // namespace briq::obs

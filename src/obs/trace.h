@@ -1,0 +1,100 @@
+#ifndef BRIQ_OBS_TRACE_H_
+#define BRIQ_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace briq::obs {
+
+/// Lightweight per-document trace spans: ScopedSpan RAII timers build a
+/// tree per root scope (document → prepare / filter / classify / resolve)
+/// on the current thread with zero locking; completed roots are parked in
+/// a bounded in-memory ring (TraceRing) whose snapshot exports to JSON via
+/// obs/export.h. With -DBRIQ_NO_METRICS, spans compile to no-ops and the
+/// ring stays empty.
+
+/// One completed span. `start_seconds` is the offset from the root span's
+/// start; a value < 0 marks a synthetic leaf aggregated across scattered
+/// code (see AttachLeafSpan).
+struct SpanNode {
+  std::string name;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  std::vector<SpanNode> children;
+};
+
+/// Bounded ring of completed root spans: recording the (capacity+1)-th
+/// root evicts the oldest, so tracing every document costs O(capacity)
+/// memory no matter how long the process streams.
+class TraceRing {
+ public:
+  /// The process-wide ring used by ScopedSpan.
+  static TraceRing& Global();
+
+  explicit TraceRing(size_t capacity = 256);
+
+  void Record(SpanNode root);
+
+  /// Oldest-first copy of the retained roots.
+  std::vector<SpanNode> Snapshot() const;
+
+  /// Number of roots evicted (or dropped) since the last Clear().
+  size_t dropped() const;
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SpanNode> ring_;  // circular, `next_` is the write cursor
+  size_t next_ = 0;
+  size_t size_ = 0;
+  size_t dropped_ = 0;
+};
+
+#ifndef BRIQ_NO_METRICS
+
+/// RAII span: times its scope and attaches itself to the span opened
+/// directly above it on the same thread, or — when it is the outermost
+/// span of the thread — records the finished tree into
+/// TraceRing::Global(). Must be stack-scoped (construction and destruction
+/// on one thread, LIFO).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  friend void AttachLeafSpan(std::string_view, double);
+
+  SpanNode node_;
+  ScopedSpan* parent_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point root_start_;
+};
+
+/// Attaches a pre-aggregated leaf (e.g. classifier time summed over many
+/// scattered calls) to the innermost open span of this thread; no-op when
+/// no span is open. The leaf's start offset is -1 (synthetic).
+void AttachLeafSpan(std::string_view name, double duration_seconds);
+
+#else  // BRIQ_NO_METRICS
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view) {}
+};
+
+inline void AttachLeafSpan(std::string_view, double) {}
+
+#endif  // BRIQ_NO_METRICS
+
+}  // namespace briq::obs
+
+#endif  // BRIQ_OBS_TRACE_H_

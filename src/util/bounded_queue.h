@@ -1,6 +1,7 @@
 #ifndef BRIQ_UTIL_BOUNDED_QUEUE_H_
 #define BRIQ_UTIL_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -9,6 +10,21 @@
 #include <utility>
 
 namespace briq::util {
+
+/// Optional instrumentation hooks of a BoundedQueue (implemented by
+/// briq::obs::QueueTelemetry; an interface here so util does not depend on
+/// the observability layer). All callbacks fire under the queue mutex —
+/// implementations must be cheap and must not touch the queue.
+class QueueObserver {
+ public:
+  virtual ~QueueObserver() = default;
+  /// Buffer depth after every push and pop (and 0 at end-of-stream).
+  virtual void OnDepth(size_t /*depth*/) {}
+  /// A Push() actually blocked on a full queue for `seconds`.
+  virtual void OnProducerBlocked(double /*seconds*/) {}
+  /// A Pop() actually blocked on an empty queue for `seconds`.
+  virtual void OnConsumerBlocked(double /*seconds*/) {}
+};
 
 /// A blocking FIFO queue with a fixed capacity, the back-pressure primitive
 /// of the streaming ingestion path: a producer that outruns its consumers
@@ -23,9 +39,12 @@ template <typename T>
 class BoundedQueue {
  public:
   /// Queues of capacity < 1 are clamped to 1 (a zero-capacity rendezvous
-  /// channel is not supported).
-  explicit BoundedQueue(size_t capacity)
-      : capacity_(capacity < 1 ? 1 : capacity) {}
+  /// channel is not supported). `observer` (optional, not owned) receives
+  /// depth and blocked-time telemetry; it must outlive the queue. Passing
+  /// nullptr keeps the queue entirely instrumentation-free — no clocks are
+  /// ever read.
+  explicit BoundedQueue(size_t capacity, QueueObserver* observer = nullptr)
+      : capacity_(capacity < 1 ? 1 : capacity), observer_(observer) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
@@ -35,10 +54,22 @@ class BoundedQueue {
   /// value is dropped in that case.
   bool Push(T value) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    const auto can_push = [this] {
+      return closed_ || items_.size() < capacity_;
+    };
+    if (observer_ != nullptr && !can_push()) {
+      const auto start = std::chrono::steady_clock::now();
+      not_full_.wait(lock, can_push);
+      observer_->OnProducerBlocked(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+    } else {
+      not_full_.wait(lock, can_push);
+    }
     if (closed_) return false;
     items_.push_back(std::move(value));
+    if (observer_ != nullptr) observer_->OnDepth(items_.size());
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -48,10 +79,24 @@ class BoundedQueue {
   /// std::nullopt means no item will ever arrive again.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
+    const auto can_pop = [this] { return closed_ || !items_.empty(); };
+    if (observer_ != nullptr && !can_pop()) {
+      const auto start = std::chrono::steady_clock::now();
+      not_empty_.wait(lock, can_pop);
+      observer_->OnConsumerBlocked(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+    } else {
+      not_empty_.wait(lock, can_pop);
+    }
+    if (items_.empty()) {
+      if (observer_ != nullptr) observer_->OnDepth(0);
+      return std::nullopt;
+    }
     std::optional<T> out(std::move(items_.front()));
     items_.pop_front();
+    if (observer_ != nullptr) observer_->OnDepth(items_.size());
     lock.unlock();
     not_full_.notify_one();
     return out;
@@ -84,6 +129,7 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
+  QueueObserver* const observer_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

@@ -3,7 +3,7 @@
 namespace briq::util {
 
 namespace {
-LogLevel g_threshold = LogLevel::kInfo;
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,12 +22,17 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogThreshold(LogLevel level) { g_threshold = level; }
-LogLevel GetLogThreshold() { return g_threshold; }
+void SetLogThreshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogThreshold() {
+  return g_threshold.load(std::memory_order_relaxed);
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level),
-      enabled_(level >= g_threshold || level == LogLevel::kFatal) {
+      enabled_(level >= g_threshold.load(std::memory_order_relaxed) ||
+               level == LogLevel::kFatal) {
   if (enabled_) {
     // Keep only the basename for readability.
     std::string f = file;

@@ -1,6 +1,8 @@
 #ifndef BRIQ_UTIL_LOGGING_H_
 #define BRIQ_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -11,7 +13,9 @@ namespace briq::util {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
 /// Minimum level that is actually emitted; messages below are dropped.
-/// Defaults to kInfo. Thread-unsafe setter; call at startup.
+/// Defaults to kInfo. The threshold is an atomic: setting it from any
+/// thread (e.g. a signal-driven verbosity toggle) while others log is
+/// safe.
 void SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();
 
@@ -59,6 +63,21 @@ class LogMessageVoidify {
 #define BRIQ_LOG(level)                                             \
   ::briq::util::LogMessage(::briq::util::LogLevel::k##level, __FILE__, \
                            __LINE__)
+
+/// Emits on the 1st, (n+1)th, (2n+1)th, ... execution of this statement.
+/// Each expansion owns a distinct occurrence counter (the static lives in
+/// the lambda), so independent call sites sample independently. The
+/// counter is atomic: safe to hit from many threads, though under
+/// contention two threads may both see a "due" tick and emit twice.
+#define BRIQ_LOG_EVERY_N(level, n)                                           \
+  if ([]() noexcept {                                                        \
+        static ::std::atomic<::std::uint64_t> briq_internal_occurrences{0};  \
+        return briq_internal_occurrences.fetch_add(                          \
+                   1, ::std::memory_order_relaxed) %                         \
+                   static_cast<::std::uint64_t>(n) ==                        \
+               0;                                                            \
+      }())                                                                   \
+  BRIQ_LOG(level)
 
 /// Fatal-on-failure invariant check. Usage:
 ///   BRIQ_CHECK(x > 0) << "x must be positive, got " << x;

@@ -85,3 +85,44 @@ if(rv EQUAL 0 OR NOT out MATCHES "usage:")
   message(FATAL_ERROR
           "non-numeric shard_size should fail with usage (exit ${rv}):\n${out}")
 endif()
+
+# 7. Streaming alignment over the shards with an observability snapshot:
+#    the metrics JSON must exist and carry the per-stage latency
+#    histograms plus streaming queue telemetry (ISSUE 3 acceptance).
+run_tool(align "${WORKDIR}/shards" --stream --threads 2
+         --metrics-out "${WORKDIR}/metrics.json")
+if(NOT RUN_OUTPUT MATCHES "streamed 12 documents")
+  message(FATAL_ERROR "align --stream did not report 12 docs:\n${RUN_OUTPUT}")
+endif()
+if(NOT EXISTS "${WORKDIR}/metrics.json")
+  message(FATAL_ERROR "--metrics-out did not write metrics.json")
+endif()
+file(READ "${WORKDIR}/metrics.json" metrics_json)
+foreach(instrument
+        briq.align.prepare_seconds briq.align.filter_seconds
+        briq.align.classify_seconds briq.align.resolve_seconds
+        briq.filter.pairs_before briq.rwr.iterations
+        briq.stream.queue_depth briq.shard.docs_read)
+  if(NOT metrics_json MATCHES "${instrument}")
+    message(FATAL_ERROR
+      "metrics.json is missing instrument '${instrument}':\n${metrics_json}")
+  endif()
+endforeach()
+
+# 8. --help goes to stdout, documents BRIQ_LOG_LEVEL, and exits zero.
+run_tool(--help)
+if(NOT RUN_OUTPUT MATCHES "BRIQ_LOG_LEVEL")
+  message(FATAL_ERROR "--help does not document BRIQ_LOG_LEVEL:\n${RUN_OUTPUT}")
+endif()
+
+# 9. An unknown BRIQ_LOG_LEVEL must be rejected with the usage message.
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E env BRIQ_LOG_LEVEL=bogus
+          "${BRIQ_TOOL}" stats "${WORKDIR}/corpus.json"
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(rv EQUAL 0 OR NOT out MATCHES "unknown BRIQ_LOG_LEVEL")
+  message(FATAL_ERROR
+          "BRIQ_LOG_LEVEL=bogus should fail with a message (exit ${rv}):\n${out}")
+endif()
+

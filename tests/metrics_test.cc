@@ -1,0 +1,250 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "util/bounded_queue.h"
+
+namespace briq::obs {
+namespace {
+
+#ifndef BRIQ_NO_METRICS
+
+TEST(BucketsTest, ExponentialBuckets) {
+  const std::vector<double> b = ExponentialBuckets(1e-5, 4.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1e-5);
+  EXPECT_DOUBLE_EQ(b[1], 4e-5);
+  EXPECT_DOUBLE_EQ(b[2], 1.6e-4);
+  EXPECT_DOUBLE_EQ(b[3], 6.4e-4);
+}
+
+TEST(BucketsTest, LinearBuckets) {
+  const std::vector<double> b = LinearBuckets(1.0, 2.0, 3);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 3.0);
+  EXPECT_DOUBLE_EQ(b[2], 5.0);
+}
+
+TEST(CounterTest, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ShardedAggregationIsExactAcrossThreads) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddMax) {
+  Gauge g;
+  g.Set(5);
+  EXPECT_EQ(g.Value(), 5);
+  g.Add(-2);
+  EXPECT_EQ(g.Value(), 3);
+  g.SetMax(10);
+  EXPECT_EQ(g.Value(), 10);
+  g.SetMax(7);  // lower than current: no change
+  EXPECT_EQ(g.Value(), 10);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(GaugeTest, SetMaxUnderContention) {
+  Gauge g;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < 5000; ++i) g.SetMax(t * 5000 + i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(g.Value(), 3 * 5000 + 4999);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);  // bucket 0 (<= 1.0)
+  h.Observe(1.0);  // bucket 0 (bounds are inclusive upper edges)
+  h.Observe(1.5);  // bucket 1
+  h.Observe(4.0);  // bucket 2
+  h.Observe(9.0);  // overflow
+  const HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), s.sum / 5.0);
+}
+
+TEST(HistogramTest, ShardedAggregationAcrossThreads) {
+  Histogram h(LinearBuckets(1.0, 1.0, 4));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(2.5);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.counts[2], s.count);  // all land in (2.0, 3.0]
+  EXPECT_DOUBLE_EQ(s.sum, 2.5 * kThreads * kPerThread);
+}
+
+TEST(RegistryTest, LookupIsStableAndTyped) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("briq.test.events");
+  EXPECT_EQ(c, registry.GetCounter("briq.test.events"));
+  Gauge* g = registry.GetGauge("briq.test.depth");
+  EXPECT_EQ(g, registry.GetGauge("briq.test.depth"));
+  Histogram* h = registry.GetHistogram("briq.test.latency_seconds",
+                                       DefaultLatencyBuckets());
+  // Second lookup with different bounds returns the same instrument.
+  EXPECT_EQ(h, registry.GetHistogram("briq.test.latency_seconds", {1.0}));
+  EXPECT_EQ(h->bounds().size(), DefaultLatencyBuckets().size());
+}
+
+TEST(RegistryTest, SnapshotAndReset) {
+  MetricRegistry registry;
+  registry.GetCounter("briq.test.a")->Add(3);
+  registry.GetGauge("briq.test.b")->Set(-7);
+  registry.GetHistogram("briq.test.c_seconds", {1.0})->Observe(0.5);
+  MetricsSnapshot s = registry.Snapshot();
+  EXPECT_EQ(s.counters.at("briq.test.a"), 3u);
+  EXPECT_EQ(s.gauges.at("briq.test.b"), -7);
+  EXPECT_EQ(s.histograms.at("briq.test.c_seconds").count, 1u);
+
+  registry.Reset();
+  s = registry.Snapshot();
+  // Names stay registered, values zero.
+  EXPECT_EQ(s.counters.at("briq.test.a"), 0u);
+  EXPECT_EQ(s.gauges.at("briq.test.b"), 0);
+  EXPECT_EQ(s.histograms.at("briq.test.c_seconds").count, 0u);
+}
+
+TEST(ScopedTimerTest, ObservesElapsedSeconds) {
+  Histogram h(DefaultLatencyBuckets());
+  { ScopedTimer timer(&h); }
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_GE(s.sum, 0.0);
+  EXPECT_LT(s.sum, 1.0);  // an empty scope does not take a second
+}
+
+TEST(QueueTelemetryTest, BridgesQueueEventsToInstruments) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.Reset();
+  QueueTelemetry telemetry("briq.test_queue");
+  ASSERT_NE(telemetry.observer(), nullptr);
+  util::BoundedQueue<int> queue(1, telemetry.observer());
+  queue.Push(1);  // fills the capacity-1 queue
+  std::atomic<bool> producer_entered{false};
+  std::thread consumer([&] {
+    // Hold off popping until the producer is committed to its Push, so the
+    // queue is provably full when Push(2) runs and the blocked path fires.
+    while (!producer_entered.load()) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    while (queue.Pop()) {
+    }
+  });
+  producer_entered.store(true);
+  queue.Push(2);
+  queue.Close();
+  consumer.join();
+
+  MetricsSnapshot s = registry.Snapshot();
+  EXPECT_EQ(s.gauges.at("briq.test_queue.queue_depth"), 0);
+  EXPECT_GE(s.gauges.at("briq.test_queue.queue_depth_peak"), 1);
+  EXPECT_GE(s.histograms.at("briq.test_queue.producer_blocked_seconds").count,
+            1u);
+}
+
+TEST(ExportTest, MetricsToJsonShape) {
+  MetricRegistry registry;
+  registry.GetCounter("briq.test.n")->Add(2);
+  registry.GetHistogram("briq.test.t_seconds", {1.0, 2.0})->Observe(1.5);
+  const util::Json json = MetricsToJson(registry.Snapshot());
+  const std::string dump = json.Dump();
+  EXPECT_NE(dump.find("\"counters\""), std::string::npos);
+  EXPECT_NE(dump.find("\"briq.test.n\""), std::string::npos);
+  EXPECT_NE(dump.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(dump.find("\"bounds\""), std::string::npos);
+}
+
+TEST(ExportTest, MetricsTableListsEveryInstrument) {
+  MetricRegistry registry;
+  registry.GetCounter("briq.test.rows")->Add(5);
+  registry.GetGauge("briq.test.depth")->Set(3);
+  registry.GetHistogram("briq.test.lat_seconds", {1.0})->Observe(0.25);
+  const std::string table = MetricsTable(registry.Snapshot());
+  EXPECT_NE(table.find("briq.test.rows"), std::string::npos);
+  EXPECT_NE(table.find("briq.test.depth"), std::string::npos);
+  EXPECT_NE(table.find("briq.test.lat_seconds"), std::string::npos);
+}
+
+TEST(ExportTest, AlignStageSecondsDelta) {
+  MetricRegistry registry;
+  Histogram* filter =
+      registry.GetHistogram("briq.align.filter_seconds", {1.0});
+  Histogram* other = registry.GetHistogram("briq.stream.x_seconds", {1.0});
+  const MetricsSnapshot before = registry.Snapshot();
+  filter->Observe(0.5);
+  other->Observe(9.0);  // not an align-stage histogram: ignored
+  const MetricsSnapshot after = registry.Snapshot();
+  const std::map<std::string, double> delta =
+      AlignStageSecondsDelta(before, after);
+  ASSERT_EQ(delta.size(), 1u);
+  EXPECT_DOUBLE_EQ(delta.at("filter"), 0.5);
+}
+
+#else  // BRIQ_NO_METRICS
+
+TEST(NoMetricsTest, InstrumentsAreInertAndSnapshotsEmpty) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.GetCounter("briq.test.n")->Add(100);
+  EXPECT_EQ(registry.GetCounter("briq.test.n")->Value(), 0u);
+  registry.GetGauge("briq.test.g")->Set(5);
+  EXPECT_EQ(registry.GetGauge("briq.test.g")->Value(), 0);
+  const MetricsSnapshot s = registry.Snapshot();
+  EXPECT_TRUE(s.counters.empty());
+  EXPECT_TRUE(s.gauges.empty());
+  EXPECT_TRUE(s.histograms.empty());
+}
+
+TEST(NoMetricsTest, QueueTelemetryObserverIsNull) {
+  QueueTelemetry telemetry("briq.test_queue");
+  EXPECT_EQ(telemetry.observer(), nullptr);
+}
+
+#endif  // BRIQ_NO_METRICS
+
+}  // namespace
+}  // namespace briq::obs

@@ -1,0 +1,46 @@
+# Keeps the -DBRIQ_NO_METRICS=ON configuration green, run by ctest (see
+# tests/CMakeLists.txt): configures a sub-build with the instruments
+# compiled out, builds the obs layer plus its tests, and runs them against
+# the stub semantics (inert instruments, empty snapshots, null queue
+# observer). Only util + obs + three test binaries compile, so the check
+# stays fast.
+#
+# Expects -DSOURCE_DIR=<repo root> and -DWORKDIR=<scratch build dir>.
+
+if(NOT SOURCE_DIR OR NOT WORKDIR)
+  message(FATAL_ERROR "no_metrics_build: SOURCE_DIR and WORKDIR must be set")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${WORKDIR}"
+          -DBRIQ_NO_METRICS=ON
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR
+    "configure with -DBRIQ_NO_METRICS=ON failed (${rv}):\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" --build "${WORKDIR}"
+          --target logging_test metrics_test trace_test
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR
+    "build with -DBRIQ_NO_METRICS=ON failed (${rv}):\n${out}\n${err}")
+endif()
+
+foreach(binary logging_test metrics_test trace_test)
+  execute_process(
+    COMMAND "${WORKDIR}/tests/${binary}"
+    RESULT_VARIABLE rv
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+      "${binary} failed under -DBRIQ_NO_METRICS=ON (${rv}):\n${out}\n${err}")
+  endif()
+endforeach()

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "core/streaming_aligner.h"
 #include "corpus/generator.h"
 #include "corpus/shard_io.h"
+#include "obs/metrics.h"
 
 namespace briq {
 namespace {
@@ -192,6 +194,92 @@ TEST_F(StreamingParityTest, InMemorySourceStreamsIdentically) {
                               "vector source doc " + std::to_string(i));
   }
 }
+
+#ifndef BRIQ_NO_METRICS
+// Names of the instruments a path touched between two snapshots, filtered
+// to the pipeline-stage prefixes (stream/shard telemetry differs between
+// the two paths by design).
+std::set<std::string> TouchedAlignInstruments(
+    const obs::MetricsSnapshot& before, const obs::MetricsSnapshot& after) {
+  const auto relevant = [](const std::string& name) {
+    return name.rfind("briq.align.", 0) == 0 ||
+           name.rfind("briq.filter.", 0) == 0 ||
+           name.rfind("briq.rwr.", 0) == 0;
+  };
+  std::set<std::string> touched;
+  for (const auto& [name, value] : after.counters) {
+    if (!relevant(name)) continue;
+    auto it = before.counters.find(name);
+    if (it == before.counters.end() || it->second != value) {
+      touched.insert(name);
+    }
+  }
+  for (const auto& [name, histogram] : after.histograms) {
+    if (!relevant(name)) continue;
+    auto it = before.histograms.find(name);
+    if (it == before.histograms.end() ||
+        it->second.count != histogram.count) {
+      touched.insert(name);
+    }
+  }
+  return touched;
+}
+
+TEST_F(StreamingParityTest, MetricShapeMatchesInMemoryPath) {
+  // Observability parity: the streaming and in-memory paths must light up
+  // the same set of pipeline-stage instruments (same names), so a
+  // dashboard built on one path reads the other unchanged.
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+
+  // Load a fresh copy of the corpus: the fixture's loaded_prepared_ holds
+  // non-owning source pointers into a corpus that died with SetUpTestSuite,
+  // and the in-memory leg below must prepare documents itself anyway so
+  // that both legs exercise the full prepare->filter->resolve sequence.
+  auto loaded = corpus::LoadShardedCorpus(*dir_, "ref");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const obs::MetricsSnapshot s0 = registry.Snapshot();
+  for (const corpus::Document& d : loaded->documents) {
+    system_->Align(core::PrepareDocument(d, *config_));
+  }
+  const obs::MetricsSnapshot s1 = registry.Snapshot();
+  util::Status status = AlignShardedCorpus(
+      *system_, *config_, *dir_, "ref", StreamingOptions{2, 4},
+      [](size_t, const corpus::Document&, const DocumentAlignment&) {});
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  const obs::MetricsSnapshot s2 = registry.Snapshot();
+
+  const std::set<std::string> memory_path = TouchedAlignInstruments(s0, s1);
+  const std::set<std::string> stream_path = TouchedAlignInstruments(s1, s2);
+  EXPECT_FALSE(memory_path.empty());
+  EXPECT_EQ(memory_path, stream_path);
+
+  // Both paths count the same number of documents through every stage.
+  const uint64_t docs_mem = s1.counters.at("briq.align.documents") -
+                            s0.counters.at("briq.align.documents");
+  const uint64_t docs_stream = s2.counters.at("briq.align.documents") -
+                               s1.counters.at("briq.align.documents");
+  EXPECT_EQ(docs_mem, loaded_prepared_->size());
+  EXPECT_EQ(docs_stream, loaded_prepared_->size());
+}
+
+TEST_F(StreamingParityTest, QueueGaugesReturnToZeroAfterRun) {
+  util::Status status = AlignShardedCorpus(
+      *system_, *config_, *dir_, "ref", StreamingOptions{4, 3},
+      [](size_t, const corpus::Document&, const DocumentAlignment&) {});
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  const obs::MetricsSnapshot s = obs::MetricRegistry::Global().Snapshot();
+  // Depth gauges drain to zero once the run completes; the peaks retain
+  // the run's high-water marks as the persistent evidence of activity.
+  EXPECT_EQ(s.gauges.at("briq.stream.queue_depth"), 0);
+  EXPECT_EQ(s.gauges.at("briq.stream.reorder_buffered"), 0);
+  EXPECT_GE(s.gauges.at("briq.stream.queue_depth_peak"), 1);
+  EXPECT_GE(s.counters.at("briq.stream.documents"),
+            loaded_prepared_->size());
+  EXPECT_GE(s.histograms.at("briq.shard.parse_seconds").count,
+            loaded_prepared_->size());
+}
+#endif  // BRIQ_NO_METRICS
 
 TEST_F(StreamingParityTest, SourceErrorAbortsWithPartialOrderedResults) {
   size_t cursor = 0;

@@ -1,0 +1,147 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "util/json.h"
+
+namespace briq::obs {
+namespace {
+
+#ifndef BRIQ_NO_METRICS
+
+TEST(ScopedSpanTest, NestingBuildsATree) {
+  TraceRing& ring = TraceRing::Global();
+  ring.Clear();
+  {
+    ScopedSpan doc("document");
+    { ScopedSpan prepare("prepare"); }
+    {
+      ScopedSpan filter("filter");
+      AttachLeafSpan("classify", 0.25);
+    }
+    { ScopedSpan resolve("resolve"); }
+  }
+  const std::vector<SpanNode> roots = ring.Snapshot();
+  ASSERT_EQ(roots.size(), 1u);
+  const SpanNode& doc = roots[0];
+  EXPECT_EQ(doc.name, "document");
+  ASSERT_EQ(doc.children.size(), 3u);
+  EXPECT_EQ(doc.children[0].name, "prepare");
+  EXPECT_EQ(doc.children[1].name, "filter");
+  EXPECT_EQ(doc.children[2].name, "resolve");
+  // Children start no earlier than the root and fit inside it.
+  for (const SpanNode& child : doc.children) {
+    EXPECT_GE(child.start_seconds, 0.0);
+    EXPECT_LE(child.start_seconds + child.duration_seconds,
+              doc.duration_seconds + 1e-6);
+  }
+  // The aggregated classify leaf hangs off filter with the -1 sentinel.
+  ASSERT_EQ(doc.children[1].children.size(), 1u);
+  EXPECT_EQ(doc.children[1].children[0].name, "classify");
+  EXPECT_LT(doc.children[1].children[0].start_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(doc.children[1].children[0].duration_seconds, 0.25);
+}
+
+TEST(ScopedSpanTest, AttachLeafWithoutOpenSpanIsANoOp) {
+  TraceRing& ring = TraceRing::Global();
+  ring.Clear();
+  AttachLeafSpan("orphan", 1.0);
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+TEST(ScopedSpanTest, SeparateThreadsRecordSeparateRoots) {
+  TraceRing& ring = TraceRing::Global();
+  ring.Clear();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      ScopedSpan root("thread-" + std::to_string(t));
+      ScopedSpan inner("work");
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::vector<SpanNode> roots = ring.Snapshot();
+  ASSERT_EQ(roots.size(), 4u);
+  for (const SpanNode& root : roots) {
+    EXPECT_EQ(root.children.size(), 1u);
+  }
+}
+
+TEST(TraceRingTest, EvictsOldestBeyondCapacity) {
+  TraceRing ring(3);
+  for (int i = 0; i < 5; ++i) {
+    SpanNode node;
+    node.name = "root-" + std::to_string(i);
+    ring.Record(std::move(node));
+  }
+  const std::vector<SpanNode> roots = ring.Snapshot();
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_EQ(roots[0].name, "root-2");  // oldest retained, oldest first
+  EXPECT_EQ(roots[1].name, "root-3");
+  EXPECT_EQ(roots[2].name, "root-4");
+  EXPECT_EQ(ring.dropped(), 2u);
+  ring.Clear();
+  EXPECT_TRUE(ring.Snapshot().empty());
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceExportTest, JsonRoundTrip) {
+  SpanNode root;
+  root.name = "document";
+  root.start_seconds = 0.0;
+  root.duration_seconds = 1.5;
+  SpanNode filter;
+  filter.name = "filter";
+  filter.start_seconds = 0.25;
+  filter.duration_seconds = 1.0;
+  SpanNode classify;
+  classify.name = "classify";
+  classify.start_seconds = -1.0;
+  classify.duration_seconds = 0.5;
+  filter.children.push_back(classify);
+  root.children.push_back(filter);
+
+  const util::Json json = SpanToJson(root);
+  auto parsed = util::Json::Parse(json.Dump());
+  ASSERT_TRUE(parsed.ok());
+  auto back = SpanFromJson(*parsed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->name, "document");
+  EXPECT_DOUBLE_EQ(back->duration_seconds, 1.5);
+  ASSERT_EQ(back->children.size(), 1u);
+  EXPECT_EQ(back->children[0].name, "filter");
+  ASSERT_EQ(back->children[0].children.size(), 1u);
+  EXPECT_DOUBLE_EQ(back->children[0].children[0].start_seconds, -1.0);
+  EXPECT_DOUBLE_EQ(back->children[0].children[0].duration_seconds, 0.5);
+}
+
+TEST(TraceExportTest, SpanFromJsonRejectsMalformedInput) {
+  auto no_name = util::Json::Parse(R"({"duration_seconds": 1.0})");
+  ASSERT_TRUE(no_name.ok());
+  EXPECT_FALSE(SpanFromJson(*no_name).ok());
+  auto not_object = util::Json::Parse("[1, 2]");
+  ASSERT_TRUE(not_object.ok());
+  EXPECT_FALSE(SpanFromJson(*not_object).ok());
+}
+
+#else  // BRIQ_NO_METRICS
+
+TEST(NoMetricsTraceTest, SpansCompileToNoOpsAndRingStaysEmpty) {
+  TraceRing& ring = TraceRing::Global();
+  ring.Clear();
+  {
+    ScopedSpan doc("document");
+    AttachLeafSpan("classify", 0.25);
+  }
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+#endif  // BRIQ_NO_METRICS
+
+}  // namespace
+}  // namespace briq::obs
