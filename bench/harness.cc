@@ -91,6 +91,7 @@ bool WriteBenchJson(const std::string& path,
     obj.Set("threads", r.threads);
     obj.Set("wall_seconds", r.wall_seconds);
     obj.Set("mode", r.mode.empty() ? "memory" : r.mode);
+    obj.Set("flushes", r.flushes);
     if (!r.stage_seconds.empty()) {
       util::Json stages = util::Json::Object();
       for (const auto& [stage, seconds] : r.stage_seconds) {

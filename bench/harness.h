@@ -55,6 +55,11 @@ struct BenchRecord {
   /// when the bench did not capture stages (or metrics are compiled out);
   /// written as a "stages" object in the JSON record when present.
   std::map<std::string, double> stage_seconds;
+  /// Metrics-flusher records completed during the measured window (0 when
+  /// the bench ran without a flusher, e.g. no --metrics-interval). Tracked
+  /// per row so BENCH_throughput.json shows whether a rate was measured
+  /// with the telemetry cadence active.
+  size_t flushes = 0;
 };
 
 /// Parses a `--json <path>` flag from argv; returns the path or "" when

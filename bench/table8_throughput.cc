@@ -20,6 +20,12 @@
 //                      records both the in-memory and streaming rates
 //   --shard-size <n>   documents per shard for the streaming rows
 //                      (default 32)
+//   --metrics-interval <sec>
+//                      run a background metrics flusher (snapshot-only, no
+//                      file) at this cadence while measuring, and record
+//                      the number of flushes per row — the throughput
+//                      trajectory then shows whether a rate was taken with
+//                      the continuous-telemetry cadence active
 //
 // The streaming rows measure end-to-end ingestion — JSONL parse + prepare
 // + align from disk shards in bounded memory — while the in-memory rows
@@ -30,6 +36,7 @@
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +44,7 @@
 #include "core/streaming_aligner.h"
 #include "corpus/shard_io.h"
 #include "obs/export.h"
+#include "obs/flusher.h"
 #include "obs/metrics.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
@@ -59,6 +67,7 @@ constexpr PaperRow kPaper[] = {
 // records so BENCH_throughput.json tracks both rates side by side.
 void RunStreaming(const ExperimentSetup& setup, const corpus::Corpus& corpus,
                   int num_threads, size_t shard_size,
+                  obs::MetricsFlusher* flusher,
                   std::vector<BenchRecord>* records) {
   namespace fs = std::filesystem;
   const fs::path dir = fs::temp_directory_path() / "briq_table8_shards";
@@ -81,6 +90,8 @@ void RunStreaming(const ExperimentSetup& setup, const corpus::Corpus& corpus,
     core::StreamingOptions options;
     options.num_threads = threads;
     size_t streamed = 0;
+    const size_t flushes_before =
+        flusher != nullptr ? flusher->flush_count() : 0;
     const obs::MetricsSnapshot before =
         obs::MetricRegistry::Global().Snapshot();
     util::Stopwatch watch;
@@ -101,6 +112,9 @@ void RunStreaming(const ExperimentSetup& setup, const corpus::Corpus& corpus,
                        seconds, "stream"};
     record.stage_seconds = obs::AlignStageSecondsDelta(
         before, obs::MetricRegistry::Global().Snapshot());
+    if (flusher != nullptr) {
+      record.flushes = flusher->flush_count() - flushes_before;
+    }
     records->push_back(std::move(record));
     if (threads == num_threads) break;  // avoid a duplicate 1-thread row
   }
@@ -108,11 +122,29 @@ void RunStreaming(const ExperimentSetup& setup, const corpus::Corpus& corpus,
 }
 
 void Run(int num_threads, const std::string& json_path, bool stream,
-         size_t shard_size) {
+         size_t shard_size, double metrics_interval) {
   // Train once on a mixed corpus.
   ExperimentSetup setup = BuildSetup(/*num_documents=*/250, /*seed=*/2024);
   std::vector<BenchRecord> records;
   corpus::Corpus streaming_corpus;  // per-domain docs, reused by --stream
+
+  // One flusher spans the whole bench (snapshot cadence only, no file);
+  // each row records how many flushes landed inside its measured window.
+  std::unique_ptr<obs::MetricsFlusher> flusher;
+  if (metrics_interval > 0.0) {
+    obs::FlusherOptions flusher_options;
+    flusher_options.interval_seconds = metrics_interval;
+    flusher_options.docs_counter = "briq.align.documents";
+    flusher = std::make_unique<obs::MetricsFlusher>(flusher_options);
+    const util::Status status = flusher->Start();
+    if (!status.ok()) {
+      std::cerr << "metrics flusher disabled: " << status.ToString() << "\n";
+      flusher.reset();
+    }
+  }
+  const auto flushes_now = [&flusher]() -> size_t {
+    return flusher != nullptr ? flusher->flush_count() : 0;
+  };
 
   util::TablePrinter printer(
       "Table VIII: BriQ throughput by domain (single core vs " +
@@ -127,6 +159,7 @@ void Run(int num_threads, const std::string& json_path, bool stream,
   double total_docs = 0;
   double total_seconds_1 = 0;
   double total_seconds_n = 0;
+  const size_t flushes_at_loop_start = flushes_now();
   for (const PaperRow& row : kPaper) {
     corpus::CorpusOptions options;
     options.num_documents = kDocsPerDomain;
@@ -147,6 +180,7 @@ void Run(int num_threads, const std::string& json_path, bool stream,
     // Single-core row (paper-shape comparison). The metric snapshots
     // around each timed region feed the per-stage breakdown ("stages")
     // embedded in the JSON records.
+    const size_t flushes_before_1 = flushes_now();
     const obs::MetricsSnapshot before_1 =
         obs::MetricRegistry::Global().Snapshot();
     util::Stopwatch watch;
@@ -154,6 +188,7 @@ void Run(int num_threads, const std::string& json_path, bool stream,
     const double seconds_1 = watch.ElapsedSeconds();
     const obs::MetricsSnapshot after_1 =
         obs::MetricRegistry::Global().Snapshot();
+    const size_t flushes_before_n = flushes_now();
 
     // N-thread row over the identical batch.
     watch.Reset();
@@ -161,6 +196,7 @@ void Run(int num_threads, const std::string& json_path, bool stream,
     const double seconds_n = watch.ElapsedSeconds();
     const obs::MetricsSnapshot after_n =
         obs::MetricRegistry::Global().Snapshot();
+    const size_t flushes_after_n = flushes_now();
 
     total_docs += static_cast<double>(docs.size());
     total_seconds_1 += seconds_1;
@@ -175,10 +211,12 @@ void Run(int num_threads, const std::string& json_path, bool stream,
     BenchRecord record_1{"table8_throughput", row.domain, per_min_1, 1,
                          seconds_1};
     record_1.stage_seconds = obs::AlignStageSecondsDelta(before_1, after_1);
+    record_1.flushes = flushes_before_n - flushes_before_1;
     records.push_back(std::move(record_1));
     BenchRecord record_n{"table8_throughput", row.domain, per_min_n,
                          num_threads, seconds_n};
     record_n.stage_seconds = obs::AlignStageSecondsDelta(after_1, after_n);
+    record_n.flushes = flushes_after_n - flushes_before_n;
     records.push_back(std::move(record_n));
 
     // The prepared docs die with this iteration; keep the raw documents
@@ -200,13 +238,19 @@ void Run(int num_threads, const std::string& json_path, bool stream,
   std::cout << "aggregate speedup at " << num_threads
             << " threads: " << Fmt2(total_per_min_n / total_per_min_1)
             << "x\n";
-  records.push_back(
-      {"table8_throughput", "total", total_per_min_1, 1, total_seconds_1});
-  records.push_back({"table8_throughput", "total", total_per_min_n,
-                     num_threads, total_seconds_n});
+  BenchRecord total_1{"table8_throughput", "total", total_per_min_1, 1,
+                      total_seconds_1};
+  BenchRecord total_n{"table8_throughput", "total", total_per_min_n,
+                      num_threads, total_seconds_n};
+  // Totals span all domains, so both rows share the loop-wide flush count.
+  total_1.flushes = flushes_now() - flushes_at_loop_start;
+  total_n.flushes = total_1.flushes;
+  records.push_back(std::move(total_1));
+  records.push_back(std::move(total_n));
 
   if (stream) {
-    RunStreaming(setup, streaming_corpus, num_threads, shard_size, &records);
+    RunStreaming(setup, streaming_corpus, num_threads, shard_size,
+                 flusher.get(), &records);
   }
 
   // BriQ vs RWR-only speed (paper: 30x, RWR at 76 docs/min).
@@ -231,6 +275,8 @@ void Run(int num_threads, const std::string& json_path, bool stream,
               << "x  (paper: ~30x; RWR-only at 76 docs/min)\n";
   }
 
+  if (flusher != nullptr) flusher->Stop();
+
   if (!json_path.empty() && WriteBenchJson(json_path, records)) {
     std::cout << "wrote " << records.size() << " records to " << json_path
               << "\n";
@@ -244,21 +290,27 @@ int main(int argc, char** argv) {
   int num_threads = 8;
   size_t shard_size = 32;
   bool stream = false;
+  double metrics_interval = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       num_threads = std::atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--shard-size") == 0 && i + 1 < argc) {
       shard_size = static_cast<size_t>(std::atol(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--metrics-interval") == 0 &&
+               i + 1 < argc) {
+      metrics_interval = std::atof(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--stream") == 0) {
       stream = true;
     }
   }
   if (num_threads < 1) num_threads = 1;
   if (shard_size < 1) shard_size = 1;
+  if (metrics_interval < 0.0) metrics_interval = 0.0;
   const std::string json_path = briq::bench::JsonPathFromArgs(argc, argv);
   // --json implies the streaming rows: the tracked perf trajectory should
   // always contain both modes.
   if (!json_path.empty()) stream = true;
-  briq::bench::Run(num_threads, json_path, stream, shard_size);
+  briq::bench::Run(num_threads, json_path, stream, shard_size,
+                   metrics_interval);
   return 0;
 }

@@ -16,12 +16,17 @@
 //                                                   corpus through the
 //                                                   streaming pipeline
 
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "core/baselines.h"
 #include "core/evaluation.h"
@@ -31,6 +36,9 @@
 #include "corpus/serialization.h"
 #include "corpus/shard_io.h"
 #include "obs/export.h"
+#include "obs/flusher.h"
+#include "obs/prometheus.h"
+#include "obs/trace_export.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
 
@@ -53,6 +61,7 @@ void PrintUsage(std::ostream& out) {
       " [--metrics-out <path>]\n"
       "  briq_tool align <shard_dir> --stream [--threads <n>]"
       " [--metrics-out <path>]\n"
+      "  briq_tool serve [--serve-port <p>] [--serve-linger <sec>]\n"
       "\n"
       "flags:\n"
       "  --metrics-out <path>  write an observability snapshot (metrics and\n"
@@ -61,6 +70,25 @@ void PrintUsage(std::ostream& out) {
       "                        through the bounded-memory streaming pipeline\n"
       "  --threads <n>         worker threads for --stream (default:\n"
       "                        hardware concurrency)\n"
+      "\n"
+      "continuous telemetry (eval / align / serve):\n"
+      "  --metrics-interval <sec>    append a metrics JSONL record every\n"
+      "                              <sec> seconds while the job runs\n"
+      "  --metrics-every-docs <n>    ... and/or every <n> documents\n"
+      "                              (whichever trigger fires first)\n"
+      "  --metrics-flush-out <path>  JSONL sink of the periodic flusher\n"
+      "  --trace-out <path>          write sampled document span trees as\n"
+      "                              Chrome trace-event JSON (Perfetto)\n"
+      "  --trace-sample <frac>       random fraction of documents to trace\n"
+      "                              (default 0.01)\n"
+      "  --trace-slowest <k>         always keep the <k> slowest documents\n"
+      "                              per flush window (default 4)\n"
+      "  --serve-port <p>            expose GET /metrics (Prometheus text)\n"
+      "                              and /healthz on 127.0.0.1:<p> while the\n"
+      "                              job runs; port 0 picks a free one\n"
+      "  --serve-linger <sec>        keep serving up to <sec> seconds after\n"
+      "                              the job ends (GET /quitquitquit ends\n"
+      "                              the linger early)\n"
       "\n"
       "environment:\n"
       "  BRIQ_LOG_LEVEL        debug|info|warning|error — minimum log level\n"
@@ -115,6 +143,147 @@ std::optional<size_t> ParseSize(const char* arg) {
   return value;
 }
 
+/// Parses a finite double argument, or returns nullopt.
+std::optional<double> ParseDouble(const char* arg) {
+  double value = 0.0;
+  size_t pos = 0;
+  try {
+    value = std::stod(arg, &pos);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (arg[pos] != '\0') return std::nullopt;
+  return value;
+}
+
+/// Continuous-telemetry attachments (DESIGN.md §5e): a sampled Perfetto
+/// trace exporter, a periodic metrics flusher, and a live /metrics
+/// endpoint. All optional, all flag-driven, torn down in Finish().
+struct Telemetry {
+  std::unique_ptr<obs::TraceExporter> exporter;
+  std::unique_ptr<obs::MetricsFlusher> flusher;
+  std::unique_ptr<obs::MetricsHttpServer> server;
+  double serve_linger_seconds = 0.0;
+
+  /// Lingers on the serve port (so a scraper can still collect the final
+  /// numbers), then stops the flusher (final JSONL record + trace flush)
+  /// and the server.
+  void Finish() {
+    if (server != nullptr && serve_linger_seconds > 0.0) {
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(serve_linger_seconds));
+      while (std::chrono::steady_clock::now() < deadline &&
+             !server->quit_requested()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+    if (flusher != nullptr) flusher->Stop();
+    if (exporter != nullptr) {
+      exporter->Detach();
+      const util::Status status = exporter->Flush();
+      if (!status.ok()) std::cerr << status.ToString() << "\n";
+    }
+    if (server != nullptr) server->Stop();
+  }
+};
+
+/// Builds the telemetry attachments requested on the command line.
+/// `docs_counter` drives --metrics-every-docs and the docs/sec rate
+/// (streaming and whole-document commands count different instruments).
+/// Returns nonzero on a malformed flag or a failed start.
+int SetupTelemetry(int argc, char** argv, const char* docs_counter,
+                   Telemetry* t) {
+  if (const std::optional<std::string> trace_out =
+          FlagValue(argc, argv, "--trace-out")) {
+    obs::TraceExportOptions options;
+    options.path = *trace_out;
+    if (const std::optional<std::string> v =
+            FlagValue(argc, argv, "--trace-sample")) {
+      const std::optional<double> parsed = ParseDouble(v->c_str());
+      if (!parsed || *parsed < 0.0 || *parsed > 1.0) return Usage();
+      options.sample_fraction = *parsed;
+    }
+    if (const std::optional<std::string> v =
+            FlagValue(argc, argv, "--trace-slowest")) {
+      const std::optional<size_t> parsed = ParseSize(v->c_str());
+      if (!parsed) return Usage();
+      options.slowest_per_window = *parsed;
+    }
+    t->exporter = std::make_unique<obs::TraceExporter>(options);
+    t->exporter->Attach();
+  }
+
+  const std::optional<std::string> flush_out =
+      FlagValue(argc, argv, "--metrics-flush-out");
+  const std::optional<std::string> interval =
+      FlagValue(argc, argv, "--metrics-interval");
+  const std::optional<std::string> every_docs =
+      FlagValue(argc, argv, "--metrics-every-docs");
+  if (flush_out || interval || every_docs) {
+    obs::FlusherOptions options;
+    options.docs_counter = docs_counter;
+    if (flush_out) options.path = *flush_out;
+    if (interval) {
+      const std::optional<double> parsed = ParseDouble(interval->c_str());
+      if (!parsed) return Usage();
+      options.interval_seconds = *parsed;
+    }
+    if (every_docs) {
+      const std::optional<size_t> parsed = ParseSize(every_docs->c_str());
+      if (!parsed) return Usage();
+      options.every_docs = *parsed;
+      // Docs-only cadence unless an interval was also requested.
+      if (!interval) options.interval_seconds = 0.0;
+    }
+    t->flusher = std::make_unique<obs::MetricsFlusher>(
+        options, /*registry=*/nullptr, t->exporter.get());
+    const util::Status status = t->flusher->Start();
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  if (const std::optional<std::string> port_flag =
+          FlagValue(argc, argv, "--serve-port")) {
+    const std::optional<size_t> port = ParseSize(port_flag->c_str());
+    if (!port || *port > 65535) return Usage();
+    t->server = std::make_unique<obs::MetricsHttpServer>();
+    const util::Status status =
+        t->server->Start(static_cast<uint16_t>(*port));
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+    // The resolved port on its own parseable line: scripts pass port 0 and
+    // read the real one back from here.
+    std::cout << "serving metrics on http://127.0.0.1:" << t->server->port()
+              << "/metrics\n"
+              << std::flush;
+    if (const std::optional<std::string> linger =
+            FlagValue(argc, argv, "--serve-linger")) {
+      const std::optional<double> parsed = ParseDouble(linger->c_str());
+      if (!parsed) return Usage();
+      t->serve_linger_seconds = *parsed;
+    }
+  }
+  return 0;
+}
+
+/// Runs a command body between telemetry setup and teardown, then honors
+/// --metrics-out.
+int RunWithTelemetry(int argc, char** argv, const char* docs_counter,
+                     const std::function<int()>& body) {
+  Telemetry telemetry;
+  const int setup_rc = SetupTelemetry(argc, argv, docs_counter, &telemetry);
+  if (setup_rc != 0) return setup_rc;
+  const int rc = body();
+  telemetry.Finish();
+  return MaybeWriteMetrics(argc, argv, rc);
+}
+
 int Generate(int argc, char** argv) {
   if (argc < 4) return Usage();
   corpus::CorpusOptions options;
@@ -148,7 +317,7 @@ int Shard(int argc, char** argv) {
     return 1;
   }
   size_t shard_size = 128;
-  if (argc > 4) {
+  if (argc > 4 && std::strncmp(argv[4], "--", 2) != 0) {
     const std::optional<size_t> parsed = ParseSize(argv[4]);
     if (!parsed || *parsed == 0) return Usage();
     shard_size = *parsed;
@@ -352,6 +521,46 @@ int AlignOne(int argc, char** argv) {
   return 0;
 }
 
+/// `briq_tool serve`: expose the global registry on /metrics without
+/// running a job — for poking at the exposition format, and for scrape
+/// smoke tests. Serves until GET /quitquitquit or --serve-linger expires
+/// (default: one hour, so a forgotten instance doesn't live forever).
+int Serve(int argc, char** argv) {
+  uint16_t port = 0;
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--serve-port")) {
+    const std::optional<size_t> parsed = ParseSize(v->c_str());
+    if (!parsed || *parsed > 65535) return Usage();
+    port = static_cast<uint16_t>(*parsed);
+  }
+  double linger_seconds = 3600.0;
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--serve-linger")) {
+    const std::optional<double> parsed = ParseDouble(v->c_str());
+    if (!parsed) return Usage();
+    linger_seconds = *parsed;
+  }
+  obs::MetricsHttpServer server;
+  const util::Status status = server.Start(port);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "serving metrics on http://127.0.0.1:" << server.port()
+            << "/metrics\n"
+            << std::flush;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(linger_seconds));
+  while (std::chrono::steady_clock::now() < deadline &&
+         !server.quit_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  return 0;
+}
+
 /// Applies BRIQ_LOG_LEVEL from the environment. Returns false (after
 /// printing the usage) when the variable is set to an unknown value.
 bool ApplyLogLevelFromEnv() {
@@ -385,16 +594,24 @@ int main(int argc, char** argv) {
     PrintUsage(std::cout);
     return 0;
   }
-  if (cmd == "generate") return Generate(argc, argv);
-  if (cmd == "shard") return Shard(argc, argv);
+  if (cmd == "generate") return MaybeWriteMetrics(argc, argv, Generate(argc, argv));
+  if (cmd == "shard") return MaybeWriteMetrics(argc, argv, Shard(argc, argv));
   if (cmd == "stats") return Stats(argc, argv);
-  if (cmd == "eval") return MaybeWriteMetrics(argc, argv, Eval(argc, argv));
+  if (cmd == "serve") return Serve(argc, argv);
+  if (cmd == "eval") {
+    return RunWithTelemetry(argc, argv, "briq.align.documents",
+                            [&] { return Eval(argc, argv); });
+  }
   if (cmd == "align") {
     const bool stream = HasFlag(argc, argv, "--stream");
     if (stream && argc < 3) return Usage();
-    const int rc =
-        stream ? AlignStream(argc, argv) : AlignOne(argc, argv);
-    return MaybeWriteMetrics(argc, argv, rc);
+    // Streaming runs count documents at the reorder emitter; one-document
+    // alignment counts at the pipeline.
+    return RunWithTelemetry(
+        argc, argv,
+        stream ? "briq.stream.documents" : "briq.align.documents", [&] {
+          return stream ? AlignStream(argc, argv) : AlignOne(argc, argv);
+        });
   }
   return Usage();
 }

@@ -70,6 +70,13 @@ struct BriqConfig {
   double entropy_threshold = 0.55;
   int top_k_low_entropy = 2;
   int top_k_high_entropy = 10;
+  /// When in (0, 1], the entropy threshold adapts to the corpus instead of
+  /// staying fixed: each document uses this percentile of the global
+  /// `briq.filter.classifier_entropy` histogram as its threshold, so "low
+  /// entropy" means "low relative to what the corpus actually produces".
+  /// Falls back to `entropy_threshold` until the histogram holds enough
+  /// observations (or when metrics are compiled out). 0 disables (default).
+  double entropy_percentile_topk = 0.0;
 
   // --- Stage 4: global resolution ----------------------------------------------
   /// Text-text edge weight Wxx = lambda_proximity * fprox + lambda_strsim *

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "core/gt_matching.h"
 #include "ml/metrics.h"
@@ -65,6 +66,28 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
                      std::make_pair(static_cast<int>(x),
                                     static_cast<int>(t))) != gt_pairs.end();
   };
+
+  // Per-document entropy threshold (Stage C). Fixed by default; in
+  // percentile mode it tracks the corpus: the threshold is the configured
+  // percentile of everything the classifier-entropy histogram has seen so
+  // far. Snapshotting once per document (not per mention) keeps the hot
+  // loop atomic-free and the threshold stable within a document.
+  double entropy_threshold = config_->entropy_threshold;
+  if (config_->entropy_percentile_topk > 0.0) {
+    const obs::HistogramSnapshot entropy_seen = entropy_histogram->Snapshot();
+    // Below this the percentile is noise from the first few documents; the
+    // fixed threshold is the better prior.
+    constexpr uint64_t kMinEntropySamples = 32;
+    if (entropy_seen.count >= kMinEntropySamples) {
+      const double edge =
+          entropy_seen.Percentile(config_->entropy_percentile_topk);
+      if (std::isfinite(edge)) {
+        entropy_threshold = edge;
+      } else if (!entropy_seen.bounds.empty()) {
+        entropy_threshold = entropy_seen.bounds.back();  // overflow bucket
+      }
+    }
+  }
 
   // Score buffer for the entropy computation, reused across mentions.
   std::vector<double> scores;
@@ -153,7 +176,7 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
     for (const Candidate& c : kept) scores.push_back(c.score);
     const double entropy = ml::NormalizedEntropy(scores);
     entropy_histogram->Observe(entropy);
-    int k = entropy < config_->entropy_threshold
+    int k = entropy < entropy_threshold
                 ? std::min(k_type, config_->top_k_low_entropy)
                 : std::max(k_type, config_->top_k_high_entropy);
     if (static_cast<int>(kept.size()) > k) kept.resize(k);

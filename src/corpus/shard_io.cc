@@ -44,6 +44,18 @@ obs::Counter* ChecksumFailuresCounter() {
   return counter;
 }
 
+obs::Counter* ShardsWrittenCounter() {
+  static obs::Counter* counter =
+      obs::MetricRegistry::Global().GetCounter("briq.shard.shards_written");
+  return counter;
+}
+
+obs::Counter* DocsWrittenCounter() {
+  static obs::Counter* counter =
+      obs::MetricRegistry::Global().GetCounter("briq.shard.docs_written");
+  return counter;
+}
+
 constexpr char kShardFormat[] = "briq-shard-v1";
 
 std::string ChecksumHex(uint64_t checksum) {
@@ -154,6 +166,8 @@ util::Status ShardWriter::FlushShard() {
   if (!out.good()) {
     return util::Status::Internal("shard write failed: " + path);
   }
+  ShardsWrittenCounter()->Add();
+  DocsWrittenCounter()->Add(pending_lines_.size());
   paths_.push_back(path);
   pending_lines_.clear();
   return util::Status::OK();

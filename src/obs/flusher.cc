@@ -1,0 +1,234 @@
+#include "obs/flusher.h"
+
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/trace_export.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace briq::obs {
+
+#ifndef BRIQ_NO_METRICS
+
+namespace {
+
+const char* TriggerName(int trigger) {
+  switch (trigger) {
+    case 0: return "start";
+    case 1: return "interval";
+    case 2: return "docs";
+    default: return "final";
+  }
+}
+
+/// Counter deltas between two snapshots (only moved counters appear).
+util::Json CounterDeltas(const MetricsSnapshot& before,
+                         const MetricsSnapshot& after) {
+  util::Json out = util::Json::Object();
+  for (const auto& [name, value] : after.counters) {
+    uint64_t prior = 0;
+    auto it = before.counters.find(name);
+    if (it != before.counters.end()) prior = it->second;
+    if (value != prior) out.Set(name, value - prior);
+  }
+  return out;
+}
+
+uint64_t CounterValue(const MetricsSnapshot& snapshot,
+                      const std::string& name) {
+  auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+MetricsFlusher::MetricsFlusher(FlusherOptions options,
+                               MetricRegistry* registry,
+                               TraceExporter* exporter)
+    : options_(std::move(options)),
+      registry_(registry != nullptr ? registry : &MetricRegistry::Global()),
+      exporter_(exporter) {}
+
+MetricsFlusher::~MetricsFlusher() { Stop(); }
+
+util::Status MetricsFlusher::Start() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_) {
+    return util::Status::FailedPrecondition("flusher already started");
+  }
+  if (!options_.path.empty()) {
+    out_.open(options_.path, std::ios::out | std::ios::trunc);
+    if (!out_) {
+      return util::Status::NotFound("cannot open metrics flush output: " +
+                                    options_.path);
+    }
+  }
+  docs_counter_ = registry_->GetCounter(options_.docs_counter);
+  start_time_ = std::chrono::steady_clock::now();
+  status_ = util::Status::OK();
+  stop_requested_ = false;
+  // Baseline record: even a run shorter than one interval yields a
+  // (baseline, final) pair of snapshots.
+  last_snapshot_ = MetricsSnapshot();
+  last_docs_ = 0;
+  FlushLocked(Trigger::kStart);
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return util::Status::OK();
+}
+
+void MetricsFlusher::Stop() {
+  std::thread to_join;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!running_) return;  // idempotent
+    running_ = false;
+    stop_requested_ = true;
+    to_join = std::move(thread_);
+  }
+  wake_.notify_all();
+  if (to_join.joinable()) to_join.join();
+  std::unique_lock<std::mutex> lock(mu_);
+  FlushLocked(Trigger::kFinal);
+  if (out_.is_open()) out_.close();
+}
+
+void MetricsFlusher::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    wake_.wait_for(lock,
+                   std::chrono::duration<double>(options_.poll_seconds));
+    if (stop_requested_) break;
+    const auto now = std::chrono::steady_clock::now();
+    const double since_flush =
+        std::chrono::duration<double>(now - last_flush_time_).count();
+    // Polling the relaxed document counter is the whole doc-count
+    // protocol: the emitter pays nothing beyond the Add it already does.
+    const uint64_t docs = docs_counter_->Value();
+    if (options_.interval_seconds > 0.0 &&
+        since_flush >= options_.interval_seconds) {
+      FlushLocked(Trigger::kInterval);
+    } else if (options_.every_docs > 0 &&
+               docs - last_docs_ >= options_.every_docs) {
+      FlushLocked(Trigger::kDocs);
+    }
+  }
+}
+
+void MetricsFlusher::FlushLocked(Trigger trigger) {
+  const auto now = std::chrono::steady_clock::now();
+  const double ts =
+      std::chrono::duration<double>(now - start_time_).count();
+  const double dt =
+      std::chrono::duration<double>(now - last_flush_time_).count();
+  const MetricsSnapshot snapshot = registry_->Snapshot();
+  const uint64_t docs = CounterValue(snapshot, options_.docs_counter);
+
+  util::Json record = util::Json::Object();
+  record.Set("flush_index", flush_count_.load(std::memory_order_relaxed));
+  record.Set("trigger", TriggerName(static_cast<int>(trigger)));
+  record.Set("ts_monotonic_sec", ts);
+  record.Set("docs_total", docs);
+  record.Set("cumulative", MetricsToJson(snapshot));
+
+  util::Json delta = util::Json::Object();
+  delta.Set("counters", CounterDeltas(last_snapshot_, snapshot));
+  util::Json histogram_counts = util::Json::Object();
+  util::Json histogram_sums = util::Json::Object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    uint64_t prior_count = 0;
+    double prior_sum = 0.0;
+    auto it = last_snapshot_.histograms.find(name);
+    if (it != last_snapshot_.histograms.end()) {
+      prior_count = it->second.count;
+      prior_sum = it->second.sum;
+    }
+    if (h.count != prior_count) {
+      histogram_counts.Set(name, h.count - prior_count);
+      histogram_sums.Set(name, h.sum - prior_sum);
+    }
+  }
+  delta.Set("histogram_counts", std::move(histogram_counts));
+  delta.Set("histogram_sums", std::move(histogram_sums));
+  record.Set("delta", std::move(delta));
+
+  util::Json rates = util::Json::Object();
+  if (trigger != Trigger::kStart && dt > 0.0) {
+    rates.Set("docs_per_sec",
+              static_cast<double>(docs - CounterValue(last_snapshot_,
+                                                      options_.docs_counter)) /
+                  dt);
+    const uint64_t pruned =
+        (CounterValue(snapshot, "briq.filter.pairs_before") -
+         CounterValue(last_snapshot_, "briq.filter.pairs_before")) -
+        (CounterValue(snapshot, "briq.filter.pairs_kept") -
+         CounterValue(last_snapshot_, "briq.filter.pairs_kept"));
+    rates.Set("pairs_pruned_per_sec", static_cast<double>(pruned) / dt);
+  }
+  record.Set("rates", std::move(rates));
+
+  util::Json stages = util::Json::Object();
+  for (const auto& [stage, seconds] :
+       AlignStageSecondsDelta(last_snapshot_, snapshot)) {
+    stages.Set(stage, seconds);
+  }
+  record.Set("stages_delta_seconds", std::move(stages));
+
+  if (out_.is_open()) {
+    // One complete JSON document per line, flushed before the next window
+    // starts: a killed run keeps every line already written.
+    out_ << record.Dump(/*indent=*/-1) << "\n" << std::flush;
+    if (!out_.good() && status_.ok()) {
+      status_ = util::Status::Internal("metrics flush write failed: " +
+                                       options_.path);
+      BRIQ_LOG(Warning) << status_.ToString();
+    }
+  }
+  if (exporter_ != nullptr) {
+    util::Status trace_status = exporter_->Flush();
+    if (!trace_status.ok() && status_.ok()) {
+      status_ = trace_status;
+      BRIQ_LOG(Warning) << "trace flush failed: " << trace_status.ToString();
+    }
+  }
+
+  last_snapshot_ = snapshot;
+  last_docs_ = docs;
+  last_flush_time_ = now;
+  flush_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t MetricsFlusher::flush_count() const {
+  return flush_count_.load(std::memory_order_relaxed);
+}
+
+util::Status MetricsFlusher::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+#else  // BRIQ_NO_METRICS: inert stub — no thread, no file, no snapshots.
+
+MetricsFlusher::MetricsFlusher(FlusherOptions, MetricRegistry*,
+                               TraceExporter*) {}
+
+MetricsFlusher::~MetricsFlusher() = default;
+
+util::Status MetricsFlusher::Start() {
+  if (started_) {
+    return util::Status::FailedPrecondition("flusher already started");
+  }
+  started_ = true;
+  return util::Status::OK();
+}
+
+void MetricsFlusher::Stop() { started_ = false; }
+
+size_t MetricsFlusher::flush_count() const { return 0; }
+
+util::Status MetricsFlusher::status() const { return util::Status::OK(); }
+
+#endif  // BRIQ_NO_METRICS
+
+}  // namespace briq::obs

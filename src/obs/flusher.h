@@ -1,0 +1,133 @@
+#ifndef BRIQ_OBS_FLUSHER_H_
+#define BRIQ_OBS_FLUSHER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+#ifndef BRIQ_NO_METRICS
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#endif
+
+namespace briq::obs {
+
+class TraceExporter;
+
+/// Tuning knobs of a MetricsFlusher.
+struct FlusherOptions {
+  /// Wall-clock trigger: flush every `interval_seconds` (<= 0 disables).
+  double interval_seconds = 1.0;
+  /// Document-count trigger: flush every `every_docs` documents counted by
+  /// `docs_counter` (0 disables). Whichever trigger fires first wins; both
+  /// reset on every flush.
+  uint64_t every_docs = 0;
+  /// JSONL sink; one complete JSON line per flush. Empty keeps the flusher
+  /// snapshotting (flush_count still advances, a wired TraceExporter still
+  /// flushes) without writing a file — used by benches that only need the
+  /// cadence.
+  std::string path;
+  /// Counter polled for the document trigger and the docs/sec rate. The
+  /// producer side stays lock-free: the pipeline's existing relaxed
+  /// counters are read from the flusher thread, never the other way round.
+  std::string docs_counter = "briq.stream.documents";
+  /// Trigger-check cadence of the background thread. Also bounds how stale
+  /// a document-count trigger can be.
+  double poll_seconds = 0.05;
+};
+
+/// Background thread that snapshots a MetricRegistry on a time or
+/// document-count cadence and appends one line-buffered JSONL record per
+/// flush (DESIGN.md §5e):
+///
+///   {"flush_index": i, "trigger": "start|interval|docs|final",
+///    "ts_monotonic_sec": seconds since Start(),
+///    "docs_total": N, "cumulative": <MetricsToJson snapshot>,
+///    "delta": {"counters": {...}, "histogram_counts": {...},
+///              "histogram_sums": {...}},
+///    "rates": {"docs_per_sec": d, "pairs_pruned_per_sec": p},
+///    "stages_delta_seconds": {<AlignStageSecondsDelta>}}
+///
+/// Crash-safe: every line is complete JSON flushed to the OS before the
+/// next is started, a run killed mid-stream loses at most the current
+/// window. Start() writes a baseline record and Stop() a final one, so
+/// even a sub-interval run yields two monotonically non-decreasing
+/// snapshots. Stop() is idempotent and joins the thread; the whole class
+/// is TSan-clean.
+///
+/// With -DBRIQ_NO_METRICS the flusher is an inert stub: Start() succeeds
+/// without a thread or file, flush_count() stays 0.
+class MetricsFlusher {
+ public:
+  /// Neither `registry` (nullptr: the global registry) nor `exporter`
+  /// (optional; its Flush() is called once per metrics flush, giving the
+  /// trace file the same cadence) is owned; both must outlive Stop().
+  explicit MetricsFlusher(FlusherOptions options,
+                          MetricRegistry* registry = nullptr,
+                          TraceExporter* exporter = nullptr);
+  ~MetricsFlusher();
+
+  MetricsFlusher(const MetricsFlusher&) = delete;
+  MetricsFlusher& operator=(const MetricsFlusher&) = delete;
+
+  /// Opens the sink, writes the baseline record, and starts the thread.
+  /// Fails if the sink cannot be opened or Start() was already called.
+  util::Status Start();
+
+  /// Final flush + thread join. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Flushes completed so far (including baseline and final records).
+  size_t flush_count() const;
+
+  /// First write error, if any (sticky; flushing continues best-effort).
+  util::Status status() const;
+
+#ifndef BRIQ_NO_METRICS
+
+ private:
+  enum class Trigger { kStart, kInterval, kDocs, kFinal };
+
+  void Loop();
+  /// Snapshots, diffs against the previous flush, writes one line. Caller
+  /// holds mu_.
+  void FlushLocked(Trigger trigger);
+
+  const FlusherOptions options_;
+  MetricRegistry* const registry_;
+  TraceExporter* const exporter_;
+  Counter* docs_counter_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::atomic<size_t> flush_count_{0};
+  util::Status status_;
+
+  std::ofstream out_;
+  std::chrono::steady_clock::time_point start_time_;
+  std::chrono::steady_clock::time_point last_flush_time_;
+  uint64_t last_docs_ = 0;
+  MetricsSnapshot last_snapshot_;
+#else
+
+ public:
+  // Inert stub: see class comment.
+
+ private:
+  bool started_ = false;
+#endif  // BRIQ_NO_METRICS
+};
+
+}  // namespace briq::obs
+
+#endif  // BRIQ_OBS_FLUSHER_H_

@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace briq::obs {
 
@@ -27,6 +29,25 @@ std::vector<double> LinearBuckets(double start, double width, size_t count) {
 
 std::vector<double> DefaultLatencyBuckets() {
   return ExponentialBuckets(1e-5, 4.0, 10);
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Smallest rank that satisfies the quantile; ceil keeps Percentile(1.0)
+  // at the last populated edge rather than past it.
+  const uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      return i < bounds.size() ? bounds[i]
+                               : std::numeric_limits<double>::infinity();
+    }
+  }
+  return bounds.empty() ? 0.0 : std::numeric_limits<double>::infinity();
 }
 
 #ifndef BRIQ_NO_METRICS

@@ -56,6 +56,13 @@ struct HistogramSnapshot {
   uint64_t count = 0;
 
   double Mean() const { return count == 0 ? 0.0 : sum / count; }
+
+  /// Value at quantile `q` in (0, 1], approximated by the inclusive bucket
+  /// upper edges: the smallest `le` edge whose cumulative count reaches
+  /// q * count. Quantiles that land in the overflow bucket return +infinity
+  /// (consistent with the Prometheus `+Inf` edge); an empty histogram
+  /// returns 0.
+  double Percentile(double q) const;
 };
 
 /// Point-in-time aggregation of every registered instrument.

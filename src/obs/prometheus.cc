@@ -1,0 +1,199 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+#include "util/logging.h"
+
+#ifndef BRIQ_NO_METRICS
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace briq::obs {
+
+namespace {
+
+/// Shortest round-trippable rendering of a double for le labels and sums.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PrometheusName(name) + "_total";
+    out += "# HELP " + prom + " BriQ counter " + name + "\n";
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += "# HELP " + prom + " BriQ gauge " + name + "\n";
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = PrometheusName(name);
+    out += "# HELP " + prom + " BriQ histogram " + name + "\n";
+    out += "# TYPE " + prom + " histogram\n";
+    // The registry's buckets are inclusive upper edges, exactly the
+    // Prometheus `le` convention, so the cumulative sum maps directly.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.counts.size() ? h.counts[i] : 0;
+      out += prom + "_bucket{le=\"" + FormatDouble(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += prom + "_sum " + FormatDouble(h.sum) + "\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+#ifndef BRIQ_NO_METRICS
+
+MetricsHttpServer::MetricsHttpServer() = default;
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+util::Status MetricsHttpServer::Start(uint16_t port) {
+  if (running_.load()) {
+    return util::Status::FailedPrecondition("metrics server already started");
+  }
+  util::Result<util::TcpListener> listener = util::TcpListener::Listen(port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::make_unique<util::TcpListener>(std::move(listener).value());
+  stop_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { Loop(); });
+  return util::Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  listener_.reset();
+}
+
+uint16_t MetricsHttpServer::port() const {
+  return listener_ != nullptr ? listener_->port() : 0;
+}
+
+size_t MetricsHttpServer::requests_served() const { return requests_.load(); }
+
+bool MetricsHttpServer::quit_requested() const { return quit_.load(); }
+
+void MetricsHttpServer::Loop() {
+  while (!stop_.load()) {
+    const int fd = listener_->AcceptOnce(/*timeout_seconds=*/0.1);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  // Read until the end of the request head (we ignore any body). A pollable
+  // 2s budget keeps a stalled client from wedging the single thread.
+  std::string request;
+  char buf[2048];
+  for (int spins = 0; spins < 20; ++spins) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, 100) <= 0) continue;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos ||
+        request.find("\n\n") != std::string::npos) {
+      break;
+    }
+  }
+
+  std::string method;
+  std::string path;
+  const size_t sp1 = request.find(' ');
+  if (sp1 != std::string::npos) {
+    method = request.substr(0, sp1);
+    const size_t sp2 = request.find(' ', sp1 + 1);
+    if (sp2 != std::string::npos) path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+
+  std::string status_line = "HTTP/1.1 200 OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status_line = "HTTP/1.1 405 Method Not Allowed";
+    body = "method not allowed\n";
+  } else if (path == "/metrics") {
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = MetricsToPrometheus(MetricRegistry::Global().Snapshot());
+  } else if (path == "/healthz") {
+    body = "ok\n";
+  } else if (path == "/quitquitquit") {
+    quit_.store(true);
+    body = "quitting\n";
+  } else {
+    status_line = "HTTP/1.1 404 Not Found";
+    body = "not found\n";
+  }
+
+  const std::string response = status_line +
+                               "\r\nContent-Type: " + content_type +
+                               "\r\nContent-Length: " +
+                               std::to_string(body.size()) +
+                               "\r\nConnection: close\r\n\r\n" + body;
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n =
+        ::send(fd, response.data() + sent, response.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  requests_.fetch_add(1);
+}
+
+#else  // BRIQ_NO_METRICS: no sockets, no thread.
+
+MetricsHttpServer::MetricsHttpServer() = default;
+MetricsHttpServer::~MetricsHttpServer() = default;
+
+util::Status MetricsHttpServer::Start(uint16_t) {
+  return util::Status::FailedPrecondition(
+      "metrics server unavailable: built with BRIQ_NO_METRICS");
+}
+
+void MetricsHttpServer::Stop() {}
+uint16_t MetricsHttpServer::port() const { return 0; }
+size_t MetricsHttpServer::requests_served() const { return 0; }
+bool MetricsHttpServer::quit_requested() const { return false; }
+
+#endif  // BRIQ_NO_METRICS
+
+}  // namespace briq::obs

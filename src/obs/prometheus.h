@@ -1,0 +1,90 @@
+#ifndef BRIQ_OBS_PROMETHEUS_H_
+#define BRIQ_OBS_PROMETHEUS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+#ifndef BRIQ_NO_METRICS
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "util/tcp_listener.h"
+#endif
+
+namespace briq::obs {
+
+/// Prometheus text exposition (format 0.0.4) of BriQ metrics, plus the
+/// minimal loopback HTTP responder behind `briq_tool ... --serve-port P`.
+/// DESIGN.md §5e documents the naming contract.
+
+/// Maps an instrument name to a valid Prometheus metric name:
+/// `briq.<layer>.<name>` becomes `briq_<layer>_<name>`, and any character
+/// outside [a-zA-Z0-9_:] becomes '_' (a leading digit gains a '_' prefix).
+std::string PrometheusName(const std::string& name);
+
+/// Renders a snapshot in Prometheus text format:
+///   - counters as `<name>_total` with `# TYPE ... counter`,
+///   - gauges verbatim with `# TYPE ... gauge`,
+///   - histograms as cumulative `<name>_bucket{le="..."}` series (the
+///     registry's inclusive-upper-edge buckets ARE `le` buckets — no
+///     re-binning), a final `le="+Inf"` bucket equal to `_count`, plus
+///     `_sum` and `_count`.
+/// Every family gets `# HELP` and `# TYPE` lines. Works in both builds
+/// (under -DBRIQ_NO_METRICS the snapshot is simply empty).
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot);
+
+/// Blocking single-threaded HTTP responder serving the global registry:
+///   GET /metrics      -> 200 text/plain; version=0.0.4 exposition
+///   GET /healthz      -> 200 "ok"
+///   GET /quitquitquit -> 200; quit_requested() flips true (lets a linger
+///                        loop end early)
+///   anything else     -> 404
+/// One connection at a time, accept loop polling a stop flag — deliberate:
+/// this is a diagnostics endpoint scraped every few seconds, not a server.
+/// Under -DBRIQ_NO_METRICS, Start() returns FailedPrecondition.
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer();
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept thread.
+  util::Status Start(uint16_t port);
+
+  /// Stops the accept thread and closes the socket. Idempotent.
+  void Stop();
+
+  /// The bound port once Start() succeeded, else 0.
+  uint16_t port() const;
+
+  /// Requests answered so far (any path).
+  size_t requests_served() const;
+
+  /// True once a client hit /quitquitquit.
+  bool quit_requested() const;
+
+#ifndef BRIQ_NO_METRICS
+
+ private:
+  void Loop();
+  void HandleConnection(int fd);
+
+  std::unique_ptr<util::TcpListener> listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> requests_{0};
+  std::atomic<bool> quit_{false};
+#endif  // BRIQ_NO_METRICS
+};
+
+}  // namespace briq::obs
+
+#endif  // BRIQ_OBS_PROMETHEUS_H_

@@ -15,11 +15,25 @@ TraceRing::TraceRing(size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {
 }
 
 void TraceRing::Record(SpanNode root) {
+  // The sink runs outside the ring mutex so a sink that is mid-flush (e.g.
+  // TraceExporter rewriting its file) never stalls other recording threads
+  // on this ring's lock on top of its own.
+  TraceSink* sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink = sink_;
+  }
+  if (sink != nullptr) sink->OnRootSpan(root);
   std::lock_guard<std::mutex> lock(mu_);
   if (size_ == capacity_) ++dropped_;
   ring_[next_] = std::move(root);
   next_ = (next_ + 1) % capacity_;
   if (size_ < capacity_) ++size_;
+}
+
+void TraceRing::SetSink(TraceSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = sink;
 }
 
 std::vector<SpanNode> TraceRing::Snapshot() const {

@@ -27,6 +27,17 @@ struct SpanNode {
   std::vector<SpanNode> children;
 };
 
+/// Receives every root span recorded into a TraceRing, before the ring
+/// buffers it — the hook behind obs/trace_export.h's persistent sampled
+/// sink. Called outside the ring mutex but potentially from many worker
+/// threads at once; implementations synchronize themselves and must be
+/// cheap (one root per document, not per pair).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnRootSpan(const SpanNode& root) = 0;
+};
+
 /// Bounded ring of completed root spans: recording the (capacity+1)-th
 /// root evicts the oldest, so tracing every document costs O(capacity)
 /// memory no matter how long the process streams.
@@ -38,6 +49,11 @@ class TraceRing {
   explicit TraceRing(size_t capacity = 256);
 
   void Record(SpanNode root);
+
+  /// Attaches (or, with nullptr, detaches) a persistent sink that sees
+  /// every future root. The sink is not owned and must stay valid until
+  /// detached; detach only while no spans are completing (end of a run).
+  void SetSink(TraceSink* sink);
 
   /// Oldest-first copy of the retained roots.
   std::vector<SpanNode> Snapshot() const;
@@ -54,6 +70,7 @@ class TraceRing {
   size_t next_ = 0;
   size_t size_ = 0;
   size_t dropped_ = 0;
+  TraceSink* sink_ = nullptr;
 };
 
 #ifndef BRIQ_NO_METRICS

@@ -1,0 +1,190 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace briq::obs {
+
+namespace {
+
+/// Recursively appends one "X" (complete) event per span node.
+/// `base_us` is the absolute timeline position of the node's root.
+void AppendEvents(const SpanNode& node, double base_us, double parent_ts_us,
+                  int tid, util::Json* events) {
+  const bool aggregated = node.start_seconds < 0.0;
+  const double ts_us =
+      aggregated ? parent_ts_us : base_us + node.start_seconds * 1e6;
+  util::Json event = util::Json::Object();
+  event.Set("name", node.name);
+  event.Set("cat", "briq");
+  event.Set("ph", "X");
+  event.Set("pid", 1);
+  event.Set("tid", tid);
+  event.Set("ts", ts_us);
+  event.Set("dur", node.duration_seconds * 1e6);
+  if (aggregated) {
+    util::Json args = util::Json::Object();
+    args.Set("aggregated", true);
+    event.Set("args", std::move(args));
+  }
+  events->Append(std::move(event));
+  for (const SpanNode& child : node.children) {
+    AppendEvents(child, base_us, ts_us, tid, events);
+  }
+}
+
+}  // namespace
+
+util::Json ChromeTraceJson(const std::vector<SpanNode>& roots,
+                           const std::vector<double>& base_ts_seconds) {
+  util::Json events = util::Json::Array();
+  double sequential_base = 0.0;
+  for (size_t i = 0; i < roots.size(); ++i) {
+    const double base_us = i < base_ts_seconds.size()
+                               ? base_ts_seconds[i] * 1e6
+                               : sequential_base;
+    AppendEvents(roots[i], base_us, base_us, static_cast<int>(i) + 1,
+                 &events);
+    sequential_base = base_us + roots[i].duration_seconds * 1e6;
+  }
+  util::Json out = util::Json::Object();
+  out.Set("traceEvents", std::move(events));
+  out.Set("displayTimeUnit", "ms");
+  return out;
+}
+
+TraceExporter::TraceExporter(TraceExportOptions options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      t0_(std::chrono::steady_clock::now()) {}
+
+TraceExporter::~TraceExporter() {
+  Detach();
+  util::Status status = Flush();
+  if (!status.ok()) {
+    BRIQ_LOG(Warning) << "final trace export failed: " << status.ToString();
+  }
+}
+
+void TraceExporter::Attach(TraceRing* ring) {
+  if (ring == nullptr) ring = &TraceRing::Global();
+  Detach();
+  attached_ = ring;
+  ring->SetSink(this);
+}
+
+void TraceExporter::Detach() {
+  if (attached_ != nullptr) {
+    attached_->SetSink(nullptr);
+    attached_ = nullptr;
+  }
+}
+
+void TraceExporter::OnRootSpan(const SpanNode& root) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double arrival =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+          .count();
+  // Place the root at its (approximate) start time so the exported
+  // timeline reflects real concurrency.
+  const double base = std::max(0.0, arrival - root.duration_seconds);
+  const size_t window_retained =
+      retained_.size() + window_slowest_.size();
+  if (uniform_(rng_) < options_.sample_fraction) {
+    if (window_retained < options_.max_roots) {
+      retained_.push_back(Kept{root, base, /*sampled=*/true});
+      return;
+    }
+    ++dropped_;  // budget exhausted: even a sampled root is dropped
+    return;
+  }
+  // Tail-latency reservoir: keep the window's slowest k in a min-heap.
+  const auto slower = [](const Kept& a, const Kept& b) {
+    return a.root.duration_seconds > b.root.duration_seconds;  // min-heap
+  };
+  if (window_slowest_.size() < options_.slowest_per_window &&
+      window_retained < options_.max_roots) {
+    window_slowest_.push_back(Kept{root, base, /*sampled=*/false});
+    std::push_heap(window_slowest_.begin(), window_slowest_.end(), slower);
+  } else if (!window_slowest_.empty() &&
+             root.duration_seconds >
+                 window_slowest_.front().root.duration_seconds) {
+    std::pop_heap(window_slowest_.begin(), window_slowest_.end(), slower);
+    window_slowest_.back() = Kept{root, base, /*sampled=*/false};
+    std::push_heap(window_slowest_.begin(), window_slowest_.end(), slower);
+    ++dropped_;  // the evicted faster root
+  } else {
+    ++dropped_;
+  }
+}
+
+void TraceExporter::CloseWindowLocked() {
+  for (Kept& kept : window_slowest_) {
+    retained_.push_back(std::move(kept));
+  }
+  window_slowest_.clear();
+}
+
+util::Status TraceExporter::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CloseWindowLocked();
+  if (dropped_ > warned_dropped_) {
+    BRIQ_LOG(Warning) << "trace export dropped "
+                      << (dropped_ - warned_dropped_)
+                      << " span tree(s) this window (sampling/budget; "
+                      << retained_.size() << " retained, cap "
+                      << options_.max_roots << ")";
+    warned_dropped_ = dropped_;
+  }
+  if (options_.path.empty()) return util::Status::OK();
+
+  // Chronological order keeps the exported timeline readable.
+  std::sort(retained_.begin(), retained_.end(),
+            [](const Kept& a, const Kept& b) {
+              return a.base_ts_seconds < b.base_ts_seconds;
+            });
+  std::vector<SpanNode> roots;
+  std::vector<double> bases;
+  roots.reserve(retained_.size());
+  bases.reserve(retained_.size());
+  for (const Kept& kept : retained_) {
+    roots.push_back(kept.root);
+    bases.push_back(kept.base_ts_seconds);
+  }
+  const util::Json trace = ChromeTraceJson(roots, bases);
+
+  // tmp + rename: a scraper or crash mid-flush never sees a torn file.
+  const std::string tmp = options_.path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      return util::Status::NotFound("cannot open trace output: " + tmp);
+    }
+    out << trace.Dump(/*indent=*/-1) << "\n";
+    if (!out.good()) {
+      return util::Status::Internal("trace write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, options_.path, ec);
+  if (ec) {
+    return util::Status::Internal("trace rename failed: " + ec.message());
+  }
+  return util::Status::OK();
+}
+
+size_t TraceExporter::retained_roots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_.size() + window_slowest_.size();
+}
+
+size_t TraceExporter::dropped_roots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace briq::obs

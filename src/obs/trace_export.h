@@ -1,0 +1,114 @@
+#ifndef BRIQ_OBS_TRACE_EXPORT_H_
+#define BRIQ_OBS_TRACE_EXPORT_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace briq::obs {
+
+/// Persistent sampled trace sink (DESIGN.md §5e): exports completed span
+/// trees into Chrome trace-event JSON ("traceEvents" array of "X" complete
+/// events with pid/tid/ts/dur) loadable in Perfetto / about:tracing. The
+/// TraceRing keeps only the newest `capacity` roots; a TraceExporter
+/// attached as the ring's sink survives arbitrarily long runs by keeping a
+/// random fraction of roots plus — always — the slowest `slowest_per_window`
+/// roots of each flush window (a tail-latency reservoir), under a bounded
+/// total event budget.
+///
+/// Under -DBRIQ_NO_METRICS no spans are ever recorded, so the exporter is
+/// inert by construction (its file holds an empty "traceEvents" array); the
+/// class itself needs no stubbing.
+
+/// Converts span trees to a Chrome trace-event JSON object:
+///   {"traceEvents": [{"name", "cat", "ph": "X", "pid", "tid",
+///                     "ts" (microseconds), "dur" (microseconds),
+///                     "args": {...}}, ...],
+///    "displayTimeUnit": "ms"}
+/// Root i renders on its own track (tid = i + 1, pid = 1) at timeline
+/// offset `base_ts_seconds[i]`; pass an empty vector to lay the roots out
+/// sequentially (each starts where the previous ended). Synthetic
+/// aggregated leaves (start_seconds < 0, see AttachLeafSpan) are emitted at
+/// their parent's start with {"args": {"aggregated": true}}.
+util::Json ChromeTraceJson(const std::vector<SpanNode>& roots,
+                           const std::vector<double>& base_ts_seconds = {});
+
+/// Tuning knobs of a TraceExporter.
+struct TraceExportOptions {
+  /// Output file, rewritten atomically (tmp + rename) on every flush.
+  std::string path;
+  /// Random fraction of roots kept regardless of speed, in [0, 1].
+  double sample_fraction = 0.01;
+  /// The slowest k roots of every flush window are always kept.
+  size_t slowest_per_window = 4;
+  /// Hard cap on retained roots across the run; once reached, further
+  /// roots are dropped (counted, warned once per flush window).
+  size_t max_roots = 2000;
+  /// Seed of the deterministic sampling RNG.
+  uint64_t seed = 1234;
+};
+
+class TraceExporter : public TraceSink {
+ public:
+  explicit TraceExporter(TraceExportOptions options);
+  /// Detaches (if attached) and writes any pending window.
+  ~TraceExporter() override;
+
+  TraceExporter(const TraceExporter&) = delete;
+  TraceExporter& operator=(const TraceExporter&) = delete;
+
+  /// Registers this exporter as `ring`'s sink (default: the global ring).
+  void Attach(TraceRing* ring = nullptr);
+  /// Unregisters from the attached ring. Safe to call when not attached.
+  void Detach();
+
+  /// TraceSink: sample-or-reservoir one completed root. Thread-safe.
+  void OnRootSpan(const SpanNode& root) override;
+
+  /// Closes the current window (promoting its slowest-k reservoir) and
+  /// rewrites `options.path` with everything retained so far. Called by
+  /// MetricsFlusher once per flush when wired together, and by the
+  /// destructor. Thread-safe; serializes with OnRootSpan.
+  util::Status Flush();
+
+  /// Roots retained (written on the next Flush) and dropped so far.
+  size_t retained_roots() const;
+  size_t dropped_roots() const;
+
+ private:
+  /// Moves the window's slowest-k reservoir into retained_. Caller holds
+  /// mu_.
+  void CloseWindowLocked();
+
+  const TraceExportOptions options_;
+  TraceRing* attached_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+  /// Roots kept for export, with their arrival offset on the timeline.
+  struct Kept {
+    SpanNode root;
+    double base_ts_seconds = 0.0;
+    bool sampled = false;  // true: random sample; false: slowest-k
+  };
+  std::vector<Kept> retained_;
+  /// Current window's slowest-k candidates (not randomly sampled), kept as
+  /// a min-heap on duration so a window of any length holds at most k.
+  std::vector<Kept> window_slowest_;
+  size_t dropped_ = 0;
+  size_t warned_dropped_ = 0;  // dropped_ value at the last warning
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace briq::obs
+
+#endif  // BRIQ_OBS_TRACE_EXPORT_H_

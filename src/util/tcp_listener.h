@@ -1,0 +1,47 @@
+#ifndef BRIQ_UTIL_TCP_LISTENER_H_
+#define BRIQ_UTIL_TCP_LISTENER_H_
+
+#include <cstdint>
+
+#include "util/result.h"
+
+namespace briq::util {
+
+/// Thin RAII wrapper over a listening POSIX socket bound to 127.0.0.1.
+/// Exists so the observability layer can expose /metrics without any
+/// third-party HTTP dependency; loopback-only by design — this is a
+/// diagnostics port, not a service mesh.
+class TcpListener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port`. Port 0 asks the kernel for an
+  /// ephemeral port; read the actual one back from port().
+  static Result<TcpListener> Listen(uint16_t port);
+
+  ~TcpListener();
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The bound port (resolved even when Listen was called with port 0).
+  uint16_t port() const { return port_; }
+
+  /// Waits up to `timeout_seconds` for one connection. Returns the accepted
+  /// socket fd (caller owns, must ::close), or -1 on timeout. The timeout
+  /// is what keeps an accept loop responsive to a stop flag without
+  /// signals.
+  int AcceptOnce(double timeout_seconds);
+
+  /// Closes the listening socket early (also done by the destructor).
+  void Close();
+
+ private:
+  explicit TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace briq::util
+
+#endif  // BRIQ_UTIL_TCP_LISTENER_H_

@@ -126,3 +126,57 @@ if(rv EQUAL 0 OR NOT out MATCHES "unknown BRIQ_LOG_LEVEL")
           "BRIQ_LOG_LEVEL=bogus should fail with a message (exit ${rv}):\n${out}")
 endif()
 
+# 10. generate and shard honor --metrics-out (ISSUE 4 satellite): both
+#     write a parseable observability snapshot.
+run_tool(generate 6 "${WORKDIR}/corpus2.json" 5 --compact
+         --metrics-out "${WORKDIR}/gen_metrics.json")
+if(NOT EXISTS "${WORKDIR}/gen_metrics.json")
+  message(FATAL_ERROR "generate --metrics-out wrote nothing")
+endif()
+run_tool(shard "${WORKDIR}/corpus2.json" "${WORKDIR}/shards4" 3
+         --metrics-out "${WORKDIR}/shard_metrics.json")
+file(READ "${WORKDIR}/shard_metrics.json" shard_metrics)
+if(NOT shard_metrics MATCHES "briq.shard.docs_written")
+  message(FATAL_ERROR
+    "shard --metrics-out is missing briq.shard.docs_written:\n${shard_metrics}")
+endif()
+
+# 11. Continuous telemetry on a streaming run: the flusher must append at
+#     least two complete JSONL records (baseline + final even on a tiny
+#     corpus) and the trace exporter a loadable Chrome trace file.
+run_tool(align "${WORKDIR}/shards" --stream --threads 2
+         --metrics-interval 0.2 --metrics-flush-out "${WORKDIR}/flush.jsonl"
+         --trace-out "${WORKDIR}/trace.json" --trace-sample 1.0)
+file(STRINGS "${WORKDIR}/flush.jsonl" flush_lines)
+list(LENGTH flush_lines n_flushes)
+if(n_flushes LESS 2)
+  message(FATAL_ERROR
+    "flusher wrote ${n_flushes} JSONL record(s), expected at least 2")
+endif()
+list(GET flush_lines 0 first_flush)
+list(GET flush_lines -1 last_flush)
+if(NOT first_flush MATCHES "\"trigger\":\"start\"" OR
+   NOT last_flush MATCHES "\"trigger\":\"final\"")
+  message(FATAL_ERROR
+    "flush.jsonl must open with a start record and close with a final one")
+endif()
+if(NOT last_flush MATCHES "\"cumulative\"" OR
+   NOT last_flush MATCHES "\"ts_monotonic_sec\"")
+  message(FATAL_ERROR "final flush record is missing fields:\n${last_flush}")
+endif()
+file(READ "${WORKDIR}/trace.json" trace_json)
+if(NOT trace_json MATCHES "\"traceEvents\"" OR
+   NOT trace_json MATCHES "\"ph\":\"X\"")
+  message(FATAL_ERROR
+    "trace.json is not Chrome trace-event JSON:\n${trace_json}")
+endif()
+
+# 12. --help documents the continuous-telemetry flags.
+run_tool(--help)
+foreach(flag --metrics-interval --metrics-every-docs --metrics-flush-out
+        --trace-out --serve-port --serve-linger)
+  if(NOT RUN_OUTPUT MATCHES "${flag}")
+    message(FATAL_ERROR "--help does not document ${flag}:\n${RUN_OUTPUT}")
+  endif()
+endforeach()
+

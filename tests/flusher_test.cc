@@ -1,0 +1,227 @@
+#include "obs/flusher.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace briq::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Per-process unique temp path: gtest_discover_tests runs every TEST as
+/// its own process, so a fixed name would race under `ctest -j`.
+std::string TempPath(const std::string& stem) {
+  return (fs::path(::testing::TempDir()) /
+          (stem + "-" + std::to_string(::getpid()) + ".jsonl"))
+      .string();
+}
+
+std::vector<util::Json> ReadJsonl(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::vector<util::Json> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    util::Result<util::Json> parsed = util::Json::Parse(line);
+    EXPECT_TRUE(parsed.ok()) << "unparseable JSONL line: " << line;
+    if (parsed.ok()) records.push_back(std::move(parsed).value());
+  }
+  return records;
+}
+
+/// Spins until `flusher` has completed at least `n` flushes (bounded).
+void WaitForFlushes(const MetricsFlusher& flusher, size_t n) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (flusher.flush_count() < n &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+#ifndef BRIQ_NO_METRICS
+
+TEST(FlusherTest, IntervalTriggerWritesMonotoneJsonlRecords) {
+  MetricRegistry registry;
+  Counter* docs = registry.GetCounter("briq.stream.documents");
+  const std::string path = TempPath("flusher_interval");
+
+  FlusherOptions options;
+  options.interval_seconds = 0.05;
+  options.poll_seconds = 0.01;
+  options.path = path;
+  MetricsFlusher flusher(options, &registry);
+  ASSERT_TRUE(flusher.Start().ok());
+  for (int i = 0; i < 10; ++i) {
+    docs->Add(3);
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+  WaitForFlushes(flusher, 3);
+  flusher.Stop();
+  EXPECT_TRUE(flusher.status().ok());
+
+  const std::vector<util::Json> records = ReadJsonl(path);
+  ASSERT_GE(records.size(), 3u);  // baseline + >=1 interval + final
+  EXPECT_EQ(records.front().at("trigger").AsString(), "start");
+  EXPECT_EQ(records.back().at("trigger").AsString(), "final");
+  bool saw_interval = false;
+  double prev_ts = -1.0;
+  double prev_docs = -1.0;
+  uint64_t prev_counter_total = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const util::Json& r = records[i];
+    EXPECT_EQ(static_cast<size_t>(r.at("flush_index").AsDouble()), i);
+    if (r.at("trigger").AsString() == "interval") saw_interval = true;
+    // Monotonically non-decreasing time, doc count, and cumulative
+    // counters (the crash-safety acceptance criterion).
+    const double ts = r.at("ts_monotonic_sec").AsDouble();
+    EXPECT_GE(ts, prev_ts);
+    prev_ts = ts;
+    const double docs_total = r.at("docs_total").AsDouble();
+    EXPECT_GE(docs_total, prev_docs);
+    prev_docs = docs_total;
+    uint64_t counter_total = 0;
+    for (const auto& [name, value] :
+         r.at("cumulative").at("counters").members()) {
+      counter_total += static_cast<uint64_t>(value.AsDouble());
+    }
+    EXPECT_GE(counter_total, prev_counter_total);
+    prev_counter_total = counter_total;
+    EXPECT_TRUE(r.Has("delta"));
+    EXPECT_TRUE(r.Has("rates"));
+    EXPECT_TRUE(r.Has("stages_delta_seconds"));
+  }
+  EXPECT_TRUE(saw_interval);
+  EXPECT_EQ(static_cast<uint64_t>(records.back().at("docs_total").AsDouble()),
+            30u);
+  fs::remove(path);
+}
+
+TEST(FlusherTest, DocsTriggerFiresWithoutInterval) {
+  MetricRegistry registry;
+  Counter* docs = registry.GetCounter("briq.stream.documents");
+  const std::string path = TempPath("flusher_docs");
+
+  FlusherOptions options;
+  options.interval_seconds = 0.0;  // docs-only cadence
+  options.every_docs = 10;
+  options.poll_seconds = 0.005;
+  options.path = path;
+  MetricsFlusher flusher(options, &registry);
+  ASSERT_TRUE(flusher.Start().ok());
+  docs->Add(25);
+  WaitForFlushes(flusher, 2);  // baseline + the docs-triggered flush
+  flusher.Stop();
+
+  const std::vector<util::Json> records = ReadJsonl(path);
+  ASSERT_GE(records.size(), 3u);
+  bool saw_docs = false;
+  for (const util::Json& r : records) {
+    if (r.at("trigger").AsString() == "docs") saw_docs = true;
+  }
+  EXPECT_TRUE(saw_docs);
+  fs::remove(path);
+}
+
+TEST(FlusherTest, FinalRecordCarriesDeltasAndRates) {
+  MetricRegistry registry;
+  registry.GetCounter("briq.stream.documents")->Add(7);
+  const std::string path = TempPath("flusher_final");
+
+  FlusherOptions options;
+  options.interval_seconds = 60.0;  // never fires within the test
+  options.path = path;
+  MetricsFlusher flusher(options, &registry);
+  ASSERT_TRUE(flusher.Start().ok());
+  registry.GetCounter("briq.stream.documents")->Add(13);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  flusher.Stop();
+
+  const std::vector<util::Json> records = ReadJsonl(path);
+  ASSERT_EQ(records.size(), 2u);  // baseline + final, nothing in between
+  const util::Json& final_record = records.back();
+  EXPECT_EQ(final_record.at("trigger").AsString(), "final");
+  // Cumulative includes the pre-Start 7; the delta window is Start..Stop.
+  EXPECT_EQ(
+      static_cast<uint64_t>(final_record.at("docs_total").AsDouble()), 20u);
+  EXPECT_EQ(static_cast<uint64_t>(final_record.at("delta")
+                                      .at("counters")
+                                      .at("briq.stream.documents")
+                                      .AsDouble()),
+            13u);
+  EXPECT_TRUE(final_record.at("rates").Has("docs_per_sec"));
+  EXPECT_GT(final_record.at("rates").at("docs_per_sec").AsDouble(), 0.0);
+  fs::remove(path);
+}
+
+TEST(FlusherTest, StopIsIdempotentAndRestartable) {
+  MetricRegistry registry;
+  MetricsFlusher flusher(FlusherOptions{}, &registry);
+  ASSERT_TRUE(flusher.Start().ok());
+  EXPECT_FALSE(flusher.Start().ok());  // double-start rejected
+  flusher.Stop();
+  const size_t after_first_stop = flusher.flush_count();
+  flusher.Stop();  // no-op
+  EXPECT_EQ(flusher.flush_count(), after_first_stop);
+  ASSERT_TRUE(flusher.Start().ok());  // a stopped flusher can restart
+  flusher.Stop();
+  EXPECT_GT(flusher.flush_count(), after_first_stop);
+}
+
+TEST(FlusherTest, EmptyPathSnapshotsWithoutAFile) {
+  MetricRegistry registry;
+  FlusherOptions options;
+  options.interval_seconds = 0.02;
+  options.poll_seconds = 0.005;
+  MetricsFlusher flusher(options, &registry);
+  ASSERT_TRUE(flusher.Start().ok());
+  WaitForFlushes(flusher, 2);
+  flusher.Stop();
+  EXPECT_GE(flusher.flush_count(), 3u);
+  EXPECT_TRUE(flusher.status().ok());
+}
+
+TEST(FlusherTest, StartFailsOnUnwritablePath) {
+  MetricRegistry registry;
+  FlusherOptions options;
+  options.path = (fs::path(::testing::TempDir()) / "no_such_dir" /
+                  std::to_string(::getpid()) / "f.jsonl")
+                     .string();
+  MetricsFlusher flusher(options, &registry);
+  EXPECT_FALSE(flusher.Start().ok());
+}
+
+#else  // BRIQ_NO_METRICS
+
+TEST(NoMetricsFlusherTest, StubStartsWithoutThreadOrFile) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) /
+       ("flusher_stub-" + std::to_string(::getpid()) + ".jsonl"))
+          .string();
+  FlusherOptions options;
+  options.path = path;
+  MetricsFlusher flusher(options);
+  ASSERT_TRUE(flusher.Start().ok());
+  EXPECT_FALSE(flusher.Start().ok());  // still guards double-start
+  flusher.Stop();
+  EXPECT_EQ(flusher.flush_count(), 0u);
+  EXPECT_TRUE(flusher.status().ok());
+  // Inert means inert: no file appears even though a path was configured.
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+#endif  // BRIQ_NO_METRICS
+
+}  // namespace
+}  // namespace briq::obs

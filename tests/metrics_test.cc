@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -223,6 +224,55 @@ TEST(ExportTest, AlignStageSecondsDelta) {
       AlignStageSecondsDelta(before, after);
   ASSERT_EQ(delta.size(), 1u);
   EXPECT_DOUBLE_EQ(delta.at("filter"), 0.5);
+}
+
+TEST(ExportTest, EmptyRegistryExportsEmptyButValidShapes) {
+  MetricRegistry registry;
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const util::Json json = MetricsToJson(snapshot);
+  EXPECT_TRUE(json.at("counters").members().empty());
+  EXPECT_TRUE(json.at("gauges").members().empty());
+  EXPECT_TRUE(json.at("histograms").members().empty());
+  // The human-readable view degrades to a header-only table, not a crash.
+  EXPECT_FALSE(MetricsTable(snapshot).empty());
+}
+
+TEST(ExportTest, AlignStageSecondsDeltaOfIdenticalSnapshotsIsEmpty) {
+  MetricRegistry registry;
+  registry.GetHistogram("briq.align.filter_seconds", {1.0})->Observe(0.5);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_TRUE(AlignStageSecondsDelta(snapshot, snapshot).empty());
+  // Also empty against a same-shape copy taken with no traffic between.
+  EXPECT_TRUE(AlignStageSecondsDelta(snapshot, registry.Snapshot()).empty());
+}
+
+TEST(HistogramTest, OverflowBeyondLastEdgeLandsInTheExtraSlot) {
+  Histogram h({1.0, 2.0});
+  h.Observe(2.0);   // inclusive upper edge: still the le=2 bucket
+  h.Observe(2.01);  // past every edge
+  const HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.counts.size(), 3u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);  // the overflow slot
+  EXPECT_EQ(s.count, 2u);
+}
+
+TEST(HistogramSnapshotTest, PercentilePicksTheSmallestCoveringEdge) {
+  Histogram h(LinearBuckets(0.1, 0.1, 10));
+  for (int i = 0; i < 90; ++i) h.Observe(0.25);  // le=0.3 bucket
+  for (int i = 0; i < 10; ++i) h.Observe(0.95);  // le=1.0 bucket
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 0.3);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.9), 0.3);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.95), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 1.0);
+}
+
+TEST(HistogramSnapshotTest, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.Percentile(0.5), 0.0);  // empty
+  Histogram h({1.0});
+  h.Observe(5.0);  // only observation is in the overflow slot
+  EXPECT_TRUE(std::isinf(h.Snapshot().Percentile(0.5)));
 }
 
 #else  // BRIQ_NO_METRICS

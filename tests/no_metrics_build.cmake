@@ -1,15 +1,20 @@
 # Keeps the -DBRIQ_NO_METRICS=ON configuration green, run by ctest (see
 # tests/CMakeLists.txt): configures a sub-build with the instruments
-# compiled out, builds the obs layer plus its tests, and runs them against
-# the stub semantics (inert instruments, empty snapshots, null queue
-# observer). Only util + obs + three test binaries compile, so the check
-# stays fast.
+# compiled out, builds the obs layer plus the requested test binaries, and
+# runs them against the stub semantics (inert instruments, empty
+# snapshots, null queue observer, no flusher thread). Only util + obs +
+# the listed binaries compile, so the check stays fast.
 #
-# Expects -DSOURCE_DIR=<repo root> and -DWORKDIR=<scratch build dir>.
+# Expects -DSOURCE_DIR=<repo root>, -DWORKDIR=<scratch build dir>, and
+# -DTARGETS=<'|'-separated test binary names> ('|' instead of ';' so the
+# list survives add_test argument quoting).
 
-if(NOT SOURCE_DIR OR NOT WORKDIR)
-  message(FATAL_ERROR "no_metrics_build: SOURCE_DIR and WORKDIR must be set")
+if(NOT SOURCE_DIR OR NOT WORKDIR OR NOT TARGETS)
+  message(FATAL_ERROR
+    "no_metrics_build: SOURCE_DIR, WORKDIR, and TARGETS must be set")
 endif()
+
+string(REPLACE "|" ";" test_binaries "${TARGETS}")
 
 execute_process(
   COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${WORKDIR}"
@@ -24,7 +29,7 @@ endif()
 
 execute_process(
   COMMAND "${CMAKE_COMMAND}" --build "${WORKDIR}"
-          --target logging_test metrics_test trace_test
+          --target ${test_binaries}
   RESULT_VARIABLE rv
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err)
@@ -33,7 +38,7 @@ if(NOT rv EQUAL 0)
     "build with -DBRIQ_NO_METRICS=ON failed (${rv}):\n${out}\n${err}")
 endif()
 
-foreach(binary logging_test metrics_test trace_test)
+foreach(binary ${test_binaries})
   execute_process(
     COMMAND "${WORKDIR}/tests/${binary}"
     RESULT_VARIABLE rv

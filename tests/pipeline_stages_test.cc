@@ -10,6 +10,7 @@
 #include "core/pipeline.h"
 #include "corpus/generator.h"
 #include "corpus/paper_examples.h"
+#include "obs/metrics.h"
 
 namespace briq::core {
 namespace {
@@ -182,6 +183,61 @@ TEST_F(StageTest, FilterKeepsSortedBoundedCandidates) {
     }
   }
 }
+
+TEST_F(StageTest, EntropyPercentileModeDefaultsOffWithExactParity) {
+  // The adaptive-threshold knob ships disabled...
+  EXPECT_EQ(config_->entropy_percentile_topk, 0.0);
+  const auto& doc = (*prepared_)[0];
+  FeatureComputer features(doc, *config_);
+  AdaptiveFilter filter(config_, &system_->tagger(), &system_->classifier());
+  obs::MetricRegistry::Global().Reset();
+  const auto baseline = filter.Filter(doc, features, nullptr);
+
+  // ...and even when enabled, a freshly reset entropy histogram has too
+  // few samples, so the fixed threshold applies and the candidate lists
+  // are identical to the default configuration's.
+  BriqConfig percentile_config = *config_;
+  percentile_config.entropy_percentile_topk = 0.5;
+  AdaptiveFilter percentile_filter(&percentile_config, &system_->tagger(),
+                                   &system_->classifier());
+  obs::MetricRegistry::Global().Reset();
+  const auto fallback = percentile_filter.Filter(doc, features, nullptr);
+
+  ASSERT_EQ(fallback.size(), baseline.size());
+  for (size_t x = 0; x < baseline.size(); ++x) {
+    ASSERT_EQ(fallback[x].size(), baseline[x].size()) << "mention " << x;
+    for (size_t i = 0; i < baseline[x].size(); ++i) {
+      EXPECT_EQ(fallback[x][i].table_idx, baseline[x][i].table_idx);
+      EXPECT_DOUBLE_EQ(fallback[x][i].score, baseline[x][i].score);
+    }
+  }
+  obs::MetricRegistry::Global().Reset();
+}
+
+#ifndef BRIQ_NO_METRICS
+TEST_F(StageTest, EntropyPercentileThresholdAdaptsToObservedEntropies) {
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  registry.Reset();
+  obs::Histogram* entropy = registry.GetHistogram(
+      "briq.filter.classifier_entropy", obs::LinearBuckets(0.1, 0.1, 10));
+  // Prime the corpus distribution with high entropies: the median lands on
+  // the top (le=1.0) edge, above every real normalized entropy, so every
+  // mention reads as low-entropy-relative-to-corpus and keeps at most
+  // top_k_low_entropy candidates.
+  for (int i = 0; i < 64; ++i) entropy->Observe(0.95);
+
+  BriqConfig config = *config_;
+  config.entropy_percentile_topk = 0.5;
+  const auto& doc = (*prepared_)[0];
+  FeatureComputer features(doc, config);
+  AdaptiveFilter filter(&config, &system_->tagger(), &system_->classifier());
+  const auto candidates = filter.Filter(doc, features, nullptr);
+  for (const auto& list : candidates) {
+    EXPECT_LE(list.size(), static_cast<size_t>(config.top_k_low_entropy));
+  }
+  registry.Reset();
+}
+#endif  // BRIQ_NO_METRICS
 
 TEST_F(StageTest, UnitMismatchPairsPruned) {
   // Any surviving candidate with both units set must agree on the unit.

@@ -1,0 +1,194 @@
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/json.h"
+
+#ifndef BRIQ_NO_METRICS
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace briq::obs {
+namespace {
+
+// --- Name mapping and text rendering (pure, both builds) --------------------
+
+TEST(PrometheusNameTest, DotsBecomeUnderscores) {
+  EXPECT_EQ(PrometheusName("briq.align.documents"), "briq_align_documents");
+  EXPECT_EQ(PrometheusName("briq.stream.queue_depth"),
+            "briq_stream_queue_depth");
+}
+
+TEST(PrometheusNameTest, InvalidCharactersAreSanitized) {
+  EXPECT_EQ(PrometheusName("briq.per-doc latency"), "briq_per_doc_latency");
+  EXPECT_EQ(PrometheusName("7layers.deep"), "_7layers_deep");
+  EXPECT_EQ(PrometheusName("keep:colons"), "keep:colons");
+}
+
+TEST(PrometheusTextTest, EmptySnapshotRendersEmpty) {
+  EXPECT_EQ(MetricsToPrometheus(MetricsSnapshot{}), "");
+}
+
+TEST(PrometheusTextTest, CountersGetTotalSuffixAndMeta) {
+  MetricsSnapshot snapshot;
+  snapshot.counters["briq.align.documents"] = 42;
+  const std::string text = MetricsToPrometheus(snapshot);
+  EXPECT_NE(text.find("# HELP briq_align_documents_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE briq_align_documents_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("briq_align_documents_total 42\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, GaugesRenderVerbatim) {
+  MetricsSnapshot snapshot;
+  snapshot.gauges["briq.stream.queue_depth"] = -3;
+  const std::string text = MetricsToPrometheus(snapshot);
+  EXPECT_NE(text.find("# TYPE briq_stream_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("briq_stream_queue_depth -3\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, HistogramBucketsAreCumulativeWithInf) {
+  MetricsSnapshot snapshot;
+  HistogramSnapshot h;
+  h.bounds = {0.5, 1.0};
+  h.counts = {3, 4, 5};  // last slot: overflow beyond the 1.0 edge
+  h.count = 12;
+  h.sum = 30.25;
+  snapshot.histograms["briq.align.doc_seconds"] = h;
+  const std::string text = MetricsToPrometheus(snapshot);
+  EXPECT_NE(text.find("# TYPE briq_align_doc_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("briq_align_doc_seconds_bucket{le=\"0.5\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("briq_align_doc_seconds_bucket{le=\"1\"} 7\n"),
+            std::string::npos);
+  // Overflowed observations appear only in +Inf, which must equal _count.
+  EXPECT_NE(text.find("briq_align_doc_seconds_bucket{le=\"+Inf\"} 12\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("briq_align_doc_seconds_sum 30.25\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("briq_align_doc_seconds_count 12\n"),
+            std::string::npos);
+}
+
+#ifndef BRIQ_NO_METRICS
+
+// The exposition and the JSON export must tell the same story: +Inf ==
+// _count == the JSON "count", _sum == the JSON "sum", with overflow
+// observations (beyond the last le edge) included in both.
+TEST(PrometheusTextTest, AgreesWithJsonExportIncludingOverflow) {
+  MetricRegistry registry;
+  Histogram* h =
+      registry.GetHistogram("briq.align.doc_seconds", {0.001, 0.01});
+  h->Observe(0.0005);
+  h->Observe(0.005);
+  h->Observe(99.0);  // > last edge: overflow bucket
+  const MetricsSnapshot snapshot = registry.Snapshot();
+
+  const std::string text = MetricsToPrometheus(snapshot);
+  const util::Json json =
+      MetricsToJson(snapshot).at("histograms").at("briq.align.doc_seconds");
+  const uint64_t json_count =
+      static_cast<uint64_t>(json.at("count").AsDouble());
+  EXPECT_EQ(json_count, 3u);
+  EXPECT_NE(text.find("briq_align_doc_seconds_bucket{le=\"+Inf\"} " +
+                      std::to_string(json_count) + "\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("briq_align_doc_seconds_count " +
+                      std::to_string(json_count) + "\n"),
+            std::string::npos);
+  // The last finite bucket excludes the overflow observation.
+  EXPECT_NE(text.find("briq_align_doc_seconds_bucket{le=\"0.01\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("briq_align_doc_seconds_sum " +
+                      std::to_string(99.0005 + 0.005).substr(0, 7)),
+            std::string::npos);
+}
+
+// --- HTTP server (real build only) ------------------------------------------
+
+/// Minimal loopback HTTP GET, enough to exercise the responder.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsHttpServerTest, ServesMetricsHealthzAnd404) {
+  MetricRegistry::Global().GetCounter("briq.align.documents")->Add(3);
+  MetricsHttpServer server;
+  ASSERT_TRUE(server.Start(/*port=*/0).ok());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string metrics = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("briq_align_documents_total"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE"), std::string::npos);
+
+  const std::string healthz = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(healthz.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(healthz.find("ok"), std::string::npos);
+
+  const std::string missing = HttpGet(server.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+  EXPECT_FALSE(server.quit_requested());
+  const std::string quit = HttpGet(server.port(), "/quitquitquit");
+  EXPECT_NE(quit.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_TRUE(server.quit_requested());
+  EXPECT_GE(server.requests_served(), 4u);
+
+  server.Stop();
+  server.Stop();  // idempotent
+}
+
+TEST(MetricsHttpServerTest, RejectsDoubleStart) {
+  MetricsHttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_FALSE(server.Start(0).ok());
+  server.Stop();
+}
+
+#else  // BRIQ_NO_METRICS
+
+TEST(NoMetricsHttpServerTest, StartFailsCleanly) {
+  MetricsHttpServer server;
+  const util::Status status = server.Start(0);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(server.port(), 0);
+  server.Stop();  // still safe
+}
+
+#endif  // BRIQ_NO_METRICS
+
+}  // namespace
+}  // namespace briq::obs

@@ -1,0 +1,133 @@
+# Live /metrics scrape smoke test, run by ctest (see tests/CMakeLists.txt):
+# starts `briq_tool align --stream --serve-port 0 --serve-linger 60` in the
+# background, reads the ephemeral port off the tool's stdout, scrapes
+# /metrics over real HTTP with file(DOWNLOAD), asserts Prometheus text
+# format with a briq_align_ family, and ends the linger via /quitquitquit.
+#
+# Expects -DBRIQ_TOOL=<path to binary> and -DWORKDIR=<scratch dir>.
+
+if(NOT BRIQ_TOOL OR NOT WORKDIR)
+  message(FATAL_ERROR "serve_smoke: BRIQ_TOOL and WORKDIR must be set")
+endif()
+
+find_program(BASH bash REQUIRED)
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+function(run_tool)
+  execute_process(
+    COMMAND "${BRIQ_TOOL}" ${ARGN}
+    RESULT_VARIABLE rv
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+      "briq_tool ${ARGN} exited with ${rv}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+endfunction()
+
+run_tool(generate 12 "${WORKDIR}/corpus.json" 7 --compact)
+run_tool(shard "${WORKDIR}/corpus.json" "${WORKDIR}/shards" 6)
+
+# Launch the streaming job with a lingering metrics endpoint and remember
+# its pid so the test can always clean up.
+set(server_log "${WORKDIR}/serve_out.txt")
+execute_process(
+  COMMAND "${BASH}" -c
+    "'${BRIQ_TOOL}' align '${WORKDIR}/shards' --stream --threads 2 \
+       --serve-port 0 --serve-linger 60 > '${server_log}' 2>&1 & echo $!"
+  OUTPUT_VARIABLE server_pid
+  OUTPUT_STRIP_TRAILING_WHITESPACE)
+
+function(cleanup)
+  execute_process(
+    COMMAND "${BASH}" -c "kill ${server_pid} 2>/dev/null || true")
+endfunction()
+
+# The resolved ephemeral port appears on the first stdout line.
+set(port "")
+foreach(attempt RANGE 60)
+  if(EXISTS "${server_log}")
+    file(READ "${server_log}" log)
+    if(log MATCHES "127\\.0\\.0\\.1:([0-9]+)/metrics")
+      set(port "${CMAKE_MATCH_1}")
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.5)
+endforeach()
+if(port STREQUAL "")
+  cleanup()
+  file(READ "${server_log}" log)
+  message(FATAL_ERROR "no serve port announced within 30s; log:\n${log}")
+endif()
+
+# Scrape /metrics (retrying: the endpoint is up, but give a slow machine
+# some slack) and require Prometheus text format with an align family.
+set(scrape "${WORKDIR}/scrape.txt")
+set(scraped FALSE)
+foreach(attempt RANGE 20)
+  file(DOWNLOAD "http://127.0.0.1:${port}/metrics" "${scrape}"
+       STATUS status TIMEOUT 10)
+  list(GET status 0 status_code)
+  if(status_code EQUAL 0)
+    file(READ "${scrape}" body)
+    if(body MATCHES "briq_align_")
+      set(scraped TRUE)
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.5)
+endforeach()
+if(NOT scraped)
+  cleanup()
+  message(FATAL_ERROR "scraping /metrics never returned a briq_align_ family")
+endif()
+
+file(READ "${scrape}" body)
+foreach(needle
+        "# HELP briq_align_documents_total"
+        "# TYPE briq_align_documents_total counter"
+        "# TYPE briq_align_align_seconds histogram"
+        "briq_align_align_seconds_bucket{le=\"+Inf\"}"
+        "briq_align_align_seconds_sum"
+        "briq_align_align_seconds_count")
+  if(NOT body MATCHES "${needle}")
+    # MATCHES treats the needle as a regex; escape and retry via FIND.
+    string(FIND "${body}" "${needle}" at)
+    if(at EQUAL -1)
+      cleanup()
+      message(FATAL_ERROR "/metrics is missing '${needle}':\n${body}")
+    endif()
+  endif()
+endforeach()
+
+# /healthz answers, then /quitquitquit ends the linger early.
+file(DOWNLOAD "http://127.0.0.1:${port}/healthz" "${WORKDIR}/healthz.txt"
+     STATUS status TIMEOUT 10)
+list(GET status 0 status_code)
+if(NOT status_code EQUAL 0)
+  cleanup()
+  message(FATAL_ERROR "/healthz scrape failed: ${status}")
+endif()
+
+file(DOWNLOAD "http://127.0.0.1:${port}/quitquitquit" "${WORKDIR}/quit.txt"
+     STATUS status TIMEOUT 10)
+
+# The tool must now exit on its own (well before the 60s linger cap).
+set(exited FALSE)
+foreach(attempt RANGE 40)
+  execute_process(
+    COMMAND "${BASH}" -c "kill -0 ${server_pid} 2>/dev/null"
+    RESULT_VARIABLE alive)
+  if(NOT alive EQUAL 0)
+    set(exited TRUE)
+    break()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.5)
+endforeach()
+cleanup()
+if(NOT exited)
+  message(FATAL_ERROR "briq_tool kept lingering after /quitquitquit")
+endif()

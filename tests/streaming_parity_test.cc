@@ -4,6 +4,7 @@
 // shard size and thread count, and must deliver them in document order.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <set>
@@ -68,9 +69,14 @@ class StreamingParityTest : public ::testing::Test {
 
     // Reference alignments via the in-memory path, computed on the same
     // bytes the streaming path will read: write shards once, load them
-    // back, AlignBatch the loaded documents.
+    // back, AlignBatch the loaded documents. The directory is keyed by pid:
+    // ctest runs every TEST_F as its own process (gtest_discover_tests), so
+    // a shared path would let one process's TearDownTestSuite delete the
+    // shards under a concurrently running sibling.
     dir_ = new std::string(
-        (fs::path(::testing::TempDir()) / "streaming_parity").string());
+        (fs::path(::testing::TempDir()) /
+         ("streaming_parity-" + std::to_string(::getpid())))
+            .string());
     fs::remove_all(*dir_);
     fs::create_directories(*dir_);
     ASSERT_TRUE(corpus::WriteCorpusShards(*stream_corpus_, *dir_, "ref",

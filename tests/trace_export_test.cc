@@ -1,0 +1,216 @@
+#include "obs/trace_export.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace briq::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Per-process unique temp path (gtest_discover_tests runs each TEST as
+/// its own process; a fixed name would race under `ctest -j`).
+std::string TempPath(const std::string& stem) {
+  return (fs::path(::testing::TempDir()) /
+          (stem + "-" + std::to_string(::getpid()) + ".json"))
+      .string();
+}
+
+SpanNode MakeRoot(const std::string& name, double duration_seconds) {
+  SpanNode root;
+  root.name = name;
+  root.duration_seconds = duration_seconds;
+  SpanNode child;
+  child.name = name + "/child";
+  child.start_seconds = duration_seconds / 4.0;
+  child.duration_seconds = duration_seconds / 2.0;
+  root.children.push_back(child);
+  return root;
+}
+
+util::Json ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  util::Result<util::Json> parsed = util::Json::Parse(buffer.str());
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.ok() ? std::move(parsed).value() : util::Json();
+}
+
+// ChromeTraceJson is a pure converter and must satisfy the Chrome
+// trace-event schema in both builds: every event a complete ("X") event
+// with name/cat/ph/pid/tid/ts/dur, timestamps in microseconds.
+TEST(ChromeTraceJsonTest, EmitsValidCompleteEvents) {
+  SpanNode root = MakeRoot("document", 0.010);
+  SpanNode aggregated;
+  aggregated.name = "classify";
+  aggregated.start_seconds = -1.0;  // synthetic aggregated leaf
+  aggregated.duration_seconds = 0.002;
+  root.children.push_back(aggregated);
+
+  const util::Json trace = ChromeTraceJson({root});
+  EXPECT_EQ(trace.at("displayTimeUnit").AsString(), "ms");
+  const util::Json& events = trace.at("traceEvents");
+  ASSERT_EQ(events.size(), 3u);  // root + timed child + aggregated leaf
+  bool saw_aggregated = false;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const util::Json& e = events.at(i);
+    EXPECT_EQ(e.at("ph").AsString(), "X");
+    EXPECT_EQ(e.at("cat").AsString(), "briq");
+    EXPECT_EQ(e.at("pid").AsInt(), 1);
+    EXPECT_EQ(e.at("tid").AsInt(), 1);
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("dur").is_number());
+    EXPECT_GE(e.at("ts").AsDouble(), 0.0);
+    if (e.Has("args") && e.at("args").Has("aggregated")) {
+      saw_aggregated = true;
+      // Aggregated leaves render at their parent's start.
+      EXPECT_DOUBLE_EQ(e.at("ts").AsDouble(), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_aggregated);
+  // The timed child sits at its offset within the root, in microseconds.
+  EXPECT_DOUBLE_EQ(events.at(1).at("ts").AsDouble(), 2500.0);
+  EXPECT_DOUBLE_EQ(events.at(1).at("dur").AsDouble(), 5000.0);
+}
+
+TEST(ChromeTraceJsonTest, SequentialLayoutWithoutBaseTimestamps) {
+  const util::Json trace =
+      ChromeTraceJson({MakeRoot("a", 0.001), MakeRoot("b", 0.002)});
+  const util::Json& events = trace.at("traceEvents");
+  ASSERT_EQ(events.size(), 4u);
+  // Root "b" starts where "a" ended, on its own track.
+  EXPECT_DOUBLE_EQ(events.at(0).at("ts").AsDouble(), 0.0);
+  EXPECT_EQ(events.at(0).at("tid").AsInt(), 1);
+  EXPECT_DOUBLE_EQ(events.at(2).at("ts").AsDouble(), 1000.0);
+  EXPECT_EQ(events.at(2).at("tid").AsInt(), 2);
+}
+
+TEST(ChromeTraceJsonTest, ExplicitBaseTimestampsPlaceRoots) {
+  const util::Json trace =
+      ChromeTraceJson({MakeRoot("a", 0.001), MakeRoot("b", 0.001)},
+                      {0.5, 0.25});
+  const util::Json& events = trace.at("traceEvents");
+  EXPECT_DOUBLE_EQ(events.at(0).at("ts").AsDouble(), 500000.0);
+  EXPECT_DOUBLE_EQ(events.at(2).at("ts").AsDouble(), 250000.0);
+}
+
+// TraceRing::Record works in both builds (only ScopedSpan is stubbed), so
+// the exporter end-to-end path is testable everywhere.
+TEST(TraceExporterTest, SinkReceivesEveryRootAndFlushWritesTheFile) {
+  const std::string path = TempPath("trace_export_e2e");
+  TraceRing ring(8);
+  TraceExportOptions options;
+  options.path = path;
+  options.sample_fraction = 1.0;  // keep everything
+  {
+    TraceExporter exporter(options);
+    exporter.Attach(&ring);
+    for (int i = 0; i < 5; ++i) {
+      ring.Record(MakeRoot("doc" + std::to_string(i), 0.001 * (i + 1)));
+    }
+    EXPECT_EQ(exporter.retained_roots(), 5u);
+    EXPECT_EQ(exporter.dropped_roots(), 0u);
+    ASSERT_TRUE(exporter.Flush().ok());
+    exporter.Detach();
+  }
+  const util::Json trace = ParseFile(path);
+  ASSERT_TRUE(trace.Has("traceEvents"));
+  EXPECT_EQ(trace.at("traceEvents").size(), 10u);  // 5 roots x 2 nodes
+  // Detached: later records must not reach the destroyed exporter.
+  ring.Record(MakeRoot("late", 0.001));
+  fs::remove(path);
+}
+
+TEST(TraceExporterTest, SlowestPerWindowSurviveWithoutSampling) {
+  const std::string path = TempPath("trace_export_slowest");
+  TraceRing ring(8);
+  TraceExportOptions options;
+  options.path = path;
+  options.sample_fraction = 0.0;  // tail-latency reservoir only
+  options.slowest_per_window = 2;
+  TraceExporter exporter(options);
+  exporter.Attach(&ring);
+  for (int i = 0; i < 5; ++i) {
+    // Durations 1ms..5ms in arrival order; only the slowest two survive.
+    ring.Record(MakeRoot("doc" + std::to_string(i), 0.001 * (i + 1)));
+  }
+  exporter.Detach();
+  EXPECT_EQ(exporter.retained_roots(), 2u);
+  EXPECT_EQ(exporter.dropped_roots(), 3u);
+  ASSERT_TRUE(exporter.Flush().ok());
+
+  std::set<std::string> names;
+  const util::Json trace = ParseFile(path);
+  for (const util::Json& e : trace.at("traceEvents").items()) {
+    names.insert(e.at("name").AsString());
+  }
+  EXPECT_TRUE(names.count("doc3") == 1 && names.count("doc4") == 1)
+      << "slowest-k reservoir must keep the two slowest documents";
+  EXPECT_EQ(names.count("doc0"), 0u);
+  fs::remove(path);
+}
+
+TEST(TraceExporterTest, MaxRootsBoundsRetentionAndCountsDrops) {
+  TraceRing ring(8);
+  TraceExportOptions options;
+  options.sample_fraction = 1.0;
+  options.max_roots = 2;
+  TraceExporter exporter(options);
+  exporter.Attach(&ring);
+  for (int i = 0; i < 10; ++i) {
+    ring.Record(MakeRoot("doc", 0.001));
+  }
+  exporter.Detach();
+  EXPECT_LE(exporter.retained_roots(), 2u);
+  EXPECT_GE(exporter.dropped_roots(), 8u);
+  EXPECT_TRUE(exporter.Flush().ok());  // path empty: flush is metadata-only
+}
+
+TEST(TraceExporterTest, RepeatedFlushRewritesAtomically) {
+  const std::string path = TempPath("trace_export_rewrite");
+  TraceRing ring(8);
+  TraceExportOptions options;
+  options.path = path;
+  options.sample_fraction = 1.0;
+  TraceExporter exporter(options);
+  exporter.Attach(&ring);
+  ring.Record(MakeRoot("first", 0.001));
+  ASSERT_TRUE(exporter.Flush().ok());
+  EXPECT_EQ(ParseFile(path).at("traceEvents").size(), 2u);
+  ring.Record(MakeRoot("second", 0.001));
+  ASSERT_TRUE(exporter.Flush().ok());
+  EXPECT_EQ(ParseFile(path).at("traceEvents").size(), 4u);
+  // No torn intermediate file left behind.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  exporter.Detach();
+  fs::remove(path);
+}
+
+TEST(TraceExporterTest, FlushFailsOnUnwritablePath) {
+  TraceRing ring(4);
+  TraceExportOptions options;
+  options.path = (fs::path(::testing::TempDir()) / "no_such_dir" /
+                  std::to_string(::getpid()) / "trace.json")
+                     .string();
+  options.sample_fraction = 1.0;
+  TraceExporter exporter(options);
+  exporter.Attach(&ring);
+  ring.Record(MakeRoot("doc", 0.001));
+  EXPECT_FALSE(exporter.Flush().ok());
+  exporter.Detach();
+}
+
+}  // namespace
+}  // namespace briq::obs
