@@ -46,9 +46,10 @@ struct BenchRecord {
   double docs_per_min = 0.0;
   int threads = 1;
   double wall_seconds = 0.0;
-  /// Execution path: "memory" (fully materialized corpus, AlignBatch) or
-  /// "stream" (sharded ingestion through core::StreamingAligner), so the
-  /// perf trajectory in BENCH_throughput.json distinguishes the two rates.
+  /// Execution path: "memory" (fully materialized corpus, AlignBatch),
+  /// "stream" (sharded ingestion through core::StreamingAligner), or
+  /// "train" (out-of-core training through core::StreamingTrainer), so the
+  /// perf trajectory in BENCH_throughput.json distinguishes the rates.
   std::string mode = "memory";
   /// Per-stage wall-clock breakdown in seconds (stage name -> total), from
   /// obs::AlignStageSecondsDelta over the run's metrics snapshots. Empty

@@ -18,6 +18,10 @@
 //                      (corpus::ShardWriter/Reader + core::StreamingAligner);
 //                      implied by --json so the perf trajectory always
 //                      records both the in-memory and streaming rates
+//   --train            also measure out-of-core training (shard read +
+//                      prepare + sample spill + forest fit through
+//                      core::StreamingTrainer); implied by --json, recorded
+//                      as mode "train"
 //   --shard-size <n>   documents per shard for the streaming rows
 //                      (default 32)
 //   --metrics-interval <sec>
@@ -32,6 +36,8 @@
 // time alignment of pre-prepared documents only, which is why the two
 // modes are recorded separately in BENCH_throughput.json.
 
+#include <sys/resource.h>
+
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -42,6 +48,7 @@
 
 #include "bench/harness.h"
 #include "core/streaming_aligner.h"
+#include "core/streaming_trainer.h"
 #include "corpus/shard_io.h"
 #include "obs/export.h"
 #include "obs/flusher.h"
@@ -121,8 +128,76 @@ void RunStreaming(const ExperimentSetup& setup, const corpus::Corpus& corpus,
   fs::remove_all(dir, ec);
 }
 
+// Measures the out-of-core training path end to end: shard read + prepare
+// + sample emission spilled to disk + forest fits off the spill files.
+// Appends "train"-mode records, one per thread count. Peak RSS is read via
+// getrusage after each run as a coarse memory note; it is process-wide and
+// monotone (the in-memory benches above inflate it), so it bounds — not
+// isolates — the trainer's own footprint.
+void RunTraining(int num_threads, size_t shard_size,
+                 obs::MetricsFlusher* flusher,
+                 std::vector<BenchRecord>* records) {
+  namespace fs = std::filesystem;
+  corpus::CorpusOptions options;
+  options.num_documents = 150;
+  options.seed = 31337;
+  corpus::Corpus corpus = corpus::GenerateCorpus(options);
+
+  const fs::path dir = fs::temp_directory_path() / "briq_table8_train";
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir / "shards");
+  auto paths = corpus::WriteCorpusShards(corpus, (dir / "shards").string(),
+                                         "corpus", shard_size);
+  if (!paths.ok()) {
+    std::cerr << "training bench skipped: " << paths.status().ToString()
+              << "\n";
+    return;
+  }
+  std::cout << "\nout-of-core training (" << corpus.size() << " docs as "
+            << paths->size() << " shards of <= " << shard_size
+            << " docs; rate includes shard parse + prepare + sample spill + "
+            << "forest fit):\n";
+
+  for (int threads : {1, num_threads}) {
+    fs::create_directories(dir / "spill");
+    core::StreamingTrainOptions train_options;
+    train_options.num_threads = threads;
+    train_options.spill_dir = (dir / "spill").string();
+    core::BriqConfig config;
+    core::BriqSystem system(config);
+    const size_t flushes_before =
+        flusher != nullptr ? flusher->flush_count() : 0;
+    util::Stopwatch watch;
+    util::Status status = core::TrainOnShardedCorpus(
+        &system, (dir / "shards").string(), "corpus", train_options);
+    const double seconds = watch.ElapsedSeconds();
+    if (!status.ok()) {
+      std::cerr << "training bench failed: " << status.ToString() << "\n";
+      break;
+    }
+    const double per_min = static_cast<double>(corpus.size()) / seconds * 60;
+    rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    std::cout << "  " << threads << " thread(s): " << FmtCount(corpus.size())
+              << " docs in " << Fmt2(seconds) << " s  ("
+              << FmtCount(static_cast<size_t>(per_min))
+              << " docs/min; process peak RSS " << usage.ru_maxrss
+              << " KiB — upper bound, the in-memory rows above share it)\n";
+    BenchRecord record{"table8_throughput", "total", per_min, threads,
+                       seconds, "train"};
+    if (flusher != nullptr) {
+      record.flushes = flusher->flush_count() - flushes_before;
+    }
+    records->push_back(std::move(record));
+    fs::remove_all(dir / "spill", ec);
+    if (threads == num_threads) break;  // avoid a duplicate 1-thread row
+  }
+  fs::remove_all(dir, ec);
+}
+
 void Run(int num_threads, const std::string& json_path, bool stream,
-         size_t shard_size, double metrics_interval) {
+         bool train, size_t shard_size, double metrics_interval) {
   // Train once on a mixed corpus.
   ExperimentSetup setup = BuildSetup(/*num_documents=*/250, /*seed=*/2024);
   std::vector<BenchRecord> records;
@@ -252,6 +327,9 @@ void Run(int num_threads, const std::string& json_path, bool stream,
     RunStreaming(setup, streaming_corpus, num_threads, shard_size,
                  flusher.get(), &records);
   }
+  if (train) {
+    RunTraining(num_threads, shard_size, flusher.get(), &records);
+  }
 
   // BriQ vs RWR-only speed (paper: 30x, RWR at 76 docs/min).
   {
@@ -290,6 +368,7 @@ int main(int argc, char** argv) {
   int num_threads = 8;
   size_t shard_size = 32;
   bool stream = false;
+  bool train = false;
   double metrics_interval = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -301,16 +380,21 @@ int main(int argc, char** argv) {
       metrics_interval = std::atof(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--stream") == 0) {
       stream = true;
+    } else if (std::strcmp(argv[i], "--train") == 0) {
+      train = true;
     }
   }
   if (num_threads < 1) num_threads = 1;
   if (shard_size < 1) shard_size = 1;
   if (metrics_interval < 0.0) metrics_interval = 0.0;
   const std::string json_path = briq::bench::JsonPathFromArgs(argc, argv);
-  // --json implies the streaming rows: the tracked perf trajectory should
-  // always contain both modes.
-  if (!json_path.empty()) stream = true;
-  briq::bench::Run(num_threads, json_path, stream, shard_size,
+  // --json implies the streaming and training rows: the tracked perf
+  // trajectory should always contain every mode.
+  if (!json_path.empty()) {
+    stream = true;
+    train = true;
+  }
+  briq::bench::Run(num_threads, json_path, stream, train, shard_size,
                    metrics_interval);
   return 0;
 }

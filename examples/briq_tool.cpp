@@ -15,6 +15,13 @@
 //   briq_tool align <shard_dir> --stream            align a whole sharded
 //                                                   corpus through the
 //                                                   streaming pipeline
+//   briq_tool train <corpus.json|shard_dir> --model-out <model>
+//                                                   stream-train and persist
+//                                                   a briq-model-v1 file
+//
+// "Train once, serve many": `train --model-out` writes the forests to disk,
+// and eval / align / serve accept `--model <path>` to skip in-process
+// training entirely.
 
 #include <chrono>
 #include <cstdint>
@@ -32,6 +39,7 @@
 #include "core/evaluation.h"
 #include "core/pipeline.h"
 #include "core/streaming_aligner.h"
+#include "core/streaming_trainer.h"
 #include "corpus/generator.h"
 #include "corpus/serialization.h"
 #include "corpus/shard_io.h"
@@ -61,6 +69,9 @@ void PrintUsage(std::ostream& out) {
       " [--metrics-out <path>]\n"
       "  briq_tool align <shard_dir> --stream [--threads <n>]"
       " [--metrics-out <path>]\n"
+      "  briq_tool train <corpus.json|shard_dir> --model-out <model>\n"
+      "                  [--train-pct <p>] [--threads <n>] [--spill-dir <d>]\n"
+      "                  [--max-samples <n>] [--metrics-out <path>]\n"
       "  briq_tool serve [--serve-port <p>] [--serve-linger <sec>]\n"
       "\n"
       "flags:\n"
@@ -68,10 +79,21 @@ void PrintUsage(std::ostream& out) {
       "                        trace spans) as JSON when the command ends\n"
       "  --stream              align every document of a sharded corpus\n"
       "                        through the bounded-memory streaming pipeline\n"
-      "  --threads <n>         worker threads for --stream (default:\n"
+      "  --threads <n>         worker threads for --stream / train (default:\n"
       "                        hardware concurrency)\n"
+      "  --model <path>        (eval / align / serve) load a briq-model-v1\n"
+      "                        file written by `train --model-out` instead\n"
+      "                        of training in-process\n"
+      "  --model-out <path>    (train) where to write the trained model\n"
+      "  --train-pct <p>       (train) train on the first <p> percent of the\n"
+      "                        corpus (default 90, matching eval's split)\n"
+      "  --spill-dir <d>       (train) spill training samples to checksummed\n"
+      "                        files under <d> and fit out-of-core, keeping\n"
+      "                        peak memory independent of the corpus size\n"
+      "  --max-samples <n>     (train) with --spill-dir, keep a seeded\n"
+      "                        uniform reservoir of <n> samples per forest\n"
       "\n"
-      "continuous telemetry (eval / align / serve):\n"
+      "continuous telemetry (train / eval / align / serve):\n"
       "  --metrics-interval <sec>    append a metrics JSONL record every\n"
       "                              <sec> seconds while the job runs\n"
       "  --metrics-every-docs <n>    ... and/or every <n> documents\n"
@@ -407,6 +429,150 @@ Trained TrainOn(const corpus::Corpus& corpus, int holdout) {
   return t;
 }
 
+/// "Serve" half of train-once-serve-many: prepares the corpus and restores
+/// the forests from a briq-model-v1 file instead of training in-process.
+util::Result<Trained> TrainedFromModel(const corpus::Corpus& corpus,
+                                       const std::string& model_path) {
+  Trained t;
+  for (const auto& d : corpus.documents) {
+    t.prepared.push_back(core::PrepareDocument(d, t.config));
+  }
+  t.system = std::make_unique<core::BriqSystem>(t.config);
+  BRIQ_RETURN_IF_ERROR(t.system->LoadModel(model_path));
+  return t;
+}
+
+/// Dispatches on --model: load a persisted model, or train in-process the
+/// way the command always has. Returns nullopt (after printing the error)
+/// when the model cannot be loaded.
+std::optional<Trained> TrainOrLoad(int argc, char** argv,
+                                   const corpus::Corpus& corpus, int holdout) {
+  if (const std::optional<std::string> model =
+          FlagValue(argc, argv, "--model")) {
+    util::Result<Trained> t = TrainedFromModel(corpus, *model);
+    if (!t.ok()) {
+      std::cerr << t.status().ToString() << "\n";
+      return std::nullopt;
+    }
+    return std::move(t).value();
+  }
+  return TrainOn(corpus, holdout);
+}
+
+/// `briq_tool train`: streams the first --train-pct percent of the corpus
+/// through the StreamingTrainer and writes the result as a briq-model-v1
+/// file. A sharded corpus never materializes in memory; add --spill-dir to
+/// also keep the training samples out of core.
+int Train(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::optional<std::string> model_out =
+      FlagValue(argc, argv, "--model-out");
+  if (!model_out) {
+    std::cerr << "train requires --model-out <path>\n";
+    return Usage();
+  }
+
+  size_t train_pct = 90;
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--train-pct")) {
+    const std::optional<size_t> parsed = ParseSize(v->c_str());
+    if (!parsed || *parsed == 0 || *parsed > 100) return Usage();
+    train_pct = *parsed;
+  }
+
+  core::StreamingTrainOptions options;
+  if (const std::optional<std::string> threads =
+          FlagValue(argc, argv, "--threads")) {
+    const std::optional<size_t> parsed = ParseSize(threads->c_str());
+    if (!parsed) return Usage();
+    options.num_threads = static_cast<int>(*parsed);
+  }
+  if (const std::optional<std::string> spill =
+          FlagValue(argc, argv, "--spill-dir")) {
+    options.spill_dir = *spill;
+    std::error_code ec;
+    std::filesystem::create_directories(*spill, ec);
+  }
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--max-samples")) {
+    const std::optional<size_t> parsed = ParseSize(v->c_str());
+    if (!parsed) return Usage();
+    if (options.spill_dir.empty()) {
+      std::cerr << "--max-samples requires --spill-dir\n";
+      return Usage();
+    }
+    options.max_classifier_samples = *parsed;
+    options.max_tagger_samples = *parsed;
+  }
+
+  core::BriqConfig config;
+  core::BriqSystem system(config);
+  core::StreamingTrainer trainer(&system, options);
+  size_t total_docs = 0;
+  size_t trained_docs = 0;
+  util::Status status;
+
+  std::error_code ec;
+  if (std::filesystem::is_directory(argv[2], ec)) {
+    // Sharded corpus: count documents from the shard headers (cheap), then
+    // stream — the corpus itself never materializes in memory.
+    auto count = corpus::CountShardedDocuments(argv[2], kShardStem);
+    if (!count.ok()) {
+      std::cerr << count.status().ToString() << "\n";
+      return 1;
+    }
+    total_docs = *count;
+    const size_t limit = total_docs * train_pct / 100;
+    auto reader = corpus::ShardedCorpusReader::Open(argv[2], kShardStem);
+    if (!reader.ok()) {
+      std::cerr << reader.status().ToString() << "\n";
+      return 1;
+    }
+    status = trainer.Train(
+        [&]() -> util::Result<std::optional<corpus::Document>> {
+          if (trained_docs >= limit) {
+            return std::optional<corpus::Document>(std::nullopt);
+          }
+          auto next = reader->Next();
+          if (next.ok() && next->has_value()) ++trained_docs;
+          return next;
+        });
+  } else {
+    auto corpus = corpus::LoadCorpus(argv[2]);
+    if (!corpus.ok()) {
+      std::cerr << corpus.status().ToString() << "\n";
+      return 1;
+    }
+    total_docs = corpus->size();
+    const size_t limit = total_docs * train_pct / 100;
+    status = trainer.Train(
+        [&]() -> util::Result<std::optional<corpus::Document>> {
+          if (trained_docs >= limit) {
+            return std::optional<corpus::Document>(std::nullopt);
+          }
+          return std::optional<corpus::Document>(
+              corpus->documents[trained_docs++]);
+        });
+  }
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  status = system.SaveModel(*model_out);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  const auto& stats = system.classifier().stats();
+  std::cout << "trained on " << trained_docs << " of " << total_docs
+            << " documents (" << train_pct << "%), "
+            << stats.total_positives << " positive / "
+            << stats.total_negatives << " negative pairs\n"
+            << "wrote model to " << *model_out << "\n";
+  return 0;
+}
+
 int Eval(int argc, char** argv) {
   if (argc < 3) return Usage();
   auto corpus = Load(argv[2]);
@@ -414,7 +580,10 @@ int Eval(int argc, char** argv) {
     std::cerr << corpus.status().ToString() << "\n";
     return 1;
   }
-  Trained t = TrainOn(*corpus, /*holdout=*/-1);
+  std::optional<Trained> trained = TrainOrLoad(argc, argv, *corpus,
+                                               /*holdout=*/-1);
+  if (!trained) return 1;
+  Trained t = std::move(*trained);
   std::vector<core::PreparedDocument> test(
       t.prepared.begin() + corpus->size() * 9 / 10, t.prepared.end());
   if (test.empty()) {
@@ -458,7 +627,10 @@ int AlignStream(int argc, char** argv) {
     std::cerr << corpus.status().ToString() << "\n";
     return 1;
   }
-  Trained t = TrainOn(*corpus, /*holdout=*/-1);
+  std::optional<Trained> trained = TrainOrLoad(argc, argv, *corpus,
+                                               /*holdout=*/-1);
+  if (!trained) return 1;
+  Trained t = std::move(*trained);
 
   core::StreamingOptions options;
   if (const std::optional<std::string> threads =
@@ -501,7 +673,10 @@ int AlignOne(int argc, char** argv) {
               << " documents)\n";
     return 1;
   }
-  Trained t = TrainOn(*corpus, index);
+  std::optional<Trained> trained =
+      TrainOrLoad(argc, argv, *corpus, static_cast<int>(index));
+  if (!trained) return 1;
+  Trained t = std::move(*trained);
   const core::PreparedDocument& doc = t.prepared[index];
   core::DocumentAlignment alignment = t.system->Align(doc);
 
@@ -526,6 +701,19 @@ int AlignOne(int argc, char** argv) {
 /// smoke tests. Serves until GET /quitquitquit or --serve-linger expires
 /// (default: one hour, so a forgotten instance doesn't live forever).
 int Serve(int argc, char** argv) {
+  // --model: validate and hold a persisted model while serving — the
+  // smoke-level proof that a serving process needs no training corpus.
+  std::unique_ptr<core::BriqSystem> system;
+  if (const std::optional<std::string> model =
+          FlagValue(argc, argv, "--model")) {
+    system = std::make_unique<core::BriqSystem>(core::BriqConfig{});
+    const util::Status status = system->LoadModel(*model);
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "loaded model " << *model << "\n";
+  }
   uint16_t port = 0;
   if (const std::optional<std::string> v =
           FlagValue(argc, argv, "--serve-port")) {
@@ -601,6 +789,10 @@ int main(int argc, char** argv) {
   if (cmd == "eval") {
     return RunWithTelemetry(argc, argv, "briq.align.documents",
                             [&] { return Eval(argc, argv); });
+  }
+  if (cmd == "train") {
+    return RunWithTelemetry(argc, argv, "briq.train.documents",
+                            [&] { return Train(argc, argv); });
   }
   if (cmd == "align") {
     const bool stream = HasFlag(argc, argv, "--stream");

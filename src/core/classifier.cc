@@ -2,63 +2,159 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "core/gt_matching.h"
 #include "ml/dataset.h"
+#include "util/binary_io.h"
 #include "util/logging.h"
 
 namespace briq::core {
 
-void MentionPairClassifier::Train(
-    const std::vector<const PreparedDocument*>& docs, util::Rng* rng) {
-  stats_ = TrainingStats();
-  ml::Dataset data(0);
-  bool sized = false;
+util::Status MentionPairClassifier::EmitTrainingSamples(
+    const PreparedDocument& doc, const FeatureComputer& features,
+    ml::SampleSink* sink, TrainingStats* stats) const {
+  for (const MatchedGroundTruth& m : MatchGroundTruth(doc)) {
+    if (m.text_idx < 0 || m.table_idx < 0) continue;
+    const size_t x = static_cast<size_t>(m.text_idx);
+    const size_t t_pos = static_cast<size_t>(m.table_idx);
 
+    BRIQ_RETURN_IF_ERROR(
+        sink->Add(features.Compute(x, t_pos), /*label=*/1));
+    const auto func = doc.table_mentions[t_pos].func;
+    ++stats->positives[func];
+    ++stats->total_positives;
+
+    // Hard negatives: the numerically closest non-matching table
+    // mentions ("approximately the same values and similar context").
+    // std::sort on the precomputed distances is deterministic for a given
+    // document, so the emitted row order — and everything trained from it
+    // — is a pure function of the document stream.
+    const double xv = doc.text_mentions[x].q.value;
+    std::vector<size_t> order(doc.table_mentions.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return quantity::RelativeDifference(xv, doc.table_mentions[a].value) <
+             quantity::RelativeDifference(xv, doc.table_mentions[b].value);
+    });
+    int taken = 0;
+    for (size_t j : order) {
+      if (taken >= config_->negatives_per_positive) break;
+      if (j == t_pos) continue;
+      BRIQ_RETURN_IF_ERROR(sink->Add(features.Compute(x, j), /*label=*/0));
+      ++stats->negatives[doc.table_mentions[j].func];
+      ++stats->total_negatives;
+      ++taken;
+    }
+  }
+  return util::Status::OK();
+}
+
+void MentionPairClassifier::Train(
+    const std::vector<const PreparedDocument*>& docs) {
+  TrainingStats stats;
+  ml::InMemorySampleSink sink(NumActivePairFeatures(*config_));
   for (const PreparedDocument* doc : docs) {
     FeatureComputer features(*doc, *config_);
-    if (!sized) {
-      data = ml::Dataset(features.NumActive());
-      sized = true;
-    }
-    for (const MatchedGroundTruth& m : MatchGroundTruth(*doc)) {
-      if (m.text_idx < 0 || m.table_idx < 0) continue;
-      const size_t x = static_cast<size_t>(m.text_idx);
-      const size_t t_pos = static_cast<size_t>(m.table_idx);
-
-      data.Add(features.Compute(x, t_pos), /*label=*/1);
-      const auto func = doc->table_mentions[t_pos].func;
-      ++stats_.positives[func];
-      ++stats_.total_positives;
-
-      // Hard negatives: the numerically closest non-matching table
-      // mentions ("approximately the same values and similar context").
-      const double xv = doc->text_mentions[x].q.value;
-      std::vector<size_t> order(doc->table_mentions.size());
-      std::iota(order.begin(), order.end(), 0);
-      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        return quantity::RelativeDifference(xv, doc->table_mentions[a].value) <
-               quantity::RelativeDifference(xv, doc->table_mentions[b].value);
-      });
-      int taken = 0;
-      for (size_t j : order) {
-        if (taken >= config_->negatives_per_positive) break;
-        if (j == t_pos) continue;
-        data.Add(features.Compute(x, j), /*label=*/0);
-        ++stats_.negatives[doc->table_mentions[j].func];
-        ++stats_.total_negatives;
-        ++taken;
-      }
-      (void)rng;
-    }
+    const util::Status status =
+        EmitTrainingSamples(*doc, features, &sink, &stats);
+    BRIQ_CHECK(status.ok()) << "in-memory sample emission cannot fail: "
+                            << status.ToString();
   }
+  const util::Status status = TrainFromSource(
+      ml::DatasetSampleSource(&sink.dataset()), std::move(stats));
+  BRIQ_CHECK(status.ok()) << "in-memory training cannot fail: "
+                          << status.ToString();
+}
 
-  if (data.empty() || data.num_classes() < 2) {
+util::Status MentionPairClassifier::TrainFromSource(
+    const ml::SampleSource& source, TrainingStats stats) {
+  stats_ = std::move(stats);
+  forest_ = ml::RandomForest();
+  if (source.size() == 0) {
     BRIQ_LOG(Warning) << "classifier training data is empty or single-class; "
                          "forest not fitted";
-    return;
+    return util::Status::OK();
   }
-  forest_.Fit(data, config_->forest);
+  // The class scan mirrors Dataset::num_classes(): a single-class source
+  // cannot train a pair scorer.
+  bool has_positive = false;
+  bool has_negative = false;
+  {
+    std::vector<double> row(static_cast<size_t>(source.num_features()));
+    int label = 0;
+    double weight = 0.0;
+    for (size_t i = 0; i < source.size() && !(has_positive && has_negative);
+         ++i) {
+      BRIQ_RETURN_IF_ERROR(source.Read(i, row.data(), &label, &weight));
+      (label > 0 ? has_positive : has_negative) = true;
+    }
+  }
+  if (!has_positive || !has_negative) {
+    BRIQ_LOG(Warning) << "classifier training data is empty or single-class; "
+                         "forest not fitted";
+    return util::Status::OK();
+  }
+  forest_.Fit(source, config_->forest);
+  return util::Status::OK();
+}
+
+util::Status MentionPairClassifier::Save(std::ostream& out) const {
+  BRIQ_RETURN_IF_ERROR(forest_.Save(out));
+  util::WritePod(out, static_cast<uint64_t>(stats_.total_positives));
+  util::WritePod(out, static_cast<uint64_t>(stats_.total_negatives));
+  const auto write_map =
+      [&out](const std::map<table::AggregateFunction, size_t>& counts) {
+        util::WritePod(out, static_cast<uint32_t>(counts.size()));
+        for (const auto& [func, count] : counts) {
+          util::WritePod(out, static_cast<int32_t>(func));
+          util::WritePod(out, static_cast<uint64_t>(count));
+        }
+      };
+  write_map(stats_.positives);
+  write_map(stats_.negatives);
+  if (!out.good()) {
+    return util::Status::Internal("classifier serialization stream failed");
+  }
+  return util::Status::OK();
+}
+
+util::Status MentionPairClassifier::Load(std::istream& in) {
+  ml::RandomForest forest;
+  BRIQ_RETURN_IF_ERROR(forest.Load(in));
+  TrainingStats stats;
+  uint64_t total_positives = 0;
+  uint64_t total_negatives = 0;
+  if (!util::ReadPod(in, &total_positives) ||
+      !util::ReadPod(in, &total_negatives)) {
+    return util::Status::ParseError("classifier model truncated in stats");
+  }
+  const auto read_map =
+      [&in](std::map<table::AggregateFunction, size_t>* counts)
+      -> util::Status {
+    uint32_t entries = 0;
+    if (!util::ReadPod(in, &entries) || entries > 1024) {
+      return util::Status::ParseError("classifier model stats map corrupt");
+    }
+    for (uint32_t i = 0; i < entries; ++i) {
+      int32_t func = 0;
+      uint64_t count = 0;
+      if (!util::ReadPod(in, &func) || !util::ReadPod(in, &count)) {
+        return util::Status::ParseError("classifier model truncated in "
+                                        "stats map");
+      }
+      (*counts)[static_cast<table::AggregateFunction>(func)] =
+          static_cast<size_t>(count);
+    }
+    return util::Status::OK();
+  };
+  stats.total_positives = static_cast<size_t>(total_positives);
+  stats.total_negatives = static_cast<size_t>(total_negatives);
+  BRIQ_RETURN_IF_ERROR(read_map(&stats.positives));
+  BRIQ_RETURN_IF_ERROR(read_map(&stats.negatives));
+  forest_ = std::move(forest);
+  stats_ = std::move(stats);
+  return util::Status::OK();
 }
 
 double MentionPairClassifier::Score(const FeatureComputer& features,

@@ -1,6 +1,7 @@
 #ifndef BRIQ_CORE_CLASSIFIER_H_
 #define BRIQ_CORE_CLASSIFIER_H_
 
+#include <iosfwd>
 #include <map>
 #include <vector>
 
@@ -8,7 +9,8 @@
 #include "core/extraction.h"
 #include "core/features.h"
 #include "ml/random_forest.h"
-#include "util/random.h"
+#include "ml/sample_sink.h"
+#include "util/status.h"
 
 namespace briq::core {
 
@@ -34,9 +36,32 @@ class MentionPairClassifier {
   /// pair is complemented with config.negatives_per_positive hard negatives
   /// — the non-matching table mentions numerically closest to the text
   /// mention (paper §VII-B). Class imbalance is countered by balanced
-  /// sample weights inside the forest.
-  void Train(const std::vector<const PreparedDocument*>& docs,
-             util::Rng* rng);
+  /// sample weights inside the forest. A thin adapter over
+  /// EmitTrainingSamples + TrainFromSource; sample emission is fully
+  /// deterministic in document order, so this needs no Rng.
+  void Train(const std::vector<const PreparedDocument*>& docs);
+
+  /// Streams one document's training rows — the ground-truth positive and
+  /// its hard negatives per matched pair, in deterministic order — into
+  /// `sink`, accumulating the per-type counts into `stats`. The streaming
+  /// trainer calls this per document; Train() above is a loop over it.
+  /// `features` must be a computer over `doc` with this config.
+  util::Status EmitTrainingSamples(const PreparedDocument& doc,
+                                   const FeatureComputer& features,
+                                   ml::SampleSink* sink,
+                                   TrainingStats* stats) const;
+
+  /// Fits the forest from already-emitted rows. `stats` are the emission
+  /// counts belonging to the source's rows (kept for Table I reporting).
+  /// Empty or single-class sources leave the classifier untrained (with a
+  /// warning), mirroring Train().
+  util::Status TrainFromSource(const ml::SampleSource& source,
+                               TrainingStats stats);
+
+  /// Serializes forest + training stats (versioned payload inside the
+  /// briq-model-v1 container, see BriqSystem::SaveModel).
+  util::Status Save(std::ostream& out) const;
+  util::Status Load(std::istream& in);
 
   /// P(pair is related) in [0, 1]. Allocation-free in steady state (the
   /// feature vector lives in per-thread scratch) and safe to call from

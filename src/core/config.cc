@@ -36,4 +36,13 @@ bool BriqConfig::FeatureActive(int f) const {
          active_features.end();
 }
 
+int NumActivePairFeatures(const BriqConfig& config) {
+  if (config.active_features.empty()) return kNumPairFeatures;
+  int n = 0;
+  for (int i = 0; i < kNumPairFeatures; ++i) {
+    if (config.FeatureActive(i)) ++n;
+  }
+  return n;
+}
+
 }  // namespace briq::core

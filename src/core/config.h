@@ -119,6 +119,11 @@ struct BriqConfig {
   bool FeatureActive(int f) const;
 };
 
+/// Number of pair features active under `config.active_features`
+/// (kNumPairFeatures when the mask is empty). Depends only on the config,
+/// so training sinks can be sized before the first document arrives.
+int NumActivePairFeatures(const BriqConfig& config);
+
 }  // namespace briq::core
 
 #endif  // BRIQ_CORE_CONFIG_H_

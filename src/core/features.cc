@@ -229,12 +229,7 @@ void FeatureComputer::Compute(size_t text_idx, size_t table_idx,
 }
 
 int FeatureComputer::NumActive() const {
-  if (config_.active_features.empty()) return kNumPairFeatures;
-  int n = 0;
-  for (int i = 0; i < kNumPairFeatures; ++i) {
-    if (config_.FeatureActive(i)) ++n;
-  }
-  return n;
+  return NumActivePairFeatures(config_);
 }
 
 double FeatureComputer::UniformSimilarity(size_t text_idx,

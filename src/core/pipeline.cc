@@ -1,10 +1,29 @@
 #include "core/pipeline.h"
 
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "util/random.h"
+#include "util/binary_io.h"
+#include "util/hash.h"
 
 namespace briq::core {
+
+namespace {
+
+/// briq-model-v1 container: a text magic line, then a fixed binary header
+/// (payload size + FNV-1a 64 checksum), then the payload — the classifier
+/// and tagger sections in order. The checksum covers the whole payload, so
+/// truncated or corrupted model files are rejected before any forest is
+/// deserialized (same policy as briq-shard-v1 and briq-samples-v1).
+constexpr char kModelMagic[] = "briq-model-v1\n";
+constexpr size_t kModelMagicLen = sizeof(kModelMagic) - 1;
+
+}  // namespace
 
 BriqSystem::BriqSystem(BriqConfig config)
     : config_(std::move(config)),
@@ -19,13 +38,98 @@ util::Status BriqSystem::Train(
     return util::Status::InvalidArgument("no training documents");
   }
   tagger_.Train(docs);
-  util::Rng rng(config_.seed);
-  classifier_.Train(docs, &rng);
+  classifier_.Train(docs);
   if (!classifier_.trained()) {
     return util::Status::FailedPrecondition(
         "classifier training produced no usable data (no matched "
         "ground-truth pairs?)");
   }
+  return util::Status::OK();
+}
+
+util::Status BriqSystem::SaveModel(const std::string& path) const {
+  if (!classifier_.trained()) {
+    return util::Status::FailedPrecondition(
+        "SaveModel requires a trained classifier");
+  }
+  std::ostringstream payload_stream(std::ios::binary);
+  BRIQ_RETURN_IF_ERROR(classifier_.Save(payload_stream));
+  BRIQ_RETURN_IF_ERROR(tagger_.Save(payload_stream));
+  const std::string payload = payload_stream.str();
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return util::Status::NotFound("cannot open model file for writing: " +
+                                  path);
+  }
+  out.write(kModelMagic, static_cast<std::streamsize>(kModelMagicLen));
+  util::WritePod(out, static_cast<uint64_t>(payload.size()));
+  util::WritePod(out, util::Fnv1a64(payload));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  if (!out.good()) {
+    return util::Status::Internal("model write failed: " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Status BriqSystem::LoadModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status::NotFound("cannot open model file: " + path);
+  }
+  char magic[kModelMagicLen];
+  in.read(magic, static_cast<std::streamsize>(kModelMagicLen));
+  if (in.gcount() != static_cast<std::streamsize>(kModelMagicLen) ||
+      std::memcmp(magic, kModelMagic, kModelMagicLen) != 0) {
+    return util::Status::ParseError("not a briq-model-v1 file: " + path);
+  }
+  uint64_t payload_size = 0;
+  uint64_t checksum = 0;
+  if (!util::ReadPod(in, &payload_size) || !util::ReadPod(in, &checksum)) {
+    return util::Status::ParseError("model file truncated in header: " + path);
+  }
+  if (payload_size > (uint64_t{1} << 32)) {
+    return util::Status::ParseError("model file declares an implausible " +
+                                    std::to_string(payload_size) +
+                                    "-byte payload: " + path);
+  }
+  std::string payload(static_cast<size_t>(payload_size), '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (in.gcount() != static_cast<std::streamsize>(payload.size())) {
+    return util::Status::ParseError(
+        "model file truncated: header declares " +
+        std::to_string(payload_size) + " payload bytes: " + path);
+  }
+  if (in.peek() != std::char_traits<char>::eof()) {
+    return util::Status::ParseError(
+        "model file has trailing data beyond its declared payload: " + path);
+  }
+  const uint64_t actual = util::Fnv1a64(payload);
+  if (actual != checksum) {
+    return util::Status::ParseError("model file checksum mismatch: " + path);
+  }
+
+  // Deserialize into scratch components first so a bad file cannot leave
+  // this system half-replaced.
+  std::istringstream payload_stream(payload, std::ios::binary);
+  MentionPairClassifier classifier(&config_);
+  TextMentionTagger tagger(&config_);
+  BRIQ_RETURN_IF_ERROR(classifier.Load(payload_stream));
+  BRIQ_RETURN_IF_ERROR(tagger.Load(payload_stream));
+  if (!classifier.trained()) {
+    return util::Status::FailedPrecondition(
+        "model file has no fitted classifier forest: " + path);
+  }
+  if (classifier.forest().num_features() != NumActivePairFeatures(config_)) {
+    return util::Status::FailedPrecondition(
+        "model was trained with " +
+        std::to_string(classifier.forest().num_features()) +
+        " pair features but this config activates " +
+        std::to_string(NumActivePairFeatures(config_)) + ": " + path);
+  }
+  classifier_ = std::move(classifier);
+  tagger_ = std::move(tagger);
   return util::Status::OK();
 }
 

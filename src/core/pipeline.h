@@ -16,6 +16,8 @@
 
 namespace briq::core {
 
+class StreamingTrainer;
+
 /// The full BriQ system (paper Fig. 2): mention-pair classifier + text
 /// mention tagger + adaptive filtering + random-walk global resolution.
 ///
@@ -23,13 +25,30 @@ namespace briq::core {
 ///   BriqSystem briq(config);
 ///   briq.Train(train_docs);                   // prepared training docs
 ///   DocumentAlignment a = briq.Align(doc);    // inference
+///
+/// Train() holds every prepared document in memory; for corpora that do
+/// not fit, core/streaming_trainer.h trains the same components shard by
+/// shard in bounded memory (bit-identical result), and SaveModel /
+/// LoadModel separate training from serving entirely.
 class BriqSystem : public Aligner {
  public:
   explicit BriqSystem(BriqConfig config);
 
   /// Trains the tagger and the mention-pair classifier on prepared
-  /// documents carrying ground truth.
+  /// documents carrying ground truth. A thin adapter over the streaming
+  /// emission path (classifier/tagger EmitTrainingSamples +
+  /// TrainFromSource); produces a forest bit-identical to a
+  /// StreamingTrainer run over the same documents.
   util::Status Train(const std::vector<const PreparedDocument*>& docs);
+
+  /// Writes the trained tagger + classifier to `path` in the checksummed
+  /// "briq-model-v1" binary container. Requires a trained classifier.
+  util::Status SaveModel(const std::string& path) const;
+
+  /// Restores a model written by SaveModel, replacing any trained state.
+  /// Validates that the stored forests match this config's feature
+  /// counts (a model trained under a different ablation mask is rejected).
+  util::Status LoadModel(const std::string& path);
 
   DocumentAlignment Align(const PreparedDocument& doc) const override;
 
@@ -47,6 +66,10 @@ class BriqSystem : public Aligner {
   const TextMentionTagger& tagger() const { return tagger_; }
 
  private:
+  // The streaming trainer feeds the tagger and classifier incrementally —
+  // it is the out-of-core implementation of Train(), not an outside user.
+  friend class StreamingTrainer;
+
   BriqConfig config_;
   TextMentionTagger tagger_;
   MentionPairClassifier classifier_;

@@ -1,0 +1,379 @@
+#include "core/streaming_trainer.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/extraction.h"
+#include "core/features.h"
+#include "core/tagger.h"
+#include "corpus/shard_io.h"
+#include "ml/sample_sink.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/bounded_queue.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace briq::core {
+
+namespace {
+
+/// briq.train.* instruments (DESIGN.md §5f). Counters are cumulative
+/// across runs like every other layer's; the queue instruments live under
+/// `briq.train.*` via QueueTelemetry.
+struct TrainMetrics {
+  obs::Counter* documents;
+  obs::Counter* samples;
+  obs::Counter* tagger_samples;
+  obs::Counter* spill_bytes;
+  obs::Histogram* fit_seconds;
+
+  static const TrainMetrics& Get() {
+    static TrainMetrics m = [] {
+      obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+      TrainMetrics metrics;
+      metrics.documents = registry.GetCounter("briq.train.documents");
+      metrics.samples = registry.GetCounter("briq.train.samples");
+      metrics.tagger_samples = registry.GetCounter("briq.train.tagger_samples");
+      metrics.spill_bytes = registry.GetCounter("briq.train.spill_bytes");
+      metrics.fit_seconds = registry.GetHistogram(
+          "briq.train.fit_seconds", obs::DefaultLatencyBuckets());
+      return metrics;
+    }();
+    return m;
+  }
+};
+
+/// One document's worth of training rows, buffered by a worker and
+/// replayed into the shared sinks by the in-order emitter. Buffering whole
+/// batches (instead of locking per row) is what makes the global row order
+/// equal to the sequential document order at any thread count.
+struct DocBatch {
+  DocBatch(int num_pair_features, int num_tagger_features)
+      : pair_rows(num_pair_features), tagger_rows(num_tagger_features) {}
+
+  ml::InMemorySampleSink pair_rows;
+  ml::InMemorySampleSink tagger_rows;
+  MentionPairClassifier::TrainingStats stats;
+};
+
+struct WorkItem {
+  size_t index = 0;
+  corpus::Document doc;
+};
+
+/// Reordering emitter, same discipline as streaming_aligner.cc: batches
+/// park in `ready` until every earlier document has been replayed, and the
+/// emit window bounds the buffer at O(queue + threads) documents.
+struct EmitState {
+  std::mutex mu;
+  std::condition_variable advanced;
+  std::map<size_t, DocBatch> ready;
+  size_t next_emit = 0;
+  size_t window = 0;
+  bool failed = false;
+  /// First sink error (spill I/O); set together with `failed`.
+  util::Status sink_status = util::Status::OK();
+};
+
+void MergeStats(const MentionPairClassifier::TrainingStats& from,
+                MentionPairClassifier::TrainingStats* into) {
+  for (const auto& [func, count] : from.positives) {
+    into->positives[func] += count;
+  }
+  for (const auto& [func, count] : from.negatives) {
+    into->negatives[func] += count;
+  }
+  into->total_positives += from.total_positives;
+  into->total_negatives += from.total_negatives;
+}
+
+/// Replays one batch into the shared sinks + stats. Caller holds no lock;
+/// this is only ever invoked from the emitter's critical section or the
+/// inline path, so sink Add calls are strictly ordered.
+util::Status ReplayBatch(const DocBatch& batch, ml::SampleSink* pair_sink,
+                         ml::SampleSink* tagger_sink,
+                         MentionPairClassifier::TrainingStats* stats) {
+  const ml::Dataset& pairs = batch.pair_rows.dataset();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    BRIQ_RETURN_IF_ERROR(
+        pair_sink->Add(pairs.row(i), pairs.label(i), pairs.weight(i)));
+  }
+  const ml::Dataset& tags = batch.tagger_rows.dataset();
+  for (size_t i = 0; i < tags.size(); ++i) {
+    BRIQ_RETURN_IF_ERROR(
+        tagger_sink->Add(tags.row(i), tags.label(i), tags.weight(i)));
+  }
+  MergeStats(batch.stats, stats);
+  const TrainMetrics& metrics = TrainMetrics::Get();
+  metrics.documents->Add();
+  metrics.samples->Add(pairs.size());
+  metrics.tagger_samples->Add(tags.size());
+  return util::Status::OK();
+}
+
+/// Parks one batch and replays the contiguous prefix. Mirrors
+/// streaming_aligner.cc's EmitInOrder, plus error propagation: a sink
+/// failure (disk full, say) flips `failed` so the whole pipeline drains.
+void EmitInOrder(EmitState* state, size_t index, DocBatch batch,
+                 ml::SampleSink* pair_sink, ml::SampleSink* tagger_sink,
+                 MentionPairClassifier::TrainingStats* stats) {
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->advanced.wait(lock, [state, index] {
+    return state->failed || index < state->next_emit + state->window;
+  });
+  if (state->failed) return;
+  state->ready.emplace(index, std::move(batch));
+  while (!state->ready.empty() &&
+         state->ready.begin()->first == state->next_emit) {
+    auto node = state->ready.extract(state->ready.begin());
+    util::Status status =
+        ReplayBatch(node.mapped(), pair_sink, tagger_sink, stats);
+    if (!status.ok()) {
+      state->failed = true;
+      state->sink_status = std::move(status);
+      break;
+    }
+    ++state->next_emit;
+  }
+  lock.unlock();
+  state->advanced.notify_all();
+}
+
+/// Per-document work shared by the inline and pooled paths: prepare,
+/// compute features, emit both components' rows into a local batch.
+/// In-memory emission cannot fail, so errors here are programming bugs.
+DocBatch BuildBatch(const corpus::Document& doc, const BriqConfig& config,
+                    const TextMentionTagger& tagger,
+                    const MentionPairClassifier& classifier,
+                    int num_pair_features) {
+  obs::ScopedSpan document_span("train_document");
+  DocBatch batch(num_pair_features, TextMentionTagger::kNumFeatures);
+  PreparedDocument prepared = PrepareDocument(doc, config);
+  FeatureComputer features(prepared, config);
+  util::Status status = tagger.EmitTrainingSamples(prepared, &batch.tagger_rows);
+  BRIQ_CHECK(status.ok()) << "tagger emission failed: " << status.ToString();
+  status = classifier.EmitTrainingSamples(prepared, features, &batch.pair_rows,
+                                          &batch.stats);
+  BRIQ_CHECK(status.ok()) << "classifier emission failed: "
+                          << status.ToString();
+  return batch;
+}
+
+}  // namespace
+
+StreamingTrainer::StreamingTrainer(BriqSystem* system,
+                                   StreamingTrainOptions options)
+    : system_(system), options_(std::move(options)) {
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+}
+
+util::Status StreamingTrainer::Train(const DocumentSource& source) {
+  obs::ScopedSpan train_span("train");
+  const BriqConfig& config = system_->config_;
+  const int num_pair_features = NumActivePairFeatures(config);
+  const bool spill = !options_.spill_dir.empty();
+
+  // The sinks that accumulate the full training streams. Spill mode
+  // replaces the O(samples) in-memory datasets with checksummed
+  // briq-samples-v1 files; reservoir seeds derive from the config seed so
+  // capped runs are reproducible.
+  std::unique_ptr<ml::InMemorySampleSink> pair_mem;
+  std::unique_ptr<ml::InMemorySampleSink> tagger_mem;
+  std::unique_ptr<ml::SpillSampleSink> pair_spill;
+  std::unique_ptr<ml::SpillSampleSink> tagger_spill;
+  ml::SampleSink* pair_sink = nullptr;
+  ml::SampleSink* tagger_sink = nullptr;
+  if (spill) {
+    pair_spill = std::make_unique<ml::SpillSampleSink>(
+        ml::SpillSinkOptions{options_.spill_dir + "/classifier.samples",
+                             options_.max_classifier_samples,
+                             static_cast<uint64_t>(config.seed) + 1},
+        num_pair_features);
+    tagger_spill = std::make_unique<ml::SpillSampleSink>(
+        ml::SpillSinkOptions{options_.spill_dir + "/tagger.samples",
+                             options_.max_tagger_samples,
+                             static_cast<uint64_t>(config.seed) + 2},
+        TextMentionTagger::kNumFeatures);
+    pair_sink = pair_spill.get();
+    tagger_sink = tagger_spill.get();
+  } else {
+    pair_mem = std::make_unique<ml::InMemorySampleSink>(num_pair_features);
+    tagger_mem =
+        std::make_unique<ml::InMemorySampleSink>(TextMentionTagger::kNumFeatures);
+    pair_sink = pair_mem.get();
+    tagger_sink = tagger_mem.get();
+  }
+
+  MentionPairClassifier::TrainingStats stats;
+  size_t documents = 0;
+  util::Status status = util::Status::OK();
+
+  int num_threads = options_.num_threads;
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads < 1) num_threads = 1;
+  }
+
+  if (num_threads <= 1) {
+    // Inline path: one document live at a time, rows flow straight into
+    // the sinks in read order.
+    while (true) {
+      auto next = source();
+      if (!next.ok()) {
+        status = next.status();
+        break;
+      }
+      if (!next->has_value()) break;
+      DocBatch batch = BuildBatch(**next, config, system_->tagger_,
+                                  system_->classifier_, num_pair_features);
+      status = ReplayBatch(batch, pair_sink, tagger_sink, &stats);
+      if (!status.ok()) break;
+      ++documents;
+    }
+  } else {
+    static obs::QueueTelemetry queue_telemetry("briq.train");
+    util::BoundedQueue<WorkItem> queue(options_.queue_capacity,
+                                       queue_telemetry.observer());
+    EmitState emit;
+    emit.window = options_.queue_capacity + static_cast<size_t>(num_threads);
+
+    util::ThreadPool pool(num_threads);
+    std::atomic<bool> failed{false};
+    std::vector<std::future<void>> workers;
+    workers.reserve(static_cast<size_t>(num_threads));
+    for (int w = 0; w < num_threads; ++w) {
+      workers.push_back(pool.Submit([this, &queue, &emit, &failed, &config,
+                                     &stats, pair_sink, tagger_sink,
+                                     num_pair_features] {
+        try {
+          while (std::optional<WorkItem> item = queue.Pop()) {
+            if (failed.load(std::memory_order_relaxed)) continue;
+            DocBatch batch =
+                BuildBatch(item->doc, config, system_->tagger_,
+                           system_->classifier_, num_pair_features);
+            EmitInOrder(&emit, item->index, std::move(batch), pair_sink,
+                        tagger_sink, &stats);
+          }
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          {
+            std::lock_guard<std::mutex> lock(emit.mu);
+            emit.failed = true;
+          }
+          emit.advanced.notify_all();
+          while (queue.Pop().has_value()) {
+          }
+          throw;  // resurfaces from the worker future below
+        }
+      }));
+    }
+
+    // The calling thread is the reader; Push blocks on a full queue, the
+    // back-pressure that keeps peak memory at O(queue + threads) documents
+    // plus the sinks.
+    size_t index = 0;
+    while (true) {
+      auto next = source();
+      if (!next.ok()) {
+        status = next.status();
+        break;
+      }
+      if (!next->has_value()) break;
+      queue.Push(WorkItem{index++, std::move(**next)});
+    }
+    queue.Close();
+
+    for (auto& worker : workers) {
+      try {
+        worker.get();
+      } catch (const std::exception& e) {
+        if (status.ok()) {
+          status = util::Status::Internal(
+              std::string("streaming train worker failed: ") + e.what());
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(emit.mu);
+      if (status.ok() && !emit.sink_status.ok()) {
+        status = emit.sink_status;
+      }
+      documents = emit.next_emit;
+    }
+  }
+
+  BRIQ_RETURN_IF_ERROR(status);
+  if (documents == 0) {
+    return util::Status::InvalidArgument("no training documents");
+  }
+  BRIQ_RETURN_IF_ERROR(pair_sink->Finish());
+  BRIQ_RETURN_IF_ERROR(tagger_sink->Finish());
+  if (spill) {
+    TrainMetrics::Get().spill_bytes->Add(pair_spill->bytes_written() +
+                                         tagger_spill->bytes_written());
+    BRIQ_LOG(Info) << "streaming trainer spilled "
+                   << pair_spill->samples_retained() << " classifier + "
+                   << tagger_spill->samples_retained() << " tagger samples ("
+                   << (pair_spill->bytes_written() +
+                       tagger_spill->bytes_written())
+                   << " bytes) to " << options_.spill_dir;
+  }
+
+  // Fit tagger first, then classifier — the same component order as
+  // BriqSystem::Train (the forests are independent, but keeping the order
+  // identical keeps any future coupling honest).
+  {
+    obs::ScopedSpan fit_span("fit_tagger");
+    obs::ScopedTimer timer(TrainMetrics::Get().fit_seconds);
+    if (spill) {
+      BRIQ_ASSIGN_OR_RETURN(ml::SpilledSampleSource tagger_source,
+                            ml::SpilledSampleSource::Open(tagger_spill->path()));
+      BRIQ_RETURN_IF_ERROR(system_->tagger_.TrainFromSource(tagger_source));
+    } else {
+      BRIQ_RETURN_IF_ERROR(system_->tagger_.TrainFromSource(
+          ml::DatasetSampleSource(&tagger_mem->dataset())));
+    }
+  }
+  {
+    obs::ScopedSpan fit_span("fit_classifier");
+    obs::ScopedTimer timer(TrainMetrics::Get().fit_seconds);
+    if (spill) {
+      BRIQ_ASSIGN_OR_RETURN(ml::SpilledSampleSource pair_source,
+                            ml::SpilledSampleSource::Open(pair_spill->path()));
+      BRIQ_RETURN_IF_ERROR(system_->classifier_.TrainFromSource(
+          pair_source, std::move(stats)));
+    } else {
+      BRIQ_RETURN_IF_ERROR(system_->classifier_.TrainFromSource(
+          ml::DatasetSampleSource(&pair_mem->dataset()), std::move(stats)));
+    }
+  }
+  if (!system_->classifier_.trained()) {
+    return util::Status::FailedPrecondition(
+        "classifier training produced no usable data (no matched "
+        "ground-truth pairs?)");
+  }
+  return util::Status::OK();
+}
+
+util::Status TrainOnShardedCorpus(BriqSystem* system,
+                                  const std::string& directory,
+                                  const std::string& stem,
+                                  const StreamingTrainOptions& options) {
+  auto reader = corpus::ShardedCorpusReader::Open(directory, stem);
+  if (!reader.ok()) return reader.status();
+  StreamingTrainer trainer(system, options);
+  return trainer.Train([&reader] { return reader->Next(); });
+}
+
+}  // namespace briq::core

@@ -1,0 +1,84 @@
+#ifndef BRIQ_CORE_STREAMING_TRAINER_H_
+#define BRIQ_CORE_STREAMING_TRAINER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/pipeline.h"
+#include "core/streaming_aligner.h"
+#include "util/status.h"
+
+namespace briq::core {
+
+/// Tuning knobs of the streaming training pipeline.
+struct StreamingTrainOptions {
+  /// Worker threads for feature emission (0 = hardware concurrency,
+  /// <= 1 runs fully inline). Forest fitting afterwards uses the forest
+  /// configs' own num_threads.
+  int num_threads = 0;
+  /// Capacity of the bounded document queue between the reader and the
+  /// workers — the same back-pressure valve as StreamingOptions.
+  size_t queue_capacity = 64;
+  /// When non-empty, classifier and tagger training rows spill to
+  /// checksummed briq-samples-v1 files (<spill_dir>/classifier.samples,
+  /// <spill_dir>/tagger.samples) instead of accumulating in RAM; the
+  /// forests then bootstrap straight off the files. The directory must
+  /// exist. Peak memory becomes O(queue + threads + one shard), not
+  /// O(samples).
+  std::string spill_dir;
+  /// Reservoir caps on the spilled sample counts (0 = keep everything).
+  /// Only honored when spill_dir is set. Capped runs hold `max_*_samples`
+  /// rows in RAM and are seeded from the BriqConfig seed, so the same
+  /// corpus + seed reproduce the same subsample bit-for-bit.
+  size_t max_classifier_samples = 0;
+  size_t max_tagger_samples = 0;
+};
+
+/// Out-of-core trainer: streams documents from a source through
+/// prepare -> FeatureComputer -> ground-truth sample emission with the
+/// same BoundedQueue + ThreadPool fan-out as StreamingAligner, then fits
+/// the tagger and the mention-pair classifier from the collected samples.
+///
+/// Determinism contract (DESIGN.md §5f): workers emit each document's
+/// sample batch as a unit through a reordering emitter, so the
+/// concatenated sample stream equals the sequential document-order stream
+/// at any thread count; sample emission itself is Rng-free; forests seed
+/// per tree (`config.seed + tree_index`). A streaming (or spilled) run is
+/// therefore bit-identical to `BriqSystem::Train` over the same documents
+/// — enforced by tests/train_parity_test.cc. Reservoir-capped runs are
+/// deterministic in (seed, document order) but, by construction, not
+/// identical to uncapped runs.
+///
+/// Emits `briq.train.*` metrics: documents, samples/tagger_samples
+/// emitted, spill_bytes, and fit_seconds per forest.
+class StreamingTrainer {
+ public:
+  /// `system` is not owned and must outlive the trainer. Its config
+  /// governs feature masks, hard-negative counts, and forest seeds.
+  explicit StreamingTrainer(BriqSystem* system,
+                            StreamingTrainOptions options = {});
+
+  /// Drains `source` (see streaming_aligner.h) and trains `system`'s
+  /// tagger and classifier. Mirrors BriqSystem::Train's error contract:
+  /// an exhausted source with no usable classifier data is
+  /// FailedPrecondition; source errors abort the run and propagate.
+  util::Status Train(const DocumentSource& source);
+
+  const StreamingTrainOptions& options() const { return options_; }
+
+ private:
+  BriqSystem* system_;
+  StreamingTrainOptions options_;
+};
+
+/// Convenience wrapper: trains from an entire sharded corpus (see
+/// corpus/shard_io.h), the `briq_tool train --shards DIR` path.
+util::Status TrainOnShardedCorpus(BriqSystem* system,
+                                  const std::string& directory,
+                                  const std::string& stem,
+                                  const StreamingTrainOptions& options = {});
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_STREAMING_TRAINER_H_

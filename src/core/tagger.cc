@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "core/cues.h"
 #include "core/gt_matching.h"
@@ -114,24 +116,59 @@ std::vector<double> TextMentionTagger::Features(const PreparedDocument& doc,
   return f;
 }
 
-void TextMentionTagger::Train(
-    const std::vector<const PreparedDocument*>& docs) {
-  ml::Dataset data(kNumFeatures);
-  for (const PreparedDocument* doc : docs) {
-    // Label extracted mentions from ground truth; unmatched mentions are
-    // single-cell by default (distractors carry no aggregation cues).
-    std::vector<int> label(doc->text_mentions.size(), kSingle);
-    for (const MatchedGroundTruth& m : MatchGroundTruth(*doc)) {
-      if (m.text_idx >= 0) {
-        label[m.text_idx] = LabelOf(m.gt->target.func);
-      }
-    }
-    for (size_t i = 0; i < doc->text_mentions.size(); ++i) {
-      data.Add(Features(*doc, i, *config_), label[i]);
+util::Status TextMentionTagger::EmitTrainingSamples(
+    const PreparedDocument& doc, ml::SampleSink* sink) const {
+  // Label extracted mentions from ground truth; unmatched mentions are
+  // single-cell by default (distractors carry no aggregation cues).
+  std::vector<int> label(doc.text_mentions.size(), kSingle);
+  for (const MatchedGroundTruth& m : MatchGroundTruth(doc)) {
+    if (m.text_idx >= 0) {
+      label[m.text_idx] = LabelOf(m.gt->target.func);
     }
   }
-  if (data.empty()) return;
-  forest_.Fit(data, config_->tagger_forest);
+  for (size_t i = 0; i < doc.text_mentions.size(); ++i) {
+    BRIQ_RETURN_IF_ERROR(sink->Add(Features(doc, i, *config_), label[i]));
+  }
+  return util::Status::OK();
+}
+
+void TextMentionTagger::Train(
+    const std::vector<const PreparedDocument*>& docs) {
+  ml::InMemorySampleSink sink(kNumFeatures);
+  for (const PreparedDocument* doc : docs) {
+    const util::Status status = EmitTrainingSamples(*doc, &sink);
+    BRIQ_CHECK(status.ok()) << "in-memory sample emission cannot fail: "
+                            << status.ToString();
+  }
+  const util::Status status =
+      TrainFromSource(ml::DatasetSampleSource(&sink.dataset()));
+  BRIQ_CHECK(status.ok()) << "in-memory training cannot fail: "
+                          << status.ToString();
+}
+
+util::Status TextMentionTagger::TrainFromSource(
+    const ml::SampleSource& source) {
+  forest_ = ml::RandomForest();
+  if (source.size() == 0) return util::Status::OK();
+  forest_.Fit(source, config_->tagger_forest);
+  return util::Status::OK();
+}
+
+util::Status TextMentionTagger::Save(std::ostream& out) const {
+  return forest_.Save(out);
+}
+
+util::Status TextMentionTagger::Load(std::istream& in) {
+  ml::RandomForest forest;
+  BRIQ_RETURN_IF_ERROR(forest.Load(in));
+  if (forest.fitted() && forest.num_features() != kNumFeatures) {
+    return util::Status::FailedPrecondition(
+        "tagger model was trained with " +
+        std::to_string(forest.num_features()) + " features, expected " +
+        std::to_string(kNumFeatures));
+  }
+  forest_ = std::move(forest);
+  return util::Status::OK();
 }
 
 TextMentionTagger::Tag TextMentionTagger::Predict(const PreparedDocument& doc,

@@ -1,11 +1,14 @@
 #ifndef BRIQ_CORE_TAGGER_H_
 #define BRIQ_CORE_TAGGER_H_
 
+#include <iosfwd>
 #include <vector>
 
 #include "core/config.h"
 #include "core/extraction.h"
 #include "ml/random_forest.h"
+#include "ml/sample_sink.h"
+#include "util/status.h"
 
 namespace briq::core {
 
@@ -34,8 +37,23 @@ class TextMentionTagger {
 
   /// Trains on the prepared documents' ground truth: every ground-truth
   /// mention labeled by its aggregate function, every extracted mention
-  /// without ground truth labeled single-cell.
+  /// without ground truth labeled single-cell. A thin adapter over
+  /// EmitTrainingSamples + TrainFromSource.
   void Train(const std::vector<const PreparedDocument*>& docs);
+
+  /// Streams one document's tagger rows (one per text mention, in mention
+  /// order) into `sink`. The streaming trainer calls this per document.
+  util::Status EmitTrainingSamples(const PreparedDocument& doc,
+                                   ml::SampleSink* sink) const;
+
+  /// Fits the tagger forest from already-emitted rows. An empty source
+  /// leaves the tagger untrained (cue-word fallback), mirroring Train().
+  util::Status TrainFromSource(const ml::SampleSource& source);
+
+  /// Serializes / restores the tagger forest (versioned payload inside
+  /// the briq-model-v1 container, see BriqSystem::SaveModel).
+  util::Status Save(std::ostream& out) const;
+  util::Status Load(std::istream& in);
 
   struct Tag {
     table::AggregateFunction func = table::AggregateFunction::kNone;

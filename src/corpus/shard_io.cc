@@ -8,6 +8,7 @@
 
 #include "corpus/serialization.h"
 #include "obs/metrics.h"
+#include "util/hash.h"
 #include "util/json.h"
 
 namespace briq::corpus {
@@ -109,11 +110,9 @@ util::Result<ShardHeader> ParseShardHeader(const std::string& line,
 }  // namespace
 
 uint64_t Fnv1a64(std::string_view data, uint64_t state) {
-  for (unsigned char c : data) {
-    state ^= c;
-    state *= 1099511628211ull;
-  }
-  return state;
+  // Delegates to the shared util implementation so the shard format and the
+  // binary sample file (util/sample_file.h) provably use the same hash.
+  return util::Fnv1a64(data, state);
 }
 
 // --- ShardWriter ------------------------------------------------------------
@@ -222,6 +221,38 @@ util::Result<std::vector<std::string>> ListShards(const std::string& directory,
     paths.push_back(found[i].second);
   }
   return paths;
+}
+
+util::Result<ShardHeader> ReadShardHeader(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::NotFound("cannot open shard: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return util::Status::ParseError("empty shard file (missing header): " +
+                                    path);
+  }
+  return ParseShardHeader(line, path);
+}
+
+util::Result<size_t> CountShardedDocuments(const std::string& directory,
+                                           const std::string& stem) {
+  BRIQ_ASSIGN_OR_RETURN(std::vector<std::string> paths,
+                        ListShards(directory, stem));
+  size_t total = 0;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    BRIQ_ASSIGN_OR_RETURN(ShardHeader header, ReadShardHeader(paths[i]));
+    if (header.first_document_index != total) {
+      return util::Status::ParseError(
+          "shard declares first_document_index " +
+          std::to_string(header.first_document_index) +
+          " but the corpus has " + std::to_string(total) +
+          " documents before it: " + paths[i]);
+    }
+    total += header.num_documents;
+  }
+  return total;
 }
 
 // --- ShardReader ------------------------------------------------------------

@@ -90,6 +90,18 @@ std::string ShardPath(const std::string& directory, const std::string& stem,
 util::Result<std::vector<std::string>> ListShards(
     const std::string& directory, const std::string& stem);
 
+/// Reads and parses only the header line of shard file `path`, without
+/// touching the document lines.
+util::Result<ShardHeader> ReadShardHeader(const std::string& path);
+
+/// Total number of documents a sharded corpus declares, summed from the
+/// shard headers alone (no document parsing, no checksum scan — O(shards)
+/// I/O). Verifies that `first_document_index` chains contiguously across
+/// shards. `briq_tool train` uses this to compute its train split without
+/// a full corpus pass.
+util::Result<size_t> CountShardedDocuments(const std::string& directory,
+                                           const std::string& stem);
+
 /// Streams the documents of a single shard file, verifying the header on
 /// open and count + checksum at end-of-shard.
 class ShardReader {

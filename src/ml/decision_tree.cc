@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <string>
+#include <utility>
 
+#include "util/binary_io.h"
 #include "util/logging.h"
 
 namespace briq::ml {
@@ -169,6 +172,98 @@ std::vector<double> DecisionTree::PredictProba(const double* x) const {
 int DecisionTree::Predict(const double* x) const {
   const std::vector<double>& p = LeafProba(x);
   return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+void DecisionTree::Save(std::ostream& out) const {
+  util::WritePod(out, static_cast<int32_t>(num_classes_));
+  util::WritePod(out, static_cast<int32_t>(num_features_));
+  util::WritePod(out, static_cast<int32_t>(depth_));
+  util::WritePod(out, static_cast<uint64_t>(nodes_.size()));
+  for (const Node& node : nodes_) {
+    util::WritePod(out, static_cast<int32_t>(node.feature));
+    util::WritePod(out, node.threshold);
+    util::WritePod(out, static_cast<int32_t>(node.left));
+    util::WritePod(out, static_cast<int32_t>(node.right));
+    util::WritePod(out, static_cast<uint64_t>(node.proba.size()));
+    for (double p : node.proba) util::WritePod(out, p);
+  }
+  util::WritePod(out, static_cast<uint64_t>(impurity_decrease_.size()));
+  for (double d : impurity_decrease_) util::WritePod(out, d);
+}
+
+util::Status DecisionTree::Load(std::istream& in) {
+  // Structural caps reject nonsense counts from a corrupt stream before
+  // any allocation is attempted.
+  constexpr uint64_t kMaxNodes = uint64_t{1} << 30;
+  constexpr uint64_t kMaxVector = uint64_t{1} << 24;
+
+  int32_t num_classes = 0;
+  int32_t num_features = 0;
+  int32_t depth = 0;
+  uint64_t num_nodes = 0;
+  if (!util::ReadPod(in, &num_classes) || !util::ReadPod(in, &num_features) ||
+      !util::ReadPod(in, &depth) || !util::ReadPod(in, &num_nodes)) {
+    return util::Status::ParseError("tree model truncated in header");
+  }
+  if (num_classes < 0 || num_features < 0 || depth < 0 ||
+      num_nodes > kMaxNodes) {
+    return util::Status::ParseError("tree model header is implausible");
+  }
+  std::vector<Node> nodes(static_cast<size_t>(num_nodes));
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    Node& node = nodes[static_cast<size_t>(i)];
+    int32_t feature = 0;
+    int32_t left = 0;
+    int32_t right = 0;
+    uint64_t proba_size = 0;
+    if (!util::ReadPod(in, &feature) || !util::ReadPod(in, &node.threshold) ||
+        !util::ReadPod(in, &left) || !util::ReadPod(in, &right) ||
+        !util::ReadPod(in, &proba_size)) {
+      return util::Status::ParseError("tree model truncated in node " +
+                                      std::to_string(i));
+    }
+    if (proba_size > kMaxVector) {
+      return util::Status::ParseError("tree model node " + std::to_string(i) +
+                                      " has implausible class count");
+    }
+    node.feature = feature;
+    node.left = left;
+    node.right = right;
+    node.proba.resize(static_cast<size_t>(proba_size));
+    for (double& p : node.proba) {
+      if (!util::ReadPod(in, &p)) {
+        return util::Status::ParseError("tree model truncated in node " +
+                                        std::to_string(i) + " probabilities");
+      }
+    }
+    const auto in_range = [&](int idx) {
+      return idx >= 0 && static_cast<uint64_t>(idx) < num_nodes;
+    };
+    if (node.feature >= 0) {
+      if (node.feature >= num_features || !in_range(node.left) ||
+          !in_range(node.right)) {
+        return util::Status::ParseError(
+            "tree model node " + std::to_string(i) +
+            " references an out-of-range feature or child");
+      }
+    }
+  }
+  uint64_t imp_size = 0;
+  if (!util::ReadPod(in, &imp_size) || imp_size > kMaxVector) {
+    return util::Status::ParseError("tree model truncated before importance");
+  }
+  std::vector<double> impurity(static_cast<size_t>(imp_size));
+  for (double& d : impurity) {
+    if (!util::ReadPod(in, &d)) {
+      return util::Status::ParseError("tree model truncated in importance");
+    }
+  }
+  nodes_ = std::move(nodes);
+  num_classes_ = num_classes;
+  num_features_ = num_features;
+  depth_ = depth;
+  impurity_decrease_ = std::move(impurity);
+  return util::Status::OK();
 }
 
 }  // namespace briq::ml

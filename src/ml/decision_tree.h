@@ -2,10 +2,12 @@
 #define BRIQ_ML_DECISION_TREE_H_
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "ml/dataset.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace briq::ml {
 
@@ -51,6 +53,15 @@ class DecisionTree {
   const std::vector<double>& impurity_decrease() const {
     return impurity_decrease_;
   }
+
+  /// Serializes the fitted tree to a stream (raw host-order binary; the
+  /// enclosing model file handles versioning and checksums). Doubles are
+  /// written bit-exact, so a loaded tree predicts identically.
+  void Save(std::ostream& out) const;
+
+  /// Restores a tree written by Save(), validating structural invariants
+  /// (child indices in range, probability vectors sized to num_classes).
+  util::Status Load(std::istream& in);
 
  private:
   struct Node {

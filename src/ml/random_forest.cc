@@ -1,7 +1,10 @@
 #include "ml/random_forest.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
+#include "util/binary_io.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -9,34 +12,93 @@ namespace briq::ml {
 
 void RandomForest::Fit(const Dataset& data, const ForestConfig& config) {
   BRIQ_CHECK(!data.empty()) << "cannot fit on empty dataset";
-  trees_.clear();
-  num_classes_ = data.num_classes();
-  num_features_ = data.num_features();
+  Fit(DatasetSampleSource(&data), config);
+}
 
-  Dataset working = data.Subset([&] {
-    std::vector<size_t> all(data.size());
-    for (size_t i = 0; i < all.size(); ++i) all[i] = i;
-    return all;
-  }());
-  if (config.balance_classes) working.BalanceClassWeights();
+void RandomForest::Fit(const SampleSource& source, const ForestConfig& config) {
+  const size_t n = source.size();
+  BRIQ_CHECK(n > 0) << "cannot fit on empty sample source";
+  trees_.clear();
+  num_features_ = source.num_features();
+
+  // One sequential pass collects labels and stored weights; classes and
+  // balanced weights then match Dataset::BalanceClassWeights exactly
+  // (weight = total / (num_classes * class_count), count-based). Only
+  // labels and weights stay resident — O(n) ints and doubles — while the
+  // feature rows remain wherever the source keeps them (RAM or the spill
+  // file).
+  std::vector<int> labels(n);
+  std::vector<double> weights(n);
+  {
+    std::vector<double> row(static_cast<size_t>(num_features_));
+    for (size_t i = 0; i < n; ++i) {
+      const util::Status status =
+          source.Read(i, row.data(), &labels[i], &weights[i]);
+      BRIQ_CHECK(status.ok()) << "sample source read failed during label "
+                                 "scan: " << status.ToString();
+      BRIQ_CHECK(labels[i] >= 0) << "labels must be non-negative";
+    }
+  }
+  int max_label = 0;
+  for (int l : labels) max_label = std::max(max_label, l);
+  num_classes_ = max_label + 1;
+  if (config.balance_classes) {
+    std::vector<size_t> counts(static_cast<size_t>(num_classes_), 0);
+    for (int l : labels) ++counts[static_cast<size_t>(l)];
+    const double total = static_cast<double>(n);
+    const double k = static_cast<double>(counts.size());
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = counts[static_cast<size_t>(labels[i])];
+      weights[i] = c == 0 ? 0.0 : total / (k * static_cast<double>(c));
+    }
+  }
+
+  // Non-bootstrap trees all train on the same rows; materialize them once
+  // and share the dataset read-only across workers.
+  Dataset full(0);
+  if (!config.bootstrap) {
+    full = Dataset(num_features_);
+    std::vector<double> row(static_cast<size_t>(num_features_));
+    int label = 0;
+    double stored = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const util::Status status = source.Read(i, row.data(), &label, &stored);
+      BRIQ_CHECK(status.ok()) << "sample source read failed: "
+                              << status.ToString();
+      full.Add(row, labels[i], weights[i]);
+    }
+  }
 
   // Each tree owns an Rng seeded from (config.seed + tree index), so the
   // forest is bit-identical no matter how trees are scheduled across
-  // threads. `working` is read-only past this point; tree t writes only
+  // threads. The source is read-only past this point; tree t writes only
   // trees_[t].
   trees_.resize(config.num_trees);
   util::ParallelFor(
       config.num_threads, 0, trees_.size(), /*grain=*/1,
       [&](size_t lo, size_t hi) {
+        std::vector<double> row(static_cast<size_t>(num_features_));
         for (size_t t = lo; t < hi; ++t) {
           util::Rng rng(config.seed + static_cast<uint64_t>(t));
           if (config.bootstrap) {
-            std::vector<size_t> sample(working.size());
-            for (auto& idx : sample) idx = rng.UniformInt(working.size());
-            Dataset boot = working.Subset(sample);
+            // Draw all indices first (same Rng consumption order as the
+            // historical in-memory path), then materialize just this
+            // tree's bootstrap rows.
+            std::vector<size_t> sample(n);
+            for (auto& idx : sample) idx = rng.UniformInt(n);
+            Dataset boot(num_features_);
+            for (size_t idx : sample) {
+              int label = 0;
+              double stored = 0.0;
+              const util::Status status =
+                  source.Read(idx, row.data(), &label, &stored);
+              BRIQ_CHECK(status.ok()) << "sample source read failed: "
+                                      << status.ToString();
+              boot.Add(row, labels[idx], weights[idx]);
+            }
             trees_[t].Fit(boot, config.tree, &rng);
           } else {
-            trees_[t].Fit(working, config.tree, &rng);
+            trees_[t].Fit(full, config.tree, &rng);
           }
         }
       });
@@ -88,6 +150,51 @@ std::vector<double> RandomForest::FeatureImportance() const {
   std::vector<double> total;
   FeatureImportance(&total);
   return total;
+}
+
+namespace {
+constexpr uint32_t kForestFormatVersion = 1;
+}  // namespace
+
+util::Status RandomForest::Save(std::ostream& out) const {
+  util::WritePod(out, kForestFormatVersion);
+  util::WritePod(out, static_cast<int32_t>(num_classes_));
+  util::WritePod(out, static_cast<int32_t>(num_features_));
+  util::WritePod(out, static_cast<uint64_t>(trees_.size()));
+  for (const DecisionTree& tree : trees_) tree.Save(out);
+  if (!out.good()) {
+    return util::Status::Internal("forest serialization stream failed");
+  }
+  return util::Status::OK();
+}
+
+util::Status RandomForest::Load(std::istream& in) {
+  uint32_t version = 0;
+  int32_t num_classes = 0;
+  int32_t num_features = 0;
+  uint64_t num_trees = 0;
+  if (!util::ReadPod(in, &version)) {
+    return util::Status::ParseError("forest model truncated in header");
+  }
+  if (version != kForestFormatVersion) {
+    return util::Status::ParseError("unsupported forest model version " +
+                                    std::to_string(version));
+  }
+  if (!util::ReadPod(in, &num_classes) || !util::ReadPod(in, &num_features) ||
+      !util::ReadPod(in, &num_trees)) {
+    return util::Status::ParseError("forest model truncated in header");
+  }
+  if (num_classes < 0 || num_features < 0 || num_trees > (uint64_t{1} << 20)) {
+    return util::Status::ParseError("forest model header is implausible");
+  }
+  std::vector<DecisionTree> trees(static_cast<size_t>(num_trees));
+  for (uint64_t t = 0; t < num_trees; ++t) {
+    BRIQ_RETURN_IF_ERROR(trees[static_cast<size_t>(t)].Load(in));
+  }
+  trees_ = std::move(trees);
+  num_classes_ = num_classes;
+  num_features_ = num_features;
+  return util::Status::OK();
 }
 
 void RandomForest::FeatureImportance(std::vector<double>* out) const {

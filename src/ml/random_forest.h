@@ -2,10 +2,13 @@
 #define BRIQ_ML_RANDOM_FOREST_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "ml/dataset.h"
 #include "ml/decision_tree.h"
+#include "ml/sample_sink.h"
+#include "util/status.h"
 
 namespace briq::ml {
 
@@ -36,7 +39,20 @@ class RandomForest {
  public:
   RandomForest() = default;
 
+  /// Fits from an in-memory dataset. A thin adapter over the SampleSource
+  /// overload below — both produce bit-identical forests for the same rows
+  /// in the same order.
   void Fit(const Dataset& data, const ForestConfig& config);
+
+  /// Fits from a random-access sample source (in-memory dataset view or a
+  /// spilled briq-samples-v1 file). One sequential pass collects labels
+  /// and weights (and computes balanced class weights exactly like
+  /// Dataset::BalanceClassWeights); then each tree draws its bootstrap
+  /// row indices from an Rng seeded `config.seed + tree_index` and reads
+  /// just those rows — so only O(bootstrap sample) rows are materialized
+  /// per in-flight tree, never the full training set, and the forest is
+  /// bit-identical to the in-memory path at any thread count.
+  void Fit(const SampleSource& source, const ForestConfig& config);
 
   /// Averaged class probabilities. Size = num_classes at fit time.
   std::vector<double> PredictProba(const double* x) const;
@@ -66,8 +82,17 @@ class RandomForest {
   void FeatureImportance(std::vector<double>* out) const;
 
   int num_classes() const { return num_classes_; }
+  int num_features() const { return num_features_; }
   size_t num_trees() const { return trees_.size(); }
   bool fitted() const { return !trees_.empty(); }
+
+  /// Serializes the forest (fitted or not) to a stream in the versioned
+  /// binary tree format (see decision_tree.h). The caller owns framing and
+  /// checksumming (core model files wrap this in "briq-model-v1").
+  util::Status Save(std::ostream& out) const;
+
+  /// Restores a forest written by Save(), replacing the current state.
+  util::Status Load(std::istream& in);
 
  private:
   std::vector<DecisionTree> trees_;

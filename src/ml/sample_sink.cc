@@ -1,0 +1,116 @@
+#include "ml/sample_sink.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace briq::ml {
+
+// --- InMemorySampleSink -----------------------------------------------------
+
+util::Status InMemorySampleSink::Add(const double* x, int label,
+                                     double weight) {
+  std::memcpy(scratch_.data(), x, sizeof(double) * scratch_.size());
+  data_.Add(scratch_, label, weight);
+  return util::Status::OK();
+}
+
+// --- SpillSampleSink --------------------------------------------------------
+
+SpillSampleSink::SpillSampleSink(SpillSinkOptions options, int num_features)
+    : num_features_(num_features),
+      max_samples_(options.max_samples),
+      writer_(std::move(options.path), num_features),
+      rng_(options.seed) {
+  if (max_samples_ > 0) {
+    reservoir_x_.reserve(max_samples_ * static_cast<size_t>(num_features_));
+    reservoir_labels_.reserve(max_samples_);
+    reservoir_weights_.reserve(max_samples_);
+  }
+}
+
+util::Status SpillSampleSink::Add(const double* x, int label, double weight) {
+  if (finished_) {
+    return util::Status::FailedPrecondition(
+        "SpillSampleSink::Add after Finish: " + writer_.path());
+  }
+  if (max_samples_ == 0) {
+    ++samples_seen_;
+    return writer_.Append(x, static_cast<int32_t>(label), weight);
+  }
+  // Algorithm R: row i (0-based) replaces a uniformly drawn reservoir slot
+  // with probability cap / (i + 1). Seeded, so the retained subsample is a
+  // pure function of (seed, row order).
+  const size_t nf = static_cast<size_t>(num_features_);
+  if (reservoir_labels_.size() < max_samples_) {
+    reservoir_x_.insert(reservoir_x_.end(), x, x + nf);
+    reservoir_labels_.push_back(static_cast<int32_t>(label));
+    reservoir_weights_.push_back(weight);
+  } else {
+    const uint64_t j = rng_.UniformInt(samples_seen_ + 1);
+    if (j < max_samples_) {
+      std::memcpy(&reservoir_x_[static_cast<size_t>(j) * nf], x,
+                  sizeof(double) * nf);
+      reservoir_labels_[static_cast<size_t>(j)] = static_cast<int32_t>(label);
+      reservoir_weights_[static_cast<size_t>(j)] = weight;
+    }
+  }
+  ++samples_seen_;
+  return util::Status::OK();
+}
+
+util::Status SpillSampleSink::Finish() {
+  if (finished_) return util::Status::OK();
+  finished_ = true;
+  const size_t nf = static_cast<size_t>(num_features_);
+  for (size_t i = 0; i < reservoir_labels_.size(); ++i) {
+    BRIQ_RETURN_IF_ERROR(writer_.Append(&reservoir_x_[i * nf],
+                                        reservoir_labels_[i],
+                                        reservoir_weights_[i]));
+  }
+  reservoir_x_.clear();
+  reservoir_x_.shrink_to_fit();
+  reservoir_labels_.clear();
+  reservoir_weights_.clear();
+  return writer_.Finish();
+}
+
+size_t SpillSampleSink::samples_retained() const {
+  if (max_samples_ == 0) return samples_seen_;
+  return samples_seen_ < max_samples_ ? samples_seen_ : max_samples_;
+}
+
+// --- DatasetSampleSource ----------------------------------------------------
+
+util::Status DatasetSampleSource::Read(size_t i, double* x, int* label,
+                                       double* weight) const {
+  if (i >= data_->size()) {
+    return util::Status::OutOfRange("dataset row " + std::to_string(i) +
+                                    " out of range (dataset has " +
+                                    std::to_string(data_->size()) + ")");
+  }
+  std::memcpy(x, data_->row(i),
+              sizeof(double) * static_cast<size_t>(data_->num_features()));
+  *label = data_->label(i);
+  *weight = data_->weight(i);
+  return util::Status::OK();
+}
+
+// --- SpilledSampleSource ----------------------------------------------------
+
+util::Result<SpilledSampleSource> SpilledSampleSource::Open(
+    const std::string& path) {
+  BRIQ_ASSIGN_OR_RETURN(util::SampleFileReader reader,
+                        util::SampleFileReader::Open(path));
+  return SpilledSampleSource(std::move(reader));
+}
+
+util::Status SpilledSampleSource::Read(size_t i, double* x, int* label,
+                                       double* weight) const {
+  int32_t raw_label = 0;
+  BRIQ_RETURN_IF_ERROR(reader_->Read(i, x, &raw_label, weight));
+  *label = static_cast<int>(raw_label);
+  return util::Status::OK();
+}
+
+}  // namespace briq::ml

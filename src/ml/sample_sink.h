@@ -1,0 +1,161 @@
+#ifndef BRIQ_ML_SAMPLE_SINK_H_
+#define BRIQ_ML_SAMPLE_SINK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/sample_file.h"
+#include "util/status.h"
+
+namespace briq::ml {
+
+/// Streaming destination for labeled training rows. Training-sample
+/// producers (core/streaming_trainer.cc) push rows one at a time; whether
+/// those rows accumulate in RAM, stream to a spill file, or pass through a
+/// seeded reservoir is the sink's business. Implementations are not
+/// thread-safe: the streaming trainer serializes Add calls through its
+/// in-order emitter, which is also what makes the row order — and thus
+/// everything trained from it — deterministic.
+class SampleSink {
+ public:
+  virtual ~SampleSink() = default;
+
+  /// Appends one row; `x` must have num_features() entries.
+  virtual util::Status Add(const double* x, int label, double weight) = 0;
+  util::Status Add(const std::vector<double>& x, int label,
+                   double weight = 1.0) {
+    return Add(x.data(), label, weight);
+  }
+
+  virtual int num_features() const = 0;
+
+  /// Rows accepted so far (before any reservoir subsampling).
+  virtual size_t samples_seen() const = 0;
+
+  /// Seals the sink; Add must not be called afterwards. Idempotent.
+  virtual util::Status Finish() = 0;
+};
+
+/// Random-access source of labeled training rows — what RandomForest::Fit
+/// consumes for its seeded bootstrap draws. Read() must be thread-safe:
+/// parallel tree fits read rows concurrently.
+class SampleSource {
+ public:
+  virtual ~SampleSource() = default;
+
+  virtual int num_features() const = 0;
+  virtual size_t size() const = 0;
+
+  /// Copies row `i` into x[0 .. num_features()).
+  virtual util::Status Read(size_t i, double* x, int* label,
+                            double* weight) const = 0;
+};
+
+/// In-memory sink: rows land in an ml::Dataset, the pre-refactor behavior.
+class InMemorySampleSink final : public SampleSink {
+ public:
+  explicit InMemorySampleSink(int num_features)
+      : data_(num_features), scratch_(static_cast<size_t>(num_features)) {}
+
+  util::Status Add(const double* x, int label, double weight) override;
+  int num_features() const override { return data_.num_features(); }
+  size_t samples_seen() const override { return data_.size(); }
+  util::Status Finish() override { return util::Status::OK(); }
+
+  const Dataset& dataset() const { return data_; }
+
+ private:
+  Dataset data_;
+  std::vector<double> scratch_;
+};
+
+/// Spill-sink tuning knobs.
+struct SpillSinkOptions {
+  /// Sample file to write (briq-samples-v1; see util/sample_file.h).
+  std::string path;
+  /// Reservoir cap: keep at most this many rows, uniformly subsampled via
+  /// Algorithm R. 0 streams every row straight to disk (bounded memory:
+  /// one row). A capped sink instead holds `max_samples` rows in memory
+  /// and writes them at Finish().
+  size_t max_samples = 0;
+  /// Seeds the reservoir's Rng. Irrelevant when max_samples == 0. The same
+  /// seed and row order reproduce the same subsample bit-for-bit.
+  uint64_t seed = 0;
+};
+
+/// Spill-to-disk sink. Unbounded mode streams rows to the sample file as
+/// they arrive; reservoir mode (max_samples > 0) retains a seeded uniform
+/// subsample and spills it at Finish(). Either way the result on disk is a
+/// checksummed briq-samples-v1 file a SpilledSampleSource can train from.
+class SpillSampleSink final : public SampleSink {
+ public:
+  SpillSampleSink(SpillSinkOptions options, int num_features);
+
+  util::Status Add(const double* x, int label, double weight) override;
+  int num_features() const override { return num_features_; }
+  size_t samples_seen() const override { return samples_seen_; }
+  util::Status Finish() override;
+
+  /// Rows that ended up (or will end up) in the file: min(seen, cap).
+  size_t samples_retained() const;
+  /// File size after Finish(), header included (spill telemetry).
+  uint64_t bytes_written() const { return writer_.bytes_written(); }
+  const std::string& path() const { return writer_.path(); }
+
+ private:
+  int num_features_;
+  size_t max_samples_;
+  util::SampleFileWriter writer_;
+  util::Rng rng_;
+  size_t samples_seen_ = 0;
+  bool finished_ = false;
+  // Reservoir storage (only used when max_samples_ > 0): flat row-major
+  // features plus parallel label/weight arrays.
+  std::vector<double> reservoir_x_;
+  std::vector<int32_t> reservoir_labels_;
+  std::vector<double> reservoir_weights_;
+};
+
+/// SampleSource view over an existing Dataset (not owned). Adapts the
+/// legacy in-memory path to the source-based RandomForest::Fit.
+class DatasetSampleSource final : public SampleSource {
+ public:
+  explicit DatasetSampleSource(const Dataset* data) : data_(data) {}
+
+  int num_features() const override { return data_->num_features(); }
+  size_t size() const override { return data_->size(); }
+  util::Status Read(size_t i, double* x, int* label,
+                    double* weight) const override;
+
+ private:
+  const Dataset* data_;
+};
+
+/// SampleSource over a spilled briq-samples-v1 file. Open() verifies the
+/// checksum; Read() is a lock-free positional read, safe from concurrent
+/// tree-fit workers.
+class SpilledSampleSource final : public SampleSource {
+ public:
+  static util::Result<SpilledSampleSource> Open(const std::string& path);
+
+  int num_features() const override { return reader_->num_features(); }
+  size_t size() const override { return reader_->num_rows(); }
+  util::Status Read(size_t i, double* x, int* label,
+                    double* weight) const override;
+
+ private:
+  explicit SpilledSampleSource(util::SampleFileReader reader)
+      : reader_(std::make_shared<util::SampleFileReader>(std::move(reader))) {}
+
+  std::shared_ptr<util::SampleFileReader> reader_;
+};
+
+}  // namespace briq::ml
+
+#endif  // BRIQ_ML_SAMPLE_SINK_H_

@@ -1,5 +1,6 @@
 #include "obs/flusher.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/export.h"
@@ -100,6 +101,7 @@ void MetricsFlusher::Loop() {
     wake_.wait_for(lock,
                    std::chrono::duration<double>(options_.poll_seconds));
     if (stop_requested_) break;
+    SampleGaugesLocked();
     const auto now = std::chrono::steady_clock::now();
     const double since_flush =
         std::chrono::duration<double>(now - last_flush_time_).count();
@@ -112,6 +114,16 @@ void MetricsFlusher::Loop() {
     } else if (options_.every_docs > 0 &&
                docs - last_docs_ >= options_.every_docs) {
       FlushLocked(Trigger::kDocs);
+    }
+  }
+}
+
+void MetricsFlusher::SampleGaugesLocked() {
+  for (const auto& [name, value] : registry_->GaugeValues()) {
+    auto [it, inserted] = gauge_window_.emplace(name, std::make_pair(value, value));
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, value);
+      it->second.second = std::max(it->second.second, value);
     }
   }
 }
@@ -151,7 +163,40 @@ void MetricsFlusher::FlushLocked(Trigger trigger) {
   }
   delta.Set("histogram_counts", std::move(histogram_counts));
   delta.Set("histogram_sums", std::move(histogram_sums));
+
+  // Gauge deltas: last value plus the window's min/max envelope from the
+  // poll-tick samples, for gauges that moved since the previous flush.
+  // "Moved" means the value changed or the envelope shows an excursion —
+  // a queue depth that spiked and fell back inside one window still
+  // appears, with min/max telling the spike's size.
+  SampleGaugesLocked();
+  util::Json gauge_deltas = util::Json::Object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    int64_t prior = 0;
+    auto prior_it = last_snapshot_.gauges.find(name);
+    if (prior_it != last_snapshot_.gauges.end()) prior = prior_it->second;
+    int64_t window_min = value;
+    int64_t window_max = value;
+    auto window_it = gauge_window_.find(name);
+    if (window_it != gauge_window_.end()) {
+      window_min = std::min(window_it->second.first, value);
+      window_max = std::max(window_it->second.second, value);
+    }
+    if (value == prior && window_min == window_max) continue;
+    util::Json entry = util::Json::Object();
+    entry.Set("last", value);
+    entry.Set("min", window_min);
+    entry.Set("max", window_max);
+    gauge_deltas.Set(name, std::move(entry));
+  }
+  delta.Set("gauges", std::move(gauge_deltas));
   record.Set("delta", std::move(delta));
+
+  // Reseed the envelope so the next window starts at the flush-time values.
+  gauge_window_.clear();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauge_window_.emplace(name, std::make_pair(value, value));
+  }
 
   util::Json rates = util::Json::Object();
   if (trigger != Trigger::kStart && dt > 0.0) {

@@ -13,8 +13,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <utility>
 #endif
 
 namespace briq::obs {
@@ -51,7 +53,8 @@ struct FlusherOptions {
 ///    "ts_monotonic_sec": seconds since Start(),
 ///    "docs_total": N, "cumulative": <MetricsToJson snapshot>,
 ///    "delta": {"counters": {...}, "histogram_counts": {...},
-///              "histogram_sums": {...}},
+///              "histogram_sums": {...},
+///              "gauges": {name: {"last": v, "min": m, "max": M}}},
 ///    "rates": {"docs_per_sec": d, "pairs_pruned_per_sec": p},
 ///    "stages_delta_seconds": {<AlignStageSecondsDelta>}}
 ///
@@ -96,6 +99,11 @@ class MetricsFlusher {
   enum class Trigger { kStart, kInterval, kDocs, kFinal };
 
   void Loop();
+  /// Folds the registry's current gauge values into the per-window min/max
+  /// envelope. Called every poll tick (gauges are instantaneous, so a
+  /// flush-time read alone would miss every excursion inside the window)
+  /// and once more inside FlushLocked. Caller holds mu_.
+  void SampleGaugesLocked();
   /// Snapshots, diffs against the previous flush, writes one line. Caller
   /// holds mu_.
   void FlushLocked(Trigger trigger);
@@ -118,6 +126,10 @@ class MetricsFlusher {
   std::chrono::steady_clock::time_point last_flush_time_;
   uint64_t last_docs_ = 0;
   MetricsSnapshot last_snapshot_;
+  /// Per-window gauge envelope: name -> (min, max) over the poll-tick
+  /// samples since the previous flush. Reseeded from the flush-time values
+  /// at every flush, so each window's envelope starts where the last ended.
+  std::map<std::string, std::pair<int64_t, int64_t>> gauge_window_;
 #else
 
  public:

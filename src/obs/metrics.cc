@@ -176,7 +176,20 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
   for (const auto& [name, histogram] : histograms_) {
     snapshot.histograms[name] = histogram->Snapshot();
   }
+  snapshot.capture_unix_seconds =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
   return snapshot;
+}
+
+std::map<std::string, int64_t> MetricRegistry::GaugeValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> values;
+  for (const auto& [name, gauge] : gauges_) {
+    values[name] = gauge->Value();
+  }
+  return values;
 }
 
 void MetricRegistry::Reset() {

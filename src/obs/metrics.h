@@ -18,7 +18,7 @@ namespace briq::obs {
 ///
 /// Naming contract (DESIGN.md §5d): every instrument is named
 /// `briq.<layer>.<name>` where <layer> is one of `align`, `filter`, `rwr`,
-/// `stream`, or `shard`; latency histograms end in `_seconds`.
+/// `stream`, `shard`, or `train`; latency histograms end in `_seconds`.
 ///
 /// Hot paths pay one relaxed atomic add per event: counters and histogram
 /// buckets are sharded across `kMetricShards` cache-line-padded slots
@@ -70,6 +70,10 @@ struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, int64_t> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  /// Wall-clock capture time (unix seconds, system_clock). 0 on
+  /// default-constructed snapshots; consumers (the /metrics freshness
+  /// gauge) treat 0 as "unknown".
+  double capture_unix_seconds = 0.0;
 };
 
 #ifndef BRIQ_NO_METRICS
@@ -163,6 +167,11 @@ class MetricRegistry {
                           std::vector<double> bounds);
 
   MetricsSnapshot Snapshot() const;
+
+  /// Gauge values only — much cheaper than a full Snapshot() (no histogram
+  /// shard aggregation). The flusher samples this every poll tick to build
+  /// per-window gauge min/max envelopes.
+  std::map<std::string, int64_t> GaugeValues() const;
 
   /// Zeroes every instrument (names stay registered). For benches and
   /// tests, between runs; not safe against concurrent writers.
@@ -271,6 +280,7 @@ class MetricRegistry {
     return &histogram;
   }
   MetricsSnapshot Snapshot() const { return {}; }
+  std::map<std::string, int64_t> GaugeValues() const { return {}; }
   void Reset() {}
 };
 

@@ -1,6 +1,7 @@
 #include "obs/prometheus.h"
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -41,7 +42,8 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
-std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot,
+                                double scrape_unix_seconds) {
   std::string out;
   for (const auto& [name, value] : snapshot.counters) {
     const std::string prom = PrometheusName(name) + "_total";
@@ -70,6 +72,23 @@ std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
     out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
     out += prom + "_sum " + FormatDouble(h.sum) + "\n";
     out += prom + "_count " + std::to_string(h.count) + "\n";
+  }
+  if (scrape_unix_seconds >= 0.0) {
+    out +=
+        "# HELP briq_scrape_timestamp_seconds Wall-clock time this "
+        "exposition was rendered\n";
+    out += "# TYPE briq_scrape_timestamp_seconds gauge\n";
+    out += "briq_scrape_timestamp_seconds " +
+           FormatDouble(scrape_unix_seconds) + "\n";
+    if (snapshot.capture_unix_seconds > 0.0) {
+      const double age = scrape_unix_seconds - snapshot.capture_unix_seconds;
+      out +=
+          "# HELP briq_snapshot_age_seconds Seconds between the metrics "
+          "snapshot and this scrape\n";
+      out += "# TYPE briq_snapshot_age_seconds gauge\n";
+      out += "briq_snapshot_age_seconds " +
+             FormatDouble(age > 0.0 ? age : 0.0) + "\n";
+    }
   }
   return out;
 }
@@ -153,7 +172,10 @@ void MetricsHttpServer::HandleConnection(int fd) {
     body = "method not allowed\n";
   } else if (path == "/metrics") {
     content_type = "text/plain; version=0.0.4; charset=utf-8";
-    body = MetricsToPrometheus(MetricRegistry::Global().Snapshot());
+    const double now = std::chrono::duration<double>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+    body = MetricsToPrometheus(MetricRegistry::Global().Snapshot(), now);
   } else if (path == "/healthz") {
     body = "ok\n";
   } else if (path == "/quitquitquit") {

@@ -36,7 +36,17 @@ std::string PrometheusName(const std::string& name);
 ///     `_sum` and `_count`.
 /// Every family gets `# HELP` and `# TYPE` lines. Works in both builds
 /// (under -DBRIQ_NO_METRICS the snapshot is simply empty).
-std::string MetricsToPrometheus(const MetricsSnapshot& snapshot);
+///
+/// When `scrape_unix_seconds` >= 0 two freshness gauges are appended so a
+/// scraper can tell a live exporter serving stale data from a fresh one:
+///   briq_scrape_timestamp_seconds  wall-clock time this page was rendered
+///   briq_snapshot_age_seconds      scrape time minus the snapshot's
+///                                  capture_unix_seconds (clamped at 0;
+///                                  omitted when the capture time is
+///                                  unknown, i.e. 0)
+/// The default -1 omits both — deterministic output for tests and diffs.
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot,
+                                double scrape_unix_seconds = -1.0);
 
 /// Blocking single-threaded HTTP responder serving the global registry:
 ///   GET /metrics      -> 200 text/plain; version=0.0.4 exposition

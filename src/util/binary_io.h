@@ -1,0 +1,35 @@
+#ifndef BRIQ_UTIL_BINARY_IO_H_
+#define BRIQ_UTIL_BINARY_IO_H_
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+
+namespace briq::util {
+
+/// Minimal raw-byte stream serialization for the versioned binary formats
+/// (util/sample_file.h, ml model persistence). Values are written in host
+/// byte order: model and sample files are machine-local artifacts like the
+/// build tree, not interchange formats — and doubles round-trip bit-exact,
+/// which the training determinism contract requires.
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WritePod requires a trivially copyable type");
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Returns false when the stream ran out before `sizeof(T)` bytes.
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ReadPod requires a trivially copyable type");
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.gcount() == static_cast<std::streamsize>(sizeof(T));
+}
+
+}  // namespace briq::util
+
+#endif  // BRIQ_UTIL_BINARY_IO_H_

@@ -1,0 +1,36 @@
+#ifndef BRIQ_UTIL_HASH_H_
+#define BRIQ_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace briq::util {
+
+/// FNV-1a 64-bit parameters. Both the briq-shard-v1 JSONL format
+/// (corpus/shard_io.h) and the briq-samples-v1 binary sample file
+/// (util/sample_file.h) checksum their payload with this hash.
+inline constexpr uint64_t kFnv1a64OffsetBasis = 14695981039346656037ull;
+inline constexpr uint64_t kFnv1a64Prime = 1099511628211ull;
+
+/// Incremental FNV-1a 64-bit hash over a raw byte range; pass the previous
+/// return value as `state` to chain calls.
+inline uint64_t Fnv1a64(const void* data, size_t size,
+                        uint64_t state = kFnv1a64OffsetBasis) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    state *= kFnv1a64Prime;
+  }
+  return state;
+}
+
+/// String-view convenience overload.
+inline uint64_t Fnv1a64(std::string_view data,
+                        uint64_t state = kFnv1a64OffsetBasis) {
+  return Fnv1a64(data.data(), data.size(), state);
+}
+
+}  // namespace briq::util
+
+#endif  // BRIQ_UTIL_HASH_H_

@@ -1,0 +1,247 @@
+#include "util/sample_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/hash.h"
+
+namespace briq::util {
+
+namespace {
+
+// Header layout: magic[16], uint32 version, int32 num_features,
+// uint64 num_rows, uint64 checksum.
+constexpr size_t kHeaderBytes = 16 + 4 + 4 + 8 + 8;
+
+void PackHeader(char* buf, int num_features, uint64_t num_rows,
+                uint64_t checksum) {
+  std::memcpy(buf, kSampleFileMagic, 16);
+  const uint32_t version = kSampleFileVersion;
+  const int32_t features = static_cast<int32_t>(num_features);
+  std::memcpy(buf + 16, &version, 4);
+  std::memcpy(buf + 20, &features, 4);
+  std::memcpy(buf + 24, &num_rows, 8);
+  std::memcpy(buf + 32, &checksum, 8);
+}
+
+}  // namespace
+
+// --- SampleFileWriter -------------------------------------------------------
+
+SampleFileWriter::SampleFileWriter(std::string path, int num_features)
+    : path_(std::move(path)),
+      num_features_(num_features),
+      row_buf_(SampleRowBytes(num_features)),
+      checksum_(kFnv1a64OffsetBasis) {
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    status_ = Status::NotFound("cannot open sample file for writing: " + path_);
+    return;
+  }
+  WriteHeader();  // placeholder; Finish() patches the real counts in
+}
+
+void SampleFileWriter::WriteHeader() {
+  char header[kHeaderBytes];
+  PackHeader(header, num_features_, num_rows_, checksum_);
+  out_.write(header, kHeaderBytes);
+}
+
+Status SampleFileWriter::Append(const double* x, int32_t label,
+                                double weight) {
+  if (!status_.ok()) return status_;
+  if (finished_) {
+    return Status::FailedPrecondition("SampleFileWriter::Append after Finish: " +
+                                      path_);
+  }
+  char* p = row_buf_.data();
+  std::memcpy(p, x, sizeof(double) * static_cast<size_t>(num_features_));
+  p += sizeof(double) * static_cast<size_t>(num_features_);
+  std::memcpy(p, &label, sizeof(label));
+  p += sizeof(label);
+  std::memcpy(p, &weight, sizeof(weight));
+  checksum_ = Fnv1a64(row_buf_.data(), row_buf_.size(), checksum_);
+  out_.write(row_buf_.data(), static_cast<std::streamsize>(row_buf_.size()));
+  if (!out_.good()) {
+    status_ = Status::Internal("sample file write failed: " + path_);
+    return status_;
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status SampleFileWriter::Finish() {
+  if (!status_.ok()) return status_;
+  if (finished_) return Status::OK();
+  finished_ = true;
+  out_.seekp(0);
+  WriteHeader();
+  out_.flush();
+  if (!out_.good()) {
+    status_ = Status::Internal("sample file header patch failed: " + path_);
+    return status_;
+  }
+  out_.close();
+  return Status::OK();
+}
+
+uint64_t SampleFileWriter::bytes_written() const {
+  return kHeaderBytes + static_cast<uint64_t>(num_rows_) *
+                            SampleRowBytes(num_features_);
+}
+
+// --- SampleFileReader -------------------------------------------------------
+
+SampleFileReader::SampleFileReader(SampleFileReader&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      num_features_(other.num_features_),
+      num_rows_(other.num_rows_) {
+  other.fd_ = -1;
+}
+
+SampleFileReader& SampleFileReader::operator=(
+    SampleFileReader&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    num_features_ = other.num_features_;
+    num_rows_ = other.num_rows_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+SampleFileReader::~SampleFileReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<SampleFileReader> SampleFileReader::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open sample file: " + path);
+  }
+  SampleFileReader reader;
+  reader.path_ = path;
+  reader.fd_ = fd;
+
+  char header[kHeaderBytes];
+  const ssize_t got = ::pread(fd, header, kHeaderBytes, 0);
+  if (got != static_cast<ssize_t>(kHeaderBytes)) {
+    return Status::ParseError(
+        "sample file truncated before the 40-byte header: " + path);
+  }
+  if (std::memcmp(header, kSampleFileMagic, 16) != 0) {
+    return Status::ParseError("not a briq-samples-v1 file (bad magic): " +
+                              path);
+  }
+  uint32_t version = 0;
+  int32_t features = 0;
+  uint64_t rows = 0;
+  uint64_t checksum = 0;
+  std::memcpy(&version, header + 16, 4);
+  std::memcpy(&features, header + 20, 4);
+  std::memcpy(&rows, header + 24, 8);
+  std::memcpy(&checksum, header + 32, 8);
+  if (version != kSampleFileVersion) {
+    return Status::ParseError("unsupported sample file version " +
+                              std::to_string(version) + ": " + path);
+  }
+  if (features <= 0) {
+    return Status::ParseError("sample file declares non-positive feature "
+                              "count " + std::to_string(features) + ": " +
+                              path);
+  }
+  reader.num_features_ = features;
+  reader.num_rows_ = static_cast<size_t>(rows);
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    return Status::Internal("fstat failed on sample file: " + path);
+  }
+  const uint64_t expected =
+      kHeaderBytes + rows * static_cast<uint64_t>(SampleRowBytes(features));
+  if (static_cast<uint64_t>(st.st_size) < expected) {
+    return Status::ParseError(
+        "sample file truncated: header declares " + std::to_string(rows) +
+        " rows (" + std::to_string(expected) + " bytes), file has " +
+        std::to_string(st.st_size) + " bytes: " + path);
+  }
+  if (static_cast<uint64_t>(st.st_size) > expected) {
+    return Status::ParseError(
+        "sample file has trailing data beyond the " + std::to_string(rows) +
+        " rows its header declares: " + path);
+  }
+
+  // Checksum scan: one sequential pass over the rows. A writer that died
+  // before Finish() left the placeholder header (0 rows, empty-hash
+  // checksum) with rows behind it, which the size check above rejects.
+  const size_t row_bytes = SampleRowBytes(features);
+  std::vector<char> buf(row_bytes * 256);
+  uint64_t state = kFnv1a64OffsetBasis;
+  uint64_t remaining = rows * static_cast<uint64_t>(row_bytes);
+  uint64_t offset = kHeaderBytes;
+  while (remaining > 0) {
+    const size_t want =
+        remaining < buf.size() ? static_cast<size_t>(remaining) : buf.size();
+    const ssize_t n = ::pread(fd, buf.data(), want,
+                              static_cast<off_t>(offset));
+    if (n <= 0) {
+      return Status::Internal("sample file read failed during checksum "
+                              "scan: " + path);
+    }
+    state = Fnv1a64(buf.data(), static_cast<size_t>(n), state);
+    offset += static_cast<uint64_t>(n);
+    remaining -= static_cast<uint64_t>(n);
+  }
+  if (state != checksum) {
+    char want_hex[17];
+    char got_hex[17];
+    std::snprintf(want_hex, sizeof(want_hex), "%016llx",
+                  static_cast<unsigned long long>(checksum));
+    std::snprintf(got_hex, sizeof(got_hex), "%016llx",
+                  static_cast<unsigned long long>(state));
+    return Status::ParseError("sample file checksum mismatch: header says " +
+                              std::string(want_hex) + ", content hashes to " +
+                              std::string(got_hex) + ": " + path);
+  }
+  return reader;
+}
+
+Status SampleFileReader::Read(size_t row, double* x, int32_t* label,
+                              double* weight) const {
+  if (row >= num_rows_) {
+    return Status::OutOfRange("sample row " + std::to_string(row) +
+                              " out of range (file has " +
+                              std::to_string(num_rows_) + "): " + path_);
+  }
+  const size_t row_bytes = SampleRowBytes(num_features_);
+  // Stack buffer for typical feature counts; training rows are small.
+  char stack[512];
+  std::vector<char> heap;
+  char* buf = stack;
+  if (row_bytes > sizeof(stack)) {
+    heap.resize(row_bytes);
+    buf = heap.data();
+  }
+  const off_t offset =
+      static_cast<off_t>(kHeaderBytes + row * row_bytes);
+  const ssize_t n = ::pread(fd_, buf, row_bytes, offset);
+  if (n != static_cast<ssize_t>(row_bytes)) {
+    return Status::Internal("sample file read failed at row " +
+                            std::to_string(row) + ": " + path_);
+  }
+  std::memcpy(x, buf, sizeof(double) * static_cast<size_t>(num_features_));
+  const char* p = buf + sizeof(double) * static_cast<size_t>(num_features_);
+  std::memcpy(label, p, sizeof(*label));
+  std::memcpy(weight, p + sizeof(*label), sizeof(*weight));
+  return Status::OK();
+}
+
+}  // namespace briq::util

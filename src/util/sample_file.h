@@ -1,0 +1,113 @@
+#ifndef BRIQ_UTIL_SAMPLE_FILE_H_
+#define BRIQ_UTIL_SAMPLE_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace briq::util {
+
+/// Fixed-width binary sample file ("briq-samples-v1") for out-of-core
+/// training. One file holds the labeled feature rows of a single dataset:
+///
+///     header  (40 bytes): magic[16] "briq-samples-v1\0",
+///                         uint32 version, int32 num_features,
+///                         uint64 num_rows, uint64 checksum
+///     row i   (8*num_features + 4 + 8 bytes):
+///                         double x[num_features], int32 label,
+///                         double weight
+///
+/// The checksum is FNV-1a 64 over all row bytes (like briq-shard-v1, so
+/// truncation and byte-level corruption are detected before any training
+/// run consumes the file). Rows are fixed width: row `i` lives at a
+/// computable offset, which makes seeded bootstrap draws over the file
+/// random-access without an index. Values are host byte order; doubles
+/// round-trip bit-exact, which the training determinism contract relies
+/// on. Sample files are local scratch artifacts, not interchange files.
+
+inline constexpr char kSampleFileMagic[16] = "briq-samples-v1";
+inline constexpr uint32_t kSampleFileVersion = 1;
+
+/// Bytes of one row for `num_features` features.
+inline size_t SampleRowBytes(int num_features) {
+  return sizeof(double) * static_cast<size_t>(num_features) + sizeof(int32_t) +
+         sizeof(double);
+}
+
+/// Streams rows to a sample file. The header (row count + checksum) is
+/// back-patched by Finish(); a file whose writer died before Finish()
+/// fails the reader's checksum, it cannot be mistaken for complete.
+class SampleFileWriter {
+ public:
+  /// Opens `path` for writing (truncates). Errors are sticky: they
+  /// surface from the next Append()/Finish().
+  SampleFileWriter(std::string path, int num_features);
+
+  SampleFileWriter(const SampleFileWriter&) = delete;
+  SampleFileWriter& operator=(const SampleFileWriter&) = delete;
+
+  /// Appends one row; `x` must have num_features entries.
+  Status Append(const double* x, int32_t label, double weight);
+
+  /// Patches the header and closes the file. Idempotent.
+  Status Finish();
+
+  int num_features() const { return num_features_; }
+  size_t num_rows() const { return num_rows_; }
+  /// Total file size so far, header included (spill telemetry).
+  uint64_t bytes_written() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  void WriteHeader();
+
+  std::string path_;
+  int num_features_ = 0;
+  std::ofstream out_;
+  std::vector<char> row_buf_;
+  size_t num_rows_ = 0;
+  uint64_t checksum_ = 0;
+  bool finished_ = false;
+  Status status_;
+};
+
+/// Random-access reader over a sample file. Open() validates the header,
+/// the file size against the declared row count, and the checksum (one
+/// sequential scan), so Read() afterwards only fails on I/O errors.
+/// Read() uses positional reads (pread) and is safe to call from many
+/// threads concurrently — parallel tree fits draw bootstrap rows without
+/// any locking.
+class SampleFileReader {
+ public:
+  static Result<SampleFileReader> Open(const std::string& path);
+
+  SampleFileReader(SampleFileReader&& other) noexcept;
+  SampleFileReader& operator=(SampleFileReader&& other) noexcept;
+  SampleFileReader(const SampleFileReader&) = delete;
+  SampleFileReader& operator=(const SampleFileReader&) = delete;
+  ~SampleFileReader();
+
+  /// Copies row `row` into x[0 .. num_features). Thread-safe.
+  Status Read(size_t row, double* x, int32_t* label, double* weight) const;
+
+  int num_features() const { return num_features_; }
+  size_t num_rows() const { return num_rows_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SampleFileReader() = default;
+
+  std::string path_;
+  int fd_ = -1;
+  int num_features_ = 0;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace briq::util
+
+#endif  // BRIQ_UTIL_SAMPLE_FILE_H_

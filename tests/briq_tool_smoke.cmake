@@ -4,7 +4,10 @@
 #   stats <file>        -> the compact file parses
 #   shard               -> legacy single-file corpus converted to shards
 #   stats <dir>         -> the sharded corpus reads back with the same count
-# and one failure path (sharding a missing file must exit non-zero).
+#   train / eval        -> out-of-core training to a model file, with eval
+#                          against the persisted model byte-identical to
+#                          eval that trains in-process (ISSUE 5)
+# and failure paths (missing corpus / model, train without --model-out).
 #
 # Expects -DBRIQ_TOOL=<path to binary> and -DWORKDIR=<scratch dir>.
 
@@ -171,12 +174,82 @@ if(NOT trace_json MATCHES "\"traceEvents\"" OR
     "trace.json is not Chrome trace-event JSON:\n${trace_json}")
 endif()
 
-# 12. --help documents the continuous-telemetry flags.
+# 12. --help documents the continuous-telemetry flags and the
+#     train-once-serve-many flags.
 run_tool(--help)
 foreach(flag --metrics-interval --metrics-every-docs --metrics-flush-out
-        --trace-out --serve-port --serve-linger)
+        --trace-out --serve-port --serve-linger
+        --model --model-out --train-pct --spill-dir --max-samples)
   if(NOT RUN_OUTPUT MATCHES "${flag}")
     message(FATAL_ERROR "--help does not document ${flag}:\n${RUN_OUTPUT}")
   endif()
 endforeach()
+
+# 13. Out-of-core training (ISSUE 5 tentpole): train over the sharded
+#     corpus, writing a model file plus a metrics snapshot that must carry
+#     the briq.train.* instruments.
+run_tool(train "${WORKDIR}/shards" --model-out "${WORKDIR}/model.bin"
+         --threads 2 --metrics-out "${WORKDIR}/train_metrics.json")
+if(NOT RUN_OUTPUT MATCHES "trained on 10 of 12 documents" OR
+   NOT RUN_OUTPUT MATCHES "wrote model")
+  message(FATAL_ERROR "train did not report its summary:\n${RUN_OUTPUT}")
+endif()
+if(NOT EXISTS "${WORKDIR}/model.bin")
+  message(FATAL_ERROR "train --model-out did not write model.bin")
+endif()
+file(READ "${WORKDIR}/train_metrics.json" train_metrics)
+foreach(instrument briq.train.documents briq.train.samples
+        briq.train.fit_seconds)
+  if(NOT train_metrics MATCHES "${instrument}")
+    message(FATAL_ERROR
+      "train metrics are missing instrument '${instrument}':\n${train_metrics}")
+  endif()
+endforeach()
+
+# 14. Train-once-serve-many parity (ISSUE 5 acceptance): eval against the
+#     persisted model must print byte-identical result tables to eval that
+#     trains in-process (both train on the same leading-90% split).
+run_tool(eval "${WORKDIR}/shards")
+set(eval_in_process "${RUN_OUTPUT}")
+run_tool(eval "${WORKDIR}/shards" --model "${WORKDIR}/model.bin")
+if(NOT RUN_OUTPUT STREQUAL eval_in_process)
+  message(FATAL_ERROR
+    "eval --model differs from in-process eval:\n--- in-process ---\n"
+    "${eval_in_process}\n--- from model ---\n${RUN_OUTPUT}")
+endif()
+
+# 15. Spill-to-disk training is bit-identical: same corpus trained with a
+#     spill directory must write the same model bytes.
+run_tool(train "${WORKDIR}/shards" --model-out "${WORKDIR}/model_spill.bin"
+         --threads 2 --spill-dir "${WORKDIR}/spill")
+if(NOT EXISTS "${WORKDIR}/spill/classifier.samples")
+  message(FATAL_ERROR "--spill-dir did not leave spill files behind")
+endif()
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${WORKDIR}/model.bin" "${WORKDIR}/model_spill.bin"
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR
+    "spilled training produced different model bytes than in-memory")
+endif()
+
+# 16. Failure paths: aligning against a missing model and training without
+#     --model-out must fail loudly, not crash.
+execute_process(
+  COMMAND "${BRIQ_TOOL}" align "${WORKDIR}/shards" --stream
+          --model "${WORKDIR}/no-such-model.bin"
+  RESULT_VARIABLE rv
+  OUTPUT_QUIET ERROR_QUIET)
+if(rv EQUAL 0)
+  message(FATAL_ERROR "align --model with a missing file should fail")
+endif()
+execute_process(
+  COMMAND "${BRIQ_TOOL}" train "${WORKDIR}/shards"
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(rv EQUAL 0 OR NOT out MATCHES "--model-out")
+  message(FATAL_ERROR
+    "train without --model-out should fail mentioning the flag:\n${out}")
+endif()
 

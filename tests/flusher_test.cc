@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -190,6 +191,71 @@ TEST(FlusherTest, EmptyPathSnapshotsWithoutAFile) {
   flusher.Stop();
   EXPECT_GE(flusher.flush_count(), 3u);
   EXPECT_TRUE(flusher.status().ok());
+}
+
+TEST(FlusherTest, GaugeDeltasCarryWindowEnvelope) {
+  MetricRegistry registry;
+  Gauge* depth = registry.GetGauge("briq.train.queue_depth");
+  Gauge* threads = registry.GetGauge("briq.train.threads");
+  threads->Set(4);  // set once, before the baseline flush
+  const std::string path = TempPath("flusher_gauges");
+
+  FlusherOptions options;
+  options.interval_seconds = 0.05;
+  options.poll_seconds = 0.005;
+  options.path = path;
+  MetricsFlusher flusher(options, &registry);
+  ASSERT_TRUE(flusher.Start().ok());
+  // Hold each value across several poll ticks so the window samples it.
+  for (int64_t v : {int64_t{5}, int64_t{2}, int64_t{9}}) {
+    depth->Set(v);
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+  WaitForFlushes(flusher, 2);
+  flusher.Stop();
+  EXPECT_TRUE(flusher.status().ok());
+
+  const std::vector<util::Json> records = ReadJsonl(path);
+  bool saw_depth = false;
+  int threads_reports = 0;
+  double min_seen = 1e9;
+  double max_seen = -1e9;
+  double last_seen = -1.0;
+  for (const util::Json& r : records) {
+    const util::Json& gauges = r.at("delta").at("gauges");
+    if (gauges.Has("briq.train.threads")) {
+      ++threads_reports;
+      EXPECT_EQ(gauges.at("briq.train.threads").at("last").AsDouble(), 4.0);
+    }
+    if (!gauges.Has("briq.train.queue_depth")) continue;
+    saw_depth = true;
+    const util::Json& g = gauges.at("briq.train.queue_depth");
+    const double lo = g.at("min").AsDouble();
+    const double hi = g.at("max").AsDouble();
+    const double last = g.at("last").AsDouble();
+    EXPECT_LE(lo, last);
+    EXPECT_LE(last, hi);
+    min_seen = std::min(min_seen, lo);
+    max_seen = std::max(max_seen, hi);
+    last_seen = last;
+  }
+  EXPECT_TRUE(saw_depth);
+  // An unchanged gauge reports once (vs. the implicit prior of 0) and is
+  // then omitted from every later delta.
+  EXPECT_EQ(threads_reports, 1);
+  // The poll-tick envelope saw the dip to 2 and the spike to 9 even
+  // though both happened between flushes; the final report lands on 9.
+  EXPECT_LE(min_seen, 2.0);
+  EXPECT_GE(max_seen, 9.0);
+  EXPECT_EQ(last_seen, 9.0);
+  // The cumulative section still carries every gauge's current value.
+  EXPECT_EQ(records.back()
+                .at("cumulative")
+                .at("gauges")
+                .at("briq.train.queue_depth")
+                .AsDouble(),
+            9.0);
+  fs::remove(path);
 }
 
 TEST(FlusherTest, StartFailsOnUnwritablePath) {

@@ -58,6 +58,40 @@ TEST(PrometheusTextTest, GaugesRenderVerbatim) {
   EXPECT_NE(text.find("briq_stream_queue_depth -3\n"), std::string::npos);
 }
 
+TEST(PrometheusTextTest, FreshnessLinesAppearWithScrapeTime) {
+  MetricsSnapshot snapshot;
+  snapshot.counters["briq.train.documents"] = 1;
+  snapshot.capture_unix_seconds = 100.0;
+  const std::string text = MetricsToPrometheus(snapshot, 103.5);
+  EXPECT_NE(text.find("# TYPE briq_scrape_timestamp_seconds gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("briq_scrape_timestamp_seconds 103.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE briq_snapshot_age_seconds gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("briq_snapshot_age_seconds 3.5\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, FreshnessOmittedByDefaultAndAgeClampedAtZero) {
+  MetricsSnapshot snapshot;
+  snapshot.counters["briq.train.documents"] = 1;
+  snapshot.capture_unix_seconds = 100.0;
+  // Default argument: byte-identical to the pre-freshness rendering.
+  const std::string plain = MetricsToPrometheus(snapshot);
+  EXPECT_EQ(plain.find("briq_scrape_timestamp_seconds"), std::string::npos);
+  EXPECT_EQ(plain.find("briq_snapshot_age_seconds"), std::string::npos);
+  // A scrape clock behind the capture clock clamps the age at zero
+  // rather than exposing a negative gauge.
+  const std::string behind = MetricsToPrometheus(snapshot, 99.0);
+  EXPECT_NE(behind.find("briq_snapshot_age_seconds 0\n"), std::string::npos);
+  // An unstamped snapshot reports the scrape time but cannot claim an age.
+  snapshot.capture_unix_seconds = 0.0;
+  const std::string unstamped = MetricsToPrometheus(snapshot, 99.0);
+  EXPECT_NE(unstamped.find("briq_scrape_timestamp_seconds 99\n"),
+            std::string::npos);
+  EXPECT_EQ(unstamped.find("briq_snapshot_age_seconds"), std::string::npos);
+}
+
 TEST(PrometheusTextTest, HistogramBucketsAreCumulativeWithInf) {
   MetricsSnapshot snapshot;
   HistogramSnapshot h;

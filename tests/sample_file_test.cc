@@ -1,0 +1,223 @@
+// briq-samples-v1 spill files (util/sample_file.h) and the SampleSink /
+// SampleSource layer above them (ml/sample_sink.h): bit-exact round trips,
+// fault injection on truncated/corrupted/foreign files, and the seeded
+// reservoir's determinism.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ml/sample_sink.h"
+#include "util/sample_file.h"
+
+namespace briq {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Per-process scratch path: gtest_discover_tests runs every TEST as its
+/// own process, so pid-keyed names cannot collide under `ctest -j`.
+std::string TempPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) /
+          (name + "-" + std::to_string(::getpid()) + ".samples"))
+      .string();
+}
+
+/// A value whose double representation exercises non-trivial mantissa
+/// bits, so "bit-exact" actually means something.
+double Wobble(size_t i, int f) {
+  return std::sin(static_cast<double>(i * 31 + f)) * 1e6 + 1.0 / 3.0;
+}
+
+std::vector<double> Row(size_t i, int num_features) {
+  std::vector<double> x(static_cast<size_t>(num_features));
+  for (int f = 0; f < num_features; ++f) x[static_cast<size_t>(f)] = Wobble(i, f);
+  return x;
+}
+
+void WriteFile(const std::string& path, int num_features, size_t rows) {
+  util::SampleFileWriter writer(path, num_features);
+  for (size_t i = 0; i < rows; ++i) {
+    ASSERT_TRUE(
+        writer.Append(Row(i, num_features).data(), static_cast<int32_t>(i % 3),
+                      0.25 * static_cast<double>(i + 1))
+            .ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+}
+
+TEST(SampleFileTest, RoundTripIsBitExact) {
+  const std::string path = TempPath("roundtrip");
+  WriteFile(path, 5, 37);
+
+  auto reader = util::SampleFileReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->num_features(), 5);
+  ASSERT_EQ(reader->num_rows(), 37u);
+  std::vector<double> x(5);
+  int32_t label = 0;
+  double weight = 0.0;
+  // Read out of order: rows are addressable, not just scannable.
+  for (size_t i : {size_t{36}, size_t{0}, size_t{17}}) {
+    ASSERT_TRUE(reader->Read(i, x.data(), &label, &weight).ok());
+    const std::vector<double> expected = Row(i, 5);
+    for (int f = 0; f < 5; ++f) {
+      EXPECT_EQ(x[static_cast<size_t>(f)], expected[static_cast<size_t>(f)])
+          << "row " << i << " feature " << f;
+    }
+    EXPECT_EQ(label, static_cast<int32_t>(i % 3));
+    EXPECT_EQ(weight, 0.25 * static_cast<double>(i + 1));
+  }
+  fs::remove(path);
+}
+
+TEST(SampleFileTest, EmptyFileRoundTrips) {
+  const std::string path = TempPath("empty");
+  WriteFile(path, 3, 0);
+  auto reader = util::SampleFileReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->num_rows(), 0u);
+  fs::remove(path);
+}
+
+TEST(SampleFileTest, TruncatedFileIsRejected) {
+  const std::string path = TempPath("truncated");
+  WriteFile(path, 4, 10);
+  const auto full_size = fs::file_size(path);
+  fs::resize_file(path, full_size - 7);
+  auto reader = util::SampleFileReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().ToString().find("truncated"), std::string::npos)
+      << reader.status().ToString();
+  fs::remove(path);
+}
+
+TEST(SampleFileTest, CorruptedByteFailsChecksum) {
+  const std::string path = TempPath("corrupt");
+  WriteFile(path, 4, 10);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    // Flip one byte in the middle of the row region (past the 40-byte
+    // header), keeping the size intact.
+    f.seekp(40 + 3 * 44 + 11);
+    char byte = 0;
+    f.seekg(40 + 3 * 44 + 11);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(40 + 3 * 44 + 11);
+    f.write(&byte, 1);
+  }
+  auto reader = util::SampleFileReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.status().ToString().find("checksum"), std::string::npos)
+      << reader.status().ToString();
+  fs::remove(path);
+}
+
+TEST(SampleFileTest, ForeignFileIsRejected) {
+  const std::string path = TempPath("foreign");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a sample file, it just lives where one should\n";
+  }
+  auto reader = util::SampleFileReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  fs::remove(path);
+
+  auto missing = util::SampleFileReader::Open(path + ".does-not-exist");
+  ASSERT_FALSE(missing.ok());
+}
+
+TEST(SampleFileTest, UnfinishedWriterFailsValidation) {
+  const std::string path = TempPath("unfinished");
+  {
+    util::SampleFileWriter writer(path, 2);
+    const double x[2] = {1.0, 2.0};
+    ASSERT_TRUE(writer.Append(x, 1, 1.0).ok());
+    // No Finish(): the header still declares 0 rows / no checksum.
+  }
+  auto reader = util::SampleFileReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  fs::remove(path);
+}
+
+TEST(SampleSinkTest, SpillMatchesInMemoryBitExact) {
+  const std::string path = TempPath("spill-parity");
+  const int nf = 6;
+  ml::InMemorySampleSink mem(nf);
+  ml::SpillSampleSink spill(ml::SpillSinkOptions{path, 0, 0}, nf);
+  for (size_t i = 0; i < 25; ++i) {
+    const std::vector<double> x = Row(i, nf);
+    const int label = static_cast<int>(i % 2);
+    const double w = 1.0 + 0.5 * static_cast<double>(i);
+    ASSERT_TRUE(mem.Add(x.data(), label, w).ok());
+    ASSERT_TRUE(spill.Add(x.data(), label, w).ok());
+  }
+  ASSERT_TRUE(mem.Finish().ok());
+  ASSERT_TRUE(spill.Finish().ok());
+  EXPECT_EQ(spill.samples_retained(), 25u);
+  EXPECT_GT(spill.bytes_written(), 0u);
+
+  auto spilled = ml::SpilledSampleSource::Open(path);
+  ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+  ml::DatasetSampleSource in_memory(&mem.dataset());
+  ASSERT_EQ(spilled->size(), in_memory.size());
+  ASSERT_EQ(spilled->num_features(), in_memory.num_features());
+  std::vector<double> xa(nf), xb(nf);
+  int la = 0, lb = 0;
+  double wa = 0.0, wb = 0.0;
+  for (size_t i = 0; i < in_memory.size(); ++i) {
+    ASSERT_TRUE(in_memory.Read(i, xa.data(), &la, &wa).ok());
+    ASSERT_TRUE(spilled->Read(i, xb.data(), &lb, &wb).ok());
+    for (int f = 0; f < nf; ++f) {
+      EXPECT_EQ(xa[static_cast<size_t>(f)], xb[static_cast<size_t>(f)]);
+    }
+    EXPECT_EQ(la, lb);
+    EXPECT_EQ(wa, wb);
+  }
+  fs::remove(path);
+}
+
+TEST(SampleSinkTest, ReservoirIsSeedDeterministicAndBounded) {
+  const int nf = 3;
+  const size_t total = 200;
+  const size_t cap = 16;
+  auto run = [&](uint64_t seed, const std::string& tag) {
+    const std::string path = TempPath("reservoir-" + tag);
+    ml::SpillSampleSink sink(ml::SpillSinkOptions{path, cap, seed}, nf);
+    for (size_t i = 0; i < total; ++i) {
+      const std::vector<double> x = Row(i, nf);
+      EXPECT_TRUE(sink.Add(x.data(), static_cast<int>(i % 4), 1.0).ok());
+    }
+    EXPECT_TRUE(sink.Finish().ok());
+    EXPECT_EQ(sink.samples_seen(), total);
+    EXPECT_EQ(sink.samples_retained(), cap);
+    // Return the retained rows' first features as the subsample signature.
+    auto source = ml::SpilledSampleSource::Open(path);
+    EXPECT_TRUE(source.ok()) << source.status().ToString();
+    std::vector<double> signature;
+    std::vector<double> x(nf);
+    int label = 0;
+    double weight = 0.0;
+    for (size_t i = 0; i < source->size(); ++i) {
+      EXPECT_TRUE(source->Read(i, x.data(), &label, &weight).ok());
+      signature.push_back(x[0]);
+    }
+    fs::remove(path);
+    return signature;
+  };
+  const std::vector<double> a = run(42, "a");
+  const std::vector<double> b = run(42, "b");
+  const std::vector<double> c = run(43, "c");
+  EXPECT_EQ(a, b);  // same seed, same subsample, bit for bit
+  EXPECT_NE(a, c);  // different seed draws a different reservoir
+}
+
+}  // namespace
+}  // namespace briq

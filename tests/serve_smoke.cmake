@@ -92,7 +92,9 @@ foreach(needle
         "# TYPE briq_align_align_seconds histogram"
         "briq_align_align_seconds_bucket{le=\"+Inf\"}"
         "briq_align_align_seconds_sum"
-        "briq_align_align_seconds_count")
+        "briq_align_align_seconds_count"
+        "# TYPE briq_scrape_timestamp_seconds gauge"
+        "briq_snapshot_age_seconds")
   if(NOT body MATCHES "${needle}")
     # MATCHES treats the needle as a regex; escape and retry via FIND.
     string(FIND "${body}" "${needle}" at)

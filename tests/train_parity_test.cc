@@ -1,0 +1,285 @@
+// Determinism guarantee of the out-of-core training path (DESIGN.md §5f):
+// training through core::StreamingTrainer — in memory or spilled to disk,
+// at any shard size and thread count — must produce forests bit-identical
+// to the legacy in-memory BriqSystem::Train over the same documents, and a
+// model file round trip must preserve every prediction bit.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/features.h"
+#include "core/pipeline.h"
+#include "core/streaming_trainer.h"
+#include "corpus/generator.h"
+#include "corpus/shard_io.h"
+
+namespace briq {
+namespace {
+
+namespace fs = std::filesystem;
+
+using core::BriqConfig;
+using core::BriqSystem;
+using core::PreparedDocument;
+using core::StreamingTrainer;
+using core::StreamingTrainOptions;
+using core::TrainOnShardedCorpus;
+
+class TrainParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::CorpusOptions options;
+    options.num_documents = 40;
+    options.seed = 9091;
+    corpus_ = new corpus::Corpus(corpus::GenerateCorpus(options));
+
+    // Shards keyed by pid: gtest_discover_tests runs each TEST_F as its
+    // own process, so a shared directory would race under `ctest -j`.
+    dir_ = new std::string(
+        (fs::path(::testing::TempDir()) /
+         ("train_parity-" + std::to_string(::getpid())))
+            .string());
+    fs::remove_all(*dir_);
+    fs::create_directories(*dir_);
+    ASSERT_TRUE(
+        corpus::WriteCorpusShards(*corpus_, *dir_, "corpus", /*shard_size=*/7)
+            .ok());
+
+    // Reference: the legacy fully-in-memory Train, over the reloaded shard
+    // bytes — exactly what the streaming variants will read.
+    config_ = new BriqConfig();
+    loaded_ = new corpus::Corpus();
+    auto loaded = corpus::LoadShardedCorpus(*dir_, "corpus");
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    *loaded_ = std::move(loaded).value();
+    prepared_ = new std::vector<PreparedDocument>();
+    for (const corpus::Document& d : loaded_->documents) {
+      prepared_->push_back(core::PrepareDocument(d, *config_));
+    }
+    std::vector<const PreparedDocument*> train;
+    for (const auto& d : *prepared_) train.push_back(&d);
+    reference_ = new BriqSystem(*config_);
+    ASSERT_TRUE(reference_->Train(train).ok());
+    reference_signature_ = new std::vector<double>(Signature(*reference_));
+  }
+
+  static void TearDownTestSuite() {
+    fs::remove_all(*dir_);
+    delete reference_signature_;
+    delete reference_;
+    delete prepared_;
+    delete loaded_;
+    delete config_;
+    delete dir_;
+    delete corpus_;
+  }
+
+  /// Every prediction the trained components make over the corpus, flat:
+  /// per text mention the tagger's function id and confidence, per
+  /// (text, table) pair the classifier score. Two systems whose forests
+  /// are bit-identical produce the exact same vector.
+  static std::vector<double> Signature(const BriqSystem& system) {
+    std::vector<double> out;
+    for (const PreparedDocument& doc : *prepared_) {
+      core::FeatureComputer features(doc, *config_);
+      for (size_t t = 0; t < doc.text_mentions.size(); ++t) {
+        const auto tag = system.tagger().Predict(doc, t);
+        out.push_back(static_cast<double>(static_cast<int>(tag.func)));
+        out.push_back(tag.confidence);
+        for (size_t c = 0; c < doc.table_mentions.size(); ++c) {
+          out.push_back(system.classifier().Score(features, t, c));
+        }
+      }
+    }
+    return out;
+  }
+
+  static void ExpectMatchesReference(const BriqSystem& system,
+                                     const std::string& context) {
+    ASSERT_TRUE(system.trained()) << context;
+    const std::vector<double> signature = Signature(system);
+    ASSERT_EQ(signature.size(), reference_signature_->size()) << context;
+    for (size_t i = 0; i < signature.size(); ++i) {
+      // Exact double equality: streaming must not perturb a bit.
+      ASSERT_EQ(signature[i], (*reference_signature_)[i])
+          << context << " prediction " << i;
+    }
+    // Table I bookkeeping must survive the refactor too.
+    EXPECT_EQ(system.classifier().stats().total_positives,
+              reference_->classifier().stats().total_positives)
+        << context;
+    EXPECT_EQ(system.classifier().stats().total_negatives,
+              reference_->classifier().stats().total_negatives)
+        << context;
+  }
+
+  /// Pid-and-tag-keyed scratch dir for spill files and reshards.
+  static std::string ScratchDir(const std::string& tag) {
+    const std::string path = *dir_ + "/" + tag;
+    fs::create_directories(path);
+    return path;
+  }
+
+  static corpus::Corpus* corpus_;
+  static std::string* dir_;
+  static BriqConfig* config_;
+  static corpus::Corpus* loaded_;
+  static std::vector<PreparedDocument>* prepared_;
+  static BriqSystem* reference_;
+  static std::vector<double>* reference_signature_;
+};
+
+corpus::Corpus* TrainParityTest::corpus_ = nullptr;
+std::string* TrainParityTest::dir_ = nullptr;
+BriqConfig* TrainParityTest::config_ = nullptr;
+corpus::Corpus* TrainParityTest::loaded_ = nullptr;
+std::vector<PreparedDocument>* TrainParityTest::prepared_ = nullptr;
+BriqSystem* TrainParityTest::reference_ = nullptr;
+std::vector<double>* TrainParityTest::reference_signature_ = nullptr;
+
+TEST_F(TrainParityTest, StreamingMatchesLegacyAcrossShardSizesAndThreads) {
+  const size_t whole = corpus_->size();
+  for (size_t shard_size : {size_t{1}, size_t{7}, whole}) {
+    const std::string dir = ScratchDir("s" + std::to_string(shard_size));
+    ASSERT_TRUE(
+        corpus::WriteCorpusShards(*corpus_, dir, "corpus", shard_size).ok());
+    for (int threads : {1, 4}) {
+      const std::string context = "shard_size=" + std::to_string(shard_size) +
+                                  " threads=" + std::to_string(threads);
+      StreamingTrainOptions options;
+      options.num_threads = threads;
+      options.queue_capacity = 5;  // smaller than the corpus: forces
+                                   // back-pressure and reordering
+      BriqSystem system(*config_);
+      util::Status status =
+          TrainOnShardedCorpus(&system, dir, "corpus", options);
+      ASSERT_TRUE(status.ok()) << context << ": " << status.ToString();
+      ExpectMatchesReference(system, context);
+    }
+  }
+}
+
+TEST_F(TrainParityTest, SpilledTrainingMatchesLegacy) {
+  for (int threads : {1, 4}) {
+    const std::string context = "spilled threads=" + std::to_string(threads);
+    StreamingTrainOptions options;
+    options.num_threads = threads;
+    options.queue_capacity = 5;
+    options.spill_dir = ScratchDir("spill" + std::to_string(threads));
+    BriqSystem system(*config_);
+    util::Status status = TrainOnShardedCorpus(&system, *dir_, "corpus", options);
+    ASSERT_TRUE(status.ok()) << context << ": " << status.ToString();
+    // The spill files exist and carry every emitted sample.
+    EXPECT_TRUE(fs::exists(options.spill_dir + "/classifier.samples"))
+        << context;
+    EXPECT_TRUE(fs::exists(options.spill_dir + "/tagger.samples")) << context;
+    ExpectMatchesReference(system, context);
+  }
+}
+
+TEST_F(TrainParityTest, ReservoirCapIsSeedDeterministic) {
+  // A capped run subsamples, so it cannot equal the uncapped reference —
+  // but the same seed (from the config) must reproduce it bit for bit.
+  auto run = [&](const std::string& tag) {
+    StreamingTrainOptions options;
+    options.num_threads = 2;
+    options.spill_dir = ScratchDir("cap-" + tag);
+    options.max_classifier_samples = 64;
+    options.max_tagger_samples = 64;
+    BriqSystem system(*config_);
+    util::Status status = TrainOnShardedCorpus(&system, *dir_, "corpus", options);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return Signature(system);
+  };
+  const std::vector<double> a = run("a");
+  const std::vector<double> b = run("b");
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "prediction " << i;
+  }
+}
+
+TEST_F(TrainParityTest, ModelRoundTripPreservesEveryPrediction) {
+  const std::string model = ScratchDir("model") + "/model.bin";
+  ASSERT_TRUE(reference_->SaveModel(model).ok());
+
+  BriqSystem restored(*config_);
+  ASSERT_FALSE(restored.trained());
+  util::Status status = restored.LoadModel(model);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectMatchesReference(restored, "model round trip");
+
+  // An untrained system refuses to save.
+  BriqSystem untrained(*config_);
+  EXPECT_EQ(untrained.SaveModel(model + ".none").code(),
+            util::StatusCode::kFailedPrecondition);
+
+  // Fault injection: a flipped payload byte fails the checksum, a
+  // truncated file fails before that, and neither clobbers the target
+  // system's already-loaded state.
+  {
+    std::fstream f(model, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(200);
+    char byte = 0;
+    f.seekg(200);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(200);
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(restored.LoadModel(model).ok());
+  ExpectMatchesReference(restored, "after rejected corrupt load");
+
+  const std::string truncated = ScratchDir("model") + "/truncated.bin";
+  ASSERT_TRUE(reference_->SaveModel(truncated).ok());
+  fs::resize_file(truncated, fs::file_size(truncated) / 2);
+  EXPECT_FALSE(restored.LoadModel(truncated).ok());
+
+  // A model trained under a different ablation mask is rejected up front.
+  ASSERT_TRUE(reference_->SaveModel(model).ok());
+  BriqConfig ablated = *config_;
+  ablated.active_features = {0, 3};
+  BriqSystem mismatched(ablated);
+  EXPECT_EQ(mismatched.LoadModel(model).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TrainParityTest, EmptyAndFailingSourcesSurfaceErrors) {
+  // Zero documents: same InvalidArgument contract as BriqSystem::Train.
+  BriqSystem system(*config_);
+  StreamingTrainer trainer(&system, StreamingTrainOptions{});
+  util::Status status = trainer.Train(
+      []() -> util::Result<std::optional<corpus::Document>> {
+        return std::optional<corpus::Document>(std::nullopt);
+      });
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_FALSE(system.trained());
+
+  // A source error aborts the run and propagates, at any thread count.
+  for (int threads : {1, 4}) {
+    StreamingTrainOptions options;
+    options.num_threads = threads;
+    options.queue_capacity = 2;
+    StreamingTrainer failing(&system, options);
+    size_t cursor = 0;
+    status = failing.Train(
+        [&]() -> util::Result<std::optional<corpus::Document>> {
+          if (cursor >= 5) {
+            return util::Status::ParseError("injected source failure");
+          }
+          return std::optional<corpus::Document>(
+              corpus_->documents[cursor++]);
+        });
+    ASSERT_FALSE(status.ok()) << "threads=" << threads;
+    EXPECT_EQ(status.code(), util::StatusCode::kParseError)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace briq
