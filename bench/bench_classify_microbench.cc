@@ -1,0 +1,164 @@
+// Classification hot-path micro-benchmarks (google-benchmark): the
+// pointer-chasing RandomForest vs the compiled ml::FlatForest, single-row
+// and batched, plus pair featurization — the three costs that make up the
+// `classify` stage (BENCH_throughput.json shows classify ~90% of align
+// wall time). Wired into the build as `bench_classify_microbench` so the
+// flat-vs-pointer ratio is measurable on any machine.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/features.h"
+#include "ml/flat_forest.h"
+#include "ml/random_forest.h"
+
+namespace briq {
+namespace {
+
+/// A trained system + a prepared document with its feature rows
+/// materialized: every stage-A-style pair (text mention x table mention)
+/// featurized once, rows kept row-major for the batch entry points.
+struct ClassifyFixture {
+  bench::ExperimentSetup setup;
+  std::vector<double> rows;  // num_pairs x num_features, row-major
+  size_t num_pairs = 0;
+  int num_features = 0;
+  ml::FlatForest flat;
+
+  ClassifyFixture() : setup(bench::BuildSetup(/*num_documents=*/120,
+                                              /*seed=*/2024)) {
+    const core::PreparedDocument& doc = setup.test.front();
+    core::FeatureComputer features(doc, setup.config);
+    num_features = features.NumActive();
+    std::vector<double> row;
+    for (size_t x = 0; x < doc.text_mentions.size(); ++x) {
+      for (size_t t = 0; t < doc.table_mentions.size(); ++t) {
+        features.Compute(x, t, &row);
+        rows.insert(rows.end(), row.begin(), row.end());
+        ++num_pairs;
+      }
+    }
+    flat.Compile(setup.system->classifier().forest());
+  }
+
+  const double* row(size_t i) const {
+    return rows.data() + i * static_cast<size_t>(num_features);
+  }
+};
+
+ClassifyFixture& Fixture() {
+  static ClassifyFixture* fixture = new ClassifyFixture();
+  return *fixture;
+}
+
+/// Per-row positive probability through the pointer-based trees
+/// (the pre-flat scoring path of MentionPairClassifier::Score).
+void BM_PointerForest(benchmark::State& state) {
+  ClassifyFixture& f = Fixture();
+  const ml::RandomForest& forest = f.setup.system->classifier().forest();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.PredictPositiveProba(f.row(i)));
+    i = (i + 1) % f.num_pairs;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointerForest);
+
+/// Per-row positive probability through the compiled flat forest.
+void BM_FlatForest(benchmark::State& state) {
+  ClassifyFixture& f = Fixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.flat.PredictPositiveProba(f.row(i)));
+    i = (i + 1) % f.num_pairs;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatForest);
+
+/// All of one document's candidate rows in one batched call — the layout
+/// MentionPairClassifier::ScoreBatch uses (tree-major over row tiles).
+void BM_FlatForestBatch(benchmark::State& state) {
+  ClassifyFixture& f = Fixture();
+  std::vector<double> out(f.num_pairs);
+  for (auto _ : state) {
+    f.flat.PredictPositiveProbaBatch(
+        f.rows.data(), f.num_pairs, static_cast<size_t>(f.num_features),
+        out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.num_pairs));
+}
+BENCHMARK(BM_FlatForestBatch);
+
+/// Pointer-forest equivalent of the batch above (row-at-a-time loop), so
+/// the batch speedup is measured against the same work.
+void BM_PointerForestBatch(benchmark::State& state) {
+  ClassifyFixture& f = Fixture();
+  const ml::RandomForest& forest = f.setup.system->classifier().forest();
+  std::vector<double> out(f.num_pairs);
+  for (auto _ : state) {
+    for (size_t i = 0; i < f.num_pairs; ++i) {
+      out[i] = forest.PredictPositiveProba(f.row(i));
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.num_pairs));
+}
+BENCHMARK(BM_PointerForestBatch);
+
+/// Pair featurization (FeatureComputer::Compute) — the other half of the
+/// classify stage; the candidate pre-index exists to avoid this work for
+/// obviously incompatible pairs.
+void BM_PairFeaturize(benchmark::State& state) {
+  ClassifyFixture& f = Fixture();
+  const core::PreparedDocument& doc = f.setup.test.front();
+  core::FeatureComputer features(doc, f.setup.config);
+  std::vector<double> row;
+  size_t x = 0;
+  size_t t = 0;
+  for (auto _ : state) {
+    features.Compute(x, t, &row);
+    benchmark::DoNotOptimize(row.data());
+    if (++t >= doc.table_mentions.size()) {
+      t = 0;
+      x = (x + 1) % doc.text_mentions.size();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PairFeaturize);
+
+/// One document's candidate rows through FeatureComputer::ComputeBatch —
+/// the text-mention-side work (context bag, cue scan, lowered surface) is
+/// hoisted out of the per-pair loop.
+void BM_PairFeaturizeBatch(benchmark::State& state) {
+  ClassifyFixture& f = Fixture();
+  const core::PreparedDocument& doc = f.setup.test.front();
+  core::FeatureComputer features(doc, f.setup.config);
+  const size_t num_table = doc.table_mentions.size();
+  std::vector<size_t> tables(num_table);
+  for (size_t t = 0; t < num_table; ++t) tables[t] = t;
+  std::vector<double> rows(num_table *
+                           static_cast<size_t>(features.NumActive()));
+  size_t x = 0;
+  for (auto _ : state) {
+    features.ComputeBatch(x, tables.data(), tables.size(), rows.data());
+    benchmark::DoNotOptimize(rows.data());
+    x = (x + 1) % doc.text_mentions.size();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_table));
+}
+BENCHMARK(BM_PairFeaturizeBatch);
+
+}  // namespace
+}  // namespace briq
+
+BENCHMARK_MAIN();

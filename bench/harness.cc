@@ -92,12 +92,25 @@ bool WriteBenchJson(const std::string& path,
     obj.Set("wall_seconds", r.wall_seconds);
     obj.Set("mode", r.mode.empty() ? "memory" : r.mode);
     obj.Set("flushes", r.flushes);
+    obj.Set("flat_forest", r.flat_forest);
+    obj.Set("candidate_index", r.candidate_index);
     if (!r.stage_seconds.empty()) {
       util::Json stages = util::Json::Object();
       for (const auto& [stage, seconds] : r.stage_seconds) {
         stages.Set(stage, seconds);
       }
       obj.Set("stages", std::move(stages));
+      // Per-stage timers accumulate thread-seconds: with N workers the
+      // cumulative values can exceed the row's wall time by up to Nx.
+      // Emit the wall-normalized view (cumulative / threads) alongside so
+      // multi-threaded rows are directly comparable to wall_seconds.
+      if (r.threads > 1) {
+        util::Json wall = util::Json::Object();
+        for (const auto& [stage, seconds] : r.stage_seconds) {
+          wall.Set(stage, seconds / static_cast<double>(r.threads));
+        }
+        obj.Set("stages_wall", std::move(wall));
+      }
     }
     array.Append(std::move(obj));
   }

@@ -61,6 +61,12 @@ struct BenchRecord {
   /// per row so BENCH_throughput.json shows whether a rate was measured
   /// with the telemetry cadence active.
   size_t flushes = 0;
+  /// Classification fast-path configuration the row was measured under
+  /// (DESIGN.md §5g): FlatForest scoring and the candidate pre-index.
+  /// Recorded per row so the perf trajectory distinguishes fast-path rates
+  /// from legacy-route rates; defaults mirror BriqConfig.
+  bool flat_forest = true;
+  bool candidate_index = true;
 };
 
 /// Parses a `--json <path>` flag from argv; returns the path or "" when

@@ -355,6 +355,13 @@ void Run(int num_threads, const std::string& json_path, bool stream,
 
   if (flusher != nullptr) flusher->Stop();
 
+  // Stamp every row with the classification fast-path flags it ran under
+  // (the training rows use a fresh default config with the same values).
+  for (BenchRecord& r : records) {
+    r.flat_forest = setup.config.flat_forest;
+    r.candidate_index = setup.config.candidate_index;
+  }
+
   if (!json_path.empty() && WriteBenchJson(json_path, records)) {
     std::cout << "wrote " << records.size() << " records to " << json_path
               << "\n";

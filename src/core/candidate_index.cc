@@ -1,0 +1,107 @@
+#include "core/candidate_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace briq::core {
+
+namespace {
+
+/// Magnitude bucket of a finite non-zero value. Two values within
+/// relative 1e-9 have a |log2| gap of ~2e-9, so their buckets differ by
+/// at most 1 — probing {b-1, b, b+1} covers every possible exact match.
+int64_t MagnitudeBucket(double v) {
+  return static_cast<int64_t>(std::floor(std::log2(std::fabs(v))));
+}
+
+}  // namespace
+
+CandidateIndex::FuncGroup* CandidateIndex::GroupOf(
+    table::AggregateFunction func) {
+  for (FuncGroup& g : groups_) {
+    if (g.func == func) return &g;
+  }
+  groups_.emplace_back();
+  groups_.back().func = func;
+  return &groups_.back();
+}
+
+void CandidateIndex::Build(const PreparedDocument& doc) {
+  unit_of_.clear();
+  unit_ids_.clear();
+  singles_.clear();
+  groups_.clear();
+  unit_of_.reserve(doc.table_mentions.size());
+
+  for (size_t t = 0; t < doc.table_mentions.size(); ++t) {
+    const table::TableMention& tm = doc.table_mentions[t];
+    int32_t unit_id = 0;
+    if (tm.has_unit()) {
+      auto [it, inserted] = unit_ids_.emplace(
+          tm.unit, static_cast<int32_t>(unit_ids_.size()) + 1);
+      unit_id = it->second;
+    }
+    unit_of_.push_back(unit_id);
+
+    if (!tm.is_virtual()) {
+      singles_.push_back(t);
+      continue;
+    }
+    FuncGroup* g = GroupOf(tm.func);
+    g->all.push_back(t);
+    if (tm.value == 0.0) {
+      g->zero.push_back(t);
+    } else if (std::isfinite(tm.value)) {
+      auto& buckets = tm.value > 0.0 ? g->pos_buckets : g->neg_buckets;
+      buckets[MagnitudeBucket(tm.value)].push_back(t);
+    }
+    // Non-finite values join no bucket: RelativeDifference against them is
+    // 1.0, so the exact-value exception can never rescue the pair.
+  }
+}
+
+void CandidateIndex::Probe(const table::TextMention& x,
+                           table::AggregateFunction tag_func,
+                           std::vector<size_t>* out) const {
+  out->clear();
+  const bool x_has_unit = x.q.has_unit();
+  int32_t x_unit = 0;
+  if (x_has_unit) {
+    auto it = unit_ids_.find(x.q.unit);
+    // A unit no table cell carries: only unit-less cells are compatible.
+    x_unit = it == unit_ids_.end() ? -1 : it->second;
+  }
+  auto append = [&](const std::vector<size_t>& ts) {
+    for (size_t t : ts) {
+      if (x_has_unit && unit_of_[t] != 0 && unit_of_[t] != x_unit) continue;
+      out->push_back(t);
+    }
+  };
+
+  append(singles_);
+  const double v = x.q.value;
+  for (const FuncGroup& g : groups_) {
+    if (g.func == tag_func) {
+      // Same function as the tag: never pruned by Stage A, always scored.
+      append(g.all);
+      continue;
+    }
+    // Different function: survives Stage A only on an exact value match.
+    if (!std::isfinite(v)) continue;
+    if (v == 0.0) {
+      append(g.zero);
+      continue;
+    }
+    const auto& buckets = v > 0.0 ? g.pos_buckets : g.neg_buckets;
+    const int64_t b = MagnitudeBucket(v);
+    for (int64_t k = b - 1; k <= b + 1; ++k) {
+      auto it = buckets.find(k);
+      if (it != buckets.end()) append(it->second);
+    }
+  }
+  // The filter's candidate loop must see pairs in the same ascending
+  // enumeration order as the unindexed path (its sort is not stable).
+  std::sort(out->begin(), out->end());
+}
+
+}  // namespace briq::core

@@ -1,0 +1,80 @@
+#ifndef BRIQ_CORE_CANDIDATE_INDEX_H_
+#define BRIQ_CORE_CANDIDATE_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/extraction.h"
+
+namespace briq::core {
+
+/// Per-document candidate pre-index of the classification fast path
+/// (DESIGN.md §5g): buckets the table mentions by unit class and
+/// value-magnitude log-bucket so the adaptive filter never featurizes
+/// pairs it would provably drop. Probe() returns a *superset* of the
+/// pairs the unfiltered loop keeps, in ascending table-mention order, so
+/// running the filter's inline checks over the probed set yields exactly
+/// the legacy candidate lists (enforced by tests/classify_parity_test.cc).
+///
+/// A pair (x, t) can be skipped without scoring only when one of the two
+/// unconditional prunes of AdaptiveFilter::Filter is certain to fire:
+///
+///   - Strong unit mismatch: both sides carry units and they differ. The
+///     index groups mentions by interned unit id; a probe for a mention
+///     with unit u returns only unit-less cells and cells with unit u.
+///   - Tagger-based aggregate prune: virtual cells whose function differs
+///     from the predicted tag survive only when the values match within
+///     relative 1e-9 — which forces equal signs and a |log2| gap below 2.
+///     Virtual cells are therefore bucketed by (function, sign,
+///     floor(log2 |value|)); a probe collects, for every non-predicted
+///     function, only buckets {b-1, b, b+1} of the mention's own value
+///     (zero and non-finite values use dedicated sentinel classes that
+///     match exactly the pairs RelativeDifference treats as equal).
+///
+/// Everything else — single cells and same-function virtual cells with
+/// compatible units — is always returned: their survival depends on the
+/// classifier score, which the filter still computes. The index is
+/// immutable after Build and safe to share read-only across threads.
+class CandidateIndex {
+ public:
+  CandidateIndex() = default;
+
+  /// Indexes doc.table_mentions. Rebuild per document.
+  void Build(const PreparedDocument& doc);
+
+  /// Fills `out` with the candidate table-mention indices of text mention
+  /// `x` under predicted tag `tag_func`, sorted ascending. `out` is
+  /// cleared first and reused across calls.
+  void Probe(const table::TextMention& x, table::AggregateFunction tag_func,
+             std::vector<size_t>* out) const;
+
+  size_t num_table_mentions() const { return unit_of_.size(); }
+
+ private:
+  /// All virtual cells of one aggregate function.
+  struct FuncGroup {
+    table::AggregateFunction func = table::AggregateFunction::kNone;
+    std::vector<size_t> all;  // ascending
+    /// Finite non-zero values by sign and floor(log2 |value|).
+    std::map<int64_t, std::vector<size_t>> pos_buckets;
+    std::map<int64_t, std::vector<size_t>> neg_buckets;
+    /// value == 0.0 (RelativeDifference is 0 only against another zero).
+    std::vector<size_t> zero;
+  };
+
+  FuncGroup* GroupOf(table::AggregateFunction func);
+
+  /// Interned unit of each table mention; 0 means no unit.
+  std::vector<int32_t> unit_of_;
+  std::map<std::string, int32_t> unit_ids_;
+  /// Non-virtual (single-cell) mentions, ascending.
+  std::vector<size_t> singles_;
+  /// Virtual-cell groups in first-seen function order.
+  std::vector<FuncGroup> groups_;
+};
+
+}  // namespace briq::core
+
+#endif  // BRIQ_CORE_CANDIDATE_INDEX_H_

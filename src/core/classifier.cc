@@ -6,6 +6,7 @@
 
 #include "core/gt_matching.h"
 #include "ml/dataset.h"
+#include "obs/metrics.h"
 #include "util/binary_io.h"
 #include "util/logging.h"
 
@@ -71,6 +72,7 @@ util::Status MentionPairClassifier::TrainFromSource(
     const ml::SampleSource& source, TrainingStats stats) {
   stats_ = std::move(stats);
   forest_ = ml::RandomForest();
+  flat_.Clear();
   if (source.size() == 0) {
     BRIQ_LOG(Warning) << "classifier training data is empty or single-class; "
                          "forest not fitted";
@@ -96,6 +98,7 @@ util::Status MentionPairClassifier::TrainFromSource(
     return util::Status::OK();
   }
   forest_.Fit(source, config_->forest);
+  flat_.Compile(forest_);
   return util::Status::OK();
 }
 
@@ -154,6 +157,7 @@ util::Status MentionPairClassifier::Load(std::istream& in) {
   BRIQ_RETURN_IF_ERROR(read_map(&stats.negatives));
   forest_ = std::move(forest);
   stats_ = std::move(stats);
+  flat_.Compile(forest_);
   return util::Status::OK();
 }
 
@@ -164,7 +168,42 @@ double MentionPairClassifier::Score(const FeatureComputer& features,
   // state (AlignBatch scores from several threads concurrently).
   thread_local std::vector<double> scratch;
   features.Compute(text_idx, table_idx, &scratch);
+  if (config_->flat_forest && flat_.compiled()) {
+    return flat_.PredictPositiveProba(scratch.data());
+  }
   return forest_.PredictPositiveProba(scratch.data());
+}
+
+void MentionPairClassifier::ScoreBatch(const FeatureComputer& features,
+                                       size_t text_idx,
+                                       const size_t* table_idxs, size_t n,
+                                       double* out) const {
+  BRIQ_CHECK(trained()) << "classifier not trained";
+  if (n == 0) return;
+  if (!config_->flat_forest || !flat_.compiled()) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = Score(features, text_idx, table_idxs[i]);
+    }
+    return;
+  }
+  static obs::Counter* batches =
+      obs::MetricRegistry::Global().GetCounter("briq.classify.flat_batches");
+  static obs::Counter* rows =
+      obs::MetricRegistry::Global().GetCounter("briq.classify.flat_rows");
+  static obs::Histogram* batch_rows =
+      obs::MetricRegistry::Global().GetHistogram(
+          "briq.classify.batch_rows", obs::ExponentialBuckets(1.0, 2.0, 12));
+  // Row matrix in per-thread scratch: one featurization pass hoists the
+  // text-mention-side work, then the whole batch runs through the flat
+  // forest's tile loop.
+  thread_local std::vector<double> matrix;
+  const size_t stride = static_cast<size_t>(features.NumActive());
+  matrix.resize(n * stride);
+  features.ComputeBatch(text_idx, table_idxs, n, matrix.data());
+  flat_.PredictPositiveProbaBatch(matrix.data(), n, stride, out);
+  batches->Add(1);
+  rows->Add(n);
+  batch_rows->Observe(static_cast<double>(n));
 }
 
 }  // namespace briq::core

@@ -8,6 +8,7 @@
 #include "core/config.h"
 #include "core/extraction.h"
 #include "core/features.h"
+#include "ml/flat_forest.h"
 #include "ml/random_forest.h"
 #include "ml/sample_sink.h"
 #include "util/status.h"
@@ -69,13 +70,27 @@ class MentionPairClassifier {
   double Score(const FeatureComputer& features, size_t text_idx,
                size_t table_idx) const;
 
+  /// Batch scoring fast path: out[i] = Score(features, text_idx,
+  /// table_idxs[i]) for i in [0, n), bit-identical to the scalar path.
+  /// With config.flat_forest the rows are featurized once per text mention
+  /// (FeatureComputer::ComputeBatch) and evaluated through the compiled
+  /// FlatForest tile loop; otherwise it degrades to a scalar Score loop.
+  /// Thread-safe like Score (row matrix is per-thread scratch).
+  void ScoreBatch(const FeatureComputer& features, size_t text_idx,
+                  const size_t* table_idxs, size_t n, double* out) const;
+
   bool trained() const { return forest_.fitted(); }
   const TrainingStats& stats() const { return stats_; }
   const ml::RandomForest& forest() const { return forest_; }
+  const ml::FlatForest& flat_forest() const { return flat_; }
 
  private:
   const BriqConfig* config_;
   ml::RandomForest forest_;
+  /// Inference layout compiled from forest_ at train-finish / model-load
+  /// time (ml::FlatForest); immutable between recompiles, shared read-only
+  /// by scoring threads.
+  ml::FlatForest flat_;
   TrainingStats stats_;
 };
 

@@ -57,6 +57,18 @@ struct BriqConfig {
   /// confident (precision-oriented tagging, paper §V-A).
   double tagger_min_confidence = 0.5;
 
+  // --- Classification fast path (DESIGN.md §5g) -------------------------------
+  /// Score pairs through the compiled ml::FlatForest layout (batched,
+  /// struct-of-arrays) instead of the pointer trees. Bit-identical scores;
+  /// off switches back to the legacy path for A/B runs.
+  bool flat_forest = true;
+  /// Pre-index table mentions by (unit class, value-magnitude bucket) per
+  /// document so obviously incompatible pairs are never featurized. The
+  /// probe returns a superset of the legacy survivors, so kept alignments
+  /// are byte-identical; trace runs bypass the index to keep the Table VI
+  /// candidate counts unchanged.
+  bool candidate_index = true;
+
   // --- Stage 3: adaptive filtering --------------------------------------------
   /// Prune pairs whose relative value difference exceeds `prune_value_diff`
   /// when the classifier score is below `prune_score_threshold` (§V-B).

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
+#include <unordered_set>
 
 #include "core/cues.h"
 #include "util/logging.h"
@@ -62,11 +64,63 @@ double AggregateMatch(AggregateFunction inferred, AggregateFunction actual) {
   return 1.0;
 }
 
+std::unordered_set<std::string> ToSet(const std::vector<std::string>& v) {
+  return {v.begin(), v.end()};
+}
+
+/// util::OverlapCoefficient over pre-built sets: the original converts its
+/// vectors to sets per call; intersection and min-cardinality are integer
+/// counts, so the ratio is the bit-identical double either way.
+double OverlapFromSets(const std::unordered_set<std::string>& a,
+                       const std::unordered_set<std::string>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& big = a.size() <= b.size() ? b : a;
+  size_t inter = 0;
+  for (const auto& w : small) inter += big.count(w);
+  return static_cast<double>(inter) / static_cast<double>(small.size());
+}
+
 }  // namespace
 
 FeatureComputer::FeatureComputer(const PreparedDocument& doc,
                                  const BriqConfig& config)
-    : doc_(doc), config_(config) {}
+    : doc_(doc), config_(config) {
+  table_once_.resize(doc.table_mentions.size());
+  table_bags_.resize(doc.table_mentions.size());
+  table_phrases_.resize(doc.table_mentions.size());
+  table_phrase_sets_.resize(doc.table_mentions.size());
+  table_surfaces_.resize(doc.table_mentions.size());
+  tbl_once_.resize(doc.table_contexts.size());
+  tbl_word_sets_.resize(doc.table_contexts.size());
+  tbl_phrase_sets_.resize(doc.table_contexts.size());
+  para_once_.resize(doc.paragraph_words.size());
+  para_word_sets_.resize(doc.paragraph_words.size());
+  para_phrase_sets_.resize(doc.paragraph_words.size());
+}
+
+void FeatureComputer::EnsureTableMention(size_t t) const {
+  std::call_once(table_once_[t], [&] {
+    AddLocalTableWords(doc_.table_mentions[t], &table_bags_[t]);
+    AppendLocalTablePhrases(doc_.table_mentions[t], &table_phrases_[t]);
+    table_phrase_sets_[t] = ToSet(table_phrases_[t]);
+    table_surfaces_[t] = SurfaceForSimilarity(doc_.table_mentions[t]);
+  });
+}
+
+void FeatureComputer::EnsureTable(size_t tbl) const {
+  std::call_once(tbl_once_[tbl], [&] {
+    tbl_word_sets_[tbl] = ToSet(doc_.table_contexts[tbl].all_words);
+    tbl_phrase_sets_[tbl] = ToSet(doc_.table_contexts[tbl].all_phrases);
+  });
+}
+
+void FeatureComputer::EnsureParagraph(size_t p) const {
+  std::call_once(para_once_[p], [&] {
+    para_word_sets_[p] = ToSet(doc_.paragraph_words[p]);
+    para_phrase_sets_[p] = ToSet(doc_.paragraph_phrases[p]);
+  });
+}
 
 std::vector<std::string> FeatureComputer::FeatureNames() {
   return {"f1_surface_sim",    "f2_local_word_overlap",
@@ -120,71 +174,107 @@ std::vector<double> FeatureComputer::ComputeAll(size_t text_idx,
   return f;
 }
 
-void FeatureComputer::ComputeAll(size_t text_idx, size_t table_idx,
-                                 double* f) const {
+/// Text-side state shared by every pair of one text mention (see header).
+struct FeatureComputer::TextContext {
+  size_t text_idx = 0;
+  const TextMention* x = nullptr;
+  std::string lower_surface;                  // f1 left operand
+  util::WeightedBag bag;                      // f2 left operand
+  std::unordered_set<std::string> sent_set;   // f4 left operand
+  AggregateFunction inferred =
+      AggregateFunction::kNone;               // f12 cued function
+  /// f3/f5 memo, keyed by table index: the global overlaps depend only on
+  /// (paragraph, table), so each table is computed once per text mention.
+  /// NaN marks an empty slot (legit values are finite in [0, 1]).
+  std::vector<double> f3_by_table;
+  std::vector<double> f5_by_table;
+};
+
+void FeatureComputer::BuildTextContext(size_t text_idx,
+                                       TextContext* ctx) const {
   BRIQ_CHECK(text_idx < doc_.text_mentions.size()) << "bad text index";
-  BRIQ_CHECK(table_idx < doc_.table_mentions.size()) << "bad table index";
   const TextMention& x = doc_.text_mentions[text_idx];
-  const TableMention& t = doc_.table_mentions[table_idx];
   const auto& tokens = doc_.paragraph_tokens[x.paragraph];
+  ctx->text_idx = text_idx;
+  ctx->x = &x;
+  ctx->lower_surface = util::ToLower(x.surface());
 
-  // Word/phrase bags are scratch reused across calls; per-thread so the
-  // same FeatureComputer can score pairs from several AlignBatch workers.
-  thread_local util::WeightedBag text_bag;
-  thread_local util::WeightedBag table_bag;
-  thread_local std::vector<std::string> table_phrases;
-
-  std::fill(f, f + kNumPairFeatures, 0.0);
-
-  // f1: surface similarity.
-  f[0] = util::JaroWinklerSimilarity(util::ToLower(x.surface()),
-                                     SurfaceForSimilarity(t));
-
-  // f2: local word overlap, distance-weighted window around the mention.
-  {
-    text_bag.clear();
-    const int n = config_.context_window;
-    const size_t pos = x.token_pos;
-    const size_t lo = pos >= static_cast<size_t>(n) ? pos - n : 0;
-    const size_t hi = std::min(tokens.size(), pos + n + 1);
-    for (size_t i = lo; i < hi; ++i) {
-      if (i == pos) continue;
-      if (tokens[i].kind != text::TokenKind::kWord &&
-          tokens[i].kind != text::TokenKind::kNumber) {
-        continue;
-      }
-      const double d = static_cast<double>(i > pos ? i - pos : pos - i);
-      double w = 1.0 - (d / config_.step_size) * config_.step_weight;
-      w = std::max(w, config_.min_word_weight);
-      std::string word = util::ToLower(tokens[i].textual);
-      auto [it, inserted] = text_bag.emplace(std::move(word), w);
-      if (!inserted) it->second = std::max(it->second, w);
+  // f2 left bag: distance-weighted window around the mention.
+  ctx->bag.clear();
+  const int n = config_.context_window;
+  const size_t pos = x.token_pos;
+  const size_t lo = pos >= static_cast<size_t>(n) ? pos - n : 0;
+  const size_t hi = std::min(tokens.size(), pos + n + 1);
+  for (size_t i = lo; i < hi; ++i) {
+    if (i == pos) continue;
+    if (tokens[i].kind != text::TokenKind::kWord &&
+        tokens[i].kind != text::TokenKind::kNumber) {
+      continue;
     }
-    table_bag.clear();
-    AddLocalTableWords(t, &table_bag);
-    f[1] = util::WeightedOverlapCoefficient(text_bag, table_bag);
+    const double d = static_cast<double>(i > pos ? i - pos : pos - i);
+    double w = 1.0 - (d / config_.step_size) * config_.step_weight;
+    w = std::max(w, config_.min_word_weight);
+    std::string word = util::ToLower(tokens[i].textual);
+    auto [it, inserted] = ctx->bag.emplace(std::move(word), w);
+    if (!inserted) it->second = std::max(it->second, w);
   }
 
-  // f3: global word overlap (paragraph vs whole table).
-  f[2] = util::OverlapCoefficient(doc_.paragraph_words[x.paragraph],
-                                  doc_.table_contexts[t.table_index].all_words);
+  // f12 left operand: the cue-inferred aggregate function.
+  ctx->inferred =
+      InferAggregateFunction(tokens, x.token_pos, config_.agg_cue_window);
 
-  // f4: local phrase overlap (sentence vs mention's rows/columns).
+  // f4 left operand: the sentence's phrases (paragraph fallback).
   {
     const auto& sent_phrases = doc_.sentence_phrases[x.paragraph];
     const std::vector<std::string>& xs =
         x.sentence < static_cast<int>(sent_phrases.size())
             ? sent_phrases[x.sentence]
             : doc_.paragraph_phrases[x.paragraph];
-    table_phrases.clear();
-    AppendLocalTablePhrases(t, &table_phrases);
-    f[3] = util::OverlapCoefficient(xs, table_phrases);
+    ctx->sent_set.clear();
+    ctx->sent_set.insert(xs.begin(), xs.end());
   }
 
+  ctx->f3_by_table.assign(doc_.table_contexts.size(),
+                          std::numeric_limits<double>::quiet_NaN());
+  ctx->f5_by_table.assign(doc_.table_contexts.size(),
+                          std::numeric_limits<double>::quiet_NaN());
+}
+
+void FeatureComputer::ComputeAllFromContext(TextContext& ctx,
+                                            size_t table_idx,
+                                            double* f) const {
+  BRIQ_CHECK(table_idx < doc_.table_mentions.size()) << "bad table index";
+  const TextMention& x = *ctx.x;
+  const TableMention& t = doc_.table_mentions[table_idx];
+  EnsureTableMention(table_idx);
+
+  std::fill(f, f + kNumPairFeatures, 0.0);
+
+  // f1: surface similarity.
+  f[0] = util::JaroWinklerSimilarity(ctx.lower_surface,
+                                     table_surfaces_[table_idx]);
+
+  // f2: local word overlap, distance-weighted window around the mention.
+  f[1] = util::WeightedOverlapCoefficient(ctx.bag, table_bags_[table_idx]);
+
+  // f3/f5: global word and phrase overlap (paragraph vs whole table),
+  // memoized per (text mention, table).
+  const size_t tbl = static_cast<size_t>(t.table_index);
+  if (std::isnan(ctx.f3_by_table[tbl])) {
+    EnsureTable(tbl);
+    EnsureParagraph(x.paragraph);
+    ctx.f3_by_table[tbl] =
+        OverlapFromSets(para_word_sets_[x.paragraph], tbl_word_sets_[tbl]);
+    ctx.f5_by_table[tbl] =
+        OverlapFromSets(para_phrase_sets_[x.paragraph], tbl_phrase_sets_[tbl]);
+  }
+  f[2] = ctx.f3_by_table[tbl];
+
+  // f4: local phrase overlap (sentence vs mention's rows/columns).
+  f[3] = OverlapFromSets(ctx.sent_set, table_phrase_sets_[table_idx]);
+
   // f5: global phrase overlap.
-  f[4] = util::OverlapCoefficient(
-      doc_.paragraph_phrases[x.paragraph],
-      doc_.table_contexts[t.table_index].all_phrases);
+  f[4] = ctx.f5_by_table[tbl];
 
   // f6/f7: value compatibility.
   f[5] = quantity::RelativeDifference(x.q.value, t.value);
@@ -202,9 +292,26 @@ void FeatureComputer::ComputeAll(size_t text_idx, size_t table_idx,
   f[10] = static_cast<double>(x.q.approx);
 
   // f12: aggregate-function match from cue words.
-  AggregateFunction inferred =
-      InferAggregateFunction(tokens, x.token_pos, config_.agg_cue_window);
-  f[11] = AggregateMatch(inferred, t.func);
+  f[11] = AggregateMatch(ctx.inferred, t.func);
+}
+
+void FeatureComputer::ComputeAll(size_t text_idx, size_t table_idx,
+                                 double* f) const {
+  thread_local TextContext ctx;
+  BuildTextContext(text_idx, &ctx);
+  ComputeAllFromContext(ctx, table_idx, f);
+}
+
+size_t FeatureComputer::MaskActive(const double* all, double* out) const {
+  if (config_.active_features.empty()) {
+    std::copy(all, all + kNumPairFeatures, out);
+    return kNumPairFeatures;
+  }
+  size_t written = 0;
+  for (int i = 0; i < kNumPairFeatures; ++i) {
+    if (config_.FeatureActive(i)) out[written++] = all[i];
+  }
+  return written;
 }
 
 std::vector<double> FeatureComputer::Compute(size_t text_idx,
@@ -218,13 +325,19 @@ void FeatureComputer::Compute(size_t text_idx, size_t table_idx,
                               std::vector<double>* out) const {
   double all[kNumPairFeatures];
   ComputeAll(text_idx, table_idx, all);
-  out->clear();
-  if (config_.active_features.empty()) {
-    out->insert(out->end(), all, all + kNumPairFeatures);
-    return;
-  }
-  for (int i = 0; i < kNumPairFeatures; ++i) {
-    if (config_.FeatureActive(i)) out->push_back(all[i]);
+  out->resize(static_cast<size_t>(NumActive()));
+  MaskActive(all, out->data());
+}
+
+void FeatureComputer::ComputeBatch(size_t text_idx, const size_t* table_idxs,
+                                   size_t n, double* rows) const {
+  thread_local TextContext ctx;
+  BuildTextContext(text_idx, &ctx);
+  const size_t stride = static_cast<size_t>(NumActive());
+  double all[kNumPairFeatures];
+  for (size_t i = 0; i < n; ++i) {
+    ComputeAllFromContext(ctx, table_idxs[i], all);
+    MaskActive(all, rows + i * stride);
   }
 }
 

@@ -1,7 +1,10 @@
 #ifndef BRIQ_CORE_FEATURES_H_
 #define BRIQ_CORE_FEATURES_H_
 
+#include <deque>
+#include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/config.h"
@@ -11,8 +14,13 @@
 namespace briq::core {
 
 /// Computes the 12 mention-pair features of paper §IV-B over a prepared
-/// document. Instances cache nothing beyond references; all heavy context
-/// bags live in the PreparedDocument.
+/// document. The table-mention-side context (local word bag for f2, local
+/// phrase list for f4) is cached per table mention on first use — the
+/// candidate pre-index skips most virtual cells, so building all caches
+/// eagerly would waste the work the index saves. Cache population is
+/// guarded per entry (std::call_once), so concurrent calls on one
+/// computer remain safe. Everything heavier lives in the
+/// PreparedDocument.
 ///
 /// Feature order (0-based index -> paper name):
 ///   0  f1  surface-form similarity (Jaro-Winkler)
@@ -49,6 +57,17 @@ class FeatureComputer {
   void Compute(size_t text_idx, size_t table_idx,
                std::vector<double>* out) const;
 
+  /// Batch variant of Compute for the classifier fast path: fills
+  /// rows[i * NumActive() .. ) with the active features of pair
+  /// (text_idx, table_idxs[i]) for i in [0, n). Per-row output is
+  /// bit-identical to Compute; the text-mention-side work (local context
+  /// bag, lowered surface form, cue-window scan) is computed once for the
+  /// whole batch instead of once per pair. `rows` must hold at least
+  /// n * NumActive() doubles. Thread-safe like Compute (all scratch is
+  /// per-thread).
+  void ComputeBatch(size_t text_idx, const size_t* table_idxs, size_t n,
+                    double* rows) const;
+
   /// Active feature count (12 when no mask is set).
   int NumActive() const;
 
@@ -60,6 +79,26 @@ class FeatureComputer {
   static std::vector<std::string> FeatureNames();
 
  private:
+  /// Text-mention-side state that is invariant across the table mentions a
+  /// pair loop scores against: the lowered surface (f1), the
+  /// distance-weighted local context bag (f2), and the cued aggregate
+  /// function (f12). Built once per ComputeBatch call (and per ComputeAll
+  /// call, to keep a single feature implementation); lives in per-thread
+  /// scratch. Defined in features.cc.
+  struct TextContext;
+
+  void BuildTextContext(size_t text_idx, TextContext* ctx) const;
+
+  /// The 12 features of (ctx's text mention, table_idx) into f, reading
+  /// the hoisted text-side state from ctx (and memoizing the per-table
+  /// global overlaps f3/f5 into it).
+  void ComputeAllFromContext(TextContext& ctx, size_t table_idx,
+                             double* f) const;
+
+  /// Masks `all` (12 features) down to the active ones at `out`, returning
+  /// the number written (== NumActive()).
+  size_t MaskActive(const double* all, double* out) const;
+
   /// Union of the row/column context words (or phrases) of the cells of a
   /// table mention, appended into caller-owned (reusable) buffers.
   void AddLocalTableWords(const table::TableMention& m,
@@ -67,8 +106,36 @@ class FeatureComputer {
   void AppendLocalTablePhrases(const table::TableMention& m,
                                std::vector<std::string>* out) const;
 
+  /// Populate the lazy caches below on first use of an entry.
+  void EnsureTableMention(size_t t) const;
+  void EnsureTable(size_t tbl) const;
+  void EnsureParagraph(size_t p) const;
+
   const PreparedDocument& doc_;
   const BriqConfig& config_;
+
+  /// Table-mention-side context, cached per table mention on first use:
+  /// the f2 word bag, the f4 phrase set, and the f1 comparison surface
+  /// depend only on the table side, and rebuilding them per pair
+  /// dominated the scoring loop. WeightedBag is an ordered map and the
+  /// overlap coefficients are ratios of set cardinalities, so cached
+  /// containers yield bit-identical feature values to freshly built
+  /// ones. Lazy (not eager) on purpose — see the class comment.
+  mutable std::deque<std::once_flag> table_once_;
+  mutable std::vector<util::WeightedBag> table_bags_;
+  mutable std::vector<std::vector<std::string>> table_phrases_;
+  mutable std::vector<std::unordered_set<std::string>> table_phrase_sets_;
+  mutable std::vector<std::string> table_surfaces_;
+
+  /// Per-table word/phrase sets of the f3/f5 global overlaps.
+  mutable std::deque<std::once_flag> tbl_once_;
+  mutable std::vector<std::unordered_set<std::string>> tbl_word_sets_;
+  mutable std::vector<std::unordered_set<std::string>> tbl_phrase_sets_;
+
+  /// Per-paragraph word/phrase sets (text side of f3/f5).
+  mutable std::deque<std::once_flag> para_once_;
+  mutable std::vector<std::unordered_set<std::string>> para_word_sets_;
+  mutable std::vector<std::unordered_set<std::string>> para_phrase_sets_;
 };
 
 }  // namespace briq::core

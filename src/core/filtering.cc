@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <numeric>
 
+#include "core/candidate_index.h"
 #include "core/gt_matching.h"
 #include "ml/metrics.h"
 #include "obs/metrics.h"
@@ -43,8 +45,11 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
       "briq.filter.classifier_entropy", obs::LinearBuckets(0.1, 0.1, 10));
   static obs::Histogram* classify_seconds = registry.GetHistogram(
       "briq.align.classify_seconds", obs::DefaultLatencyBuckets());
+  static obs::Counter* preindex_skipped_counter =
+      registry.GetCounter("briq.filter.preindex_skipped");
   uint64_t pairs_before = 0;
   uint64_t pairs_kept = 0;
+  uint64_t preindex_skipped = 0;
 #ifndef BRIQ_NO_METRICS
   // Classifier scoring time, summed over the per-mention loops (two clock
   // reads per mention, not per pair). This is a subset of the filter
@@ -92,17 +97,40 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
   // Score buffer for the entropy computation, reused across mentions.
   std::vector<double> scores;
 
+  // Candidate pre-index (DESIGN.md §5g): Probe() returns a superset of the
+  // pairs the inline checks below keep, so alignments are unchanged while
+  // provably-dead pairs are never featurized. Trace runs bypass the index:
+  // the Table-VI pairs_before counts enumerate the full cross product.
+  const bool use_index = config_->candidate_index && trace == nullptr;
+  CandidateIndex index;
+  if (use_index) index.Build(doc);
+
+  // Per-mention scratch, reused across the loop: the probed candidate set,
+  // the Stage-A survivors, and their batch-scored sigmas.
+  std::vector<size_t> probed;
+  std::vector<size_t> survivors;
+  std::vector<double> sigmas;
+
   for (size_t x = 0; x < num_text; ++x) {
     // --- Stage A: tagger-based aggregate pruning -------------------------
     TextMentionTagger::Tag tag = tagger_->Predict(doc, x);
 
     std::vector<Candidate> kept;
     kept.reserve(64);
-    pairs_before += num_table;
 #ifndef BRIQ_NO_METRICS
     const auto classify_start = std::chrono::steady_clock::now();
 #endif
-    for (size_t t = 0; t < num_table; ++t) {
+    if (use_index) {
+      index.Probe(doc.text_mentions[x], tag.func, &probed);
+      preindex_skipped += num_table - probed.size();
+    } else {
+      probed.resize(num_table);
+      std::iota(probed.begin(), probed.end(), size_t{0});
+    }
+    pairs_before += probed.size();
+
+    survivors.clear();
+    for (size_t t : probed) {
       const table::TableMention& tm = doc.table_mentions[t];
       if (trace != nullptr) {
         ++trace->by_type[tm.func].pairs_before;
@@ -122,8 +150,19 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
                                        tm.value) > 1e-9) {
         continue;
       }
+      survivors.push_back(t);
+    }
 
-      double sigma = classifier_->Score(features, x, t);
+    // Batch-score the Stage-A survivors (the flat-forest fast path;
+    // bit-identical to per-pair Score calls).
+    sigmas.resize(survivors.size());
+    classifier_->ScoreBatch(features, x, survivors.data(), survivors.size(),
+                            sigmas.data());
+
+    for (size_t i = 0; i < survivors.size(); ++i) {
+      const size_t t = survivors[i];
+      const table::TableMention& tm = doc.table_mentions[t];
+      const double sigma = sigmas[i];
 
       // --- Stage B: value-difference and unit pruning ---------------------
       const double rel_diff = quantity::RelativeDifference(
@@ -198,6 +237,7 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
 
   pairs_before_counter->Add(pairs_before);
   pairs_kept_counter->Add(pairs_kept);
+  preindex_skipped_counter->Add(preindex_skipped);
 #ifndef BRIQ_NO_METRICS
   classify_seconds->Observe(classify_total_seconds);
   obs::AttachLeafSpan("classify", classify_total_seconds);

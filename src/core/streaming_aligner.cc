@@ -21,9 +21,13 @@ namespace briq::core {
 
 namespace {
 
+/// A chunk of consecutive documents; one queue item, one reorder slot.
+/// Chunking amortizes every cross-thread handoff (queue mutex, emitter
+/// lock, condition-variable wakeups) over chunk_docs documents.
 struct WorkItem {
-  size_t index = 0;
-  corpus::Document doc;
+  size_t chunk_index = 0;
+  size_t base_doc_index = 0;  // global index of docs[0]
+  std::vector<corpus::Document> docs;
 };
 
 struct FinishedItem {
@@ -31,17 +35,22 @@ struct FinishedItem {
   DocumentAlignment alignment;
 };
 
-/// Shared state of the reordering emitter: finished documents park in
-/// `ready` until every earlier index has been delivered. The emit window
+struct FinishedChunk {
+  size_t base_doc_index = 0;
+  std::vector<FinishedItem> items;
+};
+
+/// Shared state of the reordering emitter: finished chunks park in
+/// `ready` until every earlier chunk has been delivered. The emit window
 /// caps how far ahead of `next_emit` a worker may park a result, so the
-/// buffer — like the queue — holds O(queue + threads) documents, never
+/// buffer — like the queue — holds O(queue + threads) chunks, never
 /// O(corpus).
 struct EmitState {
   std::mutex mu;
   std::condition_variable advanced;
-  std::map<size_t, FinishedItem> ready;
-  size_t next_emit = 0;
-  size_t window = 0;
+  std::map<size_t, FinishedChunk> ready;
+  size_t next_emit = 0;  // chunk index
+  size_t window = 0;     // chunks
   /// Set when any worker threw; releases waiters and stops emission so the
   /// pipeline drains instead of stalling on the gap the dead worker left.
   bool failed = false;
@@ -49,8 +58,9 @@ struct EmitState {
 
 /// Streaming telemetry (DESIGN.md §5d). The queue instruments live under
 /// `briq.stream.*` via QueueTelemetry; the reorder buffer reports its
-/// depth and high-water mark here. Gauges describe the run currently in
-/// flight; run one streaming pipeline at a time when reading them.
+/// depth and high-water mark here (both in chunks, matching the queue's
+/// units). Gauges describe the run currently in flight; run one streaming
+/// pipeline at a time when reading them.
 obs::Counter* StreamDocumentsCounter() {
   static obs::Counter* counter =
       obs::MetricRegistry::Global().GetCounter("briq.stream.documents");
@@ -69,28 +79,35 @@ obs::Gauge* ReorderBufferedPeakGauge() {
   return gauge;
 }
 
-/// Parks one finished document and flushes the contiguous prefix to the
-/// sink. Sink calls happen under the emitter mutex: strictly ordered and
+/// Parks one finished chunk and flushes the contiguous prefix to the
+/// sink — one lock acquisition per chunk, not per document. Sink calls
+/// happen under the emitter mutex: strictly ordered per document and
 /// never concurrent, as streaming_aligner.h promises.
-void EmitInOrder(EmitState* state, size_t index, FinishedItem item,
-                 const AlignmentSink& sink) {
+void EmitChunkInOrder(EmitState* state, size_t chunk_index,
+                      FinishedChunk chunk, const AlignmentSink& sink) {
   std::unique_lock<std::mutex> lock(state->mu);
   // Back-pressure on the reorder buffer. The worker holding `next_emit`
   // never waits (its index is trivially inside the window), so the window
   // always drains and this cannot deadlock.
-  state->advanced.wait(lock, [state, index] {
-    return state->failed || index < state->next_emit + state->window;
+  state->advanced.wait(lock, [state, chunk_index] {
+    return state->failed || chunk_index < state->next_emit + state->window;
   });
   if (state->failed) return;
-  state->ready.emplace(index, std::move(item));
+  state->ready.emplace(chunk_index, std::move(chunk));
   ReorderBufferedPeakGauge()->SetMax(static_cast<int64_t>(state->ready.size()));
+  size_t emitted_docs = 0;
   while (!state->ready.empty() &&
          state->ready.begin()->first == state->next_emit) {
     auto node = state->ready.extract(state->ready.begin());
-    sink(node.key(), node.mapped().doc, node.mapped().alignment);
+    const FinishedChunk& done = node.mapped();
+    for (size_t i = 0; i < done.items.size(); ++i) {
+      sink(done.base_doc_index + i, done.items[i].doc,
+           done.items[i].alignment);
+    }
+    emitted_docs += done.items.size();
     ++state->next_emit;
-    StreamDocumentsCounter()->Add();
   }
+  if (emitted_docs > 0) StreamDocumentsCounter()->Add(emitted_docs);
   ReorderBufferedGauge()->Set(static_cast<int64_t>(state->ready.size()));
   lock.unlock();
   state->advanced.notify_all();
@@ -103,6 +120,7 @@ StreamingAligner::StreamingAligner(const Aligner* aligner,
                                    StreamingOptions options)
     : aligner_(aligner), config_(config), options_(options) {
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  if (options_.chunk_docs < 1) options_.chunk_docs = 1;
 }
 
 util::Status StreamingAligner::Run(const DocumentSource& source,
@@ -150,13 +168,18 @@ util::Status StreamingAligner::Run(const DocumentSource& source,
           // After a failure elsewhere, keep popping (so the reader never
           // blocks on a full queue) but skip the work.
           if (failed.load(std::memory_order_relaxed)) continue;
-          obs::ScopedSpan document_span("document");
-          PreparedDocument prepared = PrepareDocument(item->doc, *config_);
-          // `prepared` points into item->doc; align before moving the doc.
-          DocumentAlignment alignment = aligner_->Align(prepared);
-          EmitInOrder(&emit, item->index,
-                      FinishedItem{std::move(item->doc), std::move(alignment)},
-                      sink);
+          FinishedChunk chunk;
+          chunk.base_doc_index = item->base_doc_index;
+          chunk.items.reserve(item->docs.size());
+          for (corpus::Document& doc : item->docs) {
+            obs::ScopedSpan document_span("document");
+            PreparedDocument prepared = PrepareDocument(doc, *config_);
+            // `prepared` points into doc; align before moving the doc.
+            DocumentAlignment alignment = aligner_->Align(prepared);
+            chunk.items.push_back(
+                FinishedItem{std::move(doc), std::move(alignment)});
+          }
+          EmitChunkInOrder(&emit, item->chunk_index, std::move(chunk), sink);
         }
       } catch (...) {
         failed.store(true, std::memory_order_relaxed);
@@ -173,9 +196,20 @@ util::Status StreamingAligner::Run(const DocumentSource& source,
   }
 
   // The calling thread is the reader; Push blocks once the queue is full,
-  // which is exactly the back-pressure that bounds peak memory.
+  // which is exactly the back-pressure that bounds peak memory. Documents
+  // accumulate into chunk-sized work items before each Push.
   util::Status status = util::Status::OK();
-  size_t index = 0;
+  size_t doc_index = 0;
+  size_t chunk_index = 0;
+  WorkItem pending;
+  pending.docs.reserve(options_.chunk_docs);
+  const auto flush_pending = [&] {
+    if (pending.docs.empty()) return;
+    pending.chunk_index = chunk_index++;
+    queue.Push(std::move(pending));
+    pending = WorkItem{};
+    pending.docs.reserve(options_.chunk_docs);
+  };
   while (true) {
     auto next = source();
     if (!next.ok()) {
@@ -183,8 +217,12 @@ util::Status StreamingAligner::Run(const DocumentSource& source,
       break;
     }
     if (!next->has_value()) break;
-    queue.Push(WorkItem{index++, std::move(**next)});
+    if (pending.docs.empty()) pending.base_doc_index = doc_index;
+    pending.docs.push_back(std::move(**next));
+    ++doc_index;
+    if (pending.docs.size() >= options_.chunk_docs) flush_pending();
   }
+  flush_pending();
   queue.Close();
 
   for (auto& worker : workers) {

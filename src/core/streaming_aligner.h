@@ -17,10 +17,18 @@ namespace briq::core {
 struct StreamingOptions {
   /// Worker threads (0 = hardware concurrency, <= 1 runs fully inline).
   int num_threads = 0;
-  /// Capacity of the bounded document queue between the reader and the
+  /// Capacity of the bounded work-chunk queue between the reader and the
   /// workers; this is the back-pressure valve that keeps peak memory at
-  /// O(queue + threads) documents regardless of corpus size.
-  size_t queue_capacity = 64;
+  /// O((queue + threads) * chunk_docs) documents regardless of corpus
+  /// size.
+  size_t queue_capacity = 8;
+  /// Documents batched into one queue item / one reorder-buffer slot.
+  /// Chunking amortizes the queue mutex, the emitter lock, and the
+  /// condition-variable wakeups over `chunk_docs` documents — the per-doc
+  /// churn that made 8-thread streaming slower than 1-thread on small
+  /// documents. Emission order and the sink contract are unchanged
+  /// (per-document, strictly increasing).
+  size_t chunk_docs = 8;
 };
 
 /// Pull-based document source: each call yields the next document, a

@@ -149,8 +149,10 @@ void TextMentionTagger::Train(
 util::Status TextMentionTagger::TrainFromSource(
     const ml::SampleSource& source) {
   forest_ = ml::RandomForest();
+  flat_.Clear();
   if (source.size() == 0) return util::Status::OK();
   forest_.Fit(source, config_->tagger_forest);
+  flat_.Compile(forest_);
   return util::Status::OK();
 }
 
@@ -168,6 +170,7 @@ util::Status TextMentionTagger::Load(std::istream& in) {
         std::to_string(kNumFeatures));
   }
   forest_ = std::move(forest);
+  flat_.Compile(forest_);
   return util::Status::OK();
 }
 
@@ -184,7 +187,11 @@ TextMentionTagger::Tag TextMentionTagger::Predict(const PreparedDocument& doc,
   }
   std::vector<double> f = Features(doc, text_idx, *config_);
   double proba[kNumLabels];
-  forest_.PredictProba(f.data(), proba);
+  if (config_->flat_forest && flat_.compiled()) {
+    flat_.PredictProba(f.data(), proba);
+  } else {
+    forest_.PredictProba(f.data(), proba);
+  }
   int best = static_cast<int>(
       std::max_element(proba, proba + forest_.num_classes()) - proba);
   tag.confidence = proba[best];

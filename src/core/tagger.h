@@ -6,6 +6,7 @@
 
 #include "core/config.h"
 #include "core/extraction.h"
+#include "ml/flat_forest.h"
 #include "ml/random_forest.h"
 #include "ml/sample_sink.h"
 #include "util/status.h"
@@ -77,6 +78,10 @@ class TextMentionTagger {
  private:
   const BriqConfig* config_;
   ml::RandomForest forest_;
+  /// Inference layout compiled from forest_ at train-finish / model-load
+  /// time; Predict routes through it under config.flat_forest
+  /// (bit-identical probabilities, see ml::FlatForest).
+  ml::FlatForest flat_;
 };
 
 }  // namespace briq::core

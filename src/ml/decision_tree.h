@@ -48,6 +48,22 @@ class DecisionTree {
   size_t num_nodes() const { return nodes_.size(); }
   int depth() const { return depth_; }
 
+  /// Read-only structural view of node `i`, for compilers that re-lay the
+  /// tree out in another memory format (ml::FlatForest). Leaves have
+  /// feature < 0 and carry the class distribution; internal nodes carry
+  /// child indices into this tree's node array. Node 0 is the root.
+  struct NodeView {
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    const std::vector<double>* proba = nullptr;
+  };
+  NodeView node_view(size_t i) const {
+    const Node& n = nodes_[i];
+    return NodeView{n.feature, n.threshold, n.left, n.right, &n.proba};
+  }
+
   /// Total gini-impurity decrease attributed to each feature (for feature
   /// importance in the forest).
   const std::vector<double>& impurity_decrease() const {

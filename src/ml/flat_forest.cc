@@ -1,0 +1,185 @@
+#include "ml/flat_forest.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace briq::ml {
+
+void FlatForest::Clear() {
+  feature_.clear();
+  threshold_.clear();
+  left_.clear();
+  right_.clear();
+  tree_roots_.clear();
+  leaf_proba_.clear();
+  num_classes_ = 0;
+  num_features_ = 0;
+}
+
+void FlatForest::Compile(const RandomForest& forest) {
+  Clear();
+  if (!forest.fitted()) return;
+  num_classes_ = forest.num_classes();
+  num_features_ = forest.num_features();
+  const size_t nc = static_cast<size_t>(num_classes_);
+
+  // Deduplicates identical leaf distributions across the whole forest:
+  // shallow trees repeat pure leaves like (1, 0) thousands of times, and
+  // one shared row per distinct distribution keeps the table in cache.
+  std::map<std::vector<double>, int32_t> leaf_ids;
+  std::vector<size_t> order;       // old node ids in breadth-first order
+  std::vector<int32_t> new_index;  // old node id -> flat array offset
+
+  for (size_t t = 0; t < forest.num_trees(); ++t) {
+    const DecisionTree& tree = forest.tree(t);
+    BRIQ_CHECK(tree.num_nodes() > 0) << "fitted tree has no nodes";
+    const size_t offset = feature_.size();
+    tree_roots_.push_back(static_cast<int32_t>(offset));
+
+    // Pass 1: breadth-first order starting at the root (node 0), so level
+    // k of the tree occupies a contiguous run of the flat arrays.
+    order.clear();
+    order.reserve(tree.num_nodes());
+    new_index.assign(tree.num_nodes(), -1);
+    order.push_back(0);
+    new_index[0] = static_cast<int32_t>(offset);
+    for (size_t head = 0; head < order.size(); ++head) {
+      const DecisionTree::NodeView view = tree.node_view(order[head]);
+      if (view.feature < 0) continue;
+      new_index[static_cast<size_t>(view.left)] =
+          static_cast<int32_t>(offset + order.size());
+      order.push_back(static_cast<size_t>(view.left));
+      new_index[static_cast<size_t>(view.right)] =
+          static_cast<int32_t>(offset + order.size());
+      order.push_back(static_cast<size_t>(view.right));
+    }
+
+    // Pass 2: emit nodes in the new order, remapping child offsets.
+    for (size_t old : order) {
+      const DecisionTree::NodeView view = tree.node_view(old);
+      if (view.feature >= 0) {
+        feature_.push_back(view.feature);
+        threshold_.push_back(view.threshold);
+        left_.push_back(new_index[static_cast<size_t>(view.left)]);
+        right_.push_back(new_index[static_cast<size_t>(view.right)]);
+        continue;
+      }
+      // Leaf: intern the zero-padded distribution. Padding appends 0.0
+      // entries, which accumulate as exact no-ops, preserving bit parity
+      // with the pointer path's min(p.size(), num_classes) loop.
+      std::vector<double> padded(nc, 0.0);
+      const size_t n = std::min(view.proba->size(), nc);
+      std::copy(view.proba->begin(), view.proba->begin() + n, padded.begin());
+      auto it = leaf_ids.find(padded);
+      if (it == leaf_ids.end()) {
+        it = leaf_ids.emplace(std::move(padded),
+                              static_cast<int32_t>(leaf_ids.size()))
+                 .first;
+        leaf_proba_.insert(leaf_proba_.end(), it->first.begin(),
+                           it->first.end());
+      }
+      feature_.push_back(-1);
+      threshold_.push_back(0.0);
+      left_.push_back(it->second);
+      right_.push_back(-1);
+    }
+  }
+}
+
+namespace {
+
+/// Descends one row from `node` to its leaf, returning the leaf's flat
+/// offset. The arrays are passed as raw pointers so the compiler keeps
+/// them in registers across the loop.
+inline int32_t Descend(const double* x, int32_t node, const int32_t* feature,
+                       const double* threshold, const int32_t* left,
+                       const int32_t* right) {
+  int32_t f = feature[node];
+  while (f >= 0) {
+    node = x[f] <= threshold[node] ? left[node] : right[node];
+    f = feature[node];
+  }
+  return node;
+}
+
+}  // namespace
+
+void FlatForest::PredictProba(const double* x, double* out) const {
+  PredictProbaBatch(x, 1, static_cast<size_t>(num_features_), out);
+}
+
+double FlatForest::PredictPositiveProba(const double* x) const {
+  double out = 0.0;
+  PredictPositiveProbaBatch(x, 1, static_cast<size_t>(num_features_), &out);
+  return out;
+}
+
+void FlatForest::PredictProbaBatch(const double* rows, size_t num_rows,
+                                   size_t stride, double* out) const {
+  BRIQ_CHECK(compiled()) << "flat forest not compiled";
+  const size_t nc = static_cast<size_t>(num_classes_);
+  std::fill(out, out + num_rows * nc, 0.0);
+  const int32_t* feature = feature_.data();
+  const double* threshold = threshold_.data();
+  const int32_t* left = left_.data();
+  const int32_t* right = right_.data();
+  const double* leaves = leaf_proba_.data();
+  const size_t num_trees = tree_roots_.size();
+
+  for (size_t base = 0; base < num_rows; base += kTileRows) {
+    const size_t tile = std::min(kTileRows, num_rows - base);
+    // Tree-major over the tile: per row, trees still accumulate in tree
+    // order (identical fp sum order to the pointer path); across rows,
+    // each tree's top levels are touched tile-many times back to back.
+    for (size_t t = 0; t < num_trees; ++t) {
+      const int32_t root = tree_roots_[t];
+      for (size_t r = 0; r < tile; ++r) {
+        const int32_t leaf = Descend(rows + (base + r) * stride, root,
+                                     feature, threshold, left, right);
+        const double* p = leaves + static_cast<size_t>(left[leaf]) * nc;
+        double* o = out + (base + r) * nc;
+        for (size_t c = 0; c < nc; ++c) o[c] += p[c];
+      }
+    }
+  }
+  // Same final op as RandomForest::PredictProba: multiply by 1/T.
+  const double inv = 1.0 / static_cast<double>(num_trees);
+  for (size_t i = 0; i < num_rows * nc; ++i) out[i] *= inv;
+}
+
+void FlatForest::PredictPositiveProbaBatch(const double* rows, size_t num_rows,
+                                           size_t stride, double* out) const {
+  BRIQ_CHECK(compiled()) << "flat forest not compiled";
+  if (num_classes_ < 2) {
+    std::fill(out, out + num_rows, 0.0);
+    return;
+  }
+  std::fill(out, out + num_rows, 0.0);
+  const int32_t* feature = feature_.data();
+  const double* threshold = threshold_.data();
+  const int32_t* left = left_.data();
+  const int32_t* right = right_.data();
+  const double* leaves = leaf_proba_.data();
+  const size_t nc = static_cast<size_t>(num_classes_);
+  const size_t num_trees = tree_roots_.size();
+
+  for (size_t base = 0; base < num_rows; base += kTileRows) {
+    const size_t tile = std::min(kTileRows, num_rows - base);
+    for (size_t t = 0; t < num_trees; ++t) {
+      const int32_t root = tree_roots_[t];
+      for (size_t r = 0; r < tile; ++r) {
+        const int32_t leaf = Descend(rows + (base + r) * stride, root,
+                                     feature, threshold, left, right);
+        out[base + r] += leaves[static_cast<size_t>(left[leaf]) * nc + 1];
+      }
+    }
+  }
+  // Same final op as RandomForest::PredictPositiveProba: divide by T.
+  for (size_t i = 0; i < num_rows; ++i) {
+    out[i] /= static_cast<double>(num_trees);
+  }
+}
+
+}  // namespace briq::ml

@@ -1,0 +1,103 @@
+#ifndef BRIQ_ML_FLAT_FOREST_H_
+#define BRIQ_ML_FLAT_FOREST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ml/random_forest.h"
+
+namespace briq::ml {
+
+/// A compiled, struct-of-arrays inference layout of a fitted RandomForest
+/// (DESIGN.md §5g). RandomForest stays the fit/serialize representation;
+/// FlatForest is rebuilt from it at train-finish / model-load time and
+/// exists purely to make the scoring hot path cheap:
+///
+///   - All trees live in four contiguous arrays (int32 feature index,
+///     double threshold, int32 left/right child offsets), laid out
+///     breadth-first per tree, trees back to back. Walking a tree touches
+///     a handful of cache lines near the front of each tree's block
+///     instead of chasing ~64-byte heap nodes with out-of-line probability
+///     vectors.
+///   - Leaf class distributions are deduplicated rows of one dense table
+///     (`leaf id -> num_classes doubles`); a leaf stores its id in the
+///     left-child slot. Distributions shorter than num_classes (trees
+///     whose bootstrap missed a class) are zero-padded, which adds exactly
+///     0.0 to the accumulator and so cannot change any sum.
+///   - PredictProbaBatch evaluates a whole batch of rows tree-major over
+///     row tiles: each tree's top levels stay hot in cache while the tile
+///     streams through it, there are no virtual calls, and the caller owns
+///     every buffer (no per-row allocation).
+///
+/// Determinism contract: for any row, every entry point accumulates the
+/// per-tree leaf distributions in tree order and applies the same final
+/// scaling operation as the RandomForest it was compiled from, so results
+/// are bit-identical doubles to RandomForest::PredictProba /
+/// PredictPositiveProba (enforced by tests/flat_forest_test.cc). Compiled
+/// forests are immutable and safe to share read-only across threads.
+class FlatForest {
+ public:
+  FlatForest() = default;
+
+  /// Rebuilds this layout from a fitted forest. Compiling from an unfitted
+  /// forest clears the layout (compiled() turns false).
+  void Compile(const RandomForest& forest);
+
+  void Clear();
+
+  bool compiled() const { return !tree_roots_.empty(); }
+  int num_classes() const { return num_classes_; }
+  int num_features() const { return num_features_; }
+  size_t num_trees() const { return tree_roots_.size(); }
+  size_t num_nodes() const { return feature_.size(); }
+  size_t num_leaf_rows() const {
+    return num_classes_ == 0
+               ? 0
+               : leaf_proba_.size() / static_cast<size_t>(num_classes_);
+  }
+
+  /// Rows evaluated per tile of the batch entry points. Small enough that
+  /// a tile's state (row pointers + accumulators) stays in L1, large
+  /// enough to amortize each tree's cache warm-up across many rows.
+  static constexpr size_t kTileRows = 16;
+
+  /// Averaged class probabilities of one row into out[0 .. num_classes).
+  /// Bit-identical to RandomForest::PredictProba(x, out).
+  void PredictProba(const double* x, double* out) const;
+
+  /// P(class 1) of one row; bit-identical to
+  /// RandomForest::PredictPositiveProba.
+  double PredictPositiveProba(const double* x) const;
+
+  /// Batch variant: rows[i * stride .. i * stride + num_features) is row i;
+  /// out[i * num_classes ..) receives its averaged class distribution.
+  /// `stride` is in doubles and must be >= num_features.
+  void PredictProbaBatch(const double* rows, size_t num_rows, size_t stride,
+                         double* out) const;
+
+  /// Batch P(class 1): out[i] receives row i's positive probability.
+  void PredictPositiveProbaBatch(const double* rows, size_t num_rows,
+                                 size_t stride, double* out) const;
+
+ private:
+  // Struct-of-arrays node storage spanning all trees. feature_[n] < 0
+  // marks a leaf, whose left_[n] is its row index into leaf_proba_;
+  // internal nodes hold absolute child offsets into these same arrays.
+  std::vector<int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<int32_t> left_;
+  std::vector<int32_t> right_;
+  /// Root node offset of each tree (breadth-first layout => the root is
+  /// also the first node of the tree's block).
+  std::vector<int32_t> tree_roots_;
+  /// Dense leaf-distribution table, num_leaf_rows x num_classes,
+  /// zero-padded per row and deduplicated across identical leaves.
+  std::vector<double> leaf_proba_;
+  int num_classes_ = 0;
+  int num_features_ = 0;
+};
+
+}  // namespace briq::ml
+
+#endif  // BRIQ_ML_FLAT_FOREST_H_

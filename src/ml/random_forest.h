@@ -86,6 +86,9 @@ class RandomForest {
   size_t num_trees() const { return trees_.size(); }
   bool fitted() const { return !trees_.empty(); }
 
+  /// Read-only tree access for re-layout compilers (ml::FlatForest).
+  const DecisionTree& tree(size_t t) const { return trees_[t]; }
+
   /// Serializes the forest (fitted or not) to a stream in the versioned
   /// binary tree format (see decision_tree.h). The caller owns framing and
   /// checksumming (core model files wrap this in "briq-model-v1").

@@ -17,8 +17,9 @@ namespace briq::obs {
 /// Process-wide metrics for the BriQ pipeline.
 ///
 /// Naming contract (DESIGN.md §5d): every instrument is named
-/// `briq.<layer>.<name>` where <layer> is one of `align`, `filter`, `rwr`,
-/// `stream`, `shard`, or `train`; latency histograms end in `_seconds`.
+/// `briq.<layer>.<name>` where <layer> is one of `align`, `classify`,
+/// `filter`, `rwr`, `stream`, `shard`, or `train`; latency histograms end
+/// in `_seconds`.
 ///
 /// Hot paths pay one relaxed atomic add per event: counters and histogram
 /// buckets are sharded across `kMetricShards` cache-line-padded slots

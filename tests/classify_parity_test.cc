@@ -1,0 +1,187 @@
+// End-to-end parity contract of the classification fast path
+// (DESIGN.md §5g): the flat-forest scoring route and the candidate
+// pre-index are pure performance features. Alignments must be
+// byte-identical — same decisions, same exact-double scores — across
+// {legacy, flat forest, flat forest + pre-index}, across the in-memory
+// Align / AlignBatch paths and the streaming path, at 1 and 4 threads.
+// Run under BRIQ_SANITIZE=thread this also checks the lazy feature caches
+// and the shared compiled forest for data races.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/streaming_aligner.h"
+#include "corpus/generator.h"
+#include "util/result.h"
+
+namespace briq {
+namespace {
+
+using core::BriqConfig;
+using core::BriqSystem;
+using core::DocumentAlignment;
+using core::PreparedDocument;
+using core::StreamingOptions;
+
+void ExpectAlignmentsIdentical(const DocumentAlignment& a,
+                               const DocumentAlignment& b,
+                               const std::string& context) {
+  ASSERT_EQ(a.decisions.size(), b.decisions.size()) << context;
+  for (size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].text_idx, b.decisions[i].text_idx) << context;
+    EXPECT_EQ(a.decisions[i].table_idx, b.decisions[i].table_idx) << context;
+    // Exact double equality: the fast path must not move a bit.
+    EXPECT_EQ(a.decisions[i].score, b.decisions[i].score) << context;
+  }
+}
+
+class ClassifyParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::CorpusOptions options;
+    options.num_documents = 50;
+    options.seed = 20260;
+    corpus_ = new corpus::Corpus(corpus::GenerateCorpus(options));
+
+    BriqConfig config;
+    system_ = new BriqSystem(config);
+    std::vector<PreparedDocument> train_docs;
+    for (size_t i = 0; i < 30; ++i) {
+      train_docs.push_back(
+          core::PrepareDocument(corpus_->documents[i], config));
+    }
+    std::vector<const PreparedDocument*> train;
+    for (const auto& d : train_docs) train.push_back(&d);
+    ASSERT_TRUE(system_->Train(train).ok());
+
+    eval_docs_ = new std::vector<corpus::Document>(
+        corpus_->documents.begin() + 30, corpus_->documents.end());
+    prepared_ = new std::vector<PreparedDocument>();
+    for (const corpus::Document& d : *eval_docs_) {
+      prepared_->push_back(core::PrepareDocument(d, system_->config()));
+    }
+
+    // Reference: the legacy route — pointer-chasing RandomForest, no
+    // candidate pre-index — single-threaded.
+    system_->mutable_config()->flat_forest = false;
+    system_->mutable_config()->candidate_index = false;
+    expected_ = new std::vector<DocumentAlignment>();
+    for (const PreparedDocument& d : *prepared_) {
+      expected_->push_back(system_->Align(d));
+    }
+    // The generated corpus must actually exercise the classifier, or this
+    // test proves nothing.
+    size_t total_decisions = 0;
+    for (const auto& a : *expected_) total_decisions += a.decisions.size();
+    ASSERT_GT(total_decisions, 0u);
+  }
+
+  static void TearDownTestSuite() {
+    delete expected_;
+    delete prepared_;
+    delete eval_docs_;
+    delete system_;
+    delete corpus_;
+  }
+
+  struct Mode {
+    bool flat_forest;
+    bool candidate_index;
+    const char* name;
+  };
+  static constexpr Mode kModes[] = {
+      {false, false, "legacy"},
+      {true, false, "flat"},
+      {true, true, "flat+index"},
+  };
+
+  static void SetMode(const Mode& mode) {
+    system_->mutable_config()->flat_forest = mode.flat_forest;
+    system_->mutable_config()->candidate_index = mode.candidate_index;
+  }
+
+  static corpus::Corpus* corpus_;
+  static BriqSystem* system_;
+  static std::vector<corpus::Document>* eval_docs_;
+  static std::vector<PreparedDocument>* prepared_;
+  static std::vector<DocumentAlignment>* expected_;
+};
+
+corpus::Corpus* ClassifyParityTest::corpus_ = nullptr;
+BriqSystem* ClassifyParityTest::system_ = nullptr;
+std::vector<corpus::Document>* ClassifyParityTest::eval_docs_ = nullptr;
+std::vector<PreparedDocument>* ClassifyParityTest::prepared_ = nullptr;
+std::vector<DocumentAlignment>* ClassifyParityTest::expected_ = nullptr;
+constexpr ClassifyParityTest::Mode ClassifyParityTest::kModes[];
+
+TEST_F(ClassifyParityTest, MemoryAlignMatchesLegacyAcrossModes) {
+  for (const Mode& mode : kModes) {
+    SetMode(mode);
+    for (size_t i = 0; i < prepared_->size(); ++i) {
+      ExpectAlignmentsIdentical(
+          system_->Align((*prepared_)[i]), (*expected_)[i],
+          std::string(mode.name) + " Align doc " + std::to_string(i));
+    }
+  }
+}
+
+TEST_F(ClassifyParityTest, MemoryAlignBatchMatchesLegacyAcrossModesAndThreads) {
+  std::vector<const PreparedDocument*> batch;
+  for (const auto& d : *prepared_) batch.push_back(&d);
+  for (const Mode& mode : kModes) {
+    SetMode(mode);
+    for (int threads : {1, 4}) {
+      const std::string context = std::string(mode.name) + " AlignBatch threads=" +
+                                  std::to_string(threads);
+      std::vector<DocumentAlignment> got = system_->AlignBatch(batch, threads);
+      ASSERT_EQ(got.size(), expected_->size()) << context;
+      for (size_t i = 0; i < got.size(); ++i) {
+        ExpectAlignmentsIdentical(got[i], (*expected_)[i],
+                                  context + " doc " + std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST_F(ClassifyParityTest, StreamingMatchesLegacyAcrossModesAndThreads) {
+  for (const Mode& mode : kModes) {
+    SetMode(mode);
+    for (int threads : {1, 4}) {
+      const std::string context = std::string(mode.name) +
+                                  " stream threads=" + std::to_string(threads);
+      StreamingOptions options;
+      options.num_threads = threads;
+      options.queue_capacity = 2;
+      options.chunk_docs = 3;  // not a divisor of the corpus: tail chunk
+      core::StreamingAligner streaming(system_, &system_->config(), options);
+      size_t cursor = 0;
+      std::vector<DocumentAlignment> streamed;
+      util::Status status = streaming.Run(
+          [&]() -> util::Result<std::optional<corpus::Document>> {
+            if (cursor >= eval_docs_->size()) {
+              return std::optional<corpus::Document>();
+            }
+            return std::optional<corpus::Document>((*eval_docs_)[cursor++]);
+          },
+          [&](size_t doc_index, const corpus::Document&,
+              const DocumentAlignment& a) {
+            EXPECT_EQ(doc_index, streamed.size()) << context;
+            streamed.push_back(a);
+          });
+      ASSERT_TRUE(status.ok()) << context << ": " << status.ToString();
+      ASSERT_EQ(streamed.size(), expected_->size()) << context;
+      for (size_t i = 0; i < streamed.size(); ++i) {
+        ExpectAlignmentsIdentical(streamed[i], (*expected_)[i],
+                                  context + " doc " + std::to_string(i));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace briq

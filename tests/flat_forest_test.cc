@@ -1,0 +1,246 @@
+// FlatForest compile round trip: the struct-of-arrays inference layout
+// must reproduce RandomForest probabilities bit-for-bit — exact double
+// equality, not near-equality — for every entry point (scalar, buffered,
+// batch, strided batch), across randomly fitted forests of varying depth,
+// class count, and feature count, plus the degenerate shapes (single-node
+// trees, classes a bootstrap can miss, unfitted forests).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/flat_forest.h"
+#include "ml/random_forest.h"
+#include "util/random.h"
+
+namespace briq::ml {
+namespace {
+
+// Random dataset: `num_features` uniform features in [-10, 10); labels
+// drawn uniformly from [0, num_classes). Deliberately noisy — the trees
+// fit noise into deep, irregular shapes, which is exactly what stresses
+// the breadth-first relayout.
+Dataset RandomDataset(int num_features, int num_classes, size_t num_rows,
+                      util::Rng* rng) {
+  Dataset d(num_features);
+  std::vector<double> x(static_cast<size_t>(num_features));
+  for (size_t i = 0; i < num_rows; ++i) {
+    for (double& v : x) v = rng->UniformDouble(-10.0, 10.0);
+    d.Add(x, static_cast<int>(rng->UniformInt(num_classes)),
+          /*weight=*/1.0 + rng->UniformDouble());
+  }
+  return d;
+}
+
+// Probe rows include exact split thresholds (feature values seen in
+// training reappear here because both draw from the same coarse grid when
+// `grid` is set), so ties at `x <= threshold` boundaries are exercised.
+std::vector<double> RandomRow(int num_features, util::Rng* rng, bool grid) {
+  std::vector<double> x(static_cast<size_t>(num_features));
+  for (double& v : x) {
+    v = grid ? static_cast<double>(rng->UniformInt(-10, 10))
+             : rng->UniformDouble(-10.0, 10.0);
+  }
+  return x;
+}
+
+void ExpectBitIdentical(const RandomForest& forest, const FlatForest& flat,
+                        const std::vector<std::vector<double>>& rows,
+                        const std::string& context) {
+  ASSERT_TRUE(flat.compiled()) << context;
+  ASSERT_EQ(flat.num_classes(), forest.num_classes()) << context;
+  ASSERT_EQ(flat.num_features(), forest.num_features()) << context;
+  ASSERT_EQ(flat.num_trees(), forest.num_trees()) << context;
+  const size_t nc = static_cast<size_t>(forest.num_classes());
+
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const std::string ctx = context + " row " + std::to_string(i);
+    std::vector<double> expected = forest.PredictProba(rows[i]);
+    std::vector<double> got(nc, -1.0);
+    flat.PredictProba(rows[i].data(), got.data());
+    ASSERT_EQ(expected.size(), got.size()) << ctx;
+    for (size_t c = 0; c < nc; ++c) {
+      // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the contract is bit-identity.
+      EXPECT_EQ(expected[c], got[c]) << ctx << " class " << c;
+    }
+    EXPECT_EQ(forest.PredictPositiveProba(rows[i]),
+              flat.PredictPositiveProba(rows[i].data()))
+        << ctx;
+  }
+
+  // Batch entry points, with both a tight and a padded stride. The row
+  // count intentionally straddles tile boundaries (not a multiple of
+  // kTileRows) so the tail tile is covered.
+  const size_t nf = static_cast<size_t>(forest.num_features());
+  for (size_t stride : {nf, nf + 3}) {
+    const std::string ctx = context + " stride " + std::to_string(stride);
+    std::vector<double> matrix(rows.size() * stride, -7.0);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      for (size_t f = 0; f < nf; ++f) matrix[i * stride + f] = rows[i][f];
+    }
+    std::vector<double> proba(rows.size() * nc, -1.0);
+    flat.PredictProbaBatch(matrix.data(), rows.size(), stride, proba.data());
+    std::vector<double> positive(rows.size(), -1.0);
+    flat.PredictPositiveProbaBatch(matrix.data(), rows.size(), stride,
+                                   positive.data());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::vector<double> expected = forest.PredictProba(rows[i]);
+      for (size_t c = 0; c < nc; ++c) {
+        EXPECT_EQ(expected[c], proba[i * nc + c])
+            << ctx << " row " << i << " class " << c;
+      }
+      EXPECT_EQ(forest.PredictPositiveProba(rows[i]), positive[i])
+          << ctx << " row " << i;
+    }
+  }
+}
+
+TEST(FlatForestTest, FuzzRoundTripAcrossShapes) {
+  util::Rng rng(20260809);
+  // (features, classes, depth, trees) sweeps: binary and multiclass,
+  // stumps through deep trees, single-tree through mid-size ensembles.
+  struct Shape {
+    int num_features;
+    int num_classes;
+    int max_depth;
+    int num_trees;
+  };
+  const Shape shapes[] = {
+      {1, 2, 1, 1},   {2, 2, 3, 5},    {5, 2, 16, 20}, {3, 3, 4, 7},
+      {8, 5, 10, 12}, {12, 4, 16, 30}, {4, 2, 2, 40},  {6, 7, 6, 9},
+  };
+  for (const Shape& s : shapes) {
+    for (int rep = 0; rep < 3; ++rep) {
+      Dataset data = RandomDataset(s.num_features, s.num_classes,
+                                   /*num_rows=*/120, &rng);
+      ForestConfig config;
+      config.num_trees = s.num_trees;
+      config.tree.max_depth = s.max_depth;
+      config.seed = 1000 * rep + s.num_trees;
+      RandomForest forest;
+      forest.Fit(data, config);
+
+      FlatForest flat;
+      flat.Compile(forest);
+
+      std::vector<std::vector<double>> probes;
+      for (int i = 0; i < 40; ++i) {
+        probes.push_back(RandomRow(s.num_features, &rng, /*grid=*/i % 2 == 0));
+      }
+      ExpectBitIdentical(forest, flat, probes,
+                         "features=" + std::to_string(s.num_features) +
+                             " classes=" + std::to_string(s.num_classes) +
+                             " depth=" + std::to_string(s.max_depth) +
+                             " trees=" + std::to_string(s.num_trees) +
+                             " rep=" + std::to_string(rep));
+    }
+  }
+}
+
+TEST(FlatForestTest, SingleNodeTreesArePureLeaves) {
+  // A one-class dataset collapses every tree to a single leaf; the flat
+  // layout must handle root-is-leaf blocks.
+  util::Rng rng(7);
+  Dataset d(3);
+  std::vector<double> x(3);
+  for (int i = 0; i < 50; ++i) {
+    for (double& v : x) v = rng.UniformDouble(-1.0, 1.0);
+    d.Add(x, 0);
+  }
+  ForestConfig config;
+  config.num_trees = 5;
+  RandomForest forest;
+  forest.Fit(d, config);
+
+  FlatForest flat;
+  flat.Compile(forest);
+  // Every tree is one node and all leaves dedup to a single distribution
+  // row.
+  EXPECT_EQ(flat.num_nodes(), 5u);
+  EXPECT_EQ(flat.num_leaf_rows(), 1u);
+
+  std::vector<std::vector<double>> probes;
+  for (int i = 0; i < 10; ++i) probes.push_back(RandomRow(3, &rng, false));
+  ExpectBitIdentical(forest, flat, probes, "single-node");
+}
+
+TEST(FlatForestTest, RareClassMissedByBootstrapsZeroPadsExactly) {
+  // One sample of class 2 among many of classes 0/1: most bootstrap
+  // samples miss it, so those trees emit leaf distributions shorter than
+  // num_classes. The flat table zero-pads them; padding adds exactly 0.0
+  // and must not perturb any probability.
+  util::Rng rng(99);
+  Dataset d(2);
+  std::vector<double> x(2);
+  for (int i = 0; i < 80; ++i) {
+    for (double& v : x) v = rng.UniformDouble(-5.0, 5.0);
+    d.Add(x, i % 2);
+  }
+  d.Add({0.25, -0.75}, 2);
+  ForestConfig config;
+  config.num_trees = 25;
+  config.balance_classes = false;  // keep the class genuinely rare
+  RandomForest forest;
+  forest.Fit(d, config);
+  ASSERT_EQ(forest.num_classes(), 3);
+
+  FlatForest flat;
+  flat.Compile(forest);
+  std::vector<std::vector<double>> probes;
+  for (int i = 0; i < 30; ++i) probes.push_back(RandomRow(2, &rng, i % 2 == 0));
+  probes.push_back({0.25, -0.75});
+  ExpectBitIdentical(forest, flat, probes, "rare-class");
+}
+
+TEST(FlatForestTest, UnfittedForestCompilesToEmpty) {
+  RandomForest forest;
+  FlatForest flat;
+  flat.Compile(forest);
+  EXPECT_FALSE(flat.compiled());
+  EXPECT_EQ(flat.num_nodes(), 0u);
+  EXPECT_EQ(flat.num_leaf_rows(), 0u);
+
+  // Recompiling an empty layout from a fitted forest, then from an
+  // unfitted one again, must fully clear state both ways.
+  util::Rng rng(3);
+  Dataset d = RandomDataset(2, 2, 40, &rng);
+  RandomForest fitted;
+  fitted.Fit(d, {});
+  flat.Compile(fitted);
+  EXPECT_TRUE(flat.compiled());
+  flat.Compile(forest);
+  EXPECT_FALSE(flat.compiled());
+  EXPECT_EQ(flat.num_nodes(), 0u);
+}
+
+TEST(FlatForestTest, LeafDeduplicationShrinksTable) {
+  // Pure-leaf forests over a two-label dataset separable by one split:
+  // many leaves, few distinct distributions. The dedup table must be
+  // strictly smaller than the leaf count while round-tripping exactly.
+  util::Rng rng(41);
+  Dataset d(1);
+  for (int i = 0; i < 60; ++i) {
+    double v = rng.UniformDouble(-1.0, 1.0);
+    d.Add({v}, v < 0.0 ? 0 : 1);
+  }
+  ForestConfig config;
+  config.num_trees = 15;
+  RandomForest forest;
+  forest.Fit(d, config);
+
+  FlatForest flat;
+  flat.Compile(forest);
+  // Every binary tree with k internal nodes has k + 1 leaves, so across
+  // the forest: leaves = (nodes + trees) / 2.
+  const size_t leaves = (flat.num_nodes() + flat.num_trees()) / 2;
+  EXPECT_LT(flat.num_leaf_rows(), leaves);
+
+  std::vector<std::vector<double>> probes;
+  for (int i = 0; i < 20; ++i) probes.push_back(RandomRow(1, &rng, false));
+  ExpectBitIdentical(forest, flat, probes, "dedup");
+}
+
+}  // namespace
+}  // namespace briq::ml
