@@ -1,0 +1,230 @@
+// Load generator for the serving layer (DESIGN.md §5h): trains a small
+// BriQ system, hosts it behind an in-process serve::HttpServer, and sweeps
+// client concurrency over POST /align with keep-alive connections. Each
+// sweep level reports request count, error count, p50/p95/p99 latency, and
+// QPS; the summary records the max sustained QPS across the sweep.
+//
+//   bench_serve [--quick] [--out BENCH_serve.json]
+//               [--serve-threads N] [--seconds S]
+//
+// --quick shrinks the corpus and the sweep for use as a ctest smoke.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "corpus/serialization.h"
+#include "serve/align_service.h"
+#include "serve/http_client.h"
+#include "serve/http_server.h"
+#include "serve/router.h"
+#include "util/json.h"
+
+namespace briq {
+namespace {
+
+struct SweepRow {
+  int concurrency = 0;
+  size_t requests = 0;
+  size_t errors = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double PercentileMs(std::vector<double>* sorted_ms, double q) {
+  if (sorted_ms->empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted_ms->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_ms->size() - 1)));
+  return (*sorted_ms)[idx];
+}
+
+/// Runs `concurrency` keep-alive clients against the server for
+/// `seconds`, cycling through `bodies`. Latencies are per-request
+/// round-trip times as the client sees them.
+SweepRow RunLevel(uint16_t port, const std::vector<std::string>& bodies,
+                  int concurrency, double seconds) {
+  std::vector<std::vector<double>> latencies_ms(concurrency);
+  std::vector<size_t> errors(concurrency, 0);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(concurrency);
+  for (int c = 0; c < concurrency; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = serve::HttpClient::Connect(port);
+      if (!client.ok()) {
+        ++errors[c];
+        return;
+      }
+      while (!go.load()) std::this_thread::yield();
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(seconds));
+      size_t i = static_cast<size_t>(c);
+      while (std::chrono::steady_clock::now() < deadline) {
+        const std::string& body = bodies[i++ % bodies.size()];
+        const auto start = std::chrono::steady_clock::now();
+        auto response = client->Request(
+            "POST", "/align", body, {{"Content-Type", "application/json"}});
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (response.ok() && response->status == 200) {
+          latencies_ms[c].push_back(ms);
+        } else {
+          ++errors[c];
+          if (!client->connected()) break;  // server went away; stop early
+        }
+      }
+    });
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  go.store(true);
+  for (auto& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  SweepRow row;
+  row.concurrency = concurrency;
+  row.wall_seconds = wall;
+  std::vector<double> all_ms;
+  for (int c = 0; c < concurrency; ++c) {
+    row.errors += errors[c];
+    all_ms.insert(all_ms.end(), latencies_ms[c].begin(),
+                  latencies_ms[c].end());
+  }
+  row.requests = all_ms.size();
+  std::sort(all_ms.begin(), all_ms.end());
+  row.p50_ms = PercentileMs(&all_ms, 0.50);
+  row.p95_ms = PercentileMs(&all_ms, 0.95);
+  row.p99_ms = PercentileMs(&all_ms, 0.99);
+  row.qps = wall > 0.0 ? static_cast<double>(row.requests) / wall : 0.0;
+  return row;
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_serve.json";
+  int serve_threads = 0;  // hardware concurrency
+  double seconds = 0.0;   // 0 = pick by mode below
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--serve-threads" && i + 1 < argc) {
+      serve_threads = std::stoi(argv[++i]);
+    } else if (arg == "--seconds" && i + 1 < argc) {
+      seconds = std::stod(argv[++i]);
+    }
+  }
+  if (seconds <= 0.0) seconds = quick ? 0.5 : 3.0;
+  const std::vector<int> sweep =
+      quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+
+  std::printf("bench_serve: training a %s system...\n",
+              quick ? "quick" : "full");
+  bench::ExperimentSetup setup =
+      bench::BuildSetup(quick ? 40 : 150, /*seed=*/2026);
+
+  // Request bodies: every corpus document as the JSON the tool would feed.
+  std::vector<std::string> bodies;
+  bodies.reserve(setup.corpus.documents.size());
+  for (const corpus::Document& doc : setup.corpus.documents) {
+    bodies.push_back(corpus::DocumentToJson(doc).Dump());
+  }
+
+  serve::Router router;
+  serve::RegisterAlignRoute(&router, setup.system.get());
+  serve::HttpServerOptions options;
+  options.num_threads = serve_threads;
+  options.queue_capacity = 128;
+  serve::HttpServer server(std::move(router), options);
+  const util::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench_serve: server failed to start: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("bench_serve: serving on 127.0.0.1:%u, %.1fs per level\n",
+              server.port(), seconds);
+
+  std::vector<SweepRow> rows;
+  double max_sustained_qps = 0.0;
+  for (int concurrency : sweep) {
+    SweepRow row = RunLevel(server.port(), bodies, concurrency, seconds);
+    std::printf(
+        "  c=%-2d  %6zu req  %4zu err  %8.1f qps  "
+        "p50 %6.2fms  p95 %6.2fms  p99 %6.2fms\n",
+        row.concurrency, row.requests, row.errors, row.qps, row.p50_ms,
+        row.p95_ms, row.p99_ms);
+    // "Sustained" means the level completed without shedding or failures.
+    if (row.errors == 0 && row.requests > 0) {
+      max_sustained_qps = std::max(max_sustained_qps, row.qps);
+    }
+    rows.push_back(row);
+  }
+  const size_t rejected = server.connections_rejected();
+  server.Stop();
+
+  util::Json doc = util::Json::Object();
+  doc.Set("bench", util::Json("serve"));
+  doc.Set("mode", util::Json(quick ? "quick" : "full"));
+  doc.Set("server_threads", util::Json(static_cast<int>(
+                                serve_threads > 0
+                                    ? static_cast<unsigned>(serve_threads)
+                                    : std::thread::hardware_concurrency())));
+  doc.Set("seconds_per_level", util::Json(seconds));
+  doc.Set("connections_rejected", util::Json(rejected));
+  doc.Set("max_sustained_qps", util::Json(max_sustained_qps));
+  util::Json sweep_json = util::Json::Array();
+  for (const SweepRow& row : rows) {
+    util::Json r = util::Json::Object();
+    r.Set("concurrency", util::Json(row.concurrency));
+    r.Set("requests", util::Json(row.requests));
+    r.Set("errors", util::Json(row.errors));
+    r.Set("wall_seconds", util::Json(row.wall_seconds));
+    r.Set("qps", util::Json(row.qps));
+    r.Set("p50_ms", util::Json(row.p50_ms));
+    r.Set("p95_ms", util::Json(row.p95_ms));
+    r.Set("p99_ms", util::Json(row.p99_ms));
+    sweep_json.Append(std::move(r));
+  }
+  doc.Set("sweep", std::move(sweep_json));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << doc.Dump(2) << "\n";
+  std::printf("bench_serve: max sustained %.1f qps -> %s\n",
+              max_sustained_qps, out_path.c_str());
+
+  // A bench run where every level errored out is a failure, not a datum.
+  for (const SweepRow& row : rows) {
+    if (row.requests > 0) return 0;
+  }
+  std::fprintf(stderr, "bench_serve: no successful requests\n");
+  return 1;
+}
+
+}  // namespace
+}  // namespace briq
+
+int main(int argc, char** argv) { return briq::Main(argc, argv); }

@@ -23,15 +23,18 @@
 // and eval / align / serve accept `--model <path>` to skip in-process
 // training entirely.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -47,6 +50,8 @@
 #include "obs/flusher.h"
 #include "obs/prometheus.h"
 #include "obs/trace_export.h"
+#include "serve/align_service.h"
+#include "serve/http_server.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
 
@@ -66,15 +71,25 @@ void PrintUsage(std::ostream& out) {
       "  briq_tool stats <corpus.json|shard_dir>\n"
       "  briq_tool eval <corpus.json|shard_dir> [--metrics-out <path>]\n"
       "  briq_tool align <corpus.json|shard_dir> <doc_index>"
-      " [--metrics-out <path>]\n"
+      " [--json] [--metrics-out <path>]\n"
+      "  briq_tool align --html <page.html> --model <model> [--json]\n"
       "  briq_tool align <shard_dir> --stream [--threads <n>]"
       " [--metrics-out <path>]\n"
       "  briq_tool train <corpus.json|shard_dir> --model-out <model>\n"
       "                  [--train-pct <p>] [--threads <n>] [--spill-dir <d>]\n"
       "                  [--max-samples <n>] [--metrics-out <path>]\n"
-      "  briq_tool serve [--serve-port <p>] [--serve-linger <sec>]\n"
+      "  briq_tool serve [--model <model>] [--port <p>]"
+      " [--serve-threads <n>]\n"
+      "                  [--queue-capacity <q>] [--serve-linger <sec>]\n"
       "\n"
       "flags:\n"
+      "  --json                (align) print the alignment as canonical\n"
+      "                        compact JSON — byte-identical to what `serve`\n"
+      "                        returns from POST /align on the same document\n"
+      "                        and model\n"
+      "  --html <page.html>    (align) align a raw HTML page instead of a\n"
+      "                        corpus document: the page is segmented into\n"
+      "                        coherent documents first (requires --model)\n"
       "  --metrics-out <path>  write an observability snapshot (metrics and\n"
       "                        trace spans) as JSON when the command ends\n"
       "  --stream              align every document of a sharded corpus\n"
@@ -111,6 +126,19 @@ void PrintUsage(std::ostream& out) {
       "  --serve-linger <sec>        keep serving up to <sec> seconds after\n"
       "                              the job ends (GET /quitquitquit ends\n"
       "                              the linger early)\n"
+      "\n"
+      "serving alignments (`briq_tool serve`, DESIGN.md §5h):\n"
+      "  --model <model>             serve POST /align from this\n"
+      "                              briq-model-v1 file (without it /align\n"
+      "                              answers 503)\n"
+      "  --port <p>                  port to bind on 127.0.0.1 (default 0 =\n"
+      "                              ephemeral; --serve-port is an alias)\n"
+      "  --serve-threads <n>         worker threads handling connections\n"
+      "                              (default: hardware concurrency)\n"
+      "  --queue-capacity <q>        accepted connections buffered ahead of\n"
+      "                              the workers (default 64); when full the\n"
+      "                              acceptor sheds load with 503 +\n"
+      "                              Retry-After instead of queueing\n"
       "\n"
       "environment:\n"
       "  BRIQ_LOG_LEVEL        debug|info|warning|error — minimum log level\n"
@@ -658,6 +686,34 @@ int AlignStream(int argc, char** argv) {
   return 0;
 }
 
+/// `align --html <page.html> --model <m>`: raw page in, alignments out —
+/// the offline twin of POSTing HTML to /align (shared implementation, so
+/// the output bytes match).
+int AlignHtml(int argc, char** argv, const std::string& html_path) {
+  const std::optional<std::string> model = FlagValue(argc, argv, "--model");
+  if (!model) {
+    std::cerr << "align --html requires --model <path> (no corpus to train "
+                 "on)\n";
+    return Usage();
+  }
+  std::ifstream in(html_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot read " << html_path << "\n";
+    return 1;
+  }
+  std::ostringstream html;
+  html << in.rdbuf();
+  core::BriqSystem system{core::BriqConfig{}};
+  const util::Status status = system.LoadModel(*model);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  // --json is implied: the HTML path has no legacy text rendering.
+  std::cout << serve::AlignHtmlJson(system, html.str());
+  return 0;
+}
+
 int AlignOne(int argc, char** argv) {
   if (argc < 4) return Usage();
   auto corpus = Load(argv[2]);
@@ -677,6 +733,13 @@ int AlignOne(int argc, char** argv) {
       TrainOrLoad(argc, argv, *corpus, static_cast<int>(index));
   if (!trained) return 1;
   Trained t = std::move(*trained);
+  if (HasFlag(argc, argv, "--json")) {
+    // Canonical serving JSON (serve_parity_test pins this to POST /align
+    // byte-for-byte).
+    std::cout << serve::AlignDocumentJson(*t.system,
+                                          corpus->documents[index]);
+    return 0;
+  }
   const core::PreparedDocument& doc = t.prepared[index];
   core::DocumentAlignment alignment = t.system->Align(doc);
 
@@ -696,13 +759,15 @@ int AlignOne(int argc, char** argv) {
   return 0;
 }
 
-/// `briq_tool serve`: expose the global registry on /metrics without
-/// running a job — for poking at the exposition format, and for scrape
-/// smoke tests. Serves until GET /quitquitquit or --serve-linger expires
-/// (default: one hour, so a forgotten instance doesn't live forever).
+/// `briq_tool serve`: alignment-as-a-service (DESIGN.md §5h). Boots the
+/// multi-threaded serve::HttpServer hosting POST /align (when --model is
+/// given; 503 otherwise) next to the GET /metrics, /healthz, and
+/// /quitquitquit diagnostics the old loopback responder offered. Serves
+/// until GET /quitquitquit or --serve-linger expires (default: one hour,
+/// so a forgotten instance doesn't live forever).
 int Serve(int argc, char** argv) {
-  // --model: validate and hold a persisted model while serving — the
-  // smoke-level proof that a serving process needs no training corpus.
+  // --model: the "serve many" half of train-once-serve-many — the model
+  // loads once here and is shared read-only across every worker thread.
   std::unique_ptr<core::BriqSystem> system;
   if (const std::optional<std::string> model =
           FlagValue(argc, argv, "--model")) {
@@ -714,12 +779,26 @@ int Serve(int argc, char** argv) {
     }
     std::cout << "loaded model " << *model << "\n";
   }
-  uint16_t port = 0;
+
+  serve::HttpServerOptions options;
+  for (const char* flag : {"--port", "--serve-port"}) {
+    if (const std::optional<std::string> v = FlagValue(argc, argv, flag)) {
+      const std::optional<size_t> parsed = ParseSize(v->c_str());
+      if (!parsed || *parsed > 65535) return Usage();
+      options.port = static_cast<uint16_t>(*parsed);
+    }
+  }
   if (const std::optional<std::string> v =
-          FlagValue(argc, argv, "--serve-port")) {
+          FlagValue(argc, argv, "--serve-threads")) {
     const std::optional<size_t> parsed = ParseSize(v->c_str());
-    if (!parsed || *parsed > 65535) return Usage();
-    port = static_cast<uint16_t>(*parsed);
+    if (!parsed || *parsed == 0) return Usage();
+    options.num_threads = static_cast<int>(*parsed);
+  }
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--queue-capacity")) {
+    const std::optional<size_t> parsed = ParseSize(v->c_str());
+    if (!parsed || *parsed == 0) return Usage();
+    options.queue_capacity = *parsed;
   }
   double linger_seconds = 3600.0;
   if (const std::optional<std::string> v =
@@ -728,21 +807,32 @@ int Serve(int argc, char** argv) {
     if (!parsed) return Usage();
     linger_seconds = *parsed;
   }
-  obs::MetricsHttpServer server;
-  const util::Status status = server.Start(port);
+
+  std::atomic<bool> quit{false};
+  serve::Router router;
+  serve::RegisterDiagnosticRoutes(&router, &quit);
+  serve::RegisterAlignRoute(&router, system.get());
+
+  serve::HttpServer server(std::move(router), options);
+  const util::Status status = server.Start();
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
   }
+  // The resolved port on its own parseable line (scripts pass port 0 and
+  // read the real one back), format-compatible with the telemetry
+  // sidecar's announcement.
   std::cout << "serving metrics on http://127.0.0.1:" << server.port()
-            << "/metrics\n"
+            << "/metrics\n";
+  std::cout << "POST /align "
+            << (system != nullptr ? "ready" : "disabled (no --model)")
+            << "\n"
             << std::flush;
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(linger_seconds));
-  while (std::chrono::steady_clock::now() < deadline &&
-         !server.quit_requested()) {
+  while (std::chrono::steady_clock::now() < deadline && !quit.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   server.Stop();
@@ -795,6 +885,11 @@ int main(int argc, char** argv) {
                             [&] { return Train(argc, argv); });
   }
   if (cmd == "align") {
+    if (const std::optional<std::string> html =
+            FlagValue(argc, argv, "--html")) {
+      return RunWithTelemetry(argc, argv, "briq.serve.align_documents",
+                              [&] { return AlignHtml(argc, argv, *html); });
+    }
     const bool stream = HasFlag(argc, argv, "--stream");
     if (stream && argc < 3) return Usage();
     // Streaming runs count documents at the reorder emitter; one-document

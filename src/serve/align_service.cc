@@ -1,0 +1,137 @@
+#include "serve/align_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "corpus/serialization.h"
+#include "html/page_segmenter.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace briq::serve {
+
+namespace {
+
+obs::Counter* AlignedDocumentsCounter() {
+  static obs::Counter* counter =
+      obs::MetricRegistry::Global().GetCounter("briq.serve.align_documents");
+  return counter;
+}
+
+util::Json AlignmentToJson(const core::PreparedDocument& prepared,
+                           const core::DocumentAlignment& alignment) {
+  util::Json decisions = util::Json::Array();
+  for (const auto& d : alignment.decisions) {
+    util::Json record = util::Json::Object();
+    record.Set("score", d.score);
+    record.Set("surface", prepared.text_mentions[d.text_idx].surface());
+    record.Set("table_idx", d.table_idx);
+    record.Set("target", prepared.table_mentions[d.table_idx].DebugString());
+    record.Set("text_idx", d.text_idx);
+    decisions.Append(std::move(record));
+  }
+  util::Json out = util::Json::Object();
+  out.Set("alignments", std::move(decisions));
+  out.Set("document_id", prepared.source->id);
+  out.Set("num_table_mentions", prepared.table_mentions.size());
+  out.Set("num_text_mentions", prepared.text_mentions.size());
+  return out;
+}
+
+}  // namespace
+
+std::string AlignmentJson(const core::PreparedDocument& prepared,
+                          const core::DocumentAlignment& alignment) {
+  return AlignmentToJson(prepared, alignment).Dump() + "\n";
+}
+
+std::string AlignDocumentJson(const core::BriqSystem& system,
+                              const corpus::Document& doc) {
+  const core::PreparedDocument prepared =
+      core::PrepareDocument(doc, system.config());
+  const core::DocumentAlignment alignment = system.Align(prepared);
+  AlignedDocumentsCounter()->Add();
+  return AlignmentJson(prepared, alignment);
+}
+
+std::string AlignHtmlJson(const core::BriqSystem& system,
+                          const std::string& html) {
+  const html::Page page = html::SegmentPage(html);
+  const std::vector<corpus::Document> docs =
+      core::BuildDocumentsFromPage(page);
+  util::Json rendered = util::Json::Array();
+  for (const corpus::Document& doc : docs) {
+    const core::PreparedDocument prepared =
+        core::PrepareDocument(doc, system.config());
+    const core::DocumentAlignment alignment = system.Align(prepared);
+    AlignedDocumentsCounter()->Add();
+    rendered.Append(AlignmentToJson(prepared, alignment));
+  }
+  util::Json out = util::Json::Object();
+  out.Set("documents", std::move(rendered));
+  out.Set("num_documents", docs.size());
+  return out.Dump() + "\n";
+}
+
+void RegisterAlignRoute(Router* router, const core::BriqSystem* system) {
+  router->Handle(
+      "POST", "/align", [system](const HttpRequest& request) -> HttpResponse {
+        if (system == nullptr || !system->trained()) {
+          HttpResponse r = HttpResponse::Text(
+              503, "no model loaded (start with --model <path>)\n");
+          r.extra_headers["Retry-After"] = "60";
+          return r;
+        }
+        obs::ScopedSpan span("serve.align");
+
+        const std::string& content_type = request.Header("content-type");
+        if (content_type.find("html") != std::string::npos) {
+          return HttpResponse::Json(200, AlignHtmlJson(*system, request.body));
+        }
+
+        util::Result<util::Json> parsed = util::Json::Parse(request.body);
+        if (!parsed.ok()) {
+          return HttpResponse::Text(
+              400, "request body is not valid JSON: " +
+                       parsed.status().message() + "\n");
+        }
+        if (parsed->is_object() && parsed->Has("html")) {
+          const util::Json& html = parsed->at("html");
+          if (!html.is_string()) {
+            return HttpResponse::Text(400,
+                                      "\"html\" member must be a string\n");
+          }
+          return HttpResponse::Json(200,
+                                    AlignHtmlJson(*system, html.AsString()));
+        }
+        util::Result<corpus::Document> doc = corpus::DocumentFromJson(*parsed);
+        if (!doc.ok()) {
+          return HttpResponse::Text(
+              400, "not a document: " + doc.status().message() + "\n");
+        }
+        return HttpResponse::Json(200, AlignDocumentJson(*system, *doc));
+      });
+}
+
+void RegisterDiagnosticRoutes(Router* router, std::atomic<bool>* quit_flag) {
+  router->Handle("GET", "/metrics", [](const HttpRequest&) {
+    const double now = std::chrono::duration<double>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+    HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = obs::MetricsToPrometheus(obs::MetricRegistry::Global().Snapshot(),
+                                      now);
+    return r;
+  });
+  router->Handle("GET", "/healthz",
+                 [](const HttpRequest&) { return HttpResponse::Text(200, "ok\n"); });
+  router->Handle("GET", "/quitquitquit", [quit_flag](const HttpRequest&) {
+    quit_flag->store(true);
+    return HttpResponse::Text(200, "quitting\n");
+  });
+}
+
+}  // namespace briq::serve

@@ -1,0 +1,57 @@
+#ifndef BRIQ_SERVE_ALIGN_SERVICE_H_
+#define BRIQ_SERVE_ALIGN_SERVICE_H_
+
+#include <atomic>
+#include <string>
+
+#include "core/aligner.h"
+#include "core/extraction.h"
+#include "core/pipeline.h"
+#include "corpus/document.h"
+#include "serve/router.h"
+
+namespace briq::serve {
+
+/// The `POST /align` service: documents (JSON) or raw pages (HTML) in,
+/// alignment JSON out. The same rendering functions back `briq_tool align
+/// --json`, so an HTTP response is byte-identical to the offline tool on
+/// the same document and model (tests/serve_parity_test.cc holds the
+/// contract).
+
+/// Canonical alignment rendering for one prepared document: the document
+/// id, mention counts, and one record per alignment decision (text index,
+/// table index, score, surface form, target description). Compact JSON,
+/// trailing newline.
+std::string AlignmentJson(const core::PreparedDocument& prepared,
+                          const core::DocumentAlignment& alignment);
+
+/// Prepares `doc` under the system's config, aligns it, and renders
+/// AlignmentJson.
+std::string AlignDocumentJson(const core::BriqSystem& system,
+                              const corpus::Document& doc);
+
+/// Full HTML path: segments the page, builds coherent documents (paper
+/// §III), aligns each, and renders them as {"documents": [...],
+/// "num_documents": N}. Compact JSON, trailing newline.
+std::string AlignHtmlJson(const core::BriqSystem& system,
+                          const std::string& html);
+
+/// Registers `POST /align` on the router. `system` must stay valid (and
+/// untouched — workers share it read-only) while the server runs; nullptr
+/// or an untrained system yields 503 on every call, so a model-less
+/// diagnostics server still boots. Request dispatch:
+///   - Content-Type contains "html"      -> body is a raw HTML page
+///   - JSON object with an "html" member -> that string is the HTML page
+///   - any other JSON object             -> one corpus::Document
+/// Malformed input gets 400 with the parse error in the body.
+void RegisterAlignRoute(Router* router, const core::BriqSystem* system);
+
+/// Registers the diagnostics routes the old loopback responder offered,
+/// now served by the worker pool: GET /metrics (Prometheus text format),
+/// GET /healthz, and GET /quitquitquit (sets *quit_flag so the serving
+/// loop can exit; the flag must outlive the server).
+void RegisterDiagnosticRoutes(Router* router, std::atomic<bool>* quit_flag);
+
+}  // namespace briq::serve
+
+#endif  // BRIQ_SERVE_ALIGN_SERVICE_H_

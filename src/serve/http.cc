@@ -1,0 +1,248 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+namespace briq::serve {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+/// Strict non-negative decimal parse for Content-Length (leading signs,
+/// whitespace tails, and empty strings all fail).
+bool ParseContentLength(const std::string& s, size_t* out) {
+  if (s.empty()) return false;
+  size_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const size_t digit = static_cast<size_t>(c - '0');
+    if (value > (SIZE_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+const std::string& HttpRequest::Header(const std::string& lower_name) const {
+  static const std::string kEmpty;
+  const auto it = headers.find(lower_name);
+  return it == headers.end() ? kEmpty : it->second;
+}
+
+bool HttpRequest::KeepAlive() const {
+  const std::string connection = ToLower(Header("connection"));
+  if (connection.find("close") != std::string::npos) return false;
+  if (connection.find("keep-alive") != std::string::npos) return true;
+  return version == "HTTP/1.1";
+}
+
+HttpResponse HttpResponse::Text(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::Json(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.content_type = "application/json; charset=utf-8";
+  r.body = std::move(body);
+  return r;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+void RequestParser::Feed(const char* data, size_t n) {
+  buffer_.append(data, n);
+}
+
+RequestParser::Outcome RequestParser::Fail(int status, std::string message) {
+  failed_ = true;
+  error_ = HttpResponse::Text(status, std::move(message));
+  if (!error_.body.empty() && error_.body.back() != '\n') error_.body += "\n";
+  return Outcome::kError;
+}
+
+RequestParser::Outcome RequestParser::Next() {
+  if (failed_) return Outcome::kError;
+
+  if (!head_consumed_) {
+    // Look for the end of the head. Tolerate bare-LF line endings (some
+    // hand-rolled clients send them); the shorter "\n\n" form can only
+    // appear at or before a "\r\n\r\n".
+    size_t head_end = std::string::npos;  // index one past the blank line
+    const size_t crlf = buffer_.find("\r\n\r\n");
+    const size_t lflf = buffer_.find("\n\n");
+    if (lflf != std::string::npos && (crlf == std::string::npos || lflf < crlf)) {
+      head_end = lflf + 2;
+    } else if (crlf != std::string::npos) {
+      head_end = crlf + 4;
+    }
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > limits_.max_head_bytes) {
+        return Fail(431, "request head exceeds " +
+                             std::to_string(limits_.max_head_bytes) +
+                             " bytes");
+      }
+      return Outcome::kNeedMore;
+    }
+    if (head_end > limits_.max_head_bytes) {
+      return Fail(431, "request head exceeds " +
+                           std::to_string(limits_.max_head_bytes) + " bytes");
+    }
+    if (!ParseHead(head_end)) return Outcome::kError;
+    buffer_.erase(0, head_end);
+    head_consumed_ = true;
+  }
+
+  if (body_remaining_ > 0) {
+    const size_t take = std::min(body_remaining_, buffer_.size());
+    request_.body.append(buffer_, 0, take);
+    buffer_.erase(0, take);
+    body_remaining_ -= take;
+    if (body_remaining_ > 0) return Outcome::kNeedMore;
+  }
+
+  // Request complete; rearm for the next one (pipelining keeps any extra
+  // buffered bytes).
+  head_consumed_ = false;
+  return Outcome::kRequest;
+}
+
+bool RequestParser::ParseHead(size_t head_end) {
+  request_ = HttpRequest{};
+
+  // Split [0, head_end) into lines on '\n', dropping a trailing '\r'.
+  size_t pos = 0;
+  bool first_line = true;
+  while (pos < head_end) {
+    size_t eol = buffer_.find('\n', pos);
+    if (eol == std::string::npos || eol >= head_end) eol = head_end - 1;
+    std::string line = buffer_.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    pos = eol + 1;
+    if (line.empty()) break;  // blank line: end of head
+
+    if (first_line) {
+      first_line = false;
+      const size_t sp1 = line.find(' ');
+      const size_t sp2 = sp1 == std::string::npos
+                             ? std::string::npos
+                             : line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos ||
+          line.find(' ', sp2 + 1) != std::string::npos) {
+        Fail(400, "malformed request line");
+        return false;
+      }
+      request_.method = line.substr(0, sp1);
+      request_.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      request_.version = line.substr(sp2 + 1);
+      if (request_.method.empty() || request_.path.empty() ||
+          request_.path[0] != '/') {
+        Fail(400, "malformed request line");
+        return false;
+      }
+      if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+        Fail(400, "unsupported protocol version '" + request_.version + "'");
+        return false;
+      }
+      continue;
+    }
+
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      Fail(400, "malformed header line");
+      return false;
+    }
+    const std::string name = ToLower(Trim(line.substr(0, colon)));
+    if (name.find(' ') != std::string::npos ||
+        name.find('\t') != std::string::npos) {
+      Fail(400, "malformed header name");
+      return false;
+    }
+    request_.headers[name] = Trim(line.substr(colon + 1));
+  }
+  if (first_line) {
+    Fail(400, "empty request head");
+    return false;
+  }
+
+  if (request_.headers.count("transfer-encoding") > 0) {
+    Fail(501, "transfer-encoding is not supported");
+    return false;
+  }
+
+  body_remaining_ = 0;
+  const auto cl = request_.headers.find("content-length");
+  if (cl != request_.headers.end()) {
+    size_t length = 0;
+    if (!ParseContentLength(cl->second, &length)) {
+      Fail(400, "malformed Content-Length '" + cl->second + "'");
+      return false;
+    }
+    if (length > limits_.max_body_bytes) {
+      Fail(413, "request body of " + std::to_string(length) +
+                    " bytes exceeds the " +
+                    std::to_string(limits_.max_body_bytes) + " byte limit");
+      return false;
+    }
+    body_remaining_ = length;
+  } else if (request_.method == "POST" || request_.method == "PUT") {
+    // A bodied method without framing information is unservable.
+    Fail(411, "POST requires a Content-Length header");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace briq::serve

@@ -1,0 +1,110 @@
+#ifndef BRIQ_SERVE_HTTP_H_
+#define BRIQ_SERVE_HTTP_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace briq::serve {
+
+/// HTTP/1.1 message types and an incremental request parser — the protocol
+/// substrate of the serving layer (DESIGN.md §5h). Deliberately small: no
+/// chunked bodies, no multipart, no TLS; a loopback service fronted by a
+/// real proxy needs none of those.
+
+/// One parsed request. Header names are lowercased on parse; values keep
+/// their case with surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (verbatim)
+  std::string path;     // request target, e.g. "/align"
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1"
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Lowercased-name header lookup; empty string when absent.
+  const std::string& Header(const std::string& lower_name) const;
+
+  /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+  /// Connection header wins either way.
+  bool KeepAlive() const;
+};
+
+/// One response to serialize. Handlers fill status/body/content_type and
+/// optionally extra headers (e.g. Retry-After).
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  std::map<std::string, std::string> extra_headers;
+
+  static HttpResponse Text(int status, std::string body);
+  static HttpResponse Json(int status, std::string body);
+};
+
+/// Standard reason phrase for the status codes this server emits
+/// ("Unknown" otherwise).
+const char* ReasonPhrase(int status);
+
+/// Renders the full wire form of `response`. Content-Length is always
+/// emitted; `keep_alive` selects the Connection header.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// Byte-at-a-time-safe request parser. Feed() appends whatever arrived on
+/// the socket; Next() consumes at most one complete request per call, so a
+/// client that pipelines several requests in one segment gets them served
+/// in order. On a protocol violation the parser latches kError and
+/// error_response() describes the rejection (400/411/413/431/501); the
+/// connection must then be closed — framing is unrecoverable.
+class RequestParser {
+ public:
+  struct Limits {
+    size_t max_head_bytes = 64 * 1024;
+    size_t max_body_bytes = 8 * 1024 * 1024;
+  };
+
+  RequestParser() = default;
+  explicit RequestParser(Limits limits) : limits_(limits) {}
+
+  /// Appends newly received bytes to the parse buffer.
+  void Feed(const char* data, size_t n);
+
+  enum class Outcome {
+    kNeedMore,  // no complete request buffered yet
+    kRequest,   // request() holds the next complete request
+    kError,     // protocol violation; see error_response()
+  };
+
+  /// Tries to extract the next complete request from the buffer.
+  Outcome Next();
+
+  /// The request produced by the last Next() == kRequest. Valid until the
+  /// following Next() call.
+  HttpRequest& request() { return request_; }
+
+  /// The rejection produced by the last Next() == kError.
+  const HttpResponse& error_response() const { return error_; }
+
+  /// Bytes buffered but not yet consumed (diagnostics, tests).
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  Outcome Fail(int status, std::string message);
+  /// Parses the head (request line + headers) in [0, head_end) of the
+  /// buffer into request_. Returns false after latching an error.
+  bool ParseHead(size_t head_end);
+
+  Limits limits_;
+  std::string buffer_;
+  HttpRequest request_;
+  HttpResponse error_;
+  bool failed_ = false;
+
+  // Body accumulation state: after the head parses, head_consumed_ flips
+  // and body_remaining_ counts down as buffered bytes move into request_.
+  bool head_consumed_ = false;
+  size_t body_remaining_ = 0;
+};
+
+}  // namespace briq::serve
+
+#endif  // BRIQ_SERVE_HTTP_H_

@@ -1,0 +1,153 @@
+#include "serve/http_client.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+namespace briq::serve {
+
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+const std::string& ClientResponse::Header(
+    const std::string& lower_name) const {
+  static const std::string kEmpty;
+  const auto it = headers.find(lower_name);
+  return it == headers.end() ? kEmpty : it->second;
+}
+
+util::Result<HttpClient> HttpClient::Connect(uint16_t port) {
+  util::Result<util::ClientSocket> socket = util::ClientSocket::Connect(port);
+  if (!socket.ok()) return socket.status();
+  return HttpClient(std::move(socket).value());
+}
+
+util::Result<ClientResponse> HttpClient::Request(
+    const std::string& method, const std::string& path,
+    const std::string& body,
+    const std::map<std::string, std::string>& headers,
+    double timeout_seconds) {
+  std::string wire = method + " " + path + " HTTP/1.1\r\n";
+  wire += "Host: 127.0.0.1\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  for (const auto& [name, value] : headers) {
+    wire += name + ": " + value + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+  if (!SendRaw(wire)) {
+    return util::Status::Internal("send failed (connection closed?)");
+  }
+  return ReadResponse(timeout_seconds);
+}
+
+bool HttpClient::SendRaw(const std::string& bytes) {
+  return socket_.SendAll(bytes);
+}
+
+util::Result<ClientResponse> HttpClient::ReadResponse(double timeout_seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  char buf[4096];
+  bool peer_closed = false;
+
+  const auto read_more = [&]() -> bool {
+    if (peer_closed) return false;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    const ssize_t n = socket_.RecvSome(buf, sizeof(buf), 0.1);
+    if (n > 0) {
+      buffer_.append(buf, static_cast<size_t>(n));
+      return true;
+    }
+    if (n == 0) {
+      peer_closed = true;
+      socket_.Close();
+    }
+    return n < 0;  // timeout tick: keep trying until the deadline
+  };
+
+  // Head.
+  size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    if (!read_more()) {
+      return util::Status::Internal(peer_closed
+                                        ? "connection closed before a "
+                                          "complete response head"
+                                        : "response head read timed out");
+    }
+  }
+  const std::string head = buffer_.substr(0, head_end);
+  buffer_.erase(0, head_end + 4);
+
+  ClientResponse response;
+  size_t pos = 0;
+  bool first = true;
+  while (pos <= head.size()) {
+    size_t eol = head.find('\n', pos);
+    if (eol == std::string::npos) eol = head.size();
+    std::string line = head.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    pos = eol + 1;
+    if (first) {
+      first = false;
+      // "HTTP/1.1 200 OK"
+      const size_t sp1 = line.find(' ');
+      if (sp1 == std::string::npos) {
+        return util::Status::ParseError("malformed status line: " + line);
+      }
+      const size_t sp2 = line.find(' ', sp1 + 1);
+      const std::string code =
+          line.substr(sp1 + 1, sp2 == std::string::npos ? std::string::npos
+                                                        : sp2 - sp1 - 1);
+      response.status = std::atoi(code.c_str());
+      if (response.status == 0) {
+        return util::Status::ParseError("malformed status code: " + line);
+      }
+      if (sp2 != std::string::npos) response.reason = line.substr(sp2 + 1);
+      continue;
+    }
+    if (line.empty()) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;  // lenient on the client side
+    response.headers[ToLower(Trim(line.substr(0, colon)))] =
+        Trim(line.substr(colon + 1));
+  }
+
+  // Body: Content-Length-framed (the only framing the server emits).
+  const std::string& cl = response.Header("content-length");
+  const size_t want = cl.empty() ? 0 : std::strtoull(cl.c_str(), nullptr, 10);
+  while (buffer_.size() < want) {
+    if (!read_more()) {
+      return util::Status::Internal("response body read timed out");
+    }
+  }
+  response.body = buffer_.substr(0, want);
+  buffer_.erase(0, want);
+  return response;
+}
+
+}  // namespace briq::serve

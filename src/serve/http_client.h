@@ -1,0 +1,66 @@
+#ifndef BRIQ_SERVE_HTTP_CLIENT_H_
+#define BRIQ_SERVE_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "serve/http.h"
+#include "util/result.h"
+#include "util/tcp_listener.h"
+
+namespace briq::serve {
+
+/// A parsed response as seen by the client.
+struct ClientResponse {
+  int status = 0;
+  std::string reason;
+  std::map<std::string, std::string> headers;  // lowercased names
+  std::string body;
+
+  const std::string& Header(const std::string& lower_name) const;
+};
+
+/// Minimal blocking HTTP/1.1 client for 127.0.0.1 — the peer of
+/// serve::HttpServer in tests and in bench_serve's load generator. One
+/// connection per instance; keep-alive by default, so consecutive
+/// Request() calls reuse the socket. Not a general client: no redirects,
+/// no chunked bodies, no TLS.
+class HttpClient {
+ public:
+  /// Connects to 127.0.0.1:`port`.
+  static util::Result<HttpClient> Connect(uint16_t port);
+
+  /// Sends one request and reads one response. GETs carry no body;
+  /// non-empty `body` adds a Content-Length. Extra headers are emitted
+  /// verbatim. Fails on connection errors, malformed responses, or
+  /// `timeout_seconds` of read silence.
+  util::Result<ClientResponse> Request(
+      const std::string& method, const std::string& path,
+      const std::string& body = "",
+      const std::map<std::string, std::string>& headers = {},
+      double timeout_seconds = 10.0);
+
+  /// Sends raw bytes verbatim (for protocol tests: torn headers,
+  /// pipelining, deliberate violations).
+  bool SendRaw(const std::string& bytes);
+
+  /// Reads one response off the socket (pairs with SendRaw).
+  util::Result<ClientResponse> ReadResponse(double timeout_seconds = 10.0);
+
+  /// True while the underlying socket is open.
+  bool connected() const { return socket_.valid(); }
+
+  /// Closes the connection (also done by the destructor).
+  void Close() { socket_.Close(); }
+
+ private:
+  explicit HttpClient(util::ClientSocket socket) : socket_(std::move(socket)) {}
+
+  util::ClientSocket socket_;
+  std::string buffer_;  // bytes read past the previous response
+};
+
+}  // namespace briq::serve
+
+#endif  // BRIQ_SERVE_HTTP_CLIENT_H_

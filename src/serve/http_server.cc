@@ -1,0 +1,224 @@
+#include "serve/http_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace briq::serve {
+
+namespace {
+
+/// Poll granularity of the accept loop and of a worker's socket reads:
+/// the upper bound on how stale a stop request can go unnoticed.
+constexpr double kPollTickSeconds = 0.1;
+
+/// Byte-size buckets for request/response body histograms: 64 B .. ~16 MB.
+std::vector<double> BodyBytesBuckets() {
+  return obs::ExponentialBuckets(64.0, 4.0, 10);
+}
+
+}  // namespace
+
+/// Registry instruments, resolved once (instruments live for the process
+/// lifetime, so the pointers are cached in a leaked singleton — the same
+/// pattern every other instrumented layer uses). Inert no-ops under
+/// -DBRIQ_NO_METRICS.
+struct HttpServer::Instruments {
+  obs::Counter* connections;
+  obs::Counter* requests;
+  obs::Counter* rejected;
+  obs::Counter* parse_errors;
+  obs::Counter* responses_by_class[4];  // 2xx, 3xx, 4xx, 5xx
+  obs::Histogram* request_seconds;
+  obs::Histogram* request_body_bytes;
+  obs::Histogram* response_body_bytes;
+  obs::Gauge* in_flight;
+  obs::Gauge* in_flight_peak;
+  obs::QueueTelemetry queue_telemetry{"briq.serve"};
+
+  static Instruments* Get() {
+    static Instruments* instruments = [] {
+      auto& r = obs::MetricRegistry::Global();
+      auto* i = new Instruments();
+      i->connections = r.GetCounter("briq.serve.connections");
+      i->requests = r.GetCounter("briq.serve.requests");
+      i->rejected = r.GetCounter("briq.serve.rejected");
+      i->parse_errors = r.GetCounter("briq.serve.parse_errors");
+      i->responses_by_class[0] = r.GetCounter("briq.serve.responses_2xx");
+      i->responses_by_class[1] = r.GetCounter("briq.serve.responses_3xx");
+      i->responses_by_class[2] = r.GetCounter("briq.serve.responses_4xx");
+      i->responses_by_class[3] = r.GetCounter("briq.serve.responses_5xx");
+      i->request_seconds = r.GetHistogram("briq.serve.request_seconds",
+                                          obs::DefaultLatencyBuckets());
+      i->request_body_bytes =
+          r.GetHistogram("briq.serve.request_body_bytes", BodyBytesBuckets());
+      i->response_body_bytes =
+          r.GetHistogram("briq.serve.response_body_bytes", BodyBytesBuckets());
+      i->in_flight = r.GetGauge("briq.serve.in_flight");
+      i->in_flight_peak = r.GetGauge("briq.serve.in_flight_peak");
+      return i;
+    }();
+    return instruments;
+  }
+
+  void CountResponse(int status) {
+    const int cls = status / 100;
+    if (cls >= 2 && cls <= 5) responses_by_class[cls - 2]->Add();
+  }
+};
+
+HttpServer::HttpServer(Router router, HttpServerOptions options)
+    : router_(std::move(router)),
+      options_(std::move(options)),
+      instruments_(Instruments::Get()) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+util::Status HttpServer::Start() {
+  if (running_.load()) {
+    return util::Status::FailedPrecondition("server already started");
+  }
+  util::Result<util::TcpListener> listener =
+      util::TcpListener::Listen(options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::make_unique<util::TcpListener>(std::move(listener).value());
+
+  queue_ = std::make_unique<util::BoundedQueue<util::ClientSocket>>(
+      options_.queue_capacity, instruments_->queue_telemetry.observer());
+
+  int num_threads = options_.num_threads;
+  if (num_threads <= 0) {
+    num_threads =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  stop_.store(false);
+  running_.store(true);
+  workers_ = std::make_unique<util::ThreadPool>(num_threads);
+  worker_futures_.clear();
+  for (int i = 0; i < num_threads; ++i) {
+    worker_futures_.push_back(workers_->Submit([this] { WorkerLoop(); }));
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return util::Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stop_.store(true);
+  if (queue_ != nullptr) queue_->Close();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& f : worker_futures_) f.get();  // propagate worker exceptions
+  worker_futures_.clear();
+  workers_.reset();
+  listener_.reset();
+  queue_.reset();
+}
+
+uint16_t HttpServer::port() const {
+  return listener_ != nullptr ? listener_->port() : 0;
+}
+
+size_t HttpServer::queue_depth() const {
+  return queue_ != nullptr ? queue_->size() : 0;
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stop_.load()) {
+    util::ClientSocket conn = listener_->AcceptClient(kPollTickSeconds);
+    if (!conn.valid()) continue;
+    instruments_->connections->Add();
+    if (queue_->TryPush(conn)) continue;
+
+    // Admission control: the queue is full (every worker busy and the
+    // buffer at capacity). Shed the connection with an explicit 503 right
+    // here — the acceptor never blocks and memory stays bounded.
+    rejected_.fetch_add(1);
+    instruments_->rejected->Add();
+    HttpResponse overloaded = HttpResponse::Text(
+        503, "overloaded: connection queue is full, retry later\n");
+    overloaded.extra_headers["Retry-After"] =
+        std::to_string(options_.retry_after_seconds);
+    instruments_->CountResponse(503);
+    conn.SendAll(SerializeResponse(overloaded, /*keep_alive=*/false));
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  while (true) {
+    std::optional<util::ClientSocket> conn = queue_->Pop();
+    if (!conn.has_value()) return;  // closed and drained
+    if (stop_.load()) continue;     // shutdown: discard without serving
+    HandleConnection(std::move(*conn));
+  }
+}
+
+void HttpServer::HandleConnection(util::ClientSocket conn) {
+  RequestParser parser(options_.limits);
+  char buf[4096];
+  double idle_seconds = 0.0;
+  while (!stop_.load()) {
+    // Serve everything already buffered (pipelined requests drain here
+    // back-to-back before the next read).
+    while (true) {
+      const RequestParser::Outcome outcome = parser.Next();
+      if (outcome == RequestParser::Outcome::kRequest) {
+        idle_seconds = 0.0;
+        if (!Respond(conn, parser.request())) return;
+        continue;
+      }
+      if (outcome == RequestParser::Outcome::kError) {
+        // Framing is unrecoverable: report and close.
+        instruments_->parse_errors->Add();
+        const HttpResponse& error = parser.error_response();
+        instruments_->CountResponse(error.status);
+        requests_served_.fetch_add(1);
+        conn.SendAll(SerializeResponse(error, /*keep_alive=*/false));
+        return;
+      }
+      break;  // kNeedMore
+    }
+
+    const ssize_t n = conn.RecvSome(buf, sizeof(buf), kPollTickSeconds);
+    if (n == 0) return;  // orderly peer close
+    if (n < 0) {
+      idle_seconds += kPollTickSeconds;
+      if (idle_seconds >= options_.idle_timeout_seconds) return;
+      continue;
+    }
+    idle_seconds = 0.0;
+    parser.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+bool HttpServer::Respond(util::ClientSocket& conn, const HttpRequest& request) {
+  instruments_->requests->Add();
+  instruments_->in_flight->Add(1);
+  instruments_->in_flight_peak->SetMax(instruments_->in_flight->Value());
+  instruments_->request_body_bytes->Observe(
+      static_cast<double>(request.body.size()));
+
+  bool keep_alive = false;
+  bool sent = false;
+  {
+    // The span and the latency observation both cover dispatch + send.
+    obs::ScopedSpan span("serve.request");
+    obs::ScopedTimer timer(instruments_->request_seconds);
+    const HttpResponse response = router_.Dispatch(request);
+    instruments_->CountResponse(response.status);
+    instruments_->response_body_bytes->Observe(
+        static_cast<double>(response.body.size()));
+    keep_alive = request.KeepAlive() && !stop_.load();
+    // Count before the send: once the client has read the response, the
+    // counter must already reflect it (tests rely on this ordering).
+    requests_served_.fetch_add(1);
+    sent = conn.SendAll(SerializeResponse(response, keep_alive));
+  }
+  instruments_->in_flight->Add(-1);
+  return sent && keep_alive;
+}
+
+}  // namespace briq::serve

@@ -1,0 +1,114 @@
+#ifndef BRIQ_SERVE_HTTP_SERVER_H_
+#define BRIQ_SERVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/http.h"
+#include "serve/router.h"
+#include "util/bounded_queue.h"
+#include "util/status.h"
+#include "util/tcp_listener.h"
+#include "util/thread_pool.h"
+
+namespace briq::serve {
+
+struct HttpServerOptions {
+  /// 127.0.0.1 port to bind; 0 asks the kernel for an ephemeral one.
+  uint16_t port = 0;
+  /// Worker threads draining the connection queue (<= 0 means hardware
+  /// concurrency, at least 1). Each worker owns one connection at a time
+  /// through its whole keep-alive lifetime.
+  int num_threads = 0;
+  /// Accepted-but-unclaimed connections buffered between the acceptor and
+  /// the workers. When the buffer is full the acceptor replies 503 with
+  /// Retry-After instead of queueing — explicit load shedding, bounded
+  /// memory.
+  size_t queue_capacity = 64;
+  /// Seconds an idle keep-alive connection may sit between requests (and
+  /// the per-read budget while a request is in flight) before the worker
+  /// closes it.
+  double idle_timeout_seconds = 5.0;
+  /// Retry-After value advertised on 503 admission rejections.
+  int retry_after_seconds = 1;
+  /// Protocol limits forwarded to every connection's RequestParser.
+  RequestParser::Limits limits;
+};
+
+/// Multi-threaded HTTP/1.1 server over util::TcpListener (DESIGN.md §5h):
+/// one accept thread feeds a util::BoundedQueue of accepted sockets, a
+/// util::ThreadPool of workers drains it, each worker running a
+/// connection's full keep-alive request/response loop against an immutable
+/// Router. Admission control is explicit — a full queue means an immediate
+/// 503 Retry-After from the acceptor, never unbounded buffering.
+///
+/// Observability (inert under -DBRIQ_NO_METRICS): every request runs under
+/// a ScopedSpan and records `briq.serve.*` counters (requests, responses
+/// by status class, admission rejections, parse errors), latency and
+/// body-size histograms, and in-flight / queue-depth gauges with `_peak`
+/// high-water marks.
+class HttpServer {
+ public:
+  /// The router is copied and frozen; register every route first.
+  HttpServer(Router router, HttpServerOptions options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds the port and starts the acceptor and workers.
+  util::Status Start();
+
+  /// Stops accepting, drains queued connections, joins every thread.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port once Start() succeeded, else 0.
+  uint16_t port() const;
+
+  /// Requests answered so far (any status, including parse rejections;
+  /// excluding admission 503s — those never carried a request).
+  size_t requests_served() const { return requests_served_.load(); }
+
+  /// Connections shed with an admission 503.
+  size_t connections_rejected() const { return rejected_.load(); }
+
+  /// Connections currently buffered between acceptor and workers (racy;
+  /// tests and diagnostics only).
+  size_t queue_depth() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Runs one connection's request/response lifetime. Returns when the
+  /// peer closes, keep-alive is declined, an error occurs, or the server
+  /// stops.
+  void HandleConnection(util::ClientSocket conn);
+  /// Dispatches one parsed request and writes the response. Returns false
+  /// when the connection must close afterwards.
+  bool Respond(util::ClientSocket& conn, const HttpRequest& request);
+
+  const Router router_;
+  const HttpServerOptions options_;
+
+  struct Instruments;  // registry pointers, resolved once in the ctor
+  Instruments* const instruments_;
+
+  std::unique_ptr<util::TcpListener> listener_;
+  std::unique_ptr<util::BoundedQueue<util::ClientSocket>> queue_;
+  std::unique_ptr<util::ThreadPool> workers_;
+  std::vector<std::future<void>> worker_futures_;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> requests_served_{0};
+  std::atomic<size_t> rejected_{0};
+};
+
+}  // namespace briq::serve
+
+#endif  // BRIQ_SERVE_HTTP_SERVER_H_

@@ -1,0 +1,44 @@
+#include "serve/router.h"
+
+#include <exception>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace briq::serve {
+
+void Router::Handle(const std::string& method, const std::string& path,
+                    Handler handler) {
+  routes_[path][method] = std::move(handler);
+}
+
+HttpResponse Router::Dispatch(const HttpRequest& request) const {
+  const auto by_path = routes_.find(request.path);
+  if (by_path == routes_.end()) {
+    return HttpResponse::Text(404, "not found\n");
+  }
+  const auto by_method = by_path->second.find(request.method);
+  if (by_method == by_path->second.end()) {
+    HttpResponse r = HttpResponse::Text(405, "method not allowed\n");
+    std::string allow;
+    for (const auto& [method, handler] : by_path->second) {
+      if (!allow.empty()) allow += ", ";
+      allow += method;
+    }
+    r.extra_headers["Allow"] = allow;
+    return r;
+  }
+  try {
+    return by_method->second(request);
+  } catch (const std::exception& e) {
+    BRIQ_LOG(Error) << "handler for " << request.method << " " << request.path
+                    << " threw: " << e.what();
+    return HttpResponse::Text(500, "internal error\n");
+  } catch (...) {
+    BRIQ_LOG(Error) << "handler for " << request.method << " " << request.path
+                    << " threw a non-exception";
+    return HttpResponse::Text(500, "internal error\n");
+  }
+}
+
+}  // namespace briq::serve

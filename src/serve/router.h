@@ -1,0 +1,40 @@
+#ifndef BRIQ_SERVE_ROUTER_H_
+#define BRIQ_SERVE_ROUTER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "serve/http.h"
+
+namespace briq::serve {
+
+/// Exact-path route table: (method, path) -> handler. Unknown paths get
+/// 404; known paths hit with the wrong method get 405 with an Allow
+/// header listing what would have worked. Routes are registered before
+/// the server starts and never mutated afterwards, so Dispatch() is
+/// lock-free and safe from any number of worker threads (handlers must be
+/// thread-safe themselves).
+class Router {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Registers `handler` for an exact (method, path) pair, replacing any
+  /// previous registration.
+  void Handle(const std::string& method, const std::string& path,
+              Handler handler);
+
+  /// Routes one request. Any exception escaping a handler becomes a 500
+  /// (the connection survives; the error is reported to the client).
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  size_t route_count() const { return routes_.size(); }
+
+ private:
+  // path -> method -> handler (two levels so 405 can enumerate methods).
+  std::map<std::string, std::map<std::string, Handler>> routes_;
+};
+
+}  // namespace briq::serve
+
+#endif  // BRIQ_SERVE_ROUTER_H_

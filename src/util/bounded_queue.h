@@ -75,6 +75,22 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push, the admission-control primitive of the serving
+  /// layer: enqueues (moving from `value`) and returns true when there is
+  /// room; returns false immediately — leaving `value` untouched — when
+  /// the queue is full or closed. A caller that gets false still owns the
+  /// item and can shed load explicitly (e.g. reply 503 on a connection)
+  /// instead of buffering unboundedly.
+  bool TryPush(T& value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    if (observer_ != nullptr) observer_->OnDepth(items_.size());
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks until an item is available or the queue is closed and drained;
   /// std::nullopt means no item will ever arrive again.
   std::optional<T> Pop() {

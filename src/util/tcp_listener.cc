@@ -13,6 +13,68 @@
 
 namespace briq::util {
 
+ClientSocket::~ClientSocket() { Close(); }
+
+ClientSocket::ClientSocket(ClientSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+ClientSocket& ClientSocket::operator=(ClientSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Result<ClientSocket> ClientSocket::Connect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("connect(127.0.0.1:" + std::to_string(port) +
+                            "): " + err);
+  }
+  return ClientSocket(fd);
+}
+
+bool ClientSocket::SendAll(const std::string& data) {
+  if (fd_ < 0) return false;
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+ssize_t ClientSocket::RecvSome(char* buf, size_t len, double timeout_seconds) {
+  if (fd_ < 0) return -1;
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int timeout_ms =
+      timeout_seconds <= 0.0 ? 0 : static_cast<int>(timeout_seconds * 1000.0);
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0) return -1;  // timeout or (transient) poll error
+  return ::recv(fd_, buf, len, 0);
+}
+
+void ClientSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
 Result<TcpListener> TcpListener::Listen(uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {

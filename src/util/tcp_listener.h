@@ -1,16 +1,56 @@
 #ifndef BRIQ_UTIL_TCP_LISTENER_H_
 #define BRIQ_UTIL_TCP_LISTENER_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "util/result.h"
 
 namespace briq::util {
 
+/// RAII owner of one accepted (or connected) client socket. Move-only;
+/// the fd is closed exactly once, on destruction or an explicit Close().
+/// The blocking Send/Recv helpers cover what a loopback HTTP exchange
+/// needs without exposing raw POSIX calls to every caller.
+class ClientSocket {
+ public:
+  ClientSocket() = default;
+  /// Takes ownership of `fd` (pass -1 for an empty socket).
+  explicit ClientSocket(int fd) : fd_(fd) {}
+  ~ClientSocket();
+  ClientSocket(ClientSocket&& other) noexcept;
+  ClientSocket& operator=(ClientSocket&& other) noexcept;
+  ClientSocket(const ClientSocket&) = delete;
+  ClientSocket& operator=(const ClientSocket&) = delete;
+
+  /// Connects to 127.0.0.1:`port` (the client half of the loopback pair).
+  static Result<ClientSocket> Connect(uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all of `data`, looping over partial sends (SIGPIPE is
+  /// suppressed). Returns false when the peer closed or an error occurred.
+  bool SendAll(const std::string& data);
+
+  /// Waits up to `timeout_seconds` for readability, then performs one
+  /// recv into `buf`. Returns the byte count, 0 on orderly peer close,
+  /// -1 on timeout or error.
+  ssize_t RecvSome(char* buf, size_t len, double timeout_seconds);
+
+  /// Closes the fd early (also done by the destructor). Safe to call
+  /// repeatedly.
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
 /// Thin RAII wrapper over a listening POSIX socket bound to 127.0.0.1.
-/// Exists so the observability layer can expose /metrics without any
-/// third-party HTTP dependency; loopback-only by design — this is a
-/// diagnostics port, not a service mesh.
+/// Originally the observability layer's diagnostics port; the serving
+/// layer (src/serve/) builds its accept loop on the same primitive.
+/// Loopback-only by design — deployments front it with a real proxy.
 class TcpListener {
  public:
   /// Binds and listens on 127.0.0.1:`port`. Port 0 asks the kernel for an
@@ -32,7 +72,14 @@ class TcpListener {
   /// signals.
   int AcceptOnce(double timeout_seconds);
 
+  /// AcceptOnce, but the returned socket is owned: an invalid() socket
+  /// means timeout (or a closed listener).
+  ClientSocket AcceptClient(double timeout_seconds) {
+    return ClientSocket(AcceptOnce(timeout_seconds));
+  }
+
   /// Closes the listening socket early (also done by the destructor).
+  /// Safe to call repeatedly.
   void Close();
 
  private:

@@ -1,0 +1,512 @@
+// Protocol-level coverage for the serving layer: the incremental
+// RequestParser, response serialization, Router dispatch, and a live
+// HttpServer exercised over loopback sockets — keep-alive, pipelining,
+// malformed framing, torn headers, and 503 admission control.
+
+#include "serve/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/http.h"
+#include "serve/http_client.h"
+#include "serve/router.h"
+
+namespace briq::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RequestParser
+
+RequestParser::Outcome FeedAll(RequestParser* parser, const std::string& raw) {
+  parser->Feed(raw.data(), raw.size());
+  return parser->Next();
+}
+
+TEST(RequestParserTest, ParsesASimpleGet) {
+  RequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            RequestParser::Outcome::kRequest);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().path, "/healthz");
+  EXPECT_EQ(parser.request().version, "HTTP/1.1");
+  EXPECT_EQ(parser.request().Header("host"), "x");
+  EXPECT_TRUE(parser.request().KeepAlive());
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(RequestParserTest, ParsesAPostBody) {
+  RequestParser parser;
+  ASSERT_EQ(FeedAll(&parser,
+                    "POST /align HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"),
+            RequestParser::Outcome::kRequest);
+  EXPECT_EQ(parser.request().body, "hello");
+}
+
+TEST(RequestParserTest, TornHeadersDeliveredByteByByte) {
+  const std::string raw =
+      "POST /align HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Length: 4\r\n"
+      "\r\n"
+      "briq";
+  RequestParser parser;
+  // Every prefix short of the full message must say kNeedMore.
+  for (size_t i = 0; i + 1 < raw.size(); ++i) {
+    parser.Feed(&raw[i], 1);
+    ASSERT_EQ(parser.Next(), RequestParser::Outcome::kNeedMore)
+        << "premature completion after byte " << i;
+  }
+  parser.Feed(&raw[raw.size() - 1], 1);
+  ASSERT_EQ(parser.Next(), RequestParser::Outcome::kRequest);
+  EXPECT_EQ(parser.request().path, "/align");
+  EXPECT_EQ(parser.request().body, "briq");
+}
+
+TEST(RequestParserTest, PipelinedRequestsComeOutOneAtATime) {
+  RequestParser parser;
+  const std::string raw =
+      "GET /a HTTP/1.1\r\n\r\n"
+      "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nok"
+      "GET /c HTTP/1.1\r\n\r\n";
+  parser.Feed(raw.data(), raw.size());
+  ASSERT_EQ(parser.Next(), RequestParser::Outcome::kRequest);
+  EXPECT_EQ(parser.request().path, "/a");
+  ASSERT_EQ(parser.Next(), RequestParser::Outcome::kRequest);
+  EXPECT_EQ(parser.request().path, "/b");
+  EXPECT_EQ(parser.request().body, "ok");
+  ASSERT_EQ(parser.Next(), RequestParser::Outcome::kRequest);
+  EXPECT_EQ(parser.request().path, "/c");
+  EXPECT_EQ(parser.Next(), RequestParser::Outcome::kNeedMore);
+}
+
+TEST(RequestParserTest, MalformedRequestLineIs400) {
+  RequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "NONSENSE\r\n\r\n"),
+            RequestParser::Outcome::kError);
+  EXPECT_EQ(parser.error_response().status, 400);
+  // The error latches: further feeding cannot resurrect the parser.
+  ASSERT_EQ(FeedAll(&parser, "GET / HTTP/1.1\r\n\r\n"),
+            RequestParser::Outcome::kError);
+}
+
+TEST(RequestParserTest, UnsupportedVersionIs400) {
+  RequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "GET / HTTP/2.0\r\n\r\n"),
+            RequestParser::Outcome::kError);
+  EXPECT_EQ(parser.error_response().status, 400);
+}
+
+TEST(RequestParserTest, NonNumericContentLengthIs400) {
+  RequestParser parser;
+  ASSERT_EQ(
+      FeedAll(&parser,
+              "POST /align HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+      RequestParser::Outcome::kError);
+  EXPECT_EQ(parser.error_response().status, 400);
+}
+
+TEST(RequestParserTest, PostWithoutContentLengthIs411) {
+  RequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "POST /align HTTP/1.1\r\nHost: x\r\n\r\n"),
+            RequestParser::Outcome::kError);
+  EXPECT_EQ(parser.error_response().status, 411);
+}
+
+TEST(RequestParserTest, ZeroContentLengthPostIsAValidEmptyBody) {
+  RequestParser parser;
+  ASSERT_EQ(FeedAll(&parser,
+                    "POST /align HTTP/1.1\r\nContent-Length: 0\r\n\r\n"),
+            RequestParser::Outcome::kRequest);
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(RequestParserTest, OversizedBodyIs413) {
+  RequestParser::Limits limits;
+  limits.max_body_bytes = 16;
+  RequestParser parser(limits);
+  ASSERT_EQ(FeedAll(&parser,
+                    "POST /align HTTP/1.1\r\nContent-Length: 17\r\n\r\n"),
+            RequestParser::Outcome::kError);
+  EXPECT_EQ(parser.error_response().status, 413);
+}
+
+TEST(RequestParserTest, OversizedHeadIs431) {
+  RequestParser::Limits limits;
+  limits.max_head_bytes = 64;
+  RequestParser parser(limits);
+  std::string raw = "GET / HTTP/1.1\r\nX-Pad: ";
+  raw.append(200, 'a');
+  raw += "\r\n\r\n";
+  ASSERT_EQ(FeedAll(&parser, raw), RequestParser::Outcome::kError);
+  EXPECT_EQ(parser.error_response().status, 431);
+}
+
+TEST(RequestParserTest, TransferEncodingIs501) {
+  RequestParser parser;
+  ASSERT_EQ(
+      FeedAll(&parser,
+              "POST /align HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+      RequestParser::Outcome::kError);
+  EXPECT_EQ(parser.error_response().status, 501);
+}
+
+TEST(RequestParserTest, ConnectionCloseOverridesKeepAliveDefault) {
+  RequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"),
+            RequestParser::Outcome::kRequest);
+  EXPECT_FALSE(parser.request().KeepAlive());
+}
+
+TEST(SerializeResponseTest, EmitsContentLengthAndConnectionHeaders) {
+  HttpResponse response = HttpResponse::Text(200, "ok\n");
+  const std::string keep = SerializeResponse(response, /*keep_alive=*/true);
+  EXPECT_NE(keep.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(keep.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_NE(keep.find("Connection: keep-alive\r\n"), std::string::npos);
+  const std::string close = SerializeResponse(response, /*keep_alive=*/false);
+  EXPECT_NE(close.find("Connection: close\r\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Router
+
+HttpRequest MakeRequest(const std::string& method, const std::string& path) {
+  HttpRequest request;
+  request.method = method;
+  request.path = path;
+  request.version = "HTTP/1.1";
+  return request;
+}
+
+TEST(RouterTest, DispatchesUnknownPathTo404) {
+  Router router;
+  router.Handle("GET", "/known",
+                [](const HttpRequest&) { return HttpResponse::Text(200, "k"); });
+  EXPECT_EQ(router.Dispatch(MakeRequest("GET", "/unknown")).status, 404);
+}
+
+TEST(RouterTest, WrongMethodGets405WithAllowHeader) {
+  Router router;
+  router.Handle("GET", "/thing",
+                [](const HttpRequest&) { return HttpResponse::Text(200, "g"); });
+  router.Handle("POST", "/thing",
+                [](const HttpRequest&) { return HttpResponse::Text(200, "p"); });
+  HttpResponse response = router.Dispatch(MakeRequest("DELETE", "/thing"));
+  EXPECT_EQ(response.status, 405);
+  EXPECT_EQ(response.extra_headers["Allow"], "GET, POST");
+}
+
+TEST(RouterTest, HandlerExceptionBecomes500) {
+  Router router;
+  router.Handle("GET", "/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("kaput");
+  });
+  EXPECT_EQ(router.Dispatch(MakeRequest("GET", "/boom")).status, 500);
+}
+
+// ---------------------------------------------------------------------------
+// Live server
+
+Router EchoRouter() {
+  Router router;
+  router.Handle("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "pong\n");
+  });
+  router.Handle("POST", "/echo", [](const HttpRequest& request) {
+    return HttpResponse::Text(200, request.body);
+  });
+  return router;
+}
+
+TEST(HttpServerTest, ServesOverLoopback) {
+  HttpServerOptions options;
+  options.num_threads = 2;
+  HttpServer server(EchoRouter(), options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto response = client->Request("GET", "/ping");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "pong\n");
+  server.Stop();
+}
+
+TEST(HttpServerTest, KeepAliveReusesOneConnectionForManyRequests) {
+  HttpServerOptions options;
+  options.num_threads = 1;
+  HttpServer server(EchoRouter(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 20; ++i) {
+    const std::string body = "payload-" + std::to_string(i);
+    auto response = client->Request("POST", "/echo", body);
+    ASSERT_TRUE(response.ok()) << "request " << i << ": "
+                               << response.status().ToString();
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->body, body);
+  }
+  EXPECT_GE(server.requests_served(), 20u);
+  server.Stop();
+}
+
+TEST(HttpServerTest, ConcurrentKeepAliveClients) {
+  HttpServerOptions options;
+  options.num_threads = 4;
+  HttpServer server(EchoRouter(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 25;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = HttpClient::Connect(server.port());
+      if (!client.ok()) return;
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const std::string body =
+            "c" + std::to_string(c) + "-r" + std::to_string(i);
+        auto response = client->Request("POST", "/echo", body);
+        if (response.ok() && response->status == 200 &&
+            response->body == body) {
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok_count.load(), kClients * kRequestsPerClient);
+  EXPECT_GE(server.requests_served(),
+            static_cast<size_t>(kClients * kRequestsPerClient));
+  server.Stop();
+}
+
+TEST(HttpServerTest, PipelinedRequestsAnsweredInOrder) {
+  HttpServerOptions options;
+  options.num_threads = 1;
+  HttpServer server(EchoRouter(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  // Three requests in one write; responses must come back in order.
+  ASSERT_TRUE(client->SendRaw(
+      "POST /echo HTTP/1.1\r\nContent-Length: 3\r\n\r\none"
+      "POST /echo HTTP/1.1\r\nContent-Length: 3\r\n\r\ntwo"
+      "GET /ping HTTP/1.1\r\n\r\n"));
+  auto r1 = client->ReadResponse();
+  auto r2 = client->ReadResponse();
+  auto r3 = client->ReadResponse();
+  ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+  EXPECT_EQ(r1->body, "one");
+  EXPECT_EQ(r2->body, "two");
+  EXPECT_EQ(r3->body, "pong\n");
+  server.Stop();
+}
+
+TEST(HttpServerTest, TornHeadersOverTheWire) {
+  HttpServerOptions options;
+  options.num_threads = 1;
+  HttpServer server(EchoRouter(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  const std::string raw =
+      "POST /echo HTTP/1.1\r\nContent-Length: 4\r\n\r\ntorn";
+  for (char byte : raw) {
+    ASSERT_TRUE(client->SendRaw(std::string(1, byte)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto response = client->ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "torn");
+  server.Stop();
+}
+
+TEST(HttpServerTest, RoutingErrorsOverTheWire) {
+  HttpServerOptions options;
+  options.num_threads = 1;
+  HttpServer server(EchoRouter(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  auto missing = client->Request("GET", "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+  // Routing errors keep the connection alive; wrong method follows.
+  auto wrong_method = client->Request("DELETE", "/ping");
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status, 405);
+  EXPECT_EQ(wrong_method->Header("allow"), "GET");
+  server.Stop();
+}
+
+TEST(HttpServerTest, MalformedFramingGets400AndAClose) {
+  HttpServerOptions options;
+  options.num_threads = 1;
+  HttpServer server(EchoRouter(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendRaw("THIS IS NOT HTTP\r\n\r\n"));
+  auto response = client->ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 400);
+  EXPECT_EQ(response->Header("connection"), "close");
+  server.Stop();
+}
+
+TEST(HttpServerTest, MissingContentLengthGets411) {
+  HttpServerOptions options;
+  options.num_threads = 1;
+  HttpServer server(EchoRouter(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendRaw("POST /echo HTTP/1.1\r\nHost: x\r\n\r\n"));
+  auto response = client->ReadResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 411);
+  server.Stop();
+}
+
+TEST(HttpServerTest, OversizedBodyGets413) {
+  HttpServerOptions options;
+  options.num_threads = 1;
+  options.limits.max_body_bytes = 64;
+  HttpServer server(EchoRouter(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(
+      client->SendRaw("POST /echo HTTP/1.1\r\nContent-Length: 100000\r\n\r\n"));
+  auto response = client->ReadResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 413);
+  server.Stop();
+}
+
+// A handler that parks until released lets the test hold the single worker
+// busy while filling the admission queue deterministically.
+class Latch {
+ public:
+  void WaitUntilEntered() {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait(lock, [&] { return entered_; });
+  }
+  void Block() {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_ = true;
+    entered_cv_.notify_all();
+    release_cv_.wait(lock, [&] { return released_; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable entered_cv_;
+  std::condition_variable release_cv_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+TEST(HttpServerTest, FullQueueShedsWith503RetryAfter) {
+  Latch latch;
+  Router router;
+  router.Handle("GET", "/block", [&latch](const HttpRequest&) {
+    latch.Block();
+    return HttpResponse::Text(200, "released\n");
+  });
+  router.Handle("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "pong\n");
+  });
+
+  HttpServerOptions options;
+  options.num_threads = 1;     // one worker,
+  options.queue_capacity = 1;  // one buffered connection, then shed
+  options.retry_after_seconds = 7;
+  // Short idle timeout so the worker releases connection A quickly once
+  // its client goes quiet and moves on to the queued connection B.
+  options.idle_timeout_seconds = 0.3;
+  HttpServer server(std::move(router), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Connection A occupies the only worker inside the blocked handler.
+  auto blocked = HttpClient::Connect(server.port());
+  ASSERT_TRUE(blocked.ok());
+  ASSERT_TRUE(blocked->SendRaw("GET /block HTTP/1.1\r\n\r\n"));
+  latch.WaitUntilEntered();
+
+  // Connection B fills the queue's single slot. The push is asynchronous
+  // to Connect(), so poll the depth gauge until the acceptor lands it.
+  auto queued = HttpClient::Connect(server.port());
+  ASSERT_TRUE(queued.ok());
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (server.queue_depth() < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(server.queue_depth(), 1u);
+
+  // Connection C finds the queue full: immediate 503 from the acceptor.
+  auto shed = HttpClient::Connect(server.port());
+  ASSERT_TRUE(shed.ok());
+  auto rejection = shed->ReadResponse();
+  ASSERT_TRUE(rejection.ok()) << rejection.status().ToString();
+  EXPECT_EQ(rejection->status, 503);
+  EXPECT_EQ(rejection->Header("retry-after"), "7");
+  EXPECT_GE(server.connections_rejected(), 1u);
+
+  // Release the worker: A completes, then B gets served from the queue.
+  latch.Release();
+  auto released = blocked->ReadResponse();
+  ASSERT_TRUE(released.ok());
+  EXPECT_EQ(released->body, "released\n");
+  blocked->Close();  // free the worker for the queued connection
+  ASSERT_TRUE(queued->SendRaw("GET /ping HTTP/1.1\r\n\r\n"));
+  auto pong = queued->ReadResponse();
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->body, "pong\n");
+  server.Stop();
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndJoinsCleanly) {
+  HttpServer server(EchoRouter(), HttpServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  {
+    auto client = HttpClient::Connect(server.port());
+    ASSERT_TRUE(client.ok());
+    auto response = client->Request("GET", "/ping");
+    ASSERT_TRUE(response.ok());
+  }
+  server.Stop();
+  server.Stop();  // second call is a no-op
+}
+
+}  // namespace
+}  // namespace briq::serve

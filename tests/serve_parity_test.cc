@@ -1,0 +1,236 @@
+// The serving contract: a POST /align response must be byte-identical to
+// what the offline tool renders for the same document and model, with one
+// worker or many, for document-JSON and raw-HTML inputs alike. Both paths
+// go through serve::AlignDocumentJson / AlignHtmlJson, and this suite
+// pins that equivalence over a real socket.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "corpus/generator.h"
+#include "corpus/serialization.h"
+#include "serve/align_service.h"
+#include "serve/http_client.h"
+#include "serve/http_server.h"
+#include "serve/router.h"
+#include "util/json.h"
+
+namespace briq {
+namespace {
+
+using core::BriqConfig;
+using core::BriqSystem;
+using core::PreparedDocument;
+
+std::string TempModelPath() {
+  return "/tmp/briq_serve_parity_model_" + std::to_string(getpid()) + ".briq";
+}
+
+// One trained system (restored from a saved model file, as the real server
+// does) shared by every test in the suite — training dominates runtime.
+class ServeParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::CorpusOptions options;
+    options.num_documents = 16;
+    options.seed = 20190408;  // ICDE'19 deadline-flavored seed
+    corpus_ = new corpus::Corpus(corpus::GenerateCorpus(options));
+
+    BriqConfig config;
+    BriqSystem trainer(config);
+    std::vector<PreparedDocument> prepared;
+    for (size_t i = 0; i < 12; ++i) {
+      prepared.push_back(
+          core::PrepareDocument(corpus_->documents[i], config));
+    }
+    std::vector<const PreparedDocument*> train;
+    for (const PreparedDocument& p : prepared) train.push_back(&p);
+    ASSERT_TRUE(trainer.Train(train).ok());
+
+    // Round-trip through the model file: the server under test serves what
+    // `briq_tool serve --model` would actually load.
+    const std::string path = TempModelPath();
+    ASSERT_TRUE(trainer.SaveModel(path).ok());
+    system_ = new BriqSystem(config);
+    ASSERT_TRUE(system_->LoadModel(path).ok());
+    std::remove(path.c_str());
+  }
+
+  static void TearDownTestSuite() {
+    delete system_;
+    system_ = nullptr;
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+
+  // The held-out documents the tool and the server must agree on.
+  static std::vector<const corpus::Document*> TestDocs() {
+    std::vector<const corpus::Document*> docs;
+    for (size_t i = 12; i < corpus_->documents.size(); ++i) {
+      docs.push_back(&corpus_->documents[i]);
+    }
+    return docs;
+  }
+
+  static std::unique_ptr<serve::HttpServer> StartServer(int num_threads) {
+    serve::Router router;
+    serve::RegisterAlignRoute(&router, system_);
+    serve::HttpServerOptions options;
+    options.num_threads = num_threads;
+    auto server = std::make_unique<serve::HttpServer>(std::move(router), options);
+    EXPECT_TRUE(server->Start().ok());
+    return server;
+  }
+
+  static corpus::Corpus* corpus_;
+  static BriqSystem* system_;
+};
+
+corpus::Corpus* ServeParityTest::corpus_ = nullptr;
+BriqSystem* ServeParityTest::system_ = nullptr;
+
+TEST_F(ServeParityTest, SingleWorkerMatchesOfflineRendering) {
+  auto server = StartServer(/*num_threads=*/1);
+  auto client = serve::HttpClient::Connect(server->port());
+  ASSERT_TRUE(client.ok());
+  for (const corpus::Document* doc : TestDocs()) {
+    const std::string expected = serve::AlignDocumentJson(*system_, *doc);
+    auto response = client->Request(
+        "POST", "/align", corpus::DocumentToJson(*doc).Dump(),
+        {{"Content-Type", "application/json"}});
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->status, 200) << response->body;
+    EXPECT_EQ(response->body, expected) << "doc " << doc->id;
+  }
+  server->Stop();
+}
+
+TEST_F(ServeParityTest, MultiWorkerConcurrentClientsStayByteIdentical) {
+  auto server = StartServer(/*num_threads=*/4);
+  const auto docs = TestDocs();
+  std::vector<std::string> expected;
+  expected.reserve(docs.size());
+  for (const corpus::Document* doc : docs) {
+    expected.push_back(serve::AlignDocumentJson(*system_, *doc));
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 3;
+  std::vector<std::string> failures(kClients);  // empty = clean
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = serve::HttpClient::Connect(server->port());
+      if (!client.ok()) {
+        failures[c] = "connect: " + client.status().ToString();
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < docs.size(); ++i) {
+          auto response = client->Request(
+              "POST", "/align", corpus::DocumentToJson(*docs[i]).Dump(),
+              {{"Content-Type", "application/json"}});
+          if (!response.ok()) {
+            failures[c] = "doc " + std::to_string(i) + ": " +
+                          response.status().ToString();
+            return;
+          }
+          if (response->status != 200) {
+            failures[c] = "doc " + std::to_string(i) + ": status " +
+                          std::to_string(response->status);
+            return;
+          }
+          if (response->body != expected[i]) {
+            failures[c] = "doc " + std::to_string(i) + ": body diverged";
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+  EXPECT_GE(server->requests_served(),
+            static_cast<size_t>(kClients * kRounds * docs.size()));
+  server->Stop();
+}
+
+TEST_F(ServeParityTest, HtmlBodyMatchesOfflineHtmlRendering) {
+  auto server = StartServer(/*num_threads=*/2);
+  auto client = serve::HttpClient::Connect(server->port());
+  ASSERT_TRUE(client.ok());
+  for (const corpus::Document* doc : TestDocs()) {
+    const std::string html = corpus::RenderHtml(*doc);
+    const std::string expected = serve::AlignHtmlJson(*system_, html);
+    auto response = client->Request("POST", "/align", html,
+                                    {{"Content-Type", "text/html"}});
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->status, 200) << response->body;
+    EXPECT_EQ(response->body, expected) << "doc " << doc->id;
+  }
+  server->Stop();
+}
+
+TEST_F(ServeParityTest, JsonWrappedHtmlTakesTheHtmlPath) {
+  auto server = StartServer(/*num_threads=*/1);
+  auto client = serve::HttpClient::Connect(server->port());
+  ASSERT_TRUE(client.ok());
+  const corpus::Document* doc = TestDocs().front();
+  const std::string html = corpus::RenderHtml(*doc);
+  util::Json request = util::Json::Object();
+  request.Set("html", util::Json(html));
+  auto response = client->Request("POST", "/align", request.Dump(),
+                                  {{"Content-Type", "application/json"}});
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  EXPECT_EQ(response->body, serve::AlignHtmlJson(*system_, html));
+  server->Stop();
+}
+
+TEST_F(ServeParityTest, MalformedDocumentJsonIs400) {
+  auto server = StartServer(/*num_threads=*/1);
+  auto client = serve::HttpClient::Connect(server->port());
+  ASSERT_TRUE(client.ok());
+  // Syntactically broken JSON and a non-object document both get 400; the
+  // connection survives either (400 is a routing answer, not a framing
+  // error), so one keep-alive client can probe both.
+  auto broken = client->Request("POST", "/align", "{not json",
+                                {{"Content-Type", "application/json"}});
+  ASSERT_TRUE(broken.ok());
+  EXPECT_EQ(broken->status, 400);
+  auto non_object = client->Request("POST", "/align", "[1,2,3]",
+                                    {{"Content-Type", "application/json"}});
+  ASSERT_TRUE(non_object.ok());
+  EXPECT_EQ(non_object->status, 400);
+  server->Stop();
+}
+
+TEST(ServeWithoutModelTest, UntrainedSystemAnswers503) {
+  serve::Router router;
+  serve::RegisterAlignRoute(&router, nullptr);
+  serve::HttpServerOptions options;
+  options.num_threads = 1;
+  serve::HttpServer server(std::move(router), options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = serve::HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  auto response = client->Request("POST", "/align", "{}",
+                                  {{"Content-Type", "application/json"}});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 503);
+  EXPECT_FALSE(response->Header("retry-after").empty());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace briq

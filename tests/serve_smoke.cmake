@@ -1,8 +1,15 @@
-# Live /metrics scrape smoke test, run by ctest (see tests/CMakeLists.txt):
-# starts `briq_tool align --stream --serve-port 0 --serve-linger 60` in the
-# background, reads the ephemeral port off the tool's stdout, scrapes
-# /metrics over real HTTP with file(DOWNLOAD), asserts Prometheus text
-# format with a briq_align_ family, and ends the linger via /quitquitquit.
+# Serving smoke test, run by ctest (see tests/CMakeLists.txt), two phases:
+#
+# 1. Live /metrics scrape: starts `briq_tool align --stream --serve-port 0
+#    --serve-linger 60` in the background, reads the ephemeral port off the
+#    tool's stdout, scrapes /metrics over real HTTP with file(DOWNLOAD),
+#    asserts Prometheus text format with a briq_align_ family, and ends the
+#    linger via /quitquitquit.
+# 2. POST /align round-trip: trains a model, boots `briq_tool serve
+#    --model`, POSTs one corpus document over a raw bash /dev/tcp socket
+#    (file(DOWNLOAD) cannot POST), byte-compares the response body against
+#    `briq_tool align --json --model` on the same document, and asserts the
+#    process exits within a deadline after /quitquitquit.
 #
 # Expects -DBRIQ_TOOL=<path to binary> and -DWORKDIR=<scratch dir>.
 
@@ -132,4 +139,137 @@ endforeach()
 cleanup()
 if(NOT exited)
   message(FATAL_ERROR "briq_tool kept lingering after /quitquitquit")
+endif()
+
+# ---------------------------------------------------------------------------
+# Phase 2: POST /align round-trip against `briq_tool serve --model`.
+
+run_tool(train "${WORKDIR}/corpus.json" --model-out "${WORKDIR}/model.briq")
+
+# Offline expectation: align --json --model prints exactly the canonical
+# serving JSON for the chosen document.
+set(doc_index 10)
+execute_process(
+  COMMAND "${BRIQ_TOOL}" align "${WORKDIR}/corpus.json" ${doc_index}
+          --json --model "${WORKDIR}/model.briq"
+  RESULT_VARIABLE rv
+  OUTPUT_FILE "${WORKDIR}/expected.json"
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "align --json --model exited with ${rv}:\n${err}")
+endif()
+
+# The same document, extracted from the corpus as the request body.
+find_program(PYTHON3 python3 REQUIRED)
+execute_process(
+  COMMAND "${PYTHON3}" -c
+    "import json, sys
+corpus = json.load(open(sys.argv[1]))
+open(sys.argv[2], 'w').write(json.dumps(corpus['documents'][int(sys.argv[3])]))"
+    "${WORKDIR}/corpus.json" "${WORKDIR}/doc.json" "${doc_index}"
+  RESULT_VARIABLE rv
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "extracting document ${doc_index} failed: ${err}")
+endif()
+
+set(align_log "${WORKDIR}/align_serve_out.txt")
+execute_process(
+  COMMAND "${BASH}" -c
+    "'${BRIQ_TOOL}' serve --model '${WORKDIR}/model.briq' --port 0 \
+       --serve-threads 2 --serve-linger 60 > '${align_log}' 2>&1 & echo $!"
+  OUTPUT_VARIABLE align_pid
+  OUTPUT_STRIP_TRAILING_WHITESPACE)
+
+function(cleanup_align)
+  execute_process(
+    COMMAND "${BASH}" -c "kill ${align_pid} 2>/dev/null || true")
+endfunction()
+
+set(align_port "")
+foreach(attempt RANGE 60)
+  if(EXISTS "${align_log}")
+    file(READ "${align_log}" log)
+    if(log MATCHES "127\\.0\\.0\\.1:([0-9]+)/metrics")
+      set(align_port "${CMAKE_MATCH_1}")
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.5)
+endforeach()
+if(align_port STREQUAL "")
+  cleanup_align()
+  file(READ "${align_log}" log)
+  message(FATAL_ERROR "serve --model announced no port within 30s; log:\n${log}")
+endif()
+
+# file(DOWNLOAD) cannot POST, so speak HTTP/1.1 over bash's /dev/tcp. The
+# response body (everything past the blank line) must be byte-identical to
+# the offline rendering.
+set(posted FALSE)
+foreach(attempt RANGE 20)
+  execute_process(
+    COMMAND "${BASH}" -c
+      "set -e
+       len=$(wc -c < '${WORKDIR}/doc.json')
+       exec 3<>/dev/tcp/127.0.0.1/${align_port}
+       { printf 'POST /align HTTP/1.1\\r\\nHost: smoke\\r\\nContent-Type: application/json\\r\\nContent-Length: %s\\r\\nConnection: close\\r\\n\\r\\n' \"$len\"
+         cat '${WORKDIR}/doc.json'
+       } >&3
+       cat <&3 > '${WORKDIR}/response_raw.txt'
+       exec 3<&- 3>&-"
+    RESULT_VARIABLE rv
+    ERROR_VARIABLE err)
+  if(rv EQUAL 0)
+    file(READ "${WORKDIR}/response_raw.txt" raw)
+    if(raw MATCHES "HTTP/1\\.1 200")
+      set(posted TRUE)
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.5)
+endforeach()
+if(NOT posted)
+  cleanup_align()
+  message(FATAL_ERROR "POST /align never answered 200; last error: ${err}")
+endif()
+
+execute_process(
+  COMMAND "${BASH}" -c
+    "sed '1,/^\\r*$/d' '${WORKDIR}/response_raw.txt' > '${WORKDIR}/response_body.json'"
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  cleanup_align()
+  message(FATAL_ERROR "splitting the response body failed")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${WORKDIR}/response_body.json" "${WORKDIR}/expected.json"
+  RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  cleanup_align()
+  file(READ "${WORKDIR}/response_body.json" got)
+  file(READ "${WORKDIR}/expected.json" want)
+  message(FATAL_ERROR
+    "POST /align is not byte-identical to align --json:\ngot:\n${got}\nwant:\n${want}")
+endif()
+
+# /quitquitquit must terminate the model server within the deadline.
+file(DOWNLOAD "http://127.0.0.1:${align_port}/quitquitquit"
+     "${WORKDIR}/align_quit.txt" STATUS status TIMEOUT 10)
+set(align_exited FALSE)
+foreach(attempt RANGE 40)
+  execute_process(
+    COMMAND "${BASH}" -c "kill -0 ${align_pid} 2>/dev/null"
+    RESULT_VARIABLE alive)
+  if(NOT alive EQUAL 0)
+    set(align_exited TRUE)
+    break()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.5)
+endforeach()
+cleanup_align()
+if(NOT align_exited)
+  message(FATAL_ERROR "serve --model kept running after /quitquitquit")
 endif()

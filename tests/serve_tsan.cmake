@@ -1,0 +1,51 @@
+# Keeps the serving layer's concurrency honest: configures a sub-build
+# with -DBRIQ_SANITIZE=thread, builds the requested test binaries (the
+# protocol-layer suites link only briq_http, so util + obs + serve compile
+# and nothing else), and runs them under TSan. Acceptor/queue/worker
+# handoffs, admission-control rejection, and Stop() teardown all execute
+# with race detection on.
+#
+# Expects -DSOURCE_DIR=<repo root>, -DWORKDIR=<scratch build dir>, and
+# -DTARGETS=<'|'-separated test binary names> ('|' instead of ';' so the
+# list survives add_test argument quoting).
+
+if(NOT SOURCE_DIR OR NOT WORKDIR OR NOT TARGETS)
+  message(FATAL_ERROR
+    "serve_tsan: SOURCE_DIR, WORKDIR, and TARGETS must be set")
+endif()
+
+string(REPLACE "|" ";" test_binaries "${TARGETS}")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${WORKDIR}"
+          -DBRIQ_SANITIZE=thread
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR
+    "configure with -DBRIQ_SANITIZE=thread failed (${rv}):\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" --build "${WORKDIR}"
+          --target ${test_binaries}
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR
+    "build with -DBRIQ_SANITIZE=thread failed (${rv}):\n${out}\n${err}")
+endif()
+
+foreach(binary ${test_binaries})
+  execute_process(
+    COMMAND "${WORKDIR}/tests/${binary}"
+    RESULT_VARIABLE rv
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+      "${binary} failed under TSan (${rv}):\n${out}\n${err}")
+  endif()
+endforeach()

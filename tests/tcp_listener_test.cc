@@ -1,0 +1,149 @@
+// Direct unit coverage for util::TcpListener and util::ClientSocket —
+// previously exercised only end-to-end through the serve smoke test.
+
+#include "util/tcp_listener.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace briq::util {
+namespace {
+
+TEST(TcpListenerTest, ListenOnEphemeralPortResolvesRealPort) {
+  Result<TcpListener> listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  EXPECT_GT(listener->port(), 0);
+}
+
+TEST(TcpListenerTest, AcceptOnceTimesOutWithoutAClient) {
+  Result<TcpListener> listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(listener->AcceptOnce(/*timeout_seconds=*/0.05), -1);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // The timeout must actually bound the wait (wide margin for slow CI).
+  EXPECT_LT(waited, 5.0);
+}
+
+TEST(TcpListenerTest, AcceptClientReturnsInvalidSocketOnTimeout) {
+  Result<TcpListener> listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  ClientSocket conn = listener->AcceptClient(/*timeout_seconds=*/0.05);
+  EXPECT_FALSE(conn.valid());
+}
+
+TEST(TcpListenerTest, AcceptsALoopbackConnection) {
+  Result<TcpListener> listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+
+  Result<ClientSocket> client = ClientSocket::Connect(listener->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  ClientSocket accepted = listener->AcceptClient(/*timeout_seconds=*/5.0);
+  ASSERT_TRUE(accepted.valid());
+
+  // Round-trip a few bytes through the accepted pair.
+  EXPECT_TRUE(client->SendAll("ping"));
+  char buf[16] = {};
+  const ssize_t n = accepted.RecvSome(buf, sizeof(buf), 5.0);
+  ASSERT_EQ(n, 4);
+  EXPECT_EQ(std::string(buf, 4), "ping");
+
+  EXPECT_TRUE(accepted.SendAll("pong"));
+  const ssize_t m = client->RecvSome(buf, sizeof(buf), 5.0);
+  ASSERT_EQ(m, 4);
+  EXPECT_EQ(std::string(buf, 4), "pong");
+}
+
+TEST(TcpListenerTest, MoveConstructionTransfersTheListeningSocket) {
+  Result<TcpListener> listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const uint16_t port = listener->port();
+
+  TcpListener moved(std::move(listener).value());
+  EXPECT_EQ(moved.port(), port);
+
+  // The moved-to listener still accepts.
+  Result<ClientSocket> client = ClientSocket::Connect(port);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ClientSocket accepted = moved.AcceptClient(5.0);
+  EXPECT_TRUE(accepted.valid());
+}
+
+TEST(TcpListenerTest, MoveAssignmentClosesTheOldSocketAndKeepsTheNew) {
+  Result<TcpListener> a = TcpListener::Listen(0);
+  Result<TcpListener> b = TcpListener::Listen(0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const uint16_t port_b = b->port();
+
+  *a = std::move(b).value();  // a's original socket closes here
+  EXPECT_EQ(a->port(), port_b);
+
+  Result<ClientSocket> client = ClientSocket::Connect(port_b);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(a->AcceptClient(5.0).valid());
+}
+
+TEST(TcpListenerTest, DoubleCloseIsSafe) {
+  Result<TcpListener> listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  listener->Close();
+  listener->Close();  // idempotent
+  EXPECT_EQ(listener->AcceptOnce(0.01), -1);
+}
+
+TEST(ClientSocketTest, ConnectToAClosedPortFails) {
+  // Grab an ephemeral port, then close the listener so nothing is bound.
+  Result<TcpListener> listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  const uint16_t port = listener->port();
+  listener->Close();
+  Result<ClientSocket> client = ClientSocket::Connect(port);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(ClientSocketTest, MoveTransfersOwnershipAndDoubleCloseIsSafe) {
+  Result<TcpListener> listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  Result<ClientSocket> client = ClientSocket::Connect(listener->port());
+  ASSERT_TRUE(client.ok());
+  const int fd = client->fd();
+
+  ClientSocket moved(std::move(client).value());
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(moved.fd(), fd);
+
+  ClientSocket assigned;
+  assigned = std::move(moved);
+  EXPECT_FALSE(moved.valid());  // NOLINT(bugprone-use-after-move): asserted
+  EXPECT_TRUE(assigned.valid());
+
+  assigned.Close();
+  assigned.Close();  // idempotent
+  EXPECT_FALSE(assigned.valid());
+  EXPECT_FALSE(assigned.SendAll("x"));
+  char buf[4];
+  EXPECT_EQ(assigned.RecvSome(buf, sizeof(buf), 0.01), -1);
+}
+
+TEST(ClientSocketTest, RecvSomeReportsOrderlyPeerClose) {
+  Result<TcpListener> listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  Result<ClientSocket> client = ClientSocket::Connect(listener->port());
+  ASSERT_TRUE(client.ok());
+  ClientSocket accepted = listener->AcceptClient(5.0);
+  ASSERT_TRUE(accepted.valid());
+
+  client->Close();
+  char buf[4];
+  EXPECT_EQ(accepted.RecvSome(buf, sizeof(buf), 5.0), 0);
+}
+
+}  // namespace
+}  // namespace briq::util
