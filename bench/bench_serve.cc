@@ -24,6 +24,7 @@
 #include "serve/http_client.h"
 #include "serve/http_server.h"
 #include "serve/router.h"
+#include "serve/serve_stats.h"
 #include "util/json.h"
 
 namespace briq {
@@ -38,6 +39,10 @@ struct SweepRow {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  /// Server-side p99 for the level from ServeStats' rolling window —
+  /// excludes client/socket time, so the gap to `p99_ms` is the wire +
+  /// client-scheduling overhead.
+  double window_p99_ms = 0.0;
 };
 
 double PercentileMs(std::vector<double>* sorted_ms, double q) {
@@ -167,12 +172,17 @@ int Main(int argc, char** argv) {
   std::vector<SweepRow> rows;
   double max_sustained_qps = 0.0;
   for (int concurrency : sweep) {
+    // Fresh rolling windows per level, so the window p99 read afterwards
+    // covers exactly this level's requests.
+    serve::ServeStats::Global().Reset();
     SweepRow row = RunLevel(server.port(), bodies, concurrency, seconds);
+    row.window_p99_ms =
+        serve::ServeStats::Global().Window().p99_seconds * 1000.0;
     std::printf(
         "  c=%-2d  %6zu req  %4zu err  %8.1f qps  "
-        "p50 %6.2fms  p95 %6.2fms  p99 %6.2fms\n",
+        "p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  window p99 %6.2fms\n",
         row.concurrency, row.requests, row.errors, row.qps, row.p50_ms,
-        row.p95_ms, row.p99_ms);
+        row.p95_ms, row.p99_ms, row.window_p99_ms);
     // "Sustained" means the level completed without shedding or failures.
     if (row.errors == 0 && row.requests > 0) {
       max_sustained_qps = std::max(max_sustained_qps, row.qps);
@@ -203,6 +213,7 @@ int Main(int argc, char** argv) {
     r.Set("p50_ms", util::Json(row.p50_ms));
     r.Set("p95_ms", util::Json(row.p95_ms));
     r.Set("p99_ms", util::Json(row.p99_ms));
+    r.Set("window_p99_ms", util::Json(row.window_p99_ms));
     sweep_json.Append(std::move(r));
   }
   doc.Set("sweep", std::move(sweep_json));

@@ -23,13 +23,18 @@
 // Under -DBRIQ_NO_METRICS the instruments are no-ops, the snapshots are
 // empty, the flusher is an inert stub, and the bound is trivially zero.
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "bench/harness.h"
+#include "obs/access_log.h"
 #include "obs/export.h"
 #include "obs/flusher.h"
 #include "obs/metrics.h"
+#include "obs/rolling.h"
 #include "obs/trace.h"
 #include "util/stopwatch.h"
 #include "util/table_printer.h"
@@ -79,6 +84,39 @@ int Run() {
   // The classify stopwatch in AdaptiveFilter::Filter is two bare clock
   // reads per mention; a ScopedTimer (two reads + one Observe) bounds it.
   const double clock_pair = timer;
+
+  // Serving-side request observability (DESIGN.md §5i), priced as if every
+  // aligned document were one served request with the rolling SLO windows
+  // and the access log enabled.
+  obs::RollingHistogram rolling_histogram(obs::DefaultLatencyBuckets());
+  obs::RollingCounter rolling_counter;
+  const double rolling_record =
+      SecondsPerOp([&] { rolling_histogram.Record(1e-4); }, kIters);
+  const double rolling_add =
+      SecondsPerOp([&] { rolling_counter.Add(); }, kIters);
+
+  obs::AccessLogOptions log_options;
+  log_options.path = std::filesystem::temp_directory_path() /
+                     ("briq_overhead_" + std::to_string(::getpid()) +
+                      ".jsonl");
+  obs::AccessLog access_log(log_options);
+  obs::AccessLogRecord log_record;
+  log_record.trace_id = "overhead-bench-0123";
+  log_record.method = "POST";
+  log_record.path = "/align";
+  log_record.status = 200;
+  log_record.bytes_in = 512;
+  log_record.bytes_out = 2048;
+  log_record.wall_seconds = 1e-3;
+  log_record.stage_seconds = {{"parse", 1e-4}, {"extract", 2e-4}};
+  double access_write = 0.0;
+  if (access_log.Open().ok()) {
+    // Serialize + append + per-line flush: the dominant serving-side cost.
+    access_write =
+        SecondsPerOp([&] { access_log.Write(log_record); }, kIters / 20);
+    access_log.Close();
+  }
+  std::filesystem::remove(log_options.path);
 
   // --- Real workload with exact event counts -----------------------------
   ExperimentSetup setup = BuildSetup(/*num_documents=*/80, /*seed=*/2024);
@@ -155,6 +193,11 @@ int Run() {
       // Stage timers: four ScopedTimers per document (align/filter/
       // resolve/classify) on top of the Observe already counted.
       static_cast<double>(4 * documents) * timer +
+      // Serving-side per-request price: ServeStats::RecordRequest touches
+      // two RouteWindows (route + aggregate), each one rolling-histogram
+      // record and two rolling-counter adds, plus one access-log line.
+      static_cast<double>(documents) *
+          (2.0 * rolling_record + 4.0 * rolling_add + access_write) +
       // Flusher cadence, billed as if its snapshots ran on this core.
       static_cast<double>(flushes) * flush_price;
   const double fraction = wall > 0.0 ? bound_seconds / wall : 0.0;
@@ -174,6 +217,9 @@ int Run() {
   printer.AddRow({"workload documents", FmtCount(documents)});
   printer.AddRow({"workload mentions", FmtCount(mentions)});
   printer.AddRow({"histogram observes", FmtCount(observes)});
+  printer.AddRow({"rolling Record", ns(rolling_record) + " ns"});
+  printer.AddRow({"rolling counter Add", ns(rolling_add) + " ns"});
+  printer.AddRow({"access-log Write", ns(access_write) + " ns"});
   printer.AddRow({"flush (snapshot+json)", ns(flush_price) + " ns"});
   printer.AddRow({"flushes in window", FmtCount(flushes)});
   printer.AddRow({"workload wall", Fmt2(wall) + " s"});

@@ -46,12 +46,15 @@
 #include "corpus/generator.h"
 #include "corpus/serialization.h"
 #include "corpus/shard_io.h"
+#include "obs/access_log.h"
 #include "obs/export.h"
 #include "obs/flusher.h"
 #include "obs/prometheus.h"
 #include "obs/trace_export.h"
 #include "serve/align_service.h"
 #include "serve/http_server.h"
+#include "serve/statusz.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/table_printer.h"
 
@@ -81,6 +84,11 @@ void PrintUsage(std::ostream& out) {
       "  briq_tool serve [--model <model>] [--port <p>]"
       " [--serve-threads <n>]\n"
       "                  [--queue-capacity <q>] [--serve-linger <sec>]\n"
+      "                  [--access-log <path>] [--retry-after-seconds <n>]\n"
+      "                  [--slow-request-seconds <sec>] [--trace-out <path>]\n"
+      "  briq_tool logcheck <file.jsonl> [--require k1,k2,...]\n"
+      "                                                  verify a JSONL file\n"
+      "                                                  (e.g. the access log)\n"
       "\n"
       "flags:\n"
       "  --json                (align) print the alignment as canonical\n"
@@ -139,6 +147,20 @@ void PrintUsage(std::ostream& out) {
       "                              the workers (default 64); when full the\n"
       "                              acceptor sheds load with 503 +\n"
       "                              Retry-After instead of queueing\n"
+      "  --retry-after-seconds <n>   Retry-After value sent with shed 503s\n"
+      "                              (default 1)\n"
+      "  --access-log <path>         append one JSON line per request (trace\n"
+      "                              id, route, status, bytes, wall +\n"
+      "                              per-stage seconds, queue wait); rotates\n"
+      "                              by size (--access-log-max-bytes <n>)\n"
+      "  --slow-request-seconds <s>  requests at least this slow are kept in\n"
+      "                              the /statusz slow-request ring and, with\n"
+      "                              --trace-out, always exported regardless\n"
+      "                              of --trace-sample (default 0.5)\n"
+      "\n"
+      "  GET /statusz serves a self-contained HTML debug page (build/model\n"
+      "  info, rolling p50/p95/p99 per route, queue depth, slow requests);\n"
+      "  every response carries X-Briq-Trace-Id and Server-Timing headers.\n"
       "\n"
       "environment:\n"
       "  BRIQ_LOG_LEVEL        debug|info|warning|error — minimum log level\n"
@@ -769,6 +791,7 @@ int Serve(int argc, char** argv) {
   // --model: the "serve many" half of train-once-serve-many — the model
   // loads once here and is shared read-only across every worker thread.
   std::unique_ptr<core::BriqSystem> system;
+  std::string model_info;
   if (const std::optional<std::string> model =
           FlagValue(argc, argv, "--model")) {
     system = std::make_unique<core::BriqSystem>(core::BriqConfig{});
@@ -778,6 +801,7 @@ int Serve(int argc, char** argv) {
       return 1;
     }
     std::cout << "loaded model " << *model << "\n";
+    model_info = *model;
   }
 
   serve::HttpServerOptions options;
@@ -800,6 +824,18 @@ int Serve(int argc, char** argv) {
     if (!parsed || *parsed == 0) return Usage();
     options.queue_capacity = *parsed;
   }
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--retry-after-seconds")) {
+    const std::optional<size_t> parsed = ParseSize(v->c_str());
+    if (!parsed) return Usage();
+    options.retry_after_seconds = static_cast<int>(*parsed);
+  }
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--slow-request-seconds")) {
+    const std::optional<double> parsed = ParseDouble(v->c_str());
+    if (!parsed) return Usage();
+    options.slow_request_seconds = *parsed;
+  }
   double linger_seconds = 3600.0;
   if (const std::optional<std::string> v =
           FlagValue(argc, argv, "--serve-linger")) {
@@ -808,10 +844,62 @@ int Serve(int argc, char** argv) {
     linger_seconds = *parsed;
   }
 
+  // --access-log: structured per-request JSONL (fail fast on an unwritable
+  // path — silently serving unlogged would defeat the point).
+  std::unique_ptr<obs::AccessLog> access_log;
+  if (const std::optional<std::string> path =
+          FlagValue(argc, argv, "--access-log")) {
+    obs::AccessLogOptions log_options;
+    log_options.path = *path;
+    if (const std::optional<std::string> v =
+            FlagValue(argc, argv, "--access-log-max-bytes")) {
+      const std::optional<size_t> parsed = ParseSize(v->c_str());
+      if (!parsed) return Usage();
+      log_options.max_bytes = *parsed;
+    }
+    access_log = std::make_unique<obs::AccessLog>(log_options);
+    const util::Status status = access_log->Open();
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+    options.access_log = access_log.get();
+  }
+
+  // --trace-out: same exporter the batch commands use, with every request
+  // slower than the /statusz threshold pinned into the export regardless
+  // of the sampling fraction.
+  std::unique_ptr<obs::TraceExporter> exporter;
+  if (const std::optional<std::string> trace_out =
+          FlagValue(argc, argv, "--trace-out")) {
+    obs::TraceExportOptions trace_options;
+    trace_options.path = *trace_out;
+    if (const std::optional<std::string> v =
+            FlagValue(argc, argv, "--trace-sample")) {
+      const std::optional<double> parsed = ParseDouble(v->c_str());
+      if (!parsed || *parsed < 0.0 || *parsed > 1.0) return Usage();
+      trace_options.sample_fraction = *parsed;
+    }
+    if (const std::optional<std::string> v =
+            FlagValue(argc, argv, "--trace-slowest")) {
+      const std::optional<size_t> parsed = ParseSize(v->c_str());
+      if (!parsed) return Usage();
+      trace_options.slowest_per_window = *parsed;
+    }
+    trace_options.always_keep_slower_than_seconds =
+        options.slow_request_seconds;
+    exporter = std::make_unique<obs::TraceExporter>(trace_options);
+    exporter->Attach();
+  }
+
   std::atomic<bool> quit{false};
   serve::Router router;
   serve::RegisterDiagnosticRoutes(&router, &quit);
   serve::RegisterAlignRoute(&router, system.get());
+  serve::StatuszInfo statusz_info;
+  statusz_info.build_info = "briq_tool serve";
+  statusz_info.model_info = model_info;
+  serve::RegisterStatuszRoute(&router, statusz_info);
 
   serve::HttpServer server(std::move(router), options);
   const util::Status status = server.Start();
@@ -836,6 +924,73 @@ int Serve(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   server.Stop();
+  if (exporter != nullptr) {
+    exporter->Detach();
+    const util::Status flush_status = exporter->Flush();
+    if (!flush_status.ok()) std::cerr << flush_status.ToString() << "\n";
+  }
+  if (access_log != nullptr) {
+    access_log->Close();
+    if (!access_log->status().ok()) {
+      std::cerr << access_log->status().ToString() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+/// `briq_tool logcheck <file.jsonl> [--require k1,k2,...]`: verifies a
+/// JSONL file (the access log, the metrics flusher's output) is
+/// well-formed — every non-empty line parses as a JSON object carrying
+/// every required key. CI uses it to validate the access log after a
+/// serve run.
+int LogCheck(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::vector<std::string> required;
+  if (const std::optional<std::string> keys =
+          FlagValue(argc, argv, "--require")) {
+    std::string key;
+    for (const char c : *keys + ",") {
+      if (c == ',') {
+        if (!key.empty()) required.push_back(key);
+        key.clear();
+      } else {
+        key.push_back(c);
+      }
+    }
+  }
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::cerr << "logcheck: cannot open " << argv[2] << "\n";
+    return 1;
+  }
+  std::string line;
+  size_t line_number = 0;
+  size_t checked = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    util::Result<util::Json> parsed = util::Json::Parse(line);
+    if (!parsed.ok()) {
+      std::cerr << "logcheck: " << argv[2] << ":" << line_number
+                << ": not valid JSON: " << parsed.status().message() << "\n";
+      return 1;
+    }
+    if (!parsed->is_object()) {
+      std::cerr << "logcheck: " << argv[2] << ":" << line_number
+                << ": not a JSON object\n";
+      return 1;
+    }
+    for (const std::string& key : required) {
+      if (!parsed->Has(key)) {
+        std::cerr << "logcheck: " << argv[2] << ":" << line_number
+                  << ": missing required key \"" << key << "\"\n";
+        return 1;
+      }
+    }
+    ++checked;
+  }
+  std::cout << checked << " line(s) ok\n";
   return 0;
 }
 
@@ -876,6 +1031,7 @@ int main(int argc, char** argv) {
   if (cmd == "shard") return MaybeWriteMetrics(argc, argv, Shard(argc, argv));
   if (cmd == "stats") return Stats(argc, argv);
   if (cmd == "serve") return Serve(argc, argv);
+  if (cmd == "logcheck") return LogCheck(argc, argv);
   if (cmd == "eval") {
     return RunWithTelemetry(argc, argv, "briq.align.documents",
                             [&] { return Eval(argc, argv); });

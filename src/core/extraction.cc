@@ -1,6 +1,7 @@
 #include "core/extraction.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -79,6 +80,12 @@ PreparedDocument PrepareDocument(const corpus::Document& doc,
   out.paragraph_token_offset.resize(num_paragraphs, 0);
 
   size_t token_offset = 0;
+  // Stage span "parse": the text side (tokenization, sentence splitting,
+  // quantity parsing) of the per-request stage breakdown; re-emplaced as
+  // "extract" for the table side below (LIFO on this thread, so the
+  // ScopedSpan stack contract holds).
+  std::optional<obs::ScopedSpan> stage_span;
+  stage_span.emplace("parse");
   for (size_t p = 0; p < num_paragraphs; ++p) {
     const std::string& para = doc.paragraphs[p];
     out.paragraph_tokens[p] = text::Tokenize(para);
@@ -105,6 +112,8 @@ PreparedDocument PrepareDocument(const corpus::Document& doc,
   out.total_tokens = token_offset;
 
   // --- Table side ---------------------------------------------------------------
+  // Stage span "extract": virtual-cell generation + table context bags.
+  stage_span.emplace("extract");
   out.table_contexts.resize(doc.tables.size());
   for (size_t t = 0; t < doc.tables.size(); ++t) {
     const table::Table& tbl = doc.tables[t];
@@ -139,6 +148,7 @@ PreparedDocument PrepareDocument(const corpus::Document& doc,
     ctx.all_words = ContextTokens(all);
     ctx.all_phrases = StemmedPhrases(all);
   }
+  stage_span.reset();
 
   return out;
 }

@@ -1,0 +1,130 @@
+#include "obs/access_log.h"
+
+#include <filesystem>
+#include <string>
+
+namespace briq::obs {
+
+util::Json AccessLogRecordJson(const AccessLogRecord& record) {
+  util::Json line = util::Json::Object();
+  line.Set("trace_id", record.trace_id);
+  line.Set("method", record.method);
+  line.Set("path", record.path);
+  line.Set("status", record.status);
+  line.Set("bytes_in", static_cast<double>(record.bytes_in));
+  line.Set("bytes_out", static_cast<double>(record.bytes_out));
+  line.Set("wall_seconds", record.wall_seconds);
+  line.Set("queue_wait_seconds", record.queue_wait_seconds);
+  line.Set("unix_seconds", record.unix_seconds);
+  util::Json stages = util::Json::Object();
+  for (const auto& [name, seconds] : record.stage_seconds) {
+    stages.Set(name, seconds);
+  }
+  line.Set("stages", std::move(stages));
+  return line;
+}
+
+#ifndef BRIQ_NO_METRICS
+
+namespace {
+std::string GenerationPath(const std::string& path, size_t generation) {
+  return path + "." + std::to_string(generation);
+}
+}  // namespace
+
+AccessLog::AccessLog(AccessLogOptions options)
+    : options_(std::move(options)) {}
+
+AccessLog::~AccessLog() { Close(); }
+
+util::Status AccessLog::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_) return util::Status::Internal("access log already open");
+  out_.open(options_.path, std::ios::app);
+  if (!out_) {
+    return util::Status::NotFound("cannot open access log: " + options_.path);
+  }
+  std::error_code ec;
+  const auto existing = std::filesystem::file_size(options_.path, ec);
+  active_bytes_ = ec ? 0 : static_cast<uint64_t>(existing);
+  open_ = true;
+  return util::Status::OK();
+}
+
+void AccessLog::RotateLocked() {
+  out_.close();
+  std::error_code ec;
+  // Shift generations oldest-first so each rename lands on a free name.
+  const size_t keep = options_.max_rotated_files < 1
+                          ? 1
+                          : options_.max_rotated_files;
+  std::filesystem::remove(GenerationPath(options_.path, keep), ec);
+  for (size_t g = keep; g > 1; --g) {
+    ec.clear();
+    std::filesystem::rename(GenerationPath(options_.path, g - 1),
+                            GenerationPath(options_.path, g), ec);
+    // A missing older generation is normal early in a run; ignore.
+  }
+  ec.clear();
+  std::filesystem::rename(options_.path, GenerationPath(options_.path, 1),
+                          ec);
+  if (ec && status_.ok()) {
+    status_ =
+        util::Status::Internal("access log rotation failed: " + ec.message());
+  }
+  out_.open(options_.path, std::ios::app);
+  if (!out_ && status_.ok()) {
+    status_ = util::Status::Internal("access log reopen failed: " +
+                                     options_.path);
+  }
+  active_bytes_ = 0;
+  ++rotations_;
+}
+
+void AccessLog::Write(const AccessLogRecord& record) {
+  const std::string line = AccessLogRecordJson(record).Dump(/*indent=*/-1);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_ || !status_.ok()) return;
+  if (options_.max_bytes > 0 &&
+      active_bytes_ + line.size() + 1 > options_.max_bytes &&
+      active_bytes_ > 0) {
+    RotateLocked();
+    if (!status_.ok()) return;
+  }
+  out_ << line << '\n';
+  out_.flush();  // crash-safety: the line is in the OS before we return
+  if (!out_.good()) {
+    status_ = util::Status::Internal("access log write failed: " +
+                                     options_.path);
+    return;
+  }
+  active_bytes_ += line.size() + 1;
+  ++lines_;
+}
+
+void AccessLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return;
+  out_.flush();
+  out_.close();
+  open_ = false;
+}
+
+size_t AccessLog::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+size_t AccessLog::rotations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rotations_;
+}
+
+util::Status AccessLog::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+#endif  // BRIQ_NO_METRICS
+
+}  // namespace briq::obs

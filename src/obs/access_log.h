@@ -1,0 +1,124 @@
+#ifndef BRIQ_OBS_ACCESS_LOG_H_
+#define BRIQ_OBS_ACCESS_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+#ifndef BRIQ_NO_METRICS
+#include <fstream>
+#include <mutex>
+#endif
+
+namespace briq::obs {
+
+/// Structured per-request access log (DESIGN.md §5i): one JSON object per
+/// line, written append-only with the flusher's crash-safety contract —
+/// every line is complete JSON flushed to the OS before Write returns, so
+/// a crash loses at most the request being written, never tears a line.
+///
+/// Rotation is size-based: when the active file would exceed `max_bytes`,
+/// it is atomically renamed to `<path>.1` (prior generations shift to
+/// `.2`, `.3`, ... up to `max_rotated_files`, the oldest deleted) and a
+/// fresh file is started. Renames are atomic within a filesystem, so every
+/// line ever written is in exactly one generation — none are lost or
+/// duplicated mid-rotation.
+///
+/// With -DBRIQ_NO_METRICS the class is an inert stub: Open() succeeds
+/// without touching the filesystem and Write() is a no-op.
+
+/// One request, as logged. `stage_seconds` carries the per-stage span
+/// breakdown (obs::OpenSpanStageSeconds) in pipeline order.
+struct AccessLogRecord {
+  std::string trace_id;
+  std::string method;
+  std::string path;
+  int status = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  double wall_seconds = 0.0;
+  double queue_wait_seconds = 0.0;
+  /// Wall-clock time of the request (unix seconds, system_clock).
+  double unix_seconds = 0.0;
+  std::vector<std::pair<std::string, double>> stage_seconds;
+};
+
+/// Serialization used for every line; exposed so tests and offline readers
+/// share one schema definition.
+util::Json AccessLogRecordJson(const AccessLogRecord& record);
+
+/// Tuning knobs of an AccessLog.
+struct AccessLogOptions {
+  /// Active log file; opened in append mode (a restart continues the file).
+  std::string path;
+  /// Rotate once the active file exceeds this size. 0 disables rotation.
+  uint64_t max_bytes = 64ull << 20;
+  /// Rotated generations kept (`<path>.1` newest ... `<path>.N` oldest).
+  size_t max_rotated_files = 3;
+};
+
+#ifndef BRIQ_NO_METRICS
+
+class AccessLog {
+ public:
+  explicit AccessLog(AccessLogOptions options);
+  ~AccessLog();
+
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Opens (or creates) the active file in append mode.
+  util::Status Open();
+
+  /// Serializes `record` as one JSONL line and flushes it. Thread-safe;
+  /// write errors latch into status() and further writes are dropped
+  /// (serving never fails because its log disk is full).
+  void Write(const AccessLogRecord& record);
+
+  /// Flushes and closes the active file. Idempotent; run by the destructor.
+  void Close();
+
+  /// Lines successfully written since Open (across rotations).
+  size_t lines_written() const;
+  /// Rotations performed since Open.
+  size_t rotations() const;
+  /// First write/rotate error, if any (sticky).
+  util::Status status() const;
+
+ private:
+  /// Shifts generations and reopens a fresh active file. Caller holds mu_.
+  void RotateLocked();
+
+  const AccessLogOptions options_;
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  bool open_ = false;
+  uint64_t active_bytes_ = 0;
+  size_t lines_ = 0;
+  size_t rotations_ = 0;
+  util::Status status_;
+};
+
+#else  // BRIQ_NO_METRICS
+
+class AccessLog {
+ public:
+  explicit AccessLog(AccessLogOptions) {}
+  util::Status Open() { return util::Status::OK(); }
+  void Write(const AccessLogRecord&) {}
+  void Close() {}
+  size_t lines_written() const { return 0; }
+  size_t rotations() const { return 0; }
+  util::Status status() const { return util::Status::OK(); }
+};
+
+#endif  // BRIQ_NO_METRICS
+
+}  // namespace briq::obs
+
+#endif  // BRIQ_OBS_ACCESS_LOG_H_

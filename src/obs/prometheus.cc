@@ -93,6 +93,19 @@ std::string MetricsToPrometheus(const MetricsSnapshot& snapshot,
   return out;
 }
 
+void AppendPrometheusGauge(
+    std::string* out, const std::string& name, const std::string& help,
+    const std::vector<std::pair<std::string, double>>& series) {
+  const std::string prom = PrometheusName(name);
+  *out += "# HELP " + prom + " " + help + "\n";
+  *out += "# TYPE " + prom + " gauge\n";
+  for (const auto& [labels, value] : series) {
+    *out += prom;
+    if (!labels.empty()) *out += "{" + labels + "}";
+    *out += " " + FormatDouble(value) + "\n";
+  }
+}
+
 #ifndef BRIQ_NO_METRICS
 
 MetricsHttpServer::MetricsHttpServer() = default;

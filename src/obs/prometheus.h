@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "util/status.h"
@@ -47,6 +49,17 @@ std::string PrometheusName(const std::string& name);
 /// The default -1 omits both — deterministic output for tests and diffs.
 std::string MetricsToPrometheus(const MetricsSnapshot& snapshot,
                                 double scrape_unix_seconds = -1.0);
+
+/// Appends one double-valued gauge family to `out`: a single HELP/TYPE
+/// pair followed by one sample line per (labels, value) entry, `%.9g`
+/// value rendering. The registry's gauges are integral; families derived
+/// from richer state — the serving layer's rolling-window percentiles and
+/// rates — use this to join the same exposition page. `name` is mangled
+/// via PrometheusName; each entry's labels must be pre-rendered
+/// ('key="value",...') or empty for an unlabelled sample.
+void AppendPrometheusGauge(
+    std::string* out, const std::string& name, const std::string& help,
+    const std::vector<std::pair<std::string, double>>& series);
 
 /// Blocking single-threaded HTTP responder serving the global registry:
 ///   GET /metrics      -> 200 text/plain; version=0.0.4 exposition

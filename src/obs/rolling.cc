@@ -1,0 +1,131 @@
+#include "obs/rolling.h"
+
+#ifndef BRIQ_NO_METRICS
+
+#include <algorithm>
+
+namespace briq::obs {
+
+namespace {
+int64_t EpochOf(double now_seconds, double sub_seconds) {
+  const int64_t epoch = static_cast<int64_t>(now_seconds / sub_seconds);
+  return epoch < 0 ? 0 : epoch;
+}
+
+double MonotonicSeconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+// --- RollingHistogram -------------------------------------------------------
+
+RollingHistogram::RollingHistogram(std::vector<double> bounds,
+                                   double window_seconds, size_t sub_windows)
+    : bounds_(std::move(bounds)),
+      sub_seconds_(window_seconds / (sub_windows < 1 ? 1 : sub_windows)),
+      num_slots_(sub_windows < 1 ? 1 : sub_windows),
+      slots_(num_slots_),
+      t0_(std::chrono::steady_clock::now()) {
+  for (Slot& slot : slots_) {
+    slot.buckets = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+double RollingHistogram::NowSeconds() const { return MonotonicSeconds(t0_); }
+
+RollingHistogram::Slot* RollingHistogram::AcquireSlot(int64_t epoch) {
+  Slot& slot = slots_[static_cast<size_t>(epoch) % num_slots_];
+  const int64_t tenant = slot.epoch.load(std::memory_order_acquire);
+  if (tenant == epoch) return &slot;
+  if (tenant > epoch) return nullptr;  // laggard clock: drop, don't corrupt
+  // First recorder of this sub-window recycles the slot: zero it, then
+  // publish the new epoch. Racing recorders either wait here or, having
+  // already loaded the new epoch, add after the release store — never into
+  // half-zeroed state with a *newer* tenant.
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  const int64_t again = slot.epoch.load(std::memory_order_relaxed);
+  if (again == epoch) return &slot;
+  if (again > epoch) return nullptr;
+  for (auto& bucket : slot.buckets) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  slot.count.store(0, std::memory_order_relaxed);
+  slot.sum.store(0.0, std::memory_order_relaxed);
+  slot.epoch.store(epoch, std::memory_order_release);
+  return &slot;
+}
+
+void RollingHistogram::RecordAt(double value, double now_seconds) {
+  Slot* slot = AcquireSlot(EpochOf(now_seconds, sub_seconds_));
+  if (slot == nullptr) return;
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  slot->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  slot->count.fetch_add(1, std::memory_order_relaxed);
+  slot->sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+HistogramSnapshot RollingHistogram::SnapshotAt(double now_seconds) const {
+  const int64_t current = EpochOf(now_seconds, sub_seconds_);
+  const int64_t oldest = current - static_cast<int64_t>(num_slots_) + 1;
+  HistogramSnapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.assign(bounds_.size() + 1, 0);
+  for (const Slot& slot : slots_) {
+    const int64_t epoch = slot.epoch.load(std::memory_order_acquire);
+    if (epoch < oldest || epoch > current) continue;  // expired or unused
+    for (size_t i = 0; i < slot.buckets.size(); ++i) {
+      snapshot.counts[i] += slot.buckets[i].load(std::memory_order_relaxed);
+    }
+    snapshot.count += slot.count.load(std::memory_order_relaxed);
+    snapshot.sum += slot.sum.load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+// --- RollingCounter ---------------------------------------------------------
+
+RollingCounter::RollingCounter(double window_seconds, size_t sub_windows)
+    : sub_seconds_(window_seconds / (sub_windows < 1 ? 1 : sub_windows)),
+      num_slots_(sub_windows < 1 ? 1 : sub_windows),
+      slots_(num_slots_),
+      t0_(std::chrono::steady_clock::now()) {}
+
+double RollingCounter::NowSeconds() const { return MonotonicSeconds(t0_); }
+
+RollingCounter::Slot* RollingCounter::AcquireSlot(int64_t epoch) {
+  Slot& slot = slots_[static_cast<size_t>(epoch) % num_slots_];
+  const int64_t tenant = slot.epoch.load(std::memory_order_acquire);
+  if (tenant == epoch) return &slot;
+  if (tenant > epoch) return nullptr;
+  std::lock_guard<std::mutex> lock(rotate_mu_);
+  const int64_t again = slot.epoch.load(std::memory_order_relaxed);
+  if (again == epoch) return &slot;
+  if (again > epoch) return nullptr;
+  slot.count.store(0, std::memory_order_relaxed);
+  slot.epoch.store(epoch, std::memory_order_release);
+  return &slot;
+}
+
+void RollingCounter::AddAt(uint64_t n, double now_seconds) {
+  Slot* slot = AcquireSlot(EpochOf(now_seconds, sub_seconds_));
+  if (slot != nullptr) slot->count.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t RollingCounter::CountAt(double now_seconds) const {
+  const int64_t current = EpochOf(now_seconds, sub_seconds_);
+  const int64_t oldest = current - static_cast<int64_t>(num_slots_) + 1;
+  uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    const int64_t epoch = slot.epoch.load(std::memory_order_acquire);
+    if (epoch < oldest || epoch > current) continue;
+    total += slot.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace briq::obs
+
+#endif  // BRIQ_NO_METRICS

@@ -1,0 +1,158 @@
+#ifndef BRIQ_OBS_ROLLING_H_
+#define BRIQ_OBS_ROLLING_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace briq::obs {
+
+/// Rolling-window instruments (DESIGN.md §5i): answer "what is p99 / QPS
+/// *right now*" where the cumulative registry instruments only answer
+/// "since process start".
+///
+/// A RollingHistogram is a ring of `sub_windows` bucketed sub-window
+/// slots, each tagged with the epoch (floor(now / sub_seconds)) it
+/// currently holds. The record path is the same shape as
+/// obs::Histogram::Observe — relaxed atomic adds on the slot's buckets —
+/// plus one relaxed epoch load; a mutex is taken only by the first
+/// recorder to enter a new sub-window (to zero the recycled slot), i.e.
+/// once per sub-window per instrument, never per event. Snapshot()
+/// aggregates only slots whose epoch lies inside the live window, so
+/// idle gaps age out correctly without a background thread.
+///
+/// Clocks are injectable: every operation has an `*At(..., now_seconds)`
+/// variant taking monotonic seconds on any caller-chosen origin, which the
+/// tests use for deterministic expiry/rotation coverage. The plain
+/// variants use a steady clock anchored at construction.
+///
+/// Concurrency: records are atomic, so the structure is data-race free
+/// (TSan-clean); a record racing a slot recycle may land in (or be zeroed
+/// out of) the adjacent sub-window, which skews one sub-window's counts by
+/// at most the events in flight at the boundary — noise for an SLO window,
+/// never a torn read. Records from a "laggard" clock (an epoch older than
+/// the slot's current tenant) are dropped rather than corrupting a newer
+/// sub-window.
+///
+/// Under -DBRIQ_NO_METRICS both classes compile to inert inline stubs.
+
+#ifndef BRIQ_NO_METRICS
+
+class RollingHistogram {
+ public:
+  /// `bounds` are inclusive upper edges (the Prometheus `le` convention),
+  /// sorted ascending, with an implicit overflow bucket; the live window
+  /// spans `window_seconds`, split into `sub_windows` equal slots.
+  explicit RollingHistogram(std::vector<double> bounds,
+                            double window_seconds = 60.0,
+                            size_t sub_windows = 12);
+
+  void Record(double value) { RecordAt(value, NowSeconds()); }
+  void RecordAt(double value, double now_seconds);
+
+  /// Aggregation of the sub-windows still inside the live window ending at
+  /// `now_seconds`. The current (partial) sub-window is included.
+  HistogramSnapshot Snapshot() const { return SnapshotAt(NowSeconds()); }
+  HistogramSnapshot SnapshotAt(double now_seconds) const;
+
+  double window_seconds() const { return sub_seconds_ * num_slots_; }
+  /// Monotonic seconds since construction — the clock behind the
+  /// non-injected entry points, exposed so companion instruments can share
+  /// a timeline with this one in tests.
+  double NowSeconds() const;
+
+ private:
+  struct alignas(64) Slot {
+    /// Epoch this slot currently holds, -1 while never used. Written under
+    /// rotate_mu_ after the slot is zeroed; read relaxed on every record.
+    std::atomic<int64_t> epoch{-1};
+    std::vector<std::atomic<uint64_t>> buckets;  // bounds.size() + 1
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  /// Slot for `epoch`, recycling it under rotate_mu_ if a new sub-window
+  /// just began; nullptr when `epoch` is older than the slot's tenant.
+  Slot* AcquireSlot(int64_t epoch);
+
+  const std::vector<double> bounds_;
+  const double sub_seconds_;
+  const size_t num_slots_;
+  std::vector<Slot> slots_;
+  std::mutex rotate_mu_;
+  const std::chrono::steady_clock::time_point t0_;
+};
+
+/// Rolling event counter over the same sub-window ring; backs windowed
+/// QPS and error-rate gauges.
+class RollingCounter {
+ public:
+  explicit RollingCounter(double window_seconds = 60.0,
+                          size_t sub_windows = 12);
+
+  void Add(uint64_t n = 1) { AddAt(n, NowSeconds()); }
+  void AddAt(uint64_t n, double now_seconds);
+
+  /// Events inside the live window ending at `now_seconds`.
+  uint64_t Count() const { return CountAt(NowSeconds()); }
+  uint64_t CountAt(double now_seconds) const;
+
+  /// CountAt / window_seconds — the windowed rate (e.g. QPS).
+  double RatePerSecondAt(double now_seconds) const {
+    return static_cast<double>(CountAt(now_seconds)) / window_seconds();
+  }
+
+  double window_seconds() const { return sub_seconds_ * num_slots_; }
+  double NowSeconds() const;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<int64_t> epoch{-1};
+    std::atomic<uint64_t> count{0};
+  };
+
+  Slot* AcquireSlot(int64_t epoch);
+
+  const double sub_seconds_;
+  const size_t num_slots_;
+  std::vector<Slot> slots_;
+  std::mutex rotate_mu_;
+  const std::chrono::steady_clock::time_point t0_;
+};
+
+#else  // BRIQ_NO_METRICS
+
+class RollingHistogram {
+ public:
+  explicit RollingHistogram(std::vector<double> = {}, double = 60.0,
+                            size_t = 12) {}
+  void Record(double) {}
+  void RecordAt(double, double) {}
+  HistogramSnapshot Snapshot() const { return {}; }
+  HistogramSnapshot SnapshotAt(double) const { return {}; }
+  double window_seconds() const { return 0.0; }
+  double NowSeconds() const { return 0.0; }
+};
+
+class RollingCounter {
+ public:
+  explicit RollingCounter(double = 60.0, size_t = 12) {}
+  void Add(uint64_t = 1) {}
+  void AddAt(uint64_t, double) {}
+  uint64_t Count() const { return 0; }
+  uint64_t CountAt(double) const { return 0; }
+  double RatePerSecondAt(double) const { return 0.0; }
+  double window_seconds() const { return 0.0; }
+  double NowSeconds() const { return 0.0; }
+};
+
+#endif  // BRIQ_NO_METRICS
+
+}  // namespace briq::obs
+
+#endif  // BRIQ_OBS_ROLLING_H_

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace briq::obs {
@@ -66,6 +67,23 @@ void TraceRing::Clear() {
 namespace {
 /// Innermost open span of this thread (nullptr outside any span).
 thread_local ScopedSpan* t_current_span = nullptr;
+/// Ambient trace id of this thread ("" outside any ScopedTraceId).
+thread_local std::string t_trace_id;
+
+void SumStages(const SpanNode& node,
+               std::vector<std::pair<std::string, double>>* stages) {
+  for (const SpanNode& child : node.children) {
+    auto it = std::find_if(
+        stages->begin(), stages->end(),
+        [&](const auto& stage) { return stage.first == child.name; });
+    if (it == stages->end()) {
+      stages->emplace_back(child.name, child.duration_seconds);
+    } else {
+      it->second += child.duration_seconds;
+    }
+    SumStages(child, stages);
+  }
+}
 }  // namespace
 
 ScopedSpan::ScopedSpan(std::string_view name)
@@ -84,6 +102,7 @@ ScopedSpan::~ScopedSpan() {
   if (parent_ != nullptr) {
     parent_->node_.children.push_back(std::move(node_));
   } else {
+    node_.trace_id = t_trace_id;
     TraceRing::Global().Record(std::move(node_));
   }
 }
@@ -95,6 +114,21 @@ void AttachLeafSpan(std::string_view name, double duration_seconds) {
   leaf.start_seconds = -1.0;  // aggregated: no single start offset exists
   leaf.duration_seconds = duration_seconds;
   t_current_span->node_.children.push_back(std::move(leaf));
+}
+
+ScopedTraceId::ScopedTraceId(std::string trace_id)
+    : previous_(std::move(t_trace_id)) {
+  t_trace_id = std::move(trace_id);
+}
+
+ScopedTraceId::~ScopedTraceId() { t_trace_id = std::move(previous_); }
+
+const std::string& CurrentTraceId() { return t_trace_id; }
+
+std::vector<std::pair<std::string, double>> OpenSpanStageSeconds() {
+  std::vector<std::pair<std::string, double>> stages;
+  if (t_current_span != nullptr) SumStages(t_current_span->node_, &stages);
+  return stages;
 }
 
 #endif  // BRIQ_NO_METRICS

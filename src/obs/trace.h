@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace briq::obs {
@@ -19,9 +20,12 @@ namespace briq::obs {
 
 /// One completed span. `start_seconds` is the offset from the root span's
 /// start; a value < 0 marks a synthetic leaf aggregated across scattered
-/// code (see AttachLeafSpan).
+/// code (see AttachLeafSpan). `trace_id` is set on root spans only, from
+/// the thread's ambient ScopedTraceId at the moment the root completes;
+/// empty when no trace context was active (e.g. batch alignment).
 struct SpanNode {
   std::string name;
+  std::string trace_id;
   double start_seconds = 0.0;
   double duration_seconds = 0.0;
   std::vector<SpanNode> children;
@@ -89,6 +93,7 @@ class ScopedSpan {
 
  private:
   friend void AttachLeafSpan(std::string_view, double);
+  friend std::vector<std::pair<std::string, double>> OpenSpanStageSeconds();
 
   SpanNode node_;
   ScopedSpan* parent_;
@@ -101,6 +106,32 @@ class ScopedSpan {
 /// no span is open. The leaf's start offset is -1 (synthetic).
 void AttachLeafSpan(std::string_view name, double duration_seconds);
 
+/// RAII ambient trace identity for the current thread: every root span
+/// that completes while a ScopedTraceId is live is tagged with its id.
+/// Nests (the previous id is restored on destruction) so a server worker
+/// can wrap each request without clobbering outer context. Must be
+/// stack-scoped on one thread, like ScopedSpan.
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(std::string trace_id);
+  ~ScopedTraceId();
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+/// The thread's ambient trace id ("" outside any ScopedTraceId).
+const std::string& CurrentTraceId();
+
+/// Per-stage seconds of the innermost *open* span on this thread:
+/// completed descendant spans, summed by name, in first-seen depth-first
+/// order. Lets the code that opened a root span (e.g. the HTTP worker)
+/// read its request's stage breakdown before the root closes — same
+/// thread, no locking. Empty outside any span.
+std::vector<std::pair<std::string, double>> OpenSpanStageSeconds();
+
 #else  // BRIQ_NO_METRICS
 
 class ScopedSpan {
@@ -109,6 +140,20 @@ class ScopedSpan {
 };
 
 inline void AttachLeafSpan(std::string_view, double) {}
+
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(std::string) {}
+};
+
+inline const std::string& CurrentTraceId() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+inline std::vector<std::pair<std::string, double>> OpenSpanStageSeconds() {
+  return {};
+}
 
 #endif  // BRIQ_NO_METRICS
 

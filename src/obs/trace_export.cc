@@ -26,9 +26,10 @@ void AppendEvents(const SpanNode& node, double base_us, double parent_ts_us,
   event.Set("tid", tid);
   event.Set("ts", ts_us);
   event.Set("dur", node.duration_seconds * 1e6);
-  if (aggregated) {
+  if (aggregated || !node.trace_id.empty()) {
     util::Json args = util::Json::Object();
-    args.Set("aggregated", true);
+    if (aggregated) args.Set("aggregated", true);
+    if (!node.trace_id.empty()) args.Set("trace_id", node.trace_id);
     event.Set("args", std::move(args));
   }
   events->Append(std::move(event));
@@ -94,6 +95,17 @@ void TraceExporter::OnRootSpan(const SpanNode& root) {
   const double base = std::max(0.0, arrival - root.duration_seconds);
   const size_t window_retained =
       retained_.size() + window_slowest_.size();
+  // Slow-request override: anything past the threshold is kept outright
+  // (tail traces are exactly what the export exists for), budget allowing.
+  if (options_.always_keep_slower_than_seconds > 0.0 &&
+      root.duration_seconds >= options_.always_keep_slower_than_seconds) {
+    if (window_retained < options_.max_roots) {
+      retained_.push_back(Kept{root, base, /*sampled=*/false});
+    } else {
+      ++dropped_;
+    }
+    return;
+  }
   if (uniform_(rng_) < options_.sample_fraction) {
     if (window_retained < options_.max_roots) {
       retained_.push_back(Kept{root, base, /*sampled=*/true});

@@ -49,6 +49,10 @@ struct TraceExportOptions {
   double sample_fraction = 0.01;
   /// The slowest k roots of every flush window are always kept.
   size_t slowest_per_window = 4;
+  /// Roots at least this slow (seconds) bypass sampling entirely and are
+  /// always retained (still subject to `max_roots`). 0 disables. Lets a
+  /// server pin every slow request's trace regardless of sample_fraction.
+  double always_keep_slower_than_seconds = 0.0;
   /// Hard cap on retained roots across the run; once reached, further
   /// roots are dropped (counted, warned once per flush window).
   size_t max_roots = 2000;

@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "obs/trace.h"
+#include "serve/serve_stats.h"
 #include "util/json.h"
 
 namespace briq::serve {
@@ -77,7 +78,10 @@ std::string AlignHtmlJson(const core::BriqSystem& system,
 
 void RegisterAlignRoute(Router* router, const core::BriqSystem* system) {
   router->Handle(
-      "POST", "/align", [system](const HttpRequest& request) -> HttpResponse {
+      "POST", "/align",
+      [system](const HttpRequest& request,
+               RequestContext& context) -> HttpResponse {
+        (void)context;  // identity travels via the ambient ScopedTraceId
         if (system == nullptr || !system->trained()) {
           HttpResponse r = HttpResponse::Text(
               503, "no model loaded (start with --model <path>)\n");
@@ -124,6 +128,9 @@ void RegisterDiagnosticRoutes(Router* router, std::atomic<bool>* quit_flag) {
     r.content_type = "text/plain; version=0.0.4; charset=utf-8";
     r.body = obs::MetricsToPrometheus(obs::MetricRegistry::Global().Snapshot(),
                                       now);
+    // The rolling briq_serve_window_* families live in ServeStats, not the
+    // registry (double-valued, derived at scrape time).
+    r.body += ServeStats::Global().PrometheusWindowGauges();
     return r;
   });
   router->Handle("GET", "/healthz",

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/serve_stats.h"
 #include "util/logging.h"
 
 namespace briq::serve {
@@ -21,6 +24,39 @@ std::vector<double> BodyBytesBuckets() {
   return obs::ExponentialBuckets(64.0, 4.0, 10);
 }
 
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double UnixSecondsNow() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendTimingEntry(std::string* out, const std::string& name,
+                       double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e3);
+  if (!out->empty()) *out += ", ";
+  *out += name + ";dur=" + buf;
+}
+
+/// Server-Timing value (RFC 8673 syntax): queue wait, total handler time
+/// ("app"), then the request's per-stage span milliseconds.
+std::string ServerTimingValue(
+    double queue_wait_seconds, double app_seconds,
+    const std::vector<std::pair<std::string, double>>& stages) {
+  std::string out;
+  AppendTimingEntry(&out, "queue", queue_wait_seconds);
+  AppendTimingEntry(&out, "app", app_seconds);
+  for (const auto& [name, seconds] : stages) {
+    AppendTimingEntry(&out, name, seconds);
+  }
+  return out;
+}
+
 }  // namespace
 
 /// Registry instruments, resolved once (instruments live for the process
@@ -34,6 +70,8 @@ struct HttpServer::Instruments {
   obs::Counter* parse_errors;
   obs::Counter* responses_by_class[4];  // 2xx, 3xx, 4xx, 5xx
   obs::Histogram* request_seconds;
+  obs::Histogram* queue_wait_seconds;
+  obs::Histogram* shed_seconds;
   obs::Histogram* request_body_bytes;
   obs::Histogram* response_body_bytes;
   obs::Gauge* in_flight;
@@ -54,6 +92,10 @@ struct HttpServer::Instruments {
       i->responses_by_class[3] = r.GetCounter("briq.serve.responses_5xx");
       i->request_seconds = r.GetHistogram("briq.serve.request_seconds",
                                           obs::DefaultLatencyBuckets());
+      i->queue_wait_seconds = r.GetHistogram("briq.serve.queue_wait_seconds",
+                                             obs::DefaultLatencyBuckets());
+      i->shed_seconds = r.GetHistogram("briq.serve.shed_seconds",
+                                       obs::DefaultLatencyBuckets());
       i->request_body_bytes =
           r.GetHistogram("briq.serve.request_body_bytes", BodyBytesBuckets());
       i->response_body_bytes =
@@ -87,8 +129,13 @@ util::Status HttpServer::Start() {
   if (!listener.ok()) return listener.status();
   listener_ = std::make_unique<util::TcpListener>(std::move(listener).value());
 
-  queue_ = std::make_unique<util::BoundedQueue<util::ClientSocket>>(
+  queue_ = std::make_unique<util::BoundedQueue<PendingConnection>>(
       options_.queue_capacity, instruments_->queue_telemetry.observer());
+  // /statusz reads the threshold from the stats singleton; keep it in sync
+  // with this server's option (last Start() wins — one server per process
+  // in practice).
+  ServeStats::Global().set_slow_threshold_seconds(
+      options_.slow_request_seconds);
 
   int num_threads = options_.num_threads;
   if (num_threads <= 0) {
@@ -130,12 +177,16 @@ void HttpServer::AcceptLoop() {
   while (!stop_.load()) {
     util::ClientSocket conn = listener_->AcceptClient(kPollTickSeconds);
     if (!conn.valid()) continue;
+    const auto accepted_at = std::chrono::steady_clock::now();
     instruments_->connections->Add();
-    if (queue_->TryPush(conn)) continue;
+    PendingConnection pending{std::move(conn), accepted_at};
+    if (queue_->TryPush(pending)) continue;
 
     // Admission control: the queue is full (every worker busy and the
     // buffer at capacity). Shed the connection with an explicit 503 right
-    // here — the acceptor never blocks and memory stays bounded.
+    // here — the acceptor never blocks and memory stays bounded. TryPush
+    // left `pending` intact on failure, so the socket is still ours to
+    // answer on.
     rejected_.fetch_add(1);
     instruments_->rejected->Add();
     HttpResponse overloaded = HttpResponse::Text(
@@ -143,20 +194,26 @@ void HttpServer::AcceptLoop() {
     overloaded.extra_headers["Retry-After"] =
         std::to_string(options_.retry_after_seconds);
     instruments_->CountResponse(503);
-    conn.SendAll(SerializeResponse(overloaded, /*keep_alive=*/false));
+    pending.socket.SendAll(SerializeResponse(overloaded, /*keep_alive=*/false));
+    // Shed handling is acceptor time: while this runs, nothing is being
+    // accepted. The histogram makes that cost visible under overload.
+    instruments_->shed_seconds->Observe(SecondsSince(accepted_at));
   }
 }
 
 void HttpServer::WorkerLoop() {
   while (true) {
-    std::optional<util::ClientSocket> conn = queue_->Pop();
-    if (!conn.has_value()) return;  // closed and drained
-    if (stop_.load()) continue;     // shutdown: discard without serving
-    HandleConnection(std::move(*conn));
+    std::optional<PendingConnection> pending = queue_->Pop();
+    if (!pending.has_value()) return;  // closed and drained
+    if (stop_.load()) continue;        // shutdown: discard without serving
+    const double queue_wait = SecondsSince(pending->accepted_at);
+    instruments_->queue_wait_seconds->Observe(queue_wait);
+    HandleConnection(std::move(pending->socket), queue_wait);
   }
 }
 
-void HttpServer::HandleConnection(util::ClientSocket conn) {
+void HttpServer::HandleConnection(util::ClientSocket conn,
+                                  double queue_wait_seconds) {
   RequestParser parser(options_.limits);
   char buf[4096];
   double idle_seconds = 0.0;
@@ -167,16 +224,33 @@ void HttpServer::HandleConnection(util::ClientSocket conn) {
       const RequestParser::Outcome outcome = parser.Next();
       if (outcome == RequestParser::Outcome::kRequest) {
         idle_seconds = 0.0;
-        if (!Respond(conn, parser.request())) return;
+        if (!Respond(conn, parser.request(), queue_wait_seconds)) return;
+        queue_wait_seconds = 0.0;  // only the first request waited
         continue;
       }
       if (outcome == RequestParser::Outcome::kError) {
         // Framing is unrecoverable: report and close.
+        const auto error_start = std::chrono::steady_clock::now();
         instruments_->parse_errors->Add();
         const HttpResponse& error = parser.error_response();
         instruments_->CountResponse(error.status);
         requests_served_.fetch_add(1);
         conn.SendAll(SerializeResponse(error, /*keep_alive=*/false));
+        // Unparsable framing has no trustworthy route; a constant key
+        // keeps the per-route window cardinality bounded.
+        ServeStats::Global().RecordRequest("_parse_error_", error.status,
+                                           SecondsSince(error_start));
+        if (options_.access_log != nullptr) {
+          obs::AccessLogRecord record;
+          record.trace_id = GenerateTraceId();
+          record.path = "_parse_error_";
+          record.status = error.status;
+          record.bytes_out = SerializeResponse(error, false).size();
+          record.wall_seconds = SecondsSince(error_start);
+          record.queue_wait_seconds = queue_wait_seconds;
+          record.unix_seconds = UnixSecondsNow();
+          options_.access_log->Write(record);
+        }
         return;
       }
       break;  // kNeedMore
@@ -194,20 +268,47 @@ void HttpServer::HandleConnection(util::ClientSocket conn) {
   }
 }
 
-bool HttpServer::Respond(util::ClientSocket& conn, const HttpRequest& request) {
+bool HttpServer::Respond(util::ClientSocket& conn, const HttpRequest& request,
+                         double queue_wait_seconds) {
   instruments_->requests->Add();
   instruments_->in_flight->Add(1);
   instruments_->in_flight_peak->SetMax(instruments_->in_flight->Value());
   instruments_->request_body_bytes->Observe(
       static_cast<double>(request.body.size()));
 
+  // Request identity: propagate the client's trace id when it sent a
+  // valid one, otherwise mint our own. The context travels through the
+  // router into handlers; the ambient ScopedTraceId below tags the whole
+  // span tree (down through the aligner's stages) with the same id.
+  RequestContext context;
+  const std::string& client_id = request.Header("x-briq-trace-id");
+  if (IsValidTraceId(client_id)) {
+    context.trace_id = client_id;
+    context.trace_id_from_client = true;
+  } else {
+    context.trace_id = GenerateTraceId();
+  }
+  context.queue_wait_seconds = queue_wait_seconds;
+
   bool keep_alive = false;
   bool sent = false;
+  int status = 0;
+  uint64_t bytes_out = 0;
+  std::vector<std::pair<std::string, double>> stages;
+  const auto start = std::chrono::steady_clock::now();
   {
     // The span and the latency observation both cover dispatch + send.
+    obs::ScopedTraceId trace_scope(context.trace_id);
     obs::ScopedSpan span("serve.request");
     obs::ScopedTimer timer(instruments_->request_seconds);
-    const HttpResponse response = router_.Dispatch(request);
+    HttpResponse response = router_.Dispatch(request, context);
+    // Handler-scope spans have closed by now, so the still-open
+    // "serve.request" span holds the request's full stage breakdown.
+    stages = obs::OpenSpanStageSeconds();
+    response.extra_headers["X-Briq-Trace-Id"] = context.trace_id;
+    response.extra_headers["Server-Timing"] = ServerTimingValue(
+        queue_wait_seconds, SecondsSince(start), stages);
+    status = response.status;
     instruments_->CountResponse(response.status);
     instruments_->response_body_bytes->Observe(
         static_cast<double>(response.body.size()));
@@ -215,9 +316,45 @@ bool HttpServer::Respond(util::ClientSocket& conn, const HttpRequest& request) {
     // Count before the send: once the client has read the response, the
     // counter must already reflect it (tests rely on this ordering).
     requests_served_.fetch_add(1);
-    sent = conn.SendAll(SerializeResponse(response, keep_alive));
+    const std::string wire = SerializeResponse(response, keep_alive);
+    bytes_out = wire.size();
+    sent = conn.SendAll(wire);
   }
+  const double wall_seconds = SecondsSince(start);
   instruments_->in_flight->Add(-1);
+
+  ServeStats& stats = ServeStats::Global();
+  // Per-route windows are keyed by registered paths only: an unknown path
+  // (404 traffic) must not mint an unbounded set of windows.
+  const std::string route =
+      router_.HasPath(request.path) ? request.path : "_other_";
+  stats.RecordRequest(route, status, wall_seconds);
+  if (wall_seconds >= stats.slow_threshold_seconds()) {
+    SlowRequest slow;
+    slow.trace_id = context.trace_id;
+    slow.method = request.method;
+    slow.path = request.path;
+    slow.status = status;
+    slow.wall_seconds = wall_seconds;
+    slow.queue_wait_seconds = queue_wait_seconds;
+    slow.unix_seconds = UnixSecondsNow();
+    slow.stage_seconds = stages;
+    stats.RecordSlow(std::move(slow));
+  }
+  if (options_.access_log != nullptr) {
+    obs::AccessLogRecord record;
+    record.trace_id = context.trace_id;
+    record.method = request.method;
+    record.path = request.path;
+    record.status = status;
+    record.bytes_in = request.body.size();
+    record.bytes_out = bytes_out;
+    record.wall_seconds = wall_seconds;
+    record.queue_wait_seconds = queue_wait_seconds;
+    record.unix_seconds = UnixSecondsNow();
+    record.stage_seconds = std::move(stages);
+    options_.access_log->Write(record);
+  }
   return sent && keep_alive;
 }
 

@@ -2,12 +2,14 @@
 #define BRIQ_SERVE_HTTP_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "obs/access_log.h"
 #include "serve/http.h"
 #include "serve/router.h"
 #include "util/bounded_queue.h"
@@ -35,6 +37,13 @@ struct HttpServerOptions {
   double idle_timeout_seconds = 5.0;
   /// Retry-After value advertised on 503 admission rejections.
   int retry_after_seconds = 1;
+  /// Requests at least this slow (wall seconds, dispatch + send) are
+  /// retained in ServeStats' slow-request ring for /statusz. <= 0 retains
+  /// every request (the ring stays bounded either way).
+  double slow_request_seconds = 0.5;
+  /// Structured JSONL access log; nullptr disables. Not owned — must be
+  /// opened before Start() and outlive Stop().
+  obs::AccessLog* access_log = nullptr;
   /// Protocol limits forwarded to every connection's RequestParser.
   RequestParser::Limits limits;
 };
@@ -48,9 +57,19 @@ struct HttpServerOptions {
 ///
 /// Observability (inert under -DBRIQ_NO_METRICS): every request runs under
 /// a ScopedSpan and records `briq.serve.*` counters (requests, responses
-/// by status class, admission rejections, parse errors), latency and
-/// body-size histograms, and in-flight / queue-depth gauges with `_peak`
-/// high-water marks.
+/// by status class, admission rejections, parse errors), latency,
+/// queue-wait, shed-handling and body-size histograms, and in-flight /
+/// queue-depth gauges with `_peak` high-water marks.
+///
+/// Request-scoped observability (DESIGN.md §5i): each request gets a
+/// RequestContext whose trace id is the client's X-Briq-Trace-Id (when
+/// valid) or server-generated, installed as the thread's ambient
+/// obs::ScopedTraceId so the request's whole span tree lands in the
+/// TraceRing tagged with it. The response echoes the id in
+/// X-Briq-Trace-Id and carries a Server-Timing header with queue wait,
+/// total handler time, and per-stage milliseconds. Finished requests feed
+/// ServeStats' rolling windows (and, past `slow_request_seconds`, its
+/// slow-request ring) and, when configured, one access-log line each.
 class HttpServer {
  public:
   /// The router is copied and frozen; register every route first.
@@ -82,15 +101,24 @@ class HttpServer {
   size_t queue_depth() const;
 
  private:
+  /// Queue element: the accepted socket stamped with its enqueue time, so
+  /// the dequeuing worker can measure accept-to-dequeue queueing delay.
+  struct PendingConnection {
+    util::ClientSocket socket;
+    std::chrono::steady_clock::time_point accepted_at{};
+  };
+
   void AcceptLoop();
   void WorkerLoop();
   /// Runs one connection's request/response lifetime. Returns when the
   /// peer closes, keep-alive is declined, an error occurs, or the server
-  /// stops.
-  void HandleConnection(util::ClientSocket conn);
+  /// stops. `queue_wait_seconds` is the connection's accept-to-dequeue
+  /// delay, attributed to its first request.
+  void HandleConnection(util::ClientSocket conn, double queue_wait_seconds);
   /// Dispatches one parsed request and writes the response. Returns false
   /// when the connection must close afterwards.
-  bool Respond(util::ClientSocket& conn, const HttpRequest& request);
+  bool Respond(util::ClientSocket& conn, const HttpRequest& request,
+               double queue_wait_seconds);
 
   const Router router_;
   const HttpServerOptions options_;
@@ -99,7 +127,7 @@ class HttpServer {
   Instruments* const instruments_;
 
   std::unique_ptr<util::TcpListener> listener_;
-  std::unique_ptr<util::BoundedQueue<util::ClientSocket>> queue_;
+  std::unique_ptr<util::BoundedQueue<PendingConnection>> queue_;
   std::unique_ptr<util::ThreadPool> workers_;
   std::vector<std::future<void>> worker_futures_;
   std::thread acceptor_;

@@ -1,18 +1,60 @@
 #include "serve/router.h"
 
+#include <cstdint>
 #include <exception>
+#include <random>
+#include <thread>
 #include <utility>
 
 #include "util/logging.h"
 
 namespace briq::serve {
 
+bool IsValidTraceId(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                    (c >= 'A' && c <= 'Z') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string GenerateTraceId() {
+  // Thread-local so workers never contend; seeded per thread from the
+  // system entropy source plus the thread id (random_device can be
+  // deterministic on exotic platforms — the tid keeps threads distinct
+  // even then).
+  thread_local std::mt19937_64 rng = [] {
+    std::random_device entropy;
+    const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return std::mt19937_64(
+        (static_cast<uint64_t>(entropy()) << 32) ^ entropy() ^ tid);
+  }();
+  static const char kHex[] = "0123456789abcdef";
+  uint64_t bits = rng();
+  std::string id(16, '0');
+  for (char& c : id) {
+    c = kHex[bits & 0xF];
+    bits >>= 4;
+  }
+  return id;
+}
+
 void Router::Handle(const std::string& method, const std::string& path,
                     Handler handler) {
   routes_[path][method] = std::move(handler);
 }
 
-HttpResponse Router::Dispatch(const HttpRequest& request) const {
+void Router::Handle(const std::string& method, const std::string& path,
+                    SimpleHandler handler) {
+  routes_[path][method] = [handler = std::move(handler)](
+                              const HttpRequest& request,
+                              RequestContext&) { return handler(request); };
+}
+
+HttpResponse Router::Dispatch(const HttpRequest& request,
+                              RequestContext& context) const {
   const auto by_path = routes_.find(request.path);
   if (by_path == routes_.end()) {
     return HttpResponse::Text(404, "not found\n");
@@ -29,7 +71,7 @@ HttpResponse Router::Dispatch(const HttpRequest& request) const {
     return r;
   }
   try {
-    return by_method->second(request);
+    return by_method->second(request, context);
   } catch (const std::exception& e) {
     BRIQ_LOG(Error) << "handler for " << request.method << " " << request.path
                     << " threw: " << e.what();
@@ -39,6 +81,12 @@ HttpResponse Router::Dispatch(const HttpRequest& request) const {
                     << " threw a non-exception";
     return HttpResponse::Text(500, "internal error\n");
   }
+}
+
+HttpResponse Router::Dispatch(const HttpRequest& request) const {
+  RequestContext context;
+  context.trace_id = GenerateTraceId();
+  return Dispatch(request, context);
 }
 
 }  // namespace briq::serve

@@ -1,0 +1,136 @@
+#include "serve/serve_stats.h"
+
+#include "obs/prometheus.h"
+
+namespace briq::serve {
+
+ServeStats& ServeStats::Global() {
+  // Leaked: handler lambdas and worker threads hold the pointer through
+  // static destruction, same contract as MetricRegistry::Global().
+  static ServeStats* stats = new ServeStats();
+  return *stats;
+}
+
+ServeStats::ServeStats(double window_seconds, size_t slow_capacity)
+    : window_seconds_(window_seconds),
+      slow_capacity_(slow_capacity < 1 ? 1 : slow_capacity),
+      total_(std::make_unique<RouteWindows>(window_seconds)) {}
+
+ServeStats::RouteWindows* ServeStats::FindOrCreate(const std::string& route) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = routes_[route];
+  if (slot == nullptr) slot = std::make_unique<RouteWindows>(window_seconds_);
+  return slot.get();
+}
+
+void ServeStats::RecordRequest(const std::string& route, int status,
+                               double wall_seconds) {
+#ifndef BRIQ_NO_METRICS
+  RouteWindows* windows = FindOrCreate(route);
+  for (RouteWindows* w : {windows, total_.get()}) {
+    w->latency.Record(wall_seconds);
+    w->requests.Add(1);
+    if (status >= 500) w->errors.Add(1);
+  }
+#else
+  (void)route;
+  (void)status;
+  (void)wall_seconds;
+#endif
+}
+
+void ServeStats::RecordSlow(SlowRequest slow) {
+#ifndef BRIQ_NO_METRICS
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_.push_back(std::move(slow));
+  while (slow_.size() > slow_capacity_) slow_.pop_front();
+#else
+  (void)slow;
+#endif
+}
+
+WindowStats ServeStats::StatsOf(const RouteWindows& windows) {
+  WindowStats stats;
+  // One timestamp for the three instruments: they share the construction
+  // epoch closely enough that per-instrument NowSeconds would also do, but
+  // a single read keeps the three windows aligned.
+  const double now = windows.latency.NowSeconds();
+  const obs::HistogramSnapshot latency = windows.latency.SnapshotAt(now);
+  stats.requests = windows.requests.CountAt(now);
+  stats.errors = windows.errors.CountAt(now);
+  stats.p50_seconds = latency.Percentile(0.50);
+  stats.p95_seconds = latency.Percentile(0.95);
+  stats.p99_seconds = latency.Percentile(0.99);
+  stats.qps = windows.requests.RatePerSecondAt(now);
+  stats.error_rate = stats.requests == 0
+                         ? 0.0
+                         : static_cast<double>(stats.errors) /
+                               static_cast<double>(stats.requests);
+  return stats;
+}
+
+WindowStats ServeStats::Window() const { return StatsOf(*total_); }
+
+std::vector<std::pair<std::string, WindowStats>> ServeStats::WindowByRoute()
+    const {
+  std::vector<std::pair<std::string, WindowStats>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(routes_.size());
+  for (const auto& [route, windows] : routes_) {
+    out.emplace_back(route, StatsOf(*windows));
+  }
+  return out;
+}
+
+std::vector<SlowRequest> ServeStats::Slow() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  return {slow_.rbegin(), slow_.rend()};
+}
+
+std::string ServeStats::PrometheusWindowGauges() const {
+  struct Family {
+    const char* name;
+    const char* help;
+    double WindowStats::* field;
+  };
+  static const Family kFamilies[] = {
+      {"briq_serve_window_p50_seconds",
+       "Rolling-window request latency p50 (seconds)",
+       &WindowStats::p50_seconds},
+      {"briq_serve_window_p95_seconds",
+       "Rolling-window request latency p95 (seconds)",
+       &WindowStats::p95_seconds},
+      {"briq_serve_window_p99_seconds",
+       "Rolling-window request latency p99 (seconds)",
+       &WindowStats::p99_seconds},
+      {"briq_serve_window_qps", "Rolling-window request rate (per second)",
+       &WindowStats::qps},
+      {"briq_serve_window_error_rate",
+       "Rolling-window fraction of requests with status >= 500",
+       &WindowStats::error_rate},
+  };
+  const WindowStats total = Window();
+  const auto by_route = WindowByRoute();
+  std::string out;
+  for (const Family& family : kFamilies) {
+    std::vector<std::pair<std::string, double>> series;
+    series.emplace_back("", total.*family.field);
+    for (const auto& [route, stats] : by_route) {
+      series.emplace_back("route=\"" + route + "\"", stats.*family.field);
+    }
+    obs::AppendPrometheusGauge(&out, family.name, family.help, series);
+  }
+  return out;
+}
+
+void ServeStats::Reset() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    routes_.clear();
+    total_ = std::make_unique<RouteWindows>(window_seconds_);
+  }
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_.clear();
+}
+
+}  // namespace briq::serve

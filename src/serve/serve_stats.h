@@ -1,0 +1,131 @@
+#ifndef BRIQ_SERVE_SERVE_STATS_H_
+#define BRIQ_SERVE_SERVE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/rolling.h"
+
+namespace briq::serve {
+
+/// Rolling request statistics of the serving layer (DESIGN.md §5i): the
+/// windowed complement of the cumulative `briq.serve.*` registry
+/// instruments. Per route (plus an aggregate), the last ~window of
+/// latencies lands in an obs::RollingHistogram and request/error counts in
+/// obs::RollingCounters, answering "p99 / QPS / error rate over the last
+/// minute" for the `briq_serve_window_*` gauges and /statusz. A bounded
+/// ring additionally retains the last K slow requests (wall time past a
+/// configurable threshold) with their stage breakdowns.
+///
+/// Record paths are the rolling instruments' relaxed-atomic adds behind a
+/// route-lookup mutex held only for a map find (routes are few and
+/// long-lived; pointers are stable). The slow ring takes its own mutex —
+/// by construction it only sees slow requests. Everything is inert under
+/// -DBRIQ_NO_METRICS (the rolling stubs record nothing, the slow ring is
+/// compiled out of Record).
+
+/// One retained slow request, for /statusz.
+struct SlowRequest {
+  std::string trace_id;
+  std::string method;
+  std::string path;
+  int status = 0;
+  double wall_seconds = 0.0;
+  double queue_wait_seconds = 0.0;
+  /// Wall-clock completion time (unix seconds).
+  double unix_seconds = 0.0;
+  std::vector<std::pair<std::string, double>> stage_seconds;
+};
+
+/// Windowed aggregate of one route (or of all routes).
+struct WindowStats {
+  uint64_t requests = 0;
+  uint64_t errors = 0;  // status >= 500
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double qps = 0.0;
+  double error_rate = 0.0;  // errors / requests, 0 when idle
+};
+
+class ServeStats {
+ public:
+  /// The process-wide instance used by HttpServer and the /metrics and
+  /// /statusz handlers. Leaked, like MetricRegistry::Global().
+  static ServeStats& Global();
+
+  explicit ServeStats(double window_seconds = 60.0,
+                      size_t slow_capacity = 16);
+
+  ServeStats(const ServeStats&) = delete;
+  ServeStats& operator=(const ServeStats&) = delete;
+
+  /// Folds one finished request into the route's window and the aggregate.
+  /// `route` should be the registered path for known routes and a constant
+  /// like "_other_" for everything else (bounded cardinality).
+  void RecordRequest(const std::string& route, int status,
+                     double wall_seconds);
+
+  /// Retains `slow` in the bounded slow-request ring (newest kept).
+  void RecordSlow(SlowRequest slow);
+
+  /// Windowed aggregate across all routes.
+  WindowStats Window() const;
+  /// Per-route windowed aggregates, route-name order.
+  std::vector<std::pair<std::string, WindowStats>> WindowByRoute() const;
+  /// Retained slow requests, newest first.
+  std::vector<SlowRequest> Slow() const;
+
+  /// `briq_serve_window_*` gauge families (p50/p95/p99, QPS, error rate;
+  /// aggregate unlabelled plus one `route="..."` sample per route) in
+  /// Prometheus text format, appended to the /metrics page.
+  std::string PrometheusWindowGauges() const;
+
+  double window_seconds() const { return window_seconds_; }
+  double slow_threshold_seconds() const { return slow_threshold_seconds_; }
+  /// Requests with wall time >= this are retained via RecordSlow by the
+  /// server. Set once at startup (before serving).
+  void set_slow_threshold_seconds(double seconds) {
+    slow_threshold_seconds_ = seconds;
+  }
+
+  /// Drops all windows and the slow ring. For benches/tests between runs;
+  /// not safe against concurrent recorders.
+  void Reset();
+
+ private:
+  struct RouteWindows {
+    RouteWindows(double window_seconds)
+        : latency(obs::DefaultLatencyBuckets(), window_seconds),
+          requests(window_seconds),
+          errors(window_seconds) {}
+    obs::RollingHistogram latency;
+    obs::RollingCounter requests;
+    obs::RollingCounter errors;
+  };
+
+  RouteWindows* FindOrCreate(const std::string& route);
+  static WindowStats StatsOf(const RouteWindows& windows);
+
+  const double window_seconds_;
+  const size_t slow_capacity_;
+  double slow_threshold_seconds_ = 0.5;
+
+  mutable std::mutex mu_;  // guards routes_ map shape (pointers stable)
+  std::map<std::string, std::unique_ptr<RouteWindows>> routes_;
+  std::unique_ptr<RouteWindows> total_;
+
+  mutable std::mutex slow_mu_;
+  std::deque<SlowRequest> slow_;  // newest at back
+};
+
+}  // namespace briq::serve
+
+#endif  // BRIQ_SERVE_SERVE_STATS_H_

@@ -1,0 +1,171 @@
+#include "serve/statusz.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace briq::serve {
+
+namespace {
+
+std::string HtmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Millis(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e3);
+  return buf;
+}
+
+std::string Fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string UptimeText(double seconds) {
+  const int total = seconds < 0.0 ? 0 : static_cast<int>(seconds);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%dh %02dm %02ds", total / 3600,
+                (total / 60) % 60, total % 60);
+  return buf;
+}
+
+void AppendWindowRow(std::string* out, const std::string& label,
+                     const WindowStats& stats) {
+  *out += "<tr><td>" + HtmlEscape(label) + "</td><td>" +
+          std::to_string(stats.requests) + "</td><td>" +
+          Fixed(stats.qps, 2) + "</td><td>" + Millis(stats.p50_seconds) +
+          "</td><td>" + Millis(stats.p95_seconds) + "</td><td>" +
+          Millis(stats.p99_seconds) + "</td><td>" +
+          Fixed(stats.error_rate * 100.0, 2) + "%</td></tr>\n";
+}
+
+}  // namespace
+
+std::string StatuszHtml(const StatuszInfo& info, const ServeStats& stats,
+                        double uptime_seconds) {
+  auto& registry = obs::MetricRegistry::Global();
+  const int window = static_cast<int>(stats.window_seconds());
+
+  std::string out;
+  out.reserve(8192);
+  out +=
+      "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n"
+      "<meta http-equiv=\"refresh\" content=\"5\">\n"
+      "<title>briq /statusz</title>\n"
+      "<style>\n"
+      "body{font-family:monospace;margin:2em;background:#fafafa;color:#222}\n"
+      "table{border-collapse:collapse;margin:0.5em 0 1.5em}\n"
+      "th,td{border:1px solid #bbb;padding:0.25em 0.7em;text-align:right}\n"
+      "th{background:#eee}td:first-child,th:first-child{text-align:left}\n"
+      "h1{font-size:1.3em}h2{font-size:1.05em;margin-top:1.2em}\n"
+      "</style></head><body>\n";
+  out += "<h1>briq /statusz</h1>\n<table>\n";
+  out += "<tr><td>build</td><td>" + HtmlEscape(info.build_info) +
+         "</td></tr>\n";
+  if (!info.model_info.empty()) {
+    out += "<tr><td>model</td><td>" + HtmlEscape(info.model_info) +
+           "</td></tr>\n";
+  }
+  out += "<tr><td>uptime</td><td>" + UptimeText(uptime_seconds) +
+         "</td></tr>\n";
+  out += "<tr><td>requests (total)</td><td>" +
+         std::to_string(registry.GetCounter("briq.serve.requests")->Value()) +
+         "</td></tr>\n";
+  out += "<tr><td>connections (total)</td><td>" +
+         std::to_string(
+             registry.GetCounter("briq.serve.connections")->Value()) +
+         "</td></tr>\n";
+  out += "<tr><td>shed 503s (total)</td><td>" +
+         std::to_string(registry.GetCounter("briq.serve.rejected")->Value()) +
+         "</td></tr>\n";
+  out += "<tr><td>queue depth</td><td>" +
+         std::to_string(
+             registry.GetGauge("briq.serve.queue_depth")->Value()) +
+         " (peak " +
+         std::to_string(
+             registry.GetGauge("briq.serve.queue_depth_peak")->Value()) +
+         ")</td></tr>\n";
+  out += "<tr><td>in flight</td><td>" +
+         std::to_string(registry.GetGauge("briq.serve.in_flight")->Value()) +
+         " (peak " +
+         std::to_string(
+             registry.GetGauge("briq.serve.in_flight_peak")->Value()) +
+         ")</td></tr>\n";
+  out += "</table>\n";
+
+  out += "<h2>rolling window (last " + std::to_string(window) +
+         "s)</h2>\n<table>\n"
+         "<tr><th>route</th><th>requests</th><th>qps</th><th>p50 ms</th>"
+         "<th>p95 ms</th><th>p99 ms</th><th>errors</th></tr>\n";
+  AppendWindowRow(&out, "(all)", stats.Window());
+  for (const auto& [route, window_stats] : stats.WindowByRoute()) {
+    AppendWindowRow(&out, route, window_stats);
+  }
+  out += "</table>\n";
+
+  const std::vector<SlowRequest> slow = stats.Slow();
+  out += "<h2>slow requests (&ge; " +
+         Millis(stats.slow_threshold_seconds()) + " ms, newest first)</h2>\n";
+  if (slow.empty()) {
+    out += "<p>none retained</p>\n";
+  } else {
+    out +=
+        "<table>\n<tr><th>trace id</th><th>route</th><th>status</th>"
+        "<th>wall ms</th><th>queue ms</th><th>stages (ms)</th></tr>\n";
+    for (const SlowRequest& request : slow) {
+      std::string stage_text;
+      for (const auto& [name, seconds] : request.stage_seconds) {
+        if (!stage_text.empty()) stage_text += ", ";
+        stage_text += name + "=" + Millis(seconds);
+      }
+      out += "<tr><td>" + HtmlEscape(request.trace_id) + "</td><td>" +
+             HtmlEscape(request.method + " " + request.path) + "</td><td>" +
+             std::to_string(request.status) + "</td><td>" +
+             Millis(request.wall_seconds) + "</td><td>" +
+             Millis(request.queue_wait_seconds) + "</td><td>" +
+             HtmlEscape(stage_text) + "</td></tr>\n";
+    }
+    out += "</table>\n";
+  }
+  out += "</body></html>\n";
+  return out;
+}
+
+void RegisterStatuszRoute(Router* router, StatuszInfo info,
+                          ServeStats* stats) {
+  if (stats == nullptr) stats = &ServeStats::Global();
+  const auto registered_at = std::chrono::steady_clock::now();
+  router->Handle(
+      "GET", "/statusz",
+      Router::SimpleHandler([info = std::move(info), stats,
+                             registered_at](const HttpRequest&) {
+        const double uptime =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          registered_at)
+                .count();
+        HttpResponse response;
+        response.status = 200;
+        response.content_type = "text/html; charset=utf-8";
+        response.body = StatuszHtml(info, *stats, uptime);
+        return response;
+      }));
+}
+
+}  // namespace briq::serve

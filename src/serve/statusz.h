@@ -1,0 +1,40 @@
+#ifndef BRIQ_SERVE_STATUSZ_H_
+#define BRIQ_SERVE_STATUSZ_H_
+
+#include <string>
+
+#include "serve/router.h"
+#include "serve/serve_stats.h"
+
+namespace briq::serve {
+
+/// `GET /statusz`: a self-contained HTML debug page (DESIGN.md §5i) for a
+/// human with a browser and no dashboard — build/model identity, uptime,
+/// the rolling-window latency/QPS/error table per route, live queue
+/// depth/in-flight gauges, and the last K slow requests with their stage
+/// breakdowns. Everything is rendered at request time from ServeStats and
+/// the metric registry; no background state. Under -DBRIQ_NO_METRICS the
+/// page still serves, with the live sections empty (the stubs hold no
+/// data) — the endpoint's availability is not a metrics feature.
+
+/// Static identity shown in the page header.
+struct StatuszInfo {
+  /// Human-readable build/binary description (e.g. "briq_tool serve").
+  std::string build_info;
+  /// Model provenance (path + tree count), empty when serving model-free.
+  std::string model_info;
+};
+
+/// Renders the full HTML page. `uptime_seconds` is the caller's serving
+/// uptime; `stats` supplies the live tables.
+std::string StatuszHtml(const StatuszInfo& info, const ServeStats& stats,
+                        double uptime_seconds);
+
+/// Registers `GET /statusz` on `router`, serving StatuszHtml over `stats`
+/// (default: the global instance) with uptime measured from this call.
+void RegisterStatuszRoute(Router* router, StatuszInfo info,
+                          ServeStats* stats = nullptr);
+
+}  // namespace briq::serve
+
+#endif  // BRIQ_SERVE_STATUSZ_H_

@@ -1,0 +1,267 @@
+// Access-log coverage: the JSONL schema (every line parses via util/json
+// and carries every field), crash-safe per-line flushing, size-based
+// rotation preserving every line across generations, sticky error status,
+// and concurrent writers. Runs in the no_metrics sub-build too, where the
+// stub must stay inert.
+
+#include "obs/access_log.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace briq::obs {
+namespace {
+
+// Tests run as separate processes under ctest: pid-unique paths keep
+// parallel suites from colliding in the shared tmp dir.
+std::string TempPath(const std::string& tag) {
+  return std::filesystem::temp_directory_path() /
+         ("briq_access_log_" + tag + "_" + std::to_string(::getpid()) +
+          ".jsonl");
+}
+
+void RemoveWithRotations(const std::string& path, size_t generations = 8) {
+  std::filesystem::remove(path);
+  for (size_t g = 1; g <= generations; ++g) {
+    std::filesystem::remove(path + "." + std::to_string(g));
+  }
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+AccessLogRecord MakeRecord(int i) {
+  AccessLogRecord record;
+  record.trace_id = "trace-" + std::to_string(i);
+  record.method = "POST";
+  record.path = "/align";
+  record.status = 200;
+  record.bytes_in = 128;
+  record.bytes_out = 512;
+  record.wall_seconds = 0.012;
+  record.queue_wait_seconds = 0.001;
+  record.unix_seconds = 1700000000.0 + i;
+  record.stage_seconds = {{"parse", 0.004}, {"extract", 0.006}};
+  return record;
+}
+
+TEST(AccessLogRecordJsonTest, CarriesEveryFieldOfTheSchema) {
+  const util::Json json = AccessLogRecordJson(MakeRecord(7));
+  ASSERT_TRUE(json.is_object());
+  for (const char* key :
+       {"trace_id", "method", "path", "status", "bytes_in", "bytes_out",
+        "wall_seconds", "queue_wait_seconds", "unix_seconds", "stages"}) {
+    EXPECT_TRUE(json.Has(key)) << "missing key " << key;
+  }
+  EXPECT_EQ(json.at("trace_id").AsString(), "trace-7");
+  EXPECT_DOUBLE_EQ(json.at("status").AsDouble(), 200.0);
+  ASSERT_TRUE(json.at("stages").is_object());
+  EXPECT_DOUBLE_EQ(json.at("stages").at("parse").AsDouble(), 0.004);
+  EXPECT_DOUBLE_EQ(json.at("stages").at("extract").AsDouble(), 0.006);
+  // The line must round-trip through the parser (the logcheck contract).
+  util::Result<util::Json> parsed = util::Json::Parse(json.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->at("trace_id").AsString(), "trace-7");
+}
+
+#ifndef BRIQ_NO_METRICS
+
+TEST(AccessLogTest, EveryLineParsesWithTheFullSchema) {
+  const std::string path = TempPath("schema");
+  RemoveWithRotations(path);
+
+  AccessLogOptions options;
+  options.path = path;
+  AccessLog log(options);
+  ASSERT_TRUE(log.Open().ok());
+  for (int i = 0; i < 5; ++i) log.Write(MakeRecord(i));
+  log.Close();
+  EXPECT_EQ(log.lines_written(), 5u);
+  EXPECT_TRUE(log.status().ok());
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 5u);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    util::Result<util::Json> parsed = util::Json::Parse(lines[i]);
+    ASSERT_TRUE(parsed.ok()) << "line " << i << ": "
+                             << parsed.status().ToString();
+    ASSERT_TRUE(parsed->is_object());
+    EXPECT_EQ(parsed->at("trace_id").AsString(),
+              "trace-" + std::to_string(i));
+    EXPECT_TRUE(parsed->Has("wall_seconds"));
+    EXPECT_TRUE(parsed->Has("stages"));
+  }
+  RemoveWithRotations(path);
+}
+
+TEST(AccessLogTest, ReopeningAppendsInsteadOfTruncating) {
+  const std::string path = TempPath("append");
+  RemoveWithRotations(path);
+
+  AccessLogOptions options;
+  options.path = path;
+  {
+    AccessLog log(options);
+    ASSERT_TRUE(log.Open().ok());
+    log.Write(MakeRecord(0));
+  }  // destructor closes
+  {
+    AccessLog log(options);
+    ASSERT_TRUE(log.Open().ok());
+    log.Write(MakeRecord(1));
+    log.Close();
+  }
+  EXPECT_EQ(ReadLines(path).size(), 2u);
+  RemoveWithRotations(path);
+}
+
+TEST(AccessLogTest, RotationPreservesEveryLineAcrossGenerations) {
+  const std::string path = TempPath("rotate");
+  RemoveWithRotations(path);
+
+  AccessLogOptions options;
+  options.path = path;
+  options.max_bytes = 512;  // a couple of lines per generation
+  // High enough that no generation ages past the cap: every line written
+  // must then be findable in exactly one file.
+  options.max_rotated_files = 64;
+  AccessLog log(options);
+  ASSERT_TRUE(log.Open().ok());
+  constexpr int kLines = 40;
+  for (int i = 0; i < kLines; ++i) log.Write(MakeRecord(i));
+  log.Close();
+  ASSERT_TRUE(log.status().ok());
+  EXPECT_EQ(log.lines_written(), static_cast<size_t>(kLines));
+  EXPECT_GE(log.rotations(), 2u);
+
+  // Union of active file + rotations holds every line exactly once.
+  std::vector<bool> seen(kLines, false);
+  std::vector<std::string> files = {path};
+  for (size_t g = 1; g <= options.max_rotated_files; ++g) {
+    files.push_back(path + "." + std::to_string(g));
+  }
+  size_t total = 0;
+  for (const std::string& file : files) {
+    if (!std::filesystem::exists(file)) continue;
+    for (const std::string& line : ReadLines(file)) {
+      util::Result<util::Json> parsed = util::Json::Parse(line);
+      ASSERT_TRUE(parsed.ok()) << file << ": " << parsed.status().ToString();
+      const std::string trace_id = parsed->at("trace_id").AsString();
+      const int i = std::stoi(trace_id.substr(trace_id.rfind('-') + 1));
+      ASSERT_GE(i, 0);
+      ASSERT_LT(i, kLines);
+      EXPECT_FALSE(seen[i]) << "duplicated line " << i;
+      seen[i] = true;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kLines));
+  for (int i = 0; i < kLines; ++i) EXPECT_TRUE(seen[i]) << "lost line " << i;
+  RemoveWithRotations(path);
+}
+
+TEST(AccessLogTest, OldestGenerationIsDroppedPastTheCap) {
+  const std::string path = TempPath("cap");
+  RemoveWithRotations(path);
+
+  AccessLogOptions options;
+  options.path = path;
+  options.max_bytes = 256;
+  options.max_rotated_files = 2;
+  AccessLog log(options);
+  ASSERT_TRUE(log.Open().ok());
+  for (int i = 0; i < 60; ++i) log.Write(MakeRecord(i));
+  log.Close();
+  EXPECT_GT(log.rotations(), 2u);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".1"));
+  EXPECT_TRUE(std::filesystem::exists(path + ".2"));
+  EXPECT_FALSE(std::filesystem::exists(path + ".3"));
+  RemoveWithRotations(path);
+}
+
+TEST(AccessLogTest, UnwritablePathFailsOpenWithAStatus) {
+  AccessLogOptions options;
+  options.path = "/nonexistent-dir-briq/access.jsonl";
+  AccessLog log(options);
+  EXPECT_FALSE(log.Open().ok());
+}
+
+TEST(AccessLogTest, ConcurrentWritersNeverTearALine) {
+  const std::string path = TempPath("mt");
+  RemoveWithRotations(path);
+
+  AccessLogOptions options;
+  options.path = path;
+  options.max_bytes = 2048;  // rotations under contention too
+  options.max_rotated_files = 32;
+  AccessLog log(options);
+  ASSERT_TRUE(log.Open().ok());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Write(MakeRecord(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  log.Close();
+  ASSERT_TRUE(log.status().ok());
+  EXPECT_EQ(log.lines_written(),
+            static_cast<size_t>(kThreads) * kPerThread);
+
+  size_t parsed_lines = 0;
+  std::vector<std::string> files = {path};
+  for (size_t g = 1; g <= options.max_rotated_files; ++g) {
+    files.push_back(path + "." + std::to_string(g));
+  }
+  for (const std::string& file : files) {
+    if (!std::filesystem::exists(file)) continue;
+    for (const std::string& line : ReadLines(file)) {
+      util::Result<util::Json> parsed = util::Json::Parse(line);
+      ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+      ++parsed_lines;
+    }
+  }
+  EXPECT_EQ(parsed_lines, static_cast<size_t>(kThreads) * kPerThread);
+  RemoveWithRotations(path, options.max_rotated_files);
+}
+
+#else  // BRIQ_NO_METRICS
+
+TEST(AccessLogStubTest, OpensAndWritesWithoutTouchingTheFilesystem) {
+  const std::string path = TempPath("stub");
+  AccessLogOptions options;
+  options.path = path;
+  AccessLog log(options);
+  EXPECT_TRUE(log.Open().ok());
+  log.Write(MakeRecord(0));
+  log.Close();
+  EXPECT_EQ(log.lines_written(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+#endif  // BRIQ_NO_METRICS
+
+}  // namespace
+}  // namespace briq::obs

@@ -18,6 +18,8 @@
 #include "serve/http.h"
 #include "serve/http_client.h"
 #include "serve/router.h"
+#include "serve/serve_stats.h"
+#include "serve/statusz.h"
 
 namespace briq::serve {
 namespace {
@@ -210,6 +212,92 @@ TEST(RouterTest, HandlerExceptionBecomes500) {
     throw std::runtime_error("kaput");
   });
   EXPECT_EQ(router.Dispatch(MakeRequest("GET", "/boom")).status, 500);
+}
+
+TEST(RouterTest, ContextHandlersSeeTheRequestContext) {
+  Router router;
+  router.Handle("GET", "/id",
+                [](const HttpRequest&, RequestContext& context) {
+                  return HttpResponse::Text(200, context.trace_id);
+                });
+  RequestContext context;
+  context.trace_id = "ctx-42";
+  EXPECT_EQ(router.Dispatch(MakeRequest("GET", "/id"), context).body,
+            "ctx-42");
+  // The context-free overload mints a generated id for the dispatch.
+  const HttpResponse legacy = router.Dispatch(MakeRequest("GET", "/id"));
+  EXPECT_EQ(legacy.body.size(), 16u);
+}
+
+TEST(RouterTest, TraceIdValidation) {
+  EXPECT_TRUE(IsValidTraceId("abc-DEF_019"));
+  EXPECT_TRUE(IsValidTraceId(GenerateTraceId()));
+  EXPECT_FALSE(IsValidTraceId(""));
+  EXPECT_FALSE(IsValidTraceId("has space"));
+  EXPECT_FALSE(IsValidTraceId("semi;colon"));
+  EXPECT_FALSE(IsValidTraceId(std::string(65, 'a')));  // > 64 chars
+  EXPECT_NE(GenerateTraceId(), GenerateTraceId());
+}
+
+TEST(RouterTest, HasPathKnowsRegisteredPaths) {
+  Router router;
+  router.Handle("GET", "/known",
+                [](const HttpRequest&) { return HttpResponse::Text(200, "k"); });
+  EXPECT_TRUE(router.HasPath("/known"));
+  EXPECT_FALSE(router.HasPath("/unknown"));
+}
+
+// ---------------------------------------------------------------------------
+// ServeStats
+
+TEST(ServeStatsTest, AggregatesWindowsPerRouteAndInTotal) {
+  ServeStats stats(/*window_seconds=*/60.0, /*slow_capacity=*/4);
+  stats.RecordRequest("/align", 200, 0.010);
+  stats.RecordRequest("/align", 500, 0.020);
+  stats.RecordRequest("/metrics", 200, 0.001);
+#ifndef BRIQ_NO_METRICS
+  const WindowStats total = stats.Window();
+  EXPECT_EQ(total.requests, 3u);
+  EXPECT_EQ(total.errors, 1u);
+  EXPECT_GT(total.qps, 0.0);
+  EXPECT_NEAR(total.error_rate, 1.0 / 3.0, 1e-9);
+  EXPECT_GT(total.p99_seconds, 0.0);
+
+  const auto by_route = stats.WindowByRoute();
+  ASSERT_EQ(by_route.size(), 2u);
+  EXPECT_EQ(by_route[0].first, "/align");
+  EXPECT_EQ(by_route[0].second.requests, 2u);
+  EXPECT_EQ(by_route[0].second.errors, 1u);
+  EXPECT_EQ(by_route[1].first, "/metrics");
+  EXPECT_EQ(by_route[1].second.errors, 0u);
+
+  const std::string gauges = stats.PrometheusWindowGauges();
+  EXPECT_NE(gauges.find("briq_serve_window_p99_seconds"), std::string::npos);
+  EXPECT_NE(gauges.find("briq_serve_window_qps"), std::string::npos);
+  EXPECT_NE(gauges.find("route=\"/align\""), std::string::npos);
+#else
+  EXPECT_EQ(stats.Window().requests, 0u);  // rolling stubs record nothing
+#endif
+  stats.Reset();
+  EXPECT_EQ(stats.Window().requests, 0u);
+}
+
+TEST(ServeStatsTest, SlowRingIsBoundedNewestFirst) {
+  ServeStats stats(/*window_seconds=*/60.0, /*slow_capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    SlowRequest slow;
+    slow.trace_id = "slow-" + std::to_string(i);
+    slow.wall_seconds = 1.0 + i;
+    stats.RecordSlow(std::move(slow));
+  }
+#ifndef BRIQ_NO_METRICS
+  const std::vector<SlowRequest> slow = stats.Slow();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].trace_id, "slow-4");
+  EXPECT_EQ(slow[1].trace_id, "slow-3");
+#else
+  EXPECT_TRUE(stats.Slow().empty());
+#endif
 }
 
 // ---------------------------------------------------------------------------
@@ -492,6 +580,52 @@ TEST(HttpServerTest, FullQueueShedsWith503RetryAfter) {
   auto pong = queued->ReadResponse();
   ASSERT_TRUE(pong.ok());
   EXPECT_EQ(pong->body, "pong\n");
+  server.Stop();
+}
+
+TEST(HttpServerTest, StatuszServesSelfContainedHtml) {
+  Router router = EchoRouter();
+  StatuszInfo info;
+  info.build_info = "http_server_test build";
+  info.model_info = "(no model)";
+  RegisterStatuszRoute(&router, info);
+
+  HttpServerOptions options;
+  options.num_threads = 1;
+  HttpServer server(std::move(router), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  // Prime the rolling windows with one served request first.
+  ASSERT_TRUE(client->Request("GET", "/ping").ok());
+  auto response = client->Request("GET", "/statusz");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_NE(response->Header("content-type").find("text/html"),
+            std::string::npos);
+  EXPECT_NE(response->body.find("<html"), std::string::npos);
+  EXPECT_NE(response->body.find("http_server_test build"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, EveryResponseCarriesTraceIdAndServerTiming) {
+  HttpServerOptions options;
+  options.num_threads = 1;
+  HttpServer server(EchoRouter(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  auto echoed = client->Request("GET", "/ping", "",
+                                {{"X-Briq-Trace-Id", "my-id-123"}});
+  ASSERT_TRUE(echoed.ok());
+  EXPECT_EQ(echoed->Header("x-briq-trace-id"), "my-id-123");
+  EXPECT_NE(echoed->Header("server-timing").find("app;dur="),
+            std::string::npos);
+  auto generated = client->Request("GET", "/ping");
+  ASSERT_TRUE(generated.ok());
+  EXPECT_EQ(generated->Header("x-briq-trace-id").size(), 16u);
   server.Stop();
 }
 

@@ -1,0 +1,173 @@
+// Request-scoped trace propagation through the live server (DESIGN.md
+// §5i): client trace IDs (or server-generated ones) must be echoed in
+// X-Briq-Trace-Id, surface in Server-Timing stage entries, and tag the
+// request's whole span tree in the TraceRing — under concurrent workers
+// and clients, where mixing up two requests' identities would show as a
+// wrong or missing tag. Runs under TSan via the serve_tsan sub-build.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+#include "serve/http_client.h"
+#include "serve/http_server.h"
+#include "serve/router.h"
+
+namespace briq::serve {
+namespace {
+
+bool LooksLikeGeneratedId(const std::string& id) {
+  return id.size() == 16 &&
+         std::all_of(id.begin(), id.end(), [](char c) {
+           return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+         });
+}
+
+// A handler that opens a child span, so every request's tree has a stage
+// below the server's "serve.request" root.
+Router WorkRouter() {
+  Router router;
+  router.Handle("POST", "/work",
+                [](const HttpRequest& request, RequestContext& context) {
+                  obs::ScopedSpan span("work");
+#ifndef BRIQ_NO_METRICS
+                  // The ambient identity must match the request's context
+                  // while the handler runs on this thread.
+                  if (obs::CurrentTraceId() != context.trace_id) {
+                    return HttpResponse::Text(500, "ambient id mismatch\n");
+                  }
+#endif
+                  return HttpResponse::Text(200, request.body);
+                });
+  return router;
+}
+
+TEST(RequestTraceTest, ClientTraceIdsTagTheRingUnderConcurrency) {
+  obs::TraceRing::Global().Clear();
+
+  HttpServerOptions options;
+  options.num_threads = 4;
+  HttpServer server(WorkRouter(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 8;  // 32 roots, well under the ring's 256
+  std::mutex mu;
+  std::vector<std::string> failures;
+  std::set<std::string> sent_ids;
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = HttpClient::Connect(server.port());
+      if (!client.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        failures.push_back("connect: " + client.status().ToString());
+        return;
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const std::string id =
+            "c" + std::to_string(c) + "-r" + std::to_string(i);
+        auto response = client->Request("POST", "/work", "payload",
+                                        {{"X-Briq-Trace-Id", id}});
+        std::lock_guard<std::mutex> lock(mu);
+        if (!response.ok() || response->status != 200) {
+          failures.push_back(id + ": bad response");
+          continue;
+        }
+        if (response->Header("x-briq-trace-id") != id) {
+          failures.push_back(id + ": echo was " +
+                             response->Header("x-briq-trace-id"));
+          continue;
+        }
+        sent_ids.insert(id);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.Stop();
+  ASSERT_TRUE(failures.empty()) << failures.front();
+  ASSERT_EQ(sent_ids.size(),
+            static_cast<size_t>(kClients) * kRequestsPerClient);
+
+#ifndef BRIQ_NO_METRICS
+  // Every request's root span must be in the ring, tagged with exactly the
+  // id its client sent, and carrying the handler's child span.
+  std::set<std::string> ring_ids;
+  for (const obs::SpanNode& root : obs::TraceRing::Global().Snapshot()) {
+    if (root.name != "serve.request") continue;
+    EXPECT_TRUE(sent_ids.count(root.trace_id))
+        << "root tagged with unknown id \"" << root.trace_id << "\"";
+    EXPECT_FALSE(ring_ids.count(root.trace_id))
+        << "id " << root.trace_id << " tagged two roots";
+    ring_ids.insert(root.trace_id);
+    ASSERT_EQ(root.children.size(), 1u);
+    EXPECT_EQ(root.children[0].name, "work");
+  }
+  EXPECT_EQ(ring_ids, sent_ids);
+#endif  // BRIQ_NO_METRICS
+}
+
+TEST(RequestTraceTest, MissingOrInvalidIdsGetAGeneratedOne) {
+  obs::TraceRing::Global().Clear();
+
+  HttpServerOptions options;
+  options.num_threads = 2;
+  HttpServer server(WorkRouter(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  auto missing = client->Request("POST", "/work", "x");
+  ASSERT_TRUE(missing.ok());
+  ASSERT_EQ(missing->status, 200);
+  const std::string generated = missing->Header("x-briq-trace-id");
+  EXPECT_TRUE(LooksLikeGeneratedId(generated)) << generated;
+
+  // Whitespace makes the id invalid; the server must mint a fresh one
+  // rather than echoing attacker-controlled bytes into headers and logs.
+  auto invalid = client->Request("POST", "/work", "x",
+                                 {{"X-Briq-Trace-Id", "bad id"}});
+  ASSERT_TRUE(invalid.ok());
+  ASSERT_EQ(invalid->status, 200);
+  const std::string replaced = invalid->Header("x-briq-trace-id");
+  EXPECT_TRUE(LooksLikeGeneratedId(replaced)) << replaced;
+  EXPECT_NE(replaced, "bad id");
+  EXPECT_NE(replaced, generated);
+  server.Stop();
+}
+
+TEST(RequestTraceTest, ServerTimingCarriesQueueAppAndStageEntries) {
+  obs::TraceRing::Global().Clear();
+
+  HttpServerOptions options;
+  options.num_threads = 1;
+  HttpServer server(WorkRouter(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  auto response = client->Request("POST", "/work", "x");
+  ASSERT_TRUE(response.ok());
+  const std::string timing = response->Header("server-timing");
+  EXPECT_NE(timing.find("queue;dur="), std::string::npos) << timing;
+  EXPECT_NE(timing.find("app;dur="), std::string::npos) << timing;
+#ifndef BRIQ_NO_METRICS
+  // The handler's "work" span surfaces as a per-stage entry. (Stage spans
+  // are no-ops in the BRIQ_NO_METRICS build.)
+  EXPECT_NE(timing.find("work;dur="), std::string::npos) << timing;
+#endif
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace briq::serve

@@ -1,0 +1,163 @@
+// Rolling-window instruments: deterministic expiry/rotation via the
+// injected-clock entry points, percentile math over windowed snapshots,
+// laggard-clock drops, and windowed rates. Under -DBRIQ_NO_METRICS the
+// stubs must stay inert (this suite runs in the no_metrics sub-build).
+
+#include "obs/rolling.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace briq::obs {
+namespace {
+
+#ifndef BRIQ_NO_METRICS
+
+// 4 sub-windows of 1 s each: a 4-second live window with second-granular
+// epochs — small enough to reason through every rotation by hand.
+RollingHistogram MakeSmall() {
+  return RollingHistogram(ExponentialBuckets(1.0, 10.0, 3),
+                          /*window_seconds=*/4.0, /*sub_windows=*/4);
+}
+
+TEST(RollingHistogramTest, RecordsAreVisibleInTheSameWindow) {
+  RollingHistogram h = MakeSmall();
+  h.RecordAt(0.5, 0.1);
+  h.RecordAt(5.0, 1.2);
+  h.RecordAt(50.0, 3.9);
+  const HistogramSnapshot snap = h.SnapshotAt(3.9);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 55.5);
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 0u);
+}
+
+TEST(RollingHistogramTest, OldSubWindowsAgeOutOfTheSnapshot) {
+  RollingHistogram h = MakeSmall();
+  h.RecordAt(1.0, 0.5);  // epoch 0
+  h.RecordAt(1.0, 1.5);  // epoch 1
+  // At t=3.9 the window covers epochs {0,1,2,3}: both visible.
+  EXPECT_EQ(h.SnapshotAt(3.9).count, 2u);
+  // At t=4.5 the window covers epochs {1,2,3,4}: epoch 0 expired.
+  EXPECT_EQ(h.SnapshotAt(4.5).count, 1u);
+  // At t=5.5 the window covers epochs {2,3,4,5}: everything expired.
+  EXPECT_EQ(h.SnapshotAt(5.5).count, 0u);
+}
+
+TEST(RollingHistogramTest, SlotRecyclingZeroesTheEvictedSubWindow) {
+  RollingHistogram h = MakeSmall();
+  h.RecordAt(1.0, 0.5);  // epoch 0 lands in slot 0
+  // Epoch 4 reuses slot 0 (4 % 4 == 0): the old counts must not bleed in.
+  h.RecordAt(5.0, 4.5);
+  const HistogramSnapshot snap = h.SnapshotAt(4.5);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.sum, 5.0);
+}
+
+TEST(RollingHistogramTest, IdleGapExpiresEverythingWithoutRecords) {
+  RollingHistogram h = MakeSmall();
+  for (int i = 0; i < 10; ++i) h.RecordAt(1.0, 0.1 * i);
+  EXPECT_EQ(h.SnapshotAt(1.0).count, 10u);
+  // A long idle gap: no record ever touched the intervening epochs, yet
+  // the snapshot must not resurrect the stale slots.
+  EXPECT_EQ(h.SnapshotAt(1000.0).count, 0u);
+}
+
+TEST(RollingHistogramTest, LaggardClockRecordsAreDroppedNotMisfiled) {
+  RollingHistogram h = MakeSmall();
+  h.RecordAt(1.0, 8.5);  // epoch 8 claims slot 0
+  // A laggard thread still at t=4.5 (epoch 4, same slot) must not zero or
+  // pollute epoch 8's live slot.
+  h.RecordAt(100.0, 4.5);
+  const HistogramSnapshot snap = h.SnapshotAt(8.9);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.sum, 1.0);
+}
+
+TEST(RollingHistogramTest, PercentilesOverTheLiveWindow) {
+  RollingHistogram h(ExponentialBuckets(0.001, 10.0, 4),
+                     /*window_seconds=*/60.0, /*sub_windows=*/12);
+  // 90 fast (≤ 1 ms bucket) + 10 slow (≤ 1 s bucket), all inside the window.
+  for (int i = 0; i < 90; ++i) h.RecordAt(0.0005, 1.0);
+  for (int i = 0; i < 10; ++i) h.RecordAt(0.5, 30.0);
+  const HistogramSnapshot snap = h.SnapshotAt(59.0);
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.50), 0.001);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.95), 1.0);
+  // Once the slow cohort expires, the tail percentile collapses.
+  const HistogramSnapshot later = h.SnapshotAt(61.5);
+  EXPECT_EQ(later.count, 10u);
+  EXPECT_DOUBLE_EQ(later.Percentile(0.99), 1.0);
+}
+
+TEST(RollingHistogramTest, WindowSecondsReportsTheConfiguredSpan) {
+  EXPECT_DOUBLE_EQ(MakeSmall().window_seconds(), 4.0);
+  RollingHistogram h(DefaultLatencyBuckets());
+  EXPECT_DOUBLE_EQ(h.window_seconds(), 60.0);
+}
+
+TEST(RollingHistogramTest, ConcurrentRecordersAcrossRotations) {
+  RollingHistogram h(ExponentialBuckets(1.0, 10.0, 3),
+                     /*window_seconds=*/0.04, /*sub_windows=*/4);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      // Real clock: 10 ms sub-windows force many live rotations under
+      // contention; the assertion is only "no crash, no torn state".
+      for (int i = 0; i < kPerThread; ++i) h.Record(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_LE(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(RollingCounterTest, CountsAndRatesOverTheWindow) {
+  RollingCounter c(/*window_seconds=*/10.0, /*sub_windows=*/5);
+  for (int i = 0; i < 40; ++i) c.AddAt(1, 0.25 * i);  // epochs 0..4
+  EXPECT_EQ(c.CountAt(9.9), 40u);
+  EXPECT_DOUBLE_EQ(c.RatePerSecondAt(9.9), 4.0);
+  // Epoch 0's 8 events expire once the window slides past it.
+  EXPECT_EQ(c.CountAt(10.5), 32u);
+  EXPECT_EQ(c.CountAt(100.0), 0u);
+}
+
+TEST(RollingCounterTest, AddsAreCumulativeWithinASubWindow) {
+  RollingCounter c(/*window_seconds=*/4.0, /*sub_windows=*/4);
+  c.AddAt(3, 0.1);
+  c.AddAt(7, 0.9);
+  EXPECT_EQ(c.CountAt(0.9), 10u);
+}
+
+#else  // BRIQ_NO_METRICS
+
+TEST(RollingStubsTest, CompileToInertNoOps) {
+  RollingHistogram h(std::vector<double>{1.0}, 4.0, 4);
+  h.Record(1.0);
+  h.RecordAt(1.0, 0.0);
+  EXPECT_EQ(h.Snapshot().count, 0u);
+  EXPECT_EQ(h.SnapshotAt(100.0).count, 0u);
+  EXPECT_DOUBLE_EQ(h.window_seconds(), 0.0);
+
+  RollingCounter c(4.0, 4);
+  c.Add();
+  c.AddAt(5, 0.0);
+  EXPECT_EQ(c.Count(), 0u);
+  EXPECT_DOUBLE_EQ(c.RatePerSecondAt(1.0), 0.0);
+}
+
+#endif  // BRIQ_NO_METRICS
+
+}  // namespace
+}  // namespace briq::obs

@@ -6,10 +6,13 @@
 #    asserts Prometheus text format with a briq_align_ family, and ends the
 #    linger via /quitquitquit.
 # 2. POST /align round-trip: trains a model, boots `briq_tool serve
-#    --model`, POSTs one corpus document over a raw bash /dev/tcp socket
-#    (file(DOWNLOAD) cannot POST), byte-compares the response body against
-#    `briq_tool align --json --model` on the same document, and asserts the
-#    process exits within a deadline after /quitquitquit.
+#    --model` with an access log, POSTs one corpus document over a raw bash
+#    /dev/tcp socket (file(DOWNLOAD) cannot POST), byte-compares the
+#    response body against `briq_tool align --json --model` on the same
+#    document, asserts the client's X-Briq-Trace-Id is echoed, scrapes
+#    /statusz and the rolling briq_serve_window_* gauges, and — after
+#    /quitquitquit ends the process — validates the access log is
+#    well-formed JSONL via `briq_tool logcheck`.
 #
 # Expects -DBRIQ_TOOL=<path to binary> and -DWORKDIR=<scratch dir>.
 
@@ -177,7 +180,9 @@ set(align_log "${WORKDIR}/align_serve_out.txt")
 execute_process(
   COMMAND "${BASH}" -c
     "'${BRIQ_TOOL}' serve --model '${WORKDIR}/model.briq' --port 0 \
-       --serve-threads 2 --serve-linger 60 > '${align_log}' 2>&1 & echo $!"
+       --serve-threads 2 --serve-linger 60 \
+       --access-log '${WORKDIR}/access.jsonl' --slow-request-seconds 0 \
+       > '${align_log}' 2>&1 & echo $!"
   OUTPUT_VARIABLE align_pid
   OUTPUT_STRIP_TRAILING_WHITESPACE)
 
@@ -213,7 +218,7 @@ foreach(attempt RANGE 20)
       "set -e
        len=$(wc -c < '${WORKDIR}/doc.json')
        exec 3<>/dev/tcp/127.0.0.1/${align_port}
-       { printf 'POST /align HTTP/1.1\\r\\nHost: smoke\\r\\nContent-Type: application/json\\r\\nContent-Length: %s\\r\\nConnection: close\\r\\n\\r\\n' \"$len\"
+       { printf 'POST /align HTTP/1.1\\r\\nHost: smoke\\r\\nX-Briq-Trace-Id: smoke-trace-1\\r\\nContent-Type: application/json\\r\\nContent-Length: %s\\r\\nConnection: close\\r\\n\\r\\n' \"$len\"
          cat '${WORKDIR}/doc.json'
        } >&3
        cat <&3 > '${WORKDIR}/response_raw.txt'
@@ -255,6 +260,59 @@ if(NOT rv EQUAL 0)
     "POST /align is not byte-identical to align --json:\ngot:\n${got}\nwant:\n${want}")
 endif()
 
+# The response must echo the trace id the client sent.
+file(READ "${WORKDIR}/response_raw.txt" raw)
+string(FIND "${raw}" "X-Briq-Trace-Id: smoke-trace-1" at)
+if(at EQUAL -1)
+  cleanup_align()
+  message(FATAL_ERROR
+    "POST /align did not echo X-Briq-Trace-Id: smoke-trace-1:\n${raw}")
+endif()
+string(FIND "${raw}" "Server-Timing: " at)
+if(at EQUAL -1)
+  cleanup_align()
+  message(FATAL_ERROR "POST /align carried no Server-Timing header:\n${raw}")
+endif()
+
+# /statusz renders the debug page with the build info and the served route.
+file(DOWNLOAD "http://127.0.0.1:${align_port}/statusz"
+     "${WORKDIR}/statusz.html" STATUS status TIMEOUT 10)
+list(GET status 0 status_code)
+if(NOT status_code EQUAL 0)
+  cleanup_align()
+  message(FATAL_ERROR "/statusz scrape failed: ${status}")
+endif()
+file(READ "${WORKDIR}/statusz.html" statusz)
+foreach(needle "<html" "briq_tool serve" "/align" "smoke-trace-1")
+  string(FIND "${statusz}" "${needle}" at)
+  if(at EQUAL -1)
+    cleanup_align()
+    message(FATAL_ERROR "/statusz is missing '${needle}':\n${statusz}")
+  endif()
+endforeach()
+
+# /metrics carries the rolling-window gauge families next to the
+# cumulative registry ones.
+file(DOWNLOAD "http://127.0.0.1:${align_port}/metrics"
+     "${WORKDIR}/align_metrics.txt" STATUS status TIMEOUT 10)
+list(GET status 0 status_code)
+if(NOT status_code EQUAL 0)
+  cleanup_align()
+  message(FATAL_ERROR "serve /metrics scrape failed: ${status}")
+endif()
+file(READ "${WORKDIR}/align_metrics.txt" metrics)
+foreach(needle
+        "# TYPE briq_serve_window_p99_seconds gauge"
+        "briq_serve_window_qps"
+        "briq_serve_window_error_rate"
+        "route=\"/align\"")
+  string(FIND "${metrics}" "${needle}" at)
+  if(at EQUAL -1)
+    cleanup_align()
+    message(FATAL_ERROR "serve /metrics is missing '${needle}':\n${metrics}")
+  endif()
+endforeach()
+
 # /quitquitquit must terminate the model server within the deadline.
 file(DOWNLOAD "http://127.0.0.1:${align_port}/quitquitquit"
      "${WORKDIR}/align_quit.txt" STATUS status TIMEOUT 10)
@@ -272,4 +330,32 @@ endforeach()
 cleanup_align()
 if(NOT align_exited)
   message(FATAL_ERROR "serve --model kept running after /quitquitquit")
+endif()
+
+# The access log must be well-formed JSONL with the full per-request
+# schema, including the traced POST.
+if(NOT EXISTS "${WORKDIR}/access.jsonl")
+  message(FATAL_ERROR "serve --access-log wrote no access.jsonl")
+endif()
+execute_process(
+  COMMAND "${BRIQ_TOOL}" logcheck "${WORKDIR}/access.jsonl"
+          --require trace_id,method,path,status,bytes_in,bytes_out,wall_seconds,queue_wait_seconds,unix_seconds,stages
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  file(READ "${WORKDIR}/access.jsonl" log_body)
+  message(FATAL_ERROR
+    "logcheck rejected the access log: ${err}\nlog:\n${log_body}")
+endif()
+file(READ "${WORKDIR}/access.jsonl" log_body)
+string(FIND "${log_body}" "\"trace_id\":\"smoke-trace-1\"" at)
+if(at EQUAL -1)
+  # Key order inside a line is the serializer's choice; fall back to the
+  # bare id before failing.
+  string(FIND "${log_body}" "smoke-trace-1" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR
+      "access log has no line for the traced POST:\n${log_body}")
+  endif()
 endif()
