@@ -22,6 +22,13 @@
 //                      prepare + sample spill + forest fit through
 //                      core::StreamingTrainer); implied by --json, recorded
 //                      as mode "train"
+//   --fleet            also measure the multi-process fleet path (briq_tool
+//                      fleet align driving --workers worker processes with
+//                      push telemetry, DESIGN.md §5j); implied by --json,
+//                      recorded as mode "fleet"
+//   --workers <n>      fleet worker-process count (default 3)
+//   --briq-tool <path> briq_tool binary for the fleet rows (default: the
+//                      examples/ sibling of this bench in the build tree)
 //   --shard-size <n>   documents per shard for the streaming rows
 //                      (default 32)
 //   --metrics-interval <sec>
@@ -196,8 +203,70 @@ void RunTraining(int num_threads, size_t shard_size,
   fs::remove_all(dir, ec);
 }
 
+// Measures the multi-process fleet path end to end (DESIGN.md §5j): the
+// trained model is persisted, the corpus sharded, and `briq_tool fleet
+// align --workers N` driven as a subprocess. The wall clock therefore
+// includes worker fork/exec, per-worker model load, push telemetry, and
+// the driver-side merge — the honest cost of fanning out. Appends a
+// "fleet" record whose threads field carries the worker count.
+void RunFleet(const ExperimentSetup& setup, const corpus::Corpus& corpus,
+              int num_workers, size_t shard_size,
+              const std::string& briq_tool,
+              std::vector<BenchRecord>* records) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (briq_tool.empty() || !fs::exists(briq_tool, ec)) {
+    std::cerr << "fleet bench skipped: briq_tool binary not found"
+              << (briq_tool.empty() ? std::string()
+                                    : std::string(" at ") + briq_tool)
+              << " (pass --briq-tool <path>)\n";
+    return;
+  }
+  const fs::path dir = fs::temp_directory_path() / "briq_table8_fleet";
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir / "shards");
+
+  auto paths = corpus::WriteCorpusShards(corpus, (dir / "shards").string(),
+                                         "corpus", shard_size);
+  util::Status saved = setup.system->SaveModel((dir / "model.briq").string());
+  if (!paths.ok() || !saved.ok()) {
+    std::cerr << "fleet bench skipped: "
+              << (paths.ok() ? saved : paths.status()).ToString() << "\n";
+    fs::remove_all(dir, ec);
+    return;
+  }
+  std::cout << "\nfleet alignment (" << corpus.size() << " docs as "
+            << paths->size() << " shards across " << num_workers
+            << " worker processes; rate includes fork/exec + model load + "
+            << "push telemetry + merge):\n";
+
+  const std::string command =
+      "'" + briq_tool + "' fleet align '" + (dir / "shards").string() +
+      "' --workers " + std::to_string(num_workers) + " --model '" +
+      (dir / "model.briq").string() + "' > '" + (dir / "fleet.log").string() +
+      "' 2>&1";
+  util::Stopwatch watch;
+  const int rc = std::system(command.c_str());
+  const double seconds = watch.ElapsedSeconds();
+  if (rc != 0) {
+    std::cerr << "fleet bench failed: briq_tool exited with " << rc
+              << " (log: " << (dir / "fleet.log").string() << ")\n";
+    return;  // keep the log for inspection
+  }
+  const double per_min = static_cast<double>(corpus.size()) / seconds * 60;
+  std::cout << "  " << num_workers
+            << " worker(s): " << FmtCount(corpus.size()) << " docs in "
+            << Fmt2(seconds) << " s  ("
+            << FmtCount(static_cast<size_t>(per_min)) << " docs/min)\n";
+  BenchRecord record{"table8_throughput", "total", per_min, num_workers,
+                     seconds, "fleet"};
+  records->push_back(std::move(record));
+  fs::remove_all(dir, ec);
+}
+
 void Run(int num_threads, const std::string& json_path, bool stream,
-         bool train, size_t shard_size, double metrics_interval) {
+         bool train, bool fleet, int num_workers, size_t shard_size,
+         double metrics_interval, const std::string& briq_tool) {
   // Train once on a mixed corpus.
   ExperimentSetup setup = BuildSetup(/*num_documents=*/250, /*seed=*/2024);
   std::vector<BenchRecord> records;
@@ -295,8 +364,8 @@ void Run(int num_threads, const std::string& json_path, bool stream,
     records.push_back(std::move(record_n));
 
     // The prepared docs die with this iteration; keep the raw documents
-    // so the streaming rows below measure the identical corpus.
-    if (stream) {
+    // so the streaming/fleet rows below measure the identical corpus.
+    if (stream || fleet) {
       for (corpus::Document& d : domain_corpus.documents) {
         streaming_corpus.documents.push_back(std::move(d));
       }
@@ -329,6 +398,10 @@ void Run(int num_threads, const std::string& json_path, bool stream,
   }
   if (train) {
     RunTraining(num_threads, shard_size, flusher.get(), &records);
+  }
+  if (fleet) {
+    RunFleet(setup, streaming_corpus, num_workers, shard_size, briq_tool,
+             &records);
   }
 
   // BriQ vs RWR-only speed (paper: 30x, RWR at 76 docs/min).
@@ -373,35 +446,58 @@ void Run(int num_threads, const std::string& json_path, bool stream,
 
 int main(int argc, char** argv) {
   int num_threads = 8;
+  int num_workers = 3;
   size_t shard_size = 32;
   bool stream = false;
   bool train = false;
+  bool fleet = false;
   double metrics_interval = 0.0;
+  std::string briq_tool;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       num_threads = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      num_workers = std::atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--shard-size") == 0 && i + 1 < argc) {
       shard_size = static_cast<size_t>(std::atol(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--metrics-interval") == 0 &&
                i + 1 < argc) {
       metrics_interval = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--briq-tool") == 0 && i + 1 < argc) {
+      briq_tool = argv[i + 1];
     } else if (std::strcmp(argv[i], "--stream") == 0) {
       stream = true;
     } else if (std::strcmp(argv[i], "--train") == 0) {
       train = true;
+    } else if (std::strcmp(argv[i], "--fleet") == 0) {
+      fleet = true;
     }
   }
   if (num_threads < 1) num_threads = 1;
+  if (num_workers < 1) num_workers = 1;
   if (shard_size < 1) shard_size = 1;
   if (metrics_interval < 0.0) metrics_interval = 0.0;
+  if (briq_tool.empty()) {
+    // briq_tool normally sits next to this bench in the build tree
+    // (build/bench/table8_throughput vs build/examples/briq_tool).
+    std::error_code ec;
+    const std::filesystem::path self =
+        std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (!ec) {
+      briq_tool =
+          (self.parent_path().parent_path() / "examples" / "briq_tool")
+              .string();
+    }
+  }
   const std::string json_path = briq::bench::JsonPathFromArgs(argc, argv);
-  // --json implies the streaming and training rows: the tracked perf
-  // trajectory should always contain every mode.
+  // --json implies the streaming, training, and fleet rows: the tracked
+  // perf trajectory should always contain every mode.
   if (!json_path.empty()) {
     stream = true;
     train = true;
+    fleet = true;
   }
-  briq::bench::Run(num_threads, json_path, stream, train, shard_size,
-                   metrics_interval);
+  briq::bench::Run(num_threads, json_path, stream, train, fleet, num_workers,
+                   shard_size, metrics_interval, briq_tool);
   return 0;
 }

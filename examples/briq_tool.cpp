@@ -23,6 +23,7 @@
 // and eval / align / serve accept `--model <path>` to skip in-process
 // training entirely.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -37,6 +38,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/baselines.h"
 #include "core/evaluation.h"
@@ -46,6 +48,7 @@
 #include "corpus/generator.h"
 #include "corpus/serialization.h"
 #include "corpus/shard_io.h"
+#include "fleet/driver.h"
 #include "obs/access_log.h"
 #include "obs/export.h"
 #include "obs/flusher.h"
@@ -56,6 +59,7 @@
 #include "serve/statusz.h"
 #include "util/json.h"
 #include "util/logging.h"
+#include "util/shutdown.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -89,6 +93,17 @@ void PrintUsage(std::ostream& out) {
       "  briq_tool logcheck <file.jsonl> [--require k1,k2,...]\n"
       "                                                  verify a JSONL file\n"
       "                                                  (e.g. the access log)\n"
+      "  briq_tool fleet <align|train> <shard_dir> [--workers <n>]\n"
+      "                  [--on-worker-failure fail|restart]"
+      " [--max-restarts <n>]\n"
+      "                  [--model <m> | --model-out <prefix>]"
+      " [--threads <n>]\n"
+      "                  [--heartbeat-seconds <s>] [--metrics-interval <s>]\n"
+      "                  [--metrics-out <path>] [--serve-port <p>]\n"
+      "                  [--serve-linger <s>]\n"
+      "                                                  multi-process shard\n"
+      "                                                  fleet (DESIGN.md"
+      " §5j)\n"
       "\n"
       "flags:\n"
       "  --json                (align) print the alignment as canonical\n"
@@ -134,6 +149,32 @@ void PrintUsage(std::ostream& out) {
       "  --serve-linger <sec>        keep serving up to <sec> seconds after\n"
       "                              the job ends (GET /quitquitquit ends\n"
       "                              the linger early)\n"
+      "  --metrics-push <host:port>  push every flushed snapshot (plus\n"
+      "                              heartbeats) as length-prefixed JSON\n"
+      "                              frames to a fleet collector on\n"
+      "                              127.0.0.1:<port>\n"
+      "  --worker-id <k>             worker id stamped into pushed frames\n"
+      "  --heartbeat-seconds <s>     heartbeat cadence between pushes\n"
+      "                              (default 0.5)\n"
+      "\n"
+      "fleet runs (`briq_tool fleet`, DESIGN.md §5j):\n"
+      "  --workers <n>               worker processes; the corpus' shards\n"
+      "                              are split into <n> contiguous ranges\n"
+      "                              (default 2, clamped to the shard count)\n"
+      "  --on-worker-failure <p>     fail (default): stop the fleet on the\n"
+      "                              first bad worker exit or missed\n"
+      "                              heartbeat; restart: re-exec the worker\n"
+      "                              over its range, up to --max-restarts\n"
+      "                              (default 2) times per slot\n"
+      "  --model <m>                 (fleet align) forwarded to workers so\n"
+      "                              they skip in-process training\n"
+      "  --model-out <prefix>        (fleet train) worker K writes\n"
+      "                              <prefix>.wK\n"
+      "  --shard-range <a:b>         (align --stream / train) process only\n"
+      "                              shards [a, b) — what fleet workers are\n"
+      "                              handed; document indices stay global\n"
+      "  --sleep-per-doc-ms <n>      (align --stream) throttle: sleep after\n"
+      "                              each document (fleet smoke tests)\n"
       "\n"
       "serving alignments (`briq_tool serve`, DESIGN.md §5h):\n"
       "  --model <model>             serve POST /align from this\n"
@@ -186,6 +227,54 @@ std::optional<std::string> FlagValue(int argc, char** argv, const char* flag) {
   return std::nullopt;
 }
 
+bool Contains(const std::vector<const char*>& flags, const char* arg) {
+  for (const char* flag : flags) {
+    if (std::strcmp(flag, arg) == 0) return true;
+  }
+  return false;
+}
+
+/// Strict flag vetting: every `--` token must be a known value flag (which
+/// consumes the next token) or a known boolean flag for the subcommand.
+/// A typo'd flag would otherwise be silently ignored — and an ignored
+/// `--model-out` or `--on-worker-failure` is a silently wrong run. Returns
+/// 0 or the usage exit code (2).
+int CheckFlags(int argc, char** argv,
+               const std::vector<const char*>& value_flags,
+               const std::vector<const char*>& bool_flags = {}) {
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) continue;
+    if (Contains(value_flags, arg)) {
+      if (i + 1 >= argc) {
+        std::cerr << "briq_tool: flag '" << arg << "' requires a value\n";
+        return Usage();
+      }
+      ++i;  // the value, even if it starts with "--"
+      continue;
+    }
+    if (Contains(bool_flags, arg)) continue;
+    std::cerr << "briq_tool: unknown flag '" << arg << "' for '" << argv[1]
+              << "'\n";
+    return Usage();
+  }
+  return 0;
+}
+
+/// The continuous-telemetry flags shared by every RunWithTelemetry command
+/// (SetupTelemetry + MaybeWriteMetrics), prepended to a command's own
+/// value flags.
+std::vector<const char*> WithTelemetryFlags(std::vector<const char*> flags) {
+  for (const char* flag :
+       {"--metrics-out", "--metrics-interval", "--metrics-every-docs",
+        "--metrics-flush-out", "--trace-out", "--trace-sample",
+        "--trace-slowest", "--serve-port", "--serve-linger", "--metrics-push",
+        "--worker-id", "--heartbeat-seconds"}) {
+    flags.push_back(flag);
+  }
+  return flags;
+}
+
 /// Writes the observability snapshot when --metrics-out was given; folds
 /// the write status into the command's exit code.
 int MaybeWriteMetrics(int argc, char** argv, int rc) {
@@ -226,6 +315,41 @@ std::optional<double> ParseDouble(const char* arg) {
   }
   if (arg[pos] != '\0') return std::nullopt;
   return value;
+}
+
+/// Parses the --shard-range spec "a:b" (shard indices, end exclusive).
+bool ParseShardRange(const std::string& spec, size_t* begin, size_t* end) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos) return false;
+  const std::optional<size_t> b = ParseSize(spec.substr(0, colon).c_str());
+  const std::optional<size_t> e = ParseSize(spec.substr(colon + 1).c_str());
+  if (!b || !e || *b >= *e) return false;
+  *begin = *b;
+  *end = *e;
+  return true;
+}
+
+/// Documents declared by the shard headers of [shard_begin, shard_end)
+/// alone — the range analogue of corpus::CountShardedDocuments, used by
+/// `train --shard-range` to compute its split without a corpus pass.
+util::Result<size_t> CountRangeDocuments(const std::string& directory,
+                                         size_t shard_begin,
+                                         size_t shard_end) {
+  BRIQ_ASSIGN_OR_RETURN(const std::vector<std::string> paths,
+                        corpus::ListShards(directory, kShardStem));
+  shard_end = std::min(shard_end, paths.size());
+  if (shard_begin >= shard_end) {
+    return util::Status::InvalidArgument(
+        "--shard-range is empty for this corpus (it has " +
+        std::to_string(paths.size()) + " shard(s))");
+  }
+  size_t total = 0;
+  for (size_t i = shard_begin; i < shard_end; ++i) {
+    BRIQ_ASSIGN_OR_RETURN(const corpus::ShardHeader header,
+                          corpus::ReadShardHeader(paths[i]));
+    total += header.num_documents;
+  }
+  return total;
 }
 
 /// Continuous-telemetry attachments (DESIGN.md §5e): a sampled Perfetto
@@ -293,7 +417,9 @@ int SetupTelemetry(int argc, char** argv, const char* docs_counter,
       FlagValue(argc, argv, "--metrics-interval");
   const std::optional<std::string> every_docs =
       FlagValue(argc, argv, "--metrics-every-docs");
-  if (flush_out || interval || every_docs) {
+  const std::optional<std::string> push =
+      FlagValue(argc, argv, "--metrics-push");
+  if (flush_out || interval || every_docs || push) {
     obs::FlusherOptions options;
     options.docs_counter = docs_counter;
     if (flush_out) options.path = *flush_out;
@@ -308,6 +434,37 @@ int SetupTelemetry(int argc, char** argv, const char* docs_counter,
       options.every_docs = *parsed;
       // Docs-only cadence unless an interval was also requested.
       if (!interval) options.interval_seconds = 0.0;
+    }
+    if (push) {
+      // host:port, loopback only — the push socket is util::ClientSocket,
+      // which connects to 127.0.0.1 by design.
+      const size_t colon = push->rfind(':');
+      if (colon == std::string::npos) {
+        std::cerr << "--metrics-push expects host:port\n";
+        return Usage();
+      }
+      const std::string host = push->substr(0, colon);
+      if (host != "127.0.0.1" && host != "localhost") {
+        std::cerr << "--metrics-push host must be 127.0.0.1 or localhost "
+                     "(the push socket is loopback-only)\n";
+        return Usage();
+      }
+      const std::optional<size_t> port =
+          ParseSize(push->substr(colon + 1).c_str());
+      if (!port || *port == 0 || *port > 65535) return Usage();
+      options.push_port = static_cast<uint16_t>(*port);
+      if (const std::optional<std::string> v =
+              FlagValue(argc, argv, "--worker-id")) {
+        const std::optional<size_t> parsed = ParseSize(v->c_str());
+        if (!parsed) return Usage();
+        options.push_worker_id = static_cast<int>(*parsed);
+      }
+      if (const std::optional<std::string> v =
+              FlagValue(argc, argv, "--heartbeat-seconds")) {
+        const std::optional<double> parsed = ParseDouble(v->c_str());
+        if (!parsed || *parsed <= 0.0) return Usage();
+        options.heartbeat_seconds = *parsed;
+      }
     }
     t->flusher = std::make_unique<obs::MetricsFlusher>(
         options, /*registry=*/nullptr, t->exporter.get());
@@ -562,18 +719,33 @@ int Train(int argc, char** argv) {
   size_t trained_docs = 0;
   util::Status status;
 
+  size_t shard_begin = 0;
+  size_t shard_end = SIZE_MAX;
+  bool has_range = false;
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--shard-range")) {
+    if (!ParseShardRange(*v, &shard_begin, &shard_end)) return Usage();
+    has_range = true;
+  }
+
   std::error_code ec;
   if (std::filesystem::is_directory(argv[2], ec)) {
     // Sharded corpus: count documents from the shard headers (cheap), then
-    // stream — the corpus itself never materializes in memory.
-    auto count = corpus::CountShardedDocuments(argv[2], kShardStem);
+    // stream — the corpus itself never materializes in memory. With
+    // --shard-range both the count and the reader cover just the range.
+    auto count = has_range
+                     ? CountRangeDocuments(argv[2], shard_begin, shard_end)
+                     : corpus::CountShardedDocuments(argv[2], kShardStem);
     if (!count.ok()) {
       std::cerr << count.status().ToString() << "\n";
       return 1;
     }
     total_docs = *count;
     const size_t limit = total_docs * train_pct / 100;
-    auto reader = corpus::ShardedCorpusReader::Open(argv[2], kShardStem);
+    auto reader = has_range
+                      ? corpus::ShardedCorpusReader::Open(
+                            argv[2], kShardStem, shard_begin, shard_end)
+                      : corpus::ShardedCorpusReader::Open(argv[2], kShardStem);
     if (!reader.ok()) {
       std::cerr << reader.status().ToString() << "\n";
       return 1;
@@ -588,6 +760,10 @@ int Train(int argc, char** argv) {
           return next;
         });
   } else {
+    if (has_range) {
+      std::cerr << "--shard-range requires a sharded corpus directory\n";
+      return Usage();
+    }
     auto corpus = corpus::LoadCorpus(argv[2]);
     if (!corpus.ok()) {
       std::cerr << corpus.status().ToString() << "\n";
@@ -672,15 +848,45 @@ int AlignStream(int argc, char** argv) {
                  "shard`)\n";
     return 1;
   }
-  auto corpus = Load(argv[2]);
-  if (!corpus.ok()) {
-    std::cerr << corpus.status().ToString() << "\n";
-    return 1;
+
+  size_t shard_begin = 0;
+  size_t shard_end = SIZE_MAX;
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--shard-range")) {
+    if (!ParseShardRange(*v, &shard_begin, &shard_end)) return Usage();
   }
-  std::optional<Trained> trained = TrainOrLoad(argc, argv, *corpus,
-                                               /*holdout=*/-1);
-  if (!trained) return 1;
-  Trained t = std::move(*trained);
+
+  int sleep_per_doc_ms = 0;
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--sleep-per-doc-ms")) {
+    const std::optional<size_t> parsed = ParseSize(v->c_str());
+    if (!parsed) return Usage();
+    sleep_per_doc_ms = static_cast<int>(*parsed);
+  }
+
+  Trained t;
+  if (const std::optional<std::string> model =
+          FlagValue(argc, argv, "--model")) {
+    // Persisted model: skip loading the corpus entirely — the streaming
+    // pipeline reads the shards itself, so peak memory stays O(1) in the
+    // corpus size (this is what every fleet worker runs).
+    t.system = std::make_unique<core::BriqSystem>(t.config);
+    const util::Status status = t.system->LoadModel(*model);
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+  } else {
+    auto corpus = Load(argv[2]);
+    if (!corpus.ok()) {
+      std::cerr << corpus.status().ToString() << "\n";
+      return 1;
+    }
+    std::optional<Trained> trained = TrainOrLoad(argc, argv, *corpus,
+                                                 /*holdout=*/-1);
+    if (!trained) return 1;
+    t = std::move(*trained);
+  }
 
   core::StreamingOptions options;
   if (const std::optional<std::string> threads =
@@ -698,7 +904,12 @@ int AlignStream(int argc, char** argv) {
           const core::DocumentAlignment& alignment) {
         ++docs;
         decisions += alignment.decisions.size();
-      });
+        if (sleep_per_doc_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(sleep_per_doc_ms));
+        }
+      },
+      shard_begin, shard_end);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
@@ -916,12 +1127,22 @@ int Serve(int argc, char** argv) {
             << (system != nullptr ? "ready" : "disabled (no --model)")
             << "\n"
             << std::flush;
+  // SIGTERM/SIGINT drain gracefully: the loop below exits, Stop() finishes
+  // the in-flight requests, and the trace/access-log teardown still runs —
+  // a supervisor's TERM loses no records. A second signal kills outright.
+  util::InstallShutdownHandler();
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(linger_seconds));
-  while (std::chrono::steady_clock::now() < deadline && !quit.load()) {
+  while (std::chrono::steady_clock::now() < deadline && !quit.load() &&
+         !util::ShutdownRequested()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (util::ShutdownRequested()) {
+    std::cout << "shutting down on signal " << util::ShutdownSignal()
+              << " (draining in-flight requests)\n"
+              << std::flush;
   }
   server.Stop();
   if (exporter != nullptr) {
@@ -994,6 +1215,116 @@ int LogCheck(int argc, char** argv) {
   return 0;
 }
 
+/// `briq_tool fleet <align|train> <shard_dir>`: the multi-process shard
+/// driver (DESIGN.md §5j). Partitions the corpus' shards into contiguous
+/// ranges, re-execs this binary once per range with --shard-range and
+/// --metrics-push, and serves the merged fleet telemetry until every
+/// worker finished (or the failure policy stops the run).
+int Fleet(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  fleet::FleetOptions options;
+  options.mode = argv[2];
+  options.corpus_dir = argv[3];
+
+  // Workers re-exec this very binary. /proc/self/exe resolves it even when
+  // argv[0] was a bare name found via PATH; --worker-binary overrides
+  // (tests point it at a stub).
+  std::error_code ec;
+  const std::filesystem::path self =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  options.worker_binary = ec ? std::string(argv[0]) : self.string();
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--worker-binary")) {
+    options.worker_binary = *v;
+  }
+
+  if (const std::optional<std::string> v = FlagValue(argc, argv, "--workers")) {
+    const std::optional<size_t> parsed = ParseSize(v->c_str());
+    if (!parsed || *parsed == 0) return Usage();
+    options.num_workers = static_cast<int>(*parsed);
+  }
+  if (const std::optional<std::string> v = FlagValue(argc, argv, "--threads")) {
+    const std::optional<size_t> parsed = ParseSize(v->c_str());
+    if (!parsed || *parsed == 0) return Usage();
+    options.worker_threads = static_cast<int>(*parsed);
+  }
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--on-worker-failure")) {
+    if (*v == "fail") {
+      options.on_failure = fleet::OnWorkerFailure::kFail;
+    } else if (*v == "restart") {
+      options.on_failure = fleet::OnWorkerFailure::kRestart;
+    } else {
+      std::cerr << "--on-worker-failure expects fail or restart\n";
+      return Usage();
+    }
+  }
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--max-restarts")) {
+    const std::optional<size_t> parsed = ParseSize(v->c_str());
+    if (!parsed) return Usage();
+    options.max_restarts = static_cast<int>(*parsed);
+  }
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--heartbeat-seconds")) {
+    const std::optional<double> parsed = ParseDouble(v->c_str());
+    if (!parsed || *parsed <= 0.0) return Usage();
+    options.heartbeat_seconds = *parsed;
+  }
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--metrics-interval")) {
+    const std::optional<double> parsed = ParseDouble(v->c_str());
+    if (!parsed || *parsed <= 0.0) return Usage();
+    options.metrics_interval_seconds = *parsed;
+  }
+  // The fleet's --metrics-out is the merged JSONL record stream (the
+  // multi-process mirror of --metrics-flush-out), written by the driver —
+  // not the single-process observability snapshot MaybeWriteMetrics emits.
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--metrics-out")) {
+    options.metrics_out = *v;
+  }
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--serve-port")) {
+    const std::optional<size_t> parsed = ParseSize(v->c_str());
+    if (!parsed || *parsed > 65535) return Usage();
+    options.http_port = static_cast<uint16_t>(*parsed);
+  }
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--serve-linger")) {
+    const std::optional<double> parsed = ParseDouble(v->c_str());
+    if (!parsed) return Usage();
+    options.serve_linger_seconds = *parsed;
+  }
+  if (const std::optional<std::string> v = FlagValue(argc, argv, "--model")) {
+    options.model = *v;
+  }
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--model-out")) {
+    options.model_out = *v;
+  }
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--sleep-per-doc-ms")) {
+    const std::optional<size_t> parsed = ParseSize(v->c_str());
+    if (!parsed) return Usage();
+    options.sleep_per_doc_ms = static_cast<int>(*parsed);
+  }
+  if (const std::optional<std::string> v =
+          FlagValue(argc, argv, "--shutdown-grace-seconds")) {
+    const std::optional<double> parsed = ParseDouble(v->c_str());
+    if (!parsed || *parsed <= 0.0) return Usage();
+    options.shutdown_grace_seconds = *parsed;
+  }
+
+  fleet::FleetDriver driver(std::move(options));
+  const util::Status status = driver.Run();
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 /// Applies BRIQ_LOG_LEVEL from the environment. Returns false (after
 /// printing the usage) when the variable is set to an unknown value.
 bool ApplyLogLevelFromEnv() {
@@ -1027,20 +1358,68 @@ int main(int argc, char** argv) {
     PrintUsage(std::cout);
     return 0;
   }
-  if (cmd == "generate") return MaybeWriteMetrics(argc, argv, Generate(argc, argv));
-  if (cmd == "shard") return MaybeWriteMetrics(argc, argv, Shard(argc, argv));
-  if (cmd == "stats") return Stats(argc, argv);
-  if (cmd == "serve") return Serve(argc, argv);
-  if (cmd == "logcheck") return LogCheck(argc, argv);
+  if (cmd == "generate") {
+    if (const int rc = CheckFlags(argc, argv, {"--metrics-out"}, {"--compact"}))
+      return rc;
+    return MaybeWriteMetrics(argc, argv, Generate(argc, argv));
+  }
+  if (cmd == "shard") {
+    if (const int rc = CheckFlags(argc, argv, {"--metrics-out"})) return rc;
+    return MaybeWriteMetrics(argc, argv, Shard(argc, argv));
+  }
+  if (cmd == "stats") {
+    if (const int rc = CheckFlags(argc, argv, {})) return rc;
+    return Stats(argc, argv);
+  }
+  if (cmd == "serve") {
+    if (const int rc = CheckFlags(
+            argc, argv,
+            {"--model", "--port", "--serve-port", "--serve-threads",
+             "--queue-capacity", "--retry-after-seconds",
+             "--slow-request-seconds", "--serve-linger", "--access-log",
+             "--access-log-max-bytes", "--trace-out", "--trace-sample",
+             "--trace-slowest", "--metrics-out"}))
+      return rc;
+    return Serve(argc, argv);
+  }
+  if (cmd == "logcheck") {
+    if (const int rc = CheckFlags(argc, argv, {"--require"})) return rc;
+    return LogCheck(argc, argv);
+  }
+  if (cmd == "fleet") {
+    if (const int rc = CheckFlags(
+            argc, argv,
+            {"--workers", "--threads", "--on-worker-failure", "--max-restarts",
+             "--heartbeat-seconds", "--metrics-interval", "--metrics-out",
+             "--serve-port", "--serve-linger", "--model", "--model-out",
+             "--worker-binary", "--sleep-per-doc-ms",
+             "--shutdown-grace-seconds"}))
+      return rc;
+    return Fleet(argc, argv);
+  }
   if (cmd == "eval") {
+    if (const int rc = CheckFlags(argc, argv, WithTelemetryFlags({"--model"})))
+      return rc;
     return RunWithTelemetry(argc, argv, "briq.align.documents",
                             [&] { return Eval(argc, argv); });
   }
   if (cmd == "train") {
+    if (const int rc = CheckFlags(
+            argc, argv,
+            WithTelemetryFlags({"--model-out", "--train-pct", "--threads",
+                                "--spill-dir", "--max-samples",
+                                "--shard-range"})))
+      return rc;
     return RunWithTelemetry(argc, argv, "briq.train.documents",
                             [&] { return Train(argc, argv); });
   }
   if (cmd == "align") {
+    if (const int rc = CheckFlags(
+            argc, argv,
+            WithTelemetryFlags({"--model", "--html", "--threads",
+                                "--shard-range", "--sleep-per-doc-ms"}),
+            {"--json", "--stream"}))
+      return rc;
     if (const std::optional<std::string> html =
             FlagValue(argc, argv, "--html")) {
       return RunWithTelemetry(argc, argv, "briq.serve.align_documents",
@@ -1056,5 +1435,6 @@ int main(int argc, char** argv) {
           return stream ? AlignStream(argc, argv) : AlignOne(argc, argv);
         });
   }
+  std::cerr << "briq_tool: unknown command '" << cmd << "'\n";
   return Usage();
 }

@@ -243,8 +243,14 @@ util::Status AlignShardedCorpus(const Aligner& aligner,
                                 const std::string& directory,
                                 const std::string& stem,
                                 const StreamingOptions& options,
-                                const AlignmentSink& sink) {
-  auto reader = corpus::ShardedCorpusReader::Open(directory, stem);
+                                const AlignmentSink& sink,
+                                size_t shard_begin, size_t shard_end) {
+  const bool whole_corpus = shard_begin == 0 && shard_end == SIZE_MAX;
+  auto reader =
+      whole_corpus
+          ? corpus::ShardedCorpusReader::Open(directory, stem)
+          : corpus::ShardedCorpusReader::Open(directory, stem, shard_begin,
+                                              shard_end);
   if (!reader.ok()) return reader.status();
   StreamingAligner streaming(&aligner, &config, options);
   return streaming.Run([&reader] { return reader->Next(); }, sink);

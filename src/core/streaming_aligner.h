@@ -2,6 +2,7 @@
 #define BRIQ_CORE_STREAMING_ALIGNER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -70,14 +71,19 @@ class StreamingAligner {
   StreamingOptions options_;
 };
 
-/// Convenience wrapper: streams an entire sharded corpus (see
-/// corpus/shard_io.h) through `aligner`.
+/// Convenience wrapper: streams a sharded corpus (see corpus/shard_io.h)
+/// through `aligner`. The default arguments cover the whole corpus; a
+/// fleet worker passes its assigned [shard_begin, shard_end) range and
+/// still sees corpus-global document indices in the sink (the range
+/// reader's contract), so per-range outputs concatenate cleanly.
 util::Status AlignShardedCorpus(const Aligner& aligner,
                                 const BriqConfig& config,
                                 const std::string& directory,
                                 const std::string& stem,
                                 const StreamingOptions& options,
-                                const AlignmentSink& sink);
+                                const AlignmentSink& sink,
+                                size_t shard_begin = 0,
+                                size_t shard_end = SIZE_MAX);
 
 }  // namespace briq::core
 

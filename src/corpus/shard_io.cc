@@ -332,13 +332,37 @@ util::Result<ShardedCorpusReader> ShardedCorpusReader::Open(
     const std::string& directory, const std::string& stem) {
   ShardedCorpusReader reader;
   BRIQ_ASSIGN_OR_RETURN(reader.shard_paths_, ListShards(directory, stem));
+  reader.end_shard_ = reader.shard_paths_.size();
+  return reader;
+}
+
+util::Result<ShardedCorpusReader> ShardedCorpusReader::Open(
+    const std::string& directory, const std::string& stem, size_t shard_begin,
+    size_t shard_end) {
+  ShardedCorpusReader reader;
+  BRIQ_ASSIGN_OR_RETURN(reader.shard_paths_, ListShards(directory, stem));
+  shard_end = std::min(shard_end, reader.shard_paths_.size());
+  if (shard_begin >= shard_end) {
+    return util::Status::InvalidArgument(
+        "empty shard range [" + std::to_string(shard_begin) + ", " +
+        std::to_string(shard_end) + ") over " +
+        std::to_string(reader.shard_paths_.size()) + " shards: " + directory);
+  }
+  reader.begin_shard_ = shard_begin;
+  reader.next_shard_ = shard_begin;
+  reader.end_shard_ = shard_end;
+  // Seed the global document index from the begin shard's header so range
+  // readers report corpus-wide indices, not range-local ones.
+  BRIQ_ASSIGN_OR_RETURN(ShardHeader header,
+                        ReadShardHeader(reader.shard_paths_[shard_begin]));
+  reader.next_document_index_ = header.first_document_index;
   return reader;
 }
 
 util::Result<std::optional<Document>> ShardedCorpusReader::Next() {
   while (true) {
     if (!current_.has_value()) {
-      if (next_shard_ >= shard_paths_.size()) {
+      if (next_shard_ >= end_shard_) {
         return std::optional<Document>();
       }
       const std::string& path = shard_paths_[next_shard_];

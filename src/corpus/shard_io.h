@@ -135,18 +135,33 @@ class ShardedCorpusReader {
   static util::Result<ShardedCorpusReader> Open(const std::string& directory,
                                                 const std::string& stem);
 
-  /// Next document, or std::nullopt after the last shard is exhausted.
+  /// Opens the contiguous shard range [shard_begin, shard_end). Document
+  /// indices stay GLOBAL (seeded from the begin shard's
+  /// first_document_index), so a fleet of range readers partitions the
+  /// corpus without renumbering — worker K's results key by the same
+  /// document indices a single-process run would use. shard_end past the
+  /// last shard clamps; an empty or inverted range is an error.
+  static util::Result<ShardedCorpusReader> Open(const std::string& directory,
+                                                const std::string& stem,
+                                                size_t shard_begin,
+                                                size_t shard_end);
+
+  /// Next document, or std::nullopt after the last shard of the range is
+  /// exhausted.
   util::Result<std::optional<Document>> Next();
 
   /// Global index of the next document Next() would return.
   size_t next_document_index() const { return next_document_index_; }
-  size_t num_shards() const { return shard_paths_.size(); }
+  /// Shards in the opened range (the whole corpus for the 2-arg Open).
+  size_t num_shards() const { return end_shard_ - begin_shard_; }
 
  private:
   ShardedCorpusReader() = default;
 
   std::vector<std::string> shard_paths_;
+  size_t begin_shard_ = 0;
   size_t next_shard_ = 0;
+  size_t end_shard_ = 0;
   std::optional<ShardReader> current_;
   size_t next_document_index_ = 0;
 };

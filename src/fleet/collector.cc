@@ -1,0 +1,246 @@
+#include "fleet/collector.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <vector>
+
+#include "util/framing.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace briq::fleet {
+
+namespace {
+
+/// One recv's worth of frame bytes. Snapshots are a few KB; a full frame
+/// larger than this simply arrives over multiple reads.
+constexpr size_t kRecvChunkBytes = 64 * 1024;
+
+double UnixSecondsNow() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+struct Collector::Connection {
+  util::ClientSocket socket;
+  util::FrameReader reader;
+};
+
+Collector::Collector(CollectorOptions options) : options_(options) {}
+
+Collector::~Collector() { Stop(); }
+
+util::Status Collector::Start() {
+  if (running_.load()) {
+    return util::Status::FailedPrecondition("collector already started");
+  }
+  util::Result<util::TcpListener> listener =
+      util::TcpListener::Listen(options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::make_unique<util::TcpListener>(std::move(listener).value());
+  stop_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { Loop(); });
+  return util::Status::OK();
+}
+
+void Collector::Stop() {
+  if (!running_.exchange(false)) return;
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  listener_.reset();
+}
+
+uint16_t Collector::port() const {
+  return listener_ != nullptr ? listener_->port() : 0;
+}
+
+void Collector::Loop() {
+  std::vector<Connection> connections;
+  while (!stop_.load()) {
+    const int fd = listener_->AcceptOnce(options_.poll_seconds);
+    if (fd >= 0) {
+      connections.push_back(Connection{util::ClientSocket(fd), {}});
+    }
+    for (size_t i = 0; i < connections.size();) {
+      Connection& conn = connections[i];
+      bool drop = false;
+      // Zero-timeout poll so one silent connection never delays the rest.
+      pollfd pfd{};
+      pfd.fd = conn.socket.fd();
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, 0);
+      if (ready > 0) {
+        char buf[kRecvChunkBytes];
+        const ssize_t n = ::recv(conn.socket.fd(), buf, sizeof(buf), 0);
+        if (n > 0) {
+          conn.reader.Append(buf, static_cast<size_t>(n));
+          while (true) {
+            util::Result<std::optional<std::string>> next = conn.reader.Next();
+            if (!next.ok()) {
+              // Desynchronized length prefix: this stream is unreadable
+              // from here on, but only this stream — drop it, count it,
+              // keep collecting from everyone else.
+              frame_errors_.fetch_add(1);
+              BRIQ_LOG(Warning)
+                  << "fleet collector: dropping connection: "
+                  << next.status().ToString();
+              drop = true;
+              break;
+            }
+            if (!next->has_value()) break;
+            if (!HandleFrame(**next)) frame_errors_.fetch_add(1);
+          }
+        } else if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK &&
+                              errno != EINTR)) {
+          // EOF (or a dead peer). A torn trailing frame means the worker
+          // died mid-send; the complete frames before it already merged.
+          if (n == 0 && conn.reader.pending_bytes() > 0) {
+            frame_errors_.fetch_add(1);
+            BRIQ_LOG(Warning) << "fleet collector: connection closed "
+                              << "mid-frame (" << conn.reader.pending_bytes()
+                              << " bytes pending)";
+          }
+          drop = true;
+        }
+      }
+      if (drop) {
+        connections.erase(connections.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+    open_connections_.store(connections.size());
+  }
+  connections.clear();
+  open_connections_.store(0);
+}
+
+bool Collector::HandleFrame(const std::string& payload) {
+  util::Result<util::Json> parsed = util::Json::Parse(payload);
+  if (!parsed.ok() || !parsed->is_object() || !parsed->Has("type") ||
+      !parsed->Has("worker") || !parsed->at("worker").is_number()) {
+    BRIQ_LOG(Warning) << "fleet collector: malformed frame payload";
+    return false;
+  }
+  const std::string& type = parsed->Get("type", util::Json("")).AsString();
+  const int worker = parsed->at("worker").AsInt();
+  const uint64_t docs =
+      parsed->Has("docs_total") && parsed->at("docs_total").is_number()
+          ? static_cast<uint64_t>(parsed->at("docs_total").AsDouble())
+          : 0;
+  const double ts =
+      parsed->Has("ts_monotonic_sec") &&
+              parsed->at("ts_monotonic_sec").is_number()
+          ? parsed->at("ts_monotonic_sec").AsDouble()
+          : -1.0;
+
+  if (type == "snapshot") {
+    if (!parsed->Has("snapshot")) {
+      BRIQ_LOG(Warning) << "fleet collector: snapshot frame without snapshot";
+      return false;
+    }
+    util::Result<obs::MetricsSnapshot> snapshot =
+        obs::MetricsSnapshotFromJson(parsed->at("snapshot"));
+    if (!snapshot.ok()) {
+      BRIQ_LOG(Warning) << "fleet collector: " << snapshot.status().ToString();
+      return false;
+    }
+    obs::MetricsSnapshot value = std::move(snapshot).value();
+    value.capture_unix_seconds = UnixSecondsNow();
+    merge_.Update(worker, std::move(value));
+  } else if (type != "heartbeat") {
+    BRIQ_LOG(Warning) << "fleet collector: unknown frame type '" << type
+                      << "'";
+    return false;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkerState& state = workers_[worker];
+  state.ever_reported = true;
+  state.last_frame = std::chrono::steady_clock::now();
+  if (type == "snapshot") ++state.snapshots;
+  if (docs >= state.docs_total) state.docs_total = docs;
+  if (ts >= 0.0) {
+    if (state.last_rate_ts >= 0.0 && ts > state.last_rate_ts &&
+        docs >= state.last_rate_docs) {
+      state.docs_per_sec = static_cast<double>(docs - state.last_rate_docs) /
+                           (ts - state.last_rate_ts);
+    }
+    if (ts < state.last_rate_ts) {
+      // Restarted worker: its monotonic clock began again. Reseed.
+      state.docs_per_sec = 0.0;
+    }
+    state.last_rate_ts = ts;
+    state.last_rate_docs = docs;
+  }
+  frames_.fetch_add(1);
+  return true;
+}
+
+WorkerTelemetry Collector::TelemetryLocked(
+    int worker_id, const WorkerState& state,
+    std::chrono::steady_clock::time_point now) const {
+  WorkerTelemetry telemetry;
+  telemetry.worker_id = worker_id;
+  telemetry.ever_reported = state.ever_reported;
+  telemetry.docs_total = state.docs_total;
+  telemetry.docs_per_sec = state.docs_per_sec;
+  telemetry.snapshots = state.snapshots;
+  if (state.ever_reported) {
+    telemetry.last_frame_age_seconds =
+        std::chrono::duration<double>(now - state.last_frame).count();
+    telemetry.missed_heartbeat =
+        options_.heartbeat_seconds > 0.0 &&
+        telemetry.last_frame_age_seconds > 2.0 * options_.heartbeat_seconds;
+  }
+  return telemetry;
+}
+
+std::vector<WorkerTelemetry> Collector::Workers() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WorkerTelemetry> out;
+  out.reserve(workers_.size());
+  for (const auto& [worker_id, state] : workers_) {
+    out.push_back(TelemetryLocked(worker_id, state, now));
+  }
+  return out;
+}
+
+std::optional<WorkerTelemetry> Collector::Worker(int worker_id) const {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = workers_.find(worker_id);
+  if (it == workers_.end()) return std::nullopt;
+  return TelemetryLocked(worker_id, it->second, now);
+}
+
+void Collector::ResetWorkerLiveness(int worker_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = workers_.find(worker_id);
+  if (it == workers_.end()) return;
+  it->second.last_frame = std::chrono::steady_clock::now();
+  it->second.last_rate_ts = -1.0;
+  it->second.last_rate_docs = 0;
+  it->second.docs_per_sec = 0.0;
+}
+
+bool Collector::WaitForDrain(double timeout_seconds) const {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  while (open_connections_.load() > 0) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return true;
+}
+
+}  // namespace briq::fleet

@@ -1,0 +1,155 @@
+#ifndef BRIQ_FLEET_COLLECTOR_H_
+#define BRIQ_FLEET_COLLECTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/snapshot_merge.h"
+#include "util/status.h"
+#include "util/tcp_listener.h"
+
+namespace briq::fleet {
+
+/// Tuning knobs of the push-metrics collector.
+struct CollectorOptions {
+  /// 127.0.0.1 port to listen on; 0 asks the kernel for an ephemeral one.
+  uint16_t port = 0;
+  /// The workers' heartbeat cadence. A worker that has reported at least
+  /// once and then stays silent for 2x this is flagged missed_heartbeat.
+  double heartbeat_seconds = 0.5;
+  /// Accept/read poll cadence of the collector thread.
+  double poll_seconds = 0.02;
+};
+
+/// The collector's liveness view of one worker slot, derived from the
+/// frames that worker has pushed (process-level supervision — exits,
+/// restarts — lives in the driver, not here).
+struct WorkerTelemetry {
+  int worker_id = 0;
+  /// At least one frame arrived from this worker. Heartbeat enforcement
+  /// starts here: a worker whose flusher never connects (e.g. a
+  /// BRIQ_NO_METRICS build, whose flusher is a stub) is supervised by
+  /// process exit alone, never falsely flagged.
+  bool ever_reported = false;
+  /// Seconds since the last frame (snapshot or heartbeat); -1 before the
+  /// first one.
+  double last_frame_age_seconds = -1.0;
+  uint64_t docs_total = 0;
+  /// Rate over the worker's own monotonic timestamps between its last two
+  /// document-count reports (immune to collector-side scheduling jitter).
+  double docs_per_sec = 0.0;
+  size_t snapshots = 0;
+  /// ever_reported && last frame older than 2 * heartbeat_seconds.
+  bool missed_heartbeat = false;
+};
+
+/// The fleet driver's ingest half (DESIGN.md §5j): one background thread
+/// accepting worker connections on a util::TcpListener and draining
+/// length-prefixed JSON frames (util/framing.h) into an obs::SnapshotMerge
+/// plus per-worker liveness state. Frame schema:
+///
+///   {"type": "snapshot", "worker": K, "flush_index": i, "trigger": t,
+///    "docs_total": d, "ts_monotonic_sec": s, "snapshot": <MetricsToJson>}
+///   {"type": "heartbeat", "worker": K, "docs_total": d,
+///    "ts_monotonic_sec": s}
+///
+/// Fault containment: a malformed frame or a desynchronized length prefix
+/// drops that one connection (counted in frame_errors()) and nothing
+/// else — the merge, the other workers, and the accept loop keep going.
+/// All accessors are thread-safe.
+class Collector {
+ public:
+  explicit Collector(CollectorOptions options = {});
+  ~Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Binds the port and starts the collector thread.
+  util::Status Start();
+
+  /// Stops the thread and closes every connection. Idempotent.
+  void Stop();
+
+  /// The bound port once Start() succeeded, else 0.
+  uint16_t port() const;
+
+  /// Fleet-wide aggregate of the latest snapshot per worker.
+  obs::MetricsSnapshot Merged() const { return merge_.Merged(); }
+
+  /// Latest snapshot per worker, for `worker="N"`-labelled export.
+  std::vector<std::pair<int, obs::MetricsSnapshot>> WorkerSnapshots() const {
+    return merge_.WorkerSnapshots();
+  }
+
+  /// Liveness view of every worker that has ever reported, ascending id.
+  std::vector<WorkerTelemetry> Workers() const;
+
+  /// Liveness view of one worker; nullopt before its first frame.
+  std::optional<WorkerTelemetry> Worker(int worker_id) const;
+
+  /// Restarts the liveness clock of `worker_id` (the driver calls this
+  /// when it re-execs a worker, so the fresh process gets a full heartbeat
+  /// grace period). The worker's merged contribution is kept: the new
+  /// incarnation's first snapshot replaces it wholesale.
+  void ResetWorkerLiveness(int worker_id);
+
+  /// Frames accepted (snapshots + heartbeats) and frames/streams rejected.
+  size_t frames_received() const { return frames_.load(); }
+  size_t frame_errors() const { return frame_errors_.load(); }
+
+  /// Connections currently open.
+  size_t open_connections() const { return open_connections_.load(); }
+
+  /// Waits until every connection has drained to EOF (workers send their
+  /// final snapshot right before exiting; the driver calls this after the
+  /// last exit so the final merge is complete). False on timeout.
+  bool WaitForDrain(double timeout_seconds) const;
+
+ private:
+  struct Connection;
+  struct WorkerState {
+    bool ever_reported = false;
+    std::chrono::steady_clock::time_point last_frame{};
+    uint64_t docs_total = 0;
+    double docs_per_sec = 0.0;
+    /// Previous (worker-monotonic ts, docs) pair for the rate.
+    double last_rate_ts = -1.0;
+    uint64_t last_rate_docs = 0;
+    size_t snapshots = 0;
+  };
+
+  void Loop();
+  /// Handles one complete frame payload. Returns false when the payload is
+  /// malformed (the connection is dropped by the caller).
+  bool HandleFrame(const std::string& payload);
+  WorkerTelemetry TelemetryLocked(int worker_id, const WorkerState& state,
+                                  std::chrono::steady_clock::time_point now)
+      const;
+
+  const CollectorOptions options_;
+  std::unique_ptr<util::TcpListener> listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> frames_{0};
+  std::atomic<size_t> frame_errors_{0};
+  std::atomic<size_t> open_connections_{0};
+
+  obs::SnapshotMerge merge_;
+  mutable std::mutex mu_;  // guards workers_
+  std::map<int, WorkerState> workers_;
+};
+
+}  // namespace briq::fleet
+
+#endif  // BRIQ_FLEET_COLLECTOR_H_

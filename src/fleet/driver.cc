@@ -1,0 +1,590 @@
+#include "fleet/driver.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <thread>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "serve/router.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/shutdown.h"
+
+namespace briq::fleet {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+double UnixSecondsNow() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Counts the `<stem>-NNNNN.jsonl` shard files under `directory` and
+/// verifies contiguous numbering from 0. Deliberately a local filesystem
+/// scan (not corpus::ListShards): briq_fleet stays off briq_core/corpus so
+/// the sanitizer sub-builds keep their small dependency closure.
+util::Result<size_t> CountShardFiles(const std::string& directory,
+                                     const std::string& stem) {
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return util::Status::NotFound("shard directory not found: " + directory);
+  }
+  const std::string prefix = stem + "-";
+  const std::string suffix = ".jsonl";
+  std::vector<int> indices;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    indices.push_back(std::atoi(digits.c_str()));
+  }
+  if (indices.empty()) {
+    return util::Status::NotFound("no " + prefix + "*.jsonl shards in: " +
+                                  directory);
+  }
+  std::sort(indices.begin(), indices.end());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] != static_cast<int>(i)) {
+      return util::Status::NotFound("shard numbering has a gap at index " +
+                                    std::to_string(i) + ": " + directory);
+    }
+  }
+  return indices.size();
+}
+
+const char* SlotStateWord(int state) {
+  switch (state) {
+    case 0: return "running";
+    case 1: return "done";
+    case 2: return "failed";
+    default: return "stopped";
+  }
+}
+
+}  // namespace
+
+FleetDriver::FleetDriver(FleetOptions options)
+    : options_(std::move(options)),
+      docs_counter_(options_.mode == "train" ? "briq.train.documents"
+                                             : "briq.stream.documents") {}
+
+std::vector<std::string> FleetDriver::WorkerArgs(int slot_index) const {
+  const Slot& slot = slots_[static_cast<size_t>(slot_index)];
+  std::vector<std::string> args;
+  args.push_back(options_.worker_binary);
+  args.push_back(options_.mode);
+  args.push_back(options_.corpus_dir);
+  if (options_.mode == "align") {
+    args.push_back("--stream");
+    if (!options_.model.empty()) {
+      args.push_back("--model");
+      args.push_back(options_.model);
+    }
+    if (options_.sleep_per_doc_ms > 0) {
+      args.push_back("--sleep-per-doc-ms");
+      args.push_back(std::to_string(options_.sleep_per_doc_ms));
+    }
+  } else {
+    args.push_back("--model-out");
+    args.push_back(options_.model_out + ".w" + std::to_string(slot_index));
+    // Each worker owns its whole range; the fleet-level split is by
+    // shards, not by a percentage inside each range.
+    args.push_back("--train-pct");
+    args.push_back("100");
+  }
+  args.push_back("--shard-range");
+  args.push_back(std::to_string(slot.shard_begin) + ":" +
+                 std::to_string(slot.shard_end));
+  if (options_.worker_threads > 0) {
+    args.push_back("--threads");
+    args.push_back(std::to_string(options_.worker_threads));
+  }
+  args.push_back("--metrics-push");
+  args.push_back("127.0.0.1:" + std::to_string(collector_->port()));
+  args.push_back("--worker-id");
+  args.push_back(std::to_string(slot_index));
+  args.push_back("--metrics-interval");
+  args.push_back(std::to_string(options_.metrics_interval_seconds));
+  args.push_back("--heartbeat-seconds");
+  args.push_back(std::to_string(options_.heartbeat_seconds));
+  return args;
+}
+
+util::Status FleetDriver::SpawnWorker(int slot_index) {
+  const std::vector<std::string> args = WorkerArgs(slot_index);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& arg : args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return util::Status::Internal("fork failed for fleet worker " +
+                                  std::to_string(slot_index));
+  }
+  if (pid == 0) {
+    // Child: exec resets caught signal dispositions to default, so the
+    // worker sees plain SIGTERM semantics regardless of the driver's
+    // handlers.
+    ::execv(argv[0], argv.data());
+    // Only reached when exec failed; report through the exit status
+    // (127 = command not found convention).
+    std::fprintf(stderr, "fleet worker %d: cannot exec %s\n", slot_index,
+                 argv[0]);
+    ::_exit(127);
+  }
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    Slot& slot = slots_[static_cast<size_t>(slot_index)];
+    slot.pid = pid;
+    slot.state = SlotState::kRunning;
+    slot.hb_killed = false;
+  }
+  std::cout << "fleet worker " << slot_index << " pid " << pid << " range "
+            << RangeText(slots_[static_cast<size_t>(slot_index)]) << "\n"
+            << std::flush;
+  return util::Status::OK();
+}
+
+std::string FleetDriver::RangeText(const Slot& slot) const {
+  return "[" + std::to_string(slot.shard_begin) + ", " +
+         std::to_string(slot.shard_end) + ")";
+}
+
+size_t FleetDriver::RunningCount() const {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  size_t running = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.state == SlotState::kRunning) ++running;
+  }
+  return running;
+}
+
+void FleetDriver::ReapExits() {
+  while (true) {
+    int wstatus = 0;
+    const pid_t pid = ::waitpid(-1, &wstatus, WNOHANG);
+    if (pid <= 0) break;
+    int slot_index = -1;
+    {
+      std::lock_guard<std::mutex> lock(slots_mu_);
+      for (size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].pid == pid && slots_[i].state == SlotState::kRunning) {
+          slot_index = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+    if (slot_index < 0) continue;
+    Slot& slot = slots_[static_cast<size_t>(slot_index)];
+    if (draining_) {
+      // Intentional stop (shutdown drain or fail-fast kill): any exit is
+      // the expected outcome, not a fresh failure.
+      std::lock_guard<std::mutex> lock(slots_mu_);
+      slot.state = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0
+                       ? SlotState::kDone
+                       : SlotState::kStopped;
+      continue;
+    }
+    if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
+      {
+        std::lock_guard<std::mutex> lock(slots_mu_);
+        slot.state = SlotState::kDone;
+      }
+      std::cout << "fleet worker " << slot_index << " done (range "
+                << RangeText(slot) << ")\n"
+                << std::flush;
+      continue;
+    }
+    std::string reason;
+    if (WIFEXITED(wstatus)) {
+      reason = "exit status " + std::to_string(WEXITSTATUS(wstatus));
+    } else if (WIFSIGNALED(wstatus)) {
+      reason = "killed by signal " + std::to_string(WTERMSIG(wstatus));
+      if (slot.hb_killed) reason += " (after missed heartbeats)";
+    } else {
+      reason = "unexpected wait status " + std::to_string(wstatus);
+    }
+    HandleFailure(slot_index, reason);
+  }
+}
+
+void FleetDriver::CheckHeartbeats() {
+  if (draining_) return;
+  std::vector<std::pair<int, pid_t>> to_kill;
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[i];
+      if (slot.state != SlotState::kRunning || slot.hb_killed) continue;
+      const std::optional<WorkerTelemetry> telemetry =
+          collector_->Worker(static_cast<int>(i));
+      // Enforcement starts at the first frame: a worker that never
+      // connects (metrics compiled out) is supervised by waitpid alone.
+      if (!telemetry.has_value() || !telemetry->ever_reported) continue;
+      if (telemetry->missed_heartbeat) {
+        slot.hb_killed = true;
+        to_kill.emplace_back(static_cast<int>(i), slot.pid);
+        std::cout << "fleet worker " << i << " missed heartbeats (last frame "
+                  << telemetry->last_frame_age_seconds << "s ago)\n"
+                  << std::flush;
+      }
+    }
+  }
+  // A wedged worker gets SIGKILL (it stopped servicing its own flusher
+  // thread; SIGTERM would rely on exactly the machinery that died). The
+  // exit funnels through ReapExits -> HandleFailure like any other death.
+  for (const auto& [slot_index, pid] : to_kill) {
+    (void)slot_index;
+    if (pid > 0) ::kill(pid, SIGKILL);
+  }
+}
+
+void FleetDriver::HandleFailure(int slot_index, const std::string& reason) {
+  Slot& slot = slots_[static_cast<size_t>(slot_index)];
+  if (options_.on_failure == OnWorkerFailure::kRestart &&
+      slot.restarts < options_.max_restarts) {
+    {
+      std::lock_guard<std::mutex> lock(slots_mu_);
+      ++slot.restarts;
+    }
+    collector_->ResetWorkerLiveness(slot_index);
+    std::cout << "fleet worker " << slot_index << " failed (" << reason
+              << "); restarting over range " << RangeText(slot) << " (attempt "
+              << slot.restarts << "/" << options_.max_restarts << ")\n"
+              << std::flush;
+    const util::Status status = SpawnWorker(slot_index);
+    if (status.ok()) return;
+    std::cerr << status.ToString() << "\n";
+  }
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    slot.state = SlotState::kFailed;
+  }
+  failed_ = true;
+  failure_ = "fleet worker " + std::to_string(slot_index) + " failed (" +
+             reason + ")";
+  std::cout << failure_ << "\n" << std::flush;
+  BeginDrain("failing fast");
+}
+
+void FleetDriver::BeginDrain(const std::string& reason) {
+  if (draining_) return;
+  draining_ = true;
+  drain_deadline_ =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.shutdown_grace_seconds));
+  size_t signalled = 0;
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    for (const Slot& slot : slots_) {
+      if (slot.state == SlotState::kRunning && slot.pid > 0) {
+        ::kill(slot.pid, SIGTERM);
+        ++signalled;
+      }
+    }
+  }
+  std::cout << "fleet: " << reason << "; draining " << signalled
+            << " worker(s)\n"
+            << std::flush;
+}
+
+std::vector<serve::FleetWorkerRow> FleetDriver::FleetRows() const {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  std::vector<serve::FleetWorkerRow> rows;
+  rows.reserve(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = slots_[i];
+    serve::FleetWorkerRow row;
+    row.worker_id = static_cast<int>(i);
+    row.state = SlotStateWord(static_cast<int>(slot.state));
+    row.range = RangeText(slot);
+    row.restarts = slot.restarts;
+    if (const std::optional<WorkerTelemetry> telemetry =
+            collector_->Worker(static_cast<int>(i))) {
+      row.docs_total = telemetry->docs_total;
+      row.docs_per_sec = telemetry->docs_per_sec;
+      row.last_heartbeat_age_seconds = telemetry->last_frame_age_seconds;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::pair<size_t, size_t> FleetDriver::HealthyCount() const {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  size_t healthy = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = slots_[i];
+    if (slot.state == SlotState::kDone) {
+      ++healthy;
+      continue;
+    }
+    if (slot.state != SlotState::kRunning) continue;
+    const std::optional<WorkerTelemetry> telemetry =
+        collector_->Worker(static_cast<int>(i));
+    if (!telemetry.has_value() || !telemetry->ever_reported ||
+        !telemetry->missed_heartbeat) {
+      ++healthy;
+    }
+  }
+  return {healthy, slots_.size()};
+}
+
+void FleetDriver::WriteFleetRecord(const char* trigger) {
+  last_record_time_ = std::chrono::steady_clock::now();
+  if (!metrics_out_.is_open()) return;
+  const obs::MetricsSnapshot merged = collector_->Merged();
+  uint64_t docs = 0;
+  if (auto it = merged.counters.find(docs_counter_);
+      it != merged.counters.end()) {
+    docs = it->second;
+  }
+
+  util::Json record = util::Json::Object();
+  record.Set("flush_index", flush_index_++);
+  record.Set("trigger", trigger);
+  record.Set(
+      "ts_monotonic_sec",
+      std::chrono::duration<double>(last_record_time_ - start_time_).count());
+  record.Set("docs_total", docs);
+  record.Set("cumulative", obs::MetricsToJson(merged));
+
+  util::Json workers = util::Json::Array();
+  for (const serve::FleetWorkerRow& row : FleetRows()) {
+    util::Json entry = util::Json::Object();
+    entry.Set("worker", row.worker_id);
+    entry.Set("state", row.state);
+    entry.Set("range", row.range);
+    entry.Set("docs_total", row.docs_total);
+    entry.Set("docs_per_sec", row.docs_per_sec);
+    entry.Set("restarts", row.restarts);
+    workers.Append(std::move(entry));
+  }
+  record.Set("workers", std::move(workers));
+  const auto [healthy, total] = HealthyCount();
+  record.Set("workers_healthy", healthy);
+  record.Set("workers_total", total);
+
+  metrics_out_ << record.Dump(/*indent=*/-1) << "\n" << std::flush;
+}
+
+util::Status FleetDriver::Run() {
+  if (options_.mode != "align" && options_.mode != "train") {
+    return util::Status::InvalidArgument("fleet mode must be align or train: " +
+                                         options_.mode);
+  }
+  if (options_.mode == "train" && options_.model_out.empty()) {
+    return util::Status::InvalidArgument(
+        "fleet train requires --model-out <prefix>");
+  }
+  if (options_.num_workers < 1) {
+    return util::Status::InvalidArgument("fleet needs at least one worker");
+  }
+  BRIQ_ASSIGN_OR_RETURN(const size_t num_shards,
+                        CountShardFiles(options_.corpus_dir, options_.stem));
+  const size_t num_workers = std::min<size_t>(
+      static_cast<size_t>(options_.num_workers), num_shards);
+
+  // Contiguous near-equal ranges: worker k owns [k*S/W, (k+1)*S/W).
+  slots_.clear();
+  for (size_t k = 0; k < num_workers; ++k) {
+    Slot slot;
+    slot.shard_begin = k * num_shards / num_workers;
+    slot.shard_end = (k + 1) * num_shards / num_workers;
+    slots_.push_back(slot);
+  }
+
+  CollectorOptions collector_options;
+  collector_options.heartbeat_seconds = options_.heartbeat_seconds;
+  collector_ = std::make_unique<Collector>(collector_options);
+  BRIQ_RETURN_IF_ERROR(collector_->Start());
+
+  // The fleet observability endpoint. Registered by hand rather than via
+  // serve::RegisterDiagnosticRoutes: that helper lives in briq_serve
+  // (which links the whole pipeline), and the fleet's /metrics serves the
+  // MERGED registry, not the driver-local one.
+  serve::Router router;
+  router.Handle("GET", "/metrics",
+                serve::Router::SimpleHandler([this](const serve::HttpRequest&) {
+                  serve::HttpResponse response;
+                  response.status = 200;
+                  response.content_type =
+                      "text/plain; version=0.0.4; charset=utf-8";
+                  const obs::MetricsSnapshot merged = collector_->Merged();
+                  response.body = obs::FleetMetricsToPrometheus(
+                      merged, collector_->WorkerSnapshots(), UnixSecondsNow());
+                  // Driver-local instruments (the serve layer's own
+                  // telemetry), minus any family the merge already covers
+                  // — one page, no duplicate families.
+                  obs::MetricsSnapshot local =
+                      obs::MetricRegistry::Global().Snapshot();
+                  for (const auto& [name, value] : merged.counters) {
+                    (void)value;
+                    local.counters.erase(name);
+                  }
+                  for (const auto& [name, value] : merged.gauges) {
+                    (void)value;
+                    local.gauges.erase(name);
+                  }
+                  for (const auto& [name, value] : merged.histograms) {
+                    (void)value;
+                    local.histograms.erase(name);
+                  }
+                  response.body += obs::MetricsToPrometheus(local);
+                  return response;
+                }));
+  router.Handle("GET", "/healthz",
+                serve::Router::SimpleHandler([this](const serve::HttpRequest&) {
+                  const auto [healthy, total] = HealthyCount();
+                  const bool quorum = healthy * 2 >= total + 1;
+                  serve::HttpResponse response;
+                  response.status = quorum ? 200 : 503;
+                  response.body = (quorum ? "ok " : "degraded ") +
+                                  std::to_string(healthy) + "/" +
+                                  std::to_string(total) + " workers healthy\n";
+                  return response;
+                }));
+  router.Handle("GET", "/quitquitquit",
+                serve::Router::SimpleHandler([this](const serve::HttpRequest&) {
+                  quit_.store(true);
+                  serve::HttpResponse response;
+                  response.status = 200;
+                  response.body = "quitting\n";
+                  return response;
+                }));
+  serve::StatuszInfo statusz_info;
+  statusz_info.build_info = "briq_tool fleet " + options_.mode + " (" +
+                            std::to_string(num_workers) + " workers, " +
+                            std::to_string(num_shards) + " shards)";
+  statusz_info.model_info = options_.model;
+  statusz_info.fleet_rows = [this] { return FleetRows(); };
+  serve::RegisterStatuszRoute(&router, std::move(statusz_info));
+
+  serve::HttpServerOptions server_options;
+  server_options.port = options_.http_port;
+  server_options.num_threads = 2;
+  server_ = std::make_unique<serve::HttpServer>(std::move(router),
+                                                server_options);
+  BRIQ_RETURN_IF_ERROR(server_->Start());
+  std::cout << "fleet: " << num_shards << " shard(s) across " << num_workers
+            << " worker(s)\n";
+  // The resolved port on its own parseable line, format-shared with the
+  // other serving commands so scripts reuse one regex.
+  std::cout << "serving metrics on http://127.0.0.1:" << server_->port()
+            << "/metrics\n"
+            << std::flush;
+
+  if (!options_.metrics_out.empty()) {
+    metrics_out_.open(options_.metrics_out, std::ios::out | std::ios::trunc);
+    if (!metrics_out_) {
+      server_->Stop();
+      collector_->Stop();
+      return util::Status::NotFound("cannot open fleet metrics output: " +
+                                    options_.metrics_out);
+    }
+  }
+
+  util::InstallShutdownHandler();
+  start_time_ = std::chrono::steady_clock::now();
+  WriteFleetRecord("start");
+  for (size_t k = 0; k < slots_.size(); ++k) {
+    const util::Status status = SpawnWorker(static_cast<int>(k));
+    if (!status.ok()) {
+      failed_ = true;
+      failure_ = status.ToString();
+      BeginDrain("spawn failed");
+      break;
+    }
+  }
+
+  bool interrupted = false;
+  while (RunningCount() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ReapExits();
+    CheckHeartbeats();
+    if ((util::ShutdownRequested() || quit_.load()) && !draining_) {
+      interrupted = true;
+      BeginDrain(util::ShutdownRequested() ? "signal received"
+                                           : "quit requested");
+    }
+    if (draining_ && std::chrono::steady_clock::now() >= drain_deadline_) {
+      std::lock_guard<std::mutex> lock(slots_mu_);
+      for (const Slot& slot : slots_) {
+        if (slot.state == SlotState::kRunning && slot.pid > 0) {
+          ::kill(slot.pid, SIGKILL);
+        }
+      }
+    }
+    if (options_.metrics_interval_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      last_record_time_)
+                .count() >= options_.metrics_interval_seconds) {
+      WriteFleetRecord("interval");
+    }
+  }
+
+  // The workers' final snapshots may still be in flight; the merge is only
+  // final once every push connection has reached EOF.
+  collector_->WaitForDrain(2.0);
+  WriteFleetRecord("final");
+  if (metrics_out_.is_open()) metrics_out_.close();
+
+  const obs::MetricsSnapshot merged = collector_->Merged();
+  uint64_t docs = 0;
+  if (auto it = merged.counters.find(docs_counter_);
+      it != merged.counters.end()) {
+    docs = it->second;
+  }
+  int restarts = 0;
+  {
+    std::lock_guard<std::mutex> lock(slots_mu_);
+    for (const Slot& slot : slots_) restarts += slot.restarts;
+  }
+  std::cout << "fleet " << options_.mode << " " << (failed_ ? "failed" : "ok")
+            << ": " << docs << " documents across " << slots_.size()
+            << " worker(s), " << restarts << " restart(s)\n"
+            << std::flush;
+
+  // Linger so a scraper (or the smoke test) can still read the final
+  // fleet-wide numbers; /quitquitquit ends it early.
+  if (!interrupted && options_.serve_linger_seconds > 0.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.serve_linger_seconds));
+    while (std::chrono::steady_clock::now() < deadline && !quit_.load() &&
+           !util::ShutdownRequested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  server_->Stop();
+  collector_->Stop();
+
+  if (failed_) return util::Status::Internal(failure_);
+  return util::Status::OK();
+}
+
+}  // namespace briq::fleet

@@ -1,0 +1,145 @@
+#ifndef BRIQ_FLEET_DRIVER_H_
+#define BRIQ_FLEET_DRIVER_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fleet/collector.h"
+#include "serve/http_server.h"
+#include "serve/statusz.h"
+#include "util/status.h"
+
+namespace briq::fleet {
+
+/// What the driver does when a worker dies badly (nonzero exit, killed by
+/// a signal, or missed heartbeats).
+enum class OnWorkerFailure {
+  /// Fail fast: stop the remaining workers and return an error.
+  kFail,
+  /// Re-exec the worker over its shard range (its fresh cumulative
+  /// snapshot replaces the dead incarnation's in the merge), up to
+  /// max_restarts times per slot; past that, fail fast.
+  kRestart,
+};
+
+struct FleetOptions {
+  /// Path to the worker executable (briq_tool; typically /proc/self/exe).
+  std::string worker_binary;
+  /// "align" (align --stream over each range) or "train" (per-range
+  /// models: worker K writes <model_out>.w<K>).
+  std::string mode = "align";
+  /// briq-shard-v1 corpus directory and stem to partition.
+  std::string corpus_dir;
+  std::string stem = "corpus";
+  int num_workers = 2;
+  /// --threads forwarded to every worker (0 = worker default).
+  int worker_threads = 0;
+  OnWorkerFailure on_failure = OnWorkerFailure::kFail;
+  /// Per-slot restart budget under OnWorkerFailure::kRestart.
+  int max_restarts = 2;
+  /// Worker heartbeat cadence; silence past 2x flags the worker.
+  double heartbeat_seconds = 0.5;
+  /// Cadence of the merged JSONL records and worker flush interval.
+  double metrics_interval_seconds = 0.5;
+  /// Merged fleet JSONL sink (one record per interval + start/final);
+  /// empty disables the file (the HTTP endpoints still serve).
+  std::string metrics_out;
+  /// Fleet observability endpoint port (0 = ephemeral).
+  uint16_t http_port = 0;
+  /// Keep /metrics + /statusz up this long after the fleet finishes
+  /// (GET /quitquitquit ends the linger early).
+  double serve_linger_seconds = 0.0;
+  /// align mode: --model forwarded to workers (skips in-process training).
+  std::string model;
+  /// train mode: per-worker model output prefix (required).
+  std::string model_out;
+  /// Test/throttle knob forwarded to align workers.
+  int sleep_per_doc_ms = 0;
+  /// SIGTERM-to-SIGKILL escalation budget during drains.
+  double shutdown_grace_seconds = 5.0;
+};
+
+/// The fleet supervisor (DESIGN.md §5j): partitions a sharded corpus into
+/// contiguous shard ranges, fork/execs one briq_tool worker per range, and
+/// becomes the fleet's single observability endpoint — a Collector merges
+/// the workers' pushed snapshots, an HTTP server re-exports them
+/// (fleet-wide /metrics with worker labels, /statusz with a fleet table,
+/// /healthz quorum), and a merged JSONL flush mirrors the single-process
+/// flusher's record stream. Worker death is detected both ways (process
+/// exit via waitpid, wedged-but-alive via missed heartbeats) and handled
+/// per OnWorkerFailure. SIGTERM/SIGINT drain gracefully: workers get
+/// SIGTERM, the collector drains their final frames, the final merged
+/// record is written.
+class FleetDriver {
+ public:
+  explicit FleetDriver(FleetOptions options);
+
+  /// Runs the fleet to completion (blocking). OK when every range
+  /// finished; an error when a worker failed under kFail (or exhausted
+  /// its restart budget under kRestart).
+  util::Status Run();
+
+ private:
+  enum class SlotState { kRunning, kDone, kFailed, kStopped };
+
+  struct Slot {
+    size_t shard_begin = 0;
+    size_t shard_end = 0;
+    pid_t pid = -1;
+    SlotState state = SlotState::kRunning;
+    int restarts = 0;
+    /// Heartbeat-miss already acted on for the current incarnation (keeps
+    /// the supervisor from re-killing while the exit is still unreaped).
+    bool hb_killed = false;
+  };
+
+  std::vector<std::string> WorkerArgs(int slot_index) const;
+  util::Status SpawnWorker(int slot_index);
+  /// waitpid(WNOHANG) sweep; routes bad exits into HandleFailure.
+  void ReapExits();
+  /// Flags running slots whose frames went silent for 2 heartbeats.
+  void CheckHeartbeats();
+  void HandleFailure(int slot_index, const std::string& reason);
+  /// SIGTERMs every running worker and arms the SIGKILL escalation.
+  void BeginDrain(const std::string& reason);
+  void WriteFleetRecord(const char* trigger);
+  std::vector<serve::FleetWorkerRow> FleetRows() const;
+  /// (healthy, total): done or running-with-recent-frames slots count as
+  /// healthy.
+  std::pair<size_t, size_t> HealthyCount() const;
+  std::string RangeText(const Slot& slot) const;
+  size_t RunningCount() const;
+
+  const FleetOptions options_;
+  const char* docs_counter_ = "briq.stream.documents";
+
+  std::unique_ptr<Collector> collector_;
+  std::unique_ptr<serve::HttpServer> server_;
+  std::atomic<bool> quit_{false};
+
+  mutable std::mutex slots_mu_;
+  std::vector<Slot> slots_;
+
+  bool draining_ = false;
+  bool failed_ = false;
+  std::string failure_;
+  std::chrono::steady_clock::time_point drain_deadline_{};
+
+  std::ofstream metrics_out_;
+  size_t flush_index_ = 0;
+  std::chrono::steady_clock::time_point start_time_{};
+  std::chrono::steady_clock::time_point last_record_time_{};
+};
+
+}  // namespace briq::fleet
+
+#endif  // BRIQ_FLEET_DRIVER_H_

@@ -5,6 +5,7 @@
 
 #include "obs/export.h"
 #include "obs/trace_export.h"
+#include "util/framing.h"
 #include "util/json.h"
 #include "util/logging.h"
 
@@ -67,6 +68,7 @@ util::Status MetricsFlusher::Start() {
   }
   docs_counter_ = registry_->GetCounter(options_.docs_counter);
   start_time_ = std::chrono::steady_clock::now();
+  last_push_time_ = start_time_;
   status_ = util::Status::OK();
   stop_requested_ = false;
   // Baseline record: even a run shorter than one interval yields a
@@ -114,6 +116,19 @@ void MetricsFlusher::Loop() {
     } else if (options_.every_docs > 0 &&
                docs - last_docs_ >= options_.every_docs) {
       FlushLocked(Trigger::kDocs);
+    } else if (options_.push_port != 0 && options_.heartbeat_seconds > 0.0 &&
+               std::chrono::duration<double>(now - last_push_time_).count() >=
+                   options_.heartbeat_seconds) {
+      // Liveness beacon between flushes: the collector's missed-heartbeat
+      // detector keys off these, so a wedged worker (thread alive, pipeline
+      // stuck) still reads as unhealthy even though its process exists.
+      util::Json beat = util::Json::Object();
+      beat.Set("type", "heartbeat");
+      beat.Set("worker", options_.push_worker_id);
+      beat.Set("docs_total", docs);
+      beat.Set("ts_monotonic_sec",
+               std::chrono::duration<double>(now - start_time_).count());
+      PushFrameLocked(beat.Dump(/*indent=*/-1));
     }
   }
 }
@@ -237,11 +252,53 @@ void MetricsFlusher::FlushLocked(Trigger trigger) {
       BRIQ_LOG(Warning) << "trace flush failed: " << trace_status.ToString();
     }
   }
+  if (options_.push_port != 0) {
+    // The frame carries the full cumulative snapshot (not the delta): the
+    // collector's merge is latest-wins per worker, so a dropped frame only
+    // costs freshness, never correctness.
+    util::Json frame = util::Json::Object();
+    frame.Set("type", "snapshot");
+    frame.Set("worker", options_.push_worker_id);
+    frame.Set("flush_index", flush_count_.load(std::memory_order_relaxed));
+    frame.Set("trigger", TriggerName(static_cast<int>(trigger)));
+    frame.Set("docs_total", docs);
+    frame.Set("ts_monotonic_sec", ts);
+    frame.Set("snapshot", MetricsToJson(snapshot));
+    PushFrameLocked(frame.Dump(/*indent=*/-1));
+  }
 
   last_snapshot_ = snapshot;
   last_docs_ = docs;
   last_flush_time_ = now;
   flush_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsFlusher::PushFrameLocked(const std::string& payload) {
+  last_push_time_ = std::chrono::steady_clock::now();
+  if (!push_socket_.valid()) {
+    util::Result<util::ClientSocket> connected =
+        util::ClientSocket::Connect(options_.push_port);
+    if (!connected.ok()) {
+      if (!push_warned_) {
+        push_warned_ = true;
+        BRIQ_LOG(Warning) << "metrics push: collector on port "
+                          << options_.push_port
+                          << " unreachable; pushing is best-effort ("
+                          << connected.status().ToString() << ")";
+      }
+      return;
+    }
+    push_socket_ = std::move(connected).value();
+  }
+  if (!util::SendFrame(push_socket_, payload)) {
+    // Reconnect on the next frame — the collector may have restarted.
+    push_socket_.Close();
+    if (!push_warned_) {
+      push_warned_ = true;
+      BRIQ_LOG(Warning) << "metrics push: send to collector port "
+                        << options_.push_port << " failed; will reconnect";
+    }
+  }
 }
 
 size_t MetricsFlusher::flush_count() const {

@@ -17,6 +17,8 @@
 #include <mutex>
 #include <thread>
 #include <utility>
+
+#include "util/tcp_listener.h"
 #endif
 
 namespace briq::obs {
@@ -43,6 +45,19 @@ struct FlusherOptions {
   /// Trigger-check cadence of the background thread. Also bounds how stale
   /// a document-count trigger can be.
   double poll_seconds = 0.05;
+  /// Push sink (the fleet protocol, DESIGN.md §5j): when nonzero, every
+  /// flush also sends one length-prefixed JSON frame to a collector on
+  /// 127.0.0.1:`push_port`, with heartbeat frames between flushes. Best
+  /// effort: an unreachable or vanished collector costs one warning, never
+  /// the run. 0 disables.
+  uint16_t push_port = 0;
+  /// Worker id stamped into every pushed frame (the fleet driver's slot
+  /// index for this worker).
+  int push_worker_id = 0;
+  /// Heartbeat cadence: a {"type":"heartbeat"} frame whenever
+  /// `heartbeat_seconds` pass without any frame being pushed (<= 0
+  /// disables; only meaningful with push_port set).
+  double heartbeat_seconds = 0.5;
 };
 
 /// Background thread that snapshots a MetricRegistry on a time or
@@ -107,6 +122,9 @@ class MetricsFlusher {
   /// Snapshots, diffs against the previous flush, writes one line. Caller
   /// holds mu_.
   void FlushLocked(Trigger trigger);
+  /// Sends one framed payload to the push collector (lazy connect,
+  /// reconnect after a send failure, one warning ever). Caller holds mu_.
+  void PushFrameLocked(const std::string& payload);
 
   const FlusherOptions options_;
   MetricRegistry* const registry_;
@@ -122,6 +140,9 @@ class MetricsFlusher {
   util::Status status_;
 
   std::ofstream out_;
+  util::ClientSocket push_socket_;
+  bool push_warned_ = false;
+  std::chrono::steady_clock::time_point last_push_time_;
   std::chrono::steady_clock::time_point start_time_;
   std::chrono::steady_clock::time_point last_flush_time_;
   uint64_t last_docs_ = 0;

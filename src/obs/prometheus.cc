@@ -93,6 +93,69 @@ std::string MetricsToPrometheus(const MetricsSnapshot& snapshot,
   return out;
 }
 
+std::string FleetMetricsToPrometheus(
+    const MetricsSnapshot& merged,
+    const std::vector<std::pair<int, MetricsSnapshot>>& workers,
+    double scrape_unix_seconds) {
+  std::string out;
+  for (const auto& [name, value] : merged.counters) {
+    const std::string prom = PrometheusName(name) + "_total";
+    out += "# HELP " + prom + " BriQ counter " + name + " (fleet)\n";
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+    for (const auto& [worker, snapshot] : workers) {
+      auto it = snapshot.counters.find(name);
+      if (it == snapshot.counters.end()) continue;
+      out += prom + "{worker=\"" + std::to_string(worker) + "\"} " +
+             std::to_string(it->second) + "\n";
+    }
+  }
+  for (const auto& [name, value] : merged.gauges) {
+    const std::string prom = PrometheusName(name);
+    out += "# HELP " + prom + " BriQ gauge " + name + " (fleet)\n";
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(value) + "\n";
+    for (const auto& [worker, snapshot] : workers) {
+      auto it = snapshot.gauges.find(name);
+      if (it == snapshot.gauges.end()) continue;
+      out += prom + "{worker=\"" + std::to_string(worker) + "\"} " +
+             std::to_string(it->second) + "\n";
+    }
+  }
+  for (const auto& [name, h] : merged.histograms) {
+    const std::string prom = PrometheusName(name);
+    out += "# HELP " + prom + " BriQ histogram " + name + " (fleet)\n";
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.counts.size() ? h.counts[i] : 0;
+      out += prom + "_bucket{le=\"" + FormatDouble(h.bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += prom + "_sum " + FormatDouble(h.sum) + "\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
+  }
+  if (scrape_unix_seconds >= 0.0) {
+    out +=
+        "# HELP briq_scrape_timestamp_seconds Wall-clock time this "
+        "exposition was rendered\n";
+    out += "# TYPE briq_scrape_timestamp_seconds gauge\n";
+    out += "briq_scrape_timestamp_seconds " +
+           FormatDouble(scrape_unix_seconds) + "\n";
+    if (merged.capture_unix_seconds > 0.0) {
+      const double age = scrape_unix_seconds - merged.capture_unix_seconds;
+      out +=
+          "# HELP briq_snapshot_age_seconds Seconds between the newest "
+          "worker snapshot and this scrape\n";
+      out += "# TYPE briq_snapshot_age_seconds gauge\n";
+      out += "briq_snapshot_age_seconds " +
+             FormatDouble(age > 0.0 ? age : 0.0) + "\n";
+    }
+  }
+  return out;
+}
+
 void AppendPrometheusGauge(
     std::string* out, const std::string& name, const std::string& help,
     const std::vector<std::pair<std::string, double>>& series) {

@@ -50,6 +50,20 @@ std::string PrometheusName(const std::string& name);
 std::string MetricsToPrometheus(const MetricsSnapshot& snapshot,
                                 double scrape_unix_seconds = -1.0);
 
+/// Fleet-wide exposition (DESIGN.md §5j): renders `merged` (the
+/// SnapshotMerge aggregate) with, for every counter and gauge family, the
+/// unlabelled fleet-total sample followed by one `{worker="N"}` sample per
+/// worker that reports the instrument — one page answers both "how fast is
+/// the fleet" and "which worker is the straggler". Histograms render
+/// merged-only (per-worker bucket series would multiply the page size for
+/// little diagnostic value; per-worker latency lives in /statusz). The
+/// freshness gauges follow the MetricsToPrometheus contract, keyed on the
+/// merged snapshot's capture time (the newest worker capture).
+std::string FleetMetricsToPrometheus(
+    const MetricsSnapshot& merged,
+    const std::vector<std::pair<int, MetricsSnapshot>>& workers,
+    double scrape_unix_seconds = -1.0);
+
 /// Appends one double-valued gauge family to `out`: a single HELP/TYPE
 /// pair followed by one sample line per (labels, value) entry, `%.9g`
 /// value rendering. The registry's gauges are integral; families derived

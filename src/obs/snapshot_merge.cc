@@ -1,0 +1,137 @@
+#include "obs/snapshot_merge.h"
+
+#include <algorithm>
+
+namespace briq::obs {
+
+namespace {
+
+util::Status NotNumeric(const std::string& section, const std::string& name) {
+  return util::Status::ParseError("metrics snapshot: " + section + " '" +
+                                  name + "' is not numeric");
+}
+
+}  // namespace
+
+util::Result<MetricsSnapshot> MetricsSnapshotFromJson(const util::Json& json) {
+  if (!json.is_object()) {
+    return util::Status::ParseError("metrics snapshot is not a JSON object");
+  }
+  for (const char* key : {"counters", "gauges", "histograms"}) {
+    if (!json.Has(key) || !json.at(key).is_object()) {
+      return util::Status::ParseError(
+          "metrics snapshot is missing object section '" + std::string(key) +
+          "'");
+    }
+  }
+  MetricsSnapshot snapshot;
+  for (const auto& [name, value] : json.at("counters").members()) {
+    if (!value.is_number()) return NotNumeric("counter", name);
+    snapshot.counters[name] = static_cast<uint64_t>(value.AsDouble());
+  }
+  for (const auto& [name, value] : json.at("gauges").members()) {
+    if (!value.is_number()) return NotNumeric("gauge", name);
+    snapshot.gauges[name] = static_cast<int64_t>(value.AsDouble());
+  }
+  for (const auto& [name, value] : json.at("histograms").members()) {
+    if (!value.is_object()) {
+      return util::Status::ParseError("metrics snapshot: histogram '" + name +
+                                      "' is not an object");
+    }
+    for (const char* key : {"bounds", "counts", "sum", "count"}) {
+      if (!value.Has(key)) {
+        return util::Status::ParseError("metrics snapshot: histogram '" +
+                                        name + "' is missing '" + key + "'");
+      }
+    }
+    HistogramSnapshot h;
+    for (const util::Json& b : value.at("bounds").items()) {
+      if (!b.is_number()) return NotNumeric("histogram bound", name);
+      h.bounds.push_back(b.AsDouble());
+    }
+    for (const util::Json& c : value.at("counts").items()) {
+      if (!c.is_number()) return NotNumeric("histogram count", name);
+      h.counts.push_back(static_cast<uint64_t>(c.AsDouble()));
+    }
+    if (!value.at("sum").is_number() || !value.at("count").is_number()) {
+      return NotNumeric("histogram", name);
+    }
+    h.sum = value.at("sum").AsDouble();
+    h.count = static_cast<uint64_t>(value.at("count").AsDouble());
+    if (h.counts.size() != h.bounds.size() + 1) {
+      return util::Status::ParseError(
+          "metrics snapshot: histogram '" + name + "' has " +
+          std::to_string(h.counts.size()) + " counts for " +
+          std::to_string(h.bounds.size()) + " bounds");
+    }
+    snapshot.histograms[name] = std::move(h);
+  }
+  return snapshot;
+}
+
+void MergeHistogram(HistogramSnapshot* into, const HistogramSnapshot& from) {
+  into->sum += from.sum;
+  into->count += from.count;
+  if (into->bounds == from.bounds &&
+      into->counts.size() == from.counts.size()) {
+    for (size_t i = 0; i < from.counts.size(); ++i) {
+      into->counts[i] += from.counts[i];
+    }
+    return;
+  }
+  // Divergent layout (should not happen in a homogeneous fleet): keep the
+  // first-seen bounds and fold everything from the stranger into the
+  // overflow bucket so totals stay exact even when shapes do not.
+  uint64_t total = 0;
+  for (uint64_t c : from.counts) total += c;
+  if (!into->counts.empty()) into->counts.back() += total;
+}
+
+void SnapshotMerge::Update(int worker, MetricsSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  workers_[worker] = std::move(snapshot);
+}
+
+void SnapshotMerge::Remove(int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  workers_.erase(worker);
+}
+
+MetricsSnapshot SnapshotMerge::Merged() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot merged;
+  for (const auto& [worker, snapshot] : workers_) {
+    (void)worker;
+    merged.capture_unix_seconds =
+        std::max(merged.capture_unix_seconds, snapshot.capture_unix_seconds);
+    for (const auto& [name, value] : snapshot.counters) {
+      merged.counters[name] += value;
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      merged.gauges[name] += value;
+    }
+    for (const auto& [name, h] : snapshot.histograms) {
+      auto it = merged.histograms.find(name);
+      if (it == merged.histograms.end()) {
+        merged.histograms[name] = h;
+      } else {
+        MergeHistogram(&it->second, h);
+      }
+    }
+  }
+  return merged;
+}
+
+std::vector<std::pair<int, MetricsSnapshot>> SnapshotMerge::WorkerSnapshots()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::pair<int, MetricsSnapshot>>(workers_.begin(),
+                                                      workers_.end());
+}
+
+size_t SnapshotMerge::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+}  // namespace briq::obs

@@ -1,0 +1,78 @@
+#ifndef BRIQ_OBS_SNAPSHOT_MERGE_H_
+#define BRIQ_OBS_SNAPSHOT_MERGE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace briq::obs {
+
+/// Fleet-wide metric aggregation (DESIGN.md §5j): the driver's collector
+/// deserializes each worker's pushed MetricsSnapshot and folds it in
+/// here. Unlike the instruments themselves, this is pure data — it works
+/// identically under -DBRIQ_NO_METRICS (the snapshots arrive off the
+/// wire, not from the local registry).
+
+/// Strict inverse of MetricsToJson (obs/export.h): {"counters": {...},
+/// "gauges": {...}, "histograms": {name: {"bounds", "counts", "sum",
+/// "count"}}}. Rejects missing sections, non-numeric values, and
+/// bounds/counts layouts that violate counts.size() == bounds.size() + 1.
+util::Result<MetricsSnapshot> MetricsSnapshotFromJson(const util::Json& json);
+
+/// Merges the latest cumulative snapshot of each worker into one
+/// fleet-wide view. Update() REPLACES a worker's whole contribution (the
+/// push protocol sends cumulative snapshots, so the newest one supersedes
+/// everything that worker reported before — and a restarted worker's
+/// fresh counters supersede its dead incarnation's partial ones, keeping
+/// the merged totals equal to "sum over worker slots of the latest
+/// snapshot").
+///
+/// Merge semantics:
+///   - counters: summed across workers.
+///   - histograms: bucket-wise count sums plus sum/count — bucket layouts
+///     are identical by construction (every worker runs the same binary,
+///     so a given instrument registers the same bounds everywhere). A
+///     layout mismatch is tolerated defensively: the first-seen bounds
+///     win and the divergent worker's buckets fold into the overflow
+///     bucket (sum/count still merge exactly).
+///   - gauges: summed in Merged() (queue depths and in-flight counts add
+///     meaningfully across a fleet); per-worker values stay addressable
+///     via WorkerSnapshots() for `worker="N"`-labelled export.
+///
+/// Thread-safe: the collector thread writes while HTTP workers read.
+class SnapshotMerge {
+ public:
+  /// Replaces `worker`'s contribution with `snapshot`.
+  void Update(int worker, MetricsSnapshot snapshot);
+
+  /// Drops `worker`'s contribution entirely (unknown ids are a no-op).
+  void Remove(int worker);
+
+  /// The fleet-wide aggregate (see class comment for the semantics).
+  /// capture_unix_seconds is the newest capture time across workers.
+  MetricsSnapshot Merged() const;
+
+  /// Each worker's latest snapshot, ascending by worker id.
+  std::vector<std::pair<int, MetricsSnapshot>> WorkerSnapshots() const;
+
+  size_t num_workers() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<int, MetricsSnapshot> workers_;
+};
+
+/// Bucket-wise histogram merge used by SnapshotMerge, exposed for the
+/// fuzz tests: `into`'s bounds win; matching layouts add count-by-count,
+/// divergent ones fold into the overflow bucket.
+void MergeHistogram(HistogramSnapshot* into, const HistogramSnapshot& from);
+
+}  // namespace briq::obs
+
+#endif  // BRIQ_OBS_SNAPSHOT_MERGE_H_

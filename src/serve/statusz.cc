@@ -110,6 +110,25 @@ std::string StatuszHtml(const StatuszInfo& info, const ServeStats& stats,
          ")</td></tr>\n";
   out += "</table>\n";
 
+  if (info.fleet_rows) {
+    const std::vector<FleetWorkerRow> rows = info.fleet_rows();
+    out += "<h2>fleet (" + std::to_string(rows.size()) +
+           " workers)</h2>\n<table>\n"
+           "<tr><th>worker</th><th>state</th><th>range</th><th>docs</th>"
+           "<th>docs/sec</th><th>last heartbeat</th><th>restarts</th></tr>\n";
+    for (const FleetWorkerRow& row : rows) {
+      out += "<tr><td>" + std::to_string(row.worker_id) + "</td><td>" +
+             HtmlEscape(row.state) + "</td><td>" + HtmlEscape(row.range) +
+             "</td><td>" + std::to_string(row.docs_total) + "</td><td>" +
+             Fixed(row.docs_per_sec, 1) + "</td><td>" +
+             (row.last_heartbeat_age_seconds < 0.0
+                  ? std::string("never")
+                  : Fixed(row.last_heartbeat_age_seconds, 1) + "s ago") +
+             "</td><td>" + std::to_string(row.restarts) + "</td></tr>\n";
+    }
+    out += "</table>\n";
+  }
+
   out += "<h2>rolling window (last " + std::to_string(window) +
          "s)</h2>\n<table>\n"
          "<tr><th>route</th><th>requests</th><th>qps</th><th>p50 ms</th>"

@@ -1,7 +1,9 @@
 #ifndef BRIQ_SERVE_STATUSZ_H_
 #define BRIQ_SERVE_STATUSZ_H_
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "serve/router.h"
 #include "serve/serve_stats.h"
@@ -17,12 +19,33 @@ namespace briq::serve {
 /// page still serves, with the live sections empty (the stubs hold no
 /// data) — the endpoint's availability is not a metrics feature.
 
+/// One row of the fleet table (DESIGN.md §5j): the driver's view of one
+/// worker slot at render time. Kept in briq_http as plain data so the
+/// fleet layer can feed /statusz without this page knowing how a fleet is
+/// supervised.
+struct FleetWorkerRow {
+  int worker_id = 0;
+  /// Lifecycle word: "running", "exited", "failed", "restarting", ...
+  std::string state;
+  /// Shard range this slot owns, pre-rendered (e.g. "[0, 4)").
+  std::string range;
+  uint64_t docs_total = 0;
+  double docs_per_sec = 0.0;
+  /// Seconds since the last push frame; < 0 means "never heard from".
+  double last_heartbeat_age_seconds = -1.0;
+  int restarts = 0;
+};
+
 /// Static identity shown in the page header.
 struct StatuszInfo {
   /// Human-readable build/binary description (e.g. "briq_tool serve").
   std::string build_info;
   /// Model provenance (path + tree count), empty when serving model-free.
   std::string model_info;
+  /// When set, the page gains a "fleet" section rendered from the rows
+  /// this callback returns at request time (the fleet driver wires its
+  /// supervisor state here). Must be thread-safe; empty = no section.
+  std::function<std::vector<FleetWorkerRow>()> fleet_rows;
 };
 
 /// Renders the full HTML page. `uptime_seconds` is the caller's serving

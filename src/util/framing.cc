@@ -1,0 +1,59 @@
+#include "util/framing.h"
+
+#include <cstring>
+
+namespace briq::util {
+
+std::string EncodeFrame(const std::string& payload) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>(len & 0xff));
+  out += payload;
+  return out;
+}
+
+bool SendFrame(ClientSocket& socket, const std::string& payload) {
+  if (payload.size() > kMaxFramePayloadBytes) return false;
+  return socket.SendAll(EncodeFrame(payload));
+}
+
+void FrameReader::Append(const char* data, size_t len) {
+  // Compact lazily: only when the consumed prefix dominates the buffer,
+  // so steady-state appends stay O(len).
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, len);
+}
+
+Result<std::optional<std::string>> FrameReader::Next() {
+  if (poisoned_) {
+    return Status::ParseError("frame stream desynchronized (oversized frame)");
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < 4) return std::optional<std::string>(std::nullopt);
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const uint32_t len = (static_cast<uint32_t>(p[0]) << 24) |
+                       (static_cast<uint32_t>(p[1]) << 16) |
+                       (static_cast<uint32_t>(p[2]) << 8) |
+                       static_cast<uint32_t>(p[3]);
+  if (len > kMaxFramePayloadBytes) {
+    poisoned_ = true;
+    return Status::ParseError("frame declares " + std::to_string(len) +
+                              " bytes, over the " +
+                              std::to_string(kMaxFramePayloadBytes) +
+                              " byte cap");
+  }
+  if (available - 4 < len) return std::optional<std::string>(std::nullopt);
+  std::string payload = buffer_.substr(consumed_ + 4, len);
+  consumed_ += 4 + len;
+  return std::optional<std::string>(std::move(payload));
+}
+
+}  // namespace briq::util

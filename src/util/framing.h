@@ -1,0 +1,67 @@
+#ifndef BRIQ_UTIL_FRAMING_H_
+#define BRIQ_UTIL_FRAMING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/result.h"
+#include "util/tcp_listener.h"
+
+namespace briq::util {
+
+/// Length-prefixed message framing over a byte stream (the fleet push
+/// protocol's wire format, DESIGN.md §5j). Every frame is
+///
+///     [4-byte big-endian payload length][payload bytes]
+///
+/// so a reader can always tell a complete message from a torn one: bytes
+/// still short of the declared length are "pending", never delivered. The
+/// payload is opaque here; the fleet layer puts one compact JSON line in
+/// each frame ("length-prefixed JSONL").
+
+/// Upper bound on a single frame's payload. A declared length above this
+/// is a protocol violation (a desynchronized or hostile peer), surfaced
+/// as an error rather than a multi-gigabyte allocation.
+inline constexpr uint32_t kMaxFramePayloadBytes = 16u * 1024u * 1024u;
+
+/// Renders the 4-byte length prefix + payload as one contiguous string
+/// (one SendAll per frame keeps writes atomic w.r.t. the peer's reader).
+std::string EncodeFrame(const std::string& payload);
+
+/// Encodes and sends one frame. Returns false when the peer closed or the
+/// payload exceeds kMaxFramePayloadBytes.
+bool SendFrame(ClientSocket& socket, const std::string& payload);
+
+/// Incremental frame decoder: feed raw bytes in any chunking, pull
+/// complete payloads out. A truncated trailing frame simply stays
+/// pending; an impossible declared length poisons only this reader (the
+/// caller drops the connection), never the process.
+class FrameReader {
+ public:
+  /// Appends raw bytes received from the peer.
+  void Append(const char* data, size_t len);
+
+  /// Next complete payload, std::nullopt when no full frame is buffered,
+  /// or an error when the stream declares an oversized frame. After an
+  /// error every subsequent call returns the same error — a desynced
+  /// length prefix makes all later bytes meaningless.
+  Result<std::optional<std::string>> Next();
+
+  /// Bytes buffered but not yet returned (a nonzero value at EOF means
+  /// the peer died mid-frame — the torn remainder is dropped).
+  size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+  /// True once Next() reported a protocol error.
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  bool poisoned_ = false;
+};
+
+}  // namespace briq::util
+
+#endif  // BRIQ_UTIL_FRAMING_H_

@@ -1,0 +1,31 @@
+#include "util/shutdown.h"
+
+#include <csignal>
+
+namespace briq::util {
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+void HandleShutdownSignal(int signum) {
+  g_shutdown_signal = signum;
+  // One signal requests a drain; the next one kills: restoring the default
+  // disposition here keeps a wedged drain interruptible.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void InstallShutdownHandler() {
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+}
+
+bool ShutdownRequested() { return g_shutdown_signal != 0; }
+
+int ShutdownSignal() { return static_cast<int>(g_shutdown_signal); }
+
+void ResetShutdownForTest() { g_shutdown_signal = 0; }
+
+}  // namespace briq::util

@@ -1,0 +1,28 @@
+#ifndef BRIQ_UTIL_SHUTDOWN_H_
+#define BRIQ_UTIL_SHUTDOWN_H_
+
+namespace briq::util {
+
+/// Process-wide graceful-shutdown latch over SIGTERM/SIGINT. Long-running
+/// commands (`briq_tool serve`, the fleet driver) install the handler once
+/// and poll ShutdownRequested() from their main loop: the first signal
+/// flips the latch (drain: stop accepting, finish in-flight work, write
+/// final records), the second restores the default disposition so a stuck
+/// drain can still be killed the ordinary way.
+
+/// Installs the SIGTERM/SIGINT handler. Idempotent; async-signal-safe
+/// handler (it only writes a sig_atomic_t flag).
+void InstallShutdownHandler();
+
+/// True once SIGTERM or SIGINT arrived after InstallShutdownHandler().
+bool ShutdownRequested();
+
+/// The signal number that triggered the latch (0 when none did).
+int ShutdownSignal();
+
+/// Resets the latch (tests only; production drains exit instead).
+void ResetShutdownForTest();
+
+}  // namespace briq::util
+
+#endif  // BRIQ_UTIL_SHUTDOWN_H_

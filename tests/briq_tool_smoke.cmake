@@ -253,3 +253,30 @@ if(rv EQUAL 0 OR NOT out MATCHES "--model-out")
     "train without --model-out should fail mentioning the flag:\n${out}")
 endif()
 
+# 17. Strict flag parsing: every subcommand rejects unknown flags with a
+#     named complaint and exit code 2 instead of silently ignoring them
+#     (a typo like --metric-out must not discard telemetry).
+foreach(cmd "stats;${WORKDIR}/corpus.json" "align;${WORKDIR}/shards;--stream"
+        "serve;${WORKDIR}/shards" "fleet;align;${WORKDIR}/shards"
+        "train;${WORKDIR}/shards;--model-out;${WORKDIR}/m2.bin")
+  execute_process(
+    COMMAND "${BRIQ_TOOL}" ${cmd} --bogus-flag
+    RESULT_VARIABLE rv
+    OUTPUT_VARIABLE out ERROR_VARIABLE out)
+  if(NOT rv EQUAL 2 OR NOT out MATCHES "unknown flag '--bogus-flag'")
+    message(FATAL_ERROR
+      "briq_tool ${cmd} --bogus-flag should exit 2 naming the flag "
+      "(exit ${rv}):\n${out}")
+  endif()
+endforeach()
+
+# A value flag dangling at the end of the argv must also be a usage error.
+execute_process(
+  COMMAND "${BRIQ_TOOL}" align "${WORKDIR}/shards" --stream --metrics-out
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out ERROR_VARIABLE out)
+if(NOT rv EQUAL 2 OR NOT out MATCHES "requires a value")
+  message(FATAL_ERROR
+    "dangling --metrics-out should exit 2 (exit ${rv}):\n${out}")
+endif()
+

@@ -1,0 +1,255 @@
+#include "fleet/collector.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/framing.h"
+#include "util/json.h"
+#include "util/tcp_listener.h"
+
+namespace briq::fleet {
+namespace {
+
+obs::MetricsSnapshot MakeSnapshot(uint64_t docs) {
+  obs::MetricsSnapshot s;
+  s.counters["briq.stream.documents"] = docs;
+  s.gauges["briq.stream.queue_depth"] = 2;
+  obs::HistogramSnapshot h;
+  h.bounds = {0.01, 0.1};
+  h.counts = {docs, 0, 0};
+  h.count = docs;
+  h.sum = 0.005 * static_cast<double>(docs);
+  s.histograms["briq.stream.align_seconds"] = h;
+  return s;
+}
+
+std::string SnapshotFrame(int worker, uint64_t docs, double ts) {
+  util::Json frame = util::Json::Object();
+  frame.Set("type", "snapshot");
+  frame.Set("worker", worker);
+  frame.Set("docs_total", docs);
+  frame.Set("ts_monotonic_sec", ts);
+  frame.Set("snapshot", obs::MetricsToJson(MakeSnapshot(docs)));
+  return frame.Dump(/*indent=*/-1);
+}
+
+std::string HeartbeatFrame(int worker, uint64_t docs, double ts) {
+  util::Json frame = util::Json::Object();
+  frame.Set("type", "heartbeat");
+  frame.Set("worker", worker);
+  frame.Set("docs_total", docs);
+  frame.Set("ts_monotonic_sec", ts);
+  return frame.Dump(/*indent=*/-1);
+}
+
+/// Polls `condition` until it holds or ~2s pass. The collector thread
+/// ingests asynchronously; every assertion on its state needs a deadline,
+/// never a fixed sleep.
+bool WaitFor(const std::function<bool()>& condition) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return condition();
+}
+
+TEST(FleetCollectorTest, MergesSnapshotsAcrossWorkers) {
+  Collector collector;
+  ASSERT_TRUE(collector.Start().ok());
+  ASSERT_NE(collector.port(), 0);
+
+  util::Result<util::ClientSocket> w0 =
+      util::ClientSocket::Connect(collector.port());
+  util::Result<util::ClientSocket> w1 =
+      util::ClientSocket::Connect(collector.port());
+  ASSERT_TRUE(w0.ok());
+  ASSERT_TRUE(w1.ok());
+
+  ASSERT_TRUE(util::SendFrame(*w0, SnapshotFrame(0, 10, 1.0)));
+  ASSERT_TRUE(util::SendFrame(*w1, SnapshotFrame(1, 25, 1.0)));
+
+  ASSERT_TRUE(WaitFor([&] { return collector.frames_received() >= 2; }));
+  const obs::MetricsSnapshot merged = collector.Merged();
+  EXPECT_EQ(merged.counters.at("briq.stream.documents"), 35u);
+  EXPECT_EQ(merged.gauges.at("briq.stream.queue_depth"), 4);
+  EXPECT_EQ(merged.histograms.at("briq.stream.align_seconds").count, 35u);
+  EXPECT_EQ(collector.WorkerSnapshots().size(), 2u);
+  EXPECT_EQ(collector.frame_errors(), 0u);
+
+  // A newer cumulative snapshot from worker 0 replaces its old one.
+  ASSERT_TRUE(util::SendFrame(*w0, SnapshotFrame(0, 40, 2.0)));
+  ASSERT_TRUE(WaitFor([&] {
+    const obs::MetricsSnapshot m = collector.Merged();
+    return m.counters.at("briq.stream.documents") == 65u;
+  }));
+
+  w0->Close();
+  w1->Close();
+  EXPECT_TRUE(collector.WaitForDrain(2.0));
+  collector.Stop();
+}
+
+TEST(FleetCollectorTest, TracksLivenessAndRates) {
+  CollectorOptions options;
+  options.heartbeat_seconds = 10.0;  // no missed-heartbeat noise here
+  Collector collector(options);
+  ASSERT_TRUE(collector.Start().ok());
+
+  util::Result<util::ClientSocket> w =
+      util::ClientSocket::Connect(collector.port());
+  ASSERT_TRUE(w.ok());
+
+  EXPECT_FALSE(collector.Worker(3).has_value());
+
+  // Two reports 2 worker-seconds apart: 100 docs -> 50 docs/sec, computed
+  // from the worker's own monotonic timestamps (immune to collector-side
+  // scheduling).
+  ASSERT_TRUE(util::SendFrame(*w, SnapshotFrame(3, 100, 10.0)));
+  ASSERT_TRUE(util::SendFrame(*w, HeartbeatFrame(3, 200, 12.0)));
+  ASSERT_TRUE(WaitFor([&] { return collector.frames_received() >= 2; }));
+
+  const std::optional<WorkerTelemetry> telemetry = collector.Worker(3);
+  ASSERT_TRUE(telemetry.has_value());
+  EXPECT_TRUE(telemetry->ever_reported);
+  EXPECT_FALSE(telemetry->missed_heartbeat);
+  EXPECT_EQ(telemetry->docs_total, 200u);
+  EXPECT_EQ(telemetry->snapshots, 1u);  // heartbeats are not snapshots
+  EXPECT_NEAR(telemetry->docs_per_sec, 50.0, 1e-9);
+  EXPECT_GE(telemetry->last_frame_age_seconds, 0.0);
+
+  // A restarted worker's monotonic clock starts over (ts goes backwards):
+  // the rate reseeds instead of going negative/astronomical.
+  ASSERT_TRUE(util::SendFrame(*w, SnapshotFrame(3, 5, 0.5)));
+  ASSERT_TRUE(WaitFor([&] { return collector.frames_received() >= 3; }));
+  const std::optional<WorkerTelemetry> restarted = collector.Worker(3);
+  ASSERT_TRUE(restarted.has_value());
+  EXPECT_DOUBLE_EQ(restarted->docs_per_sec, 0.0);
+
+  w->Close();
+  collector.Stop();
+}
+
+TEST(FleetCollectorTest, FlagsMissedHeartbeatsOnlyAfterFirstFrame) {
+  CollectorOptions options;
+  options.heartbeat_seconds = 0.05;
+  Collector collector(options);
+  ASSERT_TRUE(collector.Start().ok());
+
+  util::Result<util::ClientSocket> w =
+      util::ClientSocket::Connect(collector.port());
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(util::SendFrame(*w, HeartbeatFrame(0, 0, 0.1)));
+  ASSERT_TRUE(WaitFor([&] { return collector.frames_received() >= 1; }));
+
+  // Silence past 2x the heartbeat cadence flags the worker.
+  ASSERT_TRUE(WaitFor([&] {
+    const std::optional<WorkerTelemetry> t = collector.Worker(0);
+    return t.has_value() && t->missed_heartbeat;
+  }));
+
+  // The driver restarts the worker and resets liveness: a full grace
+  // period before the fresh process can be flagged again.
+  collector.ResetWorkerLiveness(0);
+  const std::optional<WorkerTelemetry> reset = collector.Worker(0);
+  ASSERT_TRUE(reset.has_value());
+  EXPECT_FALSE(reset->missed_heartbeat);
+
+  w->Close();
+  collector.Stop();
+}
+
+TEST(FleetCollectorTest, MalformedStreamDropsOnlyThatConnection) {
+  Collector collector;
+  ASSERT_TRUE(collector.Start().ok());
+
+  util::Result<util::ClientSocket> bad =
+      util::ClientSocket::Connect(collector.port());
+  util::Result<util::ClientSocket> good =
+      util::ClientSocket::Connect(collector.port());
+  ASSERT_TRUE(bad.ok());
+  ASSERT_TRUE(good.ok());
+
+  // An absurd length prefix desynchronizes the bad stream for good; the
+  // collector must drop that connection, count the error, and keep
+  // ingesting from the healthy one.
+  const std::string huge = {0x7f, 0x7f, 0x7f, 0x7f, 'j', 'u', 'n', 'k'};
+  ASSERT_TRUE(bad->SendAll(huge));
+  ASSERT_TRUE(WaitFor([&] { return collector.frame_errors() >= 1; }));
+
+  ASSERT_TRUE(util::SendFrame(*good, SnapshotFrame(1, 12, 1.0)));
+  ASSERT_TRUE(WaitFor([&] { return collector.frames_received() >= 1; }));
+  EXPECT_EQ(collector.Merged().counters.at("briq.stream.documents"), 12u);
+
+  good->Close();
+  bad->Close();
+  collector.Stop();
+}
+
+TEST(FleetCollectorTest, TornTrailingFrameCountsErrorKeepsEarlierFrames) {
+  Collector collector;
+  ASSERT_TRUE(collector.Start().ok());
+
+  util::Result<util::ClientSocket> w =
+      util::ClientSocket::Connect(collector.port());
+  ASSERT_TRUE(w.ok());
+
+  // One complete frame, then a torn one (the worker died mid-send), then
+  // EOF: the complete frame's data must survive, the torn tail must be
+  // rejected without poisoning anything.
+  ASSERT_TRUE(util::SendFrame(*w, SnapshotFrame(0, 30, 1.0)));
+  const std::string torn = util::EncodeFrame(SnapshotFrame(0, 99, 2.0));
+  ASSERT_TRUE(w->SendAll(torn.substr(0, torn.size() / 2)));
+  w->Close();
+
+  ASSERT_TRUE(WaitFor([&] { return collector.frame_errors() >= 1; }));
+  EXPECT_EQ(collector.Merged().counters.at("briq.stream.documents"), 30u);
+  EXPECT_TRUE(collector.WaitForDrain(2.0));
+
+  // The collector is not poisoned: a new worker connects and merges.
+  util::Result<util::ClientSocket> w2 =
+      util::ClientSocket::Connect(collector.port());
+  ASSERT_TRUE(w2.ok());
+  ASSERT_TRUE(util::SendFrame(*w2, SnapshotFrame(1, 7, 1.0)));
+  ASSERT_TRUE(WaitFor([&] {
+    const obs::MetricsSnapshot m = collector.Merged();
+    const auto it = m.counters.find("briq.stream.documents");
+    return it != m.counters.end() && it->second == 37u;
+  }));
+  w2->Close();
+  collector.Stop();
+}
+
+TEST(FleetCollectorTest, MalformedPayloadInValidFrameIsCountedNotFatal) {
+  Collector collector;
+  ASSERT_TRUE(collector.Start().ok());
+
+  util::Result<util::ClientSocket> w =
+      util::ClientSocket::Connect(collector.port());
+  ASSERT_TRUE(w.ok());
+
+  // Correctly framed, semantically broken payloads: not JSON, wrong type,
+  // snapshot without a body. Each counts one error; the connection lives.
+  ASSERT_TRUE(util::SendFrame(*w, "this is not json"));
+  ASSERT_TRUE(util::SendFrame(*w, "{\"type\":\"mystery\",\"worker\":0}"));
+  ASSERT_TRUE(util::SendFrame(*w, "{\"type\":\"snapshot\",\"worker\":0}"));
+  ASSERT_TRUE(WaitFor([&] { return collector.frame_errors() >= 3; }));
+
+  // Still alive on the same connection.
+  ASSERT_TRUE(util::SendFrame(*w, SnapshotFrame(0, 3, 1.0)));
+  ASSERT_TRUE(WaitFor([&] { return collector.frames_received() >= 1; }));
+  EXPECT_EQ(collector.Merged().counters.at("briq.stream.documents"), 3u);
+
+  w->Close();
+  collector.Stop();
+}
+
+}  // namespace
+}  // namespace briq::fleet

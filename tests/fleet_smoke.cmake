@@ -1,0 +1,280 @@
+# Fleet smoke test, run by ctest (see tests/CMakeLists.txt), four phases:
+#
+# 1. Parity: shard a corpus, stream it once in-process (`align --stream
+#    --model`), then run `fleet align --workers 3 --model` over the same
+#    shards and assert the fleet's final merged docs_total equals the
+#    single-process document count — the merge must be exactly the sum of
+#    the per-worker snapshots, no double counting, no gaps.
+# 2. Live fleet observability: while a throttled fleet runs, scrape
+#    /metrics (fleet-total plus `worker="N"`-labelled samples), /statusz
+#    (the fleet table), and /healthz; end the linger via /quitquitquit.
+#    The merged JSONL must be well-formed (`briq_tool logcheck`).
+# 3. Failure policy `fail`: SIGKILL one worker mid-run, assert the driver
+#    detects it, drains the others, and exits nonzero.
+# 4. Failure policy `restart`: SIGKILL one worker mid-run, assert the
+#    driver re-execs it over its range and the run still completes with
+#    every document accounted for.
+#
+# Expects -DBRIQ_TOOL=<path to binary> and -DWORKDIR=<scratch dir>.
+
+if(NOT BRIQ_TOOL OR NOT WORKDIR)
+  message(FATAL_ERROR "fleet_smoke: BRIQ_TOOL and WORKDIR must be set")
+endif()
+
+find_program(BASH bash REQUIRED)
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+function(run_tool)
+  execute_process(
+    COMMAND "${BRIQ_TOOL}" ${ARGN}
+    RESULT_VARIABLE rv
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+      "briq_tool ${ARGN} exited with ${rv}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(run_tool_out "${out}" PARENT_SCOPE)
+endfunction()
+
+run_tool(generate 48 "${WORKDIR}/corpus.json" 11 --compact)
+run_tool(shard "${WORKDIR}/corpus.json" "${WORKDIR}/shards" 6)
+run_tool(train "${WORKDIR}/corpus.json" --model-out "${WORKDIR}/model.briq")
+
+# ---------------------------------------------------------------------------
+# Phase 1: merged fleet counters == single-process run.
+
+run_tool(align "${WORKDIR}/shards" --stream --model "${WORKDIR}/model.briq"
+         --threads 2)
+if(NOT run_tool_out MATCHES "streamed ([0-9]+) documents")
+  message(FATAL_ERROR "no 'streamed N documents' line:\n${run_tool_out}")
+endif()
+set(single_docs "${CMAKE_MATCH_1}")
+
+run_tool(fleet align "${WORKDIR}/shards" --workers 3
+         --model "${WORKDIR}/model.briq"
+         --metrics-out "${WORKDIR}/fleet.jsonl" --metrics-interval 0.2)
+if(NOT run_tool_out MATCHES "fleet align ok: ([0-9]+) documents")
+  message(FATAL_ERROR "no fleet summary line:\n${run_tool_out}")
+endif()
+set(fleet_docs "${CMAKE_MATCH_1}")
+if(NOT fleet_docs EQUAL single_docs)
+  message(FATAL_ERROR
+    "fleet merged ${fleet_docs} documents; single-process run streamed "
+    "${single_docs}")
+endif()
+
+# The final merged record must agree with the summary, and the whole
+# stream must be well-formed JSONL with the fleet record schema. Record
+# keys dump alphabetically, so the record-level docs_total of the final
+# record is the one glued to "flush_index"..."trigger":"final" (the
+# per-worker docs_total fields are followed by "range" instead). Plain
+# string ops, not file(STRINGS)+list: the range strings' unbalanced '['
+# make CMake's list parsing swallow separators.
+file(READ "${WORKDIR}/fleet.jsonl" fleet_jsonl)
+if(NOT fleet_jsonl MATCHES
+   "\"docs_total\":([0-9]+),\"flush_index\":[0-9]+,\"trigger\":\"final\"")
+  message(FATAL_ERROR "no final fleet record:\n${fleet_jsonl}")
+endif()
+if(NOT CMAKE_MATCH_1 EQUAL single_docs)
+  message(FATAL_ERROR
+    "final fleet record carries docs_total ${CMAKE_MATCH_1}, expected "
+    "${single_docs}:\n${fleet_jsonl}")
+endif()
+run_tool(logcheck "${WORKDIR}/fleet.jsonl"
+         --require flush_index,trigger,docs_total,cumulative,workers)
+
+# ---------------------------------------------------------------------------
+# Phase 2: live /metrics + /statusz while a throttled fleet runs.
+
+set(fleet_log "${WORKDIR}/fleet_live.log")
+execute_process(
+  COMMAND "${BASH}" -c
+    "'${BRIQ_TOOL}' fleet align '${WORKDIR}/shards' --workers 3 \
+       --model '${WORKDIR}/model.briq' --sleep-per-doc-ms 40 \
+       --serve-port 0 --serve-linger 60 > '${fleet_log}' 2>&1 & echo $!"
+  OUTPUT_VARIABLE fleet_pid
+  OUTPUT_STRIP_TRAILING_WHITESPACE)
+
+function(cleanup)
+  execute_process(
+    COMMAND "${BASH}" -c "kill ${fleet_pid} 2>/dev/null || true")
+endfunction()
+
+set(port "")
+foreach(attempt RANGE 60)
+  if(EXISTS "${fleet_log}")
+    file(READ "${fleet_log}" log)
+    if(log MATCHES "127\\.0\\.0\\.1:([0-9]+)/metrics")
+      set(port "${CMAKE_MATCH_1}")
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.5)
+endforeach()
+if(port STREQUAL "")
+  cleanup()
+  file(READ "${fleet_log}" log)
+  message(FATAL_ERROR "no fleet port announced within 30s; log:\n${log}")
+endif()
+
+# Scrape until the merged exposition shows worker-labelled stream counters
+# (the workers need a moment to push their first snapshots).
+set(scrape "${WORKDIR}/fleet_metrics.txt")
+set(scraped FALSE)
+foreach(attempt RANGE 40)
+  file(DOWNLOAD "http://127.0.0.1:${port}/metrics" "${scrape}"
+       STATUS status TIMEOUT 10)
+  list(GET status 0 status_code)
+  if(status_code EQUAL 0)
+    file(READ "${scrape}" body)
+    if(body MATCHES "briq_stream_documents_total{worker=\"")
+      set(scraped TRUE)
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.5)
+endforeach()
+if(NOT scraped)
+  cleanup()
+  message(FATAL_ERROR
+    "fleet /metrics never served worker-labelled stream counters")
+endif()
+
+file(READ "${scrape}" body)
+foreach(needle
+        "# TYPE briq_stream_documents_total counter"
+        "briq_stream_documents_total{worker=\"0\"}"
+        "briq_scrape_timestamp_seconds")
+  string(FIND "${body}" "${needle}" at)
+  if(at EQUAL -1)
+    cleanup()
+    message(FATAL_ERROR "fleet /metrics is missing '${needle}':\n${body}")
+  endif()
+endforeach()
+
+file(DOWNLOAD "http://127.0.0.1:${port}/statusz" "${WORKDIR}/statusz.html"
+     STATUS status TIMEOUT 10)
+list(GET status 0 status_code)
+if(NOT status_code EQUAL 0)
+  cleanup()
+  message(FATAL_ERROR "/statusz scrape failed: ${status}")
+endif()
+file(READ "${WORKDIR}/statusz.html" statusz)
+foreach(needle "<h2>fleet (3 workers)</h2>" "running")
+  string(FIND "${statusz}" "${needle}" at)
+  if(at EQUAL -1)
+    cleanup()
+    message(FATAL_ERROR "/statusz is missing '${needle}':\n${statusz}")
+  endif()
+endforeach()
+
+file(DOWNLOAD "http://127.0.0.1:${port}/healthz" "${WORKDIR}/healthz.txt"
+     STATUS status TIMEOUT 10)
+list(GET status 0 status_code)
+if(NOT status_code EQUAL 0)
+  cleanup()
+  message(FATAL_ERROR "/healthz scrape failed: ${status}")
+endif()
+
+file(DOWNLOAD "http://127.0.0.1:${port}/quitquitquit" "${WORKDIR}/quit.txt"
+     STATUS status TIMEOUT 10)
+set(exited FALSE)
+foreach(attempt RANGE 60)
+  execute_process(
+    COMMAND "${BASH}" -c "kill -0 ${fleet_pid} 2>/dev/null"
+    RESULT_VARIABLE alive)
+  if(NOT alive EQUAL 0)
+    set(exited TRUE)
+    break()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.5)
+endforeach()
+cleanup()
+if(NOT exited)
+  message(FATAL_ERROR "fleet kept running after /quitquitquit")
+endif()
+
+# ---------------------------------------------------------------------------
+# Phase 3: kill a worker under --on-worker-failure fail -> nonzero exit.
+
+set(fail_log "${WORKDIR}/fleet_fail.log")
+execute_process(
+  COMMAND "${BASH}" -c
+    "set -e
+     '${BRIQ_TOOL}' fleet align '${WORKDIR}/shards' --workers 3 \
+       --model '${WORKDIR}/model.briq' --sleep-per-doc-ms 60 \
+       --on-worker-failure fail > '${fail_log}' 2>&1 &
+     fleet=$!
+     # Wait for worker 1's pid line, then kill that worker outright.
+     for i in $(seq 1 100); do
+       pid=$(grep -oE 'fleet worker 1 pid [0-9]+' '${fail_log}' \
+             | grep -oE '[0-9]+$' || true)
+       [ -n \"$pid\" ] && break
+       sleep 0.1
+     done
+     [ -n \"$pid\" ] || { kill $fleet 2>/dev/null; echo NOPID; exit 99; }
+     sleep 0.5
+     kill -KILL $pid
+     if wait $fleet; then echo UNEXPECTED_OK; exit 98; else exit 0; fi"
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  file(READ "${fail_log}" log)
+  message(FATAL_ERROR
+    "fail-policy phase broke (rv=${rv}):\n${out}\n${err}\nfleet log:\n${log}")
+endif()
+file(READ "${fail_log}" log)
+foreach(needle "fleet worker 1 failed" "failing fast")
+  string(FIND "${log}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "fail-policy log is missing '${needle}':\n${log}")
+  endif()
+endforeach()
+
+# ---------------------------------------------------------------------------
+# Phase 4: kill a worker under --on-worker-failure restart -> the fleet
+# re-execs it and still merges every document.
+
+set(restart_log "${WORKDIR}/fleet_restart.log")
+execute_process(
+  COMMAND "${BASH}" -c
+    "set -e
+     '${BRIQ_TOOL}' fleet align '${WORKDIR}/shards' --workers 3 \
+       --model '${WORKDIR}/model.briq' --sleep-per-doc-ms 40 \
+       --on-worker-failure restart --max-restarts 2 \
+       > '${restart_log}' 2>&1 &
+     fleet=$!
+     for i in $(seq 1 100); do
+       pid=$(grep -oE 'fleet worker 1 pid [0-9]+' '${restart_log}' \
+             | head -1 | grep -oE '[0-9]+$' || true)
+       [ -n \"$pid\" ] && break
+       sleep 0.1
+     done
+     [ -n \"$pid\" ] || { kill $fleet 2>/dev/null; echo NOPID; exit 99; }
+     sleep 0.5
+     kill -KILL $pid
+     wait $fleet"
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  file(READ "${restart_log}" log)
+  message(FATAL_ERROR
+    "restart-policy fleet exited with ${rv}:\n${out}\n${err}\n"
+    "fleet log:\n${log}")
+endif()
+file(READ "${restart_log}" log)
+if(NOT log MATCHES "restarting over range")
+  message(FATAL_ERROR "restart-policy log shows no restart:\n${log}")
+endif()
+if(NOT log MATCHES "fleet align ok: ${single_docs} documents")
+  message(FATAL_ERROR
+    "restarted fleet lost documents (expected ${single_docs}):\n${log}")
+endif()
+
+message(STATUS "fleet_smoke passed: parity, live scrape, fail + restart "
+               "policies")

@@ -606,6 +606,56 @@ TEST(HttpServerTest, StatuszServesSelfContainedHtml) {
             std::string::npos);
   EXPECT_NE(response->body.find("<html"), std::string::npos);
   EXPECT_NE(response->body.find("http_server_test build"), std::string::npos);
+  // No fleet_rows callback -> no fleet section.
+  EXPECT_EQ(response->body.find("<h2>fleet"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StatuszRendersFleetSectionFromCallback) {
+  Router router = EchoRouter();
+  StatuszInfo info;
+  info.build_info = "fleet driver under test";
+  info.fleet_rows = [] {
+    std::vector<FleetWorkerRow> rows;
+    FleetWorkerRow running;
+    running.worker_id = 0;
+    running.state = "running";
+    running.range = "[0, 3)";
+    running.docs_total = 120;
+    running.docs_per_sec = 41.5;
+    running.last_heartbeat_age_seconds = 0.2;
+    running.restarts = 1;
+    rows.push_back(running);
+    FleetWorkerRow silent;
+    silent.worker_id = 1;
+    silent.state = "running";
+    silent.range = "[3, 6)";
+    silent.docs_total = 0;
+    silent.docs_per_sec = 0.0;
+    silent.last_heartbeat_age_seconds = -1.0;  // never reported
+    silent.restarts = 0;
+    rows.push_back(silent);
+    return rows;
+  };
+  RegisterStatuszRoute(&router, std::move(info));
+
+  HttpServerOptions options;
+  options.num_threads = 1;
+  HttpServer server(std::move(router), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = HttpClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  auto response = client->Request("GET", "/statusz");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_NE(response->body.find("<h2>fleet (2 workers)</h2>"),
+            std::string::npos);
+  EXPECT_NE(response->body.find("[0, 3)"), std::string::npos);
+  EXPECT_NE(response->body.find("120"), std::string::npos);
+  EXPECT_NE(response->body.find("running"), std::string::npos);
+  // A worker that never pushed a frame reads "never", not a bogus age.
+  EXPECT_NE(response->body.find("never"), std::string::npos);
   server.Stop();
 }
 

@@ -1,0 +1,306 @@
+#include "obs/snapshot_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "util/framing.h"
+#include "util/json.h"
+
+namespace briq::obs {
+namespace {
+
+MetricsSnapshot MakeSnapshot(uint64_t docs, int64_t depth,
+                             std::vector<uint64_t> bucket_counts) {
+  MetricsSnapshot s;
+  s.counters["briq.stream.documents"] = docs;
+  s.counters["briq.stream.decisions"] = docs * 3;
+  s.gauges["briq.stream.queue_depth"] = depth;
+  HistogramSnapshot h;
+  h.bounds = {0.001, 0.01, 0.1};
+  h.counts = std::move(bucket_counts);  // size must be bounds.size() + 1
+  h.count = 0;
+  for (uint64_t c : h.counts) h.count += c;
+  h.sum = 0.05 * static_cast<double>(h.count);
+  s.histograms["briq.stream.align_seconds"] = h;
+  s.capture_unix_seconds = 1000.0 + static_cast<double>(docs);
+  return s;
+}
+
+TEST(SnapshotMergeTest, SingleWorkerMergeIsIdentity) {
+  SnapshotMerge merge;
+  const MetricsSnapshot s = MakeSnapshot(10, 2, {1, 2, 3, 4});
+  merge.Update(0, s);
+
+  const MetricsSnapshot merged = merge.Merged();
+  EXPECT_EQ(merged.counters, s.counters);
+  EXPECT_EQ(merged.gauges, s.gauges);
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  const HistogramSnapshot& h =
+      merged.histograms.at("briq.stream.align_seconds");
+  EXPECT_EQ(h.bounds, s.histograms.at("briq.stream.align_seconds").bounds);
+  EXPECT_EQ(h.counts, s.histograms.at("briq.stream.align_seconds").counts);
+  EXPECT_EQ(h.count, s.histograms.at("briq.stream.align_seconds").count);
+  EXPECT_DOUBLE_EQ(merged.capture_unix_seconds, s.capture_unix_seconds);
+}
+
+TEST(SnapshotMergeTest, CountersAndGaugesSumAcrossWorkers) {
+  SnapshotMerge merge;
+  merge.Update(0, MakeSnapshot(10, 2, {1, 0, 0, 0}));
+  merge.Update(1, MakeSnapshot(25, 3, {0, 2, 0, 0}));
+  merge.Update(2, MakeSnapshot(5, 1, {0, 0, 4, 0}));
+
+  const MetricsSnapshot merged = merge.Merged();
+  EXPECT_EQ(merged.counters.at("briq.stream.documents"), 40u);
+  EXPECT_EQ(merged.counters.at("briq.stream.decisions"), 120u);
+  EXPECT_EQ(merged.gauges.at("briq.stream.queue_depth"), 6);
+  // Newest worker capture wins.
+  EXPECT_DOUBLE_EQ(merged.capture_unix_seconds, 1025.0);
+  EXPECT_EQ(merge.num_workers(), 3u);
+}
+
+TEST(SnapshotMergeTest, UpdateReplacesAWorkersContribution) {
+  // The push protocol sends cumulative snapshots: the latest one from a
+  // worker supersedes everything it reported before — totals never double
+  // count, and a restarted worker's fresh numbers replace the dead
+  // incarnation's.
+  SnapshotMerge merge;
+  merge.Update(0, MakeSnapshot(10, 2, {1, 1, 1, 1}));
+  merge.Update(0, MakeSnapshot(50, 4, {5, 5, 5, 5}));
+  merge.Update(1, MakeSnapshot(7, 1, {1, 0, 0, 0}));
+
+  const MetricsSnapshot merged = merge.Merged();
+  EXPECT_EQ(merged.counters.at("briq.stream.documents"), 57u);
+  EXPECT_EQ(
+      merged.histograms.at("briq.stream.align_seconds").count, 21u);
+
+  merge.Remove(1);
+  EXPECT_EQ(merge.Merged().counters.at("briq.stream.documents"), 50u);
+}
+
+TEST(SnapshotMergeTest, MergeIsCommutativeAcrossArrivalOrder) {
+  // Frames arrive over independent sockets — the collector gives no
+  // ordering guarantee across workers, so any arrival order must merge to
+  // the same aggregate.
+  std::vector<std::pair<int, MetricsSnapshot>> updates = {
+      {0, MakeSnapshot(10, 2, {1, 2, 3, 4})},
+      {1, MakeSnapshot(20, 1, {4, 3, 2, 1})},
+      {2, MakeSnapshot(30, 5, {0, 0, 0, 9})},
+      {0, MakeSnapshot(15, 3, {2, 2, 2, 2})},  // replaces worker 0's first
+  };
+
+  SnapshotMerge in_order;
+  for (const auto& [worker, snapshot] : updates) {
+    in_order.Update(worker, snapshot);
+  }
+  const MetricsSnapshot expected = in_order.Merged();
+
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Any shuffle that keeps each worker's own updates in order is a
+    // legal arrival interleaving; shuffling everything additionally
+    // exercises the replacement path, so the last update per worker must
+    // dominate. Keep worker 0's replacement last to preserve
+    // latest-wins semantics.
+    std::vector<std::pair<int, MetricsSnapshot>> shuffled = {
+        updates[1], updates[2]};
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    shuffled.insert(shuffled.begin(), updates[0]);
+    shuffled.push_back(updates[3]);
+
+    SnapshotMerge merge;
+    for (const auto& [worker, snapshot] : shuffled) {
+      merge.Update(worker, snapshot);
+    }
+    const MetricsSnapshot merged = merge.Merged();
+    EXPECT_EQ(merged.counters, expected.counters);
+    EXPECT_EQ(merged.gauges, expected.gauges);
+    EXPECT_EQ(merged.histograms.at("briq.stream.align_seconds").counts,
+              expected.histograms.at("briq.stream.align_seconds").counts);
+  }
+}
+
+TEST(SnapshotMergeTest, HistogramBucketMergeFuzz) {
+  // Bucket-wise merge must agree with summing each bucket independently,
+  // for arbitrary worker counts and bucket contents.
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<uint64_t> dist(0, 1000);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int workers = 1 + static_cast<int>(rng() % 5);
+    std::vector<uint64_t> expected_counts(4, 0);
+    uint64_t expected_total = 0;
+    double expected_sum = 0.0;
+
+    SnapshotMerge merge;
+    for (int w = 0; w < workers; ++w) {
+      std::vector<uint64_t> counts(4);
+      for (auto& c : counts) c = dist(rng);
+      for (size_t i = 0; i < counts.size(); ++i) {
+        expected_counts[i] += counts[i];
+      }
+      MetricsSnapshot s = MakeSnapshot(dist(rng), 0, counts);
+      const HistogramSnapshot& h =
+          s.histograms.at("briq.stream.align_seconds");
+      expected_total += h.count;
+      expected_sum += h.sum;
+      merge.Update(w, s);
+    }
+
+    const HistogramSnapshot merged =
+        merge.Merged().histograms.at("briq.stream.align_seconds");
+    EXPECT_EQ(merged.counts, expected_counts) << "trial " << trial;
+    EXPECT_EQ(merged.count, expected_total) << "trial " << trial;
+    EXPECT_DOUBLE_EQ(merged.sum, expected_sum) << "trial " << trial;
+  }
+}
+
+TEST(SnapshotMergeTest, MismatchedBucketLayoutFoldsIntoOverflow) {
+  HistogramSnapshot a;
+  a.bounds = {1.0, 2.0};
+  a.counts = {10, 20, 30};
+  a.count = 60;
+  a.sum = 100.0;
+  HistogramSnapshot b;
+  b.bounds = {5.0};  // divergent layout (never happens between same-binary
+  b.counts = {7, 8};  // workers; defensive path)
+  b.count = 15;
+  b.sum = 50.0;
+
+  HistogramSnapshot into = a;
+  MergeHistogram(&into, b);
+  EXPECT_EQ(into.bounds, a.bounds);  // first-seen layout wins
+  EXPECT_EQ(into.counts, (std::vector<uint64_t>{10, 20, 45}));
+  EXPECT_EQ(into.count, 75u);  // totals still exact
+  EXPECT_DOUBLE_EQ(into.sum, 150.0);
+}
+
+TEST(SnapshotMergeTest, JsonRoundTripIsLossless) {
+  const MetricsSnapshot s = MakeSnapshot(123, 9, {1, 2, 3, 4});
+  const util::Result<MetricsSnapshot> parsed =
+      MetricsSnapshotFromJson(MetricsToJson(s));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->counters, s.counters);
+  EXPECT_EQ(parsed->gauges, s.gauges);
+  ASSERT_EQ(parsed->histograms.size(), 1u);
+  const HistogramSnapshot& h =
+      parsed->histograms.at("briq.stream.align_seconds");
+  EXPECT_EQ(h.bounds, s.histograms.at("briq.stream.align_seconds").bounds);
+  EXPECT_EQ(h.counts, s.histograms.at("briq.stream.align_seconds").counts);
+  EXPECT_EQ(h.count, s.histograms.at("briq.stream.align_seconds").count);
+}
+
+TEST(SnapshotMergeTest, FromJsonRejectsMalformedShapes) {
+  // Not an object.
+  EXPECT_FALSE(MetricsSnapshotFromJson(util::Json(3.0)).ok());
+
+  // counts.size() != bounds.size() + 1 — a torn or corrupted frame must
+  // never produce a half-parsed snapshot.
+  util::Json histogram = util::Json::Object();
+  util::Json bounds = util::Json::Array();
+  bounds.Append(util::Json(1.0));
+  util::Json counts = util::Json::Array();
+  counts.Append(util::Json(1.0));  // should be 2 entries
+  histogram.Set("bounds", std::move(bounds));
+  histogram.Set("counts", std::move(counts));
+  histogram.Set("sum", util::Json(1.0));
+  histogram.Set("count", util::Json(1.0));
+  util::Json histograms = util::Json::Object();
+  histograms.Set("h", std::move(histogram));
+  util::Json root = util::Json::Object();
+  root.Set("counters", util::Json::Object());
+  root.Set("gauges", util::Json::Object());
+  root.Set("histograms", std::move(histograms));
+  EXPECT_FALSE(MetricsSnapshotFromJson(root).ok());
+
+  // Non-numeric counter value.
+  util::Json counters = util::Json::Object();
+  counters.Set("c", util::Json("nope"));
+  util::Json root2 = util::Json::Object();
+  root2.Set("counters", std::move(counters));
+  root2.Set("gauges", util::Json::Object());
+  root2.Set("histograms", util::Json::Object());
+  EXPECT_FALSE(MetricsSnapshotFromJson(root2).ok());
+}
+
+TEST(SnapshotMergeTest, TruncatedFrameStaysPendingAndNeverYields) {
+  // A worker killed mid-send leaves a torn frame at the end of the
+  // stream. The reader must hold it as pending bytes — never surface a
+  // partial payload, never corrupt later frames.
+  const std::string payload = "{\"type\":\"heartbeat\",\"worker\":0}";
+  const std::string frame = util::EncodeFrame(payload);
+
+  util::FrameReader reader;
+  reader.Append(frame.data(), frame.size() - 5);  // torn mid-payload
+  util::Result<std::optional<std::string>> next = reader.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+  EXPECT_GT(reader.pending_bytes(), 0u);
+  EXPECT_FALSE(reader.poisoned());
+
+  // The missing tail arrives (a slow writer, not a dead one): the frame
+  // completes exactly.
+  reader.Append(frame.data() + frame.size() - 5, 5);
+  next = reader.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->has_value());
+  EXPECT_EQ(**next, payload);
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(SnapshotMergeTest, OversizedLengthPrefixPoisonsOnlyThatReader) {
+  // A desynchronized stream shows up as an absurd length prefix. The
+  // reader poisons itself (that stream is unreadable from here on), which
+  // the collector answers by dropping the one connection — a second
+  // reader, i.e. another worker's stream, is untouched.
+  util::FrameReader bad;
+  const char huge[4] = {0x7f, 0x7f, 0x7f, 0x7f};
+  bad.Append(huge, sizeof(huge));
+  util::Result<std::optional<std::string>> next = bad.Next();
+  EXPECT_FALSE(next.ok());
+  EXPECT_TRUE(bad.poisoned());
+  // Sticky: every later call re-reports the error.
+  EXPECT_FALSE(bad.Next().ok());
+
+  util::FrameReader good;
+  const std::string frame = util::EncodeFrame("{\"worker\":1}");
+  good.Append(frame.data(), frame.size());
+  util::Result<std::optional<std::string>> ok = good.Next();
+  ASSERT_TRUE(ok.ok());
+  ASSERT_TRUE(ok->has_value());
+  EXPECT_EQ(**ok, "{\"worker\":1}");
+}
+
+TEST(SnapshotMergeTest, InterleavedFramesSplitAtArbitraryBoundaries) {
+  // TCP gives no message boundaries: two frames may arrive in any chunking.
+  const std::string f1 = util::EncodeFrame("{\"a\":1}");
+  const std::string f2 = util::EncodeFrame("{\"b\":2}");
+  const std::string stream = f1 + f2;
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    util::FrameReader reader;
+    reader.Append(stream.data(), split);
+    std::vector<std::string> payloads;
+    while (true) {
+      util::Result<std::optional<std::string>> next = reader.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) break;
+      payloads.push_back(**next);
+    }
+    reader.Append(stream.data() + split, stream.size() - split);
+    while (true) {
+      util::Result<std::optional<std::string>> next = reader.Next();
+      ASSERT_TRUE(next.ok());
+      if (!next->has_value()) break;
+      payloads.push_back(**next);
+    }
+    ASSERT_EQ(payloads.size(), 2u) << "split at " << split;
+    EXPECT_EQ(payloads[0], "{\"a\":1}");
+    EXPECT_EQ(payloads[1], "{\"b\":2}");
+  }
+}
+
+}  // namespace
+}  // namespace briq::obs
