@@ -1,0 +1,152 @@
+// Microbenchmark of the CQE-grade quantity lexer (DESIGN.md §5k): raw
+// LexNumber throughput, extraction throughput over legacy surfaces with
+// extended forms off vs on (the overhead the flag buys), and extraction
+// throughput over messy surfaces (scientific, fractions, ranges, ±,
+// European separators, scaled currency).
+//
+//   bench_quantity_lexer [--quick] [--json BENCH_quantity_lexer.json]
+//
+// Reports surfaces/sec; the JSON rows reuse BenchRecord with
+// docs_per_min = surfaces per minute, domain = workload name.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "quantity/quantity_lexer.h"
+#include "quantity/quantity_parser.h"
+
+namespace briq::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const std::vector<std::string>& LegacySurfaces() {
+  static const auto& kSurfaces = *new std::vector<std::string>{
+      "the company reported $232.8 Million in revenue",
+      "a total of 1,144,716 votes were counted",
+      "margins improved to 12.7% over the quarter",
+      "roughly 36,900 patients enrolled by 2014",
+      "the index fell 60 bps against the benchmark",
+      "about 3.26 billion in annual sales",
+      "twenty pounds of material per batch",
+      "net income of $(9.49) Million was booked",
+  };
+  return kSurfaces;
+}
+
+const std::vector<std::string>& MessySurfaces() {
+  static const auto& kSurfaces = *new std::vector<std::string>{
+      "production reached 3.2e6 units this year",
+      "an output of 4.839 × 10^7 was sustained",
+      "revenues of $1.234.567 were booked",
+      "the charge weighed 2 ¾ tonnes on arrival",
+      "between 3–5 million tests were run",
+      "a distance of 5 ± 1 km was covered",
+      "hardware brought in 484 M$ over the year",
+      "the residue came to 2750 kg in total",
+  };
+  return kSurfaces;
+}
+
+// Numbers-only inputs for the raw lexer loop.
+const std::vector<std::string>& RawNumbers() {
+  static const auto& kNumbers = *new std::vector<std::string>{
+      "3.2e6",     "4 × 10^5", "1,234.56", "1.234.567", "2 3/4",
+      "2¾",        "3–5",      "5 ± 1",    "-483.52",   "1144716",
+  };
+  return kNumbers;
+}
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Runs `iters` extraction passes over `surfaces`, returning surfaces/sec.
+double ExtractionRate(const std::vector<std::string>& surfaces,
+                      const quantity::ExtractionOptions& opts, int iters) {
+  size_t sink = 0;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    for (const std::string& s : surfaces) {
+      sink += quantity::ExtractQuantities(s, opts).size();
+    }
+  }
+  const double secs = SecondsSince(t0);
+  if (sink == 0) std::fprintf(stderr, "warning: no quantities extracted\n");
+  return surfaces.size() * static_cast<double>(iters) / secs;
+}
+
+double RawLexRate(int iters) {
+  quantity::LexOptions opts;
+  size_t sink = 0;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    for (const std::string& s : RawNumbers()) {
+      auto r = quantity::LexNumber(s, 0, opts);
+      sink += r.ok() ? static_cast<size_t>(r.value().end) : 0;
+    }
+  }
+  const double secs = SecondsSince(t0);
+  if (sink == 0) std::fprintf(stderr, "warning: nothing lexed\n");
+  return RawNumbers().size() * static_cast<double>(iters) / secs;
+}
+
+int Run(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const int iters = quick ? 2000 : 50000;
+
+  quantity::ExtractionOptions legacy;
+  quantity::ExtractionOptions extended;
+  extended.extended_forms = true;
+
+  struct Row {
+    const char* name;
+    double per_sec;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"lex_number_raw", RawLexRate(iters)});
+  rows.push_back(
+      {"extract_legacy_off", ExtractionRate(LegacySurfaces(), legacy, iters)});
+  rows.push_back(
+      {"extract_legacy_ext", ExtractionRate(LegacySurfaces(), extended, iters)});
+  rows.push_back(
+      {"extract_messy_ext", ExtractionRate(MessySurfaces(), extended, iters)});
+
+  std::printf("%-20s %15s\n", "workload", "surfaces/sec");
+  std::vector<BenchRecord> records;
+  for (const Row& r : rows) {
+    std::printf("%-20s %15.0f\n", r.name, r.per_sec);
+    BenchRecord rec;
+    rec.bench = "quantity_lexer";
+    rec.domain = r.name;
+    rec.docs_per_min = r.per_sec * 60.0;
+    rec.threads = 1;
+    rec.mode = "memory";
+    records.push_back(rec);
+  }
+  // The extended flag must not tax the legacy language noticeably; flag a
+  // regression loudly (no hard failure: shared CI boxes are noisy).
+  const double off = rows[1].per_sec;
+  const double on = rows[2].per_sec;
+  if (on < 0.5 * off) {
+    std::fprintf(stderr,
+                 "warning: extended_forms slows legacy surfaces %.1fx\n",
+                 off / on);
+  }
+
+  std::string json = JsonPathFromArgs(argc, argv);
+  if (!json.empty() && !WriteBenchJson(json, records)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace briq::bench
+
+int main(int argc, char** argv) { return briq::bench::Run(argc, argv); }

@@ -90,6 +90,10 @@ void PrintUsage(std::ostream& out) {
       "                  [--queue-capacity <q>] [--serve-linger <sec>]\n"
       "                  [--access-log <path>] [--retry-after-seconds <n>]\n"
       "                  [--slow-request-seconds <sec>] [--trace-out <path>]\n"
+      "  briq_tool quantity <string> [--cell] [--legacy]"
+      " [--locale us|eu]\n"
+      "                                                  lex one string:\n"
+      "                                                  value, unit, base\n"
       "  briq_tool logcheck <file.jsonl> [--require k1,k2,...]\n"
       "                                                  verify a JSONL file\n"
       "                                                  (e.g. the access log)\n"
@@ -1160,6 +1164,74 @@ int Serve(int argc, char** argv) {
   return 0;
 }
 
+/// `briq_tool quantity <string> [--cell] [--legacy] [--locale us|eu]`:
+/// runs the quantity extractor on one string and prints every mention
+/// with its normalized value, unit, base-unit value, interval endpoints,
+/// precision, and approximation cue. Extended (CQE-grade) forms are on by
+/// default; --legacy runs the historical language, --cell parses in
+/// table-cell mode ("$(9.49) Million", "--"), --locale pins the
+/// separator disambiguation.
+int Quantity(int argc, char** argv) {
+  if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+    std::cerr << "briq_tool: quantity needs a string argument\n";
+    return Usage();
+  }
+  const std::string input = argv[2];
+  quantity::ExtractionOptions options;
+  options.extended_forms = !HasFlag(argc, argv, "--legacy");
+  if (const std::optional<std::string> locale =
+          FlagValue(argc, argv, "--locale")) {
+    if (*locale == "us") {
+      options.locale = quantity::LocaleHint::kUS;
+    } else if (*locale == "eu" || *locale == "european") {
+      options.locale = quantity::LocaleHint::kEuropean;
+    } else {
+      std::cerr << "briq_tool: --locale must be 'us' or 'eu'\n";
+      return Usage();
+    }
+  }
+
+  std::vector<quantity::ParsedQuantity> mentions;
+  if (HasFlag(argc, argv, "--cell")) {
+    if (std::optional<quantity::ParsedQuantity> q =
+            quantity::ParseCellQuantity(input, options)) {
+      mentions.push_back(std::move(*q));
+    }
+  } else {
+    mentions = quantity::ExtractQuantities(input, options);
+  }
+  if (mentions.empty()) {
+    std::cout << "no quantity found\n";
+    return 1;
+  }
+  for (const quantity::ParsedQuantity& q : mentions) {
+    const quantity::NormalizedQuantity n = q.normalized();
+    std::cout << "surface   \"" << q.surface << "\" [" << q.span.begin << ", "
+              << q.span.end << ")\n";
+    if (q.is_interval()) {
+      std::cout << "value     [" << q.value_lo << ", " << q.value_hi
+                << "] (midpoint " << q.value << ")\n";
+    } else {
+      std::cout << "value     " << q.value << "\n";
+    }
+    if (q.has_unit()) {
+      std::cout << "unit      " << q.unit << " ("
+                << quantity::UnitCategoryName(q.unit_category) << ")\n";
+      if (q.unit_to_base != 1.0 || n.base_unit != q.unit) {
+        std::cout << "base      " << n.value << " " << n.base_unit << " (x"
+                  << q.unit_to_base << ")\n";
+      }
+    }
+    std::cout << "precision " << q.precision << "\n";
+    if (q.approx != quantity::ApproxIndicator::kNone) {
+      std::cout << "approx    " << quantity::ApproxIndicatorName(q.approx)
+                << "\n";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
 /// `briq_tool logcheck <file.jsonl> [--require k1,k2,...]`: verifies a
 /// JSONL file (the access log, the metrics flusher's output) is
 /// well-formed — every non-empty line parses as a JSON object carrying
@@ -1385,6 +1457,12 @@ int main(int argc, char** argv) {
   if (cmd == "logcheck") {
     if (const int rc = CheckFlags(argc, argv, {"--require"})) return rc;
     return LogCheck(argc, argv);
+  }
+  if (cmd == "quantity") {
+    if (const int rc = CheckFlags(argc, argv, {"--locale"},
+                                  {"--cell", "--legacy"}))
+      return rc;
+    return Quantity(argc, argv);
   }
   if (cmd == "fleet") {
     if (const int rc = CheckFlags(

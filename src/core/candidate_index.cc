@@ -14,6 +14,16 @@ int64_t MagnitudeBucket(double v) {
   return static_cast<int64_t>(std::floor(std::log2(std::fabs(v))));
 }
 
+/// Unit-compatibility key: the base unit the mention's values convert
+/// into ("kg" for tonne columns, the currency itself for money). Falls
+/// back to the literal unit string when no base name is defined, which
+/// keeps the key byte-identical to the legacy interning for every legacy
+/// unit (currency canonical, "percent", hand-built labels).
+std::string UnitKey(quantity::UnitCategory category, const std::string& unit) {
+  std::string base = quantity::BaseUnitName(category, unit);
+  return base.empty() ? unit : base;
+}
+
 }  // namespace
 
 CandidateIndex::FuncGroup* CandidateIndex::GroupOf(
@@ -37,8 +47,9 @@ void CandidateIndex::Build(const PreparedDocument& doc) {
     const table::TableMention& tm = doc.table_mentions[t];
     int32_t unit_id = 0;
     if (tm.has_unit()) {
-      auto [it, inserted] = unit_ids_.emplace(
-          tm.unit, static_cast<int32_t>(unit_ids_.size()) + 1);
+      auto [it, inserted] =
+          unit_ids_.emplace(UnitKey(tm.unit_category, tm.unit),
+                            static_cast<int32_t>(unit_ids_.size()) + 1);
       unit_id = it->second;
     }
     unit_of_.push_back(unit_id);
@@ -49,11 +60,14 @@ void CandidateIndex::Build(const PreparedDocument& doc) {
     }
     FuncGroup* g = GroupOf(tm.func);
     g->all.push_back(t);
-    if (tm.value == 0.0) {
+    // Bucket on the base-unit value so a probe for "2.5 tonnes" lands in
+    // the bucket of a 2500 "(kg)" virtual cell (×1.0 for legacy forms).
+    const double base_value = tm.value * tm.unit_to_base;
+    if (base_value == 0.0) {
       g->zero.push_back(t);
-    } else if (std::isfinite(tm.value)) {
-      auto& buckets = tm.value > 0.0 ? g->pos_buckets : g->neg_buckets;
-      buckets[MagnitudeBucket(tm.value)].push_back(t);
+    } else if (std::isfinite(base_value)) {
+      auto& buckets = base_value > 0.0 ? g->pos_buckets : g->neg_buckets;
+      buckets[MagnitudeBucket(base_value)].push_back(t);
     }
     // Non-finite values join no bucket: RelativeDifference against them is
     // 1.0, so the exact-value exception can never rescue the pair.
@@ -67,7 +81,7 @@ void CandidateIndex::Probe(const table::TextMention& x,
   const bool x_has_unit = x.q.has_unit();
   int32_t x_unit = 0;
   if (x_has_unit) {
-    auto it = unit_ids_.find(x.q.unit);
+    auto it = unit_ids_.find(UnitKey(x.q.unit_category, x.q.unit));
     // A unit no table cell carries: only unit-less cells are compatible.
     x_unit = it == unit_ids_.end() ? -1 : it->second;
   }
@@ -79,14 +93,50 @@ void CandidateIndex::Probe(const table::TextMention& x,
   };
 
   append(singles_);
-  const double v = x.q.value;
+  // Probe on base-unit values, matching Build's bucketing. Interval
+  // mentions ("3–5 million") widen the probe to every bucket the interval
+  // overlaps (±1 slack at both edges): Stage A's exact-value rescue treats
+  // any value inside [lo, hi] as a match, so the superset guarantee needs
+  // the whole span covered. Point mentions keep the legacy 3-bucket probe.
+  const double v = x.q.value * x.q.unit_to_base;
+  double lo = v;
+  double hi = v;
+  if (x.q.is_interval()) {
+    lo = x.q.value_lo * x.q.unit_to_base;
+    hi = x.q.value_hi * x.q.unit_to_base;
+    if (lo > hi) std::swap(lo, hi);
+  }
+  const bool interval = lo != hi;
+  // Appends every bucket overlapping the magnitude range [mag_lo, mag_hi]
+  // (absolute values; mag_lo == 0 means "down to the smallest bucket").
+  auto append_mag_range = [&](const std::map<int64_t, std::vector<size_t>>&
+                                  buckets,
+                              double mag_lo, double mag_hi) {
+    const int64_t b_hi = MagnitudeBucket(mag_hi) + 1;
+    const bool open_below = mag_lo == 0.0;
+    const int64_t b_lo = open_below ? 0 : MagnitudeBucket(mag_lo) - 1;
+    for (const auto& [b, ts] : buckets) {
+      if (b <= b_hi && (open_below || b >= b_lo)) append(ts);
+    }
+  };
   for (const FuncGroup& g : groups_) {
     if (g.func == tag_func) {
       // Same function as the tag: never pruned by Stage A, always scored.
       append(g.all);
       continue;
     }
-    // Different function: survives Stage A only on an exact value match.
+    // Different function: survives Stage A only on an exact value match
+    // (for intervals, a value inside the interval).
+    if (interval) {
+      if (!std::isfinite(lo) || !std::isfinite(hi)) {
+        append(g.all);  // conservative: never drop on a non-finite endpoint
+        continue;
+      }
+      if (lo <= 0.0 && 0.0 <= hi) append(g.zero);
+      if (hi > 0.0) append_mag_range(g.pos_buckets, std::max(lo, 0.0), hi);
+      if (lo < 0.0) append_mag_range(g.neg_buckets, std::max(-hi, 0.0), -lo);
+      continue;
+    }
     if (!std::isfinite(v)) continue;
     if (v == 0.0) {
       append(g.zero);

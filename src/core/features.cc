@@ -44,11 +44,18 @@ int ScaleOf(double v) {
 }
 
 // f8 unit match: 3 strong match, 2 weak match (neither has a unit),
-// 1 weak mismatch (one side has a unit), 0 strong mismatch.
+// 1 weak mismatch (one side has a unit), 0 strong mismatch. Strong match
+// is dimension-aware: "tonnes" against a "(kg)" column is a match, the
+// value distance features already compare in base units.
 double UnitMatch(const TextMention& x, const TableMention& t) {
   const bool xu = x.q.has_unit();
   const bool tu = t.has_unit();
-  if (xu && tu) return x.q.unit == t.unit ? 3.0 : 0.0;
+  if (xu && tu) {
+    return quantity::ConvertibleUnits(x.q.unit_category, x.q.unit,
+                                      t.unit_category, t.unit)
+               ? 3.0
+               : 0.0;
+  }
   if (!xu && !tu) return 2.0;
   return 1.0;
 }
@@ -276,16 +283,21 @@ void FeatureComputer::ComputeAllFromContext(TextContext& ctx,
   // f5: global phrase overlap.
   f[4] = ctx.f5_by_table[tbl];
 
-  // f6/f7: value compatibility.
-  f[5] = quantity::RelativeDifference(x.q.value, t.value);
-  f[6] = quantity::RelativeDifference(x.q.unnormalized,
-                                      UnnormalizedValue(doc_, t));
+  // f6/f7: value compatibility, compared in base units so "2.5 tonnes"
+  // scores as exact against a 2500 cell in a "(kg)" column. unit_to_base
+  // is 1.0 for every legacy surface form, so legacy scores are
+  // bit-identical to the plain RelativeDifference they replace.
+  f[5] = quantity::BaseValueDistance(x.q, t.value, t.unit_to_base);
+  f[6] = quantity::RelativeDifference(x.q.unnormalized * x.q.unit_to_base,
+                                      UnnormalizedValue(doc_, t) *
+                                          t.unit_to_base);
 
   // f8: unit match.
   f[7] = UnitMatch(x, t);
 
-  // f9/f10: scale and precision difference.
-  f[8] = std::fabs(x.q.Scale() - ScaleOf(t.value));
+  // f9/f10: scale and precision difference (f9 on base values).
+  f[8] = std::fabs(ScaleOf(x.q.value * x.q.unit_to_base) -
+                   ScaleOf(t.value * t.unit_to_base));
   f[9] = std::fabs(x.q.precision - TablePrecision(t));
 
   // f11: approximation indicator.

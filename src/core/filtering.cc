@@ -18,10 +18,14 @@ namespace {
 
 using table::AggregateFunction;
 
-// f8-style strong unit mismatch: both sides specify different units.
+// f8-style strong unit mismatch: both sides specify units that are not
+// convertible into a common base ("kg" vs "tonne" is NOT a mismatch; the
+// value comparisons run in base units).
 bool StrongUnitMismatch(const table::TextMention& x,
                         const table::TableMention& t) {
-  return x.q.has_unit() && t.has_unit() && x.q.unit != t.unit;
+  return x.q.has_unit() && t.has_unit() &&
+         !quantity::ConvertibleUnits(x.q.unit_category, x.q.unit,
+                                     t.unit_category, t.unit);
 }
 
 }  // namespace
@@ -146,8 +150,8 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
       // is evidence strong enough to outlive a missing cue word (the
       // paper's Table VI reports post-filter sum recall of 1.0).
       if (tm.is_virtual() && tm.func != tag.func &&
-          quantity::RelativeDifference(doc.text_mentions[x].q.value,
-                                       tm.value) > 1e-9) {
+          quantity::BaseValueDistance(doc.text_mentions[x].q, tm.value,
+                                      tm.unit_to_base) > 1e-9) {
         continue;
       }
       survivors.push_back(t);
@@ -165,8 +169,11 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
       const double sigma = sigmas[i];
 
       // --- Stage B: value-difference and unit pruning ---------------------
-      const double rel_diff = quantity::RelativeDifference(
-          doc.text_mentions[x].q.value, tm.value);
+      // Distance in base units: intervals measure to the nearer endpoint,
+      // unit_to_base bridges t↔kg-style pairs. Bit-identical to the plain
+      // RelativeDifference for every legacy surface form.
+      const double rel_diff = quantity::BaseValueDistance(
+          doc.text_mentions[x].q, tm.value, tm.unit_to_base);
       if (rel_diff > config_->prune_value_diff &&
           sigma < config_->prune_score_threshold) {
         continue;
@@ -198,9 +205,9 @@ std::vector<std::vector<Candidate>> AdaptiveFilter::Filter(
       size_t vote_n = std::min<size_t>(kept.size(), 5);
       size_t exact_votes = 0;
       for (size_t i = 0; i < vote_n; ++i) {
-        double rd = quantity::RelativeDifference(
-            doc.text_mentions[x].q.value,
-            doc.table_mentions[kept[i].table_idx].value);
+        const table::TableMention& vm = doc.table_mentions[kept[i].table_idx];
+        double rd = quantity::BaseValueDistance(doc.text_mentions[x].q,
+                                                vm.value, vm.unit_to_base);
         if (rd < 1e-9) ++exact_votes;
       }
       exact_type = vote_n == 0 || exact_votes * 2 >= vote_n;

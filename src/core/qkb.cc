@@ -12,7 +12,7 @@ std::optional<QkbAligner::CanonicalQuantity> QkbAligner::Canonicalize(
   // describes (§I).
   switch (category) {
     case UnitCategory::kCurrency:
-      if (unit == "USD" || unit == "EUR" || unit == "GBP" || unit == "CDN") {
+      if (unit == "USD" || unit == "EUR" || unit == "GBP" || unit == "CAD") {
         return CanonicalQuantity{"currency:" + unit, value};
       }
       return std::nullopt;  // unregistered currency

@@ -159,12 +159,84 @@ DomainProfile MakeOthers() {
   return p;
 }
 
+// Messy-surface profiles: not part of the default corpus weights, so the
+// legacy corpus stays bit-identical. They exercise the extended lexer
+// (scientific notation, locale separators, ranges, ±, fractions) and the
+// dimensioned unit system (tonne cells vs kg text, M$ vs $).
+
+DomainProfile MakeResearch() {
+  DomainProfile p;
+  p.name = "research";
+  p.min_body_rows = 4;
+  p.max_body_rows = 7;
+  p.min_body_cols = 2;
+  p.max_body_cols = 4;
+  p.numeric_density = 0.92;
+  p.two_table_prob = 0.25;
+  p.value_min = 1;
+  p.value_max = 400;
+  p.max_decimals = 2;
+  p.unit_style = DomainUnitStyle::kPlainCounts;
+  p.messy_numeric_forms = true;
+  p.p_range = 0.12;
+  p.p_plus_minus = 0.18;
+  p.p_fraction = 0.25;
+  p.p_unit_convert = 0.2;
+  p.value_quantum = 0.25;
+  p.mass_column_prob = 0.5;
+  p.mass_header_unit = "tonnes";
+  p.row_headers = {"Sample mass",   "Catalyst load", "Feedstock",
+                   "Reaction yield", "Residue",      "Throughput",
+                   "Solvent used",  "Dry weight",    "Batch output",
+                   "Waste stream",  "Recovered material", "Input charge"};
+  p.col_headers = {"Run 1", "Run 2", "Run 3", "Batch A", "Batch B",
+                   "Pilot", "Scale-up", "Baseline", "Control"};
+  p.captions = {"Experimental measurements", "Lab bench results",
+                "Pilot plant data", "Assay summary"};
+  p.row_noun = {"samples", "runs", "batches", "assays"};
+  return p;
+}
+
+DomainProfile MakeMarkets() {
+  DomainProfile p;
+  p.name = "markets";
+  p.min_body_rows = 4;
+  p.max_body_rows = 8;
+  p.min_body_cols = 2;
+  p.max_body_cols = 4;
+  p.numeric_density = 0.85;
+  p.two_table_prob = 0.35;
+  p.value_min = 2e6;
+  p.value_max = 5e9;
+  p.max_decimals = 0;
+  p.unit_style = DomainUnitStyle::kCurrency;
+  p.messy_numeric_forms = true;
+  p.p_scientific = 0.15;
+  p.p_locale_sep = 0.3;
+  p.p_range = 0.15;
+  p.p_plus_minus = 0.08;
+  p.p_unit_convert = 0.2;
+  // Million-grid values keep "M$", scientific mantissas, and the legacy
+  // scale words all exactly expressible.
+  p.value_quantum = 1e6;
+  p.row_headers = {"Revenue",        "Order intake",  "Backlog",
+                   "Exports",        "Net debt",      "Capex",
+                   "Free cash flow", "Licensing income", "Services revenue",
+                   "Hardware revenue", "Subscriptions", "Operating profit"};
+  p.col_headers = {"FY 2016", "FY 2017", "H1",       "H2",
+                   "Group",   "Europe",  "Americas", "Asia"};
+  p.captions = {"Group results", "Regional breakdown",
+                "Annual report figures", "Segment revenue"};
+  p.row_noun = {"segments", "regions", "units"};
+  return p;
+}
+
 }  // namespace
 
 const std::vector<DomainProfile>& AllDomainProfiles() {
   static const auto& kProfiles = *new std::vector<DomainProfile>{
-      MakeEnvironment(), MakeFinance(), MakeHealth(),
-      MakePolitics(),    MakeSports(),  MakeOthers()};
+      MakeEnvironment(), MakeFinance(), MakeHealth(),  MakePolitics(),
+      MakeSports(),      MakeOthers(),  MakeResearch(), MakeMarkets()};
   return kProfiles;
 }
 

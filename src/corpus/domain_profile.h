@@ -72,6 +72,28 @@ struct DomainProfile {
   /// numbers that happen to match a cell).
   double distractor_exact_collision_prob = 0.35;
 
+  // --- Messy numeric surface forms (CQE-grade lexer exercise) --------------
+  /// Master switch. When false, none of the knobs below is consulted and no
+  /// extra RNG draws happen, so the legacy profiles generate bit-identical
+  /// corpora. Documents from messy profiles need
+  /// ExtractionOptions::extended_forms to parse fully.
+  bool messy_numeric_forms = false;
+  double p_scientific = 0.0;    ///< "4.8392e6" / "4.8 × 10^6"
+  double p_locale_sep = 0.0;    ///< European "1.234.567" text surfaces
+  double p_range = 0.0;         ///< "3–4 million" bracketing the value
+  double p_plus_minus = 0.0;    ///< "4.8 million ± 0.1 million"
+  double p_fraction = 0.0;      ///< "2 ¾" / "2 3/4" (needs value_quantum)
+  double p_unit_convert = 0.0;  ///< "(tonnes)" cell stated as kg; "12 M$"
+  /// Snap cell values to multiples of this instead of rounding to
+  /// max_decimals (0 keeps the legacy rounding). 0.25 makes fractions
+  /// expressible; 1e4 keeps "M$" and scientific mantissas short.
+  double value_quantum = 0.0;
+  /// Probability a plain-counts column is a mass column: its header gains
+  /// a "(<mass_header_unit>)" cue and its mentions carry mass units.
+  double mass_column_prob = 0.0;
+  /// Unit word for mass column headers and exact text surfaces.
+  std::string mass_header_unit = "kg";
+
   // Vocabulary.
   std::vector<std::string> row_headers;
   std::vector<std::string> col_headers;

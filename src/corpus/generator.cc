@@ -102,7 +102,7 @@ class ParagraphBuilder {
 // Table construction
 // ---------------------------------------------------------------------------
 
-enum class ColStyle { kPlain, kCurrency, kPercent };
+enum class ColStyle { kPlain, kCurrency, kPercent, kMass };
 
 struct BuiltTable {
   table::Table t;
@@ -132,6 +132,14 @@ BuiltTable BuildTable(const DomainProfile& p, const std::string& caption,
   bool caption_scaled = false;
   switch (p.unit_style) {
     case DomainUnitStyle::kPlainCounts:
+      // Mass columns (messy profiles only — the guard keeps legacy
+      // profiles from consuming RNG draws): the header carries the unit
+      // cue, e.g. "Run 1 (tonnes)".
+      if (p.mass_column_prob > 0.0) {
+        for (auto& s : built.styles) {
+          if (rng->Bernoulli(p.mass_column_prob)) s = ColStyle::kMass;
+        }
+      }
       break;
     case DomainUnitStyle::kCurrency:
       for (auto& s : built.styles) s = ColStyle::kCurrency;
@@ -149,13 +157,19 @@ BuiltTable BuildTable(const DomainProfile& p, const std::string& caption,
 
   std::vector<std::vector<std::string>> rows(body_rows + 1);
   rows[0].push_back("Category");
-  for (const auto& h : col_headers) rows[0].push_back(h);
+  for (int c = 0; c < body_cols; ++c) {
+    std::string h = col_headers[c];
+    if (built.styles[c] == ColStyle::kMass) {
+      h += " (" + p.mass_header_unit + ")";
+    }
+    rows[0].push_back(std::move(h));
+  }
 
   const bool use_separators = rng->Bernoulli(0.6);
   // Previously emitted raw values per style, for same-table collisions.
-  std::vector<std::vector<std::string>> emitted(3);
+  std::vector<std::vector<std::string>> emitted(4);
   // Donor raw values per style, for cross-table collisions.
-  std::vector<std::vector<std::string>> donor_values(3);
+  std::vector<std::vector<std::string>> donor_values(4);
   if (donor != nullptr) {
     for (int r = 1; r < donor->t.num_rows(); ++r) {
       for (int c = 1; c < donor->t.num_cols(); ++c) {
@@ -194,8 +208,12 @@ BuiltTable BuildTable(const DomainProfile& p, const std::string& caption,
         double v = RoundDecimals(rng->UniformDouble(10, 9000), 0);
         raw = FormatValue(v, 0, use_separators);
       } else {
-        double v = RoundDecimals(
-            rng->UniformDouble(p.value_min, p.value_max), p.max_decimals);
+        double v = rng->UniformDouble(p.value_min, p.value_max);
+        // value_quantum (messy profiles) snaps values to a grid that keeps
+        // fractions / scaled forms exactly expressible.
+        v = p.value_quantum > 0.0
+                ? std::round(v / p.value_quantum) * p.value_quantum
+                : RoundDecimals(v, p.max_decimals);
         raw = FormatValue(v, p.max_decimals, use_separators);
         if (style == ColStyle::kCurrency) raw = "$" + raw;
       }
@@ -220,7 +238,8 @@ BuiltTable BuildTable(const DomainProfile& p, const std::string& caption,
 
 struct Candidate {
   GroundTruthTarget target;
-  double value = 0.0;       // normalized value of the target
+  double value = 0.0;       // normalized value of the target (cell units)
+  double to_base = 1.0;     // factor into the unit category's base unit
   ColStyle style = ColStyle::kPlain;
   // Context labels used by the sentence templates.
   std::string row_label;
@@ -252,6 +271,7 @@ void CollectCandidates(const BuiltTable& bt, int table_index,
       Candidate cand;
       cand.target = {table_index, AggregateFunction::kNone, {CellRef{r, c}}};
       cand.value = cell.quantity->value;
+      cand.to_base = cell.quantity->unit_to_base;
       cand.style = style_of(c);
       cand.row_label = t.cell(r, 0).raw;
       cand.col_label = t.cell(0, c).raw;
@@ -264,15 +284,18 @@ void CollectCandidates(const BuiltTable& bt, int table_index,
     if (style_of(c) == ColStyle::kPercent) continue;
     std::vector<CellRef> cells;
     double sum = 0.0;
+    double col_to_base = 1.0;
     for (int r = 1; r < rows; ++r) {
       if (!t.cell(r, c).numeric()) continue;
       cells.push_back(CellRef{r, c});
       sum += t.cell(r, c).quantity->value;
+      col_to_base = t.cell(r, c).quantity->unit_to_base;
     }
     if (cells.size() < 2) continue;
     Candidate cand;
     cand.target = {table_index, AggregateFunction::kSum, cells};
     cand.value = sum;
+    cand.to_base = col_to_base;
     cand.style = style_of(c);
     cand.col_label = t.cell(0, c).raw;
     pools->sums.push_back(std::move(cand));
@@ -299,6 +322,7 @@ void CollectCandidates(const BuiltTable& bt, int table_index,
     Candidate cand;
     cand.target = {table_index, AggregateFunction::kSum, cells};
     cand.value = sum;
+    cand.to_base = t.cell(cells[0].row, cells[0].col).quantity->unit_to_base;
     cand.style = first;
     cand.row_label = t.cell(r, 0).raw;
     pools->sums.push_back(std::move(cand));
@@ -321,6 +345,7 @@ void CollectCandidates(const BuiltTable& bt, int table_index,
                        AggregateFunction::kDiff,
                        {CellRef{r, ca}, CellRef{r, cb}}};
         diff.value = va - vb;
+        diff.to_base = a.quantity->unit_to_base;
         diff.style = style_of(ca);
         diff.row_label = t.cell(r, 0).raw;
         diff.col_label = t.cell(0, ca).raw;
@@ -333,6 +358,7 @@ void CollectCandidates(const BuiltTable& bt, int table_index,
             Candidate cand = diff;
             cand.target.func = AggregateFunction::kChangeRatio;
             cand.value = ratio;
+            cand.to_base = 1.0;  // ratios are percent, not the column unit
             cand.style = ColStyle::kPercent;
             pools->ratios.push_back(std::move(cand));
           }
@@ -447,6 +473,259 @@ RenderedMention RenderMention(const Candidate& cand, Realization requested,
 std::string RenderBps(double percent_diff) {
   double bps = RoundDecimals(percent_diff * 100.0, 0);
   return util::FormatDouble(bps, 0) + " bps";
+}
+
+// ---------------------------------------------------------------------------
+// Messy surface forms (extended-lexer profiles)
+// ---------------------------------------------------------------------------
+
+struct MessyMention {
+  std::string txt;
+  Realization realization = Realization::kExact;
+  bool ok = false;
+};
+
+// Decimal digits (0..2) needed to print v exactly; -1 if more are needed.
+int CleanDecimals(double v) {
+  if (std::fabs(v - std::round(v)) < 1e-9) return 0;
+  if (std::fabs(v * 10 - std::round(v * 10)) < 1e-9) return 1;
+  if (std::fabs(v * 100 - std::round(v * 100)) < 1e-9) return 2;
+  return -1;
+}
+
+// "48392100" rendered as "4.83921e7" or "4.83921 × 10^7". Exact: the
+// mantissa keeps every significant digit, so reparsing recovers the same
+// decimal and strtod rounds it to the identical double.
+MessyMention ScientificForm(const Candidate& cand, util::Rng* rng) {
+  MessyMention out;
+  const double v = cand.value;
+  const int dec = CleanDecimals(v);
+  if (v < 1e4 || dec < 0 || cand.style == ColStyle::kPercent) return out;
+  std::string s = FormatValue(v, dec, /*separators=*/false);
+  const auto dot = s.find('.');
+  std::string digits =
+      dot == std::string::npos ? s : s.substr(0, dot) + s.substr(dot + 1);
+  const int exp =
+      static_cast<int>(dot == std::string::npos ? s.size() : dot) - 1;
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  std::string mantissa = digits.substr(0, 1);
+  if (digits.size() > 1) mantissa += "." + digits.substr(1);
+  out.txt = rng->Bernoulli(0.5)
+                ? mantissa + "e" + std::to_string(exp)
+                : mantissa + " × 10^" + std::to_string(exp);
+  if (cand.style == ColStyle::kCurrency) out.txt = "$" + out.txt;
+  out.realization = Realization::kExact;
+  out.ok = true;
+  return out;
+}
+
+// European grouping for large integers: "1.234.567". Restricted to >= 1e6
+// (two dot-groups) so the locale auto-disambiguation is unambiguous.
+MessyMention LocaleSepForm(const Candidate& cand) {
+  MessyMention out;
+  const double v = cand.value;
+  if (v < 1e6 || CleanDecimals(v) != 0 || cand.style == ColStyle::kPercent) {
+    return out;
+  }
+  std::string txt = FormatValue(v, 0, /*separators=*/true);
+  for (char& ch : txt) {
+    if (ch == ',') ch = '.';
+  }
+  out.txt = cand.style == ColStyle::kCurrency ? "$" + txt : txt;
+  out.realization = Realization::kExact;
+  out.ok = true;
+  return out;
+}
+
+// Both endpoints expressible as integer multiples of one scale word?
+bool SharedScale(double lo, double hi, double* factor, const char** word) {
+  if (hi >= 1e9 && std::fmod(lo, 1e9) == 0.0 && std::fmod(hi, 1e9) == 0.0) {
+    *factor = 1e9;
+    *word = " billion";
+    return true;
+  }
+  if (hi >= 1e6 && std::fmod(lo, 1e6) == 0.0 && std::fmod(hi, 1e6) == 0.0) {
+    *factor = 1e6;
+    *word = " million";
+    return true;
+  }
+  return false;
+}
+
+// One-significant-step bracket containing the value: "3–4 million",
+// "480000-490000", "2–3 tonnes".
+MessyMention RangeForm(const Candidate& cand, const DomainProfile& p,
+                       util::Rng* rng) {
+  MessyMention out;
+  const double v = cand.value;
+  if (!(v >= 1.0) || !std::isfinite(v) || cand.style == ColStyle::kPercent) {
+    return out;
+  }
+  const double g =
+      std::pow(10.0, std::max(0.0, std::floor(std::log10(v)) - 1.0));
+  const double lo = std::floor(v / g) * g;
+  const double hi = lo + g;
+  double f = 1.0;
+  const char* word = "";
+  std::string ltxt, htxt;
+  if (SharedScale(lo, hi, &f, &word)) {
+    ltxt = util::FormatDouble(lo / f, 0);
+    htxt = util::FormatDouble(hi / f, 0);
+  } else if (CleanDecimals(lo) == 0 && CleanDecimals(hi) == 0) {
+    ltxt = FormatValue(lo, 0, false);
+    htxt = FormatValue(hi, 0, false);
+  } else {
+    return out;
+  }
+  out.txt = ltxt + (rng->Bernoulli(0.7) ? "–" : "-") + htxt + word;
+  if (cand.style == ColStyle::kCurrency) out.txt = "$" + out.txt;
+  if (cand.style == ColStyle::kMass) out.txt += " " + p.mass_header_unit;
+  out.realization = Realization::kApproximate;
+  out.ok = true;
+  return out;
+}
+
+// "480 ± 10 million": center rounded to one significant step, error one
+// full step, so the interval always contains the exact value.
+MessyMention PlusMinusForm(const Candidate& cand, const DomainProfile& p) {
+  MessyMention out;
+  const double v = cand.value;
+  if (!(v >= 1.0) || !std::isfinite(v) || cand.style == ColStyle::kPercent) {
+    return out;
+  }
+  const double g =
+      std::pow(10.0, std::max(0.0, std::floor(std::log10(v)) - 1.0));
+  const double center = std::round(v / g) * g;
+  const double err = g;
+  double f = 1.0;
+  const char* word = "";
+  std::string ctxt, etxt;
+  if (SharedScale(err, center, &f, &word)) {
+    ctxt = util::FormatDouble(center / f, 0);
+    etxt = util::FormatDouble(err / f, 0);
+  } else if (CleanDecimals(center) == 0 && CleanDecimals(err) == 0) {
+    ctxt = FormatValue(center, 0, false);
+    etxt = FormatValue(err, 0, false);
+  } else {
+    return out;
+  }
+  out.txt = ctxt + " ± " + etxt + word;
+  if (cand.style == ColStyle::kCurrency) out.txt = "$" + out.txt;
+  if (cand.style == ColStyle::kMass) out.txt += " " + p.mass_header_unit;
+  out.realization = Realization::kApproximate;
+  out.ok = true;
+  return out;
+}
+
+// Vulgar / ASCII fractions for quarter-grid values: "2¾", "2 3/4", "½".
+MessyMention FractionForm(const Candidate& cand, const DomainProfile& p,
+                          util::Rng* rng) {
+  MessyMention out;
+  if (cand.style != ColStyle::kPlain && cand.style != ColStyle::kMass) {
+    return out;
+  }
+  const double v = cand.value;
+  const double whole = std::floor(v);
+  const double frac = v - whole;
+  struct F {
+    double val;
+    const char* vulgar;
+    const char* ascii;
+  };
+  static constexpr F kFractions[] = {
+      {0.25, "¼", "1/4"}, {0.5, "½", "1/2"}, {0.75, "¾", "3/4"}};
+  const F* match = nullptr;
+  for (const F& f : kFractions) {
+    if (std::fabs(frac - f.val) < 1e-9) {
+      match = &f;
+      break;
+    }
+  }
+  if (match == nullptr || whole >= 1000.0) return out;
+  const bool vulgar = rng->Bernoulli(0.6);
+  if (whole == 0.0) {
+    out.txt = vulgar ? match->vulgar : match->ascii;
+  } else {
+    std::string w = FormatValue(whole, 0, false);
+    out.txt = vulgar ? w + (rng->Bernoulli(0.5) ? "" : " ") + match->vulgar
+                     : w + " " + match->ascii;
+  }
+  if (cand.style == ColStyle::kMass) out.txt += " " + p.mass_header_unit;
+  out.realization = Realization::kExact;
+  out.ok = true;
+  return out;
+}
+
+// Unit-converted surfaces: tonne cells stated in kg ("2750 kg" for a 2.75
+// cell under a "(tonnes)" header), currency as scaled symbols ("483 M$").
+MessyMention UnitConvertForm(const Candidate& cand, util::Rng* rng) {
+  MessyMention out;
+  if (cand.style == ColStyle::kMass) {
+    if (cand.to_base != 1e3) return out;  // only tonne columns convert
+    const double kg = cand.value * cand.to_base;
+    const int dec = CleanDecimals(kg);
+    if (dec < 0) return out;
+    out.txt = FormatValue(kg, dec, rng->Bernoulli(0.5)) + " kg";
+    out.realization = Realization::kScaled;
+    out.ok = true;
+  } else if (cand.style == ColStyle::kCurrency) {
+    double f = 1e6;
+    std::string sym = "M$";
+    if (cand.value >= 1e9 && CleanDecimals(cand.value / 1e9) >= 0) {
+      f = 1e9;
+      sym = rng->Bernoulli(0.5) ? "bn$" : "B$";
+    }
+    const int dec = CleanDecimals(cand.value / f);
+    if (dec < 0) return out;
+    out.txt = util::FormatDouble(cand.value / f, dec) + " " + sym;
+    out.realization = Realization::kScaled;
+    out.ok = true;
+  }
+  return out;
+}
+
+// A messy surface is emitted only if it lexes back to exactly the
+// candidate's base-unit value (intervals must contain it); otherwise the
+// caller falls back to a legacy rendering, so ground truth stays exact by
+// construction (tests/quantity_lexer_test.cc fuzzes this property).
+bool LexesBackTo(const std::string& txt, double base_value) {
+  quantity::ExtractionOptions opts;
+  opts.extended_forms = true;
+  std::vector<quantity::ParsedQuantity> qs =
+      quantity::ExtractQuantities(txt, opts);
+  if (qs.size() != 1) return false;
+  const quantity::ParsedQuantity& q = qs[0];
+  if (q.is_interval()) {
+    double lo = q.value_lo * q.unit_to_base;
+    double hi = q.value_hi * q.unit_to_base;
+    if (lo > hi) std::swap(lo, hi);
+    return lo <= base_value && base_value <= hi;
+  }
+  return q.value * q.unit_to_base == base_value;
+}
+
+MessyMention TryMessySurface(const Candidate& cand, const DomainProfile& p,
+                             util::Rng* rng) {
+  MessyMention out;
+  if (cand.target.func != AggregateFunction::kNone) return out;
+  std::vector<double> w = {p.p_scientific, p.p_locale_sep, p.p_range,
+                           p.p_plus_minus, p.p_fraction,   p.p_unit_convert};
+  double total = 0.0;
+  for (double x : w) total += x;
+  w.push_back(std::max(0.0, 1.0 - total));  // residual: legacy rendering
+  switch (rng->Discrete(w)) {
+    case 0: out = ScientificForm(cand, rng); break;
+    case 1: out = LocaleSepForm(cand); break;
+    case 2: out = RangeForm(cand, p, rng); break;
+    case 3: out = PlusMinusForm(cand, p); break;
+    case 4: out = FractionForm(cand, p, rng); break;
+    case 5: out = UnitConvertForm(cand, rng); break;
+    default: break;
+  }
+  if (out.ok && !LexesBackTo(out.txt, cand.value * cand.to_base)) {
+    out.ok = false;
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -690,9 +969,23 @@ Document GenerateDocument(const DomainProfile& profile, const std::string& id,
       ps.mention_txt = RenderBps(cand->value);
       ps.realization = Realization::kDisplayRounded;
     } else {
-      RenderedMention rm = RenderMention(*cand, realization, rng);
-      ps.mention_txt = rm.txt;
-      ps.realization = rm.realization;
+      MessyMention mm;
+      if (profile.messy_numeric_forms) {
+        mm = TryMessySurface(*cand, profile, rng);
+      }
+      if (mm.ok) {
+        ps.mention_txt = mm.txt;
+        ps.realization = mm.realization;
+      } else {
+        RenderedMention rm = RenderMention(*cand, realization, rng);
+        ps.mention_txt = rm.txt;
+        ps.realization = rm.realization;
+        // Mass candidates carry their unit word in text; their cells rely
+        // on the header cue instead.
+        if (cand->style == ColStyle::kMass) {
+          ps.mention_txt += " " + profile.mass_header_unit;
+        }
+      }
     }
 
     Sentence tmpl;

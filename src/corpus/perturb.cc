@@ -5,6 +5,7 @@
 #include <cmath>
 #include <string>
 
+#include "quantity/numeric_literal.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -40,9 +41,13 @@ std::string PerturbDigits(const std::string& digits, PerturbMode mode) {
       // "2.74" head="2.7" fine; "2.7" head="2." -> "2".
       return head;
     }
-    // Round: use numeric rounding at one fewer decimal.
+    // Round: use numeric rounding at one fewer decimal. The digit run goes
+    // through the quantity lexer's literal parser rather than raw strtod,
+    // so grouping edge cases stay consistent with extraction.
     int decimals = static_cast<int>(digits.size() - dot - 1) - 1;
-    double v = std::strtod(digits.c_str(), nullptr);
+    double v = quantity::ParseNumericLiteral(digits)
+                   .value_or(quantity::NumericLiteral{})
+                   .value;
     double mag = std::pow(10.0, decimals);
     double rounded = std::round(v * mag) / mag;
     return util::FormatDouble(rounded, std::max(decimals, 0));
@@ -54,7 +59,9 @@ std::string PerturbDigits(const std::string& digits, PerturbMode mode) {
     out[last] = '0';
     return out;
   }
-  double v = std::strtod(out.c_str(), nullptr);
+  double v = quantity::ParseNumericLiteral(out)
+                 .value_or(quantity::NumericLiteral{})
+                 .value;
   double rounded = std::round(v / 10.0) * 10.0;
   return util::FormatDouble(rounded, 0);
 }

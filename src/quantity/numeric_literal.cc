@@ -1,140 +1,20 @@
 #include "quantity/numeric_literal.h"
 
-#include <cctype>
-#include <cstdlib>
-#include <string>
-#include <vector>
-
-#include "util/string_util.h"
+#include "quantity/quantity_lexer.h"
 
 namespace briq::quantity {
 
-namespace {
-
-bool AllDigits(std::string_view s) { return util::IsDigits(s); }
-
-// Splits on `sep`, requiring every field to be pure digits.
-bool SplitGroups(std::string_view s, char sep, std::vector<std::string>* out) {
-  out->clear();
-  for (auto& part : util::Split(s, sep)) {
-    if (!AllDigits(part)) return false;
-    out->push_back(std::move(part));
-  }
-  return out->size() >= 1;
-}
-
-double JoinGroupsAsInteger(const std::vector<std::string>& groups) {
-  std::string digits;
-  for (const auto& g : groups) digits += g;
-  return std::strtod(digits.c_str(), nullptr);
-}
-
-// True if groups after the first look like grouping separators: standard
-// (all length 3) or Indian (middle groups length 2, final group length 3).
-bool LooksLikeGrouping(const std::vector<std::string>& groups) {
-  if (groups.size() < 2) return false;
-  if (groups[0].empty() || groups[0].size() > 3) return false;
-  bool all3 = true;
-  for (size_t i = 1; i < groups.size(); ++i) {
-    if (groups[i].size() != 3) all3 = false;
-  }
-  if (all3) return true;
-  // Indian system: 2,29,866 / 1,23,45,678 — interior groups of 2, last of 3.
-  for (size_t i = 1; i + 1 < groups.size(); ++i) {
-    if (groups[i].size() != 2) return false;
-  }
-  return groups.back().size() == 3;
-}
-
-}  // namespace
-
+// Thin wrapper over the lexer's locale-disambiguation pass: the accepted
+// language and values are exactly the historical ones (the heuristics live
+// in DisambiguateSeparators' kAuto branch, which this delegates to).
 util::Result<NumericLiteral> ParseNumericLiteral(std::string_view token) {
-  if (token.empty()) {
-    return util::Status::ParseError("empty numeric token");
-  }
-
-  const bool has_comma = token.find(',') != std::string_view::npos;
-  const bool has_dot = token.find('.') != std::string_view::npos;
-
+  auto r = DisambiguateSeparators(token, LocaleHint::kAuto);
+  if (!r.ok()) return r.status();
   NumericLiteral lit;
-
-  if (!has_comma && !has_dot) {
-    if (!AllDigits(token)) {
-      return util::Status::ParseError("not a number: " + std::string(token));
-    }
-    lit.value = std::strtod(std::string(token).c_str(), nullptr);
-    return lit;
-  }
-
-  if (has_comma && has_dot) {
-    // US style: commas group, single dot is the decimal point.
-    size_t dot = token.rfind('.');
-    std::string_view int_part = token.substr(0, dot);
-    std::string_view frac = token.substr(dot + 1);
-    if (!AllDigits(frac) || int_part.find('.') != std::string_view::npos) {
-      return util::Status::ParseError("malformed number: " + std::string(token));
-    }
-    std::vector<std::string> groups;
-    if (!SplitGroups(int_part, ',', &groups) || !LooksLikeGrouping(groups)) {
-      return util::Status::ParseError("malformed grouping: " +
-                                      std::string(token));
-    }
-    std::string digits;
-    for (const auto& g : groups) digits += g;
-    digits += '.';
-    digits += frac;
-    lit.value = std::strtod(digits.c_str(), nullptr);
-    lit.precision = static_cast<int>(frac.size());
-    lit.had_separators = true;
-    return lit;
-  }
-
-  if (has_comma) {
-    std::vector<std::string> groups;
-    if (!SplitGroups(token, ',', &groups)) {
-      return util::Status::ParseError("malformed number: " + std::string(token));
-    }
-    // Decimal-comma heuristics: leading "0" ("0,877") or a final group whose
-    // length is not 3 ("3,26"); otherwise grouping separators.
-    if (groups.size() == 2 &&
-        (groups[0] == "0" || groups[1].size() != 3)) {
-      std::string digits = groups[0] + "." + groups[1];
-      lit.value = std::strtod(digits.c_str(), nullptr);
-      lit.precision = static_cast<int>(groups[1].size());
-      return lit;
-    }
-    if (!LooksLikeGrouping(groups)) {
-      return util::Status::ParseError("ambiguous comma number: " +
-                                      std::string(token));
-    }
-    lit.value = JoinGroupsAsInteger(groups);
-    lit.had_separators = true;
-    return lit;
-  }
-
-  // Dot(s) only.
-  std::vector<std::string> groups;
-  if (!SplitGroups(token, '.', &groups)) {
-    return util::Status::ParseError("malformed number: " + std::string(token));
-  }
-  if (groups.size() == 2) {
-    // Single dot: decimal point ("3.26"). European grouping with a single
-    // separator ("1.234") is indistinguishable; we follow the US reading,
-    // which matches the paper's corpora.
-    std::string digits = groups[0] + "." + groups[1];
-    lit.value = std::strtod(digits.c_str(), nullptr);
-    lit.precision = static_cast<int>(groups[1].size());
-    return lit;
-  }
-  // Multiple dots: European grouping ("1.234.567") if shaped like grouping,
-  // otherwise a section-heading-style identifier ("1.2.3").
-  if (LooksLikeGrouping(groups)) {
-    lit.value = JoinGroupsAsInteger(groups);
-    lit.had_separators = true;
-    return lit;
-  }
-  return util::Status::ParseError("identifier-like number: " +
-                                  std::string(token));
+  lit.value = r->value;
+  lit.precision = r->precision;
+  lit.had_separators = r->had_separators;
+  return lit;
 }
 
 }  // namespace briq::quantity

@@ -27,4 +27,39 @@ double RelativeDifference(double a, double b) {
   return std::min(1.0, std::fabs(a - b) / denom);
 }
 
+double IntervalRelativeDifference(double value_lo, double value_hi,
+                                  double point) {
+  if (value_lo == value_hi) return RelativeDifference(value_lo, point);
+  if (point >= value_lo && point <= value_hi) return 0.0;
+  return std::min(RelativeDifference(value_lo, point),
+                  RelativeDifference(value_hi, point));
+}
+
+double BaseValueDistance(const ParsedQuantity& q, double point_value,
+                         double point_to_base) {
+  const double point = point_value * point_to_base;
+  if (q.is_interval()) {
+    const double lo = q.value_lo * q.unit_to_base;
+    const double hi = q.value_hi * q.unit_to_base;
+    return IntervalRelativeDifference(std::min(lo, hi), std::max(lo, hi),
+                                      point);
+  }
+  return RelativeDifference(q.value * q.unit_to_base, point);
+}
+
+NormalizedQuantity ParsedQuantity::normalized() const {
+  NormalizedQuantity n;
+  n.value = value * unit_to_base;
+  if (is_interval()) {
+    n.value_lo = value_lo * unit_to_base;
+    n.value_hi = value_hi * unit_to_base;
+    if (n.value_lo > n.value_hi) std::swap(n.value_lo, n.value_hi);
+  } else {
+    n.value_lo = n.value_hi = n.value;
+  }
+  n.category = unit_category;
+  n.base_unit = BaseUnitName(unit_category, unit);
+  return n;
+}
+
 }  // namespace briq::quantity

@@ -21,6 +21,18 @@ enum class ApproxIndicator {
 
 const char* ApproxIndicatorName(ApproxIndicator a);
 
+/// A quantity with its scale-applied value expressed in a *base* unit of
+/// its category (kg, m, percent, the currency itself, ...). Produced by
+/// ParsedQuantity::normalized(); this is what value-compatibility features
+/// and the candidate index compare.
+struct NormalizedQuantity {
+  double value = 0.0;
+  double value_lo = 0.0;
+  double value_hi = 0.0;
+  std::string base_unit;  ///< "" when unitless
+  UnitCategory category = UnitCategory::kNone;
+};
+
 /// A quantity recognized in text or in a table cell, with both its
 /// normalized value (scale words and bps applied; "0.5 million" -> 500000,
 /// "60 bps" -> 0.6 percent) and the raw surface-form value ("37" for "37K").
@@ -34,8 +46,20 @@ struct ParsedQuantity {
   bool is_complex = false;    ///< came from a complex pattern like "5 ± 1 km"
   std::string surface;        ///< raw matched text, trimmed
   text::Span span;            ///< char range in the source string
+  // Interval endpoints (scale-applied, in `unit`): ranges ("3–5 million")
+  // and plus-minus forms carry value_lo < value_hi; point quantities leave
+  // both equal (legacy paths leave them 0, which also reads as a point).
+  double value_lo = 0.0;
+  double value_hi = 0.0;
+  // Factor converting `value` from `unit` into the category's base unit
+  // (tonne -> kg is 1e3). 1.0 for every legacy surface form.
+  double unit_to_base = 1.0;
 
   bool has_unit() const { return !unit.empty(); }
+  bool is_interval() const { return value_lo != value_hi; }
+
+  /// The quantity expressed in its category's base unit.
+  NormalizedQuantity normalized() const;
 
   /// Order of magnitude of the normalized value: floor(log10 |value|);
   /// 0 for value == 0.
@@ -54,6 +78,22 @@ struct ParsedQuantity {
 /// Relative difference |a - b| / max(|a|, |b|); 0 when both are 0.
 /// The paper's feature f6/f7 definition extended to handle signs and zeros.
 double RelativeDifference(double a, double b);
+
+/// Interval-aware relative difference between a normalized quantity and a
+/// point value in base units: 0 when the point lies inside [lo, hi],
+/// otherwise the RelativeDifference to the nearer endpoint. Collapses to
+/// plain RelativeDifference for point quantities.
+double IntervalRelativeDifference(double value_lo, double value_hi,
+                                  double point);
+
+/// Value distance between a parsed quantity and a point value, both
+/// expressed in base units (t↔kg, M$↔$). Interval quantities measure the
+/// distance to the nearer endpoint (0 inside the interval). Every legacy
+/// surface form has unit_to_base == 1.0 and point endpoints, so for the
+/// legacy corpus this is bit-identical to RelativeDifference(q.value,
+/// point_value).
+double BaseValueDistance(const ParsedQuantity& q, double point_value,
+                         double point_to_base);
 
 }  // namespace briq::quantity
 

@@ -1,0 +1,615 @@
+#include "quantity/quantity_lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace briq::quantity {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Char classes. One table lookup per byte keeps the scanner single-pass and
+// branch-light (the NumericLiteralParser idiom).
+// ---------------------------------------------------------------------------
+
+enum : uint8_t {
+  kDigit = 1 << 0,
+  kSep = 1 << 1,    // '.' ','
+  kSign = 1 << 2,   // '+' '-'
+  kExp = 1 << 3,    // 'e' 'E'
+  kSpace = 1 << 4,  // ' '
+};
+
+constexpr std::array<uint8_t, 256> BuildCharClasses() {
+  std::array<uint8_t, 256> t{};
+  for (int c = '0'; c <= '9'; ++c) t[c] |= kDigit;
+  t[static_cast<unsigned char>('.')] |= kSep;
+  t[static_cast<unsigned char>(',')] |= kSep;
+  t[static_cast<unsigned char>('+')] |= kSign;
+  t[static_cast<unsigned char>('-')] |= kSign;
+  t[static_cast<unsigned char>('e')] |= kExp;
+  t[static_cast<unsigned char>('E')] |= kExp;
+  t[static_cast<unsigned char>(' ')] |= kSpace;
+  return t;
+}
+
+constexpr std::array<uint8_t, 256> kClass = BuildCharClasses();
+
+inline bool Is(uint8_t cls, char c) {
+  return (kClass[static_cast<unsigned char>(c)] & cls) != 0;
+}
+inline bool IsAt(uint8_t cls, std::string_view s, size_t i) {
+  return i < s.size() && Is(cls, s[i]);
+}
+
+// Bounded byte-sequence match: never reads past the end of `s`, so the
+// multi-byte operators below are safe against truncated UTF-8.
+inline bool MatchSeq(std::string_view s, size_t pos, std::string_view seq) {
+  return pos <= s.size() && s.size() - pos >= seq.size() &&
+         s.compare(pos, seq.size(), seq) == 0;
+}
+
+constexpr std::string_view kEnDash = "\xE2\x80\x93";        // –
+constexpr std::string_view kEmDash = "\xE2\x80\x94";        // —
+constexpr std::string_view kMinusSign = "\xE2\x88\x92";     // − U+2212
+constexpr std::string_view kPlusMinusSym = "\xC2\xB1";      // ±
+constexpr std::string_view kTimesSym = "\xC3\x97";          // ×
+
+struct Vulgar {
+  std::string_view seq;
+  int num;
+  int den;
+};
+
+constexpr Vulgar kVulgar[] = {
+    {"\xC2\xBC", 1, 4},      // ¼
+    {"\xC2\xBD", 1, 2},      // ½
+    {"\xC2\xBE", 3, 4},      // ¾
+    {"\xE2\x85\x93", 1, 3},  // ⅓
+    {"\xE2\x85\x94", 2, 3},  // ⅔
+    {"\xE2\x85\x9B", 1, 8},  // ⅛
+    {"\xE2\x85\x9C", 3, 8},  // ⅜
+    {"\xE2\x85\x9D", 5, 8},  // ⅝
+    {"\xE2\x85\x9E", 7, 8},  // ⅞
+};
+
+const Vulgar* MatchVulgar(std::string_view s, size_t pos) {
+  for (const Vulgar& v : kVulgar) {
+    if (MatchSeq(s, pos, v.seq)) return &v;
+  }
+  return nullptr;
+}
+
+// Surface precision of a fraction: decimal places of its exact expansion
+// for power-of-two denominators, 2 otherwise.
+int FractionPrecision(int den) {
+  switch (den) {
+    case 2:
+      return 1;
+    case 4:
+      return 2;
+    case 8:
+      return 3;
+    case 16:
+      return 4;
+    default:
+      return 2;
+  }
+}
+
+double StrtodStr(const std::string& s) { return std::strtod(s.c_str(), nullptr); }
+
+// ---------------------------------------------------------------------------
+// Locale disambiguation on an isolated digits-and-separators token.
+// ---------------------------------------------------------------------------
+
+// Splits on `sep`, requiring every field to be pure digits.
+bool SplitGroups(std::string_view s, char sep, std::vector<std::string>* out) {
+  out->clear();
+  for (auto& part : util::Split(s, sep)) {
+    if (!util::IsDigits(part)) return false;
+    out->push_back(std::move(part));
+  }
+  return out->size() >= 1;
+}
+
+std::string JoinGroups(const std::vector<std::string>& groups) {
+  std::string digits;
+  for (const auto& g : groups) digits += g;
+  return digits;
+}
+
+// True if groups after the first look like grouping separators: standard
+// (all length 3) or Indian (middle groups length 2, final group length 3).
+bool LooksLikeGrouping(const std::vector<std::string>& groups) {
+  if (groups.size() < 2) return false;
+  if (groups[0].empty() || groups[0].size() > 3) return false;
+  bool all3 = true;
+  for (size_t i = 1; i < groups.size(); ++i) {
+    if (groups[i].size() != 3) all3 = false;
+  }
+  if (all3) return true;
+  // Indian system: 2,29,866 / 1,23,45,678 — interior groups of 2, last of 3.
+  for (size_t i = 1; i + 1 < groups.size(); ++i) {
+    if (groups[i].size() != 2) return false;
+  }
+  return groups.back().size() == 3;
+}
+
+// Value + the cleaned "1234.56"-style digit string (kept so exponents can be
+// re-assembled into one strtod call and stay correctly rounded).
+struct SimpleNum {
+  double value = 0.0;
+  int precision = 0;
+  bool had_separators = false;
+  std::string digits;
+};
+
+util::Result<SimpleNum> GroupedInteger(std::string_view token, char sep) {
+  std::vector<std::string> groups;
+  if (!SplitGroups(token, sep, &groups) || !LooksLikeGrouping(groups)) {
+    return util::Status::ParseError("malformed grouping: " + std::string(token));
+  }
+  SimpleNum lit;
+  lit.digits = JoinGroups(groups);
+  lit.value = StrtodStr(lit.digits);
+  lit.had_separators = true;
+  return lit;
+}
+
+util::Result<SimpleNum> DecimalFromParts(std::string_view int_digits,
+                                         std::string_view frac) {
+  SimpleNum lit;
+  lit.digits = std::string(int_digits) + "." + std::string(frac);
+  lit.value = StrtodStr(lit.digits);
+  lit.precision = static_cast<int>(frac.size());
+  return lit;
+}
+
+// Grouped integer part + decimal fraction: "1,234.56" (group_sep=',',
+// dec_sep='.') or "1.234,56" (mirrored).
+util::Result<SimpleNum> GroupedDecimal(std::string_view token, char group_sep,
+                                       char dec_sep) {
+  size_t dec = token.rfind(dec_sep);
+  std::string_view int_part = token.substr(0, dec);
+  std::string_view frac = token.substr(dec + 1);
+  if (!util::IsDigits(frac) ||
+      int_part.find(dec_sep) != std::string_view::npos) {
+    return util::Status::ParseError("malformed number: " + std::string(token));
+  }
+  std::vector<std::string> groups;
+  if (!SplitGroups(int_part, group_sep, &groups) ||
+      !LooksLikeGrouping(groups)) {
+    return util::Status::ParseError("malformed grouping: " +
+                                    std::string(token));
+  }
+  auto lit = DecimalFromParts(JoinGroups(groups), frac);
+  lit->had_separators = true;
+  return lit;
+}
+
+// The historical heuristics (ParseNumericLiteral's contract): preserved
+// bit-for-bit — the legacy corpora and parity tests ride on this branch.
+util::Result<SimpleNum> DisambiguateAuto(std::string_view token,
+                                         bool has_comma, bool has_dot) {
+  if (has_comma && has_dot) {
+    // US style: commas group, single dot is the decimal point.
+    return GroupedDecimal(token, ',', '.');
+  }
+
+  if (has_comma) {
+    std::vector<std::string> groups;
+    if (!SplitGroups(token, ',', &groups)) {
+      return util::Status::ParseError("malformed number: " +
+                                      std::string(token));
+    }
+    // Decimal-comma heuristics: leading "0" ("0,877") or a final group whose
+    // length is not 3 ("3,26"); otherwise grouping separators.
+    if (groups.size() == 2 && (groups[0] == "0" || groups[1].size() != 3)) {
+      return DecimalFromParts(groups[0], groups[1]);
+    }
+    if (!LooksLikeGrouping(groups)) {
+      return util::Status::ParseError("ambiguous comma number: " +
+                                      std::string(token));
+    }
+    SimpleNum lit;
+    lit.digits = JoinGroups(groups);
+    lit.value = StrtodStr(lit.digits);
+    lit.had_separators = true;
+    return lit;
+  }
+
+  // Dot(s) only.
+  std::vector<std::string> groups;
+  if (!SplitGroups(token, '.', &groups)) {
+    return util::Status::ParseError("malformed number: " + std::string(token));
+  }
+  if (groups.size() == 2) {
+    // Single dot: decimal point ("3.26"). European grouping with a single
+    // separator ("1.234") is indistinguishable; we follow the US reading,
+    // which matches the paper's corpora.
+    return DecimalFromParts(groups[0], groups[1]);
+  }
+  // Multiple dots: European grouping ("1.234.567") if shaped like grouping,
+  // otherwise a section-heading-style identifier ("1.2.3").
+  if (LooksLikeGrouping(groups)) {
+    SimpleNum lit;
+    lit.digits = JoinGroups(groups);
+    lit.value = StrtodStr(lit.digits);
+    lit.had_separators = true;
+    return lit;
+  }
+  return util::Status::ParseError("identifier-like number: " +
+                                  std::string(token));
+}
+
+// Strict US: comma groups, dot decimal, no heuristics.
+util::Result<SimpleNum> DisambiguateUS(std::string_view token, bool has_comma,
+                                       bool has_dot) {
+  if (has_comma && has_dot) return GroupedDecimal(token, ',', '.');
+  if (has_comma) return GroupedInteger(token, ',');
+  std::vector<std::string> groups;
+  if (!SplitGroups(token, '.', &groups) || groups.size() != 2) {
+    return util::Status::ParseError("malformed US number: " +
+                                    std::string(token));
+  }
+  return DecimalFromParts(groups[0], groups[1]);
+}
+
+// Strict European: dot groups, comma decimal.
+util::Result<SimpleNum> DisambiguateEuropean(std::string_view token,
+                                             bool has_comma, bool has_dot) {
+  if (has_comma && has_dot) return GroupedDecimal(token, '.', ',');
+  if (has_comma) {
+    std::vector<std::string> groups;
+    if (!SplitGroups(token, ',', &groups) || groups.size() != 2) {
+      return util::Status::ParseError("malformed European number: " +
+                                      std::string(token));
+    }
+    return DecimalFromParts(groups[0], groups[1]);
+  }
+  return GroupedInteger(token, '.');
+}
+
+util::Result<SimpleNum> DisambiguateImpl(std::string_view token,
+                                         LocaleHint hint) {
+  if (token.empty()) {
+    return util::Status::ParseError("empty numeric token");
+  }
+  const bool has_comma = token.find(',') != std::string_view::npos;
+  const bool has_dot = token.find('.') != std::string_view::npos;
+  if (!has_comma && !has_dot) {
+    if (!util::IsDigits(token)) {
+      return util::Status::ParseError("not a number: " + std::string(token));
+    }
+    SimpleNum lit;
+    lit.digits = std::string(token);
+    lit.value = StrtodStr(lit.digits);
+    return lit;
+  }
+  switch (hint) {
+    case LocaleHint::kUS:
+      return DisambiguateUS(token, has_comma, has_dot);
+    case LocaleHint::kEuropean:
+      return DisambiguateEuropean(token, has_comma, has_dot);
+    case LocaleHint::kAuto:
+      break;
+  }
+  return DisambiguateAuto(token, has_comma, has_dot);
+}
+
+// Scans the digits-and-separators span starting at a digit; a separator is
+// consumed only when another digit follows, so a sentence-final "." stays
+// outside the number.
+size_t ScanSimple(std::string_view s, size_t pos) {
+  size_t p = pos;
+  while (p < s.size()) {
+    if (Is(kDigit, s[p])) {
+      ++p;
+      continue;
+    }
+    if (Is(kSep, s[p]) && IsAt(kDigit, s, p + 1)) {
+      ++p;
+      continue;
+    }
+    break;
+  }
+  return p;
+}
+
+// Lexes a plain unsigned simple number at `pos` (no extended forms); used
+// for the second operand of ranges and plus-minus.
+util::Result<SimpleNum> LexOperand(std::string_view s, size_t pos,
+                                   LocaleHint hint, size_t* end) {
+  if (!IsAt(kDigit, s, pos)) {
+    return util::Status::ParseError("no number at position");
+  }
+  *end = ScanSimple(s, pos);
+  return DisambiguateImpl(s.substr(pos, *end - pos), hint);
+}
+
+// "3.2e6" / "1e-3" e-notation, and "4×10^5" / "4 x 10^5" engineering form.
+// On match, re-assembles mantissa digits + exponent into one strtod call so
+// the value is correctly rounded (identical to lexing the whole literal).
+size_t TryExponent(std::string_view s, size_t p, const SimpleNum& mantissa,
+                   LexedNumber* out) {
+  // e-notation, glued to the mantissa.
+  if (IsAt(kExp, s, p)) {
+    size_t q = p + 1;
+    if (IsAt(kSign, s, q)) ++q;
+    size_t dend = q;
+    while (IsAt(kDigit, s, dend)) ++dend;
+    const bool word_tail =
+        dend < s.size() && std::isalpha(static_cast<unsigned char>(s[dend]));
+    if (dend > q && dend - q <= 4 && !word_tail) {
+      std::string exp(s.substr(p + 1, dend - (p + 1)));
+      out->value = StrtodStr(mantissa.digits + "e" + exp);
+      out->scientific = true;
+      return dend;
+    }
+    return p;
+  }
+
+  // "×10^k" (also ASCII "x"/"*"), with at most one space on each side.
+  size_t q = p;
+  if (IsAt(kSpace, s, q)) ++q;
+  size_t after;
+  if (MatchSeq(s, q, kTimesSym)) {
+    after = q + kTimesSym.size();
+  } else if (q < s.size() && (s[q] == 'x' || s[q] == 'X' || s[q] == '*')) {
+    after = q + 1;
+  } else {
+    return p;
+  }
+  if (IsAt(kSpace, s, after)) ++after;
+  if (!MatchSeq(s, after, "10^")) return p;
+  after += 3;
+  size_t e0 = after;
+  if (IsAt(kSign, s, after)) ++after;
+  size_t dend = after;
+  while (IsAt(kDigit, s, dend)) ++dend;
+  if (dend == after || dend - after > 4) return p;
+  std::string exp(s.substr(e0, dend - e0));
+  out->value = StrtodStr(mantissa.digits + "e" + exp);
+  out->scientific = true;
+  return dend;
+}
+
+// Restricted ASCII fraction denominators: the common cookbook set. Keeps
+// "5/12"-style dates from reading as fractions.
+bool AllowedDenominator(int den) {
+  switch (den) {
+    case 2:
+    case 3:
+    case 4:
+    case 5:
+    case 6:
+    case 8:
+    case 10:
+    case 16:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Matches "N/D" at `pos` under the fraction rules (1-2 digit operands, no
+// leading zeros, N < D, D in the allowed set, no further "/digit" chain).
+bool MatchAsciiFraction(std::string_view s, size_t pos, int* num, int* den,
+                        size_t* end) {
+  size_t p = pos;
+  size_t n0 = p;
+  while (IsAt(kDigit, s, p) && p - n0 < 3) ++p;
+  if (p == n0 || p - n0 > 2 || (s[n0] == '0' && p - n0 > 1)) return false;
+  if (p >= s.size() || s[p] != '/') return false;
+  const size_t slash = p;
+  size_t d0 = ++p;
+  while (IsAt(kDigit, s, p) && p - d0 < 3) ++p;
+  if (p == d0 || p - d0 > 2 || s[d0] == '0') return false;
+  if (p < s.size() && (s[p] == '/' || Is(kSep, s[p]))) return false;
+  const int n = std::atoi(std::string(s.substr(n0, slash - n0)).c_str());
+  const int d = std::atoi(std::string(s.substr(d0, p - d0)).c_str());
+  if (n <= 0 || n >= d || !AllowedDenominator(d)) return false;
+  *num = n;
+  *den = d;
+  *end = p;
+  return true;
+}
+
+// Vulgar ("12½", "12 ½") and ASCII ("3/4", "2 3/4") fraction tails.
+size_t TryFraction(std::string_view s, size_t p, size_t num_begin,
+                   LexedNumber* out) {
+  if (out->precision != 0) return p;
+
+  // Glued or space-separated vulgar fraction => mixed number.
+  for (size_t q : {p, p + 1}) {
+    if (q == p + 1 && !IsAt(kSpace, s, p)) continue;
+    if (const Vulgar* v = MatchVulgar(s, q)) {
+      out->value += static_cast<double>(v->num) / v->den;
+      out->precision = FractionPrecision(v->den);
+      out->fraction = true;
+      return q + v->seq.size();
+    }
+  }
+
+  // "2 3/4": mixed number with an ASCII fraction part.
+  if (IsAt(kSpace, s, p)) {
+    int num = 0, den = 0;
+    size_t end = 0;
+    if (MatchAsciiFraction(s, p + 1, &num, &den, &end)) {
+      out->value += static_cast<double>(num) / den;
+      out->precision = FractionPrecision(den);
+      out->fraction = true;
+      return end;
+    }
+  }
+
+  // "3/4": the number we just lexed is itself the numerator.
+  if (p < s.size() && s[p] == '/' && !out->had_separators) {
+    int num = 0, den = 0;
+    size_t end = 0;
+    if (MatchAsciiFraction(s, num_begin, &num, &den, &end)) {
+      out->value = static_cast<double>(num) / den;
+      out->precision = FractionPrecision(den);
+      out->fraction = true;
+      return end;
+    }
+  }
+  return p;
+}
+
+// "5 ± 1" / "5 +/- 1": center with symmetric error -> [v-e, v+e].
+size_t TryPlusMinus(std::string_view s, size_t p, const LexOptions& options,
+                    LexedNumber* out) {
+  size_t q = p;
+  if (IsAt(kSpace, s, q)) ++q;
+  size_t after;
+  if (MatchSeq(s, q, kPlusMinusSym)) {
+    after = q + kPlusMinusSym.size();
+  } else if (MatchSeq(s, q, "+/-")) {
+    after = q + 3;
+  } else {
+    return p;
+  }
+  if (IsAt(kSpace, s, after)) ++after;
+  size_t end = 0;
+  auto err = LexOperand(s, after, options.locale, &end);
+  if (!err.ok() || err->value < 0) return p;
+  out->value_lo = out->value - err->value;
+  out->value_hi = out->value + err->value;
+  out->is_interval = true;
+  out->plus_minus = true;
+  return end;
+}
+
+// "3–5" / "3 - 5" ranges (en dash, em dash, or hyphen). The second operand
+// must be strictly larger, so "2020-01"-style identifiers don't match.
+size_t TryRange(std::string_view s, size_t p, const LexOptions& options,
+                LexedNumber* out) {
+  size_t q = p;
+  if (IsAt(kSpace, s, q)) ++q;
+  size_t after;
+  if (MatchSeq(s, q, kEnDash) || MatchSeq(s, q, kEmDash)) {
+    after = q + kEnDash.size();
+  } else if (q < s.size() && s[q] == '-') {
+    after = q + 1;
+  } else {
+    return p;
+  }
+  if (IsAt(kSpace, s, after)) ++after;
+  size_t end = 0;
+  auto hi = LexOperand(s, after, options.locale, &end);
+  if (!hi.ok() || hi->value <= out->value) return p;
+  out->value_lo = out->value;
+  out->value_hi = hi->value;
+  out->value = (out->value_lo + out->value_hi) / 2.0;
+  out->precision = std::max(out->precision, hi->precision);
+  out->had_separators = out->had_separators || hi->had_separators;
+  out->is_interval = true;
+  return end;
+}
+
+}  // namespace
+
+double Pow10(int exp) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "1e%d", exp);
+  return std::strtod(buf, nullptr);
+}
+
+util::Result<LexedNumber> DisambiguateSeparators(std::string_view token,
+                                                 LocaleHint hint) {
+  auto r = DisambiguateImpl(token, hint);
+  if (!r.ok()) return r.status();
+  LexedNumber out;
+  out.value = out.value_lo = out.value_hi = r->value;
+  out.precision = r->precision;
+  out.had_separators = r->had_separators;
+  out.end = token.size();
+  return out;
+}
+
+util::Result<LexedNumber> LexNumber(std::string_view s, size_t pos,
+                                    const LexOptions& options) {
+  if (pos >= s.size()) {
+    return util::Status::ParseError("empty numeric input");
+  }
+  LexedNumber out;
+  out.begin = pos;
+  size_t p = pos;
+
+  // Optional sign (ASCII or U+2212 minus), glued to the number.
+  bool negative = false;
+  bool signed_form = false;
+  if (Is(kSign, s[p])) {
+    negative = s[p] == '-';
+    signed_form = true;
+    ++p;
+  } else if (MatchSeq(s, p, kMinusSign)) {
+    negative = true;
+    signed_form = true;
+    p += kMinusSign.size();
+  }
+
+  // Standalone vulgar fraction: "½", "-¾".
+  if (options.fractions) {
+    if (const Vulgar* v = MatchVulgar(s, p)) {
+      out.value = static_cast<double>(v->num) / v->den;
+      out.precision = FractionPrecision(v->den);
+      out.fraction = true;
+      out.negative = negative;
+      if (negative) out.value = -out.value;
+      out.value_lo = out.value_hi = out.value;
+      out.end = p + v->seq.size();
+      return out;
+    }
+  }
+
+  if (!IsAt(kDigit, s, p)) {
+    return util::Status::ParseError(signed_form ? "dangling sign"
+                                                : "no number at position");
+  }
+
+  const size_t num_begin = p;
+  const size_t tok_end = ScanSimple(s, p);
+  auto first = DisambiguateImpl(s.substr(p, tok_end - p), options.locale);
+  if (!first.ok()) return first.status();
+  out.value = first->value;
+  out.precision = first->precision;
+  out.had_separators = first->had_separators;
+  p = tok_end;
+
+  if (options.scientific) p = TryExponent(s, p, *first, &out);
+  if (options.fractions && !out.scientific) {
+    p = TryFraction(s, p, num_begin, &out);
+  }
+  if (options.ranges) {
+    size_t q = TryPlusMinus(s, p, options, &out);
+    if (q == p) q = TryRange(s, p, options, &out);
+    p = q;
+  }
+
+  out.negative = negative;
+  if (negative) {
+    out.value = -out.value;
+    if (out.is_interval) {
+      const double lo = -out.value_hi;
+      out.value_hi = -out.value_lo;
+      out.value_lo = lo;
+    }
+  }
+  if (!out.is_interval) {
+    out.value_lo = out.value_hi = out.value;
+  }
+  out.end = p;
+  return out;
+}
+
+}  // namespace briq::quantity

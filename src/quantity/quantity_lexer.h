@@ -1,0 +1,71 @@
+#ifndef BRIQ_QUANTITY_QUANTITY_LEXER_H_
+#define BRIQ_QUANTITY_QUANTITY_LEXER_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace briq::quantity {
+
+/// How thousand/decimal separators are resolved. kAuto applies the
+/// heuristics documented on ParseNumericLiteral (DESIGN.md §5k); kUS forces
+/// comma-groups/dot-decimal; kEuropean forces dot-groups/comma-decimal.
+enum class LocaleHint {
+  kAuto = 0,
+  kUS,
+  kEuropean,
+};
+
+/// Feature switches for the lexer. The defaults enable everything; the
+/// legacy ParseNumericLiteral wrapper runs with everything off so its
+/// accepted language is exactly the historical one.
+struct LexOptions {
+  bool scientific = true;  // 3.2e6, 4×10^5
+  bool fractions = true;   // ½, 3/4, 12 ½
+  bool ranges = true;      // 3–5, 5 ± 1
+  LocaleHint locale = LocaleHint::kAuto;
+};
+
+/// A number lexed from a raw character stream. Point values have
+/// value_lo == value_hi == value; ranges ("3–5") and plus-minus forms
+/// ("5 ± 1") carry the interval endpoints with `value` at the midpoint
+/// (ranges) or the center (±).
+struct LexedNumber {
+  double value = 0.0;
+  double value_lo = 0.0;
+  double value_hi = 0.0;
+  int precision = 0;          // digits after the decimal separator (mantissa)
+  bool had_separators = false;
+  bool is_interval = false;
+  bool plus_minus = false;    // interval came from "±" / "+/-"
+  bool fraction = false;      // a vulgar or ASCII fraction contributed
+  bool scientific = false;    // an exponent contributed (e-notation or ×10^k)
+  bool negative = false;
+  size_t begin = 0;           // char range [begin, end) consumed from source
+  size_t end = 0;
+};
+
+/// Lexes one number starting exactly at `s[pos]` (an optional sign, digit,
+/// or vulgar-fraction byte must be there). Single pass over the bytes using
+/// lookup-table char classes; multi-byte UTF-8 operators (×, –, ±, ½, ...)
+/// are matched by bounded byte-sequence matchers and are safe against
+/// truncated input. Returns ParseError if no number starts at `pos`.
+util::Result<LexedNumber> LexNumber(std::string_view s, size_t pos = 0,
+                                    const LexOptions& options = {});
+
+/// The locale-disambiguation pass on an isolated digits-and-separators
+/// token ("1,234.56", "2,29,866", "0,877", "1.234.567"). This is the exact
+/// decision procedure ParseNumericLiteral has always used; the lexer calls
+/// it on the separator-bearing span it scanned.
+util::Result<LexedNumber> DisambiguateSeparators(std::string_view token,
+                                                 LocaleHint hint);
+
+/// Correctly-rounded power of ten (via strtod, not pow). Shared between the
+/// lexer's exponent assembly and the corpus generator's ground truth so the
+/// two always agree bit-for-bit.
+double Pow10(int exp);
+
+}  // namespace briq::quantity
+
+#endif  // BRIQ_QUANTITY_QUANTITY_LEXER_H_

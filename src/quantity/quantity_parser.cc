@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "quantity/numeric_literal.h"
+#include "quantity/quantity_lexer.h"
 #include "text/number_words.h"
 #include "text/tokenizer.h"
 #include "util/string_util.h"
@@ -64,6 +65,45 @@ std::optional<double> SpacedScaleWord(std::string_view w) {
 
 bool IsPlusMinus(const Token& t) {
   return t.textual == "\xC2\xB1";  // ±
+}
+
+// Multiplies the quantity's (scale-applied) value and interval endpoints by
+// `factor`; the surface value stays untouched. For legacy point quantities
+// the endpoints are 0 and remain 0, so the operation is bit-preserving.
+void ScaleQuantity(ParsedQuantity* q, double factor) {
+  q->value *= factor;
+  q->value_lo *= factor;
+  q->value_hi *= factor;
+}
+
+// Negates value, surface value, and interval endpoints (swapping lo/hi so
+// the interval stays ordered).
+void NegateQuantity(ParsedQuantity* q) {
+  q->value = -q->value;
+  q->unnormalized = -q->unnormalized;
+  const double lo = -q->value_hi;
+  q->value_hi = -q->value_lo;
+  q->value_lo = lo;
+}
+
+// Folds a resolved unit into the quantity. Percent-family surfaces fold
+// their factor into the value (bps -> percent hundredths), and so do the
+// scaled currency forms ("4 M$" == "$4 million"); dimensioned physical
+// units keep their canonical name and carry the base-unit factor instead.
+void AssignUnit(ParsedQuantity* q, const UnitInfo& unit) {
+  if (unit.category == UnitCategory::kPercent) {
+    ScaleQuantity(q, unit.to_base);
+    q->unit = "percent";
+    q->unit_to_base = 1.0;
+  } else if (unit.category == UnitCategory::kCurrency) {
+    ScaleQuantity(q, unit.to_base);
+    q->unit = unit.canonical;
+    q->unit_to_base = 1.0;
+  } else {
+    q->unit = unit.canonical;
+    q->unit_to_base = unit.to_base;
+  }
+  q->unit_category = unit.category;
 }
 
 }  // namespace
@@ -165,8 +205,7 @@ class Extractor {
       }
       if (neg_paren) {
         if (valid(j) && tok(j).textual == ")") ++j;
-        q->value = -q->value;
-        q->unnormalized = -q->unnormalized;
+        NegateQuantity(&*q);
         // Trailing scale/unit words may follow the closing paren.
         ConsumeScaleAndUnit(&*q, &j);
       }
@@ -183,9 +222,13 @@ class Extractor {
       if (ShouldFilterNumber(i, next)) return std::nullopt;
       size_t j = i;
       size_t start = i;
-      // Leading sign: "-5" with '-' directly attached.
+      // Leading sign: "-5" with '-' directly attached (extended mode also
+      // accepts the U+2212 minus sign).
       bool negative = false;
-      if (i > 0 && tok(i - 1).textual == "-" && Adjacent(tok(i - 1), t) &&
+      if (i > 0 && Adjacent(tok(i - 1), t) &&
+          (tok(i - 1).textual == "-" ||
+           (options_.extended_forms &&
+            tok(i - 1).textual == "\xE2\x88\x92")) &&
           (i < 2 || tok(i - 2).kind != TokenKind::kNumber)) {
         negative = true;
         start = i - 1;
@@ -202,8 +245,7 @@ class Extractor {
         return std::nullopt;
       }
       if (negative) {
-        q->value = -q->value;
-        q->unnormalized = -q->unnormalized;
+        NegateQuantity(&*q);
       }
       if (q->unit.empty() && has_pre_unit) {
         q->unit = pre_unit.canonical;
@@ -212,6 +254,26 @@ class Extractor {
       FinishMention(&*q, start, j);
       *next = j;
       return q;
+    }
+
+    // Extended: standalone vulgar fractions ("½ a percent") that no number
+    // token precedes — mixed numbers ("12 ½") are folded by the number path.
+    if (options_.extended_forms && t.kind == TokenKind::kSymbol) {
+      auto lex = LexNumber(source_, t.span.begin, LexerOptions());
+      if (lex.ok() && lex->fraction) {
+        ParsedQuantity q;
+        q.value = lex->value;
+        q.unnormalized = lex->value;
+        q.value_lo = lex->value_lo;
+        q.value_hi = lex->value_hi;
+        q.precision = lex->precision;
+        size_t j = i + 1;
+        while (valid(j) && tok(j).span.begin < lex->end) ++j;
+        ConsumeScaleAndUnit(&q, &j);
+        FinishMention(&q, i, j);
+        *next = j;
+        return q;
+      }
     }
 
     // Spelled-out numbers: "twenty pounds", "two million".
@@ -223,12 +285,19 @@ class Extractor {
     return std::nullopt;
   }
 
+  LexOptions LexerOptions() const {
+    LexOptions lex_opts;
+    lex_opts.locale = options_.locale;
+    return lex_opts;
+  }
+
   // Parses the numeric core + complex part + scale + unit, starting at the
   // number token `i`. `mention_start` is the first token of the mention
   // (may be a sign or currency prefix). Advances *j past consumed tokens.
   std::optional<ParsedQuantity> ParseNumberCore(size_t i, size_t mention_start,
                                                 size_t* j) {
     (void)mention_start;
+    if (options_.extended_forms) return ParseNumberExtended(i, j);
     auto lit = ParseNumericLiteral(tok(i).textual);
     *j = i + 1;
     if (!lit.ok()) return std::nullopt;  // e.g. "1.2.3" heading identifier
@@ -265,12 +334,52 @@ class Extractor {
     return q;
   }
 
+  // Extended path: lex the raw character stream at the number token with
+  // the QuantityLexer (scientific notation, fractions, ranges, ±, locale
+  // hints), map the consumed span back onto tokens, then continue with the
+  // shared glued-suffix and scale/unit tails.
+  std::optional<ParsedQuantity> ParseNumberExtended(size_t i, size_t* j) {
+    auto lex = LexNumber(source_, tok(i).span.begin, LexerOptions());
+    *j = i + 1;
+    if (!lex.ok()) return std::nullopt;
+
+    ParsedQuantity q;
+    q.value = lex->value;
+    q.unnormalized = lex->value;
+    q.value_lo = lex->value_lo;
+    q.value_hi = lex->value_hi;
+    q.precision = lex->precision;
+    if (lex->is_interval) {
+      q.is_complex = lex->plus_minus;
+      q.approx = ApproxIndicator::kApproximate;
+    }
+    // Advance past every token the lexed span covers.
+    while (valid(*j) && tok(*j).span.begin < lex->end) ++*j;
+
+    // Glued word after the lexed span: scale suffix ("37K") or identifier
+    // ("7th", "10x") — same policy as the legacy path.
+    if (valid(*j) && tok(*j).kind == TokenKind::kWord &&
+        Adjacent(tok(*j - 1), tok(*j))) {
+      auto suffix = AdjacentScaleSuffix(tok(*j).textual);
+      if (suffix.has_value()) {
+        ScaleQuantity(&q, *suffix);
+        ++*j;
+      } else if (options_.filter_identifiers && !cell_mode_) {
+        return std::nullopt;  // "7th", "10x"
+      }
+    }
+
+    ConsumeScaleAndUnit(&q, j);
+    return q;
+  }
+
   // Consumes optional scale words and unit tokens following the number.
   void ConsumeScaleAndUnit(ParsedQuantity* q, size_t* j) {
-    // Spaced scale word ("3.26 billion", "70 Mio").
+    // Spaced scale word ("3.26 billion", "70 Mio"). Composes with interval
+    // endpoints: "3–5 million" scales both ends.
     if (valid(*j) && tok(*j).kind == TokenKind::kWord) {
       if (auto mult = SpacedScaleWord(tok(*j).textual)) {
-        q->value *= *mult;
+        ScaleQuantity(q, *mult);
         ++*j;
       }
     }
@@ -284,14 +393,7 @@ class Extractor {
       size_t consumed = 0;
       auto unit = LookupUnitSequence(tail, 0, &consumed);
       if (unit.has_value()) {
-        // Percent-family normalization: bps -> percent hundredths.
-        if (unit->category == UnitCategory::kPercent) {
-          q->value *= unit->to_base;
-          q->unit = "percent";
-        } else {
-          q->unit = unit->canonical;
-        }
-        q->unit_category = unit->category;
+        AssignUnit(q, *unit);
         *j += consumed;
         // Currency refinement: "$70 million CDN" — a currency word directly
         // after another currency assignment narrows it.
@@ -338,13 +440,7 @@ class Extractor {
     auto unit = LookupUnitSequence(tail, 0, &consumed);
     bool has_unit = unit.has_value();
     if (has_unit) {
-      if (unit->category == UnitCategory::kPercent) {
-        q.value *= unit->to_base;
-        q.unit = "percent";
-      } else {
-        q.unit = unit->canonical;
-      }
-      q.unit_category = unit->category;
+      AssignUnit(&q, *unit);
       j += consumed;
       *next = j;
     }
@@ -500,7 +596,8 @@ std::vector<ParsedQuantity> ExtractQuantities(std::string_view txt,
   return Extractor(txt, options, /*cell_mode=*/false).Run();
 }
 
-std::optional<ParsedQuantity> ParseCellQuantity(std::string_view cell) {
+std::optional<ParsedQuantity> ParseCellQuantity(
+    std::string_view cell, const ExtractionOptions& base_options) {
   std::string_view trimmed = util::Trim(cell);
   if (trimmed.empty()) return std::nullopt;
 
@@ -513,7 +610,7 @@ std::optional<ParsedQuantity> ParseCellQuantity(std::string_view cell) {
     owned = owned.substr(1, owned.size() - 2);
   }
 
-  ExtractionOptions opts;
+  ExtractionOptions opts = base_options;
   opts.filter_years = false;
   opts.filter_times_dates = false;
   opts.filter_phones = false;
@@ -524,8 +621,7 @@ std::optional<ParsedQuantity> ParseCellQuantity(std::string_view cell) {
   // footnote digits; take the first).
   ParsedQuantity q = std::move(mentions.front());
   if (negative) {
-    q.value = -q.value;
-    q.unnormalized = -q.unnormalized;
+    NegateQuantity(&q);
     q.surface = std::string(trimmed);
   }
   return q;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "quantity/quantity.h"
+#include "quantity/quantity_lexer.h"
 
 namespace briq::quantity {
 
@@ -19,6 +20,14 @@ struct ExtractionOptions {
   bool filter_phones = true;       // 555-123-4567
   bool filter_headings = true;     // "Section 1.1"
   bool spelled_numbers = true;     // "twenty pounds"
+  /// CQE-grade surface forms via quantity::QuantityLexer: scientific
+  /// notation, vulgar/ASCII fractions, ranges and plus-minus intervals.
+  /// Off by default so legacy-corpus alignments stay bit-identical; the
+  /// messy generator profiles turn it on through BriqConfig::extraction.
+  bool extended_forms = false;
+  /// Separator-locale hint for the lexer's disambiguation pass (only
+  /// consulted when extended_forms is on).
+  LocaleHint locale = LocaleHint::kAuto;
 };
 
 /// Extracts all quantity mentions from free-running text. Complex
@@ -33,8 +42,11 @@ std::vector<ParsedQuantity> ExtractQuantities(
 /// Parses a table cell expected to hold (at most) one quantity, e.g.
 /// "36900", "$232.8 Million", "$(9.49) Million" (negative), "12.7%",
 /// "60 bps", "1,144,716", "--" (none). Returns nullopt when the cell does
-/// not contain a usable quantity.
-std::optional<ParsedQuantity> ParseCellQuantity(std::string_view cell);
+/// not contain a usable quantity. `base_options` seeds the extraction
+/// options (the cell-mode filters are applied on top), so callers can
+/// enable extended_forms for cells too.
+std::optional<ParsedQuantity> ParseCellQuantity(
+    std::string_view cell, const ExtractionOptions& base_options = {});
 
 /// Classifies the approximation cue conveyed by `word` ("about" ->
 /// kApproximate, "exactly" -> kExact, "over" -> kLowerBound, ...); kNone if

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace briq::quantity {
@@ -58,14 +59,25 @@ constexpr Entry kEntries[] = {
     {"gbp", "GBP", UnitCategory::kCurrency, 1.0},
     {"pound", "GBP", UnitCategory::kCurrency, 1.0},
     {"pounds", "GBP", UnitCategory::kCurrency, 1.0},
-    {"cdn", "CDN", UnitCategory::kCurrency, 1.0},
-    {"cad", "CDN", UnitCategory::kCurrency, 1.0},
+    {"cdn", "CAD", UnitCategory::kCurrency, 1.0},
+    {"cad", "CAD", UnitCategory::kCurrency, 1.0},
     {"\xC2\xA5", "JPY", UnitCategory::kCurrency, 1.0},  // ¥
     {"jpy", "JPY", UnitCategory::kCurrency, 1.0},
     {"yen", "JPY", UnitCategory::kCurrency, 1.0},
     {"inr", "INR", UnitCategory::kCurrency, 1.0},
     {"rs", "INR", UnitCategory::kCurrency, 1.0},
     {"rupees", "INR", UnitCategory::kCurrency, 1.0},
+    // Scaled currency forms ("4 M$", "1.2 bn$"): to_base carries the scale;
+    // the parser folds it into the value so "4 M$" == "$4 million".
+    {"k$", "USD", UnitCategory::kCurrency, 1e3},
+    {"m$", "USD", UnitCategory::kCurrency, 1e6},
+    {"mn$", "USD", UnitCategory::kCurrency, 1e6},
+    {"b$", "USD", UnitCategory::kCurrency, 1e9},
+    {"bn$", "USD", UnitCategory::kCurrency, 1e9},
+    {"m\xE2\x82\xAC", "EUR", UnitCategory::kCurrency, 1e6},   // M€
+    {"bn\xE2\x82\xAC", "EUR", UnitCategory::kCurrency, 1e9},  // bn€
+    {"m\xC2\xA3", "GBP", UnitCategory::kCurrency, 1e6},       // M£
+    {"bn\xC2\xA3", "GBP", UnitCategory::kCurrency, 1e9},      // bn£
     // Percent family (base: percent).
     {"%", "percent", UnitCategory::kPercent, 1.0},
     {"percent", "percent", UnitCategory::kPercent, 1.0},
@@ -125,8 +137,18 @@ constexpr Entry kEntries[] = {
 const std::unordered_map<std::string, UnitInfo>& UnitMap() {
   static const auto& kMap = [] {
     auto* m = new std::unordered_map<std::string, UnitInfo>();
+    // Case-fold every surface once at startup and assert the table carries
+    // no conflicting mappings (duplicate surfaces must agree on canonical,
+    // category, and conversion factor).
     for (const Entry& e : kEntries) {
-      (*m)[e.surface] = UnitInfo{e.canonical, e.category, e.to_base};
+      const std::string key = util::ToLower(e.surface);
+      const UnitInfo info{e.canonical, e.category, e.to_base};
+      auto [it, inserted] = m->emplace(key, info);
+      if (!inserted) {
+        BRIQ_CHECK(it->second == info && it->second.to_base == e.to_base)
+            << "conflicting unit table entries for surface '" << key << "': "
+            << it->second.canonical << " vs " << e.canonical;
+      }
     }
     return m;
   }();
@@ -134,6 +156,41 @@ const std::unordered_map<std::string, UnitInfo>& UnitMap() {
 }
 
 }  // namespace
+
+std::string BaseUnitName(UnitCategory category, std::string_view canonical) {
+  switch (category) {
+    case UnitCategory::kNone:
+      return "";
+    case UnitCategory::kCurrency:
+      return std::string(canonical);  // each currency is its own base
+    case UnitCategory::kPercent:
+      return "percent";
+    case UnitCategory::kMass:
+      return "kg";
+    case UnitCategory::kLength:
+      return "m";
+    case UnitCategory::kSpeed:
+      return "m/s";
+    case UnitCategory::kEnergy:
+      return "kWh";
+    case UnitCategory::kEmission:
+      return "g/km";
+    case UnitCategory::kFuelEconomy:
+      return "mpg";
+    case UnitCategory::kData:
+      return "GB";
+    case UnitCategory::kTime:
+      return "hour";
+  }
+  return "";
+}
+
+bool ConvertibleUnits(UnitCategory cat_a, std::string_view canonical_a,
+                      UnitCategory cat_b, std::string_view canonical_b) {
+  if (cat_a != cat_b || cat_a == UnitCategory::kNone) return false;
+  if (cat_a == UnitCategory::kCurrency) return canonical_a == canonical_b;
+  return true;
+}
 
 std::optional<UnitInfo> LookupUnit(std::string_view token) {
   const auto& map = UnitMap();
@@ -160,6 +217,14 @@ std::optional<UnitInfo> LookupUnitSequence(
     if (t0 == "basis" && (t1 == "points" || t1 == "point")) {
       *consumed = 2;
       return LookupUnit("bps");
+    }
+    // Scale prefix + currency symbol: "4 M $", "1.2 bn €" (tokenizers split
+    // the glued "M$" form into these two tokens).
+    if (auto u = LookupUnit(t0 + tokens[i + 1])) {
+      if (u->category == UnitCategory::kCurrency) {
+        *consumed = 2;
+        return u;
+      }
     }
     // Slash-separated: "g / km", "km / h".
     if (i + 2 < tokens.size() && tokens[i + 1] == "/") {

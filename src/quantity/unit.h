@@ -40,6 +40,17 @@ struct UnitInfo {
   }
 };
 
+/// Name of the base unit a category's `to_base` factors convert into
+/// ("kg", "m", "m/s", "percent", ...). Currencies are each their own base
+/// (no FX table), so the canonical name is echoed back; kNone yields "".
+std::string BaseUnitName(UnitCategory category, std::string_view canonical);
+
+/// True when two resolved units are dimensionally comparable after
+/// normalization: same category, and for currencies the same canonical
+/// (USD and EUR share a category but no conversion factor).
+bool ConvertibleUnits(UnitCategory cat_a, std::string_view canonical_a,
+                      UnitCategory cat_b, std::string_view canonical_b);
+
 /// Looks up a single token ("$", "EUR", "dollars", "%", "bps", "MPGe").
 /// Case-insensitive for words; symbols matched exactly.
 std::optional<UnitInfo> LookupUnit(std::string_view token);

@@ -40,6 +40,9 @@ struct TableMention {
   double value = 0.0;
   std::string unit;  ///< canonical unit, empty if mixed/unknown
   quantity::UnitCategory unit_category = quantity::UnitCategory::kNone;
+  /// Factor converting `value` from `unit` into the category's base unit
+  /// (1.0 for every legacy surface form; 1e3 for a "(tonnes)" column).
+  double unit_to_base = 1.0;
   int precision = 0;
   /// Cell surface form for single cells; synthesized for virtual cells
   /// ("sum(35,38,34,11,5)").

@@ -126,6 +126,10 @@ void Table::AnnotateQuantities() {
           if (cue.unit->category == quantity::UnitCategory::kPercent) {
             q->value *= cue.unit->to_base;
             q->unit = "percent";
+          } else {
+            // Dimensioned cue ("(tonnes)", "(km)"): the cell's values are
+            // expressed in that unit; carry its base-unit factor.
+            q->unit_to_base = cue.unit->to_base;
           }
         }
         // A header scale ("$ Millions") applies unless the cell already

@@ -22,21 +22,26 @@ int MaxPrecision(const Table& t, const std::vector<CellRef>& cells) {
   return p;
 }
 
-// Shared unit over cells, empty when mixed.
+// Shared unit over cells, empty when mixed. Cells sharing a canonical
+// unit share its base-unit factor, which the aggregate inherits.
 void SharedUnit(const Table& t, const std::vector<CellRef>& cells,
-                std::string* unit, quantity::UnitCategory* category) {
+                std::string* unit, quantity::UnitCategory* category,
+                double* to_base) {
   unit->clear();
   *category = quantity::UnitCategory::kNone;
+  *to_base = 1.0;
   bool first = true;
   for (const CellRef& ref : cells) {
     const auto& q = *t.cell(ref).quantity;
     if (first) {
       *unit = q.unit;
       *category = q.unit_category;
+      *to_base = q.unit_to_base;
       first = false;
     } else if (*unit != q.unit) {
       unit->clear();
       *category = quantity::UnitCategory::kNone;
+      *to_base = 1.0;
       return;
     }
   }
@@ -114,6 +119,7 @@ std::vector<TableMention> GenerateTableMentions(
       m.value = cl.quantity->value;
       m.unit = cl.quantity->unit;
       m.unit_category = cl.quantity->unit_category;
+      m.unit_to_base = cl.quantity->unit_to_base;
       m.precision = cl.quantity->precision;
       m.surface = cl.raw;
       out.push_back(std::move(m));
@@ -156,7 +162,7 @@ std::vector<TableMention> GenerateTableMentions(
       m.unit_category = quantity::UnitCategory::kPercent;
       m.precision = 2;
     } else {
-      SharedUnit(t, cells, &m.unit, &m.unit_category);
+      SharedUnit(t, cells, &m.unit, &m.unit_category, &m.unit_to_base);
       m.precision = MaxPrecision(t, cells);
     }
     m.surface = Synthesize(t, func, cells);

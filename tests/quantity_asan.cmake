@@ -1,0 +1,59 @@
+# Keeps the quantity lexer honest on hostile bytes: configures a sub-build
+# with -DBRIQ_SANITIZE=address, builds the requested test binaries, and runs
+# them under ASan. The lexer suites drive single-pass scanning, bounded
+# multi-byte UTF-8 matchers, and the locale-disambiguation pass over
+# truncated and adversarial input, so overreads surface here rather than in
+# production extraction.
+#
+# Expects -DSOURCE_DIR=<repo root>, -DWORKDIR=<scratch build dir>, and
+# -DTARGETS=<'|'-separated test binary names> ('|' instead of ';' so the
+# list survives add_test argument quoting).
+
+if(NOT SOURCE_DIR OR NOT WORKDIR OR NOT TARGETS)
+  message(FATAL_ERROR
+    "quantity_asan: SOURCE_DIR, WORKDIR, and TARGETS must be set")
+endif()
+
+string(REPLACE "|" ";" test_binaries "${TARGETS}")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -S "${SOURCE_DIR}" -B "${WORKDIR}"
+          -DBRIQ_SANITIZE=address
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR
+    "configure with -DBRIQ_SANITIZE=address failed (${rv}):\n${out}\n${err}")
+endif()
+
+# quantity_lexer_test links the full pipeline library, so unlike the
+# protocol-layer TSan sub-build this one compiles the whole tree — build
+# parallel to stay inside the test timeout.
+cmake_host_system_information(RESULT ncores QUERY NUMBER_OF_LOGICAL_CORES)
+if(ncores LESS 1)
+  set(ncores 1)
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" --build "${WORKDIR}"
+          --target ${test_binaries} --parallel ${ncores}
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR
+    "build with -DBRIQ_SANITIZE=address failed (${rv}):\n${out}\n${err}")
+endif()
+
+foreach(binary ${test_binaries})
+  execute_process(
+    COMMAND "${WORKDIR}/tests/${binary}"
+    RESULT_VARIABLE rv
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+      "${binary} failed under ASan (${rv}):\n${out}\n${err}")
+  endif()
+endforeach()

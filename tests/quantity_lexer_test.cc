@@ -1,0 +1,559 @@
+// CQE-grade lexer suite: direct LexNumber cases (scientific notation,
+// fractions, ranges, locale separators, malformed UTF-8), extraction-level
+// extended forms, the generator round-trip property (every messy surface
+// lexes back to its target cell's base-unit value), and end-to-end unit
+// conversion (kg↔t, $↔M$, %↔bps) through PrepareDocument → features →
+// adaptive filtering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/extraction.h"
+#include "core/features.h"
+#include "core/filtering.h"
+#include "core/pipeline.h"
+#include "corpus/domain_profile.h"
+#include "corpus/generator.h"
+#include "quantity/quantity_lexer.h"
+#include "quantity/quantity_parser.h"
+#include "util/random.h"
+
+namespace briq::quantity {
+namespace {
+
+LexedNumber MustLex(std::string_view s, const LexOptions& options = {}) {
+  auto r = LexNumber(s, 0, options);
+  EXPECT_TRUE(r.ok()) << "failed to lex: " << s;
+  return r.ok() ? r.value() : LexedNumber{};
+}
+
+// ---------------------------------------------------------------------------
+// Scientific notation
+// ---------------------------------------------------------------------------
+
+TEST(QuantityLexerTest, ENotation) {
+  LexedNumber n = MustLex("3.2e6");
+  EXPECT_DOUBLE_EQ(n.value, 3.2e6);
+  EXPECT_TRUE(n.scientific);
+  EXPECT_FALSE(n.is_interval);
+  EXPECT_EQ(n.end, 5u);
+}
+
+TEST(QuantityLexerTest, TimesTenNotation) {
+  LexedNumber n = MustLex("4 × 10^5");
+  EXPECT_DOUBLE_EQ(n.value, 4e5);
+  EXPECT_TRUE(n.scientific);
+}
+
+TEST(QuantityLexerTest, NegativeExponent) {
+  LexedNumber n = MustLex("1.5e-3");
+  EXPECT_DOUBLE_EQ(n.value, 1.5e-3);
+  EXPECT_TRUE(n.scientific);
+}
+
+TEST(QuantityLexerTest, ScientificOffKeepsMantissaOnly) {
+  LexOptions opts;
+  opts.scientific = false;
+  LexedNumber n = MustLex("3.2e6", opts);
+  EXPECT_DOUBLE_EQ(n.value, 3.2);
+  EXPECT_FALSE(n.scientific);
+}
+
+// ---------------------------------------------------------------------------
+// Fractions
+// ---------------------------------------------------------------------------
+
+TEST(QuantityLexerTest, VulgarFraction) {
+  LexedNumber n = MustLex("½");
+  EXPECT_DOUBLE_EQ(n.value, 0.5);
+  EXPECT_TRUE(n.fraction);
+}
+
+TEST(QuantityLexerTest, AsciiFraction) {
+  LexedNumber n = MustLex("3/4");
+  EXPECT_DOUBLE_EQ(n.value, 0.75);
+  EXPECT_TRUE(n.fraction);
+}
+
+TEST(QuantityLexerTest, MixedNumberVulgar) {
+  LexedNumber n = MustLex("2 ¾");
+  EXPECT_DOUBLE_EQ(n.value, 2.75);
+  EXPECT_TRUE(n.fraction);
+}
+
+TEST(QuantityLexerTest, MixedNumberGluedVulgar) {
+  LexedNumber n = MustLex("2¾");
+  EXPECT_DOUBLE_EQ(n.value, 2.75);
+}
+
+TEST(QuantityLexerTest, MixedNumberAscii) {
+  LexedNumber n = MustLex("2 3/4");
+  EXPECT_DOUBLE_EQ(n.value, 2.75);
+  EXPECT_TRUE(n.fraction);
+}
+
+// ---------------------------------------------------------------------------
+// Ranges and plus-minus intervals
+// ---------------------------------------------------------------------------
+
+TEST(QuantityLexerTest, EnDashRange) {
+  LexedNumber n = MustLex("3–5");
+  EXPECT_TRUE(n.is_interval);
+  EXPECT_DOUBLE_EQ(n.value_lo, 3.0);
+  EXPECT_DOUBLE_EQ(n.value_hi, 5.0);
+  EXPECT_GE(n.value, 3.0);
+  EXPECT_LE(n.value, 5.0);
+}
+
+TEST(QuantityLexerTest, HyphenRange) {
+  LexedNumber n = MustLex("480000-490000");
+  EXPECT_TRUE(n.is_interval);
+  EXPECT_DOUBLE_EQ(n.value_lo, 480000.0);
+  EXPECT_DOUBLE_EQ(n.value_hi, 490000.0);
+}
+
+TEST(QuantityLexerTest, PlusMinus) {
+  LexedNumber n = MustLex("5 ± 1");
+  EXPECT_TRUE(n.is_interval);
+  EXPECT_TRUE(n.plus_minus);
+  EXPECT_DOUBLE_EQ(n.value, 5.0);
+  EXPECT_DOUBLE_EQ(n.value_lo, 4.0);
+  EXPECT_DOUBLE_EQ(n.value_hi, 6.0);
+}
+
+TEST(QuantityLexerTest, RangesOffLexesPointOnly) {
+  LexOptions opts;
+  opts.ranges = false;
+  LexedNumber n = MustLex("3–5", opts);
+  EXPECT_FALSE(n.is_interval);
+  EXPECT_DOUBLE_EQ(n.value, 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Signed values
+// ---------------------------------------------------------------------------
+
+TEST(QuantityLexerTest, NegativeValue) {
+  LexedNumber n = MustLex("-3.5");
+  EXPECT_DOUBLE_EQ(n.value, -3.5);
+  EXPECT_TRUE(n.negative);
+}
+
+// ---------------------------------------------------------------------------
+// Locale-variant separators
+// ---------------------------------------------------------------------------
+
+TEST(QuantityLexerTest, UsSeparatorsAuto) {
+  EXPECT_DOUBLE_EQ(MustLex("1,234.56").value, 1234.56);
+  EXPECT_TRUE(MustLex("1,234.56").had_separators);
+}
+
+TEST(QuantityLexerTest, EuropeanGroupingAuto) {
+  // Two dot-groups are unambiguous European grouping.
+  EXPECT_DOUBLE_EQ(MustLex("1.234.567").value, 1234567.0);
+}
+
+TEST(QuantityLexerTest, MixedSeparatorsNeedExplicitLocale) {
+  // kAuto refuses to guess a mixed dot-then-comma token (the historical
+  // decision procedure); the explicit European hint resolves it.
+  EXPECT_FALSE(LexNumber("1.234,56").ok());
+  LexOptions eu;
+  eu.locale = LocaleHint::kEuropean;
+  EXPECT_DOUBLE_EQ(MustLex("1.234,56", eu).value, 1234.56);
+  EXPECT_DOUBLE_EQ(MustLex("1.234.567,89", eu).value, 1234567.89);
+}
+
+TEST(QuantityLexerTest, LocaleHintForcesInterpretation) {
+  LexOptions us;
+  us.locale = LocaleHint::kUS;
+  EXPECT_DOUBLE_EQ(MustLex("1.234", us).value, 1.234);
+  LexOptions eu;
+  eu.locale = LocaleHint::kEuropean;
+  EXPECT_DOUBLE_EQ(MustLex("1.234", eu).value, 1234.0);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed / truncated UTF-8 must never crash or over-consume
+// ---------------------------------------------------------------------------
+
+TEST(QuantityLexerTest, TruncatedMultibyteAfterNumber) {
+  // "3" followed by the first two bytes of an en-dash.
+  LexedNumber n = MustLex(std::string("3\xE2\x80"));
+  EXPECT_DOUBLE_EQ(n.value, 3.0);
+  EXPECT_FALSE(n.is_interval);
+  EXPECT_LE(n.end, 3u);
+}
+
+TEST(QuantityLexerTest, LoneContinuationByteIsNotANumber) {
+  auto r = LexNumber(std::string("\xC2"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(QuantityLexerTest, DanglingPlusMinus) {
+  LexedNumber n = MustLex(std::string("5 \xC2\xB1"));
+  EXPECT_DOUBLE_EQ(n.value, 5.0);
+  EXPECT_FALSE(n.is_interval);
+}
+
+TEST(QuantityLexerTest, AdversarialSeparatorRuns) {
+  // Trailing separators must not be swallowed into the number.
+  LexedNumber n = MustLex("1,234,");
+  EXPECT_DOUBLE_EQ(n.value, 1234.0);
+  EXPECT_LE(n.end, 6u);
+  EXPECT_FALSE(LexNumber("").ok());
+  EXPECT_FALSE(LexNumber(",5", 0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Extraction-level extended forms
+// ---------------------------------------------------------------------------
+
+ExtractionOptions Extended() {
+  ExtractionOptions opts;
+  opts.extended_forms = true;
+  return opts;
+}
+
+TEST(ExtendedExtractionTest, ScientificInSentence) {
+  auto qs = ExtractQuantities("Production reached 3.2e6 units.", Extended());
+  ASSERT_EQ(qs.size(), 1u);
+  EXPECT_DOUBLE_EQ(qs[0].value, 3.2e6);
+}
+
+TEST(ExtendedExtractionTest, TimesTenWithMassUnit) {
+  auto qs = ExtractQuantities("roughly 4 × 10^5 tonnes of ore", Extended());
+  ASSERT_EQ(qs.size(), 1u);
+  EXPECT_DOUBLE_EQ(qs[0].value, 4e5);
+  EXPECT_EQ(qs[0].unit, "tonne");
+  EXPECT_EQ(qs[0].unit_category, UnitCategory::kMass);
+  EXPECT_DOUBLE_EQ(qs[0].unit_to_base, 1e3);
+  EXPECT_DOUBLE_EQ(qs[0].normalized().value, 4e8);  // kg
+}
+
+TEST(ExtendedExtractionTest, MixedFractionWithUnit) {
+  auto qs = ExtractQuantities("a dry weight of 2 ¾ tonnes", Extended());
+  ASSERT_EQ(qs.size(), 1u);
+  EXPECT_DOUBLE_EQ(qs[0].value, 2.75);
+  EXPECT_EQ(qs[0].unit, "tonne");
+}
+
+TEST(ExtendedExtractionTest, RangeWithScaleWord) {
+  auto qs = ExtractQuantities("between 3–5 million tests", Extended());
+  ASSERT_EQ(qs.size(), 1u);
+  EXPECT_TRUE(qs[0].is_interval());
+  EXPECT_DOUBLE_EQ(qs[0].value_lo, 3e6);
+  EXPECT_DOUBLE_EQ(qs[0].value_hi, 5e6);
+}
+
+TEST(ExtendedExtractionTest, PlusMinusWithLengthUnit) {
+  auto qs = ExtractQuantities("a distance of 5 ± 1 km", Extended());
+  ASSERT_EQ(qs.size(), 1u);
+  EXPECT_TRUE(qs[0].is_interval());
+  EXPECT_EQ(qs[0].unit_category, UnitCategory::kLength);
+  EXPECT_DOUBLE_EQ(qs[0].unit_to_base, 1e3);  // km -> m
+  EXPECT_DOUBLE_EQ(qs[0].value_lo * qs[0].unit_to_base, 4000.0);
+  EXPECT_DOUBLE_EQ(qs[0].value_hi * qs[0].unit_to_base, 6000.0);
+}
+
+TEST(ExtendedExtractionTest, EuropeanSeparatorsCurrency) {
+  auto qs = ExtractQuantities("revenues of $1.234.567 were booked", Extended());
+  ASSERT_EQ(qs.size(), 1u);
+  EXPECT_DOUBLE_EQ(qs[0].value, 1234567.0);
+  EXPECT_EQ(qs[0].unit_category, UnitCategory::kCurrency);
+}
+
+TEST(ExtendedExtractionTest, ScaledCurrencySymbol) {
+  // "M$" folds into the value at parse time: currency stays base-unit $.
+  auto qs = ExtractQuantities("the unit sold 484 M$ of hardware", Extended());
+  ASSERT_EQ(qs.size(), 1u);
+  EXPECT_DOUBLE_EQ(qs[0].value, 484e6);
+  EXPECT_EQ(qs[0].unit, "USD");
+  EXPECT_DOUBLE_EQ(qs[0].unit_to_base, 1.0);
+}
+
+TEST(ExtendedExtractionTest, BasisPointsFoldToPercent) {
+  auto qs = ExtractQuantities("margins improved by 60 bps", Extended());
+  ASSERT_EQ(qs.size(), 1u);
+  EXPECT_DOUBLE_EQ(qs[0].value, 0.6);
+  EXPECT_EQ(qs[0].unit, "percent");
+}
+
+TEST(ExtendedExtractionTest, DefaultOptionsKeepLegacyLanguage) {
+  // With extended_forms off (the default), the historical lexer runs: no
+  // scientific reassembly, no intervals, no fraction glyphs.
+  auto qs = ExtractQuantities("Production reached 3.2e6 units.");
+  for (const auto& q : qs) {
+    EXPECT_NE(q.value, 3.2e6);
+    EXPECT_FALSE(q.is_interval());
+  }
+  for (const auto& q : ExtractQuantities("a yield of ½ was typical")) {
+    EXPECT_NE(q.value, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace briq::quantity
+
+// ---------------------------------------------------------------------------
+// Generator round-trip property
+// ---------------------------------------------------------------------------
+
+namespace briq::corpus {
+namespace {
+
+// Every ground-truth single-cell surface emitted by the messy profiles must
+// lex back (under extended options) to a quantity consistent with its
+// target cell in base units: exact/scaled forms to the exact base value,
+// interval forms to an interval containing it, approximate forms to within
+// the one-significant-step rounding the generator applies.
+TEST(MessyRoundTripTest, SurfacesLexBackToTargetCells) {
+  quantity::ExtractionOptions opts;
+  opts.extended_forms = true;
+  for (const char* name : {"research", "markets"}) {
+    const DomainProfile& profile = GetDomainProfile(name);
+    ASSERT_TRUE(profile.messy_numeric_forms);
+    size_t checked = 0;
+    size_t intervals = 0;
+    size_t scientific = 0;
+    size_t fractions = 0;
+    size_t converted = 0;
+    for (uint64_t seed : {11u, 23u, 47u, 101u, 433u, 997u}) {
+      util::Rng rng(seed);
+      for (int d = 0; d < 6; ++d) {
+        Document doc = GenerateDocument(profile, "rt", &rng);
+        for (const GroundTruthAlignment& gt : doc.ground_truth) {
+          if (gt.target.func != table::AggregateFunction::kNone) continue;
+          ASSERT_EQ(gt.target.cells.size(), 1u);
+          const table::Cell& cell =
+              doc.tables[gt.target.table_index].cell(gt.target.cells[0]);
+          ASSERT_TRUE(cell.quantity.has_value()) << cell.raw;
+          const double base =
+              cell.quantity->value * cell.quantity->unit_to_base;
+
+          auto qs = quantity::ExtractQuantities(gt.surface, opts);
+          ASSERT_FALSE(qs.empty()) << "surface did not lex: " << gt.surface;
+          const quantity::ParsedQuantity& q = qs[0];
+          ++checked;
+          intervals += q.is_interval();
+          bool sci = gt.surface.find(" × 10^") != std::string::npos;
+          for (size_t p = 1; !sci && p + 1 < gt.surface.size(); ++p) {
+            sci = gt.surface[p] == 'e' &&
+                  std::isdigit(static_cast<unsigned char>(gt.surface[p - 1])) &&
+                  std::isdigit(static_cast<unsigned char>(gt.surface[p + 1]));
+          }
+          scientific += sci;
+          fractions += gt.surface.find('/') != std::string::npos ||
+                       gt.surface.find("\xC2\xBC") != std::string::npos ||
+                       gt.surface.find("\xC2\xBD") != std::string::npos ||
+                       gt.surface.find("\xC2\xBE") != std::string::npos;
+          converted += gt.surface.find(" kg") != std::string::npos ||
+                       gt.surface.find("M$") != std::string::npos ||
+                       gt.surface.find("bn$") != std::string::npos ||
+                       gt.surface.find("B$") != std::string::npos;
+
+          if (q.is_interval()) {
+            double lo = q.value_lo * q.unit_to_base;
+            double hi = q.value_hi * q.unit_to_base;
+            if (lo > hi) std::swap(lo, hi);
+            EXPECT_TRUE(lo <= base && base <= hi)
+                << gt.surface << " interval [" << lo << ", " << hi
+                << "] misses " << base;
+          } else if (gt.realization == Realization::kExact ||
+                     gt.realization == Realization::kScaled) {
+            EXPECT_LE(quantity::RelativeDifference(q.value * q.unit_to_base,
+                                                   base),
+                      1e-9)
+                << gt.surface << " != cell " << cell.raw;
+          } else {
+            // Approximate point forms are rounded at one significant step.
+            EXPECT_LE(quantity::RelativeDifference(q.value * q.unit_to_base,
+                                                   base),
+                      0.5)
+                << gt.surface << " too far from cell " << cell.raw;
+          }
+        }
+      }
+    }
+    // The property test must actually exercise the messy surface space.
+    EXPECT_GT(checked, 100u) << name;
+    EXPECT_GT(intervals, 0u) << name;
+    if (profile.p_scientific > 0.0) {
+      EXPECT_GT(scientific, 0u) << name;
+    }
+    if (profile.p_fraction > 0.0) {
+      EXPECT_GT(fractions, 0u) << name;
+    }
+    EXPECT_GT(converted, 0u) << name;
+  }
+}
+
+// Legacy profiles must not emit any extended-form surface: their documents
+// are part of the bit-identical parity corpus.
+TEST(MessyRoundTripTest, LegacyProfilesStayLegacy) {
+  for (const DomainProfile& profile : AllDomainProfiles()) {
+    if (profile.messy_numeric_forms) continue;
+    util::Rng rng(5);
+    for (int d = 0; d < 3; ++d) {
+      Document doc = GenerateDocument(profile, "legacy", &rng);
+      for (const GroundTruthAlignment& gt : doc.ground_truth) {
+        EXPECT_EQ(gt.surface.find("×"), std::string::npos) << gt.surface;
+        EXPECT_EQ(gt.surface.find("±"), std::string::npos) << gt.surface;
+        EXPECT_EQ(gt.surface.find("–"), std::string::npos) << gt.surface;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace briq::corpus
+
+// ---------------------------------------------------------------------------
+// End-to-end unit conversion: PrepareDocument → features → filtering
+// ---------------------------------------------------------------------------
+
+namespace briq::core {
+namespace {
+
+corpus::Document MakeConversionDoc(
+    std::vector<std::vector<std::string>> rows, const std::string& pre,
+    const std::string& mention, const std::string& post, table::CellRef cell) {
+  corpus::Document doc;
+  doc.id = "conv";
+  doc.domain = "test";
+  table::Table t = table::Table::FromRows(std::move(rows));
+  t.set_header_row(true);
+  t.set_header_col(true);
+  t.AnnotateQuantities();
+  doc.tables.push_back(std::move(t));
+
+  corpus::GroundTruthAlignment gt;
+  gt.paragraph = 0;
+  gt.span = text::Span{pre.size(), pre.size() + mention.size()};
+  gt.surface = mention;
+  gt.target = corpus::GroundTruthTarget{0, table::AggregateFunction::kNone,
+                                        {cell}};
+  doc.ground_truth.push_back(std::move(gt));
+  doc.paragraphs.push_back(pre + mention + post);
+  return doc;
+}
+
+struct ConversionCase {
+  const char* label;
+  corpus::Document doc;
+  double text_base_value;  // identifies the text mention, in base units
+};
+
+std::vector<ConversionCase> ConversionCases() {
+  std::vector<ConversionCase> cases;
+  cases.push_back(
+      {"kg<->t",
+       MakeConversionDoc({{"Material", "Mass (tonnes)"},
+                          {"Feedstock", "2.75"},
+                          {"Residue", "1.5"}},
+                         "The feedstock charge weighed ", "2750 kg",
+                         " in total.", {1, 1}),
+       2750.0});
+  cases.push_back(
+      {"$<->M$",
+       MakeConversionDoc({{"Segment", "Revenue"},
+                          {"Hardware", "$484,000,000"},
+                          {"Services", "$91,000,000"}},
+                         "Hardware brought in ", "484 M$",
+                         " over the year.", {1, 1}),
+       484e6});
+  cases.push_back(
+      {"%<->bps",
+       MakeConversionDoc({{"Metric", "Share"},
+                          {"Margin", "0.6%"},
+                          {"Growth", "2.4%"}},
+                         "The margin improved by ", "60 bps",
+                         " year on year.", {1, 1}),
+       0.6});
+  return cases;
+}
+
+// Locates the text mention whose base value matches, and the single-cell
+// table mention over `cell`. Returns {text_idx, table_idx}.
+std::pair<size_t, size_t> LocatePair(const PreparedDocument& prepared,
+                                     double text_base_value,
+                                     table::CellRef cell) {
+  size_t text_idx = prepared.text_mentions.size();
+  for (size_t i = 0; i < prepared.text_mentions.size(); ++i) {
+    const auto& q = prepared.text_mentions[i].q;
+    if (std::fabs(q.value * q.unit_to_base - text_base_value) <
+        1e-9 * std::fabs(text_base_value)) {
+      text_idx = i;
+      break;
+    }
+  }
+  EXPECT_LT(text_idx, prepared.text_mentions.size());
+  size_t table_idx = prepared.table_mentions.size();
+  for (size_t j = 0; j < prepared.table_mentions.size(); ++j) {
+    const auto& tm = prepared.table_mentions[j];
+    if (!tm.is_virtual() && tm.cells.size() == 1 && tm.cells[0] == cell) {
+      table_idx = j;
+      break;
+    }
+  }
+  EXPECT_LT(table_idx, prepared.table_mentions.size());
+  return {text_idx, table_idx};
+}
+
+TEST(UnitConversionE2ETest, ConvertedPairsScoreAsValueAndUnitMatches) {
+  BriqConfig config;
+  config.extraction.extended_forms = true;
+  for (ConversionCase& c : ConversionCases()) {
+    PreparedDocument prepared = PrepareDocument(c.doc, config);
+    auto [text_idx, table_idx] =
+        LocatePair(prepared, c.text_base_value, c.doc.ground_truth[0].target.cells[0]);
+
+    FeatureComputer features(prepared, config);
+    std::vector<double> f = features.ComputeAll(text_idx, table_idx);
+    ASSERT_EQ(f.size(), static_cast<size_t>(kNumPairFeatures)) << c.label;
+    EXPECT_LE(f[5], 1e-9) << c.label << ": f6 must vanish in base units";
+    EXPECT_DOUBLE_EQ(f[7], 3.0) << c.label << ": f8 must be a strong match";
+  }
+}
+
+TEST(UnitConversionE2ETest, ConvertedPairsSurviveAdaptiveFilter) {
+  // Train a small system on the legacy corpus, then filter the conversion
+  // documents: base-unit distances keep the converted pair alive through
+  // the value pruning and the candidate pre-index.
+  BriqConfig config;
+  corpus::CorpusOptions options;
+  options.num_documents = 60;
+  options.seed = 404;
+  corpus::Corpus corpus = corpus::GenerateCorpus(options);
+  std::vector<PreparedDocument> prepared;
+  for (const auto& d : corpus.documents) {
+    prepared.push_back(PrepareDocument(d, config));
+  }
+  std::vector<const PreparedDocument*> pointers;
+  for (const auto& d : prepared) pointers.push_back(&d);
+  BriqSystem system(config);
+  ASSERT_TRUE(system.Train(pointers).ok());
+
+  BriqConfig extended = system.config();
+  extended.extraction.extended_forms = true;
+  for (ConversionCase& c : ConversionCases()) {
+    PreparedDocument doc = PrepareDocument(c.doc, extended);
+    auto [text_idx, table_idx] = LocatePair(
+        doc, c.text_base_value, c.doc.ground_truth[0].target.cells[0]);
+    FeatureComputer features(doc, extended);
+    AdaptiveFilter filter(&extended, &system.tagger(), &system.classifier());
+    auto candidates = filter.Filter(doc, features, nullptr);
+    ASSERT_EQ(candidates.size(), doc.text_mentions.size()) << c.label;
+    bool survived = false;
+    for (const Candidate& cand : candidates[text_idx]) {
+      if (cand.table_idx == table_idx) survived = true;
+    }
+    EXPECT_TRUE(survived) << c.label
+                          << ": converted pair pruned by the filter";
+  }
+}
+
+}  // namespace
+}  // namespace briq::core

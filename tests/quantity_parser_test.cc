@@ -43,11 +43,12 @@ INSTANTIATE_TEST_SUITE_P(
         ExtractCase{"emits 105 g / km in town", 105, "g/km"}));
 
 TEST(ExtractTest, CurrencyRefinement) {
-  // "$70 million CDN": the CDN word narrows the $ to Canadian dollars.
+  // "$70 million CDN": the CDN word narrows the $ to Canadian dollars
+  // (canonical ISO code CAD).
   auto mentions = ExtractQuantities("was up $70 million CDN or so");
   ASSERT_EQ(mentions.size(), 1u);
   EXPECT_DOUBLE_EQ(mentions[0].value, 70e6);
-  EXPECT_EQ(mentions[0].unit, "CDN");
+  EXPECT_EQ(mentions[0].unit, "CAD");
 }
 
 TEST(ExtractTest, UnnormalizedValueKept) {

@@ -14,8 +14,8 @@ TEST(UnitLookupTest, CurrencySymbolsAndWords) {
   EXPECT_EQ(LookupUnit("euro")->canonical, "EUR");
   EXPECT_EQ(LookupUnit("EUR")->canonical, "EUR");
   EXPECT_EQ(LookupUnit("pounds")->canonical, "GBP");
-  EXPECT_EQ(LookupUnit("CDN")->canonical, "CDN");
-  EXPECT_EQ(LookupUnit("cad")->canonical, "CDN");
+  EXPECT_EQ(LookupUnit("CDN")->canonical, "CAD");
+  EXPECT_EQ(LookupUnit("cad")->canonical, "CAD");
   for (const char* c : {"$", "EUR", "pounds"}) {
     EXPECT_EQ(LookupUnit(c)->category, UnitCategory::kCurrency);
   }
